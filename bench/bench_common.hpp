@@ -1,0 +1,53 @@
+// Shared helpers for the figure benches: standard datasets at bench scale
+// and paper-vs-measured printing.
+//
+// Scale note: the real study observes ~6,000 satellites; benches default to
+// a few hundred (launch batches are shrunk, the timeline is not) so every
+// binary runs in seconds.  The *shapes* under comparison are scale-free;
+// absolute counts are reported next to the scale factor.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "simulation/scenario.hpp"
+#include "spaceweather/generator.hpp"
+
+namespace cosmicdance::bench {
+
+/// The calibrated 2020 - May 2024 Dst series.
+inline spaceweather::DstIndex paper_dst() {
+  return spaceweather::DstGenerator(
+             spaceweather::DstGenerator::paper_window_2020_2024())
+      .generate();
+}
+
+/// Paper window extended through the May-2024 super-storm.
+inline spaceweather::DstIndex superstorm_dst() {
+  return spaceweather::DstGenerator(
+             spaceweather::DstGenerator::with_may_2024_superstorm())
+      .generate();
+}
+
+/// Standard bench-scale constellation run over the paper window.
+/// `per_batch`=4 / cadence 16 days yields ~400 satellites.
+inline tle::TleCatalog paper_catalog(const spaceweather::DstIndex& dst,
+                                     int per_batch = 4, double cadence = 16.0) {
+  auto config = simulation::scenario::paper_window(&dst, per_batch, cadence);
+  return simulation::ConstellationSimulator(config).run().catalog;
+}
+
+/// Print a "paper says / we measured" comparison line.
+inline void expect(const std::string& what, const std::string& paper,
+                   double measured, int precision = 1) {
+  std::printf("  %-52s paper: %-14s measured: %.*f\n", what.c_str(),
+              paper.c_str(), precision, measured);
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+}  // namespace cosmicdance::bench

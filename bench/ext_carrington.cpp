@@ -1,0 +1,79 @@
+// Extension (paper §1-2 motivation): a Carrington-scale what-if.
+// Replaces the May-2024 super-storm with a ~ -1800 nT event over an
+// established fleet, with and without proactive operator response, and adds
+// the drag-only lifetime view at the staging orbit.
+#include <iostream>
+
+#include "atmosphere/lifetime.hpp"
+#include "bench_common.hpp"
+#include "io/table.hpp"
+
+using namespace cosmicdance;
+
+namespace {
+
+void run_fleet(const spaceweather::DstIndex& dst, bool proactive,
+               io::TablePrinter& table) {
+  auto config = simulation::scenario::may_2024(&dst, /*fleet_size=*/600);
+  // Run through year end: a 550 km tumbling casualty takes ~4 months to
+  // reenter, so a short window would under-report losses.
+  config.end = timeutil::make_datetime(2024, 12, 31);
+  config.failures.proactive_response = proactive;
+  auto result = simulation::ConstellationSimulator(config).run();
+  int outages = 0;
+  int permanent = 0;
+  for (const auto& failure : result.failures) {
+    if (failure.kind == simulation::FailureKind::kTemporaryOutage) ++outages;
+    if (failure.kind == simulation::FailureKind::kPermanentDecay) ++permanent;
+  }
+  table.add_row({proactive ? "proactive ops" : "unmitigated",
+                 std::to_string(result.launched), std::to_string(outages),
+                 std::to_string(permanent),
+                 std::to_string(result.launched - result.tracked_at_end)});
+}
+
+}  // namespace
+
+int main() {
+  const spaceweather::DstIndex dst =
+      spaceweather::DstGenerator(spaceweather::DstGenerator::carrington_what_if())
+          .generate();
+
+  io::print_heading(std::cout, "Carrington-scale what-if (peak Dst)");
+  bench::expect("event peak (nT)", "~-1800 (1859 estimate)", dst.minimum(), 0);
+  long below350 = 0;
+  for (const double v : dst.values()) {
+    if (v <= -350.0) ++below350;
+  }
+  std::printf("  hours at G5/extreme (<= -350 nT): %ld\n", below350);
+
+  io::print_heading(std::cout, "Fleet outcome (May-Dec window, 600 satellites)");
+  io::TablePrinter table({"posture", "fleet", "outages", "permanent", "lost"});
+  run_fleet(dst, /*proactive=*/false, table);
+  run_fleet(dst, /*proactive=*/true, table);
+  table.print(std::cout);
+
+  io::print_heading(std::cout, "Drag-only lifetime at key altitudes during the event");
+  io::TablePrinter lifetime({"altitude_km", "config", "lifetime"});
+  atmosphere::LifetimeConfig storm_config;
+  storm_config.dst = &dst;
+  storm_config.start_jd =
+      timeutil::to_julian(timeutil::make_datetime(2024, 5, 10));
+  for (const double altitude : {210.0, 350.0, 550.0}) {
+    for (const auto& [label, ballistic] :
+         {std::pair{"knife-edge (0.004)", 0.004}, std::pair{"tumbling (0.3)", 0.3}}) {
+      const double days =
+          atmosphere::decay_lifetime_days(altitude, ballistic, storm_config);
+      lifetime.add_row({io::TablePrinter::num(altitude, 0), label,
+                        days >= storm_config.max_days
+                            ? std::string("> cap")
+                            : io::TablePrinter::num(days, 1) + " days"});
+    }
+  }
+  lifetime.print(std::cout);
+
+  bench::note("the paper's framing: today's measurements are a soft lower");
+  bench::note("bound — nothing in 2020-2024 came near Carrington scale; this");
+  bench::note("what-if shows the regime the community worries about.");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Extension: conjunction screening of a storm casualty (paper §A.2 — TLEs
+// are what operators screen with) plus the intensity-vs-impact rank
+// correlation underlying Fig 5's stratification.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/conjunctions.hpp"
+#include "orbit/elements.hpp"
+#include "io/table.hpp"
+#include "spaceweather/storms.hpp"
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "timeutil/hour_axis.hpp"
+
+using namespace cosmicdance;
+
+namespace {
+
+tle::Tle shell_member(int catalog, double altitude, double raan, double anomaly) {
+  tle::Tle t;
+  t.catalog_number = catalog;
+  t.international_designator = "24001A";
+  t.epoch_jd = timeutil::to_julian(timeutil::make_datetime(2024, 3, 10));
+  t.inclination_deg = 53.05;
+  t.raan_deg = raan;
+  t.eccentricity = 1e-4;
+  t.arg_perigee_deg = 0.0;
+  t.mean_anomaly_deg = anomaly;
+  t.mean_motion_revday = orbit::mean_motion_from_altitude_km(altitude);
+  t.bstar = 2e-4;
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  // --- part 1: screen a decaying satellite against the shell below -------
+  io::print_heading(std::cout,
+                    "Screening a decayer (falling through 540 km) against the "
+                    "540 km shell (24 satellites, 20-day window)");
+  // The trespasser: #44943-style casualty entering the shell from above
+  // with heavy drag (B* = 0.02 per Earth radius: tumbling).
+  tle::Tle trespasser = shell_member(44943, 541.5, 100.0, 0.0);
+  trespasser.bstar = 2.0e-2;
+  std::vector<tle::Tle> shell;
+  for (int i = 0; i < 24; ++i) {
+    shell.push_back(shell_member(50000 + i, 540.0, 100.0 + 15.0 * i,
+                                 360.0 * i / 24.0 + 7.0));
+  }
+  core::ConjunctionConfig config;
+  config.threshold_km = 50.0;
+  config.coarse_step_seconds = 60.0;
+  const auto hits = core::screen_against(trespasser, shell,
+                                         trespasser.epoch_jd, 20.0, config);
+  io::TablePrinter table({"other", "time (UTC)", "miss distance km"});
+  for (const auto& hit : hits) {
+    table.add_row({std::to_string(hit.catalog_b),
+                   timeutil::from_julian(hit.jd).to_string().substr(0, 16),
+                   io::TablePrinter::num(hit.distance_km, 2)});
+  }
+  table.print(std::cout);
+  std::printf("  %zu satellites approached below %.0f km within 20 days\n",
+              hits.size(), config.threshold_km);
+  bench::note("reading: a casualty crossing a populated shell generates");
+  bench::note("alert-threshold conjunctions within hours — the concrete");
+  bench::note("Kessler pressure behind the paper's shell-trespass concern.");
+
+  // --- part 2: intensity vs impact correlation ----------------------------
+  io::print_heading(std::cout,
+                    "Rank correlation: storm peak intensity vs p95 altitude "
+                    "change (per storm)");
+  const spaceweather::DstIndex dst = bench::paper_dst();
+  const core::CosmicDance pipeline(dst, bench::paper_catalog(dst));
+  std::vector<double> intensity;
+  std::vector<double> impact;
+  for (const auto& storm : pipeline.storms()) {
+    const std::vector<double> epochs{
+        timeutil::julian_from_hour_index(storm.peak_hour)};
+    const auto changes = pipeline.correlator().altitude_change_samples(
+        pipeline.tracks(), epochs);
+    if (changes.size() < 20) continue;
+    intensity.push_back(-storm.peak_dst_nt);
+    impact.push_back(stats::percentile(changes, 95.0));
+  }
+  std::printf("  storms with enough samples: %zu\n", intensity.size());
+  if (intensity.size() >= 10) {
+    std::printf("  Spearman rho(intensity, p95 altitude change) = %.3f\n",
+                stats::spearman(intensity, impact));
+    std::printf("  Pearson  r = %.3f\n", stats::pearson(intensity, impact));
+  }
+  bench::note("expected: a clearly positive rank correlation — the monotone");
+  bench::note("relationship Figs 5-6 present as stratified CDFs.");
+  return 0;
+}

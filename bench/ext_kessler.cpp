@@ -1,0 +1,98 @@
+// Extension (paper §6): Kessler-syndrome pressure — conjunction exposure of
+// storm-displaced satellites, and the manoeuvre-confounder estimate from
+// the paper's Limitations paragraph.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/kessler.hpp"
+#include "core/maneuvers.hpp"
+#include "io/table.hpp"
+#include "spaceweather/storms.hpp"
+#include "timeutil/hour_axis.hpp"
+
+using namespace cosmicdance;
+
+int main() {
+  const spaceweather::DstIndex dst = bench::paper_dst();
+  const core::CosmicDance pipeline(dst, bench::paper_catalog(dst));
+
+  core::KesslerConfig kessler;
+  kessler.shells.shell_altitudes_km = {535.0, 540.0, 545.0, 550.0, 555.0, 560.0};
+  kessler.shells.half_width_km = 1.5;
+
+  io::print_heading(std::cout, "Kinetic inputs (full-constellation scale)");
+  std::printf("  shell spatial density @550 km: %.3g sat/km^3\n",
+              core::shell_spatial_density(550.0, kessler));
+  std::printf("  collision rate per dwell-year: %.3g /yr\n",
+              core::collision_rate_per_dwell_year(550.0, kessler));
+
+  // Storm months vs quiet months: expected-collision exposure.
+  io::print_heading(std::cout,
+                    "Conjunction exposure: months containing a moderate+ "
+                    "storm vs all others");
+  // Months are classified by moderate (-100 nT) storms so both classes are
+  // populated; the contamination estimate below uses the paper's >95th-ptile
+  // event set.
+  const auto epochs = pipeline.correlator().storm_event_epochs(
+      spaceweather::kModerateThresholdNt);
+
+  double storm_dwell = 0.0;
+  double storm_collisions = 0.0;
+  long storm_months = 0;
+  double quiet_dwell = 0.0;
+  double quiet_collisions = 0.0;
+  long quiet_months = 0;
+  const double start = timeutil::julian_from_hour_index(dst.start_hour());
+  const double end = timeutil::julian_from_hour_index(dst.end_hour());
+  for (double month = start; month + 30.0 <= end; month += 30.0) {
+    bool has_storm = false;
+    for (const double epoch : epochs) {
+      if (epoch >= month && epoch < month + 30.0) has_storm = true;
+    }
+    const auto exposure =
+        core::conjunction_exposure(pipeline.tracks(), month, month + 30.0, kessler);
+    if (has_storm) {
+      storm_dwell += exposure.dwell_days;
+      storm_collisions += exposure.expected_collisions;
+      ++storm_months;
+    } else {
+      quiet_dwell += exposure.dwell_days;
+      quiet_collisions += exposure.expected_collisions;
+      ++quiet_months;
+    }
+  }
+  io::TablePrinter table({"month class", "months", "dwell sat-days/mo",
+                          "E[collisions]/mo x1e6"});
+  table.add_row({"with moderate+ storm", std::to_string(storm_months),
+                 io::TablePrinter::num(storm_dwell / std::max(storm_months, 1L), 1),
+                 io::TablePrinter::num(
+                     1e6 * storm_collisions / std::max(storm_months, 1L), 2)});
+  table.add_row({"quiet", std::to_string(quiet_months),
+                 io::TablePrinter::num(quiet_dwell / std::max(quiet_months, 1L), 1),
+                 io::TablePrinter::num(
+                     1e6 * quiet_collisions / std::max(quiet_months, 1L), 2)});
+  table.print(std::cout);
+  if (quiet_dwell > 0.0) {
+    bench::expect("storm-month / quiet-month dwell ratio", "> 1",
+                  (storm_dwell / std::max(storm_months, 1L)) /
+                      (quiet_dwell / std::max(quiet_months, 1L)));
+  }
+
+  // The Limitations confounder: how many happens-closely-after candidates
+  // sit near a detected manoeuvre?
+  io::print_heading(std::cout, "Manoeuvre confounder (paper Limitations)");
+  const auto maneuvers = core::detect_maneuvers(pipeline.tracks());
+  const auto p95_epochs = pipeline.correlator().storm_event_epochs(
+      pipeline.dst_threshold_at_percentile(95.0));
+  const auto contamination = core::maneuver_contamination(
+      pipeline.tracks(), p95_epochs, pipeline.correlator().config().window_days);
+  std::printf("  detected manoeuvres: %zu across %zu satellites\n",
+              maneuvers.size(), pipeline.tracks().size());
+  std::printf("  (satellite,event) pairs near a manoeuvre: %zu of %zu (%.1f%%)\n",
+              contamination.near_maneuver, contamination.candidates,
+              100.0 * contamination.fraction());
+  bench::note("reading: a sizeable share of post-storm windows contains some");
+  bench::note("manoeuvre — the reason the paper sticks to happens-closely-");
+  bench::note("after language rather than claiming causality outright.");
+  return 0;
+}

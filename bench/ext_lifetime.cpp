@@ -1,0 +1,41 @@
+// Extension: in-orbit lifetime table (the lifetime literature the paper
+// cites) — quiet-atmosphere decay lifetimes across altitude and ballistic
+// coefficient, plus the let-die-and-replenish sanity check: an abandoned
+// Starlink at 550 km deorbits passively within the ~5-year replacement
+// cycle only when tumbling.
+#include <iostream>
+
+#include "atmosphere/lifetime.hpp"
+#include "bench_common.hpp"
+#include "io/table.hpp"
+
+using namespace cosmicdance;
+
+int main() {
+  io::print_heading(std::cout,
+                    "Quiet-atmosphere decay lifetime (days; '> cap' = stable)");
+  io::TablePrinter table({"altitude_km", "B=0.004 (knife)", "B=0.02 (staging)",
+                          "B=0.3 (tumbling)"});
+  atmosphere::LifetimeConfig config;
+  config.max_days = 80.0 * 365.25;
+  for (const double altitude :
+       {250.0, 300.0, 350.0, 400.0, 450.0, 500.0, 550.0, 600.0}) {
+    std::vector<std::string> row{io::TablePrinter::num(altitude, 0)};
+    for (const double ballistic : {0.004, 0.02, 0.3}) {
+      const double days =
+          atmosphere::decay_lifetime_days(altitude, ballistic, config);
+      row.push_back(days >= config.max_days
+                        ? std::string("> 80 yr")
+                        : io::TablePrinter::num(days, 0));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  bench::note("reading: the ~5 km shell spacing matters because a tumbling");
+  bench::note("casualty at 550 km spends months drifting down through the");
+  bench::note("neighbouring shells; at the 350 km staging orbit everything");
+  bench::note("is short-lived (the design intent), and at 210 km (Feb 2022)");
+  bench::note("storm-time drag removes satellites within days.");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig 3: time series of geomagnetic intensity plus the atmospheric drag and
+// altitude of the three cherry-picked Starlink satellites (#44943, #45400,
+// #45766), Jan 2023 - May 2024.
+//
+// Paper storylines to reproduce:
+//  * 2023-03-24 moderate storm -> #45766 drag spike + decay onset,
+//    #45400 decay onset with a modest drag change;
+//  * 2024-03-03 moderate storm -> #44943 drag spike then ~150 km drop
+//    over the following weeks.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/analysis.hpp"
+#include "io/table.hpp"
+#include "timeutil/hour_axis.hpp"
+
+using namespace cosmicdance;
+
+int main() {
+  const spaceweather::DstIndex dst = bench::paper_dst();
+  auto config = simulation::scenario::figure3(&dst);
+  auto run = simulation::ConstellationSimulator(config).run();
+  const core::CosmicDance pipeline(dst, std::move(run.catalog));
+
+  const std::vector<int> satellites{44943, 45400, 45766};
+  const auto timelines = core::track_timelines(pipeline.tracks(), satellites);
+
+  io::print_heading(std::cout,
+                    "Fig 3: Dst + drag (B*) + altitude, 14-day samples");
+  io::TablePrinter table({"date", "minDst_nT", "44943_km", "44943_B*",
+                          "45400_km", "45400_B*", "45766_km", "45766_B*"});
+
+  const double start = timeutil::to_julian(timeutil::make_datetime(2023, 1, 1));
+  const double end = timeutil::to_julian(timeutil::make_datetime(2024, 5, 7));
+  for (double day = start; day < end; day += 14.0) {
+    std::vector<std::string> row;
+    row.push_back(timeutil::from_julian(day).to_string().substr(0, 10));
+    // Most negative Dst over the 14-day bucket.
+    double dst_min = 0.0;
+    for (int h = 0; h < 14 * 24; ++h) {
+      const auto hour = timeutil::hour_index_from_julian(day + h / 24.0);
+      if (dst.covers(hour)) dst_min = std::min(dst_min, dst.at(hour));
+    }
+    row.push_back(io::TablePrinter::num(dst_min, 0));
+    for (const auto& timeline : timelines) {
+      // Last sample in the bucket (blank once the satellite reenters).
+      double altitude = std::nan("");
+      double bstar = std::nan("");
+      for (std::size_t i = 0; i < timeline.epoch_jd.size(); ++i) {
+        if (timeline.epoch_jd[i] >= day && timeline.epoch_jd[i] < day + 14.0) {
+          altitude = timeline.altitude_km[i];
+          bstar = timeline.bstar[i];
+        }
+      }
+      row.push_back(std::isnan(altitude) ? "-" : io::TablePrinter::num(altitude, 1));
+      row.push_back(std::isnan(bstar) ? "-"
+                                      : io::TablePrinter::num(bstar * 1e4, 1) + "e-4");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  bench::note("shape check: all three hold ~550 km until their anchor storm;");
+  bench::note("#45766/#45400 decay after 2023-03-24 (B* jumps for #45766,");
+  bench::note("#45400's change is modest at first); #44943 falls ~150 km in");
+  bench::note("the weeks after 2024-03-03.  '-' = reentered / no TLEs.");
+  return 0;
+}

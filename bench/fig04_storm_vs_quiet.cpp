@@ -1,0 +1,82 @@
+// Fig 4: (a) altitude variation of affected satellites over the 30 days
+// after a randomly-picked high-intensity event (-112 nT, excluding permanent
+// decays via the paper's hump rule); (b) the same view on a quiet day
+// (intensity < 80th-ptile), 15-day window.
+//
+// Paper shape: (a) median rises to ~5 km within 10-15 days; the 95th-ptile
+// stays ~10 km even after a month.  (b) no noticeable shift.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "stats/bootstrap.hpp"
+#include "io/table.hpp"
+
+using namespace cosmicdance;
+
+namespace {
+
+void print_envelope(const core::PostEventEnvelope& envelope) {
+  io::TablePrinter table({"day", "median_km", "p95_km", "n_sats"});
+  for (int d = 0; d < envelope.days; ++d) {
+    const double median = envelope.median_km[static_cast<std::size_t>(d)];
+    const double p95 = envelope.p95_km[static_cast<std::size_t>(d)];
+    table.add_row({std::to_string(d),
+                   std::isnan(median) ? "-" : io::TablePrinter::num(median, 2),
+                   std::isnan(p95) ? "-" : io::TablePrinter::num(p95, 2),
+                   std::to_string(envelope.satellites.size())});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  const spaceweather::DstIndex dst = bench::paper_dst();
+  // A slightly larger fleet than the other benches: the Fig 4a selection
+  // keeps only a handful of satellites, so the envelope needs more of them.
+  const core::CosmicDance pipeline(dst, bench::paper_catalog(dst, 6, 14.0));
+
+  // (a) the scripted -112 nT event of 2023-09-18 (the paper picked a -112 nT
+  // storm at random; ours is scripted at that intensity).
+  const double event_jd =
+      timeutil::to_julian(timeutil::make_datetime(2023, 9, 18, 18));
+  io::print_heading(std::cout,
+                    "Fig 4(a): affected satellites after the -112 nT event "
+                    "(30-day window)");
+  const auto storm_envelope = pipeline.post_event_envelope(
+      event_jd, 30, core::EnvelopeSelection::kAffectedHumped);
+  print_envelope(storm_envelope);
+  // Bootstrap CI for the day-12 median: qualifies the scaled-down sample.
+  {
+    std::vector<double> day12;
+    for (const auto& profile : storm_envelope.per_satellite) {
+      if (profile.size() > 12 && std::isfinite(profile[12])) {
+        day12.push_back(profile[12]);
+      }
+    }
+    if (day12.size() >= 5) {
+      const auto ci = stats::bootstrap_median(day12);
+      std::printf("  day-12 median 95%% CI over %zu satellites: [%.2f, %.2f] km\n",
+                  day12.size(), ci.lo, ci.hi);
+    }
+  }
+  bench::note("paper: median up to ~5 km within 10-15 days; p95 ~10 km after");
+  bench::note("a month (long-term shifts).  Permanent decays excluded by the");
+  bench::note("selection rule, already-decaying satellites by the 5 km filter.");
+
+  // (b) a quiet epoch with no storms around.
+  const double p80 = pipeline.dst_threshold_at_percentile(80.0);
+  const auto quiet = pipeline.correlator().quiet_epochs(p80, 40);
+  io::print_heading(std::cout,
+                    "Fig 4(b): quiet-day reference (<80th-ptile, 15-day window)");
+  if (quiet.empty()) {
+    bench::note("no quiet epoch found (unexpected)");
+    return 1;
+  }
+  const auto quiet_envelope = pipeline.post_event_envelope(
+      quiet[quiet.size() * 3 / 4], 15, core::EnvelopeSelection::kAll);
+  print_envelope(quiet_envelope);
+  bench::note("paper: no noticeable altitude/orbital shift on quiet days.");
+  return 0;
+}

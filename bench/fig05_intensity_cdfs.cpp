@@ -1,0 +1,63 @@
+// Fig 5: influence of storm intensity.
+//  (a) CDF of altitude change for epochs with intensity < 80th-ptile,
+//  (b) CDF of altitude change after storms with intensity > 95th-ptile,
+//  (c) distribution of drag (B*) changes after the >95th-ptile storms.
+//
+// Paper shape: quiet variations stay below ~10 km; after mild/moderate
+// storms a ~1% tail reaches tens of km (up to ~163 km) — satellites
+// trespassing multiple 5-km-spaced shells; storms also inflate drag.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "io/table.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/ecdf.hpp"
+
+using namespace cosmicdance;
+
+namespace {
+
+void print_cdf(const std::vector<double>& samples, const char* value_header) {
+  const stats::Ecdf ecdf(samples);
+  io::TablePrinter table({value_header, "cdf"});
+  for (const double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.995, 1.0}) {
+    table.add_row({io::TablePrinter::num(ecdf.quantile(q), 2),
+                   io::TablePrinter::num(q, 3)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  const spaceweather::DstIndex dst = bench::paper_dst();
+  const core::CosmicDance pipeline(dst, bench::paper_catalog(dst));
+
+  const double p80 = pipeline.dst_threshold_at_percentile(80.0);
+  const double p95 = pipeline.dst_threshold_at_percentile(95.0);
+  std::printf("thresholds: 80th-ptile %.1f nT, 95th-ptile %.1f nT, %zu tracks\n",
+              p80, p95, pipeline.tracks().size());
+
+  io::print_heading(std::cout,
+                    "Fig 5(a): altitude change CDF, intensity < 80th-ptile");
+  const auto quiet = pipeline.altitude_changes_for_quiet(p80, 30);
+  print_cdf(quiet, "alt_change_km");
+  bench::expect("quiet p99 (km)", "< 10", stats::percentile(quiet, 99.0), 2);
+
+  io::print_heading(std::cout,
+                    "Fig 5(b): altitude change CDF, storms > 95th-ptile");
+  const auto storm = pipeline.altitude_changes_for_storms(p95);
+  print_cdf(storm, "alt_change_km");
+  bench::expect("storm max (km)", "~163", stats::max(storm), 1);
+  const stats::Ecdf storm_ecdf(storm);
+  bench::expect("fraction with 'significantly larger (10s of km)' shifts",
+                "at most ~1%", 1.0 - storm_ecdf(20.0), 4);
+
+  io::print_heading(std::cout,
+                    "Fig 5(c): drag (B*) change factor, storms > 95th-ptile");
+  const auto drags = pipeline.drag_changes_for_storms(p95);
+  print_cdf(drags, "bstar_ratio");
+  bench::note("paper: intense storms produce visibly larger drag; the far");
+  bench::note("tail is satellites that tumble after an upset.");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig 7: effect of the May 10-11 2024 super-storm (peak ~ -412 nT).
+// Panels: daily minimum Dst, fleet B* statistics (mean/median/p95) and the
+// number of tracked satellites.
+//
+// Paper/Starlink: drag increased up to ~5x, the tracked-satellite count
+// stayed flat (no losses), and no drastic altitude change was indicated.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/analysis.hpp"
+#include "io/table.hpp"
+
+using namespace cosmicdance;
+
+int main() {
+  const spaceweather::DstIndex dst = bench::superstorm_dst();
+  auto config = simulation::scenario::may_2024(&dst, /*fleet_size=*/1200);
+  auto run = simulation::ConstellationSimulator(config).run();
+  const int launched = run.launched;
+  const int lost = run.launched - run.tracked_at_end;
+  const core::CosmicDance pipeline(dst, std::move(run.catalog));
+
+  const double start = timeutil::to_julian(timeutil::make_datetime(2024, 5, 1));
+  const double end = timeutil::to_julian(timeutil::make_datetime(2024, 6, 1));
+  const auto rows = core::superstorm_panel(pipeline.tracks(), dst, start, end);
+
+  io::print_heading(std::cout, "Fig 7: May 2024 super-storm daily panel");
+  io::TablePrinter table({"date", "min_dst_nT", "bstar_mean", "bstar_median",
+                          "bstar_p95", "tracked"});
+  double quiet_median = 0.0;
+  double quiet_p95 = 0.0;
+  double peak_median = 0.0;
+  double peak_p95 = 0.0;
+  long min_tracked = 1L << 40;
+  long max_tracked = 0;
+  for (const auto& row : rows) {
+    const auto dt = timeutil::from_julian(row.day_jd + 0.5);
+    table.add_row({dt.to_string().substr(0, 10),
+                   io::TablePrinter::num(row.dst_min_nt, 0),
+                   io::TablePrinter::num(row.bstar_mean * 1e4, 2) + "e-4",
+                   io::TablePrinter::num(row.bstar_median * 1e4, 2) + "e-4",
+                   io::TablePrinter::num(row.bstar_p95 * 1e4, 2) + "e-4",
+                   std::to_string(row.tracked_satellites)});
+    if (dt.day <= 8) {
+      quiet_median = std::max(quiet_median, row.bstar_median);
+      quiet_p95 = std::max(quiet_p95, row.bstar_p95);
+    }
+    peak_median = std::max(peak_median, row.bstar_median);
+    peak_p95 = std::max(peak_p95, row.bstar_p95);
+    min_tracked = std::min(min_tracked, row.tracked_satellites);
+    max_tracked = std::max(max_tracked, row.tracked_satellites);
+  }
+  table.print(std::cout);
+
+  io::print_heading(std::cout, "Headline comparison");
+  bench::expect("storm peak (nT)", "-412", dst.minimum(), 0);
+  bench::expect("drag amplification (daily-median B*)", "up to ~5x",
+                peak_median / quiet_median);
+  bench::expect("drag amplification (p95 B*, storm-hour fits)", "up to ~5x",
+                peak_p95 / quiet_p95);
+  bench::expect("satellites lost", "0 (per Starlink)", lost, 0);
+  std::printf("  tracked-count band over the window: %ld .. %ld of %d\n",
+              min_tracked, max_tracked, launched);
+  bench::note("shape check: drag spikes ~5x around May 10-11 then relaxes;");
+  bench::note("the tracked count stays flat (proactive ops response).");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig 8: ~50 years of Dst indices with the well-known storms highlighted
+// (1989 Quebec -589 nT ... May 2024 -412 nT).
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "io/table.hpp"
+#include "spaceweather/historical.hpp"
+#include "timeutil/hour_axis.hpp"
+
+using namespace cosmicdance;
+
+int main() {
+  const spaceweather::DstIndex dst =
+      spaceweather::DstGenerator(spaceweather::DstGenerator::historical_50_years())
+          .generate();
+
+  io::print_heading(std::cout, "Fig 8: yearly minimum Dst, 1975 - mid 2024");
+  io::TablePrinter table({"year", "min_dst_nT", "annotation"});
+  for (int year = 1975; year <= 2024; ++year) {
+    const auto from =
+        timeutil::hour_index_from_datetime(timeutil::make_datetime(year, 1, 1));
+    const auto to = timeutil::hour_index_from_datetime(
+        timeutil::make_datetime(std::min(year + 1, 2025), 1, 1));
+    const spaceweather::DstIndex slice = dst.slice(from, to);
+    if (slice.empty()) continue;
+    std::string annotation;
+    for (const auto& storm : spaceweather::fig8_storms()) {
+      if (storm.date.year == year) {
+        annotation = storm.name + " (" +
+                     io::TablePrinter::num(storm.peak_dst_nt, 0) + " nT)";
+      }
+    }
+    table.add_row({std::to_string(year),
+                   io::TablePrinter::num(slice.minimum(), 0), annotation});
+  }
+  table.print(std::cout);
+
+  io::print_heading(std::cout, "Named storms vs the synthetic record");
+  io::TablePrinter storms({"storm", "date", "paper_nT", "measured_nT"});
+  for (const auto& storm : spaceweather::fig8_storms()) {
+    const auto hour = timeutil::hour_index_from_datetime(storm.date);
+    const spaceweather::DstIndex window = dst.slice(hour - 24, hour + 96);
+    storms.add_row({storm.name, storm.date.to_string().substr(0, 10),
+                    io::TablePrinter::num(storm.peak_dst_nt, 0),
+                    window.empty() ? "-"
+                                   : io::TablePrinter::num(window.minimum(), 0)});
+  }
+  storms.print(std::cout);
+  bench::note("pre-instrumental references (not in the record): Carrington");
+  bench::note("1859 ~ -1800 nT, New York Railroad 1921 ~ -907 nT.");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Fig 9: time series of the six orbital elements for the 43 satellites of
+// Starlink launch L1 (2019-11-11).
+//
+// Paper shape: eccentricity ~0 throughout; altitude staged at ~360 km then
+// raised to 550 km; inclination pinned at 53 deg; RAAN drifting steadily
+// westward (J2); ARGP and mean anomaly consistent once operational.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "io/table.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace cosmicdance;
+
+int main() {
+  auto config = simulation::scenario::launch_l1(nullptr);
+  auto run = simulation::ConstellationSimulator(config).run();
+  const core::CosmicDance pipeline(spaceweather::DstIndex(
+                                       timeutil::make_datetime(2019, 11, 1),
+                                       std::vector<double>(24 * 420, -11.0)),
+                                   std::move(run.catalog));
+  // Fig 9 needs the raw tracks: the orbit-raising window is the point.
+  const auto tracks = pipeline.raw_tracks();
+
+  io::print_heading(std::cout,
+                    "Fig 9: L1 batch (43 satellites), monthly element medians");
+  // Batch medians for the scalar elements; the angular elements (RAAN,
+  // ARGP, mean anomaly) follow one reference satellite — Fig 9 plots the
+  // per-satellite curves, and a pooled median of drifting angles wraps
+  // meaninglessly.
+  const core::SatelliteTrack* reference = nullptr;
+  for (const auto& track : tracks) {
+    if (track.catalog_number() == 44713) reference = &track;
+  }
+  io::TablePrinter table({"month", "alt_km", "incl_deg", "ecc", "44713_raan",
+                          "44713_argp", "44713_manom", "tles"});
+  const double start = timeutil::to_julian(timeutil::make_datetime(2019, 11, 11));
+  const double end = timeutil::to_julian(timeutil::make_datetime(2020, 12, 31));
+  for (double month = start; month < end; month += 30.0) {
+    std::vector<double> altitude, inclination, eccentricity;
+    for (const auto& track : tracks) {
+      for (const auto& sample : track.between(month, month + 30.0)) {
+        if (sample.altitude_km > 650.0) continue;  // gross tracking errors
+        altitude.push_back(sample.altitude_km);
+        inclination.push_back(sample.inclination_deg);
+        eccentricity.push_back(sample.eccentricity);
+      }
+    }
+    if (altitude.empty()) continue;
+    std::string raan = "-";
+    std::string argp = "-";
+    std::string anomaly = "-";
+    if (reference != nullptr) {
+      const auto window = reference->between(month, month + 30.0);
+      if (!window.empty()) {
+        raan = io::TablePrinter::num(window.front().raan_deg, 1);
+        argp = io::TablePrinter::num(window.front().arg_perigee_deg, 1);
+        anomaly = io::TablePrinter::num(window.front().mean_anomaly_deg, 1);
+      }
+    }
+    table.add_row({timeutil::from_julian(month).to_string().substr(0, 7),
+                   io::TablePrinter::num(stats::median(altitude), 1),
+                   io::TablePrinter::num(stats::median(inclination), 3),
+                   io::TablePrinter::num(stats::median(eccentricity), 5), raan,
+                   argp, anomaly, std::to_string(altitude.size())});
+  }
+  table.print(std::cout);
+
+  bench::note("shape check: altitude 360 -> 550 km over the raising months;");
+  bench::note("inclination ~53 deg and ecc ~0 throughout; the reference");
+  bench::note("satellite's RAAN drifts continuously westward (J2).");
+  return 0;
+}

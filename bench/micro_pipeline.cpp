@@ -1,0 +1,82 @@
+// Microbenchmarks over the measurement pipeline's aggregate operations:
+// storm segmentation of a 4-year hourly series, the happens-closely-after
+// sample extraction, and catalog text ingestion.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "spaceweather/storms.hpp"
+
+namespace {
+
+using namespace cosmicdance;
+
+const spaceweather::DstIndex& shared_dst() {
+  static const spaceweather::DstIndex dst = bench::paper_dst();
+  return dst;
+}
+
+const core::CosmicDance& shared_pipeline() {
+  static const core::CosmicDance pipeline(
+      shared_dst(), bench::paper_catalog(shared_dst(), 2, 30.0));
+  return pipeline;
+}
+
+void BM_DstGeneration(benchmark::State& state) {
+  const auto config = spaceweather::DstGenerator::paper_window_2020_2024();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spaceweather::DstGenerator(config).generate());
+  }
+}
+BENCHMARK(BM_DstGeneration);
+
+void BM_StormDetection(benchmark::State& state) {
+  const spaceweather::StormDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.detect(shared_dst()));
+  }
+}
+BENCHMARK(BM_StormDetection);
+
+void BM_IntensityPercentile(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shared_dst().intensity_percentile(99.0));
+  }
+}
+BENCHMARK(BM_IntensityPercentile);
+
+void BM_AltitudeChangeSamples(benchmark::State& state) {
+  const auto& pipeline = shared_pipeline();
+  const double p95 = pipeline.dst_threshold_at_percentile(95.0);
+  const auto epochs = pipeline.correlator().storm_event_epochs(p95);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.correlator().altitude_change_samples(
+        pipeline.tracks(), epochs));
+  }
+}
+BENCHMARK(BM_AltitudeChangeSamples);
+
+void BM_CatalogIngestText(benchmark::State& state) {
+  const std::string text = shared_pipeline().catalog().to_text();
+  const auto records = shared_pipeline().catalog().record_count();
+  for (auto _ : state) {
+    tle::TleCatalog catalog;
+    benchmark::DoNotOptimize(catalog.add_from_text(text));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_CatalogIngestText);
+
+void BM_PostEventEnvelope(benchmark::State& state) {
+  const auto& pipeline = shared_pipeline();
+  const double event_jd =
+      timeutil::to_julian(timeutil::make_datetime(2023, 9, 18, 18));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.post_event_envelope(
+        event_jd, 30, core::EnvelopeSelection::kAffectedHumped));
+  }
+}
+BENCHMARK(BM_PostEventEnvelope);
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Microbenchmarks: SGP4 initialisation/propagation and TLE parse/format —
+// the per-record costs that dominate ingesting a multi-million-record
+// archive.
+#include <benchmark/benchmark.h>
+
+#include "sgp4/sgp4.hpp"
+#include "timeutil/datetime.hpp"
+#include "tle/tle.hpp"
+
+namespace {
+
+using namespace cosmicdance;
+
+tle::Tle starlink_tle() {
+  tle::Tle t;
+  t.catalog_number = 45000;
+  t.international_designator = "20001A";
+  t.epoch_jd = timeutil::to_julian(timeutil::make_datetime(2023, 1, 1, 12));
+  t.inclination_deg = 53.05;
+  t.raan_deg = 100.0;
+  t.eccentricity = 1.0e-4;
+  t.arg_perigee_deg = 90.0;
+  t.mean_anomaly_deg = 270.0;
+  t.mean_motion_revday = 15.06;
+  t.bstar = 2.0e-4;
+  return t;
+}
+
+tle::Tle geo_tle() {
+  tle::Tle t = starlink_tle();
+  t.mean_motion_revday = 1.00273896;
+  t.inclination_deg = 0.5;
+  t.eccentricity = 3.0e-4;
+  t.bstar = 0.0;
+  return t;
+}
+
+void BM_Sgp4Init(benchmark::State& state) {
+  const tle::Tle t = starlink_tle();
+  for (auto _ : state) {
+    sgp4::Sgp4Propagator propagator(t);
+    benchmark::DoNotOptimize(propagator.recovered_altitude_km());
+  }
+}
+BENCHMARK(BM_Sgp4Init);
+
+void BM_Sgp4PropagateNearEarth(benchmark::State& state) {
+  const sgp4::Sgp4Propagator propagator(starlink_tle());
+  double tsince = 0.0;
+  orbit::StateVector out;
+  for (auto _ : state) {
+    tsince += 1.0;
+    benchmark::DoNotOptimize(propagator.try_propagate_minutes(tsince, out));
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Sgp4PropagateNearEarth);
+
+void BM_Sgp4PropagateDeepSpace(benchmark::State& state) {
+  const sgp4::Sgp4Propagator propagator(geo_tle());
+  double tsince = 0.0;
+  orbit::StateVector out;
+  for (auto _ : state) {
+    tsince += 1.0;
+    benchmark::DoNotOptimize(propagator.try_propagate_minutes(tsince, out));
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Sgp4PropagateDeepSpace);
+
+void BM_TleFormat(benchmark::State& state) {
+  const tle::Tle t = starlink_tle();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tle::format_tle(t));
+  }
+}
+BENCHMARK(BM_TleFormat);
+
+void BM_TleParse(benchmark::State& state) {
+  const tle::TleLines lines = tle::format_tle(starlink_tle());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tle::parse_tle(lines.line1, lines.line2));
+  }
+}
+BENCHMARK(BM_TleParse);
+
+}  // namespace

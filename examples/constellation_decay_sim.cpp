@@ -1,0 +1,85 @@
+// Driving the substrate directly: launch a batch, inject a storm-induced
+// failure, watch the ground-truth decay, then geolocate the doomed satellite
+// from its own emitted TLEs with the bundled SGP4 — the full stack below the
+// measurement pipeline.
+#include <cstdio>
+#include <iostream>
+
+#include "common/units.hpp"
+#include "orbit/frames.hpp"
+#include "sgp4/sgp4.hpp"
+#include "simulation/constellation.hpp"
+#include "spaceweather/generator.hpp"
+
+using namespace cosmicdance;
+
+int main() {
+  // A quiet background with one scripted severe storm.
+  spaceweather::DstGeneratorConfig dst_config;
+  dst_config.start = timeutil::make_datetime(2023, 1, 1);
+  dst_config.hours = 24 * 240;
+  dst_config.include_random_storms = false;
+  dst_config.scripted_storms.push_back(
+      {timeutil::make_datetime(2023, 3, 1, 6), -220.0, 4.0, 3.0, 10.0});
+  const spaceweather::DstIndex dst =
+      spaceweather::DstGenerator(dst_config).generate();
+
+  simulation::ConstellationConfig config;
+  config.seed = 99;
+  config.start = timeutil::make_datetime(2023, 1, 1);
+  config.end = timeutil::make_datetime(2023, 9, 1);
+  config.dst = &dst;
+  config.record_truth = true;
+  config.failures.enabled = false;  // we inject the failure ourselves
+
+  simulation::LaunchBatch batch;
+  batch.time = config.start;
+  batch.count = 4;
+  batch.prelaunched = true;
+  config.launches.push_back(batch);
+
+  const int victim = config.first_catalog_number;
+  config.forced_failures.push_back({victim,
+                                    timeutil::make_datetime(2023, 3, 1, 10),
+                                    simulation::FailureKind::kPermanentDecay,
+                                    0.0});
+
+  auto result = simulation::ConstellationSimulator(config).run();
+  std::printf("Launched %d satellites; %d reentered during the run.\n",
+              result.launched, result.reentered);
+
+  std::printf("\nGround-truth altitude of #%d (storm hits 2023-03-01):\n", victim);
+  const auto& truth = result.truth.at(victim);
+  for (std::size_t i = 0; i < truth.size(); i += 14) {
+    const auto dt = timeutil::from_julian(truth[i].jd);
+    std::printf("  %s  %7.1f km  [%s]\n", dt.to_string().substr(0, 10).c_str(),
+                truth[i].altitude_km,
+                simulation::to_string(truth[i].mode).c_str());
+  }
+
+  // Now pretend we are an outside observer with only the TLEs: initialise
+  // SGP4 from the victim's records and compute sub-satellite points.
+  std::printf("\nSub-satellite points from the victim's emitted TLEs:\n");
+  const auto history = result.catalog.history(victim);
+  int printed = 0;
+  for (std::size_t i = 0; i < history.size() && printed < 8; i += 40) {
+    const tle::Tle& record = history[i];
+    if (record.altitude_km() > 650.0) continue;  // gross tracking error
+    const sgp4::Sgp4Propagator propagator(record);
+    const orbit::StateVector sv = propagator.propagate_minutes(0.0);
+    const orbit::Vec3 ecef = orbit::teme_to_ecef(sv.position_km, record.epoch_jd);
+    const orbit::Geodetic geo = orbit::ecef_to_geodetic(ecef);
+    const auto dt = timeutil::from_julian(record.epoch_jd);
+    std::printf("  %s  lat %6.1f deg  lon %7.1f deg  alt %7.1f km  B* %.2e\n",
+                dt.to_string().substr(0, 10).c_str(),
+                units::rad2deg(geo.latitude_rad),
+                units::rad2deg(geo.longitude_rad), geo.altitude_km,
+                record.bstar);
+    ++printed;
+  }
+
+  std::cout << "\nNote how the TLE-derived altitude and B* track the decay the\n"
+               "ground truth shows - that observability is what CosmicDance's\n"
+               "measurement pipeline is built on.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: the minimal CosmicDance workflow.
+//
+//  1. obtain an hourly Dst series            (here: the bundled synthesiser)
+//  2. obtain a TLE catalog                   (here: the bundled constellation
+//                                             simulator; in production, files
+//                                             from CelesTrak / Space-Track via
+//                                             CosmicDance::from_files)
+//  3. build the pipeline: it cleans the TLEs (outliers, orbit raising) and
+//     orders both datasets in time
+//  4. ask happens-closely-after questions.
+#include <cstdio>
+#include <iostream>
+#include <algorithm>
+
+#include "core/pipeline.hpp"
+#include "simulation/scenario.hpp"
+#include "spaceweather/generator.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace cosmicdance;
+
+int main() {
+  // -- 1. solar-activity data -------------------------------------------------
+  const spaceweather::DstIndex dst =
+      spaceweather::DstGenerator(
+          spaceweather::DstGenerator::paper_window_2020_2024())
+          .generate();
+  std::printf("Dst series: %zu hourly samples starting %s\n", dst.size(),
+              dst.start_datetime().to_string().c_str());
+
+  // -- 2. satellite trajectory data -------------------------------------------
+  auto scenario = simulation::scenario::paper_window(&dst, /*per_batch=*/3,
+                                                     /*cadence_days=*/21.0);
+  auto run = simulation::ConstellationSimulator(scenario).run();
+  std::printf("TLE catalog: %zu records for %zu satellites\n",
+              run.catalog.record_count(), run.catalog.satellite_count());
+
+  // -- 3. the pipeline ---------------------------------------------------------
+  const core::CosmicDance pipeline(dst, std::move(run.catalog));
+  std::printf("Cleaned tracks: %zu satellites\n", pipeline.tracks().size());
+
+  // -- 4. questions -------------------------------------------------------------
+  const auto storms = pipeline.storms();
+  std::printf("\nDetected %zu geomagnetic storms; strongest five:\n",
+              storms.size());
+  auto sorted = storms;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.peak_dst_nt < b.peak_dst_nt; });
+  for (std::size_t i = 0; i < sorted.size() && i < 5; ++i) {
+    std::printf("  %s  peak %7.1f nT  (%s, %ld h)\n",
+                sorted[i].start_datetime().to_string().c_str(),
+                sorted[i].peak_dst_nt,
+                spaceweather::to_string(sorted[i].category).c_str(),
+                sorted[i].duration_hours());
+  }
+
+  const double p95 = pipeline.dst_threshold_at_percentile(95.0);
+  const auto changes = pipeline.altitude_changes_for_storms(p95);
+  if (!changes.empty()) {
+    const auto s = stats::summarize(changes);
+    std::printf(
+        "\nAltitude change within 30 days after >95th-ptile storms\n"
+        "  (%zu satellite-event samples): median %.2f km, p95 %.2f km, "
+        "max %.1f km\n",
+        s.count, s.median, s.p95, s.max);
+  }
+  std::printf("\nDone. See storm_impact_report / superstorm_replay for more.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Per-storm impact report: for each significant geomagnetic storm in the
+// window, the happens-closely-after view of the fleet — how many satellites
+// were observable, how many passed the pre-decay filter, and the distribution
+// of their post-event altitude excursions and drag changes.
+#include <algorithm>
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "io/table.hpp"
+#include "simulation/scenario.hpp"
+#include "spaceweather/generator.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace cosmicdance;
+
+int main() {
+  const spaceweather::DstIndex dst =
+      spaceweather::DstGenerator(
+          spaceweather::DstGenerator::paper_window_2020_2024())
+          .generate();
+  auto scenario = simulation::scenario::paper_window(&dst, 4, 16.0);
+  auto run = simulation::ConstellationSimulator(scenario).run();
+  const core::CosmicDance pipeline(dst, std::move(run.catalog));
+
+  // Storms worth reporting: peak at or below the 95th-ptile threshold.
+  const double p95 = pipeline.dst_threshold_at_percentile(95.0);
+  auto storms = pipeline.storms();
+  storms.erase(std::remove_if(storms.begin(), storms.end(),
+                              [&](const auto& s) { return s.peak_dst_nt > p95; }),
+               storms.end());
+
+  std::cout << "Storm-by-storm impact report (" << storms.size()
+            << " storms with peak <= " << p95 << " nT; "
+            << pipeline.tracks().size() << " satellites)\n";
+
+  io::TablePrinter table({"storm onset", "peak nT", "category", "hours", "sats",
+                          "median dKm", "p95 dKm", "max dKm", "p95 drag x"});
+  for (const auto& storm : storms) {
+    const double epoch = timeutil::julian_from_hour_index(storm.peak_hour);
+    const std::vector<double> epochs{epoch};
+    const auto changes = pipeline.correlator().altitude_change_samples(
+        pipeline.tracks(), epochs);
+    const auto drags = pipeline.correlator().drag_change_samples(
+        pipeline.tracks(), epochs);
+    if (changes.empty()) continue;
+    const auto s = stats::summarize(changes);
+    table.add_row({storm.start_datetime().to_string().substr(0, 10),
+                   io::TablePrinter::num(storm.peak_dst_nt, 1),
+                   spaceweather::to_string(storm.category),
+                   std::to_string(storm.duration_hours()),
+                   std::to_string(s.count), io::TablePrinter::num(s.median, 2),
+                   io::TablePrinter::num(s.p95, 2),
+                   io::TablePrinter::num(s.max, 1),
+                   drags.empty()
+                       ? "-"
+                       : io::TablePrinter::num(stats::percentile(drags, 95.0), 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading guide: dKm is each satellite's largest altitude\n"
+               "deviation from its pre-storm altitude within 30 days; 'drag x'\n"
+               "is the post/pre ratio of the TLE B* term.  Deeper and longer\n"
+               "storms push both tails up (the paper's Figs 5-6).\n";
+  return 0;
+}

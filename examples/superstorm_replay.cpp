@@ -1,0 +1,74 @@
+// Replay of the May 10-11 2024 super-storm (the paper's Fig 7 scenario),
+// plus a counterfactual: the same storm without the operator's proactive
+// response.  Demonstrates how the pipeline corroborates (or would have
+// contradicted) Starlink's public statement of "5x drag, no losses".
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "io/table.hpp"
+#include "simulation/scenario.hpp"
+#include "spaceweather/generator.hpp"
+
+using namespace cosmicdance;
+
+namespace {
+
+void replay(const spaceweather::DstIndex& dst, bool proactive, int fleet) {
+  auto scenario = simulation::scenario::may_2024(&dst, fleet);
+  scenario.failures.proactive_response = proactive;
+  auto run = simulation::ConstellationSimulator(scenario).run();
+  const int launched = run.launched;
+  const int lost = run.launched - run.tracked_at_end;
+  const core::CosmicDance pipeline(dst, std::move(run.catalog));
+
+  const double start = timeutil::to_julian(timeutil::make_datetime(2024, 5, 4));
+  const double end = timeutil::to_julian(timeutil::make_datetime(2024, 5, 31));
+  const auto rows = core::superstorm_panel(pipeline.tracks(), dst, start, end);
+
+  io::print_heading(std::cout,
+                    proactive ? "May 2024 replay - proactive response ON "
+                                "(what actually happened)"
+                              : "May 2024 replay - proactive response OFF "
+                                "(counterfactual)");
+  io::TablePrinter table(
+      {"date", "min Dst nT", "B* median", "B* p95", "tracked"});
+  double quiet_median = 0.0;
+  double peak_median = 0.0;
+  for (const auto& row : rows) {
+    const auto dt = timeutil::from_julian(row.day_jd + 0.5);
+    table.add_row({dt.to_string().substr(0, 10),
+                   io::TablePrinter::num(row.dst_min_nt, 0),
+                   io::TablePrinter::num(row.bstar_median * 1e4, 2) + "e-4",
+                   io::TablePrinter::num(row.bstar_p95 * 1e4, 2) + "e-4",
+                   std::to_string(row.tracked_satellites)});
+    if (dt.day <= 8 && dt.month == 5) {
+      quiet_median = std::max(quiet_median, row.bstar_median);
+    }
+    peak_median = std::max(peak_median, row.bstar_median);
+  }
+  table.print(std::cout);
+  std::printf("\n  drag amplification (median B*): %.1fx\n",
+              peak_median / quiet_median);
+  std::printf("  satellites lost: %d of %d\n", lost, launched);
+}
+
+}  // namespace
+
+int main() {
+  const spaceweather::DstIndex dst =
+      spaceweather::DstGenerator(
+          spaceweather::DstGenerator::with_may_2024_superstorm())
+          .generate();
+  std::printf("Super-storm peak: %.0f nT (paper/WDC: -412 nT)\n", dst.minimum());
+
+  replay(dst, /*proactive=*/true, /*fleet=*/900);
+  replay(dst, /*proactive=*/false, /*fleet=*/900);
+
+  std::cout << "\nStarlink's FCC response reported ~5x drag with zero losses\n"
+               "thanks to cross-section reduction and an attentive ops\n"
+               "response; the counterfactual shows what the same storm does\n"
+               "to an unmitigated fleet.\n";
+  return 0;
+}

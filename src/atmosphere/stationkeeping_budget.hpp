@@ -1,0 +1,20 @@
+// Station-keeping propulsion budget: the delta-v a satellite must spend to
+// cancel drag (Starlink's FCC response credits "a capable propulsion
+// system" for riding out the May-2024 storm; this quantifies the claim).
+#pragma once
+
+#include "spaceweather/dst_index.hpp"
+
+namespace cosmicdance::atmosphere {
+
+/// Drag make-up delta-v (m/s) accumulated over [jd_start, jd_start + days]
+/// for a satellite holding a circular orbit at `altitude_km` with ballistic
+/// coefficient `ballistic_m2_kg`.  When `dst` is provided, density follows
+/// the storm-coupled model; otherwise the quiet baseline.
+///
+/// dv/dt equals the drag deceleration: 0.5 * rho * v^2 * B.
+[[nodiscard]] double stationkeeping_delta_v_ms(
+    double altitude_km, double ballistic_m2_kg, double jd_start, double days,
+    const spaceweather::DstIndex* dst = nullptr, double step_hours = 1.0);
+
+}  // namespace cosmicdance::atmosphere

@@ -1,0 +1,46 @@
+// Error hierarchy for the CosmicDance libraries.
+//
+// All recoverable failures are reported via exceptions derived from
+// cosmicdance::Error (itself a std::runtime_error), so callers can catch
+// either the broad base or a narrow category.  Functions that cannot fail
+// are marked noexcept at their declaration sites.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cosmicdance {
+
+/// Base class of every exception thrown by CosmicDance libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed textual input (TLE lines, WDC records, CSV rows, ...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Semantically invalid values (out-of-range dates, negative durations, ...).
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const std::string& what)
+      : Error("validation error: " + what) {}
+};
+
+/// Orbit propagation failure (SGP4 error codes, decayed satellites, ...).
+class PropagationError : public Error {
+ public:
+  explicit PropagationError(const std::string& what)
+      : Error("propagation error: " + what) {}
+};
+
+/// Filesystem / stream failures.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+}  // namespace cosmicdance

@@ -1,0 +1,58 @@
+// Deterministic random number generation for simulators and generators.
+//
+// Every stochastic component in CosmicDance (Dst synthesis, tracking noise,
+// launch jitter, failure draws) takes an explicit seed so that datasets,
+// tests and benches are reproducible bit-for-bit across runs and machines.
+// The core is xoshiro256**, seeded via splitmix64 (the standard recipe).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cosmicdance {
+
+/// Deterministic, explicitly-seeded pseudo random number generator with the
+/// distribution helpers the simulators need.  Satisfies
+/// std::uniform_random_bit_generator so it can also drive <random>.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  /// Next raw 64-bit draw (xoshiro256**).
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Standard normal draw (Box-Muller, cached spare).
+  [[nodiscard]] double normal() noexcept;
+  /// Normal draw with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+  /// Exponential draw with the given mean (mean = 1/lambda).
+  [[nodiscard]] double exponential(double mean) noexcept;
+  /// Log-normal draw parameterised by the *underlying* normal mu/sigma.
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept;
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+  /// Poisson draw with the given mean (Knuth for small, normal approx for large).
+  [[nodiscard]] std::uint64_t poisson(double mean) noexcept;
+
+  /// Derive an independent child generator (for per-satellite streams).
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace cosmicdance

@@ -1,0 +1,37 @@
+// Physical unit conversion constants shared across the libraries.
+//
+// Everything in CosmicDance uses kilometres, seconds, radians and hours as
+// the canonical units unless a name explicitly says otherwise (e.g.
+// mean_motion_revday).  These constants centralise the conversions.
+#pragma once
+
+#include <numbers>
+
+namespace cosmicdance::units {
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Degrees -> radians.
+inline constexpr double kDegToRad = kPi / 180.0;
+/// Radians -> degrees.
+inline constexpr double kRadToDeg = 180.0 / kPi;
+
+/// Minutes in a day (TLE mean motion is rev/day; SGP4 works in minutes).
+inline constexpr double kMinutesPerDay = 1440.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kHoursPerDay = 24.0;
+inline constexpr double kSecondsPerMinute = 60.0;
+
+/// Convert degrees to radians.
+[[nodiscard]] constexpr double deg2rad(double deg) noexcept { return deg * kDegToRad; }
+/// Convert radians to degrees.
+[[nodiscard]] constexpr double rad2deg(double rad) noexcept { return rad * kRadToDeg; }
+
+/// Wrap an angle into [0, 2*pi).
+[[nodiscard]] double wrap_two_pi(double rad) noexcept;
+/// Wrap an angle into (-pi, pi].
+[[nodiscard]] double wrap_pi(double rad) noexcept;
+
+}  // namespace cosmicdance::units

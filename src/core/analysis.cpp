@@ -1,0 +1,84 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "stats/descriptive.hpp"
+#include "timeutil/hour_axis.hpp"
+
+namespace cosmicdance::core {
+
+std::vector<double> all_altitudes(std::span<const SatelliteTrack> tracks) {
+  std::vector<double> altitudes;
+  for (const SatelliteTrack& track : tracks) {
+    for (const TrajectorySample& sample : track.samples()) {
+      altitudes.push_back(sample.altitude_km);
+    }
+  }
+  return altitudes;
+}
+
+std::vector<SuperstormPanelRow> superstorm_panel(
+    std::span<const SatelliteTrack> tracks, const spaceweather::DstIndex& dst,
+    double start_jd, double end_jd) {
+  std::vector<SuperstormPanelRow> rows;
+  for (double day = std::floor(start_jd - 0.5) + 0.5; day < end_jd; day += 1.0) {
+    SuperstormPanelRow row;
+    row.day_jd = day;
+
+    // Most negative Dst of the day.
+    double dst_min = 0.0;
+    for (int h = 0; h < 24; ++h) {
+      const timeutil::HourIndex hour =
+          timeutil::hour_index_from_julian(day + h / 24.0);
+      if (dst.covers(hour)) dst_min = std::min(dst_min, dst.at(hour));
+    }
+    row.dst_min_nt = dst_min;
+
+    std::vector<double> bstars;
+    std::set<int> seen;
+    for (const SatelliteTrack& track : tracks) {
+      const auto window = track.between(day, day + 1.0);
+      for (const TrajectorySample& sample : window) bstars.push_back(sample.bstar);
+      // "Tracked" uses a trailing 3-day window: a satellite does not vanish
+      // from the catalog just because its refresh interval skipped a day
+      // (intervals stretch to 154 h).
+      if (!window.empty() || !track.between(day - 2.0, day).empty()) {
+        seen.insert(track.catalog_number());
+      }
+    }
+    row.tracked_satellites = static_cast<long>(seen.size());
+    row.tle_count = static_cast<long>(bstars.size());
+    if (!bstars.empty()) {
+      row.bstar_mean = stats::mean(bstars);
+      row.bstar_median = stats::median(bstars);
+      row.bstar_p95 = stats::percentile(bstars, 95.0);
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<TrackTimeline> track_timelines(std::span<const SatelliteTrack> tracks,
+                                           std::span<const int> catalog_numbers) {
+  std::vector<TrackTimeline> timelines;
+  for (const int id : catalog_numbers) {
+    const auto it =
+        std::find_if(tracks.begin(), tracks.end(), [id](const SatelliteTrack& t) {
+          return t.catalog_number() == id;
+        });
+    if (it == tracks.end()) continue;
+    TrackTimeline timeline;
+    timeline.catalog_number = id;
+    for (const TrajectorySample& sample : it->samples()) {
+      timeline.epoch_jd.push_back(sample.epoch_jd);
+      timeline.altitude_km.push_back(sample.altitude_km);
+      timeline.bstar.push_back(sample.bstar);
+    }
+    timelines.push_back(std::move(timeline));
+  }
+  return timelines;
+}
+
+}  // namespace cosmicdance::core

@@ -1,0 +1,47 @@
+// Figure-level analyses: each function assembles exactly the data series
+// one of the paper's evaluation figures plots (see DESIGN.md's index).
+#pragma once
+
+#include <vector>
+
+#include "core/correlator.hpp"
+#include "core/track.hpp"
+#include "spaceweather/dst_index.hpp"
+#include "stats/ecdf.hpp"
+
+namespace cosmicdance::core {
+
+/// Fig 10: altitude samples of every TLE in a track set (raw tracks give
+/// panel (a); cleaned tracks give panel (b)).
+[[nodiscard]] std::vector<double> all_altitudes(std::span<const SatelliteTrack> tracks);
+
+/// Fig 7: one row per UT day across an analysis window.
+struct SuperstormPanelRow {
+  double day_jd = 0.0;
+  double dst_min_nt = 0.0;     ///< most negative hourly Dst of the day
+  double bstar_mean = 0.0;
+  double bstar_median = 0.0;
+  double bstar_p95 = 0.0;
+  long tracked_satellites = 0;  ///< distinct satellites with a TLE that day
+  long tle_count = 0;
+};
+
+/// Build the Fig 7 panel between two Julian dates (inclusive start day,
+/// exclusive end).  Days without TLEs carry zero drag statistics.
+[[nodiscard]] std::vector<SuperstormPanelRow> superstorm_panel(
+    std::span<const SatelliteTrack> tracks, const spaceweather::DstIndex& dst,
+    double start_jd, double end_jd);
+
+/// Fig 3: the merged per-satellite time series (Dst is plotted separately).
+struct TrackTimeline {
+  int catalog_number = 0;
+  std::vector<double> epoch_jd;
+  std::vector<double> altitude_km;
+  std::vector<double> bstar;
+};
+
+/// Extract plot-ready timelines for specific satellites.
+[[nodiscard]] std::vector<TrackTimeline> track_timelines(
+    std::span<const SatelliteTrack> tracks, std::span<const int> catalog_numbers);
+
+}  // namespace cosmicdance::core

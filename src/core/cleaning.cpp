@@ -1,0 +1,73 @@
+#include "core/cleaning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+
+namespace cosmicdance::core {
+
+std::size_t remove_outliers(SatelliteTrack& track, const CleaningConfig& config) {
+  const std::size_t before = track.size();
+  std::vector<TrajectorySample> kept;
+  kept.reserve(before);
+  for (const TrajectorySample& sample : track.samples()) {
+    if (sample.altitude_km > config.outlier_min_altitude_km &&
+        sample.altitude_km <= config.outlier_max_altitude_km) {
+      kept.push_back(sample);
+    }
+  }
+  track.set_samples(std::move(kept));
+  return before - track.size();
+}
+
+std::size_t remove_orbit_raising(SatelliteTrack& track,
+                                 const CleaningConfig& config) {
+  if (track.empty()) return 0;
+  std::vector<double> altitudes;
+  altitudes.reserve(track.size());
+  for (const TrajectorySample& s : track.samples()) {
+    altitudes.push_back(s.altitude_km);
+  }
+  const double shell = stats::percentile(altitudes, config.shell_percentile);
+
+  const auto& samples = track.samples();
+  std::size_t first_at_shell = samples.size();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].altitude_km >= shell - config.raise_margin_km) {
+      first_at_shell = i;
+      break;
+    }
+  }
+  if (first_at_shell == 0 || first_at_shell == samples.size()) return 0;
+  std::vector<TrajectorySample> kept(samples.begin() +
+                                         static_cast<std::ptrdiff_t>(first_at_shell),
+                                     samples.end());
+  const std::size_t removed = first_at_shell;
+  track.set_samples(std::move(kept));
+  return removed;
+}
+
+bool is_pre_decayed(const SatelliteTrack& track, double event_jd,
+                    const CleaningConfig& config) {
+  if (track.empty()) return true;
+  const TrajectorySample* pre = track.at_or_before(event_jd);
+  if (pre == nullptr) return true;
+  if (event_jd - pre->epoch_jd > config.pre_event_max_gap_days) return true;
+  return std::fabs(pre->altitude_km - track.median_altitude_km()) >
+         config.predecay_threshold_km;
+}
+
+std::vector<SatelliteTrack> clean_tracks(std::vector<SatelliteTrack> tracks,
+                                         const CleaningConfig& config) {
+  std::vector<SatelliteTrack> cleaned;
+  cleaned.reserve(tracks.size());
+  for (SatelliteTrack& track : tracks) {
+    remove_outliers(track, config);
+    remove_orbit_raising(track, config);
+    if (!track.empty()) cleaned.push_back(std::move(track));
+  }
+  return cleaned;
+}
+
+}  // namespace cosmicdance::core

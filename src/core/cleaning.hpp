@@ -1,0 +1,54 @@
+// The paper's data-cleaning rules (§3 "Cleaning the data", §A.2).
+#pragma once
+
+#include <vector>
+
+#include "core/track.hpp"
+
+namespace cosmicdance::core {
+
+struct CleaningConfig {
+  /// TLEs with derived altitude outside (min, max] are tracking errors
+  /// (paper: > 650 km given Starlink's operational shells; Fig 10).
+  double outlier_min_altitude_km = 100.0;
+  double outlier_max_altitude_km = 650.0;
+
+  /// Orbit-raising filter: drop each satellite's history before it first
+  /// comes within this margin of its operational shell altitude.
+  double raise_margin_km = 5.0;
+  /// Percentile of a track's altitudes used as the operational-shell
+  /// estimate (robust against both the staging window and later decay).
+  double shell_percentile = 90.0;
+
+  /// Pre-decay filter: a satellite whose altitude immediately before an
+  /// event differs from its long-term median by more than this is already
+  /// decaying and is excluded from event analyses (paper: 5 km,
+  /// "empirically set; configurable").
+  double predecay_threshold_km = 5.0;
+  /// The pre-event sample must be at most this old to count as
+  /// "immediately before" the event.
+  double pre_event_max_gap_days = 3.0;
+};
+
+/// Remove gross-tracking-error samples from a track (returns the count
+/// removed).  The paper's Fig 10(a)->(b) step.
+std::size_t remove_outliers(SatelliteTrack& track, const CleaningConfig& config = {});
+
+/// Remove the initial orbit-raising window (returns the count removed).
+/// Tracks that never reach their shell (lost in staging) are left intact —
+/// the pre-decay filter excludes them from event analyses downstream.
+std::size_t remove_orbit_raising(SatelliteTrack& track,
+                                 const CleaningConfig& config = {});
+
+/// True when the satellite was already decaying at `event_jd`: either no
+/// usable sample immediately before the event, or the pre-event altitude
+/// deviates from the track's long-term median by more than the threshold.
+[[nodiscard]] bool is_pre_decayed(const SatelliteTrack& track, double event_jd,
+                                  const CleaningConfig& config = {});
+
+/// Apply outlier + orbit-raising cleaning to every track, dropping tracks
+/// left empty.
+[[nodiscard]] std::vector<SatelliteTrack> clean_tracks(
+    std::vector<SatelliteTrack> tracks, const CleaningConfig& config = {});
+
+}  // namespace cosmicdance::core

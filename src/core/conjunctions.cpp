@@ -1,0 +1,94 @@
+#include "core/conjunctions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "orbit/state.hpp"
+#include "sgp4/sgp4.hpp"
+
+namespace cosmicdance::core {
+namespace {
+
+double separation_km(const sgp4::Sgp4Propagator& pa,
+                     const sgp4::Sgp4Propagator& pb, double jd) {
+  return orbit::norm(
+      orbit::sub(pa.propagate_jd(jd).position_km, pb.propagate_jd(jd).position_km));
+}
+
+}  // namespace
+
+std::optional<Conjunction> closest_approach(const tle::Tle& a, const tle::Tle& b,
+                                            double jd_start, double days,
+                                            const ConjunctionConfig& config) {
+  if (days <= 0.0 || config.coarse_step_seconds <= 0.0) {
+    throw ValidationError("conjunction window and step must be positive");
+  }
+  try {
+    const sgp4::Sgp4Propagator pa(a);
+    const sgp4::Sgp4Propagator pb(b);
+
+    const double step_days = config.coarse_step_seconds / units::kSecondsPerDay;
+    double best_jd = jd_start;
+    double best_distance = 1e30;
+    for (double jd = jd_start; jd <= jd_start + days; jd += step_days) {
+      const double d = separation_km(pa, pb, jd);
+      if (d < best_distance) {
+        best_distance = d;
+        best_jd = jd;
+      }
+    }
+
+    // Ternary-search refinement inside the bracketing steps (the separation
+    // is locally unimodal around a flyby).
+    double lo = best_jd - step_days;
+    double hi = best_jd + step_days;
+    for (int i = 0; i < 60; ++i) {
+      const double m1 = lo + (hi - lo) / 3.0;
+      const double m2 = hi - (hi - lo) / 3.0;
+      if (separation_km(pa, pb, m1) < separation_km(pa, pb, m2)) {
+        hi = m2;
+      } else {
+        lo = m1;
+      }
+    }
+    const double refined_jd = (lo + hi) / 2.0;
+    const double refined_distance = separation_km(pa, pb, refined_jd);
+
+    Conjunction conjunction;
+    conjunction.catalog_a = a.catalog_number;
+    conjunction.catalog_b = b.catalog_number;
+    if (refined_distance < best_distance) {
+      conjunction.jd = refined_jd;
+      conjunction.distance_km = refined_distance;
+    } else {
+      conjunction.jd = best_jd;
+      conjunction.distance_km = best_distance;
+    }
+    return conjunction;
+  } catch (const PropagationError&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<Conjunction> screen_against(const tle::Tle& object,
+                                        std::span<const tle::Tle> others,
+                                        double jd_start, double days,
+                                        const ConjunctionConfig& config) {
+  std::vector<Conjunction> hits;
+  for (const tle::Tle& other : others) {
+    if (other.catalog_number == object.catalog_number) continue;
+    const auto approach = closest_approach(object, other, jd_start, days, config);
+    if (approach.has_value() && approach->distance_km <= config.threshold_km) {
+      hits.push_back(*approach);
+    }
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const Conjunction& a, const Conjunction& b) {
+              return a.distance_km < b.distance_km;
+            });
+  return hits;
+}
+
+}  // namespace cosmicdance::core

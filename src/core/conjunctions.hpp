@@ -1,0 +1,49 @@
+// Conjunction screening from TLE pairs (paper §A.2: "satellite operators
+// use these TLEs to ... assess the collision probability in advance").
+//
+// Coarse-scan + refine search for close approaches between two SGP4
+// trajectories — the concrete realisation of what shell trespassing means
+// for collision risk.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/track.hpp"
+#include "tle/tle.hpp"
+
+namespace cosmicdance::core {
+
+/// One close approach between two objects.
+struct Conjunction {
+  int catalog_a = 0;
+  int catalog_b = 0;
+  double jd = 0.0;
+  double distance_km = 0.0;
+};
+
+struct ConjunctionConfig {
+  /// Report approaches closer than this (LEO screening thresholds are
+  /// typically 5-10 km for alerting).
+  double threshold_km = 10.0;
+  /// Coarse scan step.  Must under-sample the relative-motion period; 30 s
+  /// resolves the ~5-10 km/s closing speeds at LEO to ~km scale before
+  /// refinement.
+  double coarse_step_seconds = 30.0;
+};
+
+/// Minimum distance between two propagated TLEs over [jd_start, jd_start +
+/// days], found by coarse scan plus ternary refinement of the best bracket.
+/// Returns nullopt when either object fails to propagate anywhere in the
+/// window (e.g. decays).
+[[nodiscard]] std::optional<Conjunction> closest_approach(
+    const tle::Tle& a, const tle::Tle& b, double jd_start, double days,
+    const ConjunctionConfig& config = {});
+
+/// Screen one object against a set: all approaches below the threshold,
+/// sorted by distance.  Objects that fail to propagate are skipped.
+[[nodiscard]] std::vector<Conjunction> screen_against(
+    const tle::Tle& object, std::span<const tle::Tle> others, double jd_start,
+    double days, const ConjunctionConfig& config = {});
+
+}  // namespace cosmicdance::core

@@ -1,0 +1,197 @@
+#include "core/correlator.hpp"
+
+#include "spaceweather/gscale.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+#include "timeutil/hour_axis.hpp"
+
+namespace cosmicdance::core {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+EventCorrelator::EventCorrelator(const spaceweather::DstIndex* dst,
+                                 CorrelatorConfig config)
+    : dst_(dst), config_(config) {
+  if (dst_ == nullptr) throw ValidationError("correlator requires a Dst series");
+}
+
+PostEventEnvelope EventCorrelator::post_event_envelope(
+    std::span<const SatelliteTrack> tracks, double event_jd, int days,
+    EnvelopeSelection selection) const {
+  if (days <= 0) throw ValidationError("envelope window must be positive");
+  PostEventEnvelope envelope;
+  envelope.event_jd = event_jd;
+  envelope.days = days;
+
+  for (const SatelliteTrack& track : tracks) {
+    if (is_pre_decayed(track, event_jd, config_.cleaning)) continue;
+    const TrajectorySample* pre = track.at_or_before(event_jd);
+    const auto window = track.between(event_jd, event_jd + days);
+    if (window.empty()) continue;
+
+    // Per-day |altitude - pre| profile.
+    std::vector<double> profile(static_cast<std::size_t>(days), kNan);
+    for (const TrajectorySample& sample : window) {
+      const auto day = static_cast<std::size_t>(sample.epoch_jd - event_jd);
+      if (day >= profile.size()) continue;
+      const double deviation = std::fabs(sample.altitude_km - pre->altitude_km);
+      // Keep the day's largest deviation (conservative per-day summary).
+      if (!std::isfinite(profile[day]) || deviation > profile[day]) {
+        profile[day] = deviation;
+      }
+    }
+    // Forward-fill days without a TLE: the altitude persists between
+    // records (refresh gaps reach 154 h), so the last known deviation is
+    // the best per-day estimate and keeps the daily aggregates from being
+    // dominated by whichever satellites happened to be observed that day.
+    for (std::size_t day = 1; day < profile.size(); ++day) {
+      if (!std::isfinite(profile[day]) && std::isfinite(profile[day - 1])) {
+        profile[day] = profile[day - 1];
+      }
+    }
+
+    if (selection == EnvelopeSelection::kAffectedHumped) {
+      // The Fig 4a rule on |altitude - long-term median|.
+      const double long_term = track.median_altitude_km();
+      std::vector<double> diffs;
+      diffs.reserve(window.size());
+      for (const TrajectorySample& sample : window) {
+        diffs.push_back(std::fabs(sample.altitude_km - long_term));
+      }
+      const double window_median = stats::median(diffs);
+      const double first_diff = diffs.front();
+      const double last_diff = diffs.back();
+      if (!(window_median > first_diff && window_median > last_diff &&
+            window_median >= config_.humped_min_excursion_km)) {
+        continue;
+      }
+    }
+
+    envelope.satellites.push_back(track.catalog_number());
+    envelope.per_satellite.push_back(std::move(profile));
+  }
+
+  envelope.median_km.assign(static_cast<std::size_t>(days), kNan);
+  envelope.p95_km.assign(static_cast<std::size_t>(days), kNan);
+  for (int d = 0; d < days; ++d) {
+    std::vector<double> day_values;
+    for (const auto& profile : envelope.per_satellite) {
+      const double v = profile[static_cast<std::size_t>(d)];
+      if (std::isfinite(v)) day_values.push_back(v);
+    }
+    if (day_values.empty()) continue;
+    envelope.median_km[static_cast<std::size_t>(d)] = stats::median(day_values);
+    envelope.p95_km[static_cast<std::size_t>(d)] =
+        stats::percentile(day_values, 95.0);
+  }
+  return envelope;
+}
+
+std::vector<double> EventCorrelator::altitude_change_samples(
+    std::span<const SatelliteTrack> tracks,
+    std::span<const double> event_jds) const {
+  std::vector<double> samples;
+  for (const double event_jd : event_jds) {
+    for (const SatelliteTrack& track : tracks) {
+      if (is_pre_decayed(track, event_jd, config_.cleaning)) continue;
+      const TrajectorySample* pre = track.at_or_before(event_jd);
+      const auto window = track.between(event_jd, event_jd + config_.window_days);
+      if (window.empty()) continue;
+      double max_deviation = 0.0;
+      for (const TrajectorySample& sample : window) {
+        max_deviation = std::max(max_deviation,
+                                 std::fabs(sample.altitude_km - pre->altitude_km));
+      }
+      samples.push_back(max_deviation);
+    }
+  }
+  return samples;
+}
+
+std::vector<double> EventCorrelator::drag_change_samples(
+    std::span<const SatelliteTrack> tracks,
+    std::span<const double> event_jds) const {
+  std::vector<double> samples;
+  for (const double event_jd : event_jds) {
+    for (const SatelliteTrack& track : tracks) {
+      if (is_pre_decayed(track, event_jd, config_.cleaning)) continue;
+      const TrajectorySample* pre = track.at_or_before(event_jd);
+      if (pre->bstar <= 0.0) continue;
+      const auto window = track.between(event_jd, event_jd + config_.window_days);
+      if (window.empty()) continue;
+      double max_bstar = 0.0;
+      for (const TrajectorySample& sample : window) {
+        max_bstar = std::max(max_bstar, sample.bstar);
+      }
+      if (max_bstar <= 0.0) continue;
+      samples.push_back(max_bstar / pre->bstar);
+    }
+  }
+  return samples;
+}
+
+std::vector<double> EventCorrelator::storm_event_epochs(double max_peak_nt) const {
+  std::vector<double> epochs;
+  const spaceweather::StormDetector detector;
+  for (const spaceweather::StormEvent& event : detector.detect(*dst_)) {
+    if (event.peak_dst_nt <= max_peak_nt) {
+      epochs.push_back(timeutil::julian_from_hour_index(event.peak_hour));
+    }
+  }
+  return epochs;
+}
+
+std::pair<std::vector<double>, std::vector<double>>
+EventCorrelator::storm_epochs_by_duration(double max_peak_nt,
+                                          double split_hours) const {
+  std::pair<std::vector<double>, std::vector<double>> result;
+  const spaceweather::StormDetector detector;
+  for (const spaceweather::StormEvent& event : detector.detect(*dst_)) {
+    if (event.peak_dst_nt > max_peak_nt) continue;
+    const double epoch = timeutil::julian_from_hour_index(event.peak_hour);
+    if (static_cast<double>(event.duration_hours()) < split_hours) {
+      result.first.push_back(epoch);
+    } else {
+      result.second.push_back(epoch);
+    }
+  }
+  return result;
+}
+
+std::vector<double> EventCorrelator::quiet_epochs(double min_dst_nt,
+                                                  std::size_t count,
+                                                  double guard_days) const {
+  std::vector<double> epochs;
+  if (count == 0) return epochs;
+  const auto guard = static_cast<timeutil::HourIndex>(guard_days * 24.0);
+  const timeutil::HourIndex start = dst_->start_hour() + guard;
+  const timeutil::HourIndex end = dst_->end_hour() - guard;
+  if (end <= start) return epochs;
+  // Deterministic stride scan: probe evenly spaced candidate hours and keep
+  // those that are quiet themselves with no storm in the guard window.
+  const timeutil::HourIndex stride =
+      std::max<timeutil::HourIndex>((end - start) / (4 * static_cast<long>(count)), 1);
+  for (timeutil::HourIndex hour = start; hour < end && epochs.size() < count;
+       hour += stride) {
+    if (dst_->at(hour) <= min_dst_nt) continue;
+    bool quiet = true;
+    for (timeutil::HourIndex probe = hour - guard; probe < hour + guard; ++probe) {
+      if (dst_->at(probe) <= spaceweather::kMinorThresholdNt) {
+        quiet = false;
+        break;
+      }
+    }
+    if (quiet) epochs.push_back(timeutil::julian_from_hour_index(hour));
+  }
+  return epochs;
+}
+
+}  // namespace cosmicdance::core

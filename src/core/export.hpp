@@ -1,0 +1,37 @@
+// CSV export of analysis results — the bridge between the library and
+// external plotting (the original CosmicDance plots from files; so do the
+// bundled CLI and any downstream notebooks).
+#pragma once
+
+#include <span>
+
+#include "core/analysis.hpp"
+#include "core/correlator.hpp"
+#include "io/csv.hpp"
+#include "spaceweather/storms.hpp"
+#include "stats/ecdf.hpp"
+
+namespace cosmicdance::core {
+
+/// ECDF as rows of (value, cdf), thinned to at most `max_points`, with a
+/// header row naming the value column.
+[[nodiscard]] std::vector<io::CsvRow> ecdf_csv(const stats::Ecdf& ecdf,
+                                               const std::string& value_name,
+                                               std::size_t max_points = 400);
+
+/// Storm events: onset, peak time, peak nT, category, duration hours.
+[[nodiscard]] std::vector<io::CsvRow> storms_csv(
+    std::span<const spaceweather::StormEvent> storms);
+
+/// Post-event envelope: one row per day with median/p95 and the
+/// per-satellite deviations as additional columns.
+[[nodiscard]] std::vector<io::CsvRow> envelope_csv(const PostEventEnvelope& envelope);
+
+/// Super-storm panel (Fig 7) rows.
+[[nodiscard]] std::vector<io::CsvRow> panel_csv(
+    std::span<const SuperstormPanelRow> rows);
+
+/// A satellite timeline (Fig 3 series): epoch ISO, altitude, B*.
+[[nodiscard]] std::vector<io::CsvRow> timeline_csv(const TrackTimeline& timeline);
+
+}  // namespace cosmicdance::core

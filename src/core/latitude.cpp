@@ -1,0 +1,79 @@
+#include "core/latitude.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "orbit/frames.hpp"
+#include "sgp4/sgp4.hpp"
+#include "stats/descriptive.hpp"
+
+namespace cosmicdance::core {
+
+tle::Tle tle_from_sample(int catalog_number, const TrajectorySample& sample) {
+  tle::Tle record;
+  record.catalog_number = catalog_number;
+  record.international_designator = "00000A";  // not carried by samples
+  record.epoch_jd = sample.epoch_jd;
+  record.inclination_deg = sample.inclination_deg;
+  record.raan_deg = sample.raan_deg;
+  record.eccentricity = sample.eccentricity;
+  record.arg_perigee_deg = sample.arg_perigee_deg;
+  record.mean_anomaly_deg = sample.mean_anomaly_deg;
+  record.mean_motion_revday = sample.mean_motion_revday;
+  record.bstar = sample.bstar;
+  return record;
+}
+
+double sample_latitude_deg(int catalog_number, const TrajectorySample& sample) {
+  const sgp4::Sgp4Propagator propagator(tle_from_sample(catalog_number, sample));
+  const orbit::StateVector sv = propagator.propagate_minutes(0.0);
+  const orbit::Vec3 ecef = orbit::teme_to_ecef(sv.position_km, sample.epoch_jd);
+  const orbit::Geodetic geo = orbit::ecef_to_geodetic(ecef);
+  return std::fabs(units::rad2deg(geo.latitude_rad));
+}
+
+std::vector<LatitudeBandStats> latitude_band_drag(
+    std::span<const SatelliteTrack> tracks, double jd_lo, double jd_hi,
+    int bands) {
+  if (bands < 1) throw ValidationError("latitude bands must be >= 1");
+  const double width = 90.0 / bands;
+  std::vector<std::vector<double>> bstars(static_cast<std::size_t>(bands));
+  std::size_t total = 0;
+
+  for (const SatelliteTrack& track : tracks) {
+    for (const TrajectorySample& sample : track.between(jd_lo, jd_hi)) {
+      double latitude = 0.0;
+      try {
+        latitude = sample_latitude_deg(track.catalog_number(), sample);
+      } catch (const Error&) {
+        continue;  // gross tracking error / unpropagatable record
+      }
+      auto band = static_cast<std::size_t>(latitude / width);
+      if (band >= bstars.size()) band = bstars.size() - 1;
+      bstars[band].push_back(sample.bstar);
+      ++total;
+    }
+  }
+
+  std::vector<LatitudeBandStats> out;
+  out.reserve(static_cast<std::size_t>(bands));
+  for (int b = 0; b < bands; ++b) {
+    LatitudeBandStats stats;
+    stats.lat_lo_deg = b * width;
+    stats.lat_hi_deg = (b + 1) * width;
+    const auto& samples = bstars[static_cast<std::size_t>(b)];
+    stats.samples = samples.size();
+    stats.dwell_fraction =
+        total == 0 ? 0.0
+                   : static_cast<double>(samples.size()) / static_cast<double>(total);
+    if (!samples.empty()) {
+      stats.median_bstar = stats::median(samples);
+      stats.p95_bstar = stats::percentile(samples, 95.0);
+    }
+    out.push_back(stats);
+  }
+  return out;
+}
+
+}  // namespace cosmicdance::core

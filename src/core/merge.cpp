@@ -1,0 +1,61 @@
+#include "core/merge.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "stats/descriptive.hpp"
+#include "timeutil/hour_axis.hpp"
+
+namespace cosmicdance::core {
+
+std::vector<AlignedSample> align_track(const SatelliteTrack& track,
+                                       const spaceweather::DstIndex& dst) {
+  std::vector<AlignedSample> aligned;
+  aligned.reserve(track.size());
+  for (const TrajectorySample& sample : track.samples()) {
+    AlignedSample joined;
+    joined.sample = sample;
+    const timeutil::HourIndex hour =
+        timeutil::hour_index_from_julian(sample.epoch_jd);
+    if (dst.covers(hour)) {
+      joined.dst_available = true;
+      joined.dst_nt = dst.at(hour);
+      double min_dst = joined.dst_nt;
+      for (timeutil::HourIndex back = hour - 24; back < hour; ++back) {
+        if (dst.covers(back)) min_dst = std::min(min_dst, dst.at(back));
+      }
+      joined.min_dst_24h_nt = min_dst;
+      joined.category = spaceweather::classify(min_dst);
+    }
+    aligned.push_back(joined);
+  }
+  return aligned;
+}
+
+std::vector<CategoryDrag> drag_by_category(std::span<const SatelliteTrack> tracks,
+                                           const spaceweather::DstIndex& dst) {
+  constexpr std::array<spaceweather::StormCategory, 5> kCategories{
+      spaceweather::StormCategory::kQuiet, spaceweather::StormCategory::kMinor,
+      spaceweather::StormCategory::kModerate,
+      spaceweather::StormCategory::kSevere,
+      spaceweather::StormCategory::kExtreme};
+  std::array<std::vector<double>, 5> bstars;
+  for (const SatelliteTrack& track : tracks) {
+    for (const AlignedSample& joined : align_track(track, dst)) {
+      if (!joined.dst_available) continue;
+      bstars[static_cast<std::size_t>(joined.category)].push_back(
+          joined.sample.bstar);
+    }
+  }
+  std::vector<CategoryDrag> out;
+  for (std::size_t i = 0; i < kCategories.size(); ++i) {
+    CategoryDrag row;
+    row.category = kCategories[i];
+    row.samples = bstars[i].size();
+    if (!bstars[i].empty()) row.median_bstar = stats::median(bstars[i]);
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace cosmicdance::core

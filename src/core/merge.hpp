@@ -1,0 +1,42 @@
+// Multi-modal time alignment ("Ordering in time", paper §3): annotate each
+// trajectory sample with the geomagnetic conditions at and before its epoch,
+// producing the single merged representation the correlator's conclusions
+// rest on — also handy for exporting joined datasets.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/track.hpp"
+#include "spaceweather/dst_index.hpp"
+#include "spaceweather/gscale.hpp"
+
+namespace cosmicdance::core {
+
+/// One trajectory sample joined with its space-weather context.
+struct AlignedSample {
+  TrajectorySample sample;
+  double dst_nt = 0.0;            ///< Dst of the epoch's hour (0 if uncovered)
+  bool dst_available = false;
+  double min_dst_24h_nt = 0.0;    ///< most negative Dst over the prior 24 h
+  spaceweather::StormCategory category =
+      spaceweather::StormCategory::kQuiet;  ///< classify(min_dst_24h)
+};
+
+/// Join one track against the Dst series.  Output order matches the track.
+[[nodiscard]] std::vector<AlignedSample> align_track(
+    const SatelliteTrack& track, const spaceweather::DstIndex& dst);
+
+/// Pool aligned samples of many tracks, grouped by the storm category in
+/// effect during the preceding 24 hours; returns per-category B* medians —
+/// a compact "drag vs activity level" summary table.
+struct CategoryDrag {
+  spaceweather::StormCategory category = spaceweather::StormCategory::kQuiet;
+  std::size_t samples = 0;
+  double median_bstar = 0.0;
+};
+
+[[nodiscard]] std::vector<CategoryDrag> drag_by_category(
+    std::span<const SatelliteTrack> tracks, const spaceweather::DstIndex& dst);
+
+}  // namespace cosmicdance::core

@@ -1,0 +1,58 @@
+#include "core/pipeline.hpp"
+
+#include "spaceweather/wdc.hpp"
+
+namespace cosmicdance::core {
+
+CosmicDance::CosmicDance(spaceweather::DstIndex dst, tle::TleCatalog catalog,
+                         PipelineConfig config)
+    : config_(config), dst_(std::move(dst)), catalog_(std::move(catalog)) {
+  tracks_ = clean_tracks(tracks_from_catalog(catalog_),
+                         config_.correlator.cleaning);
+  correlator_ = std::make_unique<EventCorrelator>(&dst_, config_.correlator);
+}
+
+CosmicDance CosmicDance::from_files(const std::string& wdc_dst_path,
+                                    const std::string& tle_path,
+                                    PipelineConfig config) {
+  spaceweather::DstIndex dst = spaceweather::read_wdc_file(wdc_dst_path);
+  tle::TleCatalog catalog;
+  catalog.add_from_file(tle_path);
+  return CosmicDance(std::move(dst), std::move(catalog), config);
+}
+
+std::vector<SatelliteTrack> CosmicDance::raw_tracks() const {
+  return tracks_from_catalog(catalog_);
+}
+
+std::vector<spaceweather::StormEvent> CosmicDance::storms() const {
+  return spaceweather::StormDetector(config_.storm_detector).detect(dst_);
+}
+
+double CosmicDance::dst_threshold_at_percentile(double p) const {
+  return dst_.dst_threshold_at_percentile(p);
+}
+
+PostEventEnvelope CosmicDance::post_event_envelope(double event_jd, int days,
+                                                   EnvelopeSelection selection) const {
+  return correlator_->post_event_envelope(tracks_, event_jd, days, selection);
+}
+
+std::vector<double> CosmicDance::altitude_changes_for_storms(
+    double max_peak_nt) const {
+  return correlator_->altitude_change_samples(
+      tracks_, correlator_->storm_event_epochs(max_peak_nt));
+}
+
+std::vector<double> CosmicDance::altitude_changes_for_quiet(
+    double min_dst_nt, std::size_t epochs) const {
+  return correlator_->altitude_change_samples(
+      tracks_, correlator_->quiet_epochs(min_dst_nt, epochs));
+}
+
+std::vector<double> CosmicDance::drag_changes_for_storms(double max_peak_nt) const {
+  return correlator_->drag_change_samples(
+      tracks_, correlator_->storm_event_epochs(max_peak_nt));
+}
+
+}  // namespace cosmicdance::core

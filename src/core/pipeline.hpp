@@ -1,0 +1,72 @@
+// The CosmicDance façade: ingest -> order in time -> clean -> correlate.
+//
+// This is the library's main entry point, mirroring the tool in the paper:
+// feed it a Dst series and a TLE catalog (from files or generators) and ask
+// for storm events, cleaned tracks and happens-closely-after analyses.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/correlator.hpp"
+#include "spaceweather/storms.hpp"
+#include "tle/catalog.hpp"
+
+namespace cosmicdance::core {
+
+struct PipelineConfig {
+  CorrelatorConfig correlator;
+  spaceweather::StormDetectorConfig storm_detector;
+};
+
+class CosmicDance {
+ public:
+  /// Takes ownership of both datasets; cleaning runs eagerly.
+  CosmicDance(spaceweather::DstIndex dst, tle::TleCatalog catalog,
+              PipelineConfig config = {});
+
+  /// Convenience constructor: WDC Dst file + TLE file.
+  static CosmicDance from_files(const std::string& wdc_dst_path,
+                                const std::string& tle_path,
+                                PipelineConfig config = {});
+
+  // ---- data access --------------------------------------------------------
+  [[nodiscard]] const spaceweather::DstIndex& dst() const noexcept { return dst_; }
+  [[nodiscard]] const tle::TleCatalog& catalog() const noexcept { return catalog_; }
+  /// Tracks after outlier + orbit-raising cleaning.
+  [[nodiscard]] std::span<const SatelliteTrack> tracks() const noexcept {
+    return tracks_;
+  }
+  /// Tracks built from the raw catalog with no cleaning (Fig 10a).
+  [[nodiscard]] std::vector<SatelliteTrack> raw_tracks() const;
+
+  // ---- solar-activity views (Figs 1-2) -------------------------------------
+  [[nodiscard]] std::vector<spaceweather::StormEvent> storms() const;
+  /// Dst value at an intensity percentile (e.g. 99 -> about -63 nT).
+  [[nodiscard]] double dst_threshold_at_percentile(double p) const;
+
+  // ---- correlation analyses (Figs 3-7) --------------------------------------
+  [[nodiscard]] const EventCorrelator& correlator() const noexcept {
+    return *correlator_;
+  }
+  [[nodiscard]] PostEventEnvelope post_event_envelope(
+      double event_jd, int days, EnvelopeSelection selection) const;
+  [[nodiscard]] std::vector<double> altitude_changes_for_storms(
+      double max_peak_nt) const;
+  [[nodiscard]] std::vector<double> altitude_changes_for_quiet(
+      double min_dst_nt, std::size_t epochs) const;
+  [[nodiscard]] std::vector<double> drag_changes_for_storms(double max_peak_nt) const;
+
+  [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
+
+ private:
+  PipelineConfig config_;
+  spaceweather::DstIndex dst_;
+  tle::TleCatalog catalog_;
+  std::vector<SatelliteTrack> tracks_;
+  std::unique_ptr<EventCorrelator> correlator_;
+};
+
+}  // namespace cosmicdance::core

@@ -1,0 +1,26 @@
+// Markdown summary report — the human-readable artefact of a pipeline run
+// (what an operator or researcher would archive per analysis window).
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace cosmicdance::core {
+
+struct ReportOptions {
+  /// How many of the strongest storms to itemise.
+  std::size_t top_storms = 10;
+  /// Include the per-category drag table (costs a pass over every TLE).
+  bool include_drag_by_category = true;
+};
+
+/// Render the full markdown report.
+[[nodiscard]] std::string markdown_report(const CosmicDance& pipeline,
+                                          const ReportOptions& options = {});
+
+/// Render and write to a file.  Throws IoError on filesystem problems.
+void write_markdown_report(const CosmicDance& pipeline, const std::string& path,
+                           const ReportOptions& options = {});
+
+}  // namespace cosmicdance::core

@@ -1,0 +1,112 @@
+#include "core/shells.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cosmicdance::core {
+namespace {
+
+bool inside_band(double altitude_km, double shell_km, double half_width_km) {
+  return std::fabs(altitude_km - shell_km) <= half_width_km;
+}
+
+// Home shell from the first quarter of the track: a decaying satellite's
+// whole-track median drifts below its assigned shell, but its early samples
+// sit where the operator put it.
+double home_shell_km(const SatelliteTrack& track, const ShellConfig& config) {
+  const auto& samples = track.samples();
+  std::vector<double> early;
+  const std::size_t quarter = std::max<std::size_t>(samples.size() / 4, 1);
+  early.reserve(quarter);
+  for (std::size_t i = 0; i < quarter; ++i) {
+    early.push_back(samples[i].altitude_km);
+  }
+  std::nth_element(early.begin(), early.begin() + early.size() / 2, early.end());
+  return nearest_shell_km(early[early.size() / 2], config);
+}
+
+}  // namespace
+
+double nearest_shell_km(double altitude_km, const ShellConfig& config) {
+  if (config.shell_altitudes_km.empty()) {
+    throw ValidationError("shell config has no shells");
+  }
+  double best = config.shell_altitudes_km.front();
+  for (const double shell : config.shell_altitudes_km) {
+    if (std::fabs(altitude_km - shell) < std::fabs(altitude_km - best)) {
+      best = shell;
+    }
+  }
+  return best;
+}
+
+std::vector<TrespassEvent> shell_trespasses(std::span<const SatelliteTrack> tracks,
+                                            const ShellConfig& config) {
+  std::vector<TrespassEvent> events;
+  for (const SatelliteTrack& track : tracks) {
+    if (track.empty()) continue;
+    const double home = home_shell_km(track, config);
+    double inside_shell = 0.0;  // 0 = not inside any foreign band
+    for (const TrajectorySample& sample : track.samples()) {
+      double now_inside = 0.0;
+      for (const double shell : config.shell_altitudes_km) {
+        if (shell != home &&
+            inside_band(sample.altitude_km, shell, config.half_width_km)) {
+          now_inside = shell;
+          break;
+        }
+      }
+      if (now_inside != 0.0 && now_inside != inside_shell) {
+        events.push_back(
+            {track.catalog_number(), sample.epoch_jd, home, now_inside});
+      }
+      inside_shell = now_inside;
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TrespassEvent& a, const TrespassEvent& b) {
+              return a.entry_jd < b.entry_jd;
+            });
+  return events;
+}
+
+double foreign_shell_dwell_days(std::span<const SatelliteTrack> tracks,
+                                const ShellConfig& config) {
+  double dwell = 0.0;
+  for (const SatelliteTrack& track : tracks) {
+    if (track.size() < 2) continue;
+    const double home = home_shell_km(track, config);
+    const auto& samples = track.samples();
+    for (std::size_t i = 0; i + 1 < samples.size(); ++i) {
+      bool foreign = false;
+      for (const double shell : config.shell_altitudes_km) {
+        if (shell != home &&
+            inside_band(samples[i].altitude_km, shell, config.half_width_km)) {
+          foreign = true;
+          break;
+        }
+      }
+      if (foreign) {
+        // Attribute the gap to the state at its left endpoint, capped so a
+        // long tracking outage cannot dominate the estimate.
+        dwell += std::min(samples[i + 1].epoch_jd - samples[i].epoch_jd, 2.0);
+      }
+    }
+  }
+  return dwell;
+}
+
+std::vector<TrespassEvent> shell_trespasses_between(
+    std::span<const SatelliteTrack> tracks, double jd_lo, double jd_hi,
+    const ShellConfig& config) {
+  std::vector<TrespassEvent> all = shell_trespasses(tracks, config);
+  std::vector<TrespassEvent> out;
+  for (const TrespassEvent& event : all) {
+    if (event.entry_jd >= jd_lo && event.entry_jd < jd_hi) out.push_back(event);
+  }
+  return out;
+}
+
+}  // namespace cosmicdance::core

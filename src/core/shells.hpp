@@ -1,0 +1,53 @@
+// Shell-trespass analysis (paper §5 "trespassing multiple adjacent shells",
+// §6 Kessler-syndrome future work).
+//
+// Mega-constellations stack shells ~5 km apart; a satellite that drifts out
+// of its own shell transits its neighbours' altitude bands, raising the
+// conjunction risk there.  These analyses quantify that exposure from the
+// cleaned tracks alone.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/track.hpp"
+
+namespace cosmicdance::core {
+
+struct ShellConfig {
+  /// Shell centre altitudes, km (Starlink Gen1-like by default).
+  std::vector<double> shell_altitudes_km{540.0, 550.0, 560.0, 570.0};
+  /// A satellite is "inside" a shell within this half-width of its centre.
+  double half_width_km = 2.5;
+};
+
+/// One satellite entering a shell band that is not its home shell.
+struct TrespassEvent {
+  int catalog_number = 0;
+  double entry_jd = 0.0;
+  double home_shell_km = 0.0;     ///< nearest shell to the track's median
+  double crossed_shell_km = 0.0;  ///< the foreign shell it entered
+};
+
+/// Nearest configured shell to an altitude (km).  Throws ValidationError
+/// when no shells are configured.
+[[nodiscard]] double nearest_shell_km(double altitude_km, const ShellConfig& config);
+
+/// Every first entry of a satellite into a foreign shell band, in time
+/// order per satellite (re-entries into the same band after leaving count
+/// again: each is a fresh conjunction exposure).
+[[nodiscard]] std::vector<TrespassEvent> shell_trespasses(
+    std::span<const SatelliteTrack> tracks, const ShellConfig& config = {});
+
+/// Conjunction-exposure proxy: total satellite-days spent inside foreign
+/// shell bands, estimated from consecutive-sample dwell.
+[[nodiscard]] double foreign_shell_dwell_days(std::span<const SatelliteTrack> tracks,
+                                              const ShellConfig& config = {});
+
+/// Trespass events restricted to a time window (for storm vs quiet
+/// comparisons).
+[[nodiscard]] std::vector<TrespassEvent> shell_trespasses_between(
+    std::span<const SatelliteTrack> tracks, double jd_lo, double jd_hi,
+    const ShellConfig& config = {});
+
+}  // namespace cosmicdance::core

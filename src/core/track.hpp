@@ -1,0 +1,80 @@
+// Per-satellite trajectory tracks derived from TLE histories.
+//
+// A track is the pipeline's working representation of one satellite: the
+// orbital elements of every TLE plus the paper's two derived observables —
+// altitude (from mean motion) and drag (the B* term).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "stats/rolling.hpp"
+#include "tle/catalog.hpp"
+
+namespace cosmicdance::core {
+
+/// One TLE reduced to the quantities the analyses consume.
+struct TrajectorySample {
+  double epoch_jd = 0.0;
+  double altitude_km = 0.0;  ///< derived from mean motion
+  double bstar = 0.0;        ///< the paper's "atmospheric drag" observable
+  double inclination_deg = 0.0;
+  double raan_deg = 0.0;
+  double eccentricity = 0.0;
+  double arg_perigee_deg = 0.0;
+  double mean_anomaly_deg = 0.0;
+  double mean_motion_revday = 0.0;
+};
+
+/// Epoch-sorted trajectory of one satellite.
+class SatelliteTrack {
+ public:
+  SatelliteTrack() = default;
+  SatelliteTrack(int catalog_number, std::vector<TrajectorySample> samples);
+
+  /// Build from a satellite's TLE history (assumed epoch-sorted, as
+  /// TleCatalog guarantees).
+  static SatelliteTrack from_tles(int catalog_number,
+                                  std::span<const tle::Tle> history);
+
+  [[nodiscard]] int catalog_number() const noexcept { return catalog_; }
+  [[nodiscard]] const std::vector<TrajectorySample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+
+  /// Long-term median altitude over the whole track.  Throws when empty.
+  [[nodiscard]] double median_altitude_km() const;
+
+  /// Last sample at or before `jd`, or nullptr.
+  [[nodiscard]] const TrajectorySample* at_or_before(double jd) const noexcept;
+  /// First sample at or after `jd`, or nullptr.
+  [[nodiscard]] const TrajectorySample* at_or_after(double jd) const noexcept;
+
+  /// Samples with epoch in [jd_lo, jd_hi).
+  [[nodiscard]] std::span<const TrajectorySample> between(double jd_lo,
+                                                          double jd_hi) const noexcept;
+
+  /// (epoch, altitude) view for the windowed-statistics helpers.
+  [[nodiscard]] std::vector<stats::TimedValue> altitude_series() const;
+  /// (epoch, bstar) view.
+  [[nodiscard]] std::vector<stats::TimedValue> bstar_series() const;
+
+  /// Replace the sample set (used by the cleaning passes).
+  void set_samples(std::vector<TrajectorySample> samples);
+
+ private:
+  int catalog_ = 0;
+  std::vector<TrajectorySample> samples_;
+  /// Lazy cache for median_altitude_km(): the event correlator queries it
+  /// once per (event, satellite) pair; invalidated by set_samples.
+  mutable double cached_median_altitude_ = 0.0;
+  mutable bool median_cache_valid_ = false;
+};
+
+/// Build one track per satellite from a catalog.
+[[nodiscard]] std::vector<SatelliteTrack> tracks_from_catalog(
+    const tle::TleCatalog& catalog);
+
+}  // namespace cosmicdance::core

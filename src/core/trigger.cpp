@@ -1,0 +1,68 @@
+#include "core/trigger.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cosmicdance::core {
+
+StormTrigger::StormTrigger(StormTriggerConfig config) : config_(config) {
+  if (config_.release_nt <= config_.onset_nt) {
+    throw ValidationError("trigger release threshold must sit above onset");
+  }
+  if (config_.min_active_hours < 1 || config_.min_quiet_hours < 1) {
+    throw ValidationError("trigger debounce hours must be >= 1");
+  }
+}
+
+std::optional<TriggerEvent> StormTrigger::feed(timeutil::HourIndex hour,
+                                               double dst_nt) {
+  if (started_ && hour != last_hour_ + 1) {
+    throw ValidationError("trigger feed must be hourly-contiguous (got hour " +
+                          std::to_string(hour) + " after " +
+                          std::to_string(last_hour_) + ")");
+  }
+  started_ = true;
+  last_hour_ = hour;
+
+  if (!active_) {
+    if (dst_nt <= config_.onset_nt) {
+      ++qualifying_hours_;
+      if (qualifying_hours_ >= config_.min_active_hours) {
+        active_ = true;
+        qualifying_hours_ = 0;
+        quiet_hours_ = 0;
+        peak_ = dst_nt;
+        return TriggerEvent{TriggerEvent::Kind::kOnset, hour, dst_nt, dst_nt};
+      }
+    } else {
+      qualifying_hours_ = 0;
+    }
+    return std::nullopt;
+  }
+
+  peak_ = std::min(peak_, dst_nt);
+  if (dst_nt > config_.release_nt) {
+    ++quiet_hours_;
+    if (quiet_hours_ >= config_.min_quiet_hours) {
+      active_ = false;
+      quiet_hours_ = 0;
+      TriggerEvent event{TriggerEvent::Kind::kRelease, hour, dst_nt, peak_};
+      peak_ = 0.0;
+      return event;
+    }
+  } else {
+    quiet_hours_ = 0;
+  }
+  return std::nullopt;
+}
+
+std::vector<TriggerEvent> StormTrigger::replay(const spaceweather::DstIndex& dst) {
+  std::vector<TriggerEvent> events;
+  for (timeutil::HourIndex hour = dst.start_hour(); hour < dst.end_hour(); ++hour) {
+    if (auto event = feed(hour, dst.at(hour))) events.push_back(*event);
+  }
+  return events;
+}
+
+}  // namespace cosmicdance::core

@@ -1,0 +1,70 @@
+// Streaming storm triggers (paper §6: LEOScope integration).
+//
+// The paper proposes feeding CosmicDance's solar-event signals to a
+// measurement testbed as experiment triggers.  This is that interface: a
+// stateful detector that consumes the hourly Dst stream sample by sample
+// and emits onset/release transitions with hysteresis and debouncing, so a
+// scheduler can start network measurements when a storm begins and stop
+// them once it has clearly relaxed.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "spaceweather/dst_index.hpp"
+
+namespace cosmicdance::core {
+
+/// A trigger transition.
+struct TriggerEvent {
+  enum class Kind { kOnset, kRelease };
+  Kind kind = Kind::kOnset;
+  timeutil::HourIndex hour = 0;  ///< hour of the transition
+  double dst_nt = 0.0;           ///< Dst at that hour
+  /// For releases: the most negative Dst seen while active.
+  double peak_dst_nt = 0.0;
+};
+
+struct StormTriggerConfig {
+  /// Fire when Dst drops to/below this...
+  double onset_nt = -50.0;
+  /// ...and release only after it has recovered above this (hysteresis;
+  /// must be greater than onset_nt).
+  double release_nt = -30.0;
+  /// Hours Dst must stay at/below onset before firing (debounce; 1 fires
+  /// immediately on the first qualifying hour).
+  int min_active_hours = 1;
+  /// Hours Dst must stay above release before releasing.
+  int min_quiet_hours = 2;
+};
+
+/// Streaming hysteresis trigger over hourly Dst samples.
+///
+/// feed() must be called with strictly increasing consecutive hours; a gap
+/// throws ValidationError (the archive is gap-free; a live feed should
+/// interpolate or restart).
+class StormTrigger {
+ public:
+  explicit StormTrigger(StormTriggerConfig config = {});
+
+  /// Consume one hourly sample; returns a transition when one fires.
+  std::optional<TriggerEvent> feed(timeutil::HourIndex hour, double dst_nt);
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+  /// Most negative Dst observed while active (0 when idle).
+  [[nodiscard]] double peak_dst_nt() const noexcept { return peak_; }
+
+  /// Replay a whole series and collect every transition.
+  [[nodiscard]] std::vector<TriggerEvent> replay(const spaceweather::DstIndex& dst);
+
+ private:
+  StormTriggerConfig config_;
+  bool active_ = false;
+  bool started_ = false;
+  timeutil::HourIndex last_hour_ = 0;
+  int qualifying_hours_ = 0;
+  int quiet_hours_ = 0;
+  double peak_ = 0.0;
+};
+
+}  // namespace cosmicdance::core

@@ -1,0 +1,53 @@
+// Minimal command-line argument parsing for the bundled tools.
+//
+// Grammar: [command] (--key value | --flag)* positional*
+// A token starting with "--" is an option; it consumes the next token as
+// its value unless that token is itself an option (then it is a flag).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cosmicdance::io {
+
+class ArgParser {
+ public:
+  /// Parse from main()'s argv (argv[0] is skipped).
+  ArgParser(int argc, const char* const* argv);
+  /// Parse from a token list (no program name).
+  explicit ArgParser(std::vector<std::string> tokens);
+
+  /// First positional token (conventionally the subcommand), or "".
+  [[nodiscard]] const std::string& command() const noexcept { return command_; }
+  /// Positional tokens after the command.
+  [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+
+  /// Value of --name, when given with a value.
+  [[nodiscard]] std::optional<std::string> option(const std::string& name) const;
+  /// Value of --name or a default.
+  [[nodiscard]] std::string option_or(const std::string& name,
+                                      std::string fallback) const;
+  /// Numeric value of --name or a default.  Throws ParseError when the
+  /// value is present but not numeric.
+  [[nodiscard]] double number_or(const std::string& name, double fallback) const;
+  [[nodiscard]] long integer_or(const std::string& name, long fallback) const;
+  /// True when --name appeared (with or without a value).
+  [[nodiscard]] bool flag(const std::string& name) const;
+
+  /// Throws ParseError when any option is not in `known` — catches typos.
+  void check_known(const std::vector<std::string>& known) const;
+
+ private:
+  void parse(std::vector<std::string> tokens);
+
+  std::string command_;
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> present_;
+};
+
+}  // namespace cosmicdance::io

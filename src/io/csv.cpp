@@ -1,0 +1,123 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cosmicdance::io {
+namespace {
+
+// Incremental CSV record parser; returns true when a record is complete and
+// false when it ended mid-quote (caller should append the next line).
+bool parse_into(const std::string& line, CsvRow& row, std::string& field,
+                bool& in_quotes) {
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else {
+      if (c == '"') {
+        if (!field.empty()) {
+          throw ParseError("quote inside unquoted CSV field: '" + line + "'");
+        }
+        in_quotes = true;
+      } else if (c == ',') {
+        row.push_back(field);
+        field.clear();
+      } else {
+        field.push_back(c);
+      }
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    field.push_back('\n');
+    return false;
+  }
+  row.push_back(field);
+  field.clear();
+  return true;
+}
+
+}  // namespace
+
+CsvRow parse_csv_line(const std::string& line) {
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  if (!parse_into(line, row, field, in_quotes)) {
+    throw ParseError("unterminated quote in CSV line: '" + line + "'");
+  }
+  return row;
+}
+
+std::vector<CsvRow> read_csv(std::istream& in) {
+  std::vector<CsvRow> rows;
+  std::string line;
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!in_quotes && line.empty()) continue;
+    if (parse_into(line, row, field, in_quotes)) {
+      rows.push_back(std::move(row));
+      row.clear();
+    }
+  }
+  if (in_quotes) throw ParseError("CSV input ended inside a quoted field");
+  return rows;
+}
+
+std::vector<CsvRow> read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open CSV file: " + path);
+  return read_csv(in);
+}
+
+std::string escape_csv_field(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string format_csv_row(const CsvRow& row) {
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += escape_csv_field(row[i]);
+  }
+  return out;
+}
+
+void write_csv(std::ostream& out, const std::vector<CsvRow>& rows) {
+  for (const CsvRow& row : rows) out << format_csv_row(row) << '\n';
+}
+
+void write_csv_file(const std::string& path, const std::vector<CsvRow>& rows) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open CSV file for writing: " + path);
+  write_csv(out, rows);
+  if (!out) throw IoError("failed writing CSV file: " + path);
+}
+
+}  // namespace cosmicdance::io

@@ -1,0 +1,38 @@
+// Minimal RFC-4180-style CSV reading and writing.
+//
+// The pipeline exchanges figure data and ingests archival exports as CSV;
+// this implementation supports quoted fields containing commas, quotes and
+// newlines, which is all the formats in play require.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cosmicdance::io {
+
+using CsvRow = std::vector<std::string>;
+
+/// Parse a single CSV record from `line` (no embedded newlines).
+/// Throws ParseError on unbalanced quotes.
+[[nodiscard]] CsvRow parse_csv_line(const std::string& line);
+
+/// Read all records from a stream.  Handles quoted fields spanning lines.
+[[nodiscard]] std::vector<CsvRow> read_csv(std::istream& in);
+
+/// Read all records from a file.  Throws IoError when unreadable.
+[[nodiscard]] std::vector<CsvRow> read_csv_file(const std::string& path);
+
+/// Escape a field per RFC 4180 (quote when it contains , " or newline).
+[[nodiscard]] std::string escape_csv_field(const std::string& field);
+
+/// Serialise one record (no trailing newline).
+[[nodiscard]] std::string format_csv_row(const CsvRow& row);
+
+/// Write records to a stream, one per line.
+void write_csv(std::ostream& out, const std::vector<CsvRow>& rows);
+
+/// Write records to a file.  Throws IoError when unwritable.
+void write_csv_file(const std::string& path, const std::vector<CsvRow>& rows);
+
+}  // namespace cosmicdance::io

@@ -1,0 +1,57 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace cosmicdance::io {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  if (row.size() > header_.size()) {
+    throw ValidationError("table row wider than header");
+  }
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << "  ";
+      out << cells[c];
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (c + 1 < cells.size()) out << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::vector<std::string> rule;
+  rule.reserve(header_.size());
+  for (const std::size_t w : widths) rule.emplace_back(w, '-');
+  emit(rule);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string TablePrinter::num(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+void print_heading(std::ostream& out, const std::string& title) {
+  out << '\n' << "== " << title << " ==\n";
+}
+
+}  // namespace cosmicdance::io

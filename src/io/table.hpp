@@ -1,0 +1,39 @@
+// Aligned plain-text tables for bench and example output.
+//
+// Every figure bench prints its series as a readable table; this keeps the
+// formatting (column sizing, numeric precision) in one place.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cosmicdance::io {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Append a data row; it may have fewer cells than the header (padded).
+  /// Throws ValidationError when it has more.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with two-space column gaps; numbers are right-aligned-ish by
+  /// virtue of fixed formatting upstream.
+  void print(std::ostream& out) const;
+
+  /// Convenience: format a double with `precision` fractional digits.
+  [[nodiscard]] static std::string num(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section heading bench binaries use between figure panels.
+void print_heading(std::ostream& out, const std::string& title);
+
+}  // namespace cosmicdance::io

@@ -1,0 +1,56 @@
+#include "orbit/kepler.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace cosmicdance::orbit {
+namespace {
+
+void check_eccentricity(double e) {
+  if (e < 0.0 || e >= 1.0) {
+    throw ValidationError("eccentricity outside [0,1): " + std::to_string(e));
+  }
+}
+
+}  // namespace
+
+double solve_kepler(double mean_anomaly_rad, double eccentricity, double tolerance,
+                    int max_iterations) {
+  check_eccentricity(eccentricity);
+  const double m = units::wrap_two_pi(mean_anomaly_rad);
+  // Vallado's starter: E0 = M +/- e depending on which half of the orbit.
+  double e_anom = (m > units::kPi) ? m - eccentricity : m + eccentricity;
+  for (int i = 0; i < max_iterations; ++i) {
+    const double f = e_anom - eccentricity * std::sin(e_anom) - m;
+    const double fp = 1.0 - eccentricity * std::cos(e_anom);
+    const double delta = f / fp;
+    e_anom -= delta;
+    if (std::fabs(delta) < tolerance) break;
+  }
+  return units::wrap_two_pi(e_anom);
+}
+
+double true_from_eccentric(double eccentric_anomaly_rad, double eccentricity) {
+  check_eccentricity(eccentricity);
+  const double half = eccentric_anomaly_rad / 2.0;
+  const double factor = std::sqrt((1.0 + eccentricity) / (1.0 - eccentricity));
+  return units::wrap_two_pi(2.0 * std::atan2(factor * std::sin(half), std::cos(half)));
+}
+
+double eccentric_from_true(double true_anomaly_rad, double eccentricity) {
+  check_eccentricity(eccentricity);
+  const double half = true_anomaly_rad / 2.0;
+  const double factor = std::sqrt((1.0 - eccentricity) / (1.0 + eccentricity));
+  return units::wrap_two_pi(2.0 * std::atan2(factor * std::sin(half), std::cos(half)));
+}
+
+double mean_from_eccentric(double eccentric_anomaly_rad, double eccentricity) {
+  check_eccentricity(eccentricity);
+  return units::wrap_two_pi(eccentric_anomaly_rad -
+                            eccentricity * std::sin(eccentric_anomaly_rad));
+}
+
+}  // namespace cosmicdance::orbit

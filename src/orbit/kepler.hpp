@@ -1,0 +1,25 @@
+// Kepler's equation and anomaly conversions.
+#pragma once
+
+namespace cosmicdance::orbit {
+
+/// Solve Kepler's equation M = E - e*sin(E) for the eccentric anomaly E.
+/// Newton-Raphson with Vallado's initial guess; converges for all e in
+/// [0, 1).  Inputs in radians, output wrapped to [0, 2*pi).  Throws
+/// ValidationError for e outside [0,1).
+[[nodiscard]] double solve_kepler(double mean_anomaly_rad, double eccentricity,
+                                  double tolerance = 1e-12, int max_iterations = 50);
+
+/// True anomaly from eccentric anomaly.
+[[nodiscard]] double true_from_eccentric(double eccentric_anomaly_rad,
+                                         double eccentricity);
+
+/// Eccentric anomaly from true anomaly.
+[[nodiscard]] double eccentric_from_true(double true_anomaly_rad,
+                                         double eccentricity);
+
+/// Mean anomaly from eccentric anomaly (Kepler's equation forward).
+[[nodiscard]] double mean_from_eccentric(double eccentric_anomaly_rad,
+                                         double eccentricity);
+
+}  // namespace cosmicdance::orbit

@@ -1,0 +1,976 @@
+// SGP4/SDP4 implementation following Vallado, Crawford, Hujsak & Kelso,
+// "Revisiting Spacetrack Report #3" (AIAA 2006-6753) and the companion
+// reference code.  Variable names intentionally mirror the reference so the
+// math can be checked against the report term by term.
+#include "sgp4/sgp4.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "timeutil/sidereal.hpp"
+
+namespace cosmicdance::sgp4 {
+namespace {
+
+using units::kPi;
+using units::kTwoPi;
+
+constexpr double kX2o3 = 2.0 / 3.0;
+// Julian date of the 1950 reference epoch used by the deep-space theory.
+constexpr double kJd1950 = 2433281.5;
+
+}  // namespace
+
+std::string to_string(Sgp4Status status) {
+  switch (status) {
+    case Sgp4Status::kOk:
+      return "ok";
+    case Sgp4Status::kEccentricityOutOfRange:
+      return "mean eccentricity out of range";
+    case Sgp4Status::kMeanMotionNonPositive:
+      return "mean motion non-positive";
+    case Sgp4Status::kPerturbedEccentricityOutOfRange:
+      return "perturbed eccentricity out of range";
+    case Sgp4Status::kSemiLatusRectumNegative:
+      return "semi-latus rectum negative";
+    case Sgp4Status::kDecayed:
+      return "satellite decayed (radius below Earth surface)";
+  }
+  return "unknown status";
+}
+
+Sgp4Propagator::Sgp4Propagator(const tle::Tle& tle, const orbit::GravityModel& gravity)
+    : gravity_(gravity) {
+  tle.validate();
+  init(tle);
+}
+
+double Sgp4Propagator::recovered_semi_major_axis_km() const noexcept {
+  return recovered_a_earth_radii_ * gravity_.radius_earth_km;
+}
+
+double Sgp4Propagator::recovered_altitude_km() const noexcept {
+  return recovered_semi_major_axis_km() - gravity_.radius_earth_km;
+}
+
+orbit::StateVector Sgp4Propagator::propagate_minutes(double tsince_minutes) const {
+  orbit::StateVector out;
+  const Sgp4Status status = try_propagate_minutes(tsince_minutes, out);
+  if (status != Sgp4Status::kOk) {
+    throw PropagationError("sgp4 failed for catalog " +
+                           std::to_string(catalog_number_) + " at tsince " +
+                           std::to_string(tsince_minutes) + " min: " +
+                           to_string(status));
+  }
+  return out;
+}
+
+orbit::StateVector Sgp4Propagator::propagate_jd(double jd) const {
+  return propagate_minutes((jd - epoch_jd_) * units::kMinutesPerDay);
+}
+
+Sgp4Status Sgp4Propagator::try_propagate_minutes(double tsince_minutes,
+                                                 orbit::StateVector& out) const noexcept {
+  return run_sgp4(tsince_minutes, out);
+}
+
+void Sgp4Propagator::init(const tle::Tle& tle) {
+  catalog_number_ = tle.catalog_number;
+  epoch_jd_ = tle.epoch_jd;
+  epoch1950_ = epoch_jd_ - kJd1950;
+
+  bstar_ = tle.bstar;
+  ecco_ = tle.eccentricity;
+  inclo_ = units::deg2rad(tle.inclination_deg);
+  nodeo_ = units::deg2rad(tle.raan_deg);
+  argpo_ = units::deg2rad(tle.arg_perigee_deg);
+  mo_ = units::deg2rad(tle.mean_anomaly_deg);
+  no_ = tle.mean_motion_revday * kTwoPi / units::kMinutesPerDay;  // rad/min
+
+  const double j2 = gravity_.j2;
+  const double j4 = gravity_.j4;
+  const double j3oj2 = gravity_.j3oj2;
+  const double xke = gravity_.xke;
+  const double radiusearthkm = gravity_.radius_earth_km;
+  const double temp4 = 1.5e-12;
+
+  const double ss = 78.0 / radiusearthkm + 1.0;
+  const double qzms2t = std::pow((120.0 - 78.0) / radiusearthkm, 4.0);
+
+  // ---------------------- initl: recover original mean motion -------------
+  const double eccsq = ecco_ * ecco_;
+  const double omeosq = 1.0 - eccsq;
+  const double rteosq = std::sqrt(omeosq);
+  const double cosio = std::cos(inclo_);
+  const double cosio2 = cosio * cosio;
+
+  const double ak = std::pow(xke / no_, kX2o3);
+  const double d1 = 0.75 * j2 * (3.0 * cosio2 - 1.0) / (rteosq * omeosq);
+  double del = d1 / (ak * ak);
+  const double adel =
+      ak * (1.0 - del * del - del * (1.0 / 3.0 + 134.0 * del * del / 81.0));
+  del = d1 / (adel * adel);
+  no_ = no_ / (1.0 + del);  // un-Kozai the mean motion
+
+  const double ao = std::pow(xke / no_, kX2o3);
+  const double sinio = std::sin(inclo_);
+  const double po = ao * omeosq;
+  const double con42 = 1.0 - 5.0 * cosio2;
+  con41_ = -con42 - cosio2 - cosio2;
+  const double posq = po * po;
+  const double rp = ao * (1.0 - ecco_);
+  method_ = 'n';
+  gsto_ = timeutil::gmst_radians(epoch_jd_);
+  recovered_a_earth_radii_ = ao;
+
+  if (rp < 1.0) {
+    throw PropagationError("element set has epoch perigee below Earth surface"
+                           " (catalog " + std::to_string(catalog_number_) + ")");
+  }
+
+  // ------------------------- near-earth constants -------------------------
+  isimp_ = 0;
+  if (rp < 220.0 / radiusearthkm + 1.0) isimp_ = 1;
+  double sfour = ss;
+  double qzms24 = qzms2t;
+  const double perige = (rp - 1.0) * radiusearthkm;
+  if (perige < 156.0) {
+    sfour = perige - 78.0;
+    if (perige < 98.0) sfour = 20.0;
+    qzms24 = std::pow((120.0 - sfour) / radiusearthkm, 4.0);
+    sfour = sfour / radiusearthkm + 1.0;
+  }
+  const double pinvsq = 1.0 / posq;
+
+  const double tsi = 1.0 / (ao - sfour);
+  eta_ = ao * ecco_ * tsi;
+  const double etasq = eta_ * eta_;
+  const double eeta = ecco_ * eta_;
+  const double psisq = std::fabs(1.0 - etasq);
+  const double coef = qzms24 * std::pow(tsi, 4.0);
+  const double coef1 = coef / std::pow(psisq, 3.5);
+  const double cc2 =
+      coef1 * no_ *
+      (ao * (1.0 + 1.5 * etasq + eeta * (4.0 + etasq)) +
+       0.375 * j2 * tsi / psisq * con41_ *
+           (8.0 + 3.0 * etasq * (8.0 + etasq)));
+  cc1_ = bstar_ * cc2;
+  double cc3 = 0.0;
+  if (ecco_ > 1.0e-4) cc3 = -2.0 * coef * tsi * j3oj2 * no_ * sinio / ecco_;
+  x1mth2_ = 1.0 - cosio2;
+  cc4_ = 2.0 * no_ * coef1 * ao * omeosq *
+         (eta_ * (2.0 + 0.5 * etasq) + ecco_ * (0.5 + 2.0 * etasq) -
+          j2 * tsi / (ao * psisq) *
+              (-3.0 * con41_ * (1.0 - 2.0 * eeta + etasq * (1.5 - 0.5 * eeta)) +
+               0.75 * x1mth2_ * (2.0 * etasq - eeta * (1.0 + etasq)) *
+                   std::cos(2.0 * argpo_)));
+  cc5_ = 2.0 * coef1 * ao * omeosq *
+         (1.0 + 2.75 * (etasq + eeta) + eeta * etasq);
+
+  const double cosio4 = cosio2 * cosio2;
+  const double temp1 = 1.5 * j2 * pinvsq * no_;
+  const double temp2 = 0.5 * temp1 * j2 * pinvsq;
+  const double temp3 = -0.46875 * j4 * pinvsq * pinvsq * no_;
+  mdot_ = no_ + 0.5 * temp1 * rteosq * con41_ +
+          0.0625 * temp2 * rteosq * (13.0 - 78.0 * cosio2 + 137.0 * cosio4);
+  argpdot_ = -0.5 * temp1 * con42 +
+             0.0625 * temp2 * (7.0 - 114.0 * cosio2 + 395.0 * cosio4) +
+             temp3 * (3.0 - 36.0 * cosio2 + 49.0 * cosio4);
+  const double xhdot1 = -temp1 * cosio;
+  nodedot_ = xhdot1 + (0.5 * temp2 * (4.0 - 19.0 * cosio2) +
+                       2.0 * temp3 * (3.0 - 7.0 * cosio2)) *
+                          cosio;
+  const double xpidot = argpdot_ + nodedot_;
+  omgcof_ = bstar_ * cc3 * std::cos(argpo_);
+  xmcof_ = 0.0;
+  if (ecco_ > 1.0e-4) xmcof_ = -kX2o3 * coef * bstar_ / eeta;
+  nodecf_ = 3.5 * omeosq * xhdot1 * cc1_;
+  t2cof_ = 1.5 * cc1_;
+  if (std::fabs(cosio + 1.0) > 1.5e-12) {
+    xlcof_ = -0.25 * j3oj2 * sinio * (3.0 + 5.0 * cosio) / (1.0 + cosio);
+  } else {
+    xlcof_ = -0.25 * j3oj2 * sinio * (3.0 + 5.0 * cosio) / temp4;
+  }
+  aycof_ = -0.5 * j3oj2 * sinio;
+  delmo_ = std::pow(1.0 + eta_ * std::cos(mo_), 3.0);
+  sinmao_ = std::sin(mo_);
+  x7thm1_ = 7.0 * cosio2 - 1.0;
+
+  // --------------------- deep space initialization ------------------------
+  if (kTwoPi / no_ >= 225.0) {
+    method_ = 'd';
+    isimp_ = 1;
+    const double tc = 0.0;
+    double inclm = inclo_;
+
+    dscom(epoch1950_, ecco_, argpo_, tc, inclo_, nodeo_, no_);
+    // The init-phase dpper call applies nothing (reference behaviour); the
+    // stored long-period offsets peo..pho stay zero.
+    double ep = ecco_;
+    double inclp = inclo_;
+    double nodep = nodeo_;
+    double argpp = argpo_;
+    double mp = mo_;
+    dpper(0.0, /*init_phase=*/true, ep, inclp, nodep, argpp, mp);
+
+    double argpm = 0.0;
+    double nodem = 0.0;
+    double mm = 0.0;
+    double em = ecco_;
+    double nm = no_;
+    dsinit(tc, xpidot, eccsq, em, argpm, inclm, mm, nm, nodem);
+  }
+
+  // ------------------------ higher-order drag terms -----------------------
+  if (isimp_ != 1) {
+    const double cc1sq = cc1_ * cc1_;
+    d2_ = 4.0 * ao * tsi * cc1sq;
+    const double temp = d2_ * tsi * cc1_ / 3.0;
+    d3_ = (17.0 * ao + sfour) * temp;
+    d4_ = 0.5 * temp * ao * tsi * (221.0 * ao + 31.0 * sfour) * cc1_;
+    t3cof_ = d2_ + 2.0 * cc1sq;
+    t4cof_ = 0.25 * (3.0 * d3_ + cc1_ * (12.0 * d2_ + 10.0 * cc1sq));
+    t5cof_ = 0.2 * (3.0 * d4_ + 12.0 * cc1_ * d3_ + 6.0 * d2_ * d2_ +
+                    15.0 * cc1sq * (2.0 * d2_ + cc1sq));
+  }
+
+  // Exercise the model once at epoch so bad element sets fail fast.
+  orbit::StateVector probe;
+  const Sgp4Status status = run_sgp4(0.0, probe);
+  if (status != Sgp4Status::kOk) {
+    throw PropagationError("sgp4 init failed for catalog " +
+                           std::to_string(catalog_number_) + ": " +
+                           to_string(status));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// dscom: deep-space common terms (lunar & solar geometry at epoch).
+// ---------------------------------------------------------------------------
+void Sgp4Propagator::dscom(double epoch1950, double ep, double argpp, double tc,
+                           double inclp, double nodep, double np) {
+  constexpr double zes = 0.01675;
+  constexpr double zel = 0.05490;
+  constexpr double c1ss = 2.9864797e-6;
+  constexpr double c1l = 4.7968065e-7;
+  constexpr double zsinis = 0.39785416;
+  constexpr double zcosis = 0.91744867;
+  constexpr double zcosgs = 0.1945905;
+  constexpr double zsings = -0.98088458;
+
+  const double nm = np;
+  const double em = ep;
+  snodm_ = std::sin(nodep);
+  cnodm_ = std::cos(nodep);
+  sinomm_ = std::sin(argpp);
+  cosomm_ = std::cos(argpp);
+  sinim_ = std::sin(inclp);
+  cosim_ = std::cos(inclp);
+  emsq_ = em * em;
+  const double betasq = 1.0 - emsq_;
+  rtemsq_ = std::sqrt(betasq);
+
+  peo_ = 0.0;
+  pinco_ = 0.0;
+  plo_ = 0.0;
+  pgho_ = 0.0;
+  pho_ = 0.0;
+  day_ = epoch1950 + 18261.5 + tc / 1440.0;
+  const double xnodce = std::fmod(4.5236020 - 9.2422029e-4 * day_, kTwoPi);
+  const double stem = std::sin(xnodce);
+  const double ctem = std::cos(xnodce);
+  const double zcosil = 0.91375164 - 0.03568096 * ctem;
+  const double zsinil = std::sqrt(1.0 - zcosil * zcosil);
+  const double zsinhl = 0.089683511 * stem / zsinil;
+  const double zcoshl = std::sqrt(1.0 - zsinhl * zsinhl);
+  gam_ = 5.8351514 + 0.0019443680 * day_;
+  double zx = 0.39785416 * stem / zsinil;
+  const double zy = zcoshl * ctem + 0.91744867 * zsinhl * stem;
+  zx = std::atan2(zx, zy);
+  zx = gam_ + zx - xnodce;
+  const double zcosgl = std::cos(zx);
+  const double zsingl = std::sin(zx);
+
+  // ------------------------- do solar terms -------------------------------
+  double zcosg = zcosgs;
+  double zsing = zsings;
+  double zcosi = zcosis;
+  double zsini = zsinis;
+  double zcosh = cnodm_;
+  double zsinh = snodm_;
+  double cc = c1ss;
+  const double xnoi = 1.0 / nm;
+
+  for (int lsflg = 1; lsflg <= 2; ++lsflg) {
+    const double a1 = zcosg * zcosh + zsing * zcosi * zsinh;
+    const double a3 = -zsing * zcosh + zcosg * zcosi * zsinh;
+    const double a7 = -zcosg * zsinh + zsing * zcosi * zcosh;
+    const double a8 = zsing * zsini;
+    const double a9 = zsing * zsinh + zcosg * zcosi * zcosh;
+    const double a10 = zcosg * zsini;
+    const double a2 = cosim_ * a7 + sinim_ * a8;
+    const double a4 = cosim_ * a9 + sinim_ * a10;
+    const double a5 = -sinim_ * a7 + cosim_ * a8;
+    const double a6 = -sinim_ * a9 + cosim_ * a10;
+
+    const double x1 = a1 * cosomm_ + a2 * sinomm_;
+    const double x2 = a3 * cosomm_ + a4 * sinomm_;
+    const double x3 = -a1 * sinomm_ + a2 * cosomm_;
+    const double x4 = -a3 * sinomm_ + a4 * cosomm_;
+    const double x5 = a5 * sinomm_;
+    const double x6 = a6 * sinomm_;
+    const double x7 = a5 * cosomm_;
+    const double x8 = a6 * cosomm_;
+
+    z31_ = 12.0 * x1 * x1 - 3.0 * x3 * x3;
+    z32_ = 24.0 * x1 * x2 - 6.0 * x3 * x4;
+    z33_ = 12.0 * x2 * x2 - 3.0 * x4 * x4;
+    z1_ = 3.0 * (a1 * a1 + a2 * a2) + z31_ * emsq_;
+    z2_ = 6.0 * (a1 * a3 + a2 * a4) + z32_ * emsq_;
+    z3_ = 3.0 * (a3 * a3 + a4 * a4) + z33_ * emsq_;
+    z11_ = -6.0 * a1 * a5 + emsq_ * (-24.0 * x1 * x7 - 6.0 * x3 * x5);
+    z12_ = -6.0 * (a1 * a6 + a3 * a5) +
+           emsq_ * (-24.0 * (x2 * x7 + x1 * x8) - 6.0 * (x3 * x6 + x4 * x5));
+    z13_ = -6.0 * a3 * a6 + emsq_ * (-24.0 * x2 * x8 - 6.0 * x4 * x6);
+    z21_ = 6.0 * a2 * a5 + emsq_ * (24.0 * x1 * x5 - 6.0 * x3 * x7);
+    z22_ = 6.0 * (a4 * a5 + a2 * a6) +
+           emsq_ * (24.0 * (x2 * x5 + x1 * x6) - 6.0 * (x4 * x7 + x3 * x8));
+    z23_ = 6.0 * a4 * a6 + emsq_ * (24.0 * x2 * x6 - 6.0 * x4 * x8);
+    z1_ = z1_ + z1_ + betasq * z31_;
+    z2_ = z2_ + z2_ + betasq * z32_;
+    z3_ = z3_ + z3_ + betasq * z33_;
+    s3_ = cc * xnoi;
+    s2_ = -0.5 * s3_ / rtemsq_;
+    s4_ = s3_ * rtemsq_;
+    s1_ = -15.0 * em * s4_;
+    s5_ = x1 * x3 + x2 * x4;
+    s6_ = x2 * x3 + x1 * x4;
+    s7_ = x2 * x4 - x1 * x3;
+
+    if (lsflg == 1) {
+      ss1_ = s1_;
+      ss2_ = s2_;
+      ss3_ = s3_;
+      ss4_ = s4_;
+      ss5_ = s5_;
+      ss6_ = s6_;
+      ss7_ = s7_;
+      sz1_ = z1_;
+      sz2_ = z2_;
+      sz3_ = z3_;
+      sz11_ = z11_;
+      sz12_ = z12_;
+      sz13_ = z13_;
+      sz21_ = z21_;
+      sz22_ = z22_;
+      sz23_ = z23_;
+      sz31_ = z31_;
+      sz32_ = z32_;
+      sz33_ = z33_;
+      zcosg = zcosgl;
+      zsing = zsingl;
+      zcosi = zcosil;
+      zsini = zsinil;
+      zcosh = zcoshl * cnodm_ + zsinhl * snodm_;
+      zsinh = snodm_ * zcoshl - cnodm_ * zsinhl;
+      cc = c1l;
+    }
+  }
+
+  zmol_ = std::fmod(4.7199672 + 0.22997150 * day_ - gam_, kTwoPi);
+  zmos_ = std::fmod(6.2565837 + 0.017201977 * day_, kTwoPi);
+
+  // ------------------------ do solar terms --------------------------------
+  se2_ = 2.0 * ss1_ * ss6_;
+  se3_ = 2.0 * ss1_ * ss7_;
+  si2_ = 2.0 * ss2_ * sz12_;
+  si3_ = 2.0 * ss2_ * (sz13_ - sz11_);
+  sl2_ = -2.0 * ss3_ * sz2_;
+  sl3_ = -2.0 * ss3_ * (sz3_ - sz1_);
+  sl4_ = -2.0 * ss3_ * (-21.0 - 9.0 * emsq_) * zes;
+  sgh2_ = 2.0 * ss4_ * sz32_;
+  sgh3_ = 2.0 * ss4_ * (sz33_ - sz31_);
+  sgh4_ = -18.0 * ss4_ * zes;
+  sh2_ = -2.0 * ss2_ * sz22_;
+  sh3_ = -2.0 * ss2_ * (sz23_ - sz21_);
+
+  // ------------------------ do lunar terms --------------------------------
+  ee2_ = 2.0 * s1_ * s6_;
+  e3_ = 2.0 * s1_ * s7_;
+  xi2_ = 2.0 * s2_ * z12_;
+  xi3_ = 2.0 * s2_ * (z13_ - z11_);
+  xl2_ = -2.0 * s3_ * z2_;
+  xl3_ = -2.0 * s3_ * (z3_ - z1_);
+  xl4_ = -2.0 * s3_ * (-21.0 - 9.0 * emsq_) * zel;
+  xgh2_ = 2.0 * s4_ * z32_;
+  xgh3_ = 2.0 * s4_ * (z33_ - z31_);
+  xgh4_ = -18.0 * s4_ * zel;
+  xh2_ = -2.0 * s2_ * z22_;
+  xh3_ = -2.0 * s2_ * (z23_ - z21_);
+}
+
+// ---------------------------------------------------------------------------
+// dpper: lunar-solar long-period periodic contributions.
+// ---------------------------------------------------------------------------
+void Sgp4Propagator::dpper(double t, bool init_phase, double& ep, double& inclp,
+                           double& nodep, double& argpp, double& mp) const noexcept {
+  constexpr double zns = 1.19459e-5;
+  constexpr double zes = 0.01675;
+  constexpr double znl = 1.5835218e-4;
+  constexpr double zel = 0.05490;
+
+  // --------------- calculate time varying periodics ----------------------
+  double zm = zmos_ + zns * t;
+  if (init_phase) zm = zmos_;
+  double zf = zm + 2.0 * zes * std::sin(zm);
+  double sinzf = std::sin(zf);
+  double f2 = 0.5 * sinzf * sinzf - 0.25;
+  double f3 = -0.5 * sinzf * std::cos(zf);
+  const double ses = se2_ * f2 + se3_ * f3;
+  const double sis = si2_ * f2 + si3_ * f3;
+  const double sls = sl2_ * f2 + sl3_ * f3 + sl4_ * sinzf;
+  const double sghs = sgh2_ * f2 + sgh3_ * f3 + sgh4_ * sinzf;
+  const double shs = sh2_ * f2 + sh3_ * f3;
+
+  zm = zmol_ + znl * t;
+  if (init_phase) zm = zmol_;
+  zf = zm + 2.0 * zel * std::sin(zm);
+  sinzf = std::sin(zf);
+  f2 = 0.5 * sinzf * sinzf - 0.25;
+  f3 = -0.5 * sinzf * std::cos(zf);
+  const double sel = ee2_ * f2 + e3_ * f3;
+  const double sil = xi2_ * f2 + xi3_ * f3;
+  const double sll = xl2_ * f2 + xl3_ * f3 + xl4_ * sinzf;
+  const double sghl = xgh2_ * f2 + xgh3_ * f3 + xgh4_ * sinzf;
+  const double shll = xh2_ * f2 + xh3_ * f3;
+
+  double pe = ses + sel;
+  double pinc = sis + sil;
+  double pl = sls + sll;
+  double pgh = sghs + sghl;
+  double ph = shs + shll;
+
+  if (!init_phase) {
+    pe -= peo_;
+    pinc -= pinco_;
+    pl -= plo_;
+    pgh -= pgho_;
+    ph -= pho_;
+    inclp += pinc;
+    ep += pe;
+    const double sinip = std::sin(inclp);
+    const double cosip = std::cos(inclp);
+
+    if (inclp >= 0.2) {
+      ph /= sinip;
+      pgh -= cosip * ph;
+      argpp += pgh;
+      nodep += ph;
+      mp += pl;
+    } else {
+      // ---- apply periodics with Lyddane modification (low inclination) ---
+      const double sinop = std::sin(nodep);
+      const double cosop = std::cos(nodep);
+      double alfdp = sinip * sinop;
+      double betdp = sinip * cosop;
+      const double dalf = ph * cosop + pinc * cosip * sinop;
+      const double dbet = -ph * sinop + pinc * cosip * cosop;
+      alfdp += dalf;
+      betdp += dbet;
+      nodep = std::fmod(nodep, kTwoPi);
+      if (nodep < 0.0) nodep += kTwoPi;
+      double xls = mp + argpp + cosip * nodep;
+      const double dls = pl + pgh - pinc * nodep * sinip;
+      xls += dls;
+      const double xnoh = nodep;
+      nodep = std::atan2(alfdp, betdp);
+      if (nodep < 0.0) nodep += kTwoPi;
+      if (std::fabs(xnoh - nodep) > kPi) {
+        if (nodep < xnoh) nodep += kTwoPi;
+        else nodep -= kTwoPi;
+      }
+      mp += pl;
+      argpp = xls - mp - cosip * nodep;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// dsinit: deep-space secular rates and resonance initialisation.
+// ---------------------------------------------------------------------------
+void Sgp4Propagator::dsinit(double tc, double xpidot, double eccsq, double& em,
+                            double& argpm, double& inclm, double& mm, double& nm,
+                            double& nodem) {
+  constexpr double q22 = 1.7891679e-6;
+  constexpr double q31 = 2.1460748e-6;
+  constexpr double q33 = 2.2123015e-7;
+  constexpr double root22 = 1.7891679e-6;
+  constexpr double root44 = 7.3636953e-9;
+  constexpr double root54 = 2.1765803e-9;
+  constexpr double rptim = 4.37526908801129966e-3;  // earth rotation, rad/min
+  constexpr double root32 = 3.7393792e-7;
+  constexpr double root52 = 1.1428639e-7;
+  constexpr double znl = 1.5835218e-4;
+  constexpr double zns = 1.19459e-5;
+
+  // -------------------- deep space resonance flags ------------------------
+  irez_ = 0;
+  if (nm < 0.0052359877 && nm > 0.0034906585) irez_ = 1;
+  if (nm >= 8.26e-3 && nm <= 9.24e-3 && em >= 0.5) irez_ = 2;
+
+  // ------------------------ do solar terms --------------------------------
+  const double ses = ss1_ * zns * ss5_;
+  const double sis = ss2_ * zns * (sz11_ + sz13_);
+  const double sls = -zns * ss3_ * (sz1_ + sz3_ - 14.0 - 6.0 * emsq_);
+  const double sghs = ss4_ * zns * (sz31_ + sz33_ - 6.0);
+  double shs = -zns * ss2_ * (sz21_ + sz23_);
+  if (inclm < 5.2359877e-2 || inclm > kPi - 5.2359877e-2) shs = 0.0;
+  if (sinim_ != 0.0) shs /= sinim_;
+  const double sgs = sghs - cosim_ * shs;
+
+  // ------------------------- do lunar terms -------------------------------
+  dedt_ = ses + s1_ * znl * s5_;
+  didt_ = sis + s2_ * znl * (z11_ + z13_);
+  dmdt_ = sls - znl * s3_ * (z1_ + z3_ - 14.0 - 6.0 * emsq_);
+  const double sghl = s4_ * znl * (z31_ + z33_ - 6.0);
+  double shll = -znl * s2_ * (z21_ + z23_);
+  if (inclm < 5.2359877e-2 || inclm > kPi - 5.2359877e-2) shll = 0.0;
+  domdt_ = sgs + sghl;
+  dnodt_ = shs;
+  if (sinim_ != 0.0) {
+    domdt_ -= cosim_ / sinim_ * shll;
+    dnodt_ += shll / sinim_;
+  }
+
+  // At initialisation t = 0, so the secular updates (dedt*t etc.) vanish;
+  // only theta is needed for the resonance phase angles below.
+  const double theta = std::fmod(gsto_ + tc * rptim, kTwoPi);
+  (void)em;
+  (void)argpm;
+  (void)nodem;
+  (void)mm;
+  (void)inclm;
+
+  // -------------------- initialize the resonance terms --------------------
+  if (irez_ != 0) {
+    const double aonv = std::pow(nm / gravity_.xke, kX2o3);
+
+    // ------------- geopotential resonance for 12-hour orbits --------------
+    if (irez_ == 2) {
+      const double cosisq = cosim_ * cosim_;
+      const double emo = em;
+      em = ecco_;
+      const double emsqo = emsq_;
+      emsq_ = eccsq;
+      const double eoc = em * emsq_;
+      const double g201 = -0.306 - (em - 0.64) * 0.440;
+
+      double g211, g310, g322, g410, g422, g520, g521, g532, g533;
+      if (em <= 0.65) {
+        g211 = 3.616 - 13.2470 * em + 16.2900 * emsq_;
+        g310 = -19.302 + 117.3900 * em - 228.4190 * emsq_ + 156.5910 * eoc;
+        g322 = -18.9068 + 109.7927 * em - 214.6334 * emsq_ + 146.5816 * eoc;
+        g410 = -41.122 + 242.6940 * em - 471.0940 * emsq_ + 313.9530 * eoc;
+        g422 = -146.407 + 841.8800 * em - 1629.014 * emsq_ + 1083.4350 * eoc;
+        g520 = -532.114 + 3017.977 * em - 5740.032 * emsq_ + 3708.2760 * eoc;
+      } else {
+        g211 = -72.099 + 331.819 * em - 508.738 * emsq_ + 266.724 * eoc;
+        g310 = -346.844 + 1582.851 * em - 2415.925 * emsq_ + 1246.113 * eoc;
+        g322 = -342.585 + 1554.908 * em - 2366.899 * emsq_ + 1215.972 * eoc;
+        g410 = -1052.797 + 4758.686 * em - 7193.992 * emsq_ + 3651.957 * eoc;
+        g422 = -3581.690 + 16178.110 * em - 24462.770 * emsq_ + 12422.520 * eoc;
+        if (em > 0.715) {
+          g520 = -5149.66 + 29936.92 * em - 54087.36 * emsq_ + 31324.56 * eoc;
+        } else {
+          g520 = 1464.74 - 4664.75 * em + 3763.64 * emsq_;
+        }
+      }
+      if (em < 0.7) {
+        g533 = -919.22770 + 4988.6100 * em - 9064.7700 * emsq_ + 5542.21 * eoc;
+        g521 = -822.71072 + 4568.6173 * em - 8491.4146 * emsq_ + 4649.04 * eoc;
+        g532 = -853.66600 + 4690.2500 * em - 8624.7700 * emsq_ + 5341.4 * eoc;
+      } else {
+        g533 = -37995.780 + 161616.52 * em - 229838.20 * emsq_ + 109377.94 * eoc;
+        g521 = -51752.104 + 218913.95 * em - 309468.16 * emsq_ + 146349.42 * eoc;
+        g532 = -40023.880 + 170470.89 * em - 242699.48 * emsq_ + 115605.82 * eoc;
+      }
+
+      const double sini2 = sinim_ * sinim_;
+      const double f220 = 0.75 * (1.0 + 2.0 * cosim_ + cosisq);
+      const double f221 = 1.5 * sini2;
+      const double f321 =
+          1.875 * sinim_ * (1.0 - 2.0 * cosim_ - 3.0 * cosisq);
+      const double f322 =
+          -1.875 * sinim_ * (1.0 + 2.0 * cosim_ - 3.0 * cosisq);
+      const double f441 = 35.0 * sini2 * f220;
+      const double f442 = 39.3750 * sini2 * sini2;
+      const double f522 =
+          9.84375 * sinim_ *
+          (sini2 * (1.0 - 2.0 * cosim_ - 5.0 * cosisq) +
+           0.33333333 * (-2.0 + 4.0 * cosim_ + 6.0 * cosisq));
+      const double f523 =
+          sinim_ * (4.92187512 * sini2 * (-2.0 - 4.0 * cosim_ + 10.0 * cosisq) +
+                    6.56250012 * (1.0 + 2.0 * cosim_ - 3.0 * cosisq));
+      const double f542 =
+          29.53125 * sinim_ *
+          (2.0 - 8.0 * cosim_ + cosisq * (-12.0 + 8.0 * cosim_ + 10.0 * cosisq));
+      const double f543 =
+          29.53125 * sinim_ *
+          (-2.0 - 8.0 * cosim_ + cosisq * (12.0 + 8.0 * cosim_ - 10.0 * cosisq));
+
+      const double xno2 = nm * nm;
+      const double ainv2 = aonv * aonv;
+      double temp1 = 3.0 * xno2 * ainv2;
+      double temp = temp1 * root22;
+      d2201_ = temp * f220 * g201;
+      d2211_ = temp * f221 * g211;
+      temp1 *= aonv;
+      temp = temp1 * root32;
+      d3210_ = temp * f321 * g310;
+      d3222_ = temp * f322 * g322;
+      temp1 *= aonv;
+      temp = 2.0 * temp1 * root44;
+      d4410_ = temp * f441 * g410;
+      d4422_ = temp * f442 * g422;
+      temp1 *= aonv;
+      temp = temp1 * root52;
+      d5220_ = temp * f522 * g520;
+      d5232_ = temp * f523 * g532;
+      temp = 2.0 * temp1 * root54;
+      d5421_ = temp * f542 * g521;
+      d5433_ = temp * f543 * g533;
+      xlamo_ = std::fmod(mo_ + nodeo_ + nodeo_ - theta - theta, kTwoPi);
+      xfact_ = mdot_ + dmdt_ + 2.0 * (nodedot_ + dnodt_ - rptim) - no_;
+      em = emo;
+      emsq_ = emsqo;
+    }
+
+    // -------------------- synchronous resonance terms ---------------------
+    if (irez_ == 1) {
+      const double g200 = 1.0 + emsq_ * (-2.5 + 0.8125 * emsq_);
+      const double g310 = 1.0 + 2.0 * emsq_;
+      const double g300 = 1.0 + emsq_ * (-6.0 + 6.60937 * emsq_);
+      const double f220 = 0.75 * (1.0 + cosim_) * (1.0 + cosim_);
+      const double f311 =
+          0.9375 * sinim_ * sinim_ * (1.0 + 3.0 * cosim_) - 0.75 * (1.0 + cosim_);
+      double f330 = 1.0 + cosim_;
+      f330 = 1.875 * f330 * f330 * f330;
+      del1_ = 3.0 * nm * nm * aonv * aonv;
+      del2_ = 2.0 * del1_ * f220 * g200 * q22;
+      del3_ = 3.0 * del1_ * f330 * g300 * q33 * aonv;
+      del1_ = del1_ * f311 * g310 * q31 * aonv;
+      xlamo_ = std::fmod(mo_ + nodeo_ + argpo_ - theta, kTwoPi);
+      xfact_ = mdot_ + xpidot - rptim + dmdt_ + domdt_ + dnodt_ - no_;
+    }
+
+    // ------------ for sgp4, initialize the integrator -------------------
+    xli_ = xlamo_;
+    xni_ = no_;
+    atime_ = 0.0;
+    nm = no_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// dspace: deep-space secular effects and resonance integration at time t.
+// ---------------------------------------------------------------------------
+void Sgp4Propagator::dspace(double t, double tc, double& em, double& argpm,
+                            double& inclm, double& mm, double& nodem,
+                            double& nm) const noexcept {
+  constexpr double fasx2 = 0.13130908;
+  constexpr double fasx4 = 2.8843198;
+  constexpr double fasx6 = 0.37448087;
+  constexpr double g22 = 5.7686396;
+  constexpr double g32 = 0.95240898;
+  constexpr double g44 = 1.8014998;
+  constexpr double g52 = 1.0508330;
+  constexpr double g54 = 4.4108898;
+  constexpr double rptim = 4.37526908801129966e-3;
+  constexpr double stepp = 720.0;
+  constexpr double stepn = -720.0;
+  constexpr double step2 = 259200.0;
+
+  // ----------- calculate deep space resonance effects -----------
+  const double theta = std::fmod(gsto_ + tc * rptim, kTwoPi);
+  em += dedt_ * t;
+  inclm += didt_ * t;
+  argpm += domdt_ * t;
+  nodem += dnodt_ * t;
+  mm += dmdt_ * t;
+
+  // - update resonances: numerical (euler-maclaurin) integration -
+  double ft = 0.0;
+  if (irez_ != 0) {
+    // Restart the integrator when t moved backwards past the cached state.
+    if (atime_ == 0.0 || t * atime_ <= 0.0 || std::fabs(t) < std::fabs(atime_)) {
+      atime_ = 0.0;
+      xni_ = no_;
+      xli_ = xlamo_;
+    }
+    const double delt = (t > 0.0) ? stepp : stepn;
+
+    double xndt = 0.0;
+    double xldot = 0.0;
+    double xnddt = 0.0;
+    bool integrating = true;
+    while (integrating) {
+      // ------------------- dot terms calculated -------------
+      if (irez_ != 2) {
+        // near-synchronous resonance terms
+        xndt = del1_ * std::sin(xli_ - fasx2) +
+               del2_ * std::sin(2.0 * (xli_ - fasx4)) +
+               del3_ * std::sin(3.0 * (xli_ - fasx6));
+        xldot = xni_ + xfact_;
+        xnddt = del1_ * std::cos(xli_ - fasx2) +
+                2.0 * del2_ * std::cos(2.0 * (xli_ - fasx4)) +
+                3.0 * del3_ * std::cos(3.0 * (xli_ - fasx6));
+        xnddt *= xldot;
+      } else {
+        // near half-day resonance terms
+        const double xomi = argpo_ + argpdot_ * atime_;
+        const double x2omi = xomi + xomi;
+        const double x2li = xli_ + xli_;
+        xndt = d2201_ * std::sin(x2omi + xli_ - g22) +
+               d2211_ * std::sin(xli_ - g22) +
+               d3210_ * std::sin(xomi + xli_ - g32) +
+               d3222_ * std::sin(-xomi + xli_ - g32) +
+               d4410_ * std::sin(x2omi + x2li - g44) +
+               d4422_ * std::sin(x2li - g44) +
+               d5220_ * std::sin(xomi + xli_ - g52) +
+               d5232_ * std::sin(-xomi + xli_ - g52) +
+               d5421_ * std::sin(xomi + x2li - g54) +
+               d5433_ * std::sin(-xomi + x2li - g54);
+        xldot = xni_ + xfact_;
+        xnddt = d2201_ * std::cos(x2omi + xli_ - g22) +
+                d2211_ * std::cos(xli_ - g22) +
+                d3210_ * std::cos(xomi + xli_ - g32) +
+                d3222_ * std::cos(-xomi + xli_ - g32) +
+                d5220_ * std::cos(xomi + xli_ - g52) +
+                d5232_ * std::cos(-xomi + xli_ - g52) +
+                2.0 * (d4410_ * std::cos(x2omi + x2li - g44) +
+                       d4422_ * std::cos(x2li - g44) +
+                       d5421_ * std::cos(xomi + x2li - g54) +
+                       d5433_ * std::cos(-xomi + x2li - g54));
+        xnddt *= xldot;
+      }
+
+      // ----------------------- integrator -------------------
+      if (std::fabs(t - atime_) >= stepp) {
+        integrating = true;
+      } else {
+        ft = t - atime_;
+        integrating = false;
+      }
+      if (integrating) {
+        xli_ += xldot * delt + xndt * step2;
+        xni_ += xndt * delt + xnddt * step2;
+        atime_ += delt;
+      }
+    }
+
+    nm = xni_ + xndt * ft + xnddt * ft * ft * 0.5;
+    const double xl = xli_ + xldot * ft + xndt * ft * ft * 0.5;
+    double dndt = 0.0;
+    if (irez_ != 1) {
+      mm = xl - 2.0 * nodem + 2.0 * theta;
+      dndt = nm - no_;
+    } else {
+      mm = xl - nodem - argpm + theta;
+      dndt = nm - no_;
+    }
+    nm = no_ + dndt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// run_sgp4: the propagation kernel (Vallado's sgp4()).
+// ---------------------------------------------------------------------------
+Sgp4Status Sgp4Propagator::run_sgp4(double tsince, orbit::StateVector& out) const noexcept {
+  const double temp4 = 1.5e-12;
+  const double xke = gravity_.xke;
+  const double j2 = gravity_.j2;
+  const double j3oj2 = gravity_.j3oj2;
+  const double radiusearthkm = gravity_.radius_earth_km;
+  const double vkmpersec = radiusearthkm * xke / 60.0;
+
+  const double t = tsince;
+
+  // ------- update for secular gravity and atmospheric drag -----
+  const double xmdf = mo_ + mdot_ * t;
+  const double argpdf = argpo_ + argpdot_ * t;
+  const double nodedf = nodeo_ + nodedot_ * t;
+  double argpm = argpdf;
+  double mm = xmdf;
+  const double t2 = t * t;
+  double nodem = nodedf + nodecf_ * t2;
+  double tempa = 1.0 - cc1_ * t;
+  double tempe = bstar_ * cc4_ * t;
+  double templ = t2cof_ * t2;
+
+  if (isimp_ != 1) {
+    const double delomg = omgcof_ * t;
+    const double delmtemp = 1.0 + eta_ * std::cos(xmdf);
+    const double delm = xmcof_ * (delmtemp * delmtemp * delmtemp - delmo_);
+    const double temp = delomg + delm;
+    mm = xmdf + temp;
+    argpm = argpdf - temp;
+    const double t3 = t2 * t;
+    const double t4 = t3 * t;
+    tempa = tempa - d2_ * t2 - d3_ * t3 - d4_ * t4;
+    tempe = tempe + bstar_ * cc5_ * (std::sin(mm) - sinmao_);
+    templ = templ + t3cof_ * t3 + t4 * (t4cof_ + t * t5cof_);
+  }
+
+  double nm = no_;
+  double em = ecco_;
+  double inclm = inclo_;
+  if (method_ == 'd') {
+    const double tc = t;
+    dspace(t, tc, em, argpm, inclm, mm, nodem, nm);
+  }
+
+  if (nm <= 0.0) return Sgp4Status::kMeanMotionNonPositive;
+
+  const double am = std::pow(xke / nm, kX2o3) * tempa * tempa;
+  nm = xke / std::pow(am, 1.5);
+  em -= tempe;
+
+  if (em >= 1.0 || em < -0.001) return Sgp4Status::kEccentricityOutOfRange;
+  if (em < 1.0e-6) em = 1.0e-6;
+
+  mm += no_ * templ;
+  double xlm = mm + argpm + nodem;
+
+  nodem = std::fmod(nodem, kTwoPi);
+  if (nodem < 0.0) nodem += kTwoPi;
+  argpm = std::fmod(argpm, kTwoPi);
+  xlm = std::fmod(xlm, kTwoPi);
+  mm = std::fmod(xlm - argpm - nodem, kTwoPi);
+
+  // ----------------- compute extra mean quantities -------------
+  const double sinim = std::sin(inclm);
+  const double cosim = std::cos(inclm);
+
+  // -------------------- add lunar-solar periodics --------------
+  double ep = em;
+  double xincp = inclm;
+  double argpp = argpm;
+  double nodep = nodem;
+  double mp = mm;
+  double sinip = sinim;
+  double cosip = cosim;
+  double aycof = aycof_;
+  double xlcof = xlcof_;
+  double con41 = con41_;
+  double x1mth2 = x1mth2_;
+  double x7thm1 = x7thm1_;
+
+  if (method_ == 'd') {
+    dpper(t, /*init_phase=*/false, ep, xincp, nodep, argpp, mp);
+    if (xincp < 0.0) {
+      xincp = -xincp;
+      nodep += kPi;
+      argpp -= kPi;
+    }
+    if (ep < 0.0 || ep > 1.0) {
+      return Sgp4Status::kPerturbedEccentricityOutOfRange;
+    }
+    // ------------ update the long-period coefficients -----------
+    sinip = std::sin(xincp);
+    cosip = std::cos(xincp);
+    aycof = -0.5 * j3oj2 * sinip;
+    if (std::fabs(cosip + 1.0) > 1.5e-12) {
+      xlcof = -0.25 * j3oj2 * sinip * (3.0 + 5.0 * cosip) / (1.0 + cosip);
+    } else {
+      xlcof = -0.25 * j3oj2 * sinip * (3.0 + 5.0 * cosip) / temp4;
+    }
+  }
+
+  // --------------------- long period periodics -----------------
+  const double axnl = ep * std::cos(argpp);
+  double temp = 1.0 / (am * (1.0 - ep * ep));
+  const double aynl = ep * std::sin(argpp) + temp * aycof;
+  const double xl = mp + argpp + nodep + temp * xlcof * axnl;
+
+  // ------------------------ solve kepler's equation ------------
+  const double u = std::fmod(xl - nodep, kTwoPi);
+  double eo1 = u;
+  double tem5 = 9999.9;
+  double sineo1 = 0.0;
+  double coseo1 = 0.0;
+  int ktr = 1;
+  while (std::fabs(tem5) >= 1.0e-12 && ktr <= 10) {
+    sineo1 = std::sin(eo1);
+    coseo1 = std::cos(eo1);
+    tem5 = 1.0 - coseo1 * axnl - sineo1 * aynl;
+    tem5 = (u - aynl * coseo1 + axnl * sineo1 - eo1) / tem5;
+    if (std::fabs(tem5) >= 0.95) tem5 = tem5 > 0.0 ? 0.95 : -0.95;
+    eo1 += tem5;
+    ++ktr;
+  }
+
+  // ------------- short period preliminary quantities -----------
+  const double ecose = axnl * coseo1 + aynl * sineo1;
+  const double esine = axnl * sineo1 - aynl * coseo1;
+  const double el2 = axnl * axnl + aynl * aynl;
+  const double pl = am * (1.0 - el2);
+  if (pl < 0.0) return Sgp4Status::kSemiLatusRectumNegative;
+
+  const double rl = am * (1.0 - ecose);
+  const double rdotl = std::sqrt(am) * esine / rl;
+  const double rvdotl = std::sqrt(pl) / rl;
+  const double betal = std::sqrt(1.0 - el2);
+  temp = esine / (1.0 + betal);
+  const double sinu = am / rl * (sineo1 - aynl - axnl * temp);
+  const double cosu = am / rl * (coseo1 - axnl + aynl * temp);
+  double su = std::atan2(sinu, cosu);
+  const double sin2u = (cosu + cosu) * sinu;
+  const double cos2u = 1.0 - 2.0 * sinu * sinu;
+  temp = 1.0 / pl;
+  const double temp1 = 0.5 * j2 * temp;
+  const double temp2 = temp1 * temp;
+
+  // -------------- update for short period periodics ------------
+  if (method_ == 'd') {
+    const double cosisq = cosip * cosip;
+    con41 = 3.0 * cosisq - 1.0;
+    x1mth2 = 1.0 - cosisq;
+    x7thm1 = 7.0 * cosisq - 1.0;
+  }
+  const double mrt =
+      rl * (1.0 - 1.5 * temp2 * betal * con41) + 0.5 * temp1 * x1mth2 * cos2u;
+  su -= 0.25 * temp2 * x7thm1 * sin2u;
+  const double xnode = nodep + 1.5 * temp2 * cosip * sin2u;
+  const double xinc = xincp + 1.5 * temp2 * cosip * sinip * cos2u;
+  const double mvt = rdotl - nm * temp1 * x1mth2 * sin2u / xke;
+  const double rvdot = rvdotl + nm * temp1 * (x1mth2 * cos2u + 1.5 * con41) / xke;
+
+  // --------------------- orientation vectors -------------------
+  const double sinsu = std::sin(su);
+  const double cossu = std::cos(su);
+  const double snod = std::sin(xnode);
+  const double cnod = std::cos(xnode);
+  const double sini = std::sin(xinc);
+  const double cosi = std::cos(xinc);
+  const double xmx = -snod * cosi;
+  const double xmy = cnod * cosi;
+  const double ux = xmx * sinsu + cnod * cossu;
+  const double uy = xmy * sinsu + snod * cossu;
+  const double uz = sini * sinsu;
+  const double vx = xmx * cossu - cnod * sinsu;
+  const double vy = xmy * cossu - snod * sinsu;
+  const double vz = sini * cossu;
+
+  // ------------------- position and velocity (km, km/s) --------
+  out.position_km = {mrt * ux * radiusearthkm, mrt * uy * radiusearthkm,
+                     mrt * uz * radiusearthkm};
+  out.velocity_kms = {(mvt * ux + rvdot * vx) * vkmpersec,
+                      (mvt * uy + rvdot * vy) * vkmpersec,
+                      (mvt * uz + rvdot * vz) * vkmpersec};
+
+  if (mrt < 1.0) return Sgp4Status::kDecayed;
+  return Sgp4Status::kOk;
+}
+
+}  // namespace cosmicdance::sgp4

@@ -1,0 +1,128 @@
+// SGP4/SDP4 orbit propagator (Vallado's reference algorithm, WGS-72).
+//
+// This is the standard analytical model TLEs are fitted against: the
+// near-earth SGP4 theory (J2/J3/J4 secular + periodic terms and the B* drag
+// model) plus the SDP4 deep-space extension (lunar/solar periodics and
+// 12h/24h resonance handling) selected automatically for periods >= 225 min.
+// Output states are in the TEME frame, kilometres and km/s.
+#pragma once
+
+#include <string>
+
+#include "orbit/constants.hpp"
+#include "orbit/state.hpp"
+#include "tle/tle.hpp"
+
+namespace cosmicdance::sgp4 {
+
+/// Propagation failure modes, mirroring the reference implementation's
+/// error codes.
+enum class Sgp4Status {
+  kOk = 0,
+  kEccentricityOutOfRange = 1,  ///< mean eccentricity outside [0, 1)
+  kMeanMotionNonPositive = 2,
+  kPerturbedEccentricityOutOfRange = 3,
+  kSemiLatusRectumNegative = 4,
+  kDecayed = 6,  ///< satellite radius dropped below Earth's surface
+};
+
+/// Human-readable description of a status code.
+[[nodiscard]] std::string to_string(Sgp4Status status);
+
+/// One initialised propagator per TLE.  Construction runs the full
+/// sgp4init element recovery; propagation is then cheap and thread-safe
+/// for distinct instances (the deep-space resonance integrator keeps a
+/// restartable cache, so a single instance must not be shared across
+/// threads without synchronisation).
+class Sgp4Propagator {
+ public:
+  /// Throws ValidationError for bad elements and PropagationError when the
+  /// element set cannot be initialised (e.g. epoch elements below ground).
+  explicit Sgp4Propagator(const tle::Tle& tle,
+                          const orbit::GravityModel& gravity = orbit::wgs72());
+
+  /// Propagate `tsince_minutes` minutes from the TLE epoch.  Throws
+  /// PropagationError (with the status in the message) on failure.
+  [[nodiscard]] orbit::StateVector propagate_minutes(double tsince_minutes) const;
+
+  /// Propagate to an absolute UTC Julian date.
+  [[nodiscard]] orbit::StateVector propagate_jd(double jd) const;
+
+  /// Non-throwing variant; returns the status and fills `out` on success.
+  [[nodiscard]] Sgp4Status try_propagate_minutes(double tsince_minutes,
+                                                 orbit::StateVector& out) const noexcept;
+
+  [[nodiscard]] double epoch_jd() const noexcept { return epoch_jd_; }
+  [[nodiscard]] int catalog_number() const noexcept { return catalog_number_; }
+  /// True when the SDP4 deep-space path is active (period >= 225 min).
+  [[nodiscard]] bool deep_space() const noexcept { return method_ == 'd'; }
+
+  /// Brouwer mean semi-major axis recovered from the Kozai mean motion at
+  /// epoch (km) — the paper's altitude proxy uses exactly this recovery.
+  [[nodiscard]] double recovered_semi_major_axis_km() const noexcept;
+  /// recovered_semi_major_axis_km() minus Earth's equatorial radius.
+  [[nodiscard]] double recovered_altitude_km() const noexcept;
+
+ private:
+  void init(const tle::Tle& tle);
+  [[nodiscard]] Sgp4Status run_sgp4(double tsince, orbit::StateVector& out) const noexcept;
+  void dscom(double epoch1950, double ep, double argpp, double tc, double inclp,
+             double nodep, double np);
+  void dpper(double t, bool init_phase, double& ep, double& inclp, double& nodep,
+             double& argpp, double& mp) const noexcept;
+  void dsinit(double tc, double xpidot, double eccsq, double& em, double& argpm,
+              double& inclm, double& mm, double& nm, double& nodem);
+  void dspace(double t, double tc, double& em, double& argpm, double& inclm,
+              double& mm, double& nodem, double& nm) const noexcept;
+
+  orbit::GravityModel gravity_{};
+  double epoch_jd_ = 0.0;
+  double epoch1950_ = 0.0;  ///< days since 1949 Dec 31 00:00 UT
+  int catalog_number_ = 0;
+  char method_ = 'n';  ///< 'n' near earth, 'd' deep space
+  int isimp_ = 0;
+
+  // Mean elements at epoch (radians, rad/min).
+  double bstar_ = 0.0, ecco_ = 0.0, argpo_ = 0.0, inclo_ = 0.0, mo_ = 0.0,
+         no_ = 0.0, nodeo_ = 0.0;
+
+  // Near-earth constants.
+  double aycof_ = 0.0, con41_ = 0.0, cc1_ = 0.0, cc4_ = 0.0, cc5_ = 0.0,
+         d2_ = 0.0, d3_ = 0.0, d4_ = 0.0, delmo_ = 0.0, eta_ = 0.0,
+         argpdot_ = 0.0, omgcof_ = 0.0, sinmao_ = 0.0, t2cof_ = 0.0,
+         t3cof_ = 0.0, t4cof_ = 0.0, t5cof_ = 0.0, x1mth2_ = 0.0,
+         x7thm1_ = 0.0, mdot_ = 0.0, nodedot_ = 0.0, xlcof_ = 0.0,
+         xmcof_ = 0.0, nodecf_ = 0.0;
+
+  // Deep-space constants.
+  int irez_ = 0;
+  double d2201_ = 0.0, d2211_ = 0.0, d3210_ = 0.0, d3222_ = 0.0, d4410_ = 0.0,
+         d4422_ = 0.0, d5220_ = 0.0, d5232_ = 0.0, d5421_ = 0.0, d5433_ = 0.0,
+         dedt_ = 0.0, del1_ = 0.0, del2_ = 0.0, del3_ = 0.0, didt_ = 0.0,
+         dmdt_ = 0.0, dnodt_ = 0.0, domdt_ = 0.0, e3_ = 0.0, ee2_ = 0.0,
+         peo_ = 0.0, pgho_ = 0.0, pho_ = 0.0, pinco_ = 0.0, plo_ = 0.0,
+         se2_ = 0.0, se3_ = 0.0, sgh2_ = 0.0, sgh3_ = 0.0, sgh4_ = 0.0,
+         sh2_ = 0.0, sh3_ = 0.0, si2_ = 0.0, si3_ = 0.0, sl2_ = 0.0,
+         sl3_ = 0.0, sl4_ = 0.0, gsto_ = 0.0, xfact_ = 0.0, xgh2_ = 0.0,
+         xgh3_ = 0.0, xgh4_ = 0.0, xh2_ = 0.0, xh3_ = 0.0, xi2_ = 0.0,
+         xi3_ = 0.0, xl2_ = 0.0, xl3_ = 0.0, xl4_ = 0.0, xlamo_ = 0.0,
+         zmol_ = 0.0, zmos_ = 0.0;
+
+  // dscom scratch shared between dscom -> dpper/dsinit during init.
+  double snodm_ = 0.0, cnodm_ = 0.0, sinim_ = 0.0, cosim_ = 0.0, sinomm_ = 0.0,
+         cosomm_ = 0.0, day_ = 0.0, emsq_ = 0.0, gam_ = 0.0, rtemsq_ = 0.0,
+         s1_ = 0.0, s2_ = 0.0, s3_ = 0.0, s4_ = 0.0, s5_ = 0.0, s6_ = 0.0,
+         s7_ = 0.0, ss1_ = 0.0, ss2_ = 0.0, ss3_ = 0.0, ss4_ = 0.0, ss5_ = 0.0,
+         ss6_ = 0.0, ss7_ = 0.0, sz1_ = 0.0, sz2_ = 0.0, sz3_ = 0.0,
+         sz11_ = 0.0, sz12_ = 0.0, sz13_ = 0.0, sz21_ = 0.0, sz22_ = 0.0,
+         sz23_ = 0.0, sz31_ = 0.0, sz32_ = 0.0, sz33_ = 0.0, z1_ = 0.0,
+         z2_ = 0.0, z3_ = 0.0, z11_ = 0.0, z12_ = 0.0, z13_ = 0.0, z21_ = 0.0,
+         z22_ = 0.0, z23_ = 0.0, z31_ = 0.0, z32_ = 0.0, z33_ = 0.0;
+
+  // Resonance integrator cache (restartable; see class comment).
+  mutable double atime_ = 0.0, xli_ = 0.0, xni_ = 0.0;
+
+  double recovered_a_earth_radii_ = 0.0;
+};
+
+}  // namespace cosmicdance::sgp4

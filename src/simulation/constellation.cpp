@@ -1,0 +1,325 @@
+#include "simulation/constellation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "atmosphere/drag.hpp"
+#include "atmosphere/exponential.hpp"
+#include "atmosphere/storm_density.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "orbit/elements.hpp"
+#include "timeutil/hour_axis.hpp"
+
+namespace cosmicdance::simulation {
+namespace {
+
+double wrap_deg(double deg) noexcept {
+  double wrapped = std::fmod(deg, 360.0);
+  if (wrapped < 0.0) wrapped += 360.0;
+  return wrapped;
+}
+
+std::string designator_for(const timeutil::DateTime& launch, int batch_index,
+                           int piece) {
+  // e.g. "19074A" style: launch year + launch number + piece letter(s).
+  char buffer[16];
+  const char piece_letter = static_cast<char>('A' + piece % 26);
+  std::snprintf(buffer, sizeof(buffer), "%02d%03d%c", launch.year % 100,
+                (batch_index % 999) + 1, piece_letter);
+  return buffer;
+}
+
+}  // namespace
+
+ConstellationSimulator::ConstellationSimulator(ConstellationConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  if (config_.step_hours <= 0.0) {
+    throw ValidationError("simulation step must be positive");
+  }
+  if (timeutil::hours_between(config_.start, config_.end) <= 0.0) {
+    throw ValidationError("simulation end must come after its start");
+  }
+  std::sort(config_.launches.begin(), config_.launches.end(),
+            [](const LaunchBatch& a, const LaunchBatch& b) {
+              return timeutil::to_julian(a.time) < timeutil::to_julian(b.time);
+            });
+  next_catalog_ = config_.first_catalog_number;
+}
+
+double ConstellationSimulator::density_ratio(const SatelliteState& satellite,
+                                             double jd) const noexcept {
+  // The observed drag proxy (B*) is fitted over a day-scale tracking arc and
+  // the thermosphere stays expanded for hours after a storm peak, so expose
+  // the worst enhancement over the trailing 24 hours rather than the
+  // instantaneous value.
+  if (config_.dst == nullptr) return 1.0;
+  const timeutil::HourIndex now = timeutil::hour_index_from_julian(jd);
+  double worst = 1.0;
+  for (timeutil::HourIndex hour = now - 24; hour <= now; ++hour) {
+    if (!config_.dst->covers(hour)) continue;
+    worst = std::max(worst, atmosphere::storm_enhancement_factor(
+                                satellite.altitude_km, config_.dst->at(hour)));
+  }
+  return worst;
+}
+
+void ConstellationSimulator::launch_due_batches(double jd, SimulationResult& result) {
+  while (next_launch_ < config_.launches.size()) {
+    const LaunchBatch& batch = config_.launches[next_launch_];
+    if (timeutil::to_julian(batch.time) > jd) break;
+    const double launch_jd = timeutil::to_julian(batch.time);
+    if (batch.first_catalog_number > 0) next_catalog_ = batch.first_catalog_number;
+    for (int piece = 0; piece < batch.count; ++piece) {
+      SatelliteState satellite;
+      satellite.catalog_number = next_catalog_++;
+      satellite.international_designator =
+          designator_for(batch.time, static_cast<int>(next_launch_), piece);
+      satellite.config = batch.satellite;
+      satellite.mode = SatelliteMode::kStaging;
+      satellite.altitude_km =
+          batch.satellite.staging_altitude_km + rng_.normal(0.0, 2.0);
+      satellite.raan_deg = wrap_deg(batch.raan_deg + rng_.normal(0.0, 0.3));
+      satellite.arg_perigee_deg = rng_.uniform(0.0, 360.0);
+      // Spread the batch along the orbit.
+      satellite.mean_anomaly_deg =
+          wrap_deg(360.0 * piece / std::max(batch.count, 1) +
+                   rng_.normal(0.0, 1.0));
+      satellite.launch_jd = launch_jd;
+      satellite.staging_until_jd =
+          launch_jd + batch.staging_days + rng_.uniform(-5.0, 5.0);
+      satellite.deorbit_after_jd =
+          launch_jd + config_.lifetime_years * 365.25 + rng_.normal(0.0, 90.0);
+      if (batch.prelaunched) {
+        satellite.mode = SatelliteMode::kOperational;
+        satellite.altitude_km = batch.satellite.target_altitude_km;
+      }
+      satellites_.push_back(std::move(satellite));
+      satellite_rngs_.push_back(rng_.split());
+      // First observation lands shortly after launch.
+      next_observation_jd_.push_back(launch_jd + rng_.uniform(0.05, 0.5));
+      ++result.launched;
+    }
+    ++next_launch_;
+  }
+}
+
+void ConstellationSimulator::apply_forced_failures(double jd, double dt_hours,
+                                                   SimulationResult& result) {
+  for (const ForcedFailure& forced : config_.forced_failures) {
+    const double at_jd = timeutil::to_julian(forced.at);
+    if (at_jd < jd || at_jd >= jd + dt_hours / units::kHoursPerDay) continue;
+    for (SatelliteState& satellite : satellites_) {
+      if (satellite.catalog_number != forced.catalog_number ||
+          !satellite.tracked()) {
+        continue;
+      }
+      switch (forced.kind) {
+        case FailureKind::kTemporaryOutage:
+          satellite.mode = SatelliteMode::kOutage;
+          satellite.outage_until_jd = jd + forced.outage_days;
+          break;
+        case FailureKind::kPermanentDecay:
+        case FailureKind::kStagingReentry:
+          satellite.mode = SatelliteMode::kDecaying;
+          break;
+      }
+      result.failures.push_back({satellite.catalog_number, jd, forced.kind});
+    }
+  }
+}
+
+void ConstellationSimulator::step_satellite(SatelliteState& satellite, double jd,
+                                            double dt_hours, double dst_nt,
+                                            SimulationResult& result,
+                                            Rng& satellite_rng) {
+  const double dt_days = dt_hours / units::kHoursPerDay;
+
+  // ---- dynamics -----------------------------------------------------------
+  // Controlled modes (staging hold, raising, station keeping, controlled
+  // de-orbit) have electric propulsion dominating drag, so their altitude
+  // follows the controller; only uncontrolled modes free-fall under drag.
+  const double target = satellite.config.target_altitude_km;
+  switch (satellite.mode) {
+    case SatelliteMode::kStaging:
+      // Held at the staging orbit during checkout.
+      satellite.altitude_km = satellite.config.staging_altitude_km;
+      if (jd >= satellite.staging_until_jd) satellite.mode = SatelliteMode::kRaising;
+      break;
+    case SatelliteMode::kRaising:
+      satellite.altitude_km += config_.raising_km_per_day * dt_days;
+      if (satellite.altitude_km >= target) {
+        satellite.altitude_km = target;
+        satellite.mode = SatelliteMode::kOperational;
+      }
+      break;
+    case SatelliteMode::kOperational: {
+      const double ratio =
+          atmosphere::storm_enhancement_factor(satellite.altitude_km, dst_nt);
+      const double rho = atmosphere::density_kg_m3(satellite.altitude_km) * ratio;
+      satellite.altitude_km += atmosphere::circular_decay_rate_km_per_day(
+                                   satellite.altitude_km, rho,
+                                   satellite.ballistic_m2_kg()) *
+                               dt_days;
+      if (jd >= satellite.deorbit_after_jd) {
+        satellite.mode = SatelliteMode::kDeorbiting;
+      } else if (satellite.altitude_km < target - config_.deadband_km) {
+        satellite.altitude_km +=
+            std::min(config_.boost_km_per_day * dt_days,
+                     target - satellite.altitude_km);
+      } else if (satellite.altitude_km > target + config_.deadband_km) {
+        // Station keeping works both ways: lower back after upward drift
+        // (manoeuvre overshoot) so the shell assignment holds.
+        satellite.altitude_km -=
+            std::min(config_.boost_km_per_day * dt_days,
+                     satellite.altitude_km - target);
+      } else if (satellite_rng.bernoulli(config_.maneuver_probability_per_day *
+                                         dt_days)) {
+        // Phasing / conjunction-avoidance manoeuvre: a small altitude nudge.
+        satellite.altitude_km += std::clamp(
+            satellite_rng.normal(0.0, config_.maneuver_sigma_km), -2.0, 2.0);
+      }
+      break;
+    }
+    case SatelliteMode::kOutage:
+    case SatelliteMode::kDecaying: {
+      const double ratio =
+          atmosphere::storm_enhancement_factor(satellite.altitude_km, dst_nt);
+      const double rho = atmosphere::density_kg_m3(satellite.altitude_km) * ratio;
+      satellite.altitude_km += atmosphere::circular_decay_rate_km_per_day(
+                                   satellite.altitude_km, rho,
+                                   satellite.ballistic_m2_kg()) *
+                               dt_days;
+      if (satellite.mode == SatelliteMode::kOutage &&
+          jd >= satellite.outage_until_jd) {
+        satellite.mode = SatelliteMode::kRaising;
+        const FailureModel& fm = config_.failures;
+        if (satellite_rng.bernoulli(fm.retarget_probability)) {
+          satellite.config.target_altitude_km -= satellite_rng.uniform(
+              fm.retarget_min_km, fm.retarget_max_km);
+        }
+      }
+      break;
+    }
+    case SatelliteMode::kDeorbiting:
+      satellite.altitude_km -= config_.deorbit_km_per_day * dt_days;
+      break;
+    case SatelliteMode::kReentered:
+      break;
+  }
+
+  if (satellite.altitude_km <= config_.reentry_altitude_km &&
+      satellite.mode != SatelliteMode::kReentered) {
+    satellite.mode = SatelliteMode::kReentered;
+    ++result.reentered;
+    return;
+  }
+
+  // ---- element evolution (J2 secular + mean motion) -----------------------
+  const double inclination = satellite.config.inclination_deg;
+  satellite.raan_deg = wrap_deg(
+      satellite.raan_deg +
+      raan_rate_deg_per_day(satellite.altitude_km, inclination) * dt_days);
+  satellite.arg_perigee_deg = wrap_deg(
+      satellite.arg_perigee_deg +
+      argp_rate_deg_per_day(satellite.altitude_km, inclination) * dt_days);
+  satellite.mean_anomaly_deg = wrap_deg(
+      satellite.mean_anomaly_deg +
+      360.0 * orbit::mean_motion_from_altitude_km(satellite.altitude_km) * dt_days);
+
+  // ---- storm-induced failures ---------------------------------------------
+  const FailureModel& fm = config_.failures;
+  if (!fm.enabled || dst_nt > -fm.onset_nt) return;
+  const double mitigation = fm.proactive_response ? fm.proactive_scale : 1.0;
+
+  if (satellite.mode == SatelliteMode::kStaging ||
+      satellite.mode == SatelliteMode::kRaising) {
+    if (-dst_nt >= fm.staging_loss_onset_nt) {
+      const double excess = (-dst_nt - fm.staging_loss_onset_nt) / 100.0;
+      const double p = fm.staging_loss_scale * excess * mitigation * dt_hours;
+      if (satellite_rng.bernoulli(p)) {
+        satellite.mode = SatelliteMode::kDecaying;
+        result.failures.push_back(
+            {satellite.catalog_number, jd, FailureKind::kStagingReentry});
+      }
+    }
+    return;
+  }
+
+  if (satellite.mode == SatelliteMode::kOperational) {
+    const double excess = (-dst_nt - fm.onset_nt) / 100.0;
+    if (excess <= 0.0) return;
+    const double p =
+        std::min(fm.rate_scale * std::pow(excess, fm.exponent),
+                 fm.max_hourly_probability) *
+        mitigation * dt_hours;
+    if (satellite_rng.bernoulli(p)) {
+      if (satellite_rng.bernoulli(fm.permanent_fraction)) {
+        satellite.mode = SatelliteMode::kDecaying;
+        result.failures.push_back(
+            {satellite.catalog_number, jd, FailureKind::kPermanentDecay});
+      } else {
+        satellite.mode = SatelliteMode::kOutage;
+        satellite.outage_until_jd =
+            jd + satellite_rng.exponential(fm.outage_mean_days);
+        result.failures.push_back(
+            {satellite.catalog_number, jd, FailureKind::kTemporaryOutage});
+      }
+    }
+  }
+}
+
+SimulationResult ConstellationSimulator::run() {
+  SimulationResult result;
+  TrackingSimulator tracker(config_.tracking, rng_.split()());
+
+  const double start_jd = timeutil::to_julian(config_.start);
+  const double end_jd = timeutil::to_julian(config_.end);
+  const double dt_hours = config_.step_hours;
+  const double dt_days = dt_hours / units::kHoursPerDay;
+
+  double last_truth_jd = start_jd - 1.0;
+  for (double jd = start_jd; jd < end_jd; jd += dt_days) {
+    launch_due_batches(jd, result);
+    apply_forced_failures(jd, dt_hours, result);
+
+    double dst_nt = 0.0;
+    if (config_.dst != nullptr) {
+      const timeutil::HourIndex hour = timeutil::hour_index_from_julian(jd);
+      if (config_.dst->covers(hour)) dst_nt = config_.dst->at(hour);
+    }
+
+    const bool record_truth_now =
+        config_.record_truth && jd - last_truth_jd >= 1.0;
+    for (std::size_t i = 0; i < satellites_.size(); ++i) {
+      SatelliteState& satellite = satellites_[i];
+      if (!satellite.tracked()) continue;
+      step_satellite(satellite, jd, dt_hours, dst_nt, result, satellite_rngs_[i]);
+      if (!satellite.tracked()) continue;
+
+      if (jd >= next_observation_jd_[i]) {
+        const double ratio = density_ratio(satellite, jd);
+        const double rho =
+            atmosphere::density_kg_m3(satellite.altitude_km) * ratio;
+        const double decay = atmosphere::circular_decay_rate_km_per_day(
+            satellite.altitude_km, rho, satellite.ballistic_m2_kg());
+        result.catalog.add(tracker.observe(satellite, jd, ratio, decay));
+        next_observation_jd_[i] = tracker.next_observation_jd(jd);
+      }
+
+      if (record_truth_now) {
+        result.truth[satellite.catalog_number].push_back(
+            {jd, satellite.altitude_km, satellite.mode, density_ratio(satellite, jd)});
+      }
+    }
+    if (record_truth_now) last_truth_jd = jd;
+  }
+
+  for (const SatelliteState& satellite : satellites_) {
+    if (satellite.tracked()) ++result.tracked_at_end;
+  }
+  return result;
+}
+
+}  // namespace cosmicdance::simulation

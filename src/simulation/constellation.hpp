@@ -1,0 +1,154 @@
+// Constellation simulator: ground-truth orbital dynamics under storm-coupled
+// drag, satellite lifecycle management, failure injection and TLE emission.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simulation/launch_plan.hpp"
+#include "simulation/satellite.hpp"
+#include "simulation/tracking.hpp"
+#include "spaceweather/dst_index.hpp"
+#include "tle/catalog.hpp"
+
+namespace cosmicdance::simulation {
+
+/// What kind of storm-induced upset hit a satellite.
+enum class FailureKind {
+  kTemporaryOutage,   ///< loses station keeping, recovers after a while
+  kPermanentDecay,    ///< loses station keeping permanently
+  kStagingReentry,    ///< drag overwhelms a staging/raising satellite
+};
+
+/// A failure scripted to happen at an exact time (used to reproduce the
+/// paper's cherry-picked Fig 3 satellites deterministically).
+struct ForcedFailure {
+  int catalog_number = 0;
+  timeutil::DateTime at;
+  FailureKind kind = FailureKind::kPermanentDecay;
+  double outage_days = 20.0;  ///< for kTemporaryOutage
+};
+
+/// Storm-response / failure model parameters.
+struct FailureModel {
+  bool enabled = true;
+  /// Hourly upset probability scales as
+  ///   rate_scale * max(0, (-dst - onset_nt) / 100)^exponent
+  double onset_nt = 70.0;
+  double exponent = 1.5;
+  double rate_scale = 8.0e-2;
+  /// Saturation: hourly upset probability never exceeds this, so even a
+  /// Carrington-scale driver upsets a fraction of the fleet per hour rather
+  /// than everything at once.
+  double max_hourly_probability = 0.03;
+  /// Of upsets on operational satellites: fraction that decay permanently
+  /// (the rest are temporary outages).  Calibrated so "significantly larger
+  /// (10s of km)" shifts stay at the paper's ~1% tail.
+  double permanent_fraction = 0.10;
+  /// Temporary outage duration: exponential with this mean (days).
+  double outage_mean_days = 18.0;
+  /// After recovering from an outage, probability the operator re-targets
+  /// the satellite a few km lower (shell reassignment after an anomaly) —
+  /// the long-term orbital shifts the paper's Fig 4a tail hints at.
+  double retarget_probability = 0.3;
+  double retarget_min_km = 3.0;
+  double retarget_max_km = 12.0;
+  /// Staging/raising satellites: hourly reentry-spiral probability,
+  /// staging_loss_scale * (-dst - onset)/100 per hour (the Feb 2022 loss
+  /// mechanism; significant only for deep storms at low staging orbits).
+  double staging_loss_scale = 0.015;
+  double staging_loss_onset_nt = 85.0;
+  /// Operator mitigation (Starlink's May-2024 posture): scales all upset
+  /// probabilities down and ducks the satellite during extreme storms.
+  bool proactive_response = false;
+  double proactive_scale = 0.01;
+};
+
+/// One failure that actually happened during a run.
+struct FailureRecord {
+  int catalog_number = 0;
+  double jd = 0.0;
+  FailureKind kind = FailureKind::kTemporaryOutage;
+};
+
+/// Daily ground-truth sample kept for validation and for Fig 3/Fig 9-style
+/// truth comparisons.
+struct TruthSample {
+  double jd = 0.0;
+  double altitude_km = 0.0;
+  SatelliteMode mode = SatelliteMode::kOperational;
+  double density_ratio = 1.0;
+};
+
+struct ConstellationConfig {
+  std::uint64_t seed = 1;
+  timeutil::DateTime start{2019, 11, 11, 0, 0, 0.0};
+  timeutil::DateTime end{2024, 5, 7, 0, 0, 0.0};
+  double step_hours = 1.0;
+
+  /// Hourly Dst series driving the storm response (non-owning; may be null
+  /// for a permanently quiet run).
+  const spaceweather::DstIndex* dst = nullptr;
+
+  std::vector<LaunchBatch> launches;
+  int first_catalog_number = 44713;  ///< Starlink L1's real range starts here
+
+  // Station keeping / lifecycle.
+  double deadband_km = 1.0;
+  double boost_km_per_day = 1.5;
+  /// Operational satellites occasionally manoeuvre (phasing, conjunction
+  /// avoidance): small altitude adjustments at this daily probability.
+  double maneuver_probability_per_day = 0.03;
+  double maneuver_sigma_km = 0.6;
+  double raising_km_per_day = 2.0;
+  double deorbit_km_per_day = 3.0;
+  double lifetime_years = 5.0;
+  double reentry_altitude_km = 200.0;
+
+  FailureModel failures;
+  std::vector<ForcedFailure> forced_failures;
+
+  TrackingConfig tracking;
+  /// Keep a daily ground-truth sample per satellite (costs memory).
+  bool record_truth = false;
+};
+
+/// Result of a full run.
+struct SimulationResult {
+  tle::TleCatalog catalog;                ///< everything the trackers saw
+  std::map<int, std::vector<TruthSample>> truth;  ///< if record_truth
+  std::vector<FailureRecord> failures;
+  int launched = 0;
+  int reentered = 0;
+  /// Satellites still tracked (not reentered) at the end.
+  int tracked_at_end = 0;
+};
+
+/// Runs the scenario hour by hour.  Deterministic for a given config.
+class ConstellationSimulator {
+ public:
+  explicit ConstellationSimulator(ConstellationConfig config);
+
+  /// Run from start to end and return the observed catalog + bookkeeping.
+  [[nodiscard]] SimulationResult run();
+
+ private:
+  void launch_due_batches(double jd, SimulationResult& result);
+  void step_satellite(SatelliteState& satellite, double jd, double dt_hours,
+                      double dst_nt, SimulationResult& result, Rng& satellite_rng);
+  void apply_forced_failures(double jd, double dt_hours, SimulationResult& result);
+  [[nodiscard]] double density_ratio(const SatelliteState& satellite,
+                                     double jd) const noexcept;
+
+  ConstellationConfig config_;
+  Rng rng_;
+  std::vector<SatelliteState> satellites_;
+  std::vector<Rng> satellite_rngs_;
+  std::vector<double> next_observation_jd_;
+  std::size_t next_launch_ = 0;
+  int next_catalog_ = 0;
+};
+
+}  // namespace cosmicdance::simulation

@@ -1,0 +1,39 @@
+// Launch scheduling: batches of satellites entering the simulation.
+#pragma once
+
+#include <vector>
+
+#include "simulation/satellite.hpp"
+#include "timeutil/datetime.hpp"
+
+namespace cosmicdance::simulation {
+
+/// One launch of `count` satellites sharing a plane (RAAN) and shell.
+struct LaunchBatch {
+  timeutil::DateTime time;
+  int count = 60;
+  SatelliteConfig satellite;  ///< configuration applied to every satellite
+  double raan_deg = 0.0;      ///< orbital plane of the batch
+  /// Checkout dwell at the staging orbit before raising begins (days).
+  double staging_days = 45.0;
+  /// When true, the batch enters the simulation already operational at its
+  /// target altitude (used to pre-seed an established fleet for short
+  /// scenarios like the May-2024 window).
+  bool prelaunched = false;
+  /// When positive, the batch's catalog numbers start here instead of the
+  /// running counter (used to pin specific NORAD ids, e.g. Fig 3's
+  /// satellites #44943/#45400/#45766).
+  int first_catalog_number = 0;
+};
+
+/// A Starlink-like cadence: one batch every `cadence_days` from `first`
+/// (inclusive) until `until` (exclusive), planes spread evenly in RAAN.
+/// The real system launched ~60 satellites every ~10 days; scaled-down
+/// reproductions shrink `count` instead of the cadence so the deployment
+/// *timeline* matches the paper's.
+[[nodiscard]] std::vector<LaunchBatch> starlink_like_plan(
+    const timeutil::DateTime& first, const timeutil::DateTime& until,
+    double cadence_days, int count_per_batch,
+    const SatelliteConfig& satellite = {});
+
+}  // namespace cosmicdance::simulation

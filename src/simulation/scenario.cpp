@@ -1,0 +1,135 @@
+#include "simulation/scenario.hpp"
+
+#include "simulation/launch_plan.hpp"
+
+namespace cosmicdance::simulation::scenario {
+
+ConstellationConfig paper_window(const spaceweather::DstIndex* dst,
+                                 int satellites_per_batch, double cadence_days,
+                                 std::uint64_t seed) {
+  ConstellationConfig config;
+  config.seed = seed;
+  config.dst = dst;
+  config.start = timeutil::make_datetime(2019, 11, 11);
+  config.end = timeutil::make_datetime(2024, 5, 7);
+  config.launches = starlink_like_plan(config.start,
+                                       timeutil::make_datetime(2024, 4, 1),
+                                       cadence_days, satellites_per_batch);
+  return config;
+}
+
+ConstellationConfig launch_l1(const spaceweather::DstIndex* dst,
+                              std::uint64_t seed) {
+  ConstellationConfig config;
+  config.seed = seed;
+  config.dst = dst;
+  config.start = timeutil::make_datetime(2019, 11, 11);
+  config.end = timeutil::make_datetime(2020, 12, 31);
+  config.record_truth = true;
+
+  LaunchBatch l1;
+  l1.time = config.start;
+  l1.count = 43;  // the 43 satellites Fig 9 follows
+  l1.raan_deg = 150.0;
+  l1.staging_days = 75.0;  // L1 dwelled at ~350 km into early 2020
+  l1.satellite.staging_altitude_km = 360.0;
+  l1.satellite.target_altitude_km = 550.0;
+  l1.satellite.inclination_deg = 53.0;
+  config.launches.push_back(l1);
+  config.first_catalog_number = 44713;  // real L1 range
+  return config;
+}
+
+ConstellationConfig may_2024(const spaceweather::DstIndex* dst, int fleet_size,
+                             std::uint64_t seed) {
+  ConstellationConfig config;
+  config.seed = seed;
+  config.dst = dst;
+  config.start = timeutil::make_datetime(2024, 4, 20);
+  config.end = timeutil::make_datetime(2024, 6, 1);
+  config.failures.proactive_response = true;  // Starlink's stated posture
+
+  // Pre-seeded operational fleet split across planes/shells like the
+  // deployed Gen1 system (540/550/560 km + 5 km inter-shell spacing note).
+  const int shells = 3;
+  const double shell_altitudes[shells] = {540.0, 550.0, 560.0};
+  for (int s = 0; s < shells; ++s) {
+    LaunchBatch batch;
+    batch.time = config.start;
+    batch.count = fleet_size / shells;
+    batch.prelaunched = true;
+    batch.raan_deg = 120.0 * s;
+    batch.satellite.target_altitude_km = shell_altitudes[s];
+    config.launches.push_back(batch);
+  }
+  return config;
+}
+
+ConstellationConfig figure3(const spaceweather::DstIndex* dst, std::uint64_t seed) {
+  ConstellationConfig config;
+  config.seed = seed;
+  config.dst = dst;
+  config.start = timeutil::make_datetime(2023, 1, 1);
+  config.end = timeutil::make_datetime(2024, 5, 7);
+  config.record_truth = true;
+  // The cherry-picked satellites fail deterministically; keep the random
+  // model out of the way.
+  config.failures.enabled = false;
+
+  auto pinned = [&](int catalog) {
+    LaunchBatch batch;
+    batch.time = config.start;
+    batch.count = 1;
+    batch.prelaunched = true;
+    batch.first_catalog_number = catalog;
+    batch.raan_deg = 40.0 * (catalog % 9);
+    // The paper's storylines show fast decays (~150 km over a few weeks for
+    // #44943); these early-build satellites fall with a hot drag profile.
+    batch.satellite.ballistic_uncontrolled = 1.2;
+    return batch;
+  };
+  config.launches.push_back(pinned(44943));
+  config.launches.push_back(pinned(45400));
+  config.launches.push_back(pinned(45766));
+
+  // #45766: drag spike and permanent decay right after the 2023-03-24 storm.
+  config.forced_failures.push_back(
+      {45766, timeutil::make_datetime(2023, 3, 24, 12),
+       FailureKind::kPermanentDecay, 0.0});
+  // #45400: decay onset after the same storm (paper: drag change modest).
+  config.forced_failures.push_back(
+      {45400, timeutil::make_datetime(2023, 3, 25, 0),
+       FailureKind::kPermanentDecay, 0.0});
+  // #44943: sharp decay (~150 km over weeks) after the 2024-03-03 storm.
+  config.forced_failures.push_back(
+      {44943, timeutil::make_datetime(2024, 3, 3, 18),
+       FailureKind::kPermanentDecay, 0.0});
+  return config;
+}
+
+ConstellationConfig feb_2022(const spaceweather::DstIndex* dst,
+                             std::uint64_t seed) {
+  ConstellationConfig config;
+  config.seed = seed;
+  config.dst = dst;
+  config.start = timeutil::make_datetime(2022, 1, 15);
+  config.end = timeutil::make_datetime(2022, 4, 1);
+  config.record_truth = true;
+
+  LaunchBatch batch;
+  batch.time = timeutil::make_datetime(2022, 1, 28);
+  batch.count = 49;
+  batch.raan_deg = 210.0;
+  batch.staging_days = 30.0;
+  batch.satellite.staging_altitude_km = 210.0;  // the fatally low deployment
+  config.launches.push_back(batch);
+  config.first_catalog_number = 51439;  // the real group's range
+
+  // At 210 km the storm-expanded thermosphere overwhelms the Hall thrusters
+  // quickly; the staging-loss model is correspondingly hot here.
+  config.failures.staging_loss_onset_nt = 55.0;
+  config.failures.staging_loss_scale = 0.5;
+  return config;
+}
+
+}  // namespace cosmicdance::simulation::scenario

@@ -1,0 +1,49 @@
+// Pre-built simulation scenarios, one per experiment family (see DESIGN.md).
+//
+// Every scenario takes a non-owning pointer to the Dst series driving it;
+// the caller generates the series (spaceweather::DstGenerator presets) and
+// must keep it alive for the lifetime of the returned config / the run.
+#pragma once
+
+#include "simulation/constellation.hpp"
+
+namespace cosmicdance::simulation::scenario {
+
+/// The paper's measurement window (launches from 2019-11-11, analysis
+/// Jan 2020 - early May 2024), scaled down by shrinking batch size.  The
+/// default (8 satellites every 12 days, ~1090 launched) keeps bench runtimes
+/// in seconds while leaving enough satellites for 1%-tail statistics.
+[[nodiscard]] ConstellationConfig paper_window(const spaceweather::DstIndex* dst,
+                                               int satellites_per_batch = 8,
+                                               double cadence_days = 12.0,
+                                               std::uint64_t seed = 7);
+
+/// The very first Starlink launch, L1 (2019-11-11): the paper's Fig 9
+/// follows 43 of those satellites through staging, raising and operations.
+/// Catalog numbers start at the real 44713.
+[[nodiscard]] ConstellationConfig launch_l1(const spaceweather::DstIndex* dst,
+                                            std::uint64_t seed = 11);
+
+/// The May-2024 super-storm window (mid-April through May 2024) over an
+/// established fleet, with Starlink's proactive storm response enabled —
+/// Fig 7's setting.  `fleet_size` defaults to a scale-down of the ~6000
+/// satellites tracked at the time.
+[[nodiscard]] ConstellationConfig may_2024(const spaceweather::DstIndex* dst,
+                                           int fleet_size = 1500,
+                                           std::uint64_t seed = 24);
+
+/// Three satellites with the paper's Fig 3 storylines, pinned to the real
+/// NORAD ids: #45766 (drag spike + decay onset after the 2023-03-24 storm),
+/// #45400 (decay onset after the same storm, modest drag change) and
+/// #44943 (sharp ~150 km decay after the 2024-03-03 storm).
+[[nodiscard]] ConstellationConfig figure3(const spaceweather::DstIndex* dst,
+                                          std::uint64_t seed = 3);
+
+/// The February 2022 Starlink incident (paper §2/§A.1): a batch of 49
+/// satellites deployed to a very low ~210 km staging orbit right before a
+/// moderate geomagnetic storm; drag overwhelmed 38 of them before they
+/// could raise.  Window: mid-Jan to April 2022.
+[[nodiscard]] ConstellationConfig feb_2022(const spaceweather::DstIndex* dst,
+                                           std::uint64_t seed = 22);
+
+}  // namespace cosmicdance::simulation::scenario

@@ -1,0 +1,51 @@
+#include "spaceweather/burton.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cosmicdance::spaceweather {
+
+std::vector<double> integrate_burton(std::span<const double> injection_nt_per_hour,
+                                     double tau_hours, double initial_nt) {
+  if (tau_hours <= 0.0) {
+    throw ValidationError("Burton recovery tau must be positive: " +
+                          std::to_string(tau_hours));
+  }
+  std::vector<double> out;
+  out.reserve(injection_nt_per_hour.size());
+  const double decay = std::exp(-1.0 / tau_hours);
+  double state = initial_nt;
+  for (const double q : injection_nt_per_hour) {
+    // Exact solution over one hour with constant Q:
+    //   x(t+1) = x(t)*e^(-1/tau) + Q*tau*(1 - e^(-1/tau))
+    state = state * decay + q * tau_hours * (1.0 - decay);
+    out.push_back(state);
+  }
+  return out;
+}
+
+std::vector<double> storm_injection_profile(double peak_nt, double main_phase_hours,
+                                            double tau_hours,
+                                            std::size_t total_hours) {
+  if (main_phase_hours < 1.0) {
+    throw ValidationError("main phase must be at least one hour");
+  }
+  if (peak_nt >= 0.0) {
+    throw ValidationError("storm peak must be negative (nT): " +
+                          std::to_string(peak_nt));
+  }
+  // With constant Q over n hours the response reaches
+  //   x(n) = Q*tau*(1 - e^(-n/tau))
+  // so choose Q to land exactly on peak_nt at the end of the main phase.
+  const double n = main_phase_hours;
+  const double q =
+      peak_nt / (tau_hours * (1.0 - std::exp(-n / tau_hours)));
+  std::vector<double> profile(total_hours, 0.0);
+  const auto main_hours =
+      std::min(static_cast<std::size_t>(n), total_hours);
+  for (std::size_t i = 0; i < main_hours; ++i) profile[i] = q;
+  return profile;
+}
+
+}  // namespace cosmicdance::spaceweather

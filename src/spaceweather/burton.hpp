@@ -1,0 +1,33 @@
+// Burton-style ring-current model (Burton, McPherron & Russell 1975).
+//
+// The synthetic Dst generator drives this ODE with a storm-injection
+// function Q(t):   dDst*/dt = Q(t) - Dst*/tau
+// which produces the characteristic storm shape: a rapid main phase while
+// Q < 0 and an exponential recovery with time constant tau afterwards.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cosmicdance::spaceweather {
+
+/// Integrate the ring-current ODE on an hourly grid with the classic
+/// exponential-decay closed form per step.
+///
+/// `injection_nt_per_hour[i]` is Q during hour i; `tau_hours` the recovery
+/// time constant; `initial_nt` the ring-current Dst* at t=0.  Returns one
+/// value per hour (the state at the *end* of each hour).  Throws
+/// ValidationError for non-positive tau.
+[[nodiscard]] std::vector<double> integrate_burton(
+    std::span<const double> injection_nt_per_hour, double tau_hours,
+    double initial_nt = 0.0);
+
+/// Build an injection profile for a single storm: constant driving for
+/// `main_phase_hours` sized so the ODE's response peaks at `peak_nt`
+/// (negative), then zero.  Length = total_hours.
+[[nodiscard]] std::vector<double> storm_injection_profile(double peak_nt,
+                                                          double main_phase_hours,
+                                                          double tau_hours,
+                                                          std::size_t total_hours);
+
+}  // namespace cosmicdance::spaceweather

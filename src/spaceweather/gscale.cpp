@@ -1,0 +1,47 @@
+#include "spaceweather/gscale.hpp"
+
+#include "common/error.hpp"
+
+namespace cosmicdance::spaceweather {
+
+StormCategory classify(double dst_nt) noexcept {
+  if (dst_nt <= kExtremeThresholdNt) return StormCategory::kExtreme;
+  if (dst_nt <= kSevereThresholdNt) return StormCategory::kSevere;
+  if (dst_nt <= kModerateThresholdNt) return StormCategory::kModerate;
+  if (dst_nt <= kMinorThresholdNt) return StormCategory::kMinor;
+  return StormCategory::kQuiet;
+}
+
+std::string to_string(StormCategory category) {
+  switch (category) {
+    case StormCategory::kQuiet:
+      return "quiet";
+    case StormCategory::kMinor:
+      return "minor";
+    case StormCategory::kModerate:
+      return "moderate";
+    case StormCategory::kSevere:
+      return "severe";
+    case StormCategory::kExtreme:
+      return "extreme";
+  }
+  return "unknown";
+}
+
+double threshold(StormCategory category) {
+  switch (category) {
+    case StormCategory::kMinor:
+      return kMinorThresholdNt;
+    case StormCategory::kModerate:
+      return kModerateThresholdNt;
+    case StormCategory::kSevere:
+      return kSevereThresholdNt;
+    case StormCategory::kExtreme:
+      return kExtremeThresholdNt;
+    case StormCategory::kQuiet:
+      break;
+  }
+  throw ValidationError("quiet is not a storm category");
+}
+
+}  // namespace cosmicdance::spaceweather

@@ -1,0 +1,36 @@
+// NOAA G-scale storm classification by Dst bands, as used in the paper:
+// G1 minor  -100..-50 nT, G2 moderate -200..-100 nT, G4 severe -350..-200 nT,
+// G5 extreme below -350 nT.  (The paper treats G3 "strong" as the ~-200 nT
+// boundary; events there fall into the severe band, matching the paper's
+// description of the -209/-213/-208 nT hours as the dataset's severe storm.)
+#pragma once
+
+#include <string>
+
+namespace cosmicdance::spaceweather {
+
+enum class StormCategory {
+  kQuiet = 0,    ///< Dst > -50 nT
+  kMinor = 1,    ///< G1: -100 < Dst <= -50   (the paper's "mild")
+  kModerate = 2, ///< G2: -200 < Dst <= -100
+  kSevere = 3,   ///< G4: -350 < Dst <= -200
+  kExtreme = 4,  ///< G5: Dst <= -350
+};
+
+/// Dst band thresholds (upper bounds of each storm band), nT.
+inline constexpr double kMinorThresholdNt = -50.0;
+inline constexpr double kModerateThresholdNt = -100.0;
+inline constexpr double kSevereThresholdNt = -200.0;
+inline constexpr double kExtremeThresholdNt = -350.0;
+
+/// Classify an hourly Dst value.
+[[nodiscard]] StormCategory classify(double dst_nt) noexcept;
+
+/// "quiet" / "minor" / "moderate" / "severe" / "extreme".
+[[nodiscard]] std::string to_string(StormCategory category);
+
+/// The upper-bound Dst threshold of a (non-quiet) category, e.g.
+/// threshold(kMinor) == -50.  Throws ValidationError for kQuiet.
+[[nodiscard]] double threshold(StormCategory category);
+
+}  // namespace cosmicdance::spaceweather

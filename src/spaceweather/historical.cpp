@@ -1,0 +1,40 @@
+#include "spaceweather/historical.hpp"
+
+namespace cosmicdance::spaceweather {
+
+const std::vector<HistoricalStorm>& historical_storms() {
+  static const std::vector<HistoricalStorm> storms = [] {
+    std::vector<HistoricalStorm> s;
+    auto add = [&s](std::string name, int y, int m, int d, double peak,
+                    bool instrumental) {
+      HistoricalStorm storm;
+      storm.name = std::move(name);
+      storm.date = timeutil::make_datetime(y, m, d);
+      storm.peak_dst_nt = peak;
+      storm.instrumental = instrumental;
+      s.push_back(std::move(storm));
+    };
+    add("Carrington Event", 1859, 9, 1, -1800.0, false);
+    add("New York Railroad Storm", 1921, 5, 15, -907.0, false);
+    add("March 1989 (Quebec blackout)", 1989, 3, 13, -589.0, true);
+    add("November 1991", 1991, 11, 9, -354.0, true);
+    add("April 2000", 2000, 4, 6, -288.0, true);
+    add("Bastille Day storm", 2000, 7, 15, -301.0, true);
+    add("April 2001", 2001, 4, 11, -271.0, true);
+    add("November 2001", 2001, 11, 5, -292.0, true);
+    add("Halloween solar storm", 2003, 10, 30, -383.0, true);
+    add("May 2024 super-storm", 2024, 5, 10, -412.0, true);
+    return s;
+  }();
+  return storms;
+}
+
+std::vector<HistoricalStorm> fig8_storms() {
+  std::vector<HistoricalStorm> out;
+  for (const HistoricalStorm& storm : historical_storms()) {
+    if (storm.instrumental) out.push_back(storm);
+  }
+  return out;
+}
+
+}  // namespace cosmicdance::spaceweather

@@ -1,0 +1,31 @@
+// The named historical geomagnetic storms of the paper's Fig 8 / §A.2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "timeutil/datetime.hpp"
+
+namespace cosmicdance::spaceweather {
+
+/// A well-known storm with its recorded peak intensity.
+struct NamedStorm {
+  std::string name;
+  timeutil::DateTime date;
+  double peak_dst_nt = 0.0;
+};
+
+/// The eight storms annotated on Fig 8, plus the two pre-instrumental
+/// reference events the paper discusses (Carrington 1859, New York Railroad
+/// 1921) flagged by `instrumental == false`.
+struct HistoricalStorm : NamedStorm {
+  bool instrumental = true;
+};
+
+/// All reference storms, chronological.
+[[nodiscard]] const std::vector<HistoricalStorm>& historical_storms();
+
+/// Only the instrumental-era storms shown in Fig 8.
+[[nodiscard]] std::vector<HistoricalStorm> fig8_storms();
+
+}  // namespace cosmicdance::spaceweather

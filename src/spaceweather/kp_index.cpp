@@ -1,0 +1,84 @@
+#include "spaceweather/kp_index.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cosmicdance::spaceweather {
+namespace {
+
+// Official ap equivalents for Kp = 0o, 0+, 1-, 1o, ... 9o.
+constexpr std::array<double, 28> kApTable{
+    0,  2,  3,  4,  5,  6,  7,  9,  12, 15,  18,  22,  27,  32,
+    39, 48, 56, 67, 80, 94, 111, 132, 154, 179, 207, 236, 300, 400};
+
+int kp_step_index(double kp) noexcept {
+  const double clamped = std::clamp(kp, 0.0, 9.0);
+  return static_cast<int>(std::lround(clamped * 3.0));
+}
+
+}  // namespace
+
+double round_to_kp_step(double kp) noexcept {
+  return kp_step_index(kp) / 3.0;
+}
+
+double ap_from_kp(double kp) {
+  if (kp < -0.5 || kp > 9.5) {
+    throw ValidationError("Kp outside [0,9]: " + std::to_string(kp));
+  }
+  return kApTable[static_cast<std::size_t>(kp_step_index(kp))];
+}
+
+double kp_from_ap(double ap) {
+  if (ap < 0.0) throw ValidationError("ap must be non-negative");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < kApTable.size(); ++i) {
+    if (std::fabs(kApTable[i] - ap) < std::fabs(kApTable[best] - ap)) best = i;
+  }
+  return static_cast<double>(best) / 3.0;
+}
+
+double kp_from_dst(double dst_nt) noexcept {
+  // Piecewise-linear storm-time fit through the conventional anchor points:
+  //   0 nT -> Kp 1, -50 -> 5 (G1), -100 -> 6 (G2), -200 -> 7 (G3-ish
+  //   boundary), -350 -> 8.67, <= -500 -> 9.
+  struct Anchor {
+    double dst;
+    double kp;
+  };
+  constexpr Anchor anchors[] = {{20.0, 0.0},   {0.0, 1.0},    {-50.0, 5.0},
+                                {-100.0, 6.0}, {-200.0, 7.0}, {-350.0, 8.67},
+                                {-500.0, 9.0}};
+  if (dst_nt >= anchors[0].dst) return anchors[0].kp;
+  for (std::size_t i = 1; i < std::size(anchors); ++i) {
+    if (dst_nt >= anchors[i].dst) {
+      const auto& hi = anchors[i - 1];
+      const auto& lo = anchors[i];
+      const double t = (dst_nt - lo.dst) / (hi.dst - lo.dst);
+      return round_to_kp_step(lo.kp + t * (hi.kp - lo.kp));
+    }
+  }
+  return 9.0;
+}
+
+int g_level_from_kp(double kp) noexcept {
+  const double step = round_to_kp_step(kp);
+  if (step >= 9.0) return 5;
+  if (step >= 8.0) return 4;
+  if (step >= 7.0) return 3;
+  if (step >= 6.0) return 2;
+  if (step >= 5.0) return 1;
+  return 0;
+}
+
+std::string g_label(int g_level) {
+  if (g_level < 0 || g_level > 5) {
+    throw ValidationError("G level outside 0..5: " + std::to_string(g_level));
+  }
+  return "G" + std::to_string(g_level);
+}
+
+}  // namespace cosmicdance::spaceweather

@@ -1,0 +1,36 @@
+// Kp / ap bridge.
+//
+// NOAA's G-scale is formally defined on the planetary Kp index while the
+// paper (and this library) measures Dst.  The two track each other well for
+// storm-time conditions; this module carries the standard conversions so
+// G-scale labels can be cross-checked against Kp-based products:
+//   * Kp <-> ap: the official quasi-logarithmic table,
+//   * Dst -> Kp: a piecewise-linear fit of the storm-time relationship,
+//   * Kp -> NOAA G level.
+#pragma once
+
+#include <string>
+
+namespace cosmicdance::spaceweather {
+
+/// The 28 legal Kp values are thirds: 0.0, 0.33, 0.67, 1.0, ... 9.0.
+/// Round an arbitrary value to the nearest legal Kp step, clamped to [0,9].
+[[nodiscard]] double round_to_kp_step(double kp) noexcept;
+
+/// Official Kp -> ap equivalent (table lookup on the rounded Kp step).
+[[nodiscard]] double ap_from_kp(double kp);
+
+/// Inverse lookup: the Kp step whose ap is nearest the given value.
+[[nodiscard]] double kp_from_ap(double ap);
+
+/// Storm-time Dst -> approximate Kp (piecewise-linear fit; quiet Dst maps
+/// to low Kp, the Carrington regime saturates at Kp 9).
+[[nodiscard]] double kp_from_dst(double dst_nt) noexcept;
+
+/// NOAA G level from Kp: G0 (<5), G1 (5), G2 (6), G3 (7), G4 (8-8.67), G5 (9).
+[[nodiscard]] int g_level_from_kp(double kp) noexcept;
+
+/// "G0".."G5" label.
+[[nodiscard]] std::string g_label(int g_level);
+
+}  // namespace cosmicdance::spaceweather

@@ -1,0 +1,64 @@
+// Storm event segmentation over a Dst series (the paper's Figs 1-2, and the
+// event anchors for every "happens closely after" analysis).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "spaceweather/dst_index.hpp"
+#include "spaceweather/gscale.hpp"
+
+namespace cosmicdance::spaceweather {
+
+/// One geomagnetic storm: a maximal contiguous run of hours with Dst at or
+/// below the detection threshold.
+struct StormEvent {
+  timeutil::HourIndex start_hour = 0;  ///< first hour at/below threshold
+  timeutil::HourIndex end_hour = 0;    ///< one past the last such hour
+  double peak_dst_nt = 0.0;            ///< most negative hourly value
+  timeutil::HourIndex peak_hour = 0;
+  StormCategory category = StormCategory::kQuiet;  ///< classify(peak)
+
+  [[nodiscard]] long duration_hours() const noexcept {
+    return static_cast<long>(end_hour - start_hour);
+  }
+  [[nodiscard]] timeutil::DateTime start_datetime() const {
+    return timeutil::datetime_from_hour_index(start_hour);
+  }
+};
+
+/// Storm detector configuration.
+struct StormDetectorConfig {
+  /// Hours with Dst <= this value belong to a storm (NOAA's "high
+  /// geomagnetic activity" convention).
+  double threshold_nt = kMinorThresholdNt;
+  /// Two runs separated by fewer than this many above-threshold hours are
+  /// merged into one event (brief recoveries inside one storm).
+  int merge_gap_hours = 0;
+  /// Events shorter than this are dropped (0 keeps everything).
+  int min_duration_hours = 1;
+};
+
+/// Segments a Dst series into storm events.
+class StormDetector {
+ public:
+  explicit StormDetector(StormDetectorConfig config = {});
+
+  /// All storm events, in time order.
+  [[nodiscard]] std::vector<StormEvent> detect(const DstIndex& dst) const;
+
+  /// Hours spent in each (non-quiet) category across the whole series —
+  /// the paper's "720 hours mild / 74 hours moderate / 3 hours severe".
+  [[nodiscard]] static std::map<StormCategory, long> category_hours(
+      const DstIndex& dst);
+
+  /// Durations (hours) of the detected events whose peak falls in the given
+  /// category — the per-category duration distributions of Fig 2.
+  [[nodiscard]] std::vector<double> durations_for_category(
+      const DstIndex& dst, StormCategory category) const;
+
+ private:
+  StormDetectorConfig config_;
+};
+
+}  // namespace cosmicdance::spaceweather

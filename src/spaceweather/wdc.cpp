@@ -1,0 +1,142 @@
+#include "spaceweather/wdc.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "io/file.hpp"
+
+namespace cosmicdance::spaceweather {
+namespace {
+
+constexpr int kMissing = 9999;
+
+struct DayRecord {
+  timeutil::HourIndex first_hour = 0;  // 00 UT of the day
+  std::array<int, 24> values{};        // nT (integers, archive convention)
+  std::array<bool, 24> present{};
+};
+
+std::string format_day(const DayRecord& day) {
+  const timeutil::DateTime dt = timeutil::datetime_from_hour_index(day.first_hour);
+  char head[32];
+  std::snprintf(head, sizeof(head), "DST%02d%02d*%02dRRX %02d0000", dt.year % 100,
+                dt.month, dt.day, dt.year / 100);
+  std::string line = head;  // cols 1-20 (base value 0000: values are absolute)
+  for (int h = 0; h < 24; ++h) {
+    char cell[8];
+    std::snprintf(cell, sizeof(cell), "%4d", day.present[h] ? day.values[h] : kMissing);
+    line += cell;
+  }
+  // Daily mean over present hours (archive stores it rounded).
+  long sum = 0;
+  int count = 0;
+  for (int h = 0; h < 24; ++h) {
+    if (day.present[h]) {
+      sum += day.values[h];
+      ++count;
+    }
+  }
+  char mean[8];
+  std::snprintf(mean, sizeof(mean), "%4d",
+                count > 0 ? static_cast<int>(std::lround(
+                                static_cast<double>(sum) / count))
+                          : kMissing);
+  line += mean;
+  return line;
+}
+
+int parse_int(const std::string& text, const char* what) {
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str()) {
+    throw ParseError(std::string("bad WDC numeric field '") + what + "': '" +
+                     text + "'");
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+std::string to_wdc(const DstIndex& dst) {
+  if (dst.empty()) return {};
+  std::string out;
+  // Align to the UT day containing the first sample.
+  timeutil::HourIndex hour = dst.start_hour();
+  timeutil::HourIndex day_start = hour - ((hour % 24) + 24) % 24;
+  while (day_start < dst.end_hour()) {
+    DayRecord day;
+    day.first_hour = day_start;
+    for (int h = 0; h < 24; ++h) {
+      const timeutil::HourIndex cursor = day_start + h;
+      if (dst.covers(cursor)) {
+        day.present[static_cast<std::size_t>(h)] = true;
+        day.values[static_cast<std::size_t>(h)] =
+            static_cast<int>(std::lround(dst.at(cursor)));
+      }
+    }
+    out += format_day(day);
+    out.push_back('\n');
+    day_start += 24;
+  }
+  return out;
+}
+
+DstIndex from_wdc(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::vector<std::pair<timeutil::HourIndex, int>> samples;  // hour -> nT
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line.size() < 120) {
+      throw ParseError("WDC record shorter than 120 characters: '" + line + "'");
+    }
+    if (line.substr(0, 3) != "DST") {
+      throw ParseError("WDC record does not start with DST: '" + line + "'");
+    }
+    const int yy = parse_int(line.substr(3, 2), "year");
+    const int month = parse_int(line.substr(5, 2), "month");
+    const int day = parse_int(line.substr(8, 2), "day");
+    const int century = parse_int(line.substr(14, 2), "century");
+    const int base = parse_int(line.substr(16, 4), "base");
+    const int year = century * 100 + yy;
+    const timeutil::HourIndex day_start =
+        timeutil::hour_index_from_datetime(timeutil::make_datetime(year, month, day));
+    for (int h = 0; h < 24; ++h) {
+      const int value =
+          parse_int(line.substr(20 + static_cast<std::size_t>(h) * 4, 4), "hour value");
+      if (value == kMissing) continue;
+      samples.emplace_back(day_start + h, value + base * 100);
+    }
+  }
+  if (samples.empty()) return {};
+  // Records must be contiguous once missing edges are trimmed.
+  const timeutil::HourIndex first = samples.front().first;
+  std::vector<double> values;
+  values.reserve(samples.size());
+  timeutil::HourIndex expected = first;
+  for (const auto& [hour, value] : samples) {
+    if (hour != expected) {
+      throw ParseError("gap in WDC hourly record at hour index " +
+                       std::to_string(hour));
+    }
+    values.push_back(static_cast<double>(value));
+    ++expected;
+  }
+  return DstIndex(first, std::move(values));
+}
+
+void write_wdc_file(const std::string& path, const DstIndex& dst) {
+  io::write_file(path, to_wdc(dst));
+}
+
+DstIndex read_wdc_file(const std::string& path) {
+  return from_wdc(io::read_file(path));
+}
+
+}  // namespace cosmicdance::spaceweather

@@ -1,0 +1,47 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "stats/descriptive.hpp"
+
+namespace cosmicdance::stats {
+
+BootstrapInterval bootstrap_percentile(std::span<const double> sample, double p,
+                                       double confidence, int resamples,
+                                       std::uint64_t seed) {
+  if (sample.empty()) throw ValidationError("bootstrap over empty sample");
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw ValidationError("bootstrap confidence must be in (0,1)");
+  }
+  if (resamples < 10) throw ValidationError("bootstrap needs >= 10 resamples");
+
+  BootstrapInterval interval;
+  interval.point = percentile(sample, p);
+
+  Rng rng(seed);
+  const auto n = static_cast<std::int64_t>(sample.size());
+  std::vector<double> resample(sample.size());
+  std::vector<double> statistics;
+  statistics.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    for (auto& value : resample) {
+      value = sample[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    }
+    statistics.push_back(percentile(resample, p));
+  }
+  const double alpha = (1.0 - confidence) / 2.0;
+  interval.lo = percentile(statistics, 100.0 * alpha);
+  interval.hi = percentile(statistics, 100.0 * (1.0 - alpha));
+  return interval;
+}
+
+BootstrapInterval bootstrap_median(std::span<const double> sample,
+                                   double confidence, int resamples,
+                                   std::uint64_t seed) {
+  return bootstrap_percentile(sample, 50.0, confidence, resamples, seed);
+}
+
+}  // namespace cosmicdance::stats

@@ -1,0 +1,32 @@
+// Percentile-bootstrap confidence intervals.
+//
+// The paper reports medians/95th-ptiles over modest satellite counts; the
+// bootstrap quantifies how stable those are, which the bench output uses to
+// qualify shape comparisons on scaled-down fleets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace cosmicdance::stats {
+
+struct BootstrapInterval {
+  double point = 0.0;  ///< statistic on the original sample
+  double lo = 0.0;     ///< lower confidence bound
+  double hi = 0.0;     ///< upper confidence bound
+};
+
+/// Percentile-bootstrap CI for the p-th percentile of a sample.
+/// `confidence` in (0,1); deterministic for a given seed.  Throws
+/// ValidationError on empty samples or bad parameters.
+[[nodiscard]] BootstrapInterval bootstrap_percentile(
+    std::span<const double> sample, double p, double confidence = 0.95,
+    int resamples = 1000, std::uint64_t seed = 17);
+
+/// Convenience: CI for the median.
+[[nodiscard]] BootstrapInterval bootstrap_median(std::span<const double> sample,
+                                                 double confidence = 0.95,
+                                                 int resamples = 1000,
+                                                 std::uint64_t seed = 17);
+
+}  // namespace cosmicdance::stats

@@ -1,0 +1,72 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cosmicdance::stats {
+namespace {
+
+std::vector<double> average_ranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double average = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = average;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw ValidationError("correlation requires equal-length samples");
+  }
+  if (x.size() < 2) throw ValidationError("correlation requires >= 2 samples");
+  const auto n = static_cast<double>(x.size());
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= n;
+  mean_y /= n;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    throw ValidationError("correlation undefined for zero-variance sample");
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw ValidationError("correlation requires equal-length samples");
+  }
+  const std::vector<double> rx = average_ranks(x);
+  const std::vector<double> ry = average_ranks(y);
+  return pearson(rx, ry);
+}
+
+}  // namespace cosmicdance::stats

@@ -1,0 +1,15 @@
+// Correlation coefficients for the intensity-vs-impact analyses.
+#pragma once
+
+#include <span>
+
+namespace cosmicdance::stats {
+
+/// Pearson product-moment correlation of two equal-length samples.
+/// Throws ValidationError for mismatched/too-short samples or zero variance.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (Pearson over average ranks; tie-aware).
+[[nodiscard]] double spearman(std::span<const double> x, std::span<const double> y);
+
+}  // namespace cosmicdance::stats

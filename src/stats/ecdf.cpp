@@ -1,0 +1,52 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cosmicdance::stats {
+
+Ecdf::Ecdf(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  if (sorted_.empty()) throw ValidationError("ECDF of empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const noexcept {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) {
+    throw ValidationError("ECDF quantile outside [0,1]: " + std::to_string(q));
+  }
+  if (sorted_.size() == 1) return sorted_.front();
+  const double rank = q * static_cast<double>(sorted_.size() - 1);
+  const auto lower = static_cast<std::size_t>(std::floor(rank));
+  const auto upper = static_cast<std::size_t>(std::ceil(rank));
+  const double weight = rank - static_cast<double>(lower);
+  return sorted_[lower] * (1.0 - weight) + sorted_[upper] * weight;
+}
+
+std::vector<std::pair<double, double>> Ecdf::points(std::size_t max_points) const {
+  std::vector<std::pair<double, double>> pts;
+  if (max_points == 0) return pts;
+  const std::size_t n = sorted_.size();
+  const std::size_t stride = n <= max_points ? 1 : (n + max_points - 1) / max_points;
+  pts.reserve(n / stride + 2);
+  for (std::size_t i = 0; i < n; i += stride) {
+    pts.emplace_back(sorted_[i],
+                     static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  if (pts.back().first != sorted_.back()) {
+    pts.emplace_back(sorted_.back(), 1.0);
+  } else {
+    pts.back().second = 1.0;
+  }
+  return pts;
+}
+
+}  // namespace cosmicdance::stats

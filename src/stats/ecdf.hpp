@@ -1,0 +1,37 @@
+// Empirical CDF — the figure type the paper uses for Figs 1, 5, 6 and 10.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cosmicdance::stats {
+
+/// Empirical cumulative distribution function over a fixed sample.
+///
+/// Built once from the sample (sorted copy); evaluation and quantiles are
+/// then O(log n).  Invariant: the stored sample is sorted and non-empty.
+class Ecdf {
+ public:
+  /// Throws ValidationError when the sample is empty.
+  explicit Ecdf(std::span<const double> sample);
+
+  /// Fraction of samples <= x, in [0, 1].
+  [[nodiscard]] double operator()(double x) const noexcept;
+
+  /// Value below which fraction q of the mass lies (q in [0,1]); clamps to
+  /// the sample range.  Throws ValidationError for q outside [0,1].
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] double min() const noexcept { return sorted_.front(); }
+  [[nodiscard]] double max() const noexcept { return sorted_.back(); }
+
+  /// (x, F(x)) step points, thinned to at most `max_points` for printing.
+  [[nodiscard]] std::vector<std::pair<double, double>> points(
+      std::size_t max_points = 200) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace cosmicdance::stats

@@ -1,0 +1,52 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cosmicdance::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(lo < hi)) throw ValidationError("histogram requires lo < hi");
+  if (bins == 0) throw ValidationError("histogram requires at least one bin");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // edge rounding guard
+  ++counts_[bin];
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+  for (const double x : xs) add(x);
+}
+
+double Histogram::bin_lower(std::size_t bin) const {
+  if (bin >= counts_.size()) throw ValidationError("histogram bin out of range");
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_upper(std::size_t bin) const { return bin_lower(bin) + width_; }
+
+double Histogram::bin_center(std::size_t bin) const {
+  return bin_lower(bin) + width_ * 0.5;
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (bin >= counts_.size()) throw ValidationError("histogram bin out of range");
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+}  // namespace cosmicdance::stats

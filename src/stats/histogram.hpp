@@ -1,0 +1,46 @@
+// Fixed-bin histogram used by the drag-change distribution figures (5c, 6c).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cosmicdance::stats {
+
+/// Uniform-width histogram over [lo, hi) with an explicit bin count.
+/// Out-of-range samples are counted in underflow/overflow buckets so no
+/// observation is silently dropped.
+class Histogram {
+ public:
+  /// Throws ValidationError unless lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// Inclusive lower edge of a bin.
+  [[nodiscard]] double bin_lower(std::size_t bin) const;
+  /// Exclusive upper edge of a bin.
+  [[nodiscard]] double bin_upper(std::size_t bin) const;
+  /// Center of a bin.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+
+  /// Fraction of all added samples (including under/overflow) in a bin.
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace cosmicdance::stats

@@ -1,0 +1,82 @@
+#include "stats/rolling.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace cosmicdance::stats {
+namespace {
+
+std::pair<std::size_t, std::size_t> window_range(std::span<const TimedValue> series,
+                                                 double t_lo, double t_hi) noexcept {
+  const auto begin = std::lower_bound(
+      series.begin(), series.end(), t_lo,
+      [](const TimedValue& tv, double t) { return tv.time < t; });
+  const auto end = std::lower_bound(
+      begin, series.end(), t_hi,
+      [](const TimedValue& tv, double t) { return tv.time < t; });
+  return {static_cast<std::size_t>(begin - series.begin()),
+          static_cast<std::size_t>(end - series.begin())};
+}
+
+std::vector<double> window_values(std::span<const TimedValue> series, double t_lo,
+                                  double t_hi) {
+  const auto [lo, hi] = window_range(series, t_lo, t_hi);
+  std::vector<double> values;
+  values.reserve(hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) values.push_back(series[i].value);
+  return values;
+}
+
+}  // namespace
+
+double window_median(std::span<const TimedValue> series, double t_lo, double t_hi) {
+  const std::vector<double> values = window_values(series, t_lo, t_hi);
+  if (values.empty()) throw ValidationError("window_median over empty window");
+  return median(values);
+}
+
+double window_mean(std::span<const TimedValue> series, double t_lo, double t_hi) {
+  const std::vector<double> values = window_values(series, t_lo, t_hi);
+  if (values.empty()) throw ValidationError("window_mean over empty window");
+  return mean(values);
+}
+
+std::size_t window_count(std::span<const TimedValue> series, double t_lo,
+                         double t_hi) noexcept {
+  const auto [lo, hi] = window_range(series, t_lo, t_hi);
+  return hi - lo;
+}
+
+const TimedValue* last_at_or_before(std::span<const TimedValue> series,
+                                    double t) noexcept {
+  const auto it = std::upper_bound(
+      series.begin(), series.end(), t,
+      [](double value, const TimedValue& tv) { return value < tv.time; });
+  if (it == series.begin()) return nullptr;
+  return &*(it - 1);
+}
+
+const TimedValue* first_at_or_after(std::span<const TimedValue> series,
+                                    double t) noexcept {
+  const auto it = std::lower_bound(
+      series.begin(), series.end(), t,
+      [](const TimedValue& tv, double value) { return tv.time < value; });
+  if (it == series.end()) return nullptr;
+  return &*it;
+}
+
+std::vector<double> rolling_median(std::span<const TimedValue> series,
+                                   double half_width) {
+  if (half_width < 0.0) throw ValidationError("rolling_median half_width < 0");
+  std::vector<double> out;
+  out.reserve(series.size());
+  for (const TimedValue& tv : series) {
+    out.push_back(window_median(series, tv.time - half_width,
+                                tv.time + half_width + 1e-12));
+  }
+  return out;
+}
+
+}  // namespace cosmicdance::stats

@@ -1,0 +1,46 @@
+// Windowed statistics over irregular time series.
+//
+// TLE samples arrive at irregular intervals (the paper: <1 h to 154 h), so
+// the long-term median altitude and the pre/post event aggregates need
+// time-window (not count-window) semantics.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cosmicdance::stats {
+
+/// A (time, value) observation of an irregular series; times are in
+/// arbitrary-but-consistent units (the pipeline uses Julian dates).
+struct TimedValue {
+  double time = 0.0;
+  double value = 0.0;
+};
+
+/// Median of values with time in [t_lo, t_hi).  Throws ValidationError when
+/// the window is empty.  `series` must be sorted by time.
+[[nodiscard]] double window_median(std::span<const TimedValue> series, double t_lo,
+                                   double t_hi);
+
+/// Mean over the same window semantics.
+[[nodiscard]] double window_mean(std::span<const TimedValue> series, double t_lo,
+                                 double t_hi);
+
+/// Number of observations in [t_lo, t_hi).
+[[nodiscard]] std::size_t window_count(std::span<const TimedValue> series,
+                                       double t_lo, double t_hi) noexcept;
+
+/// Last observation with time <= t, or nullptr when none exists.
+[[nodiscard]] const TimedValue* last_at_or_before(std::span<const TimedValue> series,
+                                                  double t) noexcept;
+
+/// First observation with time >= t, or nullptr when none exists.
+[[nodiscard]] const TimedValue* first_at_or_after(std::span<const TimedValue> series,
+                                                  double t) noexcept;
+
+/// Centered rolling median: for each point, the median of all values within
+/// +/- half_width time units.  Output has the same length/order as input.
+[[nodiscard]] std::vector<double> rolling_median(std::span<const TimedValue> series,
+                                                 double half_width);
+
+}  // namespace cosmicdance::stats

@@ -1,0 +1,211 @@
+#include "timeutil/datetime.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace cosmicdance::timeutil {
+namespace {
+
+constexpr std::array<int, 12> kDaysPerMonth{31, 28, 31, 30, 31, 30,
+                                            31, 31, 30, 31, 30, 31};
+
+}  // namespace
+
+bool is_leap_year(int year) noexcept {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int days_in_month(int year, int month) {
+  if (month < 1 || month > 12) {
+    throw ValidationError("month out of range: " + std::to_string(month));
+  }
+  if (month == 2 && is_leap_year(year)) return 29;
+  return kDaysPerMonth[static_cast<std::size_t>(month - 1)];
+}
+
+void DateTime::validate() const {
+  // Julian conversions are exact for 1900-2100; the extension down to 1800
+  // (used only for pre-instrumental reference storms) can be off by the
+  // skipped 1900 century leap day, which the ordering-only callers tolerate.
+  if (year < 1800 || year > 2100) {
+    throw ValidationError("year out of supported range 1800-2100: " +
+                          std::to_string(year));
+  }
+  if (month < 1 || month > 12) {
+    throw ValidationError("month out of range: " + std::to_string(month));
+  }
+  if (day < 1 || day > days_in_month(year, month)) {
+    throw ValidationError("day out of range: " + std::to_string(day));
+  }
+  if (hour < 0 || hour > 23) {
+    throw ValidationError("hour out of range: " + std::to_string(hour));
+  }
+  if (minute < 0 || minute > 59) {
+    throw ValidationError("minute out of range: " + std::to_string(minute));
+  }
+  if (second < 0.0 || second >= 60.0) {
+    throw ValidationError("second out of range: " + std::to_string(second));
+  }
+}
+
+std::string DateTime::to_string() const {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02dT%02d:%02d:%06.3f", year,
+                month, day, hour, minute, second);
+  return buffer;
+}
+
+int day_of_year(int year, int month, int day) {
+  DateTime probe{year, month, day, 0, 0, 0.0};
+  probe.validate();
+  int doy = day;
+  for (int m = 1; m < month; ++m) doy += days_in_month(year, m);
+  return doy;
+}
+
+void month_day_from_doy(int year, int doy, int& month, int& day) {
+  const int limit = is_leap_year(year) ? 366 : 365;
+  if (doy < 1 || doy > limit) {
+    throw ValidationError("day-of-year out of range: " + std::to_string(doy));
+  }
+  int m = 1;
+  int remaining = doy;
+  while (remaining > days_in_month(year, m)) {
+    remaining -= days_in_month(year, m);
+    ++m;
+  }
+  month = m;
+  day = remaining;
+}
+
+double to_julian(const DateTime& dt) {
+  dt.validate();
+  // Vallado's "jday" algorithm, valid 1900-2100.
+  const double jd =
+      367.0 * dt.year -
+      std::floor(7.0 * (dt.year + std::floor((dt.month + 9.0) / 12.0)) * 0.25) +
+      std::floor(275.0 * dt.month / 9.0) + dt.day + 1721013.5;
+  const double day_fraction =
+      ((dt.second / 60.0 + dt.minute) / 60.0 + dt.hour) / 24.0;
+  return jd + day_fraction;
+}
+
+DateTime from_julian(double jd) {
+  // Vallado's "invjday": recover year and fractional days, then split.
+  const double temp = jd - 2415019.5;
+  const double tu = temp / 365.25;
+  int year = 1900 + static_cast<int>(std::floor(tu));
+  int leap_years = static_cast<int>(std::floor((year - 1901) * 0.25));
+  double days = temp - ((year - 1900) * 365.0 + leap_years);
+  if (days < 1.0) {
+    year -= 1;
+    leap_years = static_cast<int>(std::floor((year - 1901) * 0.25));
+    days = temp - ((year - 1900) * 365.0 + leap_years);
+  }
+  const int doy = static_cast<int>(std::floor(days));
+  DateTime dt;
+  dt.year = year;
+  month_day_from_doy(year, doy, dt.month, dt.day);
+  double fraction = days - doy;
+  // Guard against floating error pushing fraction to a full day.
+  if (fraction < 0.0) fraction = 0.0;
+  double hours = fraction * 24.0;
+  dt.hour = static_cast<int>(std::floor(hours));
+  double minutes = (hours - dt.hour) * 60.0;
+  dt.minute = static_cast<int>(std::floor(minutes));
+  dt.second = (minutes - dt.minute) * 60.0;
+  // Normalise rounding artefacts like second == 59.99999999 -> 60.  The
+  // threshold is half a millisecond so %.3f printing never shows "60.000".
+  if (dt.second >= 60.0 - 5e-4) {
+    dt.second = 0.0;
+    dt.minute += 1;
+  }
+  if (dt.minute >= 60) {
+    dt.minute = 0;
+    dt.hour += 1;
+  }
+  if (dt.hour >= 24) {
+    dt.hour = 0;
+    dt.day += 1;
+    if (dt.day > days_in_month(dt.year, dt.month)) {
+      dt.day = 1;
+      dt.month += 1;
+      if (dt.month > 12) {
+        dt.month = 1;
+        dt.year += 1;
+      }
+    }
+  }
+  return dt;
+}
+
+DateTime parse_datetime(const std::string& text) {
+  DateTime dt;
+  double second = 0.0;
+  int consumed = 0;
+  const int date_fields =
+      std::sscanf(text.c_str(), "%d-%d-%d%n", &dt.year, &dt.month, &dt.day, &consumed);
+  if (date_fields != 3) {
+    throw ParseError("bad datetime: '" + text + "'");
+  }
+  const char* rest = text.c_str() + consumed;
+  if (*rest == 'T' || *rest == ' ') {
+    ++rest;
+    int hour = 0;
+    int minute = 0;
+    const int time_fields = std::sscanf(rest, "%d:%d:%lf", &hour, &minute, &second);
+    if (time_fields < 2) {
+      throw ParseError("bad time-of-day in datetime: '" + text + "'");
+    }
+    dt.hour = hour;
+    dt.minute = minute;
+    dt.second = time_fields >= 3 ? second : 0.0;
+  } else if (*rest != '\0') {
+    throw ParseError("trailing characters in datetime: '" + text + "'");
+  }
+  dt.validate();
+  return dt;
+}
+
+DateTime make_datetime(int year, int month, int day, int hour, int minute,
+                       double second) {
+  DateTime dt{year, month, day, hour, minute, second};
+  dt.validate();
+  return dt;
+}
+
+double tle_epoch_to_julian(int two_digit_year, double day_of_year_fraction) {
+  if (two_digit_year < 0 || two_digit_year > 99) {
+    throw ValidationError("TLE epoch year must be two digits: " +
+                          std::to_string(two_digit_year));
+  }
+  const int year = two_digit_year < 57 ? 2000 + two_digit_year : 1900 + two_digit_year;
+  const int limit = is_leap_year(year) ? 366 : 365;
+  if (day_of_year_fraction < 1.0 || day_of_year_fraction >= limit + 1.0) {
+    throw ValidationError("TLE epoch day-of-year out of range: " +
+                          std::to_string(day_of_year_fraction));
+  }
+  const DateTime jan1{year, 1, 1, 0, 0, 0.0};
+  return to_julian(jan1) + (day_of_year_fraction - 1.0);
+}
+
+void julian_to_tle_epoch(double jd, int& two_digit_year, double& day_of_year_fraction) {
+  const DateTime dt = from_julian(jd);
+  const DateTime jan1{dt.year, 1, 1, 0, 0, 0.0};
+  day_of_year_fraction = jd - to_julian(jan1) + 1.0;
+  two_digit_year = dt.year % 100;
+}
+
+DateTime add_hours(const DateTime& dt, double hours) {
+  return from_julian(to_julian(dt) + hours / 24.0);
+}
+
+double hours_between(const DateTime& a, const DateTime& b) {
+  return (to_julian(b) - to_julian(a)) * 24.0;
+}
+
+}  // namespace cosmicdance::timeutil

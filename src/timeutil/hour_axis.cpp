@@ -1,0 +1,26 @@
+#include "timeutil/hour_axis.hpp"
+
+#include <cmath>
+
+namespace cosmicdance::timeutil {
+
+HourIndex hour_index_from_julian(double jd) noexcept {
+  // Add a half-second of slack so that values like 13:59:59.9999 produced by
+  // round-tripping through civil time land in the intended hour.
+  return static_cast<HourIndex>(
+      std::floor((jd - kJdEpoch2000) * 24.0 + 0.5 / 3600.0));
+}
+
+double julian_from_hour_index(HourIndex hour) noexcept {
+  return kJdEpoch2000 + static_cast<double>(hour) / 24.0;
+}
+
+HourIndex hour_index_from_datetime(const DateTime& dt) {
+  return hour_index_from_julian(to_julian(dt));
+}
+
+DateTime datetime_from_hour_index(HourIndex hour) {
+  return from_julian(julian_from_hour_index(hour));
+}
+
+}  // namespace cosmicdance::timeutil

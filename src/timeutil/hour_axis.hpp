@@ -1,0 +1,30 @@
+// Integral hour axis used by the hourly Dst series.
+//
+// The Dst archive is strictly hourly; representing its timestamps as an
+// integer count of hours since 2000-01-01T00:00 UTC avoids floating-point
+// drift when aligning multi-year series and makes storm segmentation exact.
+#pragma once
+
+#include <cstdint>
+
+#include "timeutil/datetime.hpp"
+
+namespace cosmicdance::timeutil {
+
+/// Hours elapsed since 2000-01-01T00:00:00 UTC (may be negative for the
+/// historical 50-year record).
+using HourIndex = std::int64_t;
+
+/// Floor a Julian date to its containing hour index.
+[[nodiscard]] HourIndex hour_index_from_julian(double jd) noexcept;
+
+/// Julian date of the start of the given hour.
+[[nodiscard]] double julian_from_hour_index(HourIndex hour) noexcept;
+
+/// Hour index of a civil timestamp (floored to the hour).
+[[nodiscard]] HourIndex hour_index_from_datetime(const DateTime& dt);
+
+/// Civil timestamp of the start of the given hour.
+[[nodiscard]] DateTime datetime_from_hour_index(HourIndex hour);
+
+}  // namespace cosmicdance::timeutil

@@ -1,0 +1,20 @@
+#include "timeutil/sidereal.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace cosmicdance::timeutil {
+
+double gmst_radians(double jd_ut1) noexcept {
+  const double tut1 = (jd_ut1 - 2451545.0) / 36525.0;
+  double gmst_sec =
+      -6.2e-6 * tut1 * tut1 * tut1 + 0.093104 * tut1 * tut1 +
+      (876600.0 * 3600.0 + 8640184.812866) * tut1 + 67310.54841;
+  // Seconds of time -> radians (360 deg per 86400 sec).
+  double gmst = std::fmod(gmst_sec * units::kDegToRad / 240.0, units::kTwoPi);
+  if (gmst < 0.0) gmst += units::kTwoPi;
+  return gmst;
+}
+
+}  // namespace cosmicdance::timeutil

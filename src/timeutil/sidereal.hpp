@@ -1,0 +1,11 @@
+// Greenwich Mean Sidereal Time, needed for TEME -> Earth-fixed rotation.
+#pragma once
+
+namespace cosmicdance::timeutil {
+
+/// GMST in radians, wrapped to [0, 2*pi), for a UT1 Julian date.
+/// Uses the IAU-82 polynomial (Vallado's gstime), accurate to well under a
+/// second of time across 1950-2050 — ample for km-level geolocation.
+[[nodiscard]] double gmst_radians(double jd_ut1) noexcept;
+
+}  // namespace cosmicdance::timeutil

@@ -1,0 +1,129 @@
+#include "tle/catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "io/file.hpp"
+
+namespace cosmicdance::tle {
+namespace {
+
+// Two records of one satellite closer than this are duplicates (~1 second).
+constexpr double kDuplicateEpochDays = 1.0 / 86400.0;
+
+bool looks_like_tle_line(const std::string& line, char number) {
+  return line.size() == 69 && line[0] == number && line[1] == ' ';
+}
+
+}  // namespace
+
+bool TleCatalog::add(const Tle& tle) {
+  tle.validate();
+  auto& history = tles_[tle.catalog_number];
+  const auto insert_at = std::lower_bound(
+      history.begin(), history.end(), tle.epoch_jd,
+      [](const Tle& existing, double epoch) { return existing.epoch_jd < epoch; });
+  if (insert_at != history.end() &&
+      std::fabs(insert_at->epoch_jd - tle.epoch_jd) < kDuplicateEpochDays) {
+    return false;
+  }
+  if (insert_at != history.begin() &&
+      std::fabs((insert_at - 1)->epoch_jd - tle.epoch_jd) < kDuplicateEpochDays) {
+    return false;
+  }
+  history.insert(insert_at, tle);
+  ++record_count_;
+  return true;
+}
+
+std::size_t TleCatalog::add_from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::string pending_line1;
+  std::size_t added = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (looks_like_tle_line(line, '1')) {
+      pending_line1 = line;
+      continue;
+    }
+    if (looks_like_tle_line(line, '2')) {
+      if (pending_line1.empty()) {
+        throw ParseError("TLE line 2 without preceding line 1: '" + line + "'");
+      }
+      if (add(parse_tle(pending_line1, line))) ++added;
+      pending_line1.clear();
+      continue;
+    }
+    // Anything else is a satellite-name line (3-line format); ignore.
+    pending_line1.clear();
+  }
+  if (!pending_line1.empty()) {
+    throw ParseError("dangling TLE line 1 at end of input");
+  }
+  return added;
+}
+
+std::size_t TleCatalog::add_from_file(const std::string& path) {
+  return add_from_text(io::read_file(path));
+}
+
+std::vector<int> TleCatalog::satellites() const {
+  std::vector<int> ids;
+  ids.reserve(tles_.size());
+  for (const auto& [id, history] : tles_) ids.push_back(id);
+  return ids;
+}
+
+std::span<const Tle> TleCatalog::history(int catalog_number) const {
+  const auto it = tles_.find(catalog_number);
+  if (it == tles_.end()) return {};
+  return it->second;
+}
+
+double TleCatalog::first_epoch_jd() const {
+  if (empty()) throw ValidationError("first_epoch_jd of empty catalog");
+  double first = 1e18;
+  for (const auto& [id, history] : tles_) {
+    first = std::min(first, history.front().epoch_jd);
+  }
+  return first;
+}
+
+double TleCatalog::last_epoch_jd() const {
+  if (empty()) throw ValidationError("last_epoch_jd of empty catalog");
+  double last = -1e18;
+  for (const auto& [id, history] : tles_) {
+    last = std::max(last, history.back().epoch_jd);
+  }
+  return last;
+}
+
+std::string TleCatalog::to_text() const {
+  std::string out;
+  for (const auto& [id, history] : tles_) {
+    for (const Tle& tle : history) {
+      const TleLines lines = format_tle(tle);
+      out += lines.line1;
+      out.push_back('\n');
+      out += lines.line2;
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+std::vector<double> TleCatalog::refresh_intervals_hours() const {
+  std::vector<double> intervals;
+  for (const auto& [id, history] : tles_) {
+    for (std::size_t i = 1; i < history.size(); ++i) {
+      intervals.push_back((history[i].epoch_jd - history[i - 1].epoch_jd) * 24.0);
+    }
+  }
+  return intervals;
+}
+
+}  // namespace cosmicdance::tle

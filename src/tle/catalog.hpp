@@ -1,0 +1,63 @@
+// Per-satellite TLE histories, the unit the pipeline ingests.
+//
+// Mirrors the paper's data-handling: fetch the current catalog numbers once,
+// then accumulate historical TLEs per satellite, each history sorted by
+// epoch with duplicate epochs dropped.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tle/tle.hpp"
+
+namespace cosmicdance::tle {
+
+/// A collection of TLEs keyed by NORAD catalog number.
+class TleCatalog {
+ public:
+  TleCatalog() = default;
+
+  /// Insert a record, keeping the per-satellite history epoch-sorted.
+  /// Records with an epoch within ~1 second of an existing record for the
+  /// same satellite are treated as duplicates and dropped (returns false).
+  bool add(const Tle& tle);
+
+  /// Parse and add records from raw text in 2-line or 3-line (name line,
+  /// optionally "0 "-prefixed) format.  Returns the number added; throws
+  /// ParseError on malformed lines.
+  std::size_t add_from_text(const std::string& text);
+
+  /// Load a file via add_from_text.  Throws IoError / ParseError.
+  std::size_t add_from_file(const std::string& path);
+
+  /// Sorted catalog numbers present.
+  [[nodiscard]] std::vector<int> satellites() const;
+
+  /// Epoch-sorted history for a satellite (empty when unknown).
+  [[nodiscard]] std::span<const Tle> history(int catalog_number) const;
+
+  [[nodiscard]] std::size_t satellite_count() const noexcept { return tles_.size(); }
+  [[nodiscard]] std::size_t record_count() const noexcept { return record_count_; }
+  [[nodiscard]] bool empty() const noexcept { return tles_.empty(); }
+
+  /// Earliest / latest epoch across all records.  Throws ValidationError
+  /// when the catalog is empty.
+  [[nodiscard]] double first_epoch_jd() const;
+  [[nodiscard]] double last_epoch_jd() const;
+
+  /// Serialise the full catalog back to 2-line text (history order).
+  [[nodiscard]] std::string to_text() const;
+
+  /// Refresh-interval samples (hours between consecutive records of the
+  /// same satellite), pooled over all satellites — the paper reports this
+  /// ranges <1 h to 154 h with a ~12 h mean.
+  [[nodiscard]] std::vector<double> refresh_intervals_hours() const;
+
+ private:
+  std::map<int, std::vector<Tle>> tles_;
+  std::size_t record_count_ = 0;
+};
+
+}  // namespace cosmicdance::tle

@@ -1,0 +1,31 @@
+// CCSDS Orbit Mean-Elements Message (OMM) in KVN notation.
+//
+// Space-Track serves modern element sets as OMM as well as legacy TLE text;
+// supporting both keeps the ingestion path future-proof.  This implements
+// the KVN (key = value notation) rendering of the SGP4-theory OMM subset —
+// exactly the fields a TLE carries — with symmetric read/write.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tle/catalog.hpp"
+#include "tle/tle.hpp"
+
+namespace cosmicdance::tle {
+
+/// Render one record as an OMM/KVN block (CCSDS 502.0-B; MEAN_ELEMENT_THEORY
+/// = SGP4, mean elements in the TEME frame).
+[[nodiscard]] std::string to_omm_kvn(const Tle& tle,
+                                     const std::string& object_name = "");
+
+/// Parse one OMM/KVN block.  Unknown keys are ignored; missing mandatory
+/// keys throw ParseError.
+[[nodiscard]] Tle from_omm_kvn(const std::string& text);
+
+/// Render/parse a whole catalog (blocks separated by blank lines).
+[[nodiscard]] std::string catalog_to_omm_kvn(const TleCatalog& catalog);
+[[nodiscard]] std::size_t catalog_add_from_omm_kvn(TleCatalog& catalog,
+                                                   const std::string& text);
+
+}  // namespace cosmicdance::tle

@@ -1,0 +1,85 @@
+#include "tle/store.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "io/file.hpp"
+
+namespace cosmicdance::tle {
+namespace fs = std::filesystem;
+
+TleStore::TleStore(std::string directory) : directory_(std::move(directory)) {
+  std::error_code ec;
+  if (fs::exists(directory_, ec)) {
+    if (!fs::is_directory(directory_, ec)) {
+      throw IoError("TLE store path is not a directory: " + directory_);
+    }
+  } else if (!fs::create_directories(directory_, ec) || ec) {
+    throw IoError("cannot create TLE store directory: " + directory_ + " (" +
+                  ec.message() + ")");
+  }
+}
+
+std::string TleStore::path_for(int catalog_number) const {
+  return directory_ + "/" + std::to_string(catalog_number) + ".tle";
+}
+
+std::size_t TleStore::merge(const TleCatalog& catalog) {
+  std::size_t persisted = 0;
+  for (const int id : catalog.satellites()) {
+    TleCatalog merged = load_satellite(id);
+    const std::size_t before = merged.record_count();
+    for (const Tle& record : catalog.history(id)) merged.add(record);
+    const std::size_t added = merged.record_count() - before;
+    if (added > 0) {
+      io::write_file(path_for(id), merged.to_text());
+      persisted += added;
+    }
+  }
+  return persisted;
+}
+
+TleCatalog TleStore::load() const {
+  TleCatalog catalog;
+  for (const int id : stored_satellites()) {
+    catalog.add_from_file(path_for(id));
+  }
+  return catalog;
+}
+
+TleCatalog TleStore::load_satellite(int catalog_number) const {
+  TleCatalog catalog;
+  std::error_code ec;
+  if (fs::exists(path_for(catalog_number), ec)) {
+    catalog.add_from_file(path_for(catalog_number));
+  }
+  return catalog;
+}
+
+std::optional<double> TleStore::last_epoch_jd(int catalog_number) const {
+  const TleCatalog catalog = load_satellite(catalog_number);
+  if (catalog.empty()) return std::nullopt;
+  return catalog.last_epoch_jd();
+}
+
+std::vector<int> TleStore::stored_satellites() const {
+  std::vector<int> ids;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& path = entry.path();
+    if (path.extension() != ".tle") continue;
+    char* end = nullptr;
+    const long id = std::strtol(path.stem().c_str(), &end, 10);
+    if (end != path.stem().c_str() && *end == '\0' && id > 0) {
+      ids.push_back(static_cast<int>(id));
+    }
+  }
+  if (ec) throw IoError("cannot list TLE store: " + directory_);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace cosmicdance::tle

@@ -1,0 +1,51 @@
+// Incremental on-disk TLE store.
+//
+// The paper's tool minimises Space-Track API calls by fetching each
+// satellite's catalog number once and then pulling history incrementally.
+// TleStore is the persistence layer for that pattern: one text file per
+// satellite under a directory, merge-with-dedup semantics, and a
+// last-stored-epoch query that tells a fetcher where to resume.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tle/catalog.hpp"
+
+namespace cosmicdance::tle {
+
+class TleStore {
+ public:
+  /// Opens (creating if needed) the store directory.  Throws IoError when
+  /// the path exists but is not a directory or cannot be created.
+  explicit TleStore(std::string directory);
+
+  /// Merge a catalog into the store.  Existing per-satellite histories are
+  /// loaded, new records deduplicated against them (by epoch, the
+  /// TleCatalog rule) and files rewritten only when something changed.
+  /// Returns the number of newly persisted records.
+  std::size_t merge(const TleCatalog& catalog);
+
+  /// Load the full store.
+  [[nodiscard]] TleCatalog load() const;
+
+  /// Load one satellite's history (empty catalog when unknown).
+  [[nodiscard]] TleCatalog load_satellite(int catalog_number) const;
+
+  /// Epoch of the newest stored record for a satellite — the "fetch from
+  /// here" cursor for incremental updates.  nullopt when unknown.
+  [[nodiscard]] std::optional<double> last_epoch_jd(int catalog_number) const;
+
+  /// Catalog numbers present in the store, sorted.
+  [[nodiscard]] std::vector<int> stored_satellites() const;
+
+  [[nodiscard]] const std::string& directory() const noexcept { return directory_; }
+
+ private:
+  [[nodiscard]] std::string path_for(int catalog_number) const;
+
+  std::string directory_;
+};
+
+}  // namespace cosmicdance::tle

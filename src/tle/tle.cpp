@@ -1,0 +1,276 @@
+#include "tle/tle.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+#include "orbit/elements.hpp"
+
+namespace cosmicdance::tle {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  return s.substr(begin, end - begin);
+}
+
+/// Extract columns [from, to] (1-indexed, inclusive) of a line.
+std::string field(const std::string& line, int from, int to) {
+  return line.substr(static_cast<std::size_t>(from - 1),
+                     static_cast<std::size_t>(to - from + 1));
+}
+
+double parse_double_field(const std::string& line, int from, int to,
+                          const char* what) {
+  const std::string text = trim(field(line, from, to));
+  if (text.empty()) return 0.0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    throw ParseError(std::string("bad TLE field '") + what + "': '" + text + "'");
+  }
+  return value;
+}
+
+int parse_int_field(const std::string& line, int from, int to, const char* what) {
+  const std::string text = trim(field(line, from, to));
+  if (text.empty()) return 0;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    throw ParseError(std::string("bad TLE field '") + what + "': '" + text + "'");
+  }
+  return static_cast<int>(value);
+}
+
+/// Parse the "assumed decimal point" exponent notation, e.g. " 12345-3"
+/// meaning +0.12345e-3.  An all-spaces or zero field yields 0.
+double parse_exponent_field(const std::string& line, int from, int to,
+                            const char* what) {
+  const std::string raw = field(line, from, to);
+  const std::string text = trim(raw);
+  if (text.empty() || text == "00000-0" || text == "00000+0") return 0.0;
+  double sign = 1.0;
+  std::size_t i = 0;
+  if (text[i] == '-') {
+    sign = -1.0;
+    ++i;
+  } else if (text[i] == '+') {
+    ++i;
+  }
+  std::string mantissa_digits;
+  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+    mantissa_digits.push_back(text[i]);
+    ++i;
+  }
+  if (mantissa_digits.empty() || i >= text.size()) {
+    throw ParseError(std::string("bad TLE exponent field '") + what + "': '" +
+                     raw + "'");
+  }
+  double exp_sign = 1.0;
+  if (text[i] == '-') exp_sign = -1.0;
+  else if (text[i] != '+') {
+    throw ParseError(std::string("bad exponent sign in TLE field '") + what +
+                     "': '" + raw + "'");
+  }
+  ++i;
+  if (i >= text.size() || !std::isdigit(static_cast<unsigned char>(text[i])) ||
+      i + 1 != text.size()) {
+    throw ParseError(std::string("bad exponent digit in TLE field '") + what +
+                     "': '" + raw + "'");
+  }
+  const int exponent = text[i] - '0';
+  const double mantissa =
+      std::strtod(("0." + mantissa_digits).c_str(), nullptr);
+  return sign * mantissa * std::pow(10.0, exp_sign * exponent);
+}
+
+/// Format a value in assumed-decimal-point exponent notation (8 chars).
+std::string format_exponent_field(double value) {
+  // Zero uses the classic " 00000-0" spelling (what CSpOC emits).
+  if (value == 0.0) return " 00000-0";
+  const char sign = value < 0.0 ? '-' : ' ';
+  double magnitude = std::fabs(value);
+  int exponent = 0;
+  // Normalise to 0.1 <= magnitude < 1 so the mantissa has no leading zero.
+  while (magnitude >= 1.0) {
+    magnitude /= 10.0;
+    ++exponent;
+  }
+  while (magnitude < 0.1) {
+    magnitude *= 10.0;
+    --exponent;
+  }
+  auto mantissa = static_cast<long>(std::llround(magnitude * 100000.0));
+  if (mantissa >= 100000) {  // rounding pushed e.g. 0.999999 to 1.0
+    mantissa = 10000;
+    ++exponent;
+  }
+  // The exponent column is a single digit.  Values below 1e-10 are encoded
+  // with leading zeros in the mantissa (e.g. 5.4e-11 -> " 05400-9"); values
+  // too small even for that round to the zero spelling.
+  while (exponent < -9 && mantissa > 0) {
+    mantissa /= 10;
+    ++exponent;
+  }
+  if (mantissa == 0) return " 00000-0";
+  if (exponent > 9) {
+    throw ValidationError("value out of TLE exponent-field range: " +
+                          std::to_string(value));
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%c%05ld%c%1d", sign, mantissa,
+                exponent < 0 ? '-' : '+', std::abs(exponent));
+  return buffer;
+}
+
+/// Format ndot/2: sign, then ".NNNNNNNN" (10 chars total).
+std::string format_ndot_field(double value) {
+  if (std::fabs(value) >= 1.0) {
+    throw ValidationError("|ndot/2| must be < 1 rev/day^2 for TLE format: " +
+                          std::to_string(value));
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%c.%08ld", value < 0.0 ? '-' : ' ',
+                std::labs(std::lround(std::fabs(value) * 1e8)));
+  return buffer;
+}
+
+void check_line(const std::string& line, char expected_number) {
+  if (line.size() != 69) {
+    throw ParseError("TLE line must be 69 characters, got " +
+                     std::to_string(line.size()) + ": '" + line + "'");
+  }
+  if (line[0] != expected_number) {
+    throw ParseError(std::string("TLE line must start with '") + expected_number +
+                     "': '" + line + "'");
+  }
+  const int expected = checksum(line.substr(0, 68));
+  const char checks = line[68];
+  if (!std::isdigit(static_cast<unsigned char>(checks)) ||
+      checks - '0' != expected) {
+    throw ParseError("TLE checksum mismatch (expected " + std::to_string(expected) +
+                     "): '" + line + "'");
+  }
+}
+
+}  // namespace
+
+int checksum(const std::string& line) {
+  int sum = 0;
+  for (const char c : line) {
+    if (std::isdigit(static_cast<unsigned char>(c))) sum += c - '0';
+    else if (c == '-') sum += 1;
+  }
+  return sum % 10;
+}
+
+timeutil::DateTime Tle::epoch_datetime() const {
+  return timeutil::from_julian(epoch_jd);
+}
+
+double Tle::altitude_km() const {
+  return orbit::altitude_km_from_mean_motion(mean_motion_revday);
+}
+
+void Tle::validate() const {
+  if (catalog_number < 1 || catalog_number > 99999) {
+    throw ValidationError("catalog number outside 1..99999: " +
+                          std::to_string(catalog_number));
+  }
+  if (eccentricity < 0.0 || eccentricity >= 1.0) {
+    throw ValidationError("TLE eccentricity outside [0,1): " +
+                          std::to_string(eccentricity));
+  }
+  if (inclination_deg < 0.0 || inclination_deg > 180.0) {
+    throw ValidationError("TLE inclination outside [0,180]: " +
+                          std::to_string(inclination_deg));
+  }
+  if (mean_motion_revday <= 0.0 || mean_motion_revday >= 20.0) {
+    throw ValidationError("TLE mean motion outside (0,20) rev/day: " +
+                          std::to_string(mean_motion_revday));
+  }
+  if (epoch_jd <= 0.0) throw ValidationError("TLE epoch not set");
+}
+
+Tle parse_tle(const std::string& line1, const std::string& line2) {
+  check_line(line1, '1');
+  check_line(line2, '2');
+
+  Tle tle;
+  tle.catalog_number = parse_int_field(line1, 3, 7, "catalog number");
+  const int catalog2 = parse_int_field(line2, 3, 7, "catalog number (line 2)");
+  if (tle.catalog_number != catalog2) {
+    throw ParseError("catalog number mismatch between TLE lines: " +
+                     std::to_string(tle.catalog_number) + " vs " +
+                     std::to_string(catalog2));
+  }
+  tle.classification = line1[7];
+  tle.international_designator = trim(field(line1, 10, 17));
+
+  const int epoch_year = parse_int_field(line1, 19, 20, "epoch year");
+  const double epoch_doy = parse_double_field(line1, 21, 32, "epoch day");
+  tle.epoch_jd = timeutil::tle_epoch_to_julian(epoch_year, epoch_doy);
+
+  tle.mean_motion_dot = parse_double_field(line1, 34, 43, "ndot/2");
+  tle.mean_motion_ddot = parse_exponent_field(line1, 45, 52, "nddot/6");
+  tle.bstar = parse_exponent_field(line1, 54, 61, "bstar");
+  tle.ephemeris_type = parse_int_field(line1, 63, 63, "ephemeris type");
+  tle.element_set_number = parse_int_field(line1, 65, 68, "element set number");
+
+  tle.inclination_deg = parse_double_field(line2, 9, 16, "inclination");
+  tle.raan_deg = parse_double_field(line2, 18, 25, "raan");
+  const std::string ecc_text = trim(field(line2, 27, 33));
+  tle.eccentricity = ecc_text.empty()
+                         ? 0.0
+                         : std::strtod(("0." + ecc_text).c_str(), nullptr);
+  tle.arg_perigee_deg = parse_double_field(line2, 35, 42, "argument of perigee");
+  tle.mean_anomaly_deg = parse_double_field(line2, 44, 51, "mean anomaly");
+  tle.mean_motion_revday = parse_double_field(line2, 53, 63, "mean motion");
+  tle.rev_number = parse_int_field(line2, 64, 68, "rev number");
+
+  tle.validate();
+  return tle;
+}
+
+TleLines format_tle(const Tle& tle) {
+  tle.validate();
+
+  int epoch_year = 0;
+  double epoch_doy = 0.0;
+  timeutil::julian_to_tle_epoch(tle.epoch_jd, epoch_year, epoch_doy);
+
+  char line1[80];
+  std::snprintf(line1, sizeof(line1),
+                "1 %05d%c %-8s %02d%012.8f %s %s %s %1d %4d", tle.catalog_number,
+                tle.classification, tle.international_designator.c_str(),
+                epoch_year, epoch_doy, format_ndot_field(tle.mean_motion_dot).c_str(),
+                format_exponent_field(tle.mean_motion_ddot).c_str(),
+                format_exponent_field(tle.bstar).c_str(), tle.ephemeris_type,
+                tle.element_set_number % 10000);
+
+  const auto ecc_digits =
+      static_cast<long>(std::llround(tle.eccentricity * 1e7));
+  char line2[80];
+  std::snprintf(line2, sizeof(line2),
+                "2 %05d %8.4f %8.4f %07ld %8.4f %8.4f %11.8f%5d",
+                tle.catalog_number, tle.inclination_deg, tle.raan_deg, ecc_digits,
+                tle.arg_perigee_deg, tle.mean_anomaly_deg, tle.mean_motion_revday,
+                tle.rev_number % 100000);
+
+  TleLines lines{line1, line2};
+  lines.line1 += std::to_string(checksum(lines.line1));
+  lines.line2 += std::to_string(checksum(lines.line2));
+  if (lines.line1.size() != 69 || lines.line2.size() != 69) {
+    throw ValidationError("internal error: formatted TLE has wrong width");
+  }
+  return lines;
+}
+
+}  // namespace cosmicdance::tle

@@ -1,0 +1,172 @@
+// Tests for the Kessler conjunction-rate estimator and manoeuvre detection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/kessler.hpp"
+#include "core/maneuvers.hpp"
+#include "timeutil/datetime.hpp"
+
+namespace cosmicdance::core {
+namespace {
+
+const double kJd0 = timeutil::to_julian(timeutil::make_datetime(2023, 6, 1));
+
+TrajectorySample sample_at(double jd, double altitude) {
+  TrajectorySample s;
+  s.epoch_jd = jd;
+  s.altitude_km = altitude;
+  s.bstar = 2e-4;
+  return s;
+}
+
+// ------------------------------- Kessler ------------------------------------
+
+TEST(KesslerTest, ShellDensityDimensions) {
+  const KesslerConfig config;
+  const double n = shell_spatial_density(550.0, config);
+  // 1600 satellites in a 5-km-thick shell at r ~ 6928 km:
+  // V = 4*pi*r^2*dh ~ 3.0e9 km^3 -> n ~ 5.3e-7 /km^3.
+  EXPECT_NEAR(n, 1600.0 / (4.0 * 3.14159265 * 6928.1 * 6928.1 * 5.0), 1e-9);
+  // Density drops with altitude (bigger sphere).
+  EXPECT_GT(shell_spatial_density(400.0, config), shell_spatial_density(900.0, config));
+}
+
+TEST(KesslerTest, CollisionRatePlausiblyTiny) {
+  const KesslerConfig config;
+  const double rate = collision_rate_per_dwell_year(550.0, config);
+  // n*sigma*v ~ 5.3e-7 * 1e-4 * 10 km/s -> ~1.7e-2 / year of dwell: rare
+  // but not negligible for long dwell — consistent with the conjunction
+  // screening the operators run.
+  EXPECT_GT(rate, 1e-4);
+  EXPECT_LT(rate, 1.0);
+}
+
+TEST(KesslerTest, ExposureScalesWithDwell) {
+  // One trespassing satellite parked inside a foreign shell vs none.
+  KesslerConfig config;
+  config.shells.shell_altitudes_km = {540.0, 550.0};
+  config.shells.half_width_km = 2.0;
+
+  std::vector<SatelliteTrack> tracks;
+  std::vector<TrajectorySample> samples;
+  // Home shell 550 (early samples), then 10 days inside the 540 band.
+  for (double t = 0.0; t < 10.0; t += 0.5) samples.push_back(sample_at(kJd0 + t, 550.0));
+  for (double t = 10.0; t < 20.0; t += 0.5) samples.push_back(sample_at(kJd0 + t, 540.0));
+  tracks.emplace_back(1, std::move(samples));
+
+  const auto exposure = conjunction_exposure(tracks, kJd0, kJd0 + 30.0, config);
+  EXPECT_NEAR(exposure.dwell_days, 10.0, 1.0);
+  EXPECT_GT(exposure.expected_collisions, 0.0);
+  const auto quiet = conjunction_exposure(tracks, kJd0, kJd0 + 9.0, config);
+  EXPECT_DOUBLE_EQ(quiet.dwell_days, 0.0);
+  EXPECT_DOUBLE_EQ(quiet.expected_collisions, 0.0);
+}
+
+TEST(KesslerTest, ExposureProportionalToCrossSection) {
+  KesslerConfig small;
+  small.shells.shell_altitudes_km = {540.0, 550.0};
+  KesslerConfig big = small;
+  big.cross_section_km2 *= 4.0;
+
+  std::vector<SatelliteTrack> tracks;
+  std::vector<TrajectorySample> samples;
+  for (double t = 0.0; t < 5.0; t += 0.5) samples.push_back(sample_at(kJd0 + t, 550.0));
+  for (double t = 5.0; t < 15.0; t += 0.5) samples.push_back(sample_at(kJd0 + t, 540.0));
+  tracks.emplace_back(1, std::move(samples));
+
+  const double ratio =
+      conjunction_exposure(tracks, kJd0, kJd0 + 20.0, big).expected_collisions /
+      conjunction_exposure(tracks, kJd0, kJd0 + 20.0, small).expected_collisions;
+  EXPECT_NEAR(ratio, 4.0, 1e-9);
+}
+
+// ------------------------------ manoeuvres ----------------------------------
+
+TEST(ManeuverTest, DetectsImpulsiveStep) {
+  std::vector<TrajectorySample> samples;
+  for (double t = 0.0; t < 5.0; t += 0.5) samples.push_back(sample_at(kJd0 + t, 550.0));
+  // A +1.2 km boost between two records half a day apart.
+  for (double t = 5.0; t < 10.0; t += 0.5) samples.push_back(sample_at(kJd0 + t, 551.2));
+  const SatelliteTrack track(7, std::move(samples));
+  const auto events = detect_maneuvers(track);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].catalog_number, 7);
+  EXPECT_NEAR(events[0].delta_km, 1.2, 1e-9);
+  EXPECT_GT(events[0].rate_km_per_day, 2.0);
+}
+
+TEST(ManeuverTest, SlowDecayIsNotAManeuver) {
+  std::vector<TrajectorySample> samples;
+  // 0.4 km/day decay: each half-day step is 0.2 km (< min_step) and even
+  // across larger gaps the rate stays below min_rate.
+  for (double t = 0.0; t < 30.0; t += 0.5) {
+    samples.push_back(sample_at(kJd0 + t, 550.0 - 0.4 * t));
+  }
+  EXPECT_TRUE(detect_maneuvers(SatelliteTrack(7, std::move(samples))).empty());
+}
+
+TEST(ManeuverTest, FastUncontrolledDecayExceedsRateButFlagsIt) {
+  // A 3 km/day plunge *is* flagged — by design: the detector separates
+  // discrete/fast changes from quiet drag, and callers cross-check with
+  // drag (B*) to tell propulsion from tumbling.
+  std::vector<TrajectorySample> samples;
+  for (double t = 0.0; t < 10.0; t += 0.5) {
+    samples.push_back(sample_at(kJd0 + t, 550.0 - 3.0 * t));
+  }
+  EXPECT_FALSE(detect_maneuvers(SatelliteTrack(7, std::move(samples))).empty());
+}
+
+TEST(ManeuverTest, LongGapsNotAttributed) {
+  std::vector<TrajectorySample> samples;
+  samples.push_back(sample_at(kJd0, 550.0));
+  samples.push_back(sample_at(kJd0 + 5.0, 556.0));  // 5-day gap > max 3
+  EXPECT_TRUE(detect_maneuvers(SatelliteTrack(7, std::move(samples))).empty());
+}
+
+TEST(ManeuverTest, PooledDetectionSorted) {
+  std::vector<SatelliteTrack> tracks;
+  for (int sat = 0; sat < 3; ++sat) {
+    std::vector<TrajectorySample> samples;
+    for (double t = 0.0; t < 10.0; t += 0.5) {
+      double altitude = 550.0;
+      if (t > 3.0 + sat) altitude = 551.0;  // one boost per satellite
+      samples.push_back(sample_at(kJd0 + t, altitude));
+    }
+    tracks.emplace_back(100 + sat, std::move(samples));
+  }
+  const auto events = detect_maneuvers(tracks);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_LE(events[0].jd, events[1].jd);
+  EXPECT_LE(events[1].jd, events[2].jd);
+}
+
+TEST(ManeuverTest, ContaminationEstimate) {
+  std::vector<SatelliteTrack> tracks;
+  // Satellite A manoeuvres 2 days after the event; satellite B never does.
+  {
+    std::vector<TrajectorySample> samples;
+    for (double t = -5.0; t < 10.0; t += 0.5) {
+      samples.push_back(sample_at(kJd0 + t, t > 2.0 ? 551.5 : 550.0));
+    }
+    tracks.emplace_back(1, std::move(samples));
+  }
+  {
+    std::vector<TrajectorySample> samples;
+    for (double t = -5.0; t < 10.0; t += 0.5) {
+      samples.push_back(sample_at(kJd0 + t, 550.0));
+    }
+    tracks.emplace_back(2, std::move(samples));
+  }
+  const std::vector<double> events{kJd0};
+  const auto contamination = maneuver_contamination(tracks, events, 7.0);
+  EXPECT_EQ(contamination.candidates, 2u);
+  EXPECT_EQ(contamination.near_maneuver, 1u);
+  EXPECT_DOUBLE_EQ(contamination.fraction(), 0.5);
+  // Window ending before the manoeuvre: clean.
+  EXPECT_EQ(maneuver_contamination(tracks, events, 1.5).near_maneuver, 0u);
+}
+
+}  // namespace
+}  // namespace cosmicdance::core

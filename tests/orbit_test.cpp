@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "orbit/constants.hpp"
+#include "orbit/elements.hpp"
+#include "orbit/frames.hpp"
+#include "orbit/kepler.hpp"
+#include "orbit/state.hpp"
+
+namespace cosmicdance::orbit {
+namespace {
+
+using units::deg2rad;
+using units::kTwoPi;
+
+TEST(ConstantsTest, Wgs72Values) {
+  const GravityModel g = wgs72();
+  EXPECT_DOUBLE_EQ(g.mu, 398600.8);
+  EXPECT_DOUBLE_EQ(g.radius_earth_km, 6378.135);
+  EXPECT_NEAR(g.xke, 0.07436691613, 1e-10);
+  EXPECT_NEAR(g.tumin, 13.44683969, 1e-6);
+  EXPECT_NEAR(g.j3oj2, -0.00000253881 / 0.001082616, 1e-12);
+}
+
+TEST(ElementsTest, MeanMotionSmaRoundTrip) {
+  for (const double sma : {6728.0, 6928.0, 7178.0, 26560.0, 42164.0}) {
+    const double n = mean_motion_revday_from_sma(sma);
+    EXPECT_NEAR(sma_from_mean_motion_revday(n), sma, 1e-6);
+  }
+}
+
+TEST(ElementsTest, StarlinkShellNumbers) {
+  // ~550 km shell corresponds to ~15.06 rev/day (the familiar Starlink value).
+  const double n = mean_motion_from_altitude_km(550.0);
+  EXPECT_NEAR(n, 15.06, 0.03);
+  EXPECT_NEAR(altitude_km_from_mean_motion(n), 550.0, 1e-9);
+}
+
+TEST(ElementsTest, GeoMeanMotion) {
+  // Geostationary: ~35786 km altitude, ~1 rev/day.
+  EXPECT_NEAR(mean_motion_from_altitude_km(35786.0), 1.0027, 0.001);
+}
+
+TEST(ElementsTest, PeriodMatchesMeanMotion) {
+  EXPECT_NEAR(period_minutes(15.0), 96.0, 1e-12);
+  EXPECT_NEAR(period_minutes(1.0), 1440.0, 1e-12);
+}
+
+TEST(ElementsTest, CircularSpeedLeo) {
+  // ~7.59 km/s at 550 km.
+  EXPECT_NEAR(circular_speed_kms(6928.0), 7.585, 0.01);
+}
+
+TEST(ElementsTest, Validation) {
+  EXPECT_THROW(mean_motion_revday_from_sma(0.0), ValidationError);
+  EXPECT_THROW(sma_from_mean_motion_revday(-1.0), ValidationError);
+  EXPECT_THROW(period_minutes(0.0), ValidationError);
+  EXPECT_THROW(circular_speed_kms(-5.0), ValidationError);
+
+  KeplerianElements coe;
+  coe.eccentricity = 1.0;
+  EXPECT_THROW(coe.validate(), ValidationError);
+  coe.eccentricity = 0.5;
+  coe.semi_major_axis_km = -1.0;
+  EXPECT_THROW(coe.validate(), ValidationError);
+  coe.semi_major_axis_km = 7000.0;
+  coe.inclination_rad = 4.0;
+  EXPECT_THROW(coe.validate(), ValidationError);
+}
+
+TEST(KeplerTest, CircularIsIdentity) {
+  for (double m = 0.0; m < kTwoPi; m += 0.3) {
+    EXPECT_NEAR(solve_kepler(m, 0.0), m, 1e-12);
+  }
+}
+
+TEST(KeplerTest, KnownSolution) {
+  // Vallado example 2-1: M = 235.4 deg, e = 0.4 -> E = 220.512074 deg.
+  const double e_anom = solve_kepler(deg2rad(235.4), 0.4);
+  EXPECT_NEAR(units::rad2deg(e_anom), 220.512074767522, 1e-6);
+}
+
+// Property sweep: the solver must satisfy Kepler's equation for all (M, e).
+class KeplerSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(KeplerSweep, SatisfiesKeplersEquation) {
+  const auto [m_deg, ecc] = GetParam();
+  const double m = deg2rad(m_deg);
+  const double e_anom = solve_kepler(m, ecc);
+  const double m_back = mean_from_eccentric(e_anom, ecc);
+  EXPECT_NEAR(units::wrap_pi(m_back - units::wrap_two_pi(m)), 0.0, 1e-9)
+      << "M=" << m_deg << " e=" << ecc;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KeplerSweep,
+    ::testing::Combine(::testing::Values(0.0, 1.0, 45.0, 90.0, 179.0, 180.0,
+                                         181.0, 270.0, 359.0),
+                       ::testing::Values(0.0, 1e-4, 0.1, 0.5, 0.9, 0.99)));
+
+TEST(KeplerTest, AnomalyConversionsRoundTrip) {
+  for (const double ecc : {0.0, 0.2, 0.7}) {
+    for (double nu = 0.05; nu < kTwoPi; nu += 0.5) {
+      const double e_anom = eccentric_from_true(nu, ecc);
+      EXPECT_NEAR(true_from_eccentric(e_anom, ecc), nu, 1e-10);
+    }
+  }
+}
+
+TEST(KeplerTest, RejectsHyperbolic) {
+  EXPECT_THROW(solve_kepler(1.0, 1.0), ValidationError);
+  EXPECT_THROW(solve_kepler(1.0, -0.1), ValidationError);
+  EXPECT_THROW(true_from_eccentric(1.0, 1.5), ValidationError);
+}
+
+TEST(StateTest, VectorAlgebra) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 0.0);
+  const Vec3 z = cross(x, y);
+  EXPECT_DOUBLE_EQ(z[2], 1.0);
+  EXPECT_DOUBLE_EQ(norm(scale(z, -3.0)), 3.0);
+  EXPECT_DOUBLE_EQ(add(x, y)[0], 1.0);
+  EXPECT_DOUBLE_EQ(sub(x, y)[1], -1.0);
+}
+
+TEST(StateTest, CircularOrbitStateMagnitudes) {
+  KeplerianElements coe;
+  coe.semi_major_axis_km = 6928.0;
+  coe.eccentricity = 0.0;
+  coe.inclination_rad = deg2rad(53.0);
+  const StateVector sv = state_from_elements(coe);
+  EXPECT_NEAR(norm(sv.position_km), 6928.0, 1e-6);
+  EXPECT_NEAR(norm(sv.velocity_kms), circular_speed_kms(6928.0), 1e-9);
+  // Velocity perpendicular to position for a circular orbit.
+  EXPECT_NEAR(dot(sv.position_km, sv.velocity_kms), 0.0, 1e-6);
+}
+
+// COE -> RV -> COE round trip across a grid of orbits.
+class StateRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(StateRoundTrip, ElementsSurvive) {
+  const auto [ecc, inc_deg, ma_deg] = GetParam();
+  KeplerianElements coe;
+  coe.semi_major_axis_km = 7000.0;
+  coe.eccentricity = ecc;
+  coe.inclination_rad = deg2rad(inc_deg);
+  coe.raan_rad = deg2rad(80.0);
+  coe.arg_perigee_rad = deg2rad(40.0);
+  coe.mean_anomaly_rad = deg2rad(ma_deg);
+
+  const KeplerianElements back = elements_from_state(state_from_elements(coe));
+  EXPECT_NEAR(back.semi_major_axis_km, coe.semi_major_axis_km, 1e-5);
+  EXPECT_NEAR(back.eccentricity, coe.eccentricity, 1e-8);
+  EXPECT_NEAR(back.inclination_rad, coe.inclination_rad, 1e-9);
+  if (ecc > 1e-6 && inc_deg > 0.01) {
+    EXPECT_NEAR(units::wrap_pi(back.raan_rad - coe.raan_rad), 0.0, 1e-8);
+    EXPECT_NEAR(units::wrap_pi(back.arg_perigee_rad - coe.arg_perigee_rad), 0.0,
+                1e-6);
+    EXPECT_NEAR(units::wrap_pi(back.mean_anomaly_rad - coe.mean_anomaly_rad), 0.0,
+                1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StateRoundTrip,
+    ::testing::Combine(::testing::Values(1e-3, 0.1, 0.6),
+                       ::testing::Values(0.5, 53.0, 97.6, 140.0),
+                       ::testing::Values(10.0, 200.0, 350.0)));
+
+TEST(StateTest, CircularEquatorialHandled) {
+  KeplerianElements coe;
+  coe.semi_major_axis_km = 42164.0;
+  coe.eccentricity = 0.0;
+  coe.inclination_rad = 0.0;
+  coe.mean_anomaly_rad = deg2rad(123.0);
+  const KeplerianElements back = elements_from_state(state_from_elements(coe));
+  EXPECT_NEAR(back.semi_major_axis_km, 42164.0, 1e-5);
+  EXPECT_LT(back.eccentricity, 1e-8);
+}
+
+TEST(StateTest, RejectsDegenerateStates) {
+  StateVector sv;
+  sv.position_km = {0.1, 0.0, 0.0};
+  sv.velocity_kms = {0.0, 7.5, 0.0};
+  EXPECT_THROW(elements_from_state(sv), PropagationError);
+  sv.position_km = {7000.0, 0.0, 0.0};
+  sv.velocity_kms = {0.0, 20.0, 0.0};  // hyperbolic
+  EXPECT_THROW(elements_from_state(sv), PropagationError);
+}
+
+TEST(FramesTest, TemeEcefRoundTrip) {
+  const Vec3 r{6524.834, 6862.875, 6448.296};
+  const double jd = 2453101.828;
+  const Vec3 back = ecef_to_teme(teme_to_ecef(r, jd), jd);
+  EXPECT_NEAR(back[0], r[0], 1e-9);
+  EXPECT_NEAR(back[1], r[1], 1e-9);
+  EXPECT_NEAR(back[2], r[2], 1e-9);
+}
+
+TEST(FramesTest, RotationPreservesNorm) {
+  const Vec3 r{1234.5, -6543.2, 987.6};
+  EXPECT_NEAR(norm(teme_to_ecef(r, 2459000.5)), norm(r), 1e-9);
+}
+
+TEST(FramesTest, GeodeticRoundTrip) {
+  Geodetic geo;
+  geo.latitude_rad = deg2rad(34.352496);
+  geo.longitude_rad = deg2rad(46.4464);
+  geo.altitude_km = 5085.22;
+  const Geodetic back = ecef_to_geodetic(geodetic_to_ecef(geo));
+  EXPECT_NEAR(back.latitude_rad, geo.latitude_rad, 1e-9);
+  EXPECT_NEAR(back.longitude_rad, geo.longitude_rad, 1e-9);
+  EXPECT_NEAR(back.altitude_km, geo.altitude_km, 1e-6);
+}
+
+TEST(FramesTest, EquatorAndPole) {
+  // Point on the equator at sea level.
+  const Geodetic equator = ecef_to_geodetic({6378.137, 0.0, 0.0});
+  EXPECT_NEAR(equator.latitude_rad, 0.0, 1e-9);
+  EXPECT_NEAR(equator.altitude_km, 0.0, 1e-6);
+  // Point above the north pole: polar radius ~6356.752 km.
+  const Geodetic pole = ecef_to_geodetic({0.0, 0.0, 6756.752});
+  EXPECT_NEAR(pole.latitude_rad, deg2rad(90.0), 1e-6);
+  EXPECT_NEAR(pole.altitude_km, 400.0, 0.01);
+}
+
+TEST(FramesTest, LeoSatelliteAltitudeSensible) {
+  // A satellite at geocentric radius 6928 km should sit at ~535-560 km
+  // geodetic altitude depending on latitude (Earth oblateness).
+  for (double lat_frac = 0.0; lat_frac <= 1.0; lat_frac += 0.25) {
+    const double angle = lat_frac * units::kPi / 2.0;
+    const Vec3 r{6928.0 * std::cos(angle), 0.0, 6928.0 * std::sin(angle)};
+    const Geodetic geo = ecef_to_geodetic(r);
+    EXPECT_GT(geo.altitude_km, 520.0);
+    EXPECT_LT(geo.altitude_km, 575.0);
+  }
+}
+
+}  // namespace
+}  // namespace cosmicdance::orbit

@@ -1,0 +1,198 @@
+// Deep-space (SDP4) branch coverage: the 12h/24h resonance code paths, the
+// Lyddane low-inclination modification, and the g-table eccentricity
+// branches of the half-day resonance initialisation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "orbit/elements.hpp"
+#include "orbit/state.hpp"
+#include "sgp4/sgp4.hpp"
+#include "timeutil/datetime.hpp"
+
+namespace cosmicdance::sgp4 {
+namespace {
+
+using orbit::norm;
+
+tle::Tle base_tle() {
+  tle::Tle t;
+  t.catalog_number = 20000;
+  t.international_designator = "90001A";
+  t.epoch_jd = timeutil::to_julian(timeutil::make_datetime(2022, 6, 15, 3));
+  t.raan_deg = 75.0;
+  t.arg_perigee_deg = 270.0;
+  t.mean_anomaly_deg = 15.0;
+  t.bstar = 0.0;
+  return t;
+}
+
+double mean_radius_over_day(const Sgp4Propagator& propagator, double start_min) {
+  double sum = 0.0;
+  int count = 0;
+  for (double m = start_min; m < start_min + 1440.0; m += 60.0, ++count) {
+    sum += norm(propagator.propagate_minutes(m).position_km);
+  }
+  return sum / count;
+}
+
+// ---------------- synchronous (irez == 1) resonance ------------------------
+
+TEST(DeepSpaceTest, GeoSynchronousResonanceStable) {
+  tle::Tle t = base_tle();
+  t.inclination_deg = 5.0;
+  t.eccentricity = 2e-4;
+  t.mean_motion_revday = 1.0027;
+  const Sgp4Propagator propagator(t);
+  ASSERT_TRUE(propagator.deep_space());
+  const double r0 = mean_radius_over_day(propagator, 0.0);
+  const double r60 = mean_radius_over_day(propagator, 60.0 * 1440.0);
+  EXPECT_NEAR(r0, 42164.0, 120.0);
+  // The resonance librates: mean radius wanders by km-scale, not hundreds.
+  EXPECT_NEAR(r60, r0, 200.0);
+}
+
+TEST(DeepSpaceTest, InclinedGeoStable) {
+  tle::Tle t = base_tle();
+  t.inclination_deg = 15.0;  // inclined GSO (e.g. aging GEO birds)
+  t.eccentricity = 5e-4;
+  t.mean_motion_revday = 1.0027;
+  const Sgp4Propagator propagator(t);
+  for (double days = 0.0; days <= 40.0; days += 5.0) {
+    EXPECT_NEAR(norm(propagator.propagate_minutes(days * 1440.0).position_km),
+                42164.0, 300.0)
+        << days;
+  }
+}
+
+// ---------------- half-day (irez == 2) resonance ----------------------------
+// The g-table has branches at e <= 0.65, e > 0.65, e > 0.715, e < 0.7.
+
+class MolniyaEccentricity : public ::testing::TestWithParam<double> {};
+
+TEST_P(MolniyaEccentricity, PropagatesPhysically) {
+  const double ecc = GetParam();
+  tle::Tle t = base_tle();
+  t.inclination_deg = 63.4;
+  t.eccentricity = ecc;
+  t.mean_motion_revday = 2.0057;  // ~12 h period -> irez == 2 when e >= 0.5
+  const Sgp4Propagator propagator(t);
+  ASSERT_TRUE(propagator.deep_space());
+
+  const double a = orbit::sma_from_mean_motion_revday(2.0057);
+  for (double days = 0.0; days <= 20.0; days += 1.0) {
+    const double r = norm(propagator.propagate_minutes(days * 1440.0).position_km);
+    EXPECT_GT(r, a * (1.0 - ecc) * 0.9) << "e=" << ecc << " d=" << days;
+    EXPECT_LT(r, a * (1.0 + ecc) * 1.1) << "e=" << ecc << " d=" << days;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GTableBranches, MolniyaEccentricity,
+                         ::testing::Values(0.55, 0.66, 0.70, 0.72, 0.74));
+
+// ---------------- Lyddane modification (inclination < ~11.5 deg) ------------
+
+class LowInclination : public ::testing::TestWithParam<double> {};
+
+TEST_P(LowInclination, DpperLyddaneBranchStable) {
+  tle::Tle t = base_tle();
+  t.inclination_deg = GetParam();
+  t.eccentricity = 3e-4;
+  t.mean_motion_revday = 1.0027;
+  const Sgp4Propagator propagator(t);
+  for (double days = 0.0; days <= 30.0; days += 3.0) {
+    const auto sv = propagator.propagate_minutes(days * 1440.0);
+    EXPECT_NEAR(norm(sv.position_km), 42164.0, 300.0)
+        << "i=" << GetParam() << " d=" << days;
+    // Velocity magnitude ~3.07 km/s at GEO.
+    EXPECT_NEAR(norm(sv.velocity_kms), 3.07, 0.1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Inclinations, LowInclination,
+                         ::testing::Values(0.01, 0.5, 3.0, 9.0, 11.0, 12.0));
+
+// ---------------- 12-hour non-resonant (irez == 0 deep space) ---------------
+
+TEST(DeepSpaceTest, TwelveHourLowEccentricityNotResonant) {
+  // n in the half-day band but e < 0.5: irez stays 0, pure lunisolar path.
+  tle::Tle t = base_tle();
+  t.inclination_deg = 55.0;
+  t.eccentricity = 0.01;
+  t.mean_motion_revday = 2.0057;
+  const Sgp4Propagator propagator(t);
+  ASSERT_TRUE(propagator.deep_space());
+  const double a = orbit::sma_from_mean_motion_revday(2.0057);
+  for (double days = 0.0; days <= 30.0; days += 2.0) {
+    const double r = norm(propagator.propagate_minutes(days * 1440.0).position_km);
+    EXPECT_NEAR(r, a, a * 0.05) << days;
+  }
+}
+
+TEST(DeepSpaceTest, EightHourOrbitDeepSpaceNoResonance) {
+  tle::Tle t = base_tle();
+  t.inclination_deg = 28.0;
+  t.eccentricity = 0.1;
+  t.mean_motion_revday = 3.0;  // 8 h period: deep space, no resonance band
+  const Sgp4Propagator propagator(t);
+  ASSERT_TRUE(propagator.deep_space());
+  const double a = orbit::sma_from_mean_motion_revday(3.0);
+  for (double days = 0.0; days <= 15.0; days += 1.5) {
+    const double r = norm(propagator.propagate_minutes(days * 1440.0).position_km);
+    EXPECT_GT(r, a * 0.85);
+    EXPECT_LT(r, a * 1.15);
+  }
+}
+
+// ---------------- retrograde & polar deep space ------------------------------
+
+TEST(DeepSpaceTest, RetrogradeGeoLikeOrbit) {
+  tle::Tle t = base_tle();
+  t.inclination_deg = 170.0;
+  t.eccentricity = 1e-3;
+  t.mean_motion_revday = 1.1;
+  const Sgp4Propagator propagator(t);
+  for (double days = 0.0; days <= 10.0; days += 1.0) {
+    EXPECT_GT(norm(propagator.propagate_minutes(days * 1440.0).position_km),
+              30000.0);
+  }
+}
+
+TEST(DeepSpaceTest, LunarSolarPeriodicsBounded) {
+  // The dpper contributions must stay small for a GEO orbit: eccentricity
+  // perturbations are O(1e-4..1e-3), not order unity.
+  tle::Tle t = base_tle();
+  t.inclination_deg = 7.0;
+  t.eccentricity = 4e-4;
+  t.mean_motion_revday = 1.0027;
+  const Sgp4Propagator propagator(t);
+  double r_min = 1e12;
+  double r_max = 0.0;
+  for (double days = 0.0; days <= 60.0; days += 0.7) {
+    const double r = norm(propagator.propagate_minutes(days * 1440.0).position_km);
+    r_min = std::min(r_min, r);
+    r_max = std::max(r_max, r);
+  }
+  // Radial excursion stays within ~0.5% over two months.
+  EXPECT_LT((r_max - r_min) / 42164.0, 0.005);
+}
+
+TEST(DeepSpaceTest, BackwardAndForwardIntegrationConsistent) {
+  tle::Tle t = base_tle();
+  t.inclination_deg = 63.4;
+  t.eccentricity = 0.7;
+  t.mean_motion_revday = 2.0057;
+  const Sgp4Propagator propagator(t);
+  // Interleave far-forward, backward, and near-epoch calls: the resonance
+  // integrator must restart cleanly (cache invalidation paths).
+  const auto a1 = propagator.propagate_minutes(10.0 * 1440.0);
+  const auto b1 = propagator.propagate_minutes(-5.0 * 1440.0);
+  const auto a2 = propagator.propagate_minutes(10.0 * 1440.0);
+  const auto b2 = propagator.propagate_minutes(-5.0 * 1440.0);
+  EXPECT_NEAR(norm(orbit::sub(a1.position_km, a2.position_km)), 0.0, 1e-6);
+  EXPECT_NEAR(norm(orbit::sub(b1.position_km, b2.position_km)), 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace cosmicdance::sgp4

@@ -1,0 +1,239 @@
+// Second-round simulation tests: lifecycle corners, station-keeping
+// behaviour, manoeuvre statistics, deorbit end-of-life, tracking
+// configuration sweeps and launch-plan geometry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "simulation/constellation.hpp"
+#include "simulation/launch_plan.hpp"
+#include "simulation/scenario.hpp"
+#include "spaceweather/generator.hpp"
+#include "stats/descriptive.hpp"
+
+namespace cosmicdance::simulation {
+namespace {
+
+using timeutil::make_datetime;
+
+ConstellationConfig quiet_fleet(int count, const timeutil::DateTime& start,
+                                const timeutil::DateTime& end) {
+  ConstellationConfig config;
+  config.seed = 9;
+  config.start = start;
+  config.end = end;
+  config.failures.enabled = false;
+  config.record_truth = true;
+  LaunchBatch batch;
+  batch.time = start;
+  batch.count = count;
+  batch.prelaunched = true;
+  config.launches.push_back(batch);
+  return config;
+}
+
+TEST(LifecycleTest, DeorbitAtEndOfLife) {
+  auto config = quiet_fleet(5, make_datetime(2023, 1, 1), make_datetime(2024, 6, 1));
+  config.lifetime_years = 0.5;  // satellites retire mid-run
+  auto result = ConstellationSimulator(config).run();
+  // All five retire, descend at the controlled rate and reenter.
+  EXPECT_EQ(result.reentered, 5);
+  EXPECT_EQ(result.tracked_at_end, 0);
+  for (const auto& [id, truth] : result.truth) {
+    bool saw_deorbiting = false;
+    for (const auto& sample : truth) {
+      if (sample.mode == SatelliteMode::kDeorbiting) saw_deorbiting = true;
+    }
+    EXPECT_TRUE(saw_deorbiting) << id;
+  }
+}
+
+TEST(LifecycleTest, DeorbitRateRespected) {
+  auto config = quiet_fleet(1, make_datetime(2023, 1, 1), make_datetime(2024, 6, 1));
+  config.lifetime_years = 0.25;
+  config.deorbit_km_per_day = 2.0;
+  auto result = ConstellationSimulator(config).run();
+  const auto& truth = result.truth.begin()->second;
+  // Find the descent slope between 500 and 300 km.
+  double t500 = 0.0;
+  double t300 = 0.0;
+  for (const auto& sample : truth) {
+    if (t500 == 0.0 && sample.altitude_km <= 500.0) t500 = sample.jd;
+    if (t300 == 0.0 && sample.altitude_km <= 300.0) t300 = sample.jd;
+  }
+  ASSERT_GT(t500, 0.0);
+  ASSERT_GT(t300, 0.0);
+  // 200 km at ~2 km/day (plus growing drag assist) -> <= 100 days, >= 50.
+  EXPECT_GT(t300 - t500, 50.0);
+  EXPECT_LT(t300 - t500, 100.0);
+}
+
+TEST(StationKeepingTest, HoldsDeadband) {
+  auto config = quiet_fleet(10, make_datetime(2023, 1, 1), make_datetime(2023, 12, 1));
+  config.maneuver_probability_per_day = 0.0;  // isolate the controller
+  auto result = ConstellationSimulator(config).run();
+  for (const auto& [id, truth] : result.truth) {
+    for (const auto& sample : truth) {
+      EXPECT_NEAR(sample.altitude_km, 550.0, config.deadband_km + 0.3) << id;
+    }
+  }
+}
+
+TEST(StationKeepingTest, ManeuverJitterVisibleButBounded) {
+  auto config = quiet_fleet(20, make_datetime(2023, 1, 1), make_datetime(2023, 12, 1));
+  config.maneuver_probability_per_day = 0.05;
+  auto result = ConstellationSimulator(config).run();
+  std::vector<double> altitudes;
+  for (const auto& [id, truth] : result.truth) {
+    for (const auto& sample : truth) altitudes.push_back(sample.altitude_km);
+  }
+  const auto s = stats::summarize(altitudes);
+  EXPECT_GT(s.stddev, 0.1);  // manoeuvres visible
+  EXPECT_LT(s.stddev, 2.0);  // but bounded
+  EXPECT_GT(s.min, 544.0);
+  EXPECT_LT(s.max, 554.0);
+}
+
+TEST(LaunchPlanTest, RaanSpreadCoversTheEquator) {
+  const auto plan = starlink_like_plan(make_datetime(2020, 1, 1),
+                                       make_datetime(2021, 1, 1), 14.0, 10);
+  ASSERT_GE(plan.size(), 25u);
+  // With the golden-angle stride, plane longitudes spread widely.
+  std::set<int> sectors;
+  for (const auto& batch : plan) {
+    sectors.insert(static_cast<int>(batch.raan_deg / 45.0));
+  }
+  EXPECT_EQ(sectors.size(), 8u);
+}
+
+TEST(LaunchPlanTest, CatalogNumbersSequentialAcrossBatches) {
+  ConstellationConfig config;
+  config.seed = 3;
+  config.start = make_datetime(2023, 1, 1);
+  config.end = make_datetime(2023, 3, 1);
+  config.failures.enabled = false;
+  for (int b = 0; b < 3; ++b) {
+    LaunchBatch batch;
+    batch.time = timeutil::add_hours(config.start, b * 240.0);
+    batch.count = 4;
+    batch.prelaunched = true;
+    config.launches.push_back(batch);
+  }
+  auto result = ConstellationSimulator(config).run();
+  const auto sats = result.catalog.satellites();
+  ASSERT_EQ(sats.size(), 12u);
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    EXPECT_EQ(sats[i], config.first_catalog_number + static_cast<int>(i));
+  }
+}
+
+TEST(TrackingSweepTest, NoiseScalesAsConfigured) {
+  const SatelliteState satellite = [] {
+    SatelliteState s;
+    s.catalog_number = 45001;
+    s.international_designator = "20001A";
+    s.mode = SatelliteMode::kOperational;
+    s.altitude_km = 550.0;
+    s.launch_jd = 2458800.0;
+    return s;
+  }();
+  for (const double sigma : {0.02, 0.08, 0.3}) {
+    TrackingConfig config;
+    config.altitude_noise_km = sigma;
+    config.gross_error_probability = 0.0;
+    TrackingSimulator tracker(config, 21);
+    std::vector<double> errors;
+    for (int i = 0; i < 800; ++i) {
+      errors.push_back(tracker.observe(satellite, 2460000.0 + i, 1.0, 0.0)
+                           .altitude_km() -
+                       550.0);
+    }
+    EXPECT_NEAR(stats::stddev(errors), sigma, sigma * 0.2) << sigma;
+  }
+}
+
+TEST(TrackingSweepTest, RefreshBoundsRespectedAcrossConfigs) {
+  for (const double sigma : {0.3, 0.8, 1.4}) {
+    TrackingConfig config;
+    config.refresh_lognormal_sigma = sigma;
+    TrackingSimulator tracker(config, 5);
+    double jd = 2460000.0;
+    for (int i = 0; i < 2000; ++i) {
+      const double next = tracker.next_observation_jd(jd);
+      const double hours = (next - jd) * 24.0;
+      EXPECT_GE(hours, config.refresh_min_hours);
+      EXPECT_LE(hours, config.refresh_max_hours);
+      jd = next;
+    }
+  }
+}
+
+TEST(FailureModelTest, OnsetThresholdRespected) {
+  // A storm peaking just above the onset threshold produces no upsets.
+  spaceweather::DstGeneratorConfig dst_config;
+  dst_config.start = make_datetime(2023, 1, 1);
+  dst_config.hours = 24 * 60;
+  dst_config.include_random_storms = false;
+  dst_config.scripted_storms.push_back(
+      {make_datetime(2023, 2, 1, 6), -60.0, 4.0, 2.0, 10.0});
+  const auto dst = spaceweather::DstGenerator(dst_config).generate();
+
+  auto config = quiet_fleet(300, make_datetime(2023, 1, 1), make_datetime(2023, 3, 1));
+  config.dst = &dst;
+  config.failures.enabled = true;
+  config.failures.onset_nt = 70.0;
+  auto result = ConstellationSimulator(config).run();
+  EXPECT_TRUE(result.failures.empty());
+}
+
+TEST(FailureModelTest, PermanentFractionShapesOutcome) {
+  spaceweather::DstGeneratorConfig dst_config;
+  dst_config.start = make_datetime(2023, 1, 1);
+  dst_config.hours = 24 * 90;
+  dst_config.include_random_storms = false;
+  dst_config.scripted_storms.push_back(
+      {make_datetime(2023, 2, 1, 6), -300.0, 4.0, 8.0, 10.0});
+  const auto dst = spaceweather::DstGenerator(dst_config).generate();
+
+  auto run_with_fraction = [&](double fraction) {
+    auto config = quiet_fleet(400, make_datetime(2023, 1, 1),
+                              make_datetime(2023, 4, 1));
+    config.dst = &dst;
+    config.failures.enabled = true;
+    config.failures.permanent_fraction = fraction;
+    auto result = ConstellationSimulator(config).run();
+    int permanent = 0;
+    for (const auto& failure : result.failures) {
+      if (failure.kind == FailureKind::kPermanentDecay) ++permanent;
+    }
+    return std::pair<int, int>(permanent, static_cast<int>(result.failures.size()));
+  };
+
+  const auto [none_permanent, total_a] = run_with_fraction(0.0);
+  const auto [all_permanent, total_b] = run_with_fraction(1.0);
+  EXPECT_EQ(none_permanent, 0);
+  EXPECT_GT(total_a, 10);
+  EXPECT_EQ(all_permanent, total_b);
+}
+
+TEST(ScenarioTest, PaperWindowScalesWithBatchSize) {
+  const auto small = scenario::paper_window(nullptr, 2, 30.0);
+  const auto large = scenario::paper_window(nullptr, 6, 30.0);
+  int small_count = 0;
+  int large_count = 0;
+  for (const auto& batch : small.launches) small_count += batch.count;
+  for (const auto& batch : large.launches) large_count += batch.count;
+  EXPECT_EQ(large_count, 3 * small_count);
+}
+
+TEST(ScenarioTest, Feb2022UsesLowStaging) {
+  const auto config = scenario::feb_2022(nullptr);
+  ASSERT_EQ(config.launches.size(), 1u);
+  EXPECT_EQ(config.launches[0].count, 49);
+  EXPECT_NEAR(config.launches[0].satellite.staging_altitude_km, 210.0, 1.0);
+  EXPECT_EQ(config.first_catalog_number, 51439);
+}
+
+}  // namespace
+}  // namespace cosmicdance::simulation

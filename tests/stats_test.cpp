@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/histogram.hpp"
+#include "stats/rolling.hpp"
+
+namespace cosmicdance::stats {
+namespace {
+
+TEST(PercentileTest, Endpoints) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.0);
+}
+
+TEST(PercentileTest, LinearInterpolation) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(PercentileTest, SingleElement) {
+  const std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 99.0), 42.0);
+}
+
+TEST(PercentileTest, Errors) {
+  const std::vector<double> empty;
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(empty, 50.0), ValidationError);
+  EXPECT_THROW(percentile(v, -1.0), ValidationError);
+  EXPECT_THROW(percentile(v, 100.5), ValidationError);
+}
+
+TEST(PercentileTest, BatchMatchesSingle) {
+  const std::vector<double> v{5.0, 1.0, 9.0, 3.0, 7.0};
+  const std::vector<double> ps{10.0, 50.0, 95.0};
+  const std::vector<double> batch = percentiles(v, ps);
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], percentile(v, ps[i]));
+  }
+}
+
+// Percentile is monotone in p and bounded by the sample range.
+class PercentileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PercentileProperty, MonotoneAndBounded) {
+  Rng rng(GetParam());
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(rng.normal(0.0, 10.0));
+  double previous = percentile(v, 0.0);
+  EXPECT_DOUBLE_EQ(previous, min(v));
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double current = percentile(v, p);
+    EXPECT_GE(current, previous);
+    previous = current;
+  }
+  EXPECT_DOUBLE_EQ(previous, max(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileProperty,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+TEST(DescriptiveTest, MeanVarianceStddev) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(DescriptiveTest, SingleElementVarianceIsZero) {
+  const std::vector<double> v{3.0};
+  EXPECT_DOUBLE_EQ(variance(v), 0.0);
+}
+
+TEST(DescriptiveTest, EmptyThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), ValidationError);
+  EXPECT_THROW(variance(empty), ValidationError);
+  EXPECT_THROW(min(empty), ValidationError);
+  EXPECT_THROW(max(empty), ValidationError);
+  EXPECT_THROW(summarize(empty), ValidationError);
+}
+
+TEST(DescriptiveTest, SummaryConsistent) {
+  Rng rng(7);
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(rng.uniform(0.0, 100.0));
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, v.size());
+  EXPECT_DOUBLE_EQ(s.min, min(v));
+  EXPECT_DOUBLE_EQ(s.max, max(v));
+  EXPECT_DOUBLE_EQ(s.median, median(v));
+  EXPECT_DOUBLE_EQ(s.p95, percentile(v, 95.0));
+  EXPECT_LE(s.p25, s.median);
+  EXPECT_LE(s.median, s.p75);
+  EXPECT_LE(s.p75, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+}
+
+TEST(EcdfTest, StepValues) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const Ecdf ecdf(v);
+  EXPECT_DOUBLE_EQ(ecdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf(100.0), 1.0);
+}
+
+TEST(EcdfTest, QuantileInvertsRoughly) {
+  Rng rng(11);
+  std::vector<double> v;
+  for (int i = 0; i < 5000; ++i) v.push_back(rng.normal(0.0, 1.0));
+  const Ecdf ecdf(v);
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(ecdf(ecdf.quantile(q)), q, 0.01);
+  }
+}
+
+TEST(EcdfTest, QuantileMatchesPercentile) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  const Ecdf ecdf(v);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.5), percentile(v, 50.0));
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(1.0), 5.0);
+}
+
+TEST(EcdfTest, Errors) {
+  const std::vector<double> empty;
+  EXPECT_THROW(Ecdf{empty}, ValidationError);
+  const std::vector<double> v{1.0};
+  const Ecdf ecdf(v);
+  EXPECT_THROW(ecdf.quantile(-0.1), ValidationError);
+  EXPECT_THROW(ecdf.quantile(1.1), ValidationError);
+}
+
+TEST(EcdfTest, PointsThinnedAndTerminated) {
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(static_cast<double>(i));
+  const Ecdf ecdf(v);
+  const auto pts = ecdf.points(50);
+  EXPECT_LE(pts.size(), 52u);
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+  EXPECT_DOUBLE_EQ(pts.back().first, 999.0);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].first, pts[i - 1].first);
+    EXPECT_GE(pts[i].second, pts[i - 1].second);
+  }
+}
+
+TEST(HistogramTest, BinningAndEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);   // first bin (inclusive lower edge)
+  h.add(9.99);  // last bin
+  h.add(10.0);  // overflow (exclusive upper edge)
+  h.add(-0.1);  // underflow
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, FractionsSumToOne) {
+  Histogram h(0.0, 1.0, 4);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform());
+  double sum = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) sum += h.fraction(b);
+  EXPECT_NEAR(sum, 1.0, 1e-12);  // all samples in range
+}
+
+TEST(HistogramTest, BinGeometry) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(0), 12.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 15.0);
+  EXPECT_THROW(h.bin_lower(5), ValidationError);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ValidationError);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), ValidationError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ValidationError);
+}
+
+TEST(RollingTest, WindowMedianRespectsBounds) {
+  const std::vector<TimedValue> series{
+      {0.0, 1.0}, {1.0, 2.0}, {2.0, 30.0}, {3.0, 4.0}, {4.0, 5.0}};
+  EXPECT_DOUBLE_EQ(window_median(series, 0.0, 2.0), 1.5);   // [0,2)
+  EXPECT_DOUBLE_EQ(window_median(series, 2.0, 3.0), 30.0);  // just t=2
+  EXPECT_THROW(window_median(series, 10.0, 20.0), ValidationError);
+}
+
+TEST(RollingTest, WindowMeanAndCount) {
+  const std::vector<TimedValue> series{{0.0, 2.0}, {1.0, 4.0}, {2.0, 6.0}};
+  EXPECT_DOUBLE_EQ(window_mean(series, 0.0, 3.0), 4.0);
+  EXPECT_EQ(window_count(series, 0.5, 2.5), 2u);
+  EXPECT_EQ(window_count(series, 5.0, 9.0), 0u);
+}
+
+TEST(RollingTest, NeighborLookups) {
+  const std::vector<TimedValue> series{{1.0, 10.0}, {3.0, 30.0}, {5.0, 50.0}};
+  EXPECT_EQ(last_at_or_before(series, 0.5), nullptr);
+  EXPECT_DOUBLE_EQ(last_at_or_before(series, 3.0)->value, 30.0);
+  EXPECT_DOUBLE_EQ(last_at_or_before(series, 4.9)->value, 30.0);
+  EXPECT_DOUBLE_EQ(first_at_or_after(series, 3.1)->value, 50.0);
+  EXPECT_EQ(first_at_or_after(series, 5.1), nullptr);
+}
+
+TEST(RollingTest, RollingMedianSmoothsSpike) {
+  std::vector<TimedValue> series;
+  for (int i = 0; i < 20; ++i) {
+    series.push_back({static_cast<double>(i), i == 10 ? 100.0 : 1.0});
+  }
+  const std::vector<double> smooth = rolling_median(series, 2.0);
+  ASSERT_EQ(smooth.size(), series.size());
+  EXPECT_DOUBLE_EQ(smooth[10], 1.0);  // spike suppressed by the window
+  EXPECT_THROW(rolling_median(series, -1.0), ValidationError);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(6);
+  std::vector<double> v;
+  for (int i = 0; i < 20000; ++i) v.push_back(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(mean(v), 5.0, 0.1);
+  EXPECT_NEAR(stddev(v), 2.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(8);
+  std::vector<double> v;
+  for (int i = 0; i < 20000; ++i) v.push_back(rng.exponential(3.0));
+  EXPECT_NEAR(mean(v), 3.0, 0.15);
+  EXPECT_GE(min(v), 0.0);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(9);
+  double total = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(rng.poisson(4.5));
+  EXPECT_NEAR(total / n, 4.5, 0.2);
+  // Large-mean path.
+  total = 0.0;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(rng.poisson(80.0));
+  EXPECT_NEAR(total / n, 80.0, 1.0);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(10);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(12);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, SplitIndependence) {
+  Rng parent(77);
+  Rng child = parent.split();
+  // The child stream should not replay the parent stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace cosmicdance::stats

@@ -1,0 +1,154 @@
+// Tests for the CLI-supporting components: argument parsing and CSV export.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/export.hpp"
+#include "io/args.hpp"
+#include "timeutil/datetime.hpp"
+
+namespace cosmicdance {
+namespace {
+
+using io::ArgParser;
+
+TEST(ArgsTest, CommandAndPositionals) {
+  const ArgParser args({"analyze", "extra1", "extra2"});
+  EXPECT_EQ(args.command(), "analyze");
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positionals()[0], "extra1");
+}
+
+TEST(ArgsTest, OptionsWithValues) {
+  const ArgParser args({"simulate", "--dst", "d.wdc", "--seed", "42"});
+  EXPECT_EQ(args.option_or("dst", "x"), "d.wdc");
+  EXPECT_EQ(args.integer_or("seed", 0), 42);
+  EXPECT_FALSE(args.option("missing").has_value());
+  EXPECT_EQ(args.option_or("missing", "fallback"), "fallback");
+}
+
+TEST(ArgsTest, FlagsWithoutValues) {
+  const ArgParser args({"cmd", "--verbose", "--out", "f.csv"});
+  EXPECT_TRUE(args.flag("verbose"));
+  EXPECT_FALSE(args.option("verbose").has_value());
+  EXPECT_TRUE(args.flag("out"));
+  EXPECT_EQ(args.option_or("out", ""), "f.csv");
+  EXPECT_FALSE(args.flag("absent"));
+}
+
+TEST(ArgsTest, TrailingFlag) {
+  const ArgParser args({"cmd", "--dry-run"});
+  EXPECT_TRUE(args.flag("dry-run"));
+}
+
+TEST(ArgsTest, NumberParsing) {
+  const ArgParser args({"cmd", "--threshold", "-63.5", "--count", "7"});
+  EXPECT_DOUBLE_EQ(args.number_or("threshold", 0.0), -63.5);
+  EXPECT_EQ(args.integer_or("count", 0), 7);
+  EXPECT_DOUBLE_EQ(args.number_or("absent", 1.5), 1.5);
+}
+
+TEST(ArgsTest, NumberErrors) {
+  const ArgParser args({"cmd", "--threshold", "abc"});
+  EXPECT_THROW((void)args.number_or("threshold", 0.0), ParseError);
+  EXPECT_THROW((void)args.integer_or("threshold", 0), ParseError);
+}
+
+TEST(ArgsTest, NegativeNumbersAreValuesNotOptions) {
+  // "-63" does not start with "--", so it is consumed as a value.
+  const ArgParser args({"cmd", "--threshold", "-63"});
+  EXPECT_DOUBLE_EQ(args.number_or("threshold", 0.0), -63.0);
+}
+
+TEST(ArgsTest, CheckKnownCatchesTypos) {
+  const ArgParser args({"cmd", "--outt", "f"});
+  EXPECT_THROW(args.check_known({"out"}), ParseError);
+  EXPECT_NO_THROW(args.check_known({"outt"}));
+}
+
+TEST(ArgsTest, RejectsBareDoubleDash) {
+  EXPECT_THROW(ArgParser({"cmd", "--"}), ParseError);
+}
+
+TEST(ArgsTest, ArgcArgvConstructorSkipsProgramName) {
+  const char* argv[] = {"prog", "storms", "--dst", "d.wdc"};
+  const ArgParser args(4, argv);
+  EXPECT_EQ(args.command(), "storms");
+  EXPECT_EQ(args.option_or("dst", ""), "d.wdc");
+}
+
+// ------------------------------- export -------------------------------------
+
+TEST(ExportTest, EcdfCsvShape) {
+  const std::vector<double> sample{1.0, 2.0, 3.0, 4.0};
+  const auto rows = core::ecdf_csv(stats::Ecdf(sample), "alt_km", 10);
+  ASSERT_GE(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (io::CsvRow{"alt_km", "cdf"}));
+  EXPECT_EQ(rows.back()[1], "1");
+  // Parse-back sanity: values are numeric and monotone.
+  double previous = -1e9;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const double x = std::stod(rows[i][0]);
+    EXPECT_GE(x, previous);
+    previous = x;
+  }
+}
+
+TEST(ExportTest, StormsCsv) {
+  spaceweather::StormEvent event;
+  event.start_hour = timeutil::hour_index_from_datetime(
+      timeutil::make_datetime(2023, 4, 23, 19));
+  event.end_hour = event.start_hour + 17;
+  event.peak_hour = event.start_hour + 5;
+  event.peak_dst_nt = -213.0;
+  event.category = spaceweather::StormCategory::kSevere;
+  const auto rows = core::storms_csv(std::vector<spaceweather::StormEvent>{event});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][2], "-213");
+  EXPECT_EQ(rows[1][3], "severe");
+  EXPECT_EQ(rows[1][4], "17");
+  EXPECT_NE(rows[1][0].find("2023-04-23"), std::string::npos);
+}
+
+TEST(ExportTest, EnvelopeCsvHandlesNan) {
+  core::PostEventEnvelope envelope;
+  envelope.days = 2;
+  envelope.satellites = {45001};
+  envelope.per_satellite = {{1.5, std::nan("")}};
+  envelope.median_km = {1.5, std::nan("")};
+  envelope.p95_km = {1.5, std::nan("")};
+  const auto rows = core::envelope_csv(envelope);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].back(), "sat_45001");
+  EXPECT_EQ(rows[1][1], "1.5");
+  EXPECT_EQ(rows[2][1], "");  // NaN -> empty cell
+}
+
+TEST(ExportTest, PanelCsv) {
+  core::SuperstormPanelRow row;
+  row.day_jd = timeutil::to_julian(timeutil::make_datetime(2024, 5, 10));
+  row.dst_min_nt = -409.0;
+  row.bstar_median = 3.2e-4;
+  row.tracked_satellites = 1200;
+  row.tle_count = 2400;
+  const auto rows = core::panel_csv(std::vector<core::SuperstormPanelRow>{row});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "-409");
+  EXPECT_EQ(rows[1][5], "1200");
+}
+
+TEST(ExportTest, TimelineCsv) {
+  core::TrackTimeline timeline;
+  timeline.catalog_number = 44943;
+  timeline.epoch_jd = {timeutil::to_julian(timeutil::make_datetime(2024, 3, 3))};
+  timeline.altitude_km = {549.5};
+  timeline.bstar = {2.5e-4};
+  const auto rows = core::timeline_csv(timeline);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_NE(rows[1][0].find("2024-03-03"), std::string::npos);
+  EXPECT_EQ(rows[1][1], "549.5");
+}
+
+}  // namespace
+}  // namespace cosmicdance

@@ -1,0 +1,267 @@
+// cosmicdance — command-line front end, mirroring how the original tool is
+// driven: generate/ingest data, list storms, and export figure-ready CSVs.
+//
+//   cosmicdance gen-dst   --preset paper|superstorm|historical|carrington
+//                         --out dst.wdc [--seed N]
+//   cosmicdance simulate  --dst dst.wdc --scenario paper|may2024|feb2022|figure3|l1
+//                         --out catalog.tle [--per-batch N --cadence D --fleet N --seed N]
+//   cosmicdance storms    --dst dst.wdc [--threshold NT] [--csv storms.csv]
+//   cosmicdance analyze   --dst dst.wdc --tles catalog.tle --out-dir DIR
+//   cosmicdance report    --dst dst.wdc --tles catalog.tle
+#include <filesystem>
+#include <iostream>
+
+#include "common/error.hpp"
+#include "core/export.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "tle/omm.hpp"
+#include "io/args.hpp"
+#include "io/file.hpp"
+#include "io/table.hpp"
+#include "simulation/scenario.hpp"
+#include "spaceweather/generator.hpp"
+#include "spaceweather/wdc.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace cosmicdance;
+
+namespace {
+
+int usage() {
+  std::cout <<
+      "cosmicdance — measuring LEO orbital shifts due to solar radiations\n"
+      "\n"
+      "subcommands:\n"
+      "  gen-dst   --preset paper|superstorm|historical|carrington --out F [--seed N]\n"
+      "  simulate  --dst F --scenario paper|may2024|feb2022|figure3|l1 --out F\n"
+      "            [--per-batch N] [--cadence DAYS] [--fleet N] [--seed N]\n"
+      "  storms    --dst F [--threshold NT] [--csv F]\n"
+      "  convert   --tles F --to-omm F | --omm F --to-tles F\n"
+      "  analyze   --dst F --tles F --out-dir DIR\n"
+      "  report    --dst F --tles F [--markdown F]\n";
+  return 2;
+}
+
+std::string require(const io::ArgParser& args, const std::string& name) {
+  const auto value = args.option(name);
+  if (!value.has_value()) {
+    throw ParseError("missing required option --" + name);
+  }
+  return *value;
+}
+
+int cmd_gen_dst(const io::ArgParser& args) {
+  args.check_known({"preset", "out", "seed"});
+  const std::string preset = args.option_or("preset", "paper");
+  spaceweather::DstGeneratorConfig config;
+  if (preset == "paper") {
+    config = spaceweather::DstGenerator::paper_window_2020_2024();
+  } else if (preset == "superstorm") {
+    config = spaceweather::DstGenerator::with_may_2024_superstorm();
+  } else if (preset == "historical") {
+    config = spaceweather::DstGenerator::historical_50_years();
+  } else if (preset == "carrington") {
+    config = spaceweather::DstGenerator::carrington_what_if();
+  } else {
+    throw ParseError("unknown preset: " + preset);
+  }
+  config.seed = static_cast<std::uint64_t>(
+      args.integer_or("seed", static_cast<long>(config.seed)));
+  const auto dst = spaceweather::DstGenerator(config).generate();
+  spaceweather::write_wdc_file(require(args, "out"), dst);
+  std::cout << "wrote " << dst.size() << " hourly Dst records ("
+            << dst.start_datetime().to_string() << " ...) to "
+            << require(args, "out") << "\n";
+  return 0;
+}
+
+int cmd_simulate(const io::ArgParser& args) {
+  args.check_known(
+      {"dst", "scenario", "out", "per-batch", "cadence", "fleet", "seed"});
+  const auto dst = spaceweather::read_wdc_file(require(args, "dst"));
+  const std::string name = args.option_or("scenario", "paper");
+  const auto seed = static_cast<std::uint64_t>(args.integer_or("seed", 7));
+
+  simulation::ConstellationConfig config;
+  if (name == "paper") {
+    config = simulation::scenario::paper_window(
+        &dst, static_cast<int>(args.integer_or("per-batch", 8)),
+        args.number_or("cadence", 12.0), seed);
+  } else if (name == "may2024") {
+    config = simulation::scenario::may_2024(
+        &dst, static_cast<int>(args.integer_or("fleet", 1500)), seed);
+  } else if (name == "feb2022") {
+    config = simulation::scenario::feb_2022(&dst, seed);
+  } else if (name == "figure3") {
+    config = simulation::scenario::figure3(&dst, seed);
+  } else if (name == "l1") {
+    config = simulation::scenario::launch_l1(&dst, seed);
+  } else {
+    throw ParseError("unknown scenario: " + name);
+  }
+
+  auto result = simulation::ConstellationSimulator(config).run();
+  io::write_file(require(args, "out"), result.catalog.to_text());
+  std::cout << "simulated " << result.launched << " satellites; wrote "
+            << result.catalog.record_count() << " TLEs for "
+            << result.catalog.satellite_count() << " satellites to "
+            << require(args, "out") << "\n"
+            << "failures: " << result.failures.size()
+            << ", reentered: " << result.reentered << "\n";
+  return 0;
+}
+
+int cmd_storms(const io::ArgParser& args) {
+  args.check_known({"dst", "threshold", "csv"});
+  const auto dst = spaceweather::read_wdc_file(require(args, "dst"));
+  spaceweather::StormDetectorConfig detector_config;
+  detector_config.threshold_nt = args.number_or("threshold", -50.0);
+  const auto storms =
+      spaceweather::StormDetector(detector_config).detect(dst);
+
+  if (const auto csv_path = args.option("csv")) {
+    io::write_csv_file(*csv_path, core::storms_csv(storms));
+    std::cout << "wrote " << storms.size() << " storms to " << *csv_path << "\n";
+    return 0;
+  }
+  io::TablePrinter table({"onset", "peak nT", "category", "hours"});
+  for (const auto& storm : storms) {
+    table.add_row({storm.start_datetime().to_string().substr(0, 16),
+                   io::TablePrinter::num(storm.peak_dst_nt, 1),
+                   spaceweather::to_string(storm.category),
+                   std::to_string(storm.duration_hours())});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+core::CosmicDance load_pipeline(const io::ArgParser& args) {
+  return core::CosmicDance::from_files(require(args, "dst"),
+                                       require(args, "tles"));
+}
+
+int cmd_analyze(const io::ArgParser& args) {
+  args.check_known({"dst", "tles", "out-dir"});
+  const std::string out_dir = require(args, "out-dir");
+  std::filesystem::create_directories(out_dir);
+  const core::CosmicDance pipeline = load_pipeline(args);
+  auto path = [&](const char* name) { return out_dir + "/" + name; };
+
+  // Fig 1: intensity CDF.
+  {
+    std::vector<double> values(pipeline.dst().values().begin(),
+                               pipeline.dst().values().end());
+    io::write_csv_file(path("fig01_intensity_cdf.csv"),
+                       core::ecdf_csv(stats::Ecdf(values), "dst_nt"));
+  }
+  // Fig 2 raw material + storm catalog.
+  io::write_csv_file(path("storms.csv"), core::storms_csv(pipeline.storms()));
+  // Fig 5(a)/(b)/(c).
+  const double p80 = pipeline.dst_threshold_at_percentile(80.0);
+  const double p95 = pipeline.dst_threshold_at_percentile(95.0);
+  const auto quiet = pipeline.altitude_changes_for_quiet(p80, 30);
+  if (!quiet.empty()) {
+    io::write_csv_file(path("fig05a_quiet_altitude_change_cdf.csv"),
+                       core::ecdf_csv(stats::Ecdf(quiet), "alt_change_km"));
+  }
+  const auto storm_changes = pipeline.altitude_changes_for_storms(p95);
+  if (!storm_changes.empty()) {
+    io::write_csv_file(path("fig05b_storm_altitude_change_cdf.csv"),
+                       core::ecdf_csv(stats::Ecdf(storm_changes), "alt_change_km"));
+  }
+  const auto drag = pipeline.drag_changes_for_storms(p95);
+  if (!drag.empty()) {
+    io::write_csv_file(path("fig05c_drag_change_cdf.csv"),
+                       core::ecdf_csv(stats::Ecdf(drag), "bstar_ratio"));
+  }
+  // Fig 10 raw/cleaned altitude CDFs.
+  const auto raw = core::all_altitudes(pipeline.raw_tracks());
+  const auto cleaned = core::all_altitudes(pipeline.tracks());
+  io::write_csv_file(path("fig10a_raw_altitude_cdf.csv"),
+                     core::ecdf_csv(stats::Ecdf(raw), "altitude_km"));
+  io::write_csv_file(path("fig10b_clean_altitude_cdf.csv"),
+                     core::ecdf_csv(stats::Ecdf(cleaned), "altitude_km"));
+
+  std::cout << "analysis CSVs written to " << out_dir << "\n";
+  return 0;
+}
+
+int cmd_convert(const io::ArgParser& args) {
+  args.check_known({"tles", "to-omm", "omm", "to-tles"});
+  if (const auto out = args.option("to-omm")) {
+    tle::TleCatalog catalog;
+    catalog.add_from_file(require(args, "tles"));
+    io::write_file(*out, tle::catalog_to_omm_kvn(catalog));
+    std::cout << "wrote " << catalog.record_count() << " OMM messages to "
+              << *out << "\n";
+    return 0;
+  }
+  if (const auto out = args.option("to-tles")) {
+    tle::TleCatalog catalog;
+    tle::catalog_add_from_omm_kvn(catalog, io::read_file(require(args, "omm")));
+    io::write_file(*out, catalog.to_text());
+    std::cout << "wrote " << catalog.record_count() << " TLEs to " << *out
+              << "\n";
+    return 0;
+  }
+  throw ParseError("convert needs --to-omm or --to-tles");
+}
+
+int cmd_report(const io::ArgParser& args) {
+  args.check_known({"dst", "tles", "markdown"});
+  const core::CosmicDance pipeline = load_pipeline(args);
+  if (const auto out = args.option("markdown")) {
+    core::write_markdown_report(pipeline, *out);
+    std::cout << "wrote markdown report to " << *out << "\n";
+    return 0;
+  }
+
+  io::print_heading(std::cout, "Dataset");
+  std::cout << "  Dst hours: " << pipeline.dst().size() << " from "
+            << pipeline.dst().start_datetime().to_string() << "\n"
+            << "  satellites: " << pipeline.tracks().size() << "   TLEs: "
+            << pipeline.catalog().record_count() << "\n";
+
+  io::print_heading(std::cout, "Solar activity");
+  const auto hours = spaceweather::StormDetector::category_hours(pipeline.dst());
+  for (const auto& [category, count] : hours) {
+    std::cout << "  " << spaceweather::to_string(category) << " hours: " << count
+              << "\n";
+  }
+  std::cout << "  99th-ptile intensity: "
+            << pipeline.dst_threshold_at_percentile(99.0) << " nT\n";
+
+  io::print_heading(std::cout, "Happens-closely-after impact");
+  const double p95 = pipeline.dst_threshold_at_percentile(95.0);
+  const auto changes = pipeline.altitude_changes_for_storms(p95);
+  if (!changes.empty()) {
+    const auto s = stats::summarize(changes);
+    std::cout << "  altitude change after >95th-ptile storms (" << s.count
+              << " samples): median " << io::TablePrinter::num(s.median, 2)
+              << " km, p95 " << io::TablePrinter::num(s.p95, 2) << " km, max "
+              << io::TablePrinter::num(s.max, 1) << " km\n";
+  } else {
+    std::cout << "  no storm-epoch samples in this dataset\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const io::ArgParser args(argc, argv);
+    const std::string& command = args.command();
+    if (command == "gen-dst") return cmd_gen_dst(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "storms") return cmd_storms(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "convert") return cmd_convert(args);
+    if (command == "report") return cmd_report(args);
+    return usage();
+  } catch (const Error& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

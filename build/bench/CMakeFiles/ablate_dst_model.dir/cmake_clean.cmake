@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_dst_model.dir/ablate_dst_model.cpp.o"
+  "CMakeFiles/ablate_dst_model.dir/ablate_dst_model.cpp.o.d"
+  "ablate_dst_model"
+  "ablate_dst_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_dst_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

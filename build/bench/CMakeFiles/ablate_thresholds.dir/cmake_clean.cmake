@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_thresholds.dir/ablate_thresholds.cpp.o"
+  "CMakeFiles/ablate_thresholds.dir/ablate_thresholds.cpp.o.d"
+  "ablate_thresholds"
+  "ablate_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_budget.dir/ext_budget.cpp.o"
+  "CMakeFiles/ext_budget.dir/ext_budget.cpp.o.d"
+  "ext_budget"
+  "ext_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_carrington.dir/ext_carrington.cpp.o"
+  "CMakeFiles/ext_carrington.dir/ext_carrington.cpp.o.d"
+  "ext_carrington"
+  "ext_carrington.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_carrington.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

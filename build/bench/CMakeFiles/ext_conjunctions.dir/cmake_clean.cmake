@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_conjunctions.dir/ext_conjunctions.cpp.o"
+  "CMakeFiles/ext_conjunctions.dir/ext_conjunctions.cpp.o.d"
+  "ext_conjunctions"
+  "ext_conjunctions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_conjunctions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

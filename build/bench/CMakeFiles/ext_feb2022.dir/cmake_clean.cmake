@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_feb2022.dir/ext_feb2022.cpp.o"
+  "CMakeFiles/ext_feb2022.dir/ext_feb2022.cpp.o.d"
+  "ext_feb2022"
+  "ext_feb2022.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_feb2022.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

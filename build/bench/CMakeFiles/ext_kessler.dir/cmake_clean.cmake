@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_kessler.dir/ext_kessler.cpp.o"
+  "CMakeFiles/ext_kessler.dir/ext_kessler.cpp.o.d"
+  "ext_kessler"
+  "ext_kessler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_kessler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

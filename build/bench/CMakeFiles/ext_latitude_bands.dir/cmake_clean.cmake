@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_latitude_bands.dir/ext_latitude_bands.cpp.o"
+  "CMakeFiles/ext_latitude_bands.dir/ext_latitude_bands.cpp.o.d"
+  "ext_latitude_bands"
+  "ext_latitude_bands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_latitude_bands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

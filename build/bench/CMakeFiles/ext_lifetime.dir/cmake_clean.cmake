@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_lifetime.dir/ext_lifetime.cpp.o"
+  "CMakeFiles/ext_lifetime.dir/ext_lifetime.cpp.o.d"
+  "ext_lifetime"
+  "ext_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_shell_trespass.dir/ext_shell_trespass.cpp.o"
+  "CMakeFiles/ext_shell_trespass.dir/ext_shell_trespass.cpp.o.d"
+  "ext_shell_trespass"
+  "ext_shell_trespass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_shell_trespass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

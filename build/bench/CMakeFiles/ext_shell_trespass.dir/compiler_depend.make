@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_shell_trespass.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_storm_intensity.dir/fig01_storm_intensity.cpp.o"
+  "CMakeFiles/fig01_storm_intensity.dir/fig01_storm_intensity.cpp.o.d"
+  "fig01_storm_intensity"
+  "fig01_storm_intensity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_storm_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

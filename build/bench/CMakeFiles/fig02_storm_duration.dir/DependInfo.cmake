@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig02_storm_duration.cpp" "bench/CMakeFiles/fig02_storm_duration.dir/fig02_storm_duration.cpp.o" "gcc" "bench/CMakeFiles/fig02_storm_duration.dir/fig02_storm_duration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulation/CMakeFiles/cd_simulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/atmosphere/CMakeFiles/cd_atmosphere.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgp4/CMakeFiles/cd_sgp4.dir/DependInfo.cmake"
+  "/root/repo/build/src/tle/CMakeFiles/cd_tle.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/cd_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/spaceweather/CMakeFiles/cd_spaceweather.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeutil/CMakeFiles/cd_timeutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_storm_duration.dir/fig02_storm_duration.cpp.o"
+  "CMakeFiles/fig02_storm_duration.dir/fig02_storm_duration.cpp.o.d"
+  "fig02_storm_duration"
+  "fig02_storm_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_storm_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02_storm_duration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_timeseries.dir/fig03_timeseries.cpp.o"
+  "CMakeFiles/fig03_timeseries.dir/fig03_timeseries.cpp.o.d"
+  "fig03_timeseries"
+  "fig03_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_storm_vs_quiet.dir/fig04_storm_vs_quiet.cpp.o"
+  "CMakeFiles/fig04_storm_vs_quiet.dir/fig04_storm_vs_quiet.cpp.o.d"
+  "fig04_storm_vs_quiet"
+  "fig04_storm_vs_quiet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_storm_vs_quiet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

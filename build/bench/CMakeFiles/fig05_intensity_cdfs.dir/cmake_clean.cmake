@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_intensity_cdfs.dir/fig05_intensity_cdfs.cpp.o"
+  "CMakeFiles/fig05_intensity_cdfs.dir/fig05_intensity_cdfs.cpp.o.d"
+  "fig05_intensity_cdfs"
+  "fig05_intensity_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_intensity_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

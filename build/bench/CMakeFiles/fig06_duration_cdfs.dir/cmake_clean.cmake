@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_duration_cdfs.dir/fig06_duration_cdfs.cpp.o"
+  "CMakeFiles/fig06_duration_cdfs.dir/fig06_duration_cdfs.cpp.o.d"
+  "fig06_duration_cdfs"
+  "fig06_duration_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_duration_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

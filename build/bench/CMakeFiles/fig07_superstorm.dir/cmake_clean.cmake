@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_superstorm.dir/fig07_superstorm.cpp.o"
+  "CMakeFiles/fig07_superstorm.dir/fig07_superstorm.cpp.o.d"
+  "fig07_superstorm"
+  "fig07_superstorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_superstorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_historical_dst.dir/fig08_historical_dst.cpp.o"
+  "CMakeFiles/fig08_historical_dst.dir/fig08_historical_dst.cpp.o.d"
+  "fig08_historical_dst"
+  "fig08_historical_dst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_historical_dst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

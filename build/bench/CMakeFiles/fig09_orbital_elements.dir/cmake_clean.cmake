@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_orbital_elements.dir/fig09_orbital_elements.cpp.o"
+  "CMakeFiles/fig09_orbital_elements.dir/fig09_orbital_elements.cpp.o.d"
+  "fig09_orbital_elements"
+  "fig09_orbital_elements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_orbital_elements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

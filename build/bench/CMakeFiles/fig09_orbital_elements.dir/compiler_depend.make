@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_orbital_elements.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tle_cleaning.dir/fig10_tle_cleaning.cpp.o"
+  "CMakeFiles/fig10_tle_cleaning.dir/fig10_tle_cleaning.cpp.o.d"
+  "fig10_tle_cleaning"
+  "fig10_tle_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tle_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sgp4.dir/micro_sgp4.cpp.o"
+  "CMakeFiles/micro_sgp4.dir/micro_sgp4.cpp.o.d"
+  "micro_sgp4"
+  "micro_sgp4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sgp4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

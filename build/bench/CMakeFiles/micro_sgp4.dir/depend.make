@@ -1,0 +1,2 @@
+# Empty dependencies file for micro_sgp4.
+# This may be replaced when dependencies are built.

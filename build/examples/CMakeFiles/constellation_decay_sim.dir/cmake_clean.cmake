@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constellation_decay_sim.dir/constellation_decay_sim.cpp.o"
+  "CMakeFiles/constellation_decay_sim.dir/constellation_decay_sim.cpp.o.d"
+  "constellation_decay_sim"
+  "constellation_decay_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constellation_decay_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_holes.dir/service_holes.cpp.o"
+  "CMakeFiles/service_holes.dir/service_holes.cpp.o.d"
+  "service_holes"
+  "service_holes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_holes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_impact_report.dir/storm_impact_report.cpp.o"
+  "CMakeFiles/storm_impact_report.dir/storm_impact_report.cpp.o.d"
+  "storm_impact_report"
+  "storm_impact_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_impact_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

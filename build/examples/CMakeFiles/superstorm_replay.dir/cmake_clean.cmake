@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superstorm_replay.dir/superstorm_replay.cpp.o"
+  "CMakeFiles/superstorm_replay.dir/superstorm_replay.cpp.o.d"
+  "superstorm_replay"
+  "superstorm_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superstorm_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

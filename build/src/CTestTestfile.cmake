@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("timeutil")
+subdirs("stats")
+subdirs("io")
+subdirs("orbit")
+subdirs("tle")
+subdirs("sgp4")
+subdirs("spaceweather")
+subdirs("atmosphere")
+subdirs("simulation")
+subdirs("core")

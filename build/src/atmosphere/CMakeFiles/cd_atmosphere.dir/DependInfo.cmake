@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atmosphere/drag.cpp" "src/atmosphere/CMakeFiles/cd_atmosphere.dir/drag.cpp.o" "gcc" "src/atmosphere/CMakeFiles/cd_atmosphere.dir/drag.cpp.o.d"
+  "/root/repo/src/atmosphere/exponential.cpp" "src/atmosphere/CMakeFiles/cd_atmosphere.dir/exponential.cpp.o" "gcc" "src/atmosphere/CMakeFiles/cd_atmosphere.dir/exponential.cpp.o.d"
+  "/root/repo/src/atmosphere/lifetime.cpp" "src/atmosphere/CMakeFiles/cd_atmosphere.dir/lifetime.cpp.o" "gcc" "src/atmosphere/CMakeFiles/cd_atmosphere.dir/lifetime.cpp.o.d"
+  "/root/repo/src/atmosphere/stationkeeping_budget.cpp" "src/atmosphere/CMakeFiles/cd_atmosphere.dir/stationkeeping_budget.cpp.o" "gcc" "src/atmosphere/CMakeFiles/cd_atmosphere.dir/stationkeeping_budget.cpp.o.d"
+  "/root/repo/src/atmosphere/storm_density.cpp" "src/atmosphere/CMakeFiles/cd_atmosphere.dir/storm_density.cpp.o" "gcc" "src/atmosphere/CMakeFiles/cd_atmosphere.dir/storm_density.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeutil/CMakeFiles/cd_timeutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/cd_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/spaceweather/CMakeFiles/cd_spaceweather.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cd_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

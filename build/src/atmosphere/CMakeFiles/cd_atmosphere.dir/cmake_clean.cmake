@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_atmosphere.dir/drag.cpp.o"
+  "CMakeFiles/cd_atmosphere.dir/drag.cpp.o.d"
+  "CMakeFiles/cd_atmosphere.dir/exponential.cpp.o"
+  "CMakeFiles/cd_atmosphere.dir/exponential.cpp.o.d"
+  "CMakeFiles/cd_atmosphere.dir/lifetime.cpp.o"
+  "CMakeFiles/cd_atmosphere.dir/lifetime.cpp.o.d"
+  "CMakeFiles/cd_atmosphere.dir/stationkeeping_budget.cpp.o"
+  "CMakeFiles/cd_atmosphere.dir/stationkeeping_budget.cpp.o.d"
+  "CMakeFiles/cd_atmosphere.dir/storm_density.cpp.o"
+  "CMakeFiles/cd_atmosphere.dir/storm_density.cpp.o.d"
+  "libcd_atmosphere.a"
+  "libcd_atmosphere.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_atmosphere.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cd_atmosphere.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_common.dir/rng.cpp.o"
+  "CMakeFiles/cd_common.dir/rng.cpp.o.d"
+  "libcd_common.a"
+  "libcd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/cd_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/cd_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/cleaning.cpp" "src/core/CMakeFiles/cd_core.dir/cleaning.cpp.o" "gcc" "src/core/CMakeFiles/cd_core.dir/cleaning.cpp.o.d"
+  "/root/repo/src/core/conjunctions.cpp" "src/core/CMakeFiles/cd_core.dir/conjunctions.cpp.o" "gcc" "src/core/CMakeFiles/cd_core.dir/conjunctions.cpp.o.d"
+  "/root/repo/src/core/correlator.cpp" "src/core/CMakeFiles/cd_core.dir/correlator.cpp.o" "gcc" "src/core/CMakeFiles/cd_core.dir/correlator.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/core/CMakeFiles/cd_core.dir/export.cpp.o" "gcc" "src/core/CMakeFiles/cd_core.dir/export.cpp.o.d"
+  "/root/repo/src/core/kessler.cpp" "src/core/CMakeFiles/cd_core.dir/kessler.cpp.o" "gcc" "src/core/CMakeFiles/cd_core.dir/kessler.cpp.o.d"
+  "/root/repo/src/core/latitude.cpp" "src/core/CMakeFiles/cd_core.dir/latitude.cpp.o" "gcc" "src/core/CMakeFiles/cd_core.dir/latitude.cpp.o.d"
+  "/root/repo/src/core/maneuvers.cpp" "src/core/CMakeFiles/cd_core.dir/maneuvers.cpp.o" "gcc" "src/core/CMakeFiles/cd_core.dir/maneuvers.cpp.o.d"
+  "/root/repo/src/core/merge.cpp" "src/core/CMakeFiles/cd_core.dir/merge.cpp.o" "gcc" "src/core/CMakeFiles/cd_core.dir/merge.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/cd_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/cd_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/cd_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/cd_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/shells.cpp" "src/core/CMakeFiles/cd_core.dir/shells.cpp.o" "gcc" "src/core/CMakeFiles/cd_core.dir/shells.cpp.o.d"
+  "/root/repo/src/core/track.cpp" "src/core/CMakeFiles/cd_core.dir/track.cpp.o" "gcc" "src/core/CMakeFiles/cd_core.dir/track.cpp.o.d"
+  "/root/repo/src/core/trigger.cpp" "src/core/CMakeFiles/cd_core.dir/trigger.cpp.o" "gcc" "src/core/CMakeFiles/cd_core.dir/trigger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeutil/CMakeFiles/cd_timeutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/cd_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/tle/CMakeFiles/cd_tle.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgp4/CMakeFiles/cd_sgp4.dir/DependInfo.cmake"
+  "/root/repo/build/src/spaceweather/CMakeFiles/cd_spaceweather.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

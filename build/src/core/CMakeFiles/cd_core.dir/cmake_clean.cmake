@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_core.dir/analysis.cpp.o"
+  "CMakeFiles/cd_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/cd_core.dir/cleaning.cpp.o"
+  "CMakeFiles/cd_core.dir/cleaning.cpp.o.d"
+  "CMakeFiles/cd_core.dir/conjunctions.cpp.o"
+  "CMakeFiles/cd_core.dir/conjunctions.cpp.o.d"
+  "CMakeFiles/cd_core.dir/correlator.cpp.o"
+  "CMakeFiles/cd_core.dir/correlator.cpp.o.d"
+  "CMakeFiles/cd_core.dir/export.cpp.o"
+  "CMakeFiles/cd_core.dir/export.cpp.o.d"
+  "CMakeFiles/cd_core.dir/kessler.cpp.o"
+  "CMakeFiles/cd_core.dir/kessler.cpp.o.d"
+  "CMakeFiles/cd_core.dir/latitude.cpp.o"
+  "CMakeFiles/cd_core.dir/latitude.cpp.o.d"
+  "CMakeFiles/cd_core.dir/maneuvers.cpp.o"
+  "CMakeFiles/cd_core.dir/maneuvers.cpp.o.d"
+  "CMakeFiles/cd_core.dir/merge.cpp.o"
+  "CMakeFiles/cd_core.dir/merge.cpp.o.d"
+  "CMakeFiles/cd_core.dir/pipeline.cpp.o"
+  "CMakeFiles/cd_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/cd_core.dir/report.cpp.o"
+  "CMakeFiles/cd_core.dir/report.cpp.o.d"
+  "CMakeFiles/cd_core.dir/shells.cpp.o"
+  "CMakeFiles/cd_core.dir/shells.cpp.o.d"
+  "CMakeFiles/cd_core.dir/track.cpp.o"
+  "CMakeFiles/cd_core.dir/track.cpp.o.d"
+  "CMakeFiles/cd_core.dir/trigger.cpp.o"
+  "CMakeFiles/cd_core.dir/trigger.cpp.o.d"
+  "libcd_core.a"
+  "libcd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

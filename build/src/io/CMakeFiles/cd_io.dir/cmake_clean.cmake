@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_io.dir/args.cpp.o"
+  "CMakeFiles/cd_io.dir/args.cpp.o.d"
+  "CMakeFiles/cd_io.dir/csv.cpp.o"
+  "CMakeFiles/cd_io.dir/csv.cpp.o.d"
+  "CMakeFiles/cd_io.dir/file.cpp.o"
+  "CMakeFiles/cd_io.dir/file.cpp.o.d"
+  "CMakeFiles/cd_io.dir/table.cpp.o"
+  "CMakeFiles/cd_io.dir/table.cpp.o.d"
+  "libcd_io.a"
+  "libcd_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

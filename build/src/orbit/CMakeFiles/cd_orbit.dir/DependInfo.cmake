@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orbit/elements.cpp" "src/orbit/CMakeFiles/cd_orbit.dir/elements.cpp.o" "gcc" "src/orbit/CMakeFiles/cd_orbit.dir/elements.cpp.o.d"
+  "/root/repo/src/orbit/frames.cpp" "src/orbit/CMakeFiles/cd_orbit.dir/frames.cpp.o" "gcc" "src/orbit/CMakeFiles/cd_orbit.dir/frames.cpp.o.d"
+  "/root/repo/src/orbit/kepler.cpp" "src/orbit/CMakeFiles/cd_orbit.dir/kepler.cpp.o" "gcc" "src/orbit/CMakeFiles/cd_orbit.dir/kepler.cpp.o.d"
+  "/root/repo/src/orbit/state.cpp" "src/orbit/CMakeFiles/cd_orbit.dir/state.cpp.o" "gcc" "src/orbit/CMakeFiles/cd_orbit.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeutil/CMakeFiles/cd_timeutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

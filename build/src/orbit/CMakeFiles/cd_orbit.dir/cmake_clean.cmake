@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_orbit.dir/elements.cpp.o"
+  "CMakeFiles/cd_orbit.dir/elements.cpp.o.d"
+  "CMakeFiles/cd_orbit.dir/frames.cpp.o"
+  "CMakeFiles/cd_orbit.dir/frames.cpp.o.d"
+  "CMakeFiles/cd_orbit.dir/kepler.cpp.o"
+  "CMakeFiles/cd_orbit.dir/kepler.cpp.o.d"
+  "CMakeFiles/cd_orbit.dir/state.cpp.o"
+  "CMakeFiles/cd_orbit.dir/state.cpp.o.d"
+  "libcd_orbit.a"
+  "libcd_orbit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_orbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_sgp4.dir/groundtrack.cpp.o"
+  "CMakeFiles/cd_sgp4.dir/groundtrack.cpp.o.d"
+  "CMakeFiles/cd_sgp4.dir/sgp4.cpp.o"
+  "CMakeFiles/cd_sgp4.dir/sgp4.cpp.o.d"
+  "libcd_sgp4.a"
+  "libcd_sgp4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_sgp4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

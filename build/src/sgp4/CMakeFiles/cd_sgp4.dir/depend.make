@@ -1,0 +1,2 @@
+# Empty dependencies file for cd_sgp4.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulation/constellation.cpp" "src/simulation/CMakeFiles/cd_simulation.dir/constellation.cpp.o" "gcc" "src/simulation/CMakeFiles/cd_simulation.dir/constellation.cpp.o.d"
+  "/root/repo/src/simulation/launch_plan.cpp" "src/simulation/CMakeFiles/cd_simulation.dir/launch_plan.cpp.o" "gcc" "src/simulation/CMakeFiles/cd_simulation.dir/launch_plan.cpp.o.d"
+  "/root/repo/src/simulation/satellite.cpp" "src/simulation/CMakeFiles/cd_simulation.dir/satellite.cpp.o" "gcc" "src/simulation/CMakeFiles/cd_simulation.dir/satellite.cpp.o.d"
+  "/root/repo/src/simulation/scenario.cpp" "src/simulation/CMakeFiles/cd_simulation.dir/scenario.cpp.o" "gcc" "src/simulation/CMakeFiles/cd_simulation.dir/scenario.cpp.o.d"
+  "/root/repo/src/simulation/tracking.cpp" "src/simulation/CMakeFiles/cd_simulation.dir/tracking.cpp.o" "gcc" "src/simulation/CMakeFiles/cd_simulation.dir/tracking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeutil/CMakeFiles/cd_timeutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/cd_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/tle/CMakeFiles/cd_tle.dir/DependInfo.cmake"
+  "/root/repo/build/src/spaceweather/CMakeFiles/cd_spaceweather.dir/DependInfo.cmake"
+  "/root/repo/build/src/atmosphere/CMakeFiles/cd_atmosphere.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cd_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_simulation.dir/constellation.cpp.o"
+  "CMakeFiles/cd_simulation.dir/constellation.cpp.o.d"
+  "CMakeFiles/cd_simulation.dir/launch_plan.cpp.o"
+  "CMakeFiles/cd_simulation.dir/launch_plan.cpp.o.d"
+  "CMakeFiles/cd_simulation.dir/satellite.cpp.o"
+  "CMakeFiles/cd_simulation.dir/satellite.cpp.o.d"
+  "CMakeFiles/cd_simulation.dir/scenario.cpp.o"
+  "CMakeFiles/cd_simulation.dir/scenario.cpp.o.d"
+  "CMakeFiles/cd_simulation.dir/tracking.cpp.o"
+  "CMakeFiles/cd_simulation.dir/tracking.cpp.o.d"
+  "libcd_simulation.a"
+  "libcd_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spaceweather/burton.cpp" "src/spaceweather/CMakeFiles/cd_spaceweather.dir/burton.cpp.o" "gcc" "src/spaceweather/CMakeFiles/cd_spaceweather.dir/burton.cpp.o.d"
+  "/root/repo/src/spaceweather/dst_index.cpp" "src/spaceweather/CMakeFiles/cd_spaceweather.dir/dst_index.cpp.o" "gcc" "src/spaceweather/CMakeFiles/cd_spaceweather.dir/dst_index.cpp.o.d"
+  "/root/repo/src/spaceweather/generator.cpp" "src/spaceweather/CMakeFiles/cd_spaceweather.dir/generator.cpp.o" "gcc" "src/spaceweather/CMakeFiles/cd_spaceweather.dir/generator.cpp.o.d"
+  "/root/repo/src/spaceweather/gscale.cpp" "src/spaceweather/CMakeFiles/cd_spaceweather.dir/gscale.cpp.o" "gcc" "src/spaceweather/CMakeFiles/cd_spaceweather.dir/gscale.cpp.o.d"
+  "/root/repo/src/spaceweather/historical.cpp" "src/spaceweather/CMakeFiles/cd_spaceweather.dir/historical.cpp.o" "gcc" "src/spaceweather/CMakeFiles/cd_spaceweather.dir/historical.cpp.o.d"
+  "/root/repo/src/spaceweather/kp_index.cpp" "src/spaceweather/CMakeFiles/cd_spaceweather.dir/kp_index.cpp.o" "gcc" "src/spaceweather/CMakeFiles/cd_spaceweather.dir/kp_index.cpp.o.d"
+  "/root/repo/src/spaceweather/storms.cpp" "src/spaceweather/CMakeFiles/cd_spaceweather.dir/storms.cpp.o" "gcc" "src/spaceweather/CMakeFiles/cd_spaceweather.dir/storms.cpp.o.d"
+  "/root/repo/src/spaceweather/wdc.cpp" "src/spaceweather/CMakeFiles/cd_spaceweather.dir/wdc.cpp.o" "gcc" "src/spaceweather/CMakeFiles/cd_spaceweather.dir/wdc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeutil/CMakeFiles/cd_timeutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cd_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

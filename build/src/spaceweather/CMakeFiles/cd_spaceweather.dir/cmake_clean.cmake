@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_spaceweather.dir/burton.cpp.o"
+  "CMakeFiles/cd_spaceweather.dir/burton.cpp.o.d"
+  "CMakeFiles/cd_spaceweather.dir/dst_index.cpp.o"
+  "CMakeFiles/cd_spaceweather.dir/dst_index.cpp.o.d"
+  "CMakeFiles/cd_spaceweather.dir/generator.cpp.o"
+  "CMakeFiles/cd_spaceweather.dir/generator.cpp.o.d"
+  "CMakeFiles/cd_spaceweather.dir/gscale.cpp.o"
+  "CMakeFiles/cd_spaceweather.dir/gscale.cpp.o.d"
+  "CMakeFiles/cd_spaceweather.dir/historical.cpp.o"
+  "CMakeFiles/cd_spaceweather.dir/historical.cpp.o.d"
+  "CMakeFiles/cd_spaceweather.dir/kp_index.cpp.o"
+  "CMakeFiles/cd_spaceweather.dir/kp_index.cpp.o.d"
+  "CMakeFiles/cd_spaceweather.dir/storms.cpp.o"
+  "CMakeFiles/cd_spaceweather.dir/storms.cpp.o.d"
+  "CMakeFiles/cd_spaceweather.dir/wdc.cpp.o"
+  "CMakeFiles/cd_spaceweather.dir/wdc.cpp.o.d"
+  "libcd_spaceweather.a"
+  "libcd_spaceweather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_spaceweather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

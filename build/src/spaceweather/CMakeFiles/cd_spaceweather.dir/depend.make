@@ -1,0 +1,2 @@
+# Empty dependencies file for cd_spaceweather.
+# This may be replaced when dependencies are built.

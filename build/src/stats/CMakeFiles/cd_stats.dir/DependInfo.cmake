@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/cd_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/cd_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/cd_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/cd_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/cd_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/cd_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/cd_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/cd_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/cd_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/cd_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/rolling.cpp" "src/stats/CMakeFiles/cd_stats.dir/rolling.cpp.o" "gcc" "src/stats/CMakeFiles/cd_stats.dir/rolling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/cd_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/cd_stats.dir/correlation.cpp.o"
+  "CMakeFiles/cd_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/cd_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/cd_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/cd_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/cd_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/cd_stats.dir/histogram.cpp.o"
+  "CMakeFiles/cd_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/cd_stats.dir/rolling.cpp.o"
+  "CMakeFiles/cd_stats.dir/rolling.cpp.o.d"
+  "libcd_stats.a"
+  "libcd_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

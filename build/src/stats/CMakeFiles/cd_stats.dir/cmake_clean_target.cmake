@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcd_stats.a"
+)

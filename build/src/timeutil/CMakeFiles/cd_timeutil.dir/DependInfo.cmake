@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timeutil/datetime.cpp" "src/timeutil/CMakeFiles/cd_timeutil.dir/datetime.cpp.o" "gcc" "src/timeutil/CMakeFiles/cd_timeutil.dir/datetime.cpp.o.d"
+  "/root/repo/src/timeutil/hour_axis.cpp" "src/timeutil/CMakeFiles/cd_timeutil.dir/hour_axis.cpp.o" "gcc" "src/timeutil/CMakeFiles/cd_timeutil.dir/hour_axis.cpp.o.d"
+  "/root/repo/src/timeutil/sidereal.cpp" "src/timeutil/CMakeFiles/cd_timeutil.dir/sidereal.cpp.o" "gcc" "src/timeutil/CMakeFiles/cd_timeutil.dir/sidereal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_timeutil.dir/datetime.cpp.o"
+  "CMakeFiles/cd_timeutil.dir/datetime.cpp.o.d"
+  "CMakeFiles/cd_timeutil.dir/hour_axis.cpp.o"
+  "CMakeFiles/cd_timeutil.dir/hour_axis.cpp.o.d"
+  "CMakeFiles/cd_timeutil.dir/sidereal.cpp.o"
+  "CMakeFiles/cd_timeutil.dir/sidereal.cpp.o.d"
+  "libcd_timeutil.a"
+  "libcd_timeutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_timeutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tle/catalog.cpp" "src/tle/CMakeFiles/cd_tle.dir/catalog.cpp.o" "gcc" "src/tle/CMakeFiles/cd_tle.dir/catalog.cpp.o.d"
+  "/root/repo/src/tle/omm.cpp" "src/tle/CMakeFiles/cd_tle.dir/omm.cpp.o" "gcc" "src/tle/CMakeFiles/cd_tle.dir/omm.cpp.o.d"
+  "/root/repo/src/tle/store.cpp" "src/tle/CMakeFiles/cd_tle.dir/store.cpp.o" "gcc" "src/tle/CMakeFiles/cd_tle.dir/store.cpp.o.d"
+  "/root/repo/src/tle/tle.cpp" "src/tle/CMakeFiles/cd_tle.dir/tle.cpp.o" "gcc" "src/tle/CMakeFiles/cd_tle.dir/tle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeutil/CMakeFiles/cd_timeutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/cd_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cd_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_tle.dir/catalog.cpp.o"
+  "CMakeFiles/cd_tle.dir/catalog.cpp.o.d"
+  "CMakeFiles/cd_tle.dir/omm.cpp.o"
+  "CMakeFiles/cd_tle.dir/omm.cpp.o.d"
+  "CMakeFiles/cd_tle.dir/store.cpp.o"
+  "CMakeFiles/cd_tle.dir/store.cpp.o.d"
+  "CMakeFiles/cd_tle.dir/tle.cpp.o"
+  "CMakeFiles/cd_tle.dir/tle.cpp.o.d"
+  "libcd_tle.a"
+  "libcd_tle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_tle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis2_test.dir/analysis2_test.cpp.o"
+  "CMakeFiles/analysis2_test.dir/analysis2_test.cpp.o.d"
+  "analysis2_test"
+  "analysis2_test.pdb"
+  "analysis2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmosphere_test.dir/atmosphere_test.cpp.o"
+  "CMakeFiles/atmosphere_test.dir/atmosphere_test.cpp.o.d"
+  "atmosphere_test"
+  "atmosphere_test.pdb"
+  "atmosphere_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmosphere_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core2_test.dir/core2_test.cpp.o"
+  "CMakeFiles/core2_test.dir/core2_test.cpp.o.d"
+  "core2_test"
+  "core2_test.pdb"
+  "core2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

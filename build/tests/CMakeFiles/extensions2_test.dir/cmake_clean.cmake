@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensions2_test.dir/extensions2_test.cpp.o"
+  "CMakeFiles/extensions2_test.dir/extensions2_test.cpp.o.d"
+  "extensions2_test"
+  "extensions2_test.pdb"
+  "extensions2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensions4_test.dir/extensions4_test.cpp.o"
+  "CMakeFiles/extensions4_test.dir/extensions4_test.cpp.o.d"
+  "extensions4_test"
+  "extensions4_test.pdb"
+  "extensions4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figures_test.dir/figures_test.cpp.o"
+  "CMakeFiles/figures_test.dir/figures_test.cpp.o.d"
+  "figures_test"
+  "figures_test.pdb"
+  "figures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

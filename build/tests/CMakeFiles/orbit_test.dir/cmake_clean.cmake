@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orbit_test.dir/orbit_test.cpp.o"
+  "CMakeFiles/orbit_test.dir/orbit_test.cpp.o.d"
+  "orbit_test"
+  "orbit_test.pdb"
+  "orbit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orbit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgp4_deepspace_test.dir/sgp4_deepspace_test.cpp.o"
+  "CMakeFiles/sgp4_deepspace_test.dir/sgp4_deepspace_test.cpp.o.d"
+  "sgp4_deepspace_test"
+  "sgp4_deepspace_test.pdb"
+  "sgp4_deepspace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgp4_deepspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sgp4_test.
+# This may be replaced when dependencies are built.

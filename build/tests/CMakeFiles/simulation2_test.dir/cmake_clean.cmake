@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulation2_test.dir/simulation2_test.cpp.o"
+  "CMakeFiles/simulation2_test.dir/simulation2_test.cpp.o.d"
+  "simulation2_test"
+  "simulation2_test.pdb"
+  "simulation2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulation2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spaceweather_test.dir/spaceweather_test.cpp.o"
+  "CMakeFiles/spaceweather_test.dir/spaceweather_test.cpp.o.d"
+  "spaceweather_test"
+  "spaceweather_test.pdb"
+  "spaceweather_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spaceweather_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for spaceweather_test.
+# This may be replaced when dependencies are built.

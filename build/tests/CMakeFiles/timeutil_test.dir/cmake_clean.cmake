@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeutil_test.dir/timeutil_test.cpp.o"
+  "CMakeFiles/timeutil_test.dir/timeutil_test.cpp.o.d"
+  "timeutil_test"
+  "timeutil_test.pdb"
+  "timeutil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeutil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tle_test.dir/tle_test.cpp.o"
+  "CMakeFiles/tle_test.dir/tle_test.cpp.o.d"
+  "tle_test"
+  "tle_test.pdb"
+  "tle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/timeutil_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/orbit_test[1]_include.cmake")
+include("/root/repo/build/tests/tle_test[1]_include.cmake")
+include("/root/repo/build/tests/sgp4_test[1]_include.cmake")
+include("/root/repo/build/tests/spaceweather_test[1]_include.cmake")
+include("/root/repo/build/tests/atmosphere_test[1]_include.cmake")
+include("/root/repo/build/tests/simulation_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/tools_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis2_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions2_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions3_test[1]_include.cmake")
+include("/root/repo/build/tests/sgp4_deepspace_test[1]_include.cmake")
+include("/root/repo/build/tests/simulation2_test[1]_include.cmake")
+include("/root/repo/build/tests/core2_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions4_test[1]_include.cmake")
+include("/root/repo/build/tests/figures_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmicdance.dir/cosmicdance_cli.cpp.o"
+  "CMakeFiles/cosmicdance.dir/cosmicdance_cli.cpp.o.d"
+  "cosmicdance"
+  "cosmicdance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmicdance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

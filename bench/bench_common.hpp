@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/pipeline.hpp"
+#include "io/args.hpp"
 #include "simulation/scenario.hpp"
 #include "spaceweather/generator.hpp"
 
@@ -37,6 +38,16 @@ inline tle::TleCatalog paper_catalog(const spaceweather::DstIndex& dst,
                                      int per_batch = 4, double cadence = 16.0) {
   auto config = simulation::scenario::paper_window(&dst, per_batch, cadence);
   return simulation::ConstellationSimulator(config).run().catalog;
+}
+
+/// Pipeline config from a bench binary's command line: every figure bench
+/// accepts --threads N (0 = all hardware threads, 1 = serial; the exec
+/// ordering contract makes the outputs identical either way).
+inline core::PipelineConfig config_from_args(int argc, const char* const* argv) {
+  const io::ArgParser args(argc, argv);
+  core::PipelineConfig config;
+  config.num_threads = static_cast<int>(args.integer_or("threads", 0));
+  return config;
 }
 
 /// Print a "paper says / we measured" comparison line.

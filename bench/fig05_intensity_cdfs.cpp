@@ -29,9 +29,10 @@ void print_cdf(const std::vector<double>& samples, const char* value_header) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const spaceweather::DstIndex dst = bench::paper_dst();
-  const core::CosmicDance pipeline(dst, bench::paper_catalog(dst));
+  const core::CosmicDance pipeline(dst, bench::paper_catalog(dst),
+                                   bench::config_from_args(argc, argv));
 
   const double p80 = pipeline.dst_threshold_at_percentile(80.0);
   const double p95 = pipeline.dst_threshold_at_percentile(95.0);

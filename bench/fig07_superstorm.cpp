@@ -13,17 +13,19 @@
 
 using namespace cosmicdance;
 
-int main() {
+int main(int argc, char** argv) {
   const spaceweather::DstIndex dst = bench::superstorm_dst();
   auto config = simulation::scenario::may_2024(&dst, /*fleet_size=*/1200);
   auto run = simulation::ConstellationSimulator(config).run();
   const int launched = run.launched;
   const int lost = run.launched - run.tracked_at_end;
-  const core::CosmicDance pipeline(dst, std::move(run.catalog));
+  const auto pipeline_config = bench::config_from_args(argc, argv);
+  const core::CosmicDance pipeline(dst, std::move(run.catalog), pipeline_config);
 
   const double start = timeutil::to_julian(timeutil::make_datetime(2024, 5, 1));
   const double end = timeutil::to_julian(timeutil::make_datetime(2024, 6, 1));
-  const auto rows = core::superstorm_panel(pipeline.tracks(), dst, start, end);
+  const auto rows = core::superstorm_panel(pipeline.tracks(), dst, start, end,
+                                           pipeline_config.num_threads);
 
   io::print_heading(std::cout, "Fig 7: May 2024 super-storm daily panel");
   io::TablePrinter table({"date", "min_dst_nT", "bstar_mean", "bstar_median",

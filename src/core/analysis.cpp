@@ -4,26 +4,35 @@
 #include <cmath>
 #include <set>
 
+#include "exec/parallel_for.hpp"
 #include "stats/descriptive.hpp"
 #include "timeutil/hour_axis.hpp"
 
 namespace cosmicdance::core {
 
-std::vector<double> all_altitudes(std::span<const SatelliteTrack> tracks) {
-  std::vector<double> altitudes;
-  for (const SatelliteTrack& track : tracks) {
-    for (const TrajectorySample& sample : track.samples()) {
-      altitudes.push_back(sample.altitude_km);
-    }
-  }
-  return altitudes;
+std::vector<double> all_altitudes(std::span<const SatelliteTrack> tracks,
+                                  int num_threads) {
+  auto per_track = exec::ordered_map<std::vector<double>>(
+      tracks.size(), num_threads, [&](std::size_t t) {
+        std::vector<double> altitudes;
+        altitudes.reserve(tracks[t].size());
+        for (const TrajectorySample& sample : tracks[t].samples()) {
+          altitudes.push_back(sample.altitude_km);
+        }
+        return altitudes;
+      });
+  return exec::ordered_concat(std::move(per_track));
 }
 
 std::vector<SuperstormPanelRow> superstorm_panel(
     std::span<const SatelliteTrack> tracks, const spaceweather::DstIndex& dst,
-    double start_jd, double end_jd) {
-  std::vector<SuperstormPanelRow> rows;
-  for (double day = std::floor(start_jd - 0.5) + 0.5; day < end_jd; day += 1.0) {
+    double start_jd, double end_jd, int num_threads) {
+  const double first_day = std::floor(start_jd - 0.5) + 0.5;
+  std::size_t day_count = 0;
+  for (double day = first_day; day < end_jd; day += 1.0) ++day_count;
+  return exec::ordered_map<SuperstormPanelRow>(day_count, num_threads, [&](
+                                                   std::size_t d) {
+    const double day = first_day + static_cast<double>(d);
     SuperstormPanelRow row;
     row.day_jd = day;
 
@@ -55,9 +64,8 @@ std::vector<SuperstormPanelRow> superstorm_panel(
       row.bstar_median = stats::median(bstars);
       row.bstar_p95 = stats::percentile(bstars, 95.0);
     }
-    rows.push_back(row);
-  }
-  return rows;
+    return row;
+  });
 }
 
 std::vector<TrackTimeline> track_timelines(std::span<const SatelliteTrack> tracks,

@@ -12,8 +12,10 @@
 namespace cosmicdance::core {
 
 /// Fig 10: altitude samples of every TLE in a track set (raw tracks give
-/// panel (a); cleaned tracks give panel (b)).
-[[nodiscard]] std::vector<double> all_altitudes(std::span<const SatelliteTrack> tracks);
+/// panel (a); cleaned tracks give panel (b)).  Output order is track-major
+/// regardless of num_threads (0 = all hardware threads, 1 = serial).
+[[nodiscard]] std::vector<double> all_altitudes(std::span<const SatelliteTrack> tracks,
+                                                int num_threads = 1);
 
 /// Fig 7: one row per UT day across an analysis window.
 struct SuperstormPanelRow {
@@ -27,10 +29,11 @@ struct SuperstormPanelRow {
 };
 
 /// Build the Fig 7 panel between two Julian dates (inclusive start day,
-/// exclusive end).  Days without TLEs carry zero drag statistics.
+/// exclusive end).  Days without TLEs carry zero drag statistics.  Rows are
+/// computed one day per worker and returned in day order.
 [[nodiscard]] std::vector<SuperstormPanelRow> superstorm_panel(
     std::span<const SatelliteTrack> tracks, const spaceweather::DstIndex& dst,
-    double start_jd, double end_jd);
+    double start_jd, double end_jd, int num_threads = 1);
 
 /// Fig 3: the merged per-satellite time series (Dst is plotted separately).
 struct TrackTimeline {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/parallel_for.hpp"
 #include "stats/descriptive.hpp"
 
 namespace cosmicdance::core {
@@ -59,12 +60,18 @@ bool is_pre_decayed(const SatelliteTrack& track, double event_jd,
 }
 
 std::vector<SatelliteTrack> clean_tracks(std::vector<SatelliteTrack> tracks,
-                                         const CleaningConfig& config) {
+                                         const CleaningConfig& config,
+                                         int num_threads) {
+  exec::parallel_for(tracks.size(), num_threads,
+                     [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         remove_outliers(tracks[i], config);
+                         remove_orbit_raising(tracks[i], config);
+                       }
+                     });
   std::vector<SatelliteTrack> cleaned;
   cleaned.reserve(tracks.size());
   for (SatelliteTrack& track : tracks) {
-    remove_outliers(track, config);
-    remove_orbit_raising(track, config);
     if (!track.empty()) cleaned.push_back(std::move(track));
   }
   return cleaned;

@@ -47,8 +47,11 @@ std::size_t remove_orbit_raising(SatelliteTrack& track,
                                   const CleaningConfig& config = {});
 
 /// Apply outlier + orbit-raising cleaning to every track, dropping tracks
-/// left empty.
+/// left empty.  Tracks are cleaned independently (one worker per track when
+/// num_threads != 1) and the survivors keep their input order, so the
+/// result is identical for every thread count.
 [[nodiscard]] std::vector<SatelliteTrack> clean_tracks(
-    std::vector<SatelliteTrack> tracks, const CleaningConfig& config = {});
+    std::vector<SatelliteTrack> tracks, const CleaningConfig& config = {},
+    int num_threads = 1);
 
 }  // namespace cosmicdance::core

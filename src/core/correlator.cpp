@@ -5,8 +5,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "common/error.hpp"
+#include "exec/parallel_for.hpp"
 #include "stats/descriptive.hpp"
 #include "timeutil/hour_axis.hpp"
 
@@ -31,87 +33,122 @@ PostEventEnvelope EventCorrelator::post_event_envelope(
   envelope.event_jd = event_jd;
   envelope.days = days;
 
-  for (const SatelliteTrack& track : tracks) {
-    if (is_pre_decayed(track, event_jd, config_.cleaning)) continue;
-    const TrajectorySample* pre = track.at_or_before(event_jd);
-    const auto window = track.between(event_jd, event_jd + days);
-    if (window.empty()) continue;
+  // One worker per track; a track's per-day profile depends only on that
+  // track, so assembling the results in track order reproduces the serial
+  // loop exactly.  Median caches are warmed first because is_pre_decayed
+  // and the humped rule both read them.
+  warm_median_caches(tracks, config_.num_threads);
+  struct TrackProfile {
+    bool selected = false;
+    int catalog_number = 0;
+    std::vector<double> profile;
+  };
+  auto profiles = exec::ordered_map<TrackProfile>(
+      tracks.size(), config_.num_threads, [&](std::size_t t) {
+        TrackProfile result;
+        const SatelliteTrack& track = tracks[t];
+        if (is_pre_decayed(track, event_jd, config_.cleaning)) return result;
+        const TrajectorySample* pre = track.at_or_before(event_jd);
+        const auto window = track.between(event_jd, event_jd + days);
+        if (window.empty()) return result;
 
-    // Per-day |altitude - pre| profile.
-    std::vector<double> profile(static_cast<std::size_t>(days), kNan);
-    for (const TrajectorySample& sample : window) {
-      const auto day = static_cast<std::size_t>(sample.epoch_jd - event_jd);
-      if (day >= profile.size()) continue;
-      const double deviation = std::fabs(sample.altitude_km - pre->altitude_km);
-      // Keep the day's largest deviation (conservative per-day summary).
-      if (!std::isfinite(profile[day]) || deviation > profile[day]) {
-        profile[day] = deviation;
-      }
-    }
-    // Forward-fill days without a TLE: the altitude persists between
-    // records (refresh gaps reach 154 h), so the last known deviation is
-    // the best per-day estimate and keeps the daily aggregates from being
-    // dominated by whichever satellites happened to be observed that day.
-    for (std::size_t day = 1; day < profile.size(); ++day) {
-      if (!std::isfinite(profile[day]) && std::isfinite(profile[day - 1])) {
-        profile[day] = profile[day - 1];
-      }
-    }
+        // Per-day |altitude - pre| profile.
+        std::vector<double> profile(static_cast<std::size_t>(days), kNan);
+        for (const TrajectorySample& sample : window) {
+          const auto day = static_cast<std::size_t>(sample.epoch_jd - event_jd);
+          if (day >= profile.size()) continue;
+          const double deviation =
+              std::fabs(sample.altitude_km - pre->altitude_km);
+          // Keep the day's largest deviation (conservative per-day summary).
+          if (!std::isfinite(profile[day]) || deviation > profile[day]) {
+            profile[day] = deviation;
+          }
+        }
+        // Forward-fill days without a TLE: the altitude persists between
+        // records (refresh gaps reach 154 h), so the last known deviation is
+        // the best per-day estimate and keeps the daily aggregates from being
+        // dominated by whichever satellites happened to be observed that day.
+        for (std::size_t day = 1; day < profile.size(); ++day) {
+          if (!std::isfinite(profile[day]) && std::isfinite(profile[day - 1])) {
+            profile[day] = profile[day - 1];
+          }
+        }
 
-    if (selection == EnvelopeSelection::kAffectedHumped) {
-      // The Fig 4a rule on |altitude - long-term median|.
-      const double long_term = track.median_altitude_km();
-      std::vector<double> diffs;
-      diffs.reserve(window.size());
-      for (const TrajectorySample& sample : window) {
-        diffs.push_back(std::fabs(sample.altitude_km - long_term));
-      }
-      const double window_median = stats::median(diffs);
-      const double first_diff = diffs.front();
-      const double last_diff = diffs.back();
-      if (!(window_median > first_diff && window_median > last_diff &&
-            window_median >= config_.humped_min_excursion_km)) {
-        continue;
-      }
-    }
+        if (selection == EnvelopeSelection::kAffectedHumped) {
+          // The Fig 4a rule on |altitude - long-term median|.
+          const double long_term = track.median_altitude_km();
+          std::vector<double> diffs;
+          diffs.reserve(window.size());
+          for (const TrajectorySample& sample : window) {
+            diffs.push_back(std::fabs(sample.altitude_km - long_term));
+          }
+          const double window_median = stats::median(diffs);
+          const double first_diff = diffs.front();
+          const double last_diff = diffs.back();
+          if (!(window_median > first_diff && window_median > last_diff &&
+                window_median >= config_.humped_min_excursion_km)) {
+            return result;
+          }
+        }
 
-    envelope.satellites.push_back(track.catalog_number());
-    envelope.per_satellite.push_back(std::move(profile));
+        result.selected = true;
+        result.catalog_number = track.catalog_number();
+        result.profile = std::move(profile);
+        return result;
+      });
+  for (TrackProfile& result : profiles) {
+    if (!result.selected) continue;
+    envelope.satellites.push_back(result.catalog_number);
+    envelope.per_satellite.push_back(std::move(result.profile));
   }
 
   envelope.median_km.assign(static_cast<std::size_t>(days), kNan);
   envelope.p95_km.assign(static_cast<std::size_t>(days), kNan);
-  for (int d = 0; d < days; ++d) {
-    std::vector<double> day_values;
-    for (const auto& profile : envelope.per_satellite) {
-      const double v = profile[static_cast<std::size_t>(d)];
-      if (std::isfinite(v)) day_values.push_back(v);
-    }
-    if (day_values.empty()) continue;
-    envelope.median_km[static_cast<std::size_t>(d)] = stats::median(day_values);
-    envelope.p95_km[static_cast<std::size_t>(d)] =
-        stats::percentile(day_values, 95.0);
-  }
+  // Each day aggregates a disjoint output slot, so days parallelise freely.
+  exec::parallel_for(
+      static_cast<std::size_t>(days), config_.num_threads,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t d = begin; d < end; ++d) {
+          std::vector<double> day_values;
+          for (const auto& profile : envelope.per_satellite) {
+            const double v = profile[d];
+            if (std::isfinite(v)) day_values.push_back(v);
+          }
+          if (day_values.empty()) continue;
+          envelope.median_km[d] = stats::median(day_values);
+          envelope.p95_km[d] = stats::percentile(day_values, 95.0);
+        }
+      });
   return envelope;
 }
 
 std::vector<double> EventCorrelator::altitude_change_samples(
     std::span<const SatelliteTrack> tracks,
     std::span<const double> event_jds) const {
+  if (tracks.empty() || event_jds.empty()) return {};
+  warm_median_caches(tracks, config_.num_threads);
+  // Flatten the event-major serial loop into (event, track) cells: each
+  // cell computes independently and the filtered concatenation below keeps
+  // the serial push_back order.
+  auto cells = exec::ordered_map<std::optional<double>>(
+      event_jds.size() * tracks.size(), config_.num_threads,
+      [&](std::size_t i) -> std::optional<double> {
+        const double event_jd = event_jds[i / tracks.size()];
+        const SatelliteTrack& track = tracks[i % tracks.size()];
+        if (is_pre_decayed(track, event_jd, config_.cleaning)) return std::nullopt;
+        const TrajectorySample* pre = track.at_or_before(event_jd);
+        const auto window = track.between(event_jd, event_jd + config_.window_days);
+        if (window.empty()) return std::nullopt;
+        double max_deviation = 0.0;
+        for (const TrajectorySample& sample : window) {
+          max_deviation = std::max(
+              max_deviation, std::fabs(sample.altitude_km - pre->altitude_km));
+        }
+        return max_deviation;
+      });
   std::vector<double> samples;
-  for (const double event_jd : event_jds) {
-    for (const SatelliteTrack& track : tracks) {
-      if (is_pre_decayed(track, event_jd, config_.cleaning)) continue;
-      const TrajectorySample* pre = track.at_or_before(event_jd);
-      const auto window = track.between(event_jd, event_jd + config_.window_days);
-      if (window.empty()) continue;
-      double max_deviation = 0.0;
-      for (const TrajectorySample& sample : window) {
-        max_deviation = std::max(max_deviation,
-                                 std::fabs(sample.altitude_km - pre->altitude_km));
-      }
-      samples.push_back(max_deviation);
-    }
+  for (const auto& cell : cells) {
+    if (cell.has_value()) samples.push_back(*cell);
   }
   return samples;
 }
@@ -119,21 +156,28 @@ std::vector<double> EventCorrelator::altitude_change_samples(
 std::vector<double> EventCorrelator::drag_change_samples(
     std::span<const SatelliteTrack> tracks,
     std::span<const double> event_jds) const {
+  if (tracks.empty() || event_jds.empty()) return {};
+  warm_median_caches(tracks, config_.num_threads);
+  auto cells = exec::ordered_map<std::optional<double>>(
+      event_jds.size() * tracks.size(), config_.num_threads,
+      [&](std::size_t i) -> std::optional<double> {
+        const double event_jd = event_jds[i / tracks.size()];
+        const SatelliteTrack& track = tracks[i % tracks.size()];
+        if (is_pre_decayed(track, event_jd, config_.cleaning)) return std::nullopt;
+        const TrajectorySample* pre = track.at_or_before(event_jd);
+        if (pre->bstar <= 0.0) return std::nullopt;
+        const auto window = track.between(event_jd, event_jd + config_.window_days);
+        if (window.empty()) return std::nullopt;
+        double max_bstar = 0.0;
+        for (const TrajectorySample& sample : window) {
+          max_bstar = std::max(max_bstar, sample.bstar);
+        }
+        if (max_bstar <= 0.0) return std::nullopt;
+        return max_bstar / pre->bstar;
+      });
   std::vector<double> samples;
-  for (const double event_jd : event_jds) {
-    for (const SatelliteTrack& track : tracks) {
-      if (is_pre_decayed(track, event_jd, config_.cleaning)) continue;
-      const TrajectorySample* pre = track.at_or_before(event_jd);
-      if (pre->bstar <= 0.0) continue;
-      const auto window = track.between(event_jd, event_jd + config_.window_days);
-      if (window.empty()) continue;
-      double max_bstar = 0.0;
-      for (const TrajectorySample& sample : window) {
-        max_bstar = std::max(max_bstar, sample.bstar);
-      }
-      if (max_bstar <= 0.0) continue;
-      samples.push_back(max_bstar / pre->bstar);
-    }
+  for (const auto& cell : cells) {
+    if (cell.has_value()) samples.push_back(*cell);
   }
   return samples;
 }

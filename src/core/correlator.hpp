@@ -25,6 +25,10 @@ struct CorrelatorConfig {
   /// the strict-inequality test is not satisfied by tracker noise alone
   /// (implementation choice; the paper's CSpOC data has its own noise floor).
   double humped_min_excursion_km = 2.0;
+  /// Worker count for the per-satellite correlation scans (0 = all hardware
+  /// threads, 1 = serial).  Results are identical for every value — see the
+  /// exec::parallel_for ordering contract.
+  int num_threads = 1;
 };
 
 /// Per-day post-event altitude-deviation envelope (Fig 4).

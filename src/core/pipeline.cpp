@@ -7,9 +7,32 @@ namespace cosmicdance::core {
 CosmicDance::CosmicDance(spaceweather::DstIndex dst, tle::TleCatalog catalog,
                          PipelineConfig config)
     : config_(config), dst_(std::move(dst)), catalog_(std::move(catalog)) {
-  tracks_ = clean_tracks(tracks_from_catalog(catalog_),
-                         config_.correlator.cleaning);
+  // The pipeline-wide knob governs the correlator's scans too.
+  config_.correlator.num_threads = config_.num_threads;
+  tracks_ = clean_tracks(tracks_from_catalog(catalog_, config_.num_threads),
+                         config_.correlator.cleaning, config_.num_threads);
+  // Warm the median caches while each track is still touched by exactly one
+  // worker; the correlator can then read them concurrently.
+  warm_median_caches(tracks_, config_.num_threads);
   correlator_ = std::make_unique<EventCorrelator>(&dst_, config_.correlator);
+}
+
+CosmicDance::CosmicDance(CosmicDance&& other) noexcept
+    : config_(std::move(other.config_)),
+      dst_(std::move(other.dst_)),
+      catalog_(std::move(other.catalog_)),
+      tracks_(std::move(other.tracks_)),
+      correlator_(std::make_unique<EventCorrelator>(&dst_, config_.correlator)) {}
+
+CosmicDance& CosmicDance::operator=(CosmicDance&& other) noexcept {
+  if (this != &other) {
+    config_ = std::move(other.config_);
+    dst_ = std::move(other.dst_);
+    catalog_ = std::move(other.catalog_);
+    tracks_ = std::move(other.tracks_);
+    correlator_ = std::make_unique<EventCorrelator>(&dst_, config_.correlator);
+  }
+  return *this;
 }
 
 CosmicDance CosmicDance::from_files(const std::string& wdc_dst_path,
@@ -22,7 +45,7 @@ CosmicDance CosmicDance::from_files(const std::string& wdc_dst_path,
 }
 
 std::vector<SatelliteTrack> CosmicDance::raw_tracks() const {
-  return tracks_from_catalog(catalog_);
+  return tracks_from_catalog(catalog_, config_.num_threads);
 }
 
 std::vector<spaceweather::StormEvent> CosmicDance::storms() const {

@@ -19,6 +19,12 @@ namespace cosmicdance::core {
 struct PipelineConfig {
   CorrelatorConfig correlator;
   spaceweather::StormDetectorConfig storm_detector;
+  /// Worker count for the per-satellite hot loops (track building, cleaning
+  /// and the correlation scans): 0 = all hardware threads, 1 = exact serial
+  /// path, n = n workers.  Every value yields bit-identical results — the
+  /// exec subsystem's ordering contract (DESIGN.md §"Parallel execution"),
+  /// enforced by tests/parallel_differential_test.cpp.
+  int num_threads = 0;
 };
 
 class CosmicDance {
@@ -31,6 +37,14 @@ class CosmicDance {
   static CosmicDance from_files(const std::string& wdc_dst_path,
                                 const std::string& tle_path,
                                 PipelineConfig config = {});
+
+  // The correlator holds a pointer into this object (&dst_), so moves must
+  // re-point it at the destination's member instead of the moved-from one.
+  CosmicDance(CosmicDance&& other) noexcept;
+  CosmicDance& operator=(CosmicDance&& other) noexcept;
+  CosmicDance(const CosmicDance&) = delete;
+  CosmicDance& operator=(const CosmicDance&) = delete;
+  ~CosmicDance() = default;
 
   // ---- data access --------------------------------------------------------
   [[nodiscard]] const spaceweather::DstIndex& dst() const noexcept { return dst_; }

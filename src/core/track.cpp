@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "exec/parallel_for.hpp"
 #include "stats/descriptive.hpp"
 
 namespace cosmicdance::core {
@@ -99,12 +100,24 @@ void SatelliteTrack::set_samples(std::vector<TrajectorySample> samples) {
             });
 }
 
-std::vector<SatelliteTrack> tracks_from_catalog(const tle::TleCatalog& catalog) {
-  std::vector<SatelliteTrack> tracks;
-  for (const int id : catalog.satellites()) {
-    tracks.push_back(SatelliteTrack::from_tles(id, catalog.history(id)));
-  }
-  return tracks;
+std::vector<SatelliteTrack> tracks_from_catalog(const tle::TleCatalog& catalog,
+                                                int num_threads) {
+  const std::vector<int> ids = catalog.satellites();
+  return exec::ordered_map<SatelliteTrack>(
+      ids.size(), num_threads, [&](std::size_t i) {
+        return SatelliteTrack::from_tles(ids[i], catalog.history(ids[i]));
+      });
+}
+
+void warm_median_caches(std::span<const SatelliteTrack> tracks, int num_threads) {
+  exec::parallel_for(tracks.size(), num_threads,
+                     [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         if (!tracks[i].empty()) {
+                           static_cast<void>(tracks[i].median_altitude_km());
+                         }
+                       }
+                     });
 }
 
 }  // namespace cosmicdance::core

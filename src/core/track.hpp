@@ -73,8 +73,15 @@ class SatelliteTrack {
   mutable bool median_cache_valid_ = false;
 };
 
-/// Build one track per satellite from a catalog.
+/// Build one track per satellite from a catalog, in catalog-number order.
+/// num_threads: 0 = all hardware threads, 1 = serial, n = n workers; the
+/// output is identical for every value (exec::parallel_for contract).
 [[nodiscard]] std::vector<SatelliteTrack> tracks_from_catalog(
-    const tle::TleCatalog& catalog);
+    const tle::TleCatalog& catalog, int num_threads = 1);
+
+/// Populate every non-empty track's median-altitude cache, one track per
+/// worker.  Call before sharing a track set across threads: afterwards the
+/// cache is read-only, so concurrent median_altitude_km() calls are safe.
+void warm_median_caches(std::span<const SatelliteTrack> tracks, int num_threads);
 
 }  // namespace cosmicdance::core

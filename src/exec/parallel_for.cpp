@@ -1,0 +1,92 @@
+#include "exec/parallel_for.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "exec/thread_pool.hpp"
+
+namespace cosmicdance::exec {
+namespace {
+
+// Chunks per worker: >1 so dynamic chunk-claiming balances uneven per-index
+// costs, small enough that chunk bookkeeping stays negligible.
+constexpr std::size_t kChunksPerThread = 8;
+
+// Shared between the caller and its pool helpers.  The caller waits for all
+// *chunks* to finish, not for the helpers themselves: a helper that the pool
+// never gets around to scheduling (e.g. every worker is blocked inside a
+// nested section's own wait) must not stall completion.  Such a late helper
+// only ever touches this block — it sees next_chunk past the end and returns
+// without calling `chunk`, so the caller's stack can safely unwind first.
+struct Section {
+  std::function<void(std::size_t, std::size_t)> chunk;
+  std::size_t count = 0;
+  std::size_t chunk_size = 0;
+  std::size_t num_chunks = 0;
+
+  std::atomic<std::size_t> next_chunk{0};
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::size_t done_chunks = 0;  // guarded by mutex
+  std::exception_ptr first_error;
+
+  void run_chunks() {
+    for (;;) {
+      const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const std::size_t begin = c * chunk_size;
+      const std::size_t end = std::min(count, begin + chunk_size);
+      std::exception_ptr error;
+      try {
+        chunk(begin, end);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (error && !first_error) first_error = error;
+      if (++done_chunks == num_chunks) all_done.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void parallel_for(std::size_t count, int num_threads,
+                  const std::function<void(std::size_t, std::size_t)>& chunk) {
+  if (count == 0) return;
+  const std::size_t threads =
+      num_threads == 1 ? 1 : resolve_thread_count(num_threads);
+  if (threads <= 1 || count == 1) {
+    chunk(0, count);
+    return;
+  }
+
+  const auto section = std::make_shared<Section>();
+  section->chunk = chunk;
+  section->count = count;
+  const std::size_t target_chunks = std::min(count, threads * kChunksPerThread);
+  section->chunk_size = (count + target_chunks - 1) / target_chunks;
+  section->num_chunks = (count + section->chunk_size - 1) / section->chunk_size;
+
+  // The calling thread is one worker; the rest come from the shared pool.
+  // The caller always participates, so a saturated pool degrades to
+  // caller-only execution instead of deadlocking (nested sections included).
+  const std::size_t helper_count =
+      std::min(threads, section->num_chunks) - 1;
+  for (std::size_t i = 0; i < helper_count; ++i) {
+    ThreadPool::shared().submit([section] { section->run_chunks(); });
+  }
+  section->run_chunks();
+  {
+    std::unique_lock<std::mutex> lock(section->mutex);
+    section->all_done.wait(
+        lock, [&] { return section->done_chunks == section->num_chunks; });
+    if (section->first_error) std::rethrow_exception(section->first_error);
+  }
+}
+
+}  // namespace cosmicdance::exec

@@ -1,0 +1,56 @@
+// Deterministically-ordered data parallelism over an index range.
+//
+// The contract (DESIGN.md §"Parallel execution"): parallel_for partitions
+// [0, count) into fixed contiguous chunks and guarantees every index is
+// visited exactly once; the caller's body writes only to slots derived from
+// the index it was handed.  Because the chunk boundaries are a pure function
+// of (count, thread count) and no two chunks share an output slot, the
+// assembled result is bit-identical to running the same body serially —
+// scheduling order can never leak into the output.
+//
+// num_threads follows the pipeline-wide knob convention:
+//   0  -> all hardware threads
+//   1  -> exact serial path (one body call over [0, count), no pool touched)
+//   n  -> n workers (the calling thread counts as one)
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace cosmicdance::exec {
+
+/// Run `chunk(begin, end)` over disjoint sub-ranges covering [0, count).
+/// Chunks are executed by at most `num_threads` workers (caller included)
+/// pulled from ThreadPool::shared().  Rethrows the first body exception
+/// after all chunks finish.
+void parallel_for(std::size_t count, int num_threads,
+                  const std::function<void(std::size_t begin, std::size_t end)>& chunk);
+
+/// Ordered map: out[i] = fn(i), computed in parallel, returned in index
+/// order.  The deterministic workhorse for the per-satellite hot loops.
+template <typename Result, typename Fn>
+std::vector<Result> ordered_map(std::size_t count, int num_threads, Fn&& fn) {
+  std::vector<Result> out(count);
+  parallel_for(count, num_threads, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+  });
+  return out;
+}
+
+/// Concatenate per-index result vectors in index order (the serial
+/// push_back order of a nested loop flattened by ordered_map).
+template <typename T>
+std::vector<T> ordered_concat(std::vector<std::vector<T>> parts) {
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  std::vector<T> out;
+  out.reserve(total);
+  for (auto& part : parts) {
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return out;
+}
+
+}  // namespace cosmicdance::exec

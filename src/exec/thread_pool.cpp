@@ -1,0 +1,62 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cosmicdance::exec {
+
+std::size_t resolve_thread_count(int requested) noexcept {
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return std::max(1u, hardware);
+}
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  const std::size_t count = std::max<std::size_t>(1, thread_count);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      throw std::runtime_error("submit() on a shutting-down ThreadPool");
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(resolve_thread_count(0));
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace cosmicdance::exec

@@ -58,6 +58,13 @@ std::size_t TleCatalog::add_from_text(const std::string& text) {
       pending_line1.clear();
       continue;
     }
+    // With a line 1 pending, the next line must be its line 2: a "2 "-lead
+    // line of the wrong length is a truncated/corrupted record, not a
+    // satellite name (name lines only precede line 1 in 3-line format).
+    if (!pending_line1.empty() && line.size() >= 2 && line[0] == '2' &&
+        line[1] == ' ') {
+      throw ParseError("malformed TLE line 2 (wrong length): '" + line + "'");
+    }
     // Anything else is a satellite-name line (3-line format); ignore.
     pending_line1.clear();
   }

@@ -1,0 +1,233 @@
+// TleCatalog ingestion edge cases the first tle_test leaves uncovered:
+// truncated lines, corrupted checksums mid-catalog, duplicate NORAD IDs
+// (same satellite re-listed, and exact-epoch duplicates), CRLF line endings,
+// and a property-style format -> parse -> format round trip over randomly
+// generated element sets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "timeutil/datetime.hpp"
+#include "tle/catalog.hpp"
+#include "tle/tle.hpp"
+
+namespace cosmicdance::tle {
+namespace {
+
+// The canonical ISS TLE (checksums valid), reused as a splice donor.
+const char* kIssLine1 =
+    "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927";
+const char* kIssLine2 =
+    "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537";
+
+/// A valid record with controllable catalog number and epoch offset.
+Tle make_tle(int catalog_number, double epoch_offset_days = 0.0) {
+  Tle tle;
+  tle.catalog_number = catalog_number;
+  tle.international_designator = "20001A";
+  tle.epoch_jd =
+      timeutil::to_julian(timeutil::make_datetime(2022, 3, 1)) +
+      epoch_offset_days;
+  tle.bstar = 1.4e-4;
+  tle.inclination_deg = 53.05;
+  tle.raan_deg = 120.5;
+  tle.eccentricity = 0.0002;
+  tle.arg_perigee_deg = 90.0;
+  tle.mean_anomaly_deg = 45.0;
+  tle.mean_motion_revday = 15.05;
+  tle.element_set_number = 999;
+  tle.rev_number = 12345;
+  return tle;
+}
+
+std::string as_text(const Tle& tle) {
+  const TleLines lines = format_tle(tle);
+  return lines.line1 + "\n" + lines.line2 + "\n";
+}
+
+// ---- truncated input ------------------------------------------------------
+
+TEST(TleCatalogEdge, TruncatedLine1IsNotSilentlyAccepted) {
+  // A line 1 cut short no longer looks like a TLE line, so the following
+  // line 2 is an orphan — that must be a hard error, not a skipped record.
+  TleCatalog catalog;
+  const std::string truncated = std::string(kIssLine1).substr(0, 40);
+  EXPECT_THROW(catalog.add_from_text(truncated + "\n" + kIssLine2 + "\n"),
+               ParseError);
+  EXPECT_TRUE(catalog.empty());
+}
+
+TEST(TleCatalogEdge, TruncatedLine2RejectedByLength) {
+  TleCatalog catalog;
+  const std::string truncated = std::string(kIssLine2).substr(0, 68);
+  // Truncated line 2 stops looking like a TLE line; the dangling line 1
+  // is then detected at end of input.
+  EXPECT_THROW(catalog.add_from_text(std::string(kIssLine1) + "\n" + truncated),
+               ParseError);
+}
+
+TEST(TleCatalogEdge, DanglingLine1AtEofThrows) {
+  TleCatalog catalog;
+  EXPECT_THROW(catalog.add_from_text(std::string(kIssLine1) + "\n"), ParseError);
+}
+
+TEST(TleCatalogEdge, EmptyAndWhitespaceOnlyInputAddsNothing) {
+  TleCatalog catalog;
+  EXPECT_EQ(catalog.add_from_text(""), 0u);
+  EXPECT_EQ(catalog.add_from_text("\n\n\r\n"), 0u);
+  EXPECT_TRUE(catalog.empty());
+}
+
+// ---- checksum corruption --------------------------------------------------
+
+TEST(TleCatalogEdge, BadChecksumMidCatalogThrowsWithoutCorruptingState) {
+  const std::string good = as_text(make_tle(10001));
+  std::string corrupted = as_text(make_tle(10002, 1.0));
+  // Flip the line-1 checksum digit (last char before the newline).
+  std::string::size_type checksum_pos = corrupted.find('\n') - 1;
+  corrupted[checksum_pos] = corrupted[checksum_pos] == '0' ? '1' : '0';
+
+  TleCatalog catalog;
+  EXPECT_THROW(catalog.add_from_text(good + corrupted + good), ParseError);
+  // Records before the corruption were added; the bad one was not.
+  EXPECT_EQ(catalog.satellite_count(), 1u);
+  EXPECT_EQ(catalog.history(10001).size(), 1u);
+  EXPECT_TRUE(catalog.history(10002).empty());
+}
+
+TEST(TleCatalogEdge, EveryDigitCorruptionIsCaught) {
+  // Property: corrupting any single digit of either line to a different
+  // digit must break the checksum or the strict column parse.
+  const TleLines lines = format_tle(make_tle(20002, 2.5));
+  for (const std::string& base : {lines.line1, lines.line2}) {
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(base[i]))) continue;
+      std::string corrupted = base;
+      corrupted[i] = base[i] == '9' ? '8' : static_cast<char>(base[i] + 1);
+      const bool is_line1 = base[0] == '1';
+      const std::string& l1 = is_line1 ? corrupted : lines.line1;
+      const std::string& l2 = is_line1 ? lines.line2 : corrupted;
+      bool rejected = false;
+      try {
+        const Tle parsed = parse_tle(l1, l2);
+        // Corrupting a checksum-neutral pair is impossible for a single
+        // digit flip: the checksum must have caught it if fields survived.
+        static_cast<void>(parsed);
+      } catch (const ParseError&) {
+        rejected = true;
+      } catch (const ValidationError&) {
+        rejected = true;  // e.g. inclination pushed outside [0,180]
+      }
+      EXPECT_TRUE(rejected) << "undetected corruption at column " << i
+                            << " of line '" << base << "'";
+    }
+  }
+}
+
+// ---- duplicate NORAD IDs --------------------------------------------------
+
+TEST(TleCatalogEdge, DuplicateNoradIdMergesIntoOneHistory) {
+  TleCatalog catalog;
+  // Same satellite listed twice, interleaved with another satellite.
+  const std::string text = as_text(make_tle(30001, 0.0)) +
+                           as_text(make_tle(30002, 0.0)) +
+                           as_text(make_tle(30001, 3.0));
+  EXPECT_EQ(catalog.add_from_text(text), 3u);
+  EXPECT_EQ(catalog.satellite_count(), 2u);
+  ASSERT_EQ(catalog.history(30001).size(), 2u);
+  // History is epoch-sorted regardless of input order.
+  EXPECT_LT(catalog.history(30001)[0].epoch_jd,
+            catalog.history(30001)[1].epoch_jd);
+}
+
+TEST(TleCatalogEdge, ExactEpochDuplicateDropped) {
+  TleCatalog catalog;
+  const std::string record = as_text(make_tle(30003, 1.0));
+  EXPECT_EQ(catalog.add_from_text(record + record), 1u);
+  EXPECT_EQ(catalog.record_count(), 1u);
+  EXPECT_EQ(catalog.history(30003).size(), 1u);
+}
+
+TEST(TleCatalogEdge, NearDuplicateEpochWithinOneSecondDropped) {
+  TleCatalog catalog;
+  EXPECT_TRUE(catalog.add(make_tle(30004, 0.0)));
+  EXPECT_FALSE(catalog.add(make_tle(30004, 0.5 / 86400.0)));  // +0.5 s
+  EXPECT_TRUE(catalog.add(make_tle(30004, 2.0 / 86400.0)));   // +2 s
+  EXPECT_EQ(catalog.history(30004).size(), 2u);
+}
+
+// ---- CRLF line endings ----------------------------------------------------
+
+TEST(TleCatalogEdge, CrlfInputParsesIdenticallyToLf) {
+  const std::string lf = as_text(make_tle(40001, 0.0)) +
+                         as_text(make_tle(40002, 1.0));
+  std::string crlf;
+  for (const char c : lf) {
+    if (c == '\n') crlf += "\r\n";
+    else crlf.push_back(c);
+  }
+
+  TleCatalog from_lf;
+  TleCatalog from_crlf;
+  EXPECT_EQ(from_lf.add_from_text(lf), 2u);
+  EXPECT_EQ(from_crlf.add_from_text(crlf), 2u);
+  EXPECT_EQ(from_lf.to_text(), from_crlf.to_text());
+}
+
+// ---- property-style round trip --------------------------------------------
+
+TEST(TleCatalogEdge, RandomElementSetsRoundTripBitExactly) {
+  // format -> parse quantises to the column widths; a second
+  // format(parse(...)) pass must then be byte-identical (the module's
+  // "symmetric parse/format" contract), and the catalog must survive its
+  // own to_text().
+  Rng rng(20240511);
+  TleCatalog catalog;
+  const double base_jd = timeutil::to_julian(timeutil::make_datetime(2021, 1, 1));
+  for (int i = 0; i < 200; ++i) {
+    Tle tle;
+    tle.catalog_number = static_cast<int>(rng.uniform_int(1, 99999));
+    tle.international_designator = "21" +
+        std::to_string(100 + static_cast<int>(rng.uniform_int(0, 899))) + "A";
+    tle.epoch_jd = base_jd + rng.uniform(0.0, 1200.0);
+    tle.mean_motion_dot = rng.uniform(-1e-4, 1e-4);
+    tle.bstar = rng.uniform(-1e-3, 1e-3);
+    tle.inclination_deg = rng.uniform(0.0, 180.0);
+    tle.raan_deg = rng.uniform(0.0, 360.0);
+    tle.eccentricity = rng.uniform(0.0, 0.1);
+    tle.arg_perigee_deg = rng.uniform(0.0, 360.0);
+    tle.mean_anomaly_deg = rng.uniform(0.0, 360.0);
+    tle.mean_motion_revday = rng.uniform(11.0, 16.5);
+    tle.element_set_number = static_cast<int>(rng.uniform_int(0, 9999));
+    tle.rev_number = static_cast<int>(rng.uniform_int(0, 99999));
+
+    const TleLines first = format_tle(tle);
+    const Tle parsed = parse_tle(first.line1, first.line2);
+    const TleLines second = format_tle(parsed);
+    ASSERT_EQ(first.line1, second.line1) << "record " << i;
+    ASSERT_EQ(first.line2, second.line2) << "record " << i;
+
+    // Quantisation error is bounded by the column widths.
+    EXPECT_EQ(parsed.catalog_number, tle.catalog_number);
+    EXPECT_NEAR(parsed.inclination_deg, tle.inclination_deg, 1e-4);
+    EXPECT_NEAR(parsed.raan_deg, tle.raan_deg, 1e-4);
+    EXPECT_NEAR(parsed.eccentricity, tle.eccentricity, 1e-7);
+    EXPECT_NEAR(parsed.mean_motion_revday, tle.mean_motion_revday, 1e-8);
+    EXPECT_NEAR(parsed.epoch_jd, tle.epoch_jd, 1e-7);
+
+    catalog.add(parsed);
+  }
+
+  // Whole-catalog round trip: to_text -> add_from_text reproduces every
+  // record (duplicate epochs aside, which the generator avoids w.h.p.).
+  TleCatalog reloaded;
+  EXPECT_EQ(reloaded.add_from_text(catalog.to_text()), catalog.record_count());
+  EXPECT_EQ(reloaded.to_text(), catalog.to_text());
+}
+
+}  // namespace
+}  // namespace cosmicdance::tle

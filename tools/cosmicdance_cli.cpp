@@ -38,8 +38,11 @@ int usage() {
       "            [--per-batch N] [--cadence DAYS] [--fleet N] [--seed N]\n"
       "  storms    --dst F [--threshold NT] [--csv F]\n"
       "  convert   --tles F --to-omm F | --omm F --to-tles F\n"
-      "  analyze   --dst F --tles F --out-dir DIR\n"
-      "  report    --dst F --tles F [--markdown F]\n";
+      "  analyze   --dst F --tles F --out-dir DIR [--threads N]\n"
+      "  report    --dst F --tles F [--markdown F] [--threads N]\n"
+      "\n"
+      "--threads N: pipeline worker count (0 = all hardware threads,\n"
+      "             1 = serial; results are identical either way)\n";
   return 2;
 }
 
@@ -137,12 +140,14 @@ int cmd_storms(const io::ArgParser& args) {
 }
 
 core::CosmicDance load_pipeline(const io::ArgParser& args) {
+  core::PipelineConfig config;
+  config.num_threads = static_cast<int>(args.integer_or("threads", 0));
   return core::CosmicDance::from_files(require(args, "dst"),
-                                       require(args, "tles"));
+                                       require(args, "tles"), config);
 }
 
 int cmd_analyze(const io::ArgParser& args) {
-  args.check_known({"dst", "tles", "out-dir"});
+  args.check_known({"dst", "tles", "out-dir", "threads"});
   const std::string out_dir = require(args, "out-dir");
   std::filesystem::create_directories(out_dir);
   const core::CosmicDance pipeline = load_pipeline(args);
@@ -176,8 +181,9 @@ int cmd_analyze(const io::ArgParser& args) {
                        core::ecdf_csv(stats::Ecdf(drag), "bstar_ratio"));
   }
   // Fig 10 raw/cleaned altitude CDFs.
-  const auto raw = core::all_altitudes(pipeline.raw_tracks());
-  const auto cleaned = core::all_altitudes(pipeline.tracks());
+  const int threads = pipeline.config().num_threads;
+  const auto raw = core::all_altitudes(pipeline.raw_tracks(), threads);
+  const auto cleaned = core::all_altitudes(pipeline.tracks(), threads);
   io::write_csv_file(path("fig10a_raw_altitude_cdf.csv"),
                      core::ecdf_csv(stats::Ecdf(raw), "altitude_km"));
   io::write_csv_file(path("fig10b_clean_altitude_cdf.csv"),
@@ -209,7 +215,7 @@ int cmd_convert(const io::ArgParser& args) {
 }
 
 int cmd_report(const io::ArgParser& args) {
-  args.check_known({"dst", "tles", "markdown"});
+  args.check_known({"dst", "tles", "markdown", "threads"});
   const core::CosmicDance pipeline = load_pipeline(args);
   if (const auto out = args.option("markdown")) {
     core::write_markdown_report(pipeline, *out);

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build + full ctest twice —
+#   1. plain RelWithDebInfo over the whole suite,
+#   2. ThreadSanitizer (COSMICDANCE_SANITIZE=thread) over the parallel exec
+#      suite, which must be race-free for the deterministic-ordering
+#      contract to mean anything.
+#
+# Usage: tools/run_tier1.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== pass 1: plain build + full test suite =="
+cmake -B build -S . -DCOSMICDANCE_SANITIZE=
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== pass 2: ThreadSanitizer build + parallel suite =="
+cmake -B build-tsan -S . -DCOSMICDANCE_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS" --target parallel_differential_test
+# TSan halts with a non-zero exit on any race; no suppressions are used.
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+      -R 'ParallelDifferential|ParallelForStress|ThreadPoolTest'
+
+echo "== tier-1 gate: OK =="

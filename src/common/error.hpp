@@ -6,6 +6,7 @@
 // are marked noexcept at their declaration sites.
 #pragma once
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 
@@ -17,10 +18,32 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Machine-readable classification of record-level parse failures.  The
+/// cosmicdance::diag data-quality subsystem counts quarantined records by
+/// category; the enum lives here (not in cd_diag) so every throw site can
+/// tag its ParseError without a dependency on the diagnostics layer.
+enum class ErrorCategory {
+  kSyntax,     ///< malformed text: wrong width, bad quoting, stray characters
+  kChecksum,   ///< TLE line checksum mismatch
+  kNumeric,    ///< a numeric field failed to parse as a number
+  kRange,      ///< parsed fine but semantically out of range
+  kStructure,  ///< record structure: missing lines/keys, gaps, bad ordering
+};
+
+inline constexpr std::size_t kErrorCategoryCount = 5;
+
 /// Malformed textual input (TLE lines, WDC records, CSV rows, ...).
 class ParseError : public Error {
  public:
-  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+  explicit ParseError(const std::string& what,
+                      ErrorCategory category = ErrorCategory::kSyntax)
+      : Error("parse error: " + what), category_(category) {}
+
+  /// What kind of malformation this is, for quarantine bookkeeping.
+  [[nodiscard]] ErrorCategory category() const noexcept { return category_; }
+
+ private:
+  ErrorCategory category_;
 };
 
 /// Semantically invalid values (out-of-range dates, negative durations, ...).

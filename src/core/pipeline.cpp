@@ -22,7 +22,8 @@ CosmicDance::CosmicDance(CosmicDance&& other) noexcept
       dst_(std::move(other.dst_)),
       catalog_(std::move(other.catalog_)),
       tracks_(std::move(other.tracks_)),
-      correlator_(std::make_unique<EventCorrelator>(&dst_, config_.correlator)) {}
+      correlator_(std::make_unique<EventCorrelator>(&dst_, config_.correlator)),
+      quality_report_(std::move(other.quality_report_)) {}
 
 CosmicDance& CosmicDance::operator=(CosmicDance&& other) noexcept {
   if (this != &other) {
@@ -31,6 +32,7 @@ CosmicDance& CosmicDance::operator=(CosmicDance&& other) noexcept {
     catalog_ = std::move(other.catalog_);
     tracks_ = std::move(other.tracks_);
     correlator_ = std::make_unique<EventCorrelator>(&dst_, config_.correlator);
+    quality_report_ = std::move(other.quality_report_);
   }
   return *this;
 }
@@ -38,10 +40,14 @@ CosmicDance& CosmicDance::operator=(CosmicDance&& other) noexcept {
 CosmicDance CosmicDance::from_files(const std::string& wdc_dst_path,
                                     const std::string& tle_path,
                                     PipelineConfig config) {
-  spaceweather::DstIndex dst = spaceweather::read_wdc_file(wdc_dst_path);
+  diag::ParseLog log(config.parse_policy);
+  spaceweather::DstIndex dst = spaceweather::read_wdc_file(wdc_dst_path, &log);
   tle::TleCatalog catalog;
-  catalog.add_from_file(tle_path);
-  return CosmicDance(std::move(dst), std::move(catalog), config);
+  catalog.add_from_file(tle_path,
+                        tle::IngestOptions{&log, config.num_threads, {}});
+  CosmicDance pipeline(std::move(dst), std::move(catalog), config);
+  pipeline.quality_report_ = log.report();
+  return pipeline;
 }
 
 std::vector<SatelliteTrack> CosmicDance::raw_tracks() const {

@@ -11,6 +11,7 @@
 
 #include "core/analysis.hpp"
 #include "core/correlator.hpp"
+#include "diag/diag.hpp"
 #include "spaceweather/storms.hpp"
 #include "tle/catalog.hpp"
 
@@ -25,6 +26,10 @@ struct PipelineConfig {
   /// exec subsystem's ordering contract (DESIGN.md §"Parallel execution"),
   /// enforced by tests/parallel_differential_test.cpp.
   int num_threads = 0;
+  /// Ingestion failure handling for from_files: strict throws on the first
+  /// malformed record (historical behaviour); tolerant quarantines it,
+  /// keeps going, and reports through quality_report().
+  diag::ParsePolicy parse_policy = diag::ParsePolicy::kStrict;
 };
 
 class CosmicDance {
@@ -75,12 +80,19 @@ class CosmicDance {
 
   [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
 
+  /// Ingestion data-quality outcome.  Populated by from_files; empty (no
+  /// stages) when the datasets were handed over pre-parsed.
+  [[nodiscard]] const diag::DataQualityReport& quality_report() const noexcept {
+    return quality_report_;
+  }
+
  private:
   PipelineConfig config_;
   spaceweather::DstIndex dst_;
   tle::TleCatalog catalog_;
   std::vector<SatelliteTrack> tracks_;
   std::unique_ptr<EventCorrelator> correlator_;
+  diag::DataQualityReport quality_report_;
 };
 
 }  // namespace cosmicdance::core

@@ -6,86 +6,133 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "diag/diag.hpp"
 
 namespace cosmicdance::io {
 namespace {
 
-// Incremental CSV record parser; returns true when a record is complete and
-// false when it ended mid-quote (caller should append the next line).
-bool parse_into(const std::string& line, CsvRow& row, std::string& field,
-                bool& in_quotes) {
+constexpr const char* kStage = "csv";
+
+// Incremental CSV record parser state.  A record may span lines (quoted
+// embedded newlines); the caller feeds lines until parse_into returns true.
+struct RecordState {
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;  // closed-quote guard, see below
+
+  void reset() {
+    row.clear();
+    field.clear();
+    in_quotes = false;
+    field_was_quoted = false;
+  }
+};
+
+// Returns true when a record is complete and false when it ended mid-quote
+// (caller should append the next line).  Throws ParseError on RFC 4180
+// violations: a quote opening mid-field, or text after a closing quote
+// (`"ab"cd` is an error, not the field `abcd`).
+bool parse_into(const std::string& line, RecordState& state) {
   std::size_t i = 0;
   while (i < line.size()) {
     const char c = line[i];
-    if (in_quotes) {
+    if (state.in_quotes) {
       if (c == '"') {
         if (i + 1 < line.size() && line[i + 1] == '"') {
-          field.push_back('"');
+          state.field.push_back('"');
           ++i;
         } else {
-          in_quotes = false;
+          state.in_quotes = false;
+          state.field_was_quoted = true;
         }
       } else {
-        field.push_back(c);
+        state.field.push_back(c);
       }
     } else {
-      if (c == '"') {
-        if (!field.empty()) {
+      if (c == ',') {
+        state.row.push_back(state.field);
+        state.field.clear();
+        state.field_was_quoted = false;
+      } else if (state.field_was_quoted) {
+        throw ParseError("text after closing quote in CSV field: '" + line + "'");
+      } else if (c == '"') {
+        if (!state.field.empty()) {
           throw ParseError("quote inside unquoted CSV field: '" + line + "'");
         }
-        in_quotes = true;
-      } else if (c == ',') {
-        row.push_back(field);
-        field.clear();
+        state.in_quotes = true;
       } else {
-        field.push_back(c);
+        state.field.push_back(c);
       }
     }
     ++i;
   }
-  if (in_quotes) {
-    field.push_back('\n');
+  if (state.in_quotes) {
+    state.field.push_back('\n');
     return false;
   }
-  row.push_back(field);
-  field.clear();
+  state.row.push_back(state.field);
+  state.field.clear();
+  state.field_was_quoted = false;
   return true;
 }
 
 }  // namespace
 
 CsvRow parse_csv_line(const std::string& line) {
-  CsvRow row;
-  std::string field;
-  bool in_quotes = false;
-  if (!parse_into(line, row, field, in_quotes)) {
+  RecordState state;
+  if (!parse_into(line, state)) {
     throw ParseError("unterminated quote in CSV line: '" + line + "'");
   }
-  return row;
+  return std::move(state.row);
 }
 
-std::vector<CsvRow> read_csv(std::istream& in) {
+std::vector<CsvRow> read_csv(std::istream& in, diag::ParseLog* log,
+                             const std::string& source) {
   std::vector<CsvRow> rows;
   std::string line;
-  CsvRow row;
-  std::string field;
-  bool in_quotes = false;
+  RecordState state;
+  std::size_t line_number = 0;
+  std::size_t record_start_line = 0;  // first line of the in-flight record
+  std::string record_text;            // raw text of the in-flight record
   while (std::getline(in, line)) {
+    ++line_number;
     if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (!in_quotes && line.empty()) continue;
-    if (parse_into(line, row, field, in_quotes)) {
-      rows.push_back(std::move(row));
-      row.clear();
+    if (!state.in_quotes && line.empty()) continue;
+    if (record_text.empty()) record_start_line = line_number;
+    record_text += line;
+    try {
+      if (parse_into(line, state)) {
+        rows.push_back(std::move(state.row));
+        state.reset();
+        record_text.clear();
+        if (log != nullptr) log->accept(kStage);
+      } else {
+        record_text.push_back('\n');
+      }
+    } catch (const ParseError& error) {
+      if (log == nullptr) throw;
+      log->reject(kStage, error.category(), error.what(), record_text,
+                  diag::RecordRef{source, record_start_line});
+      state.reset();
+      record_text.clear();
     }
   }
-  if (in_quotes) throw ParseError("CSV input ended inside a quoted field");
+  if (state.in_quotes) {
+    if (log == nullptr) {
+      throw ParseError("CSV input ended inside a quoted field");
+    }
+    log->reject(kStage, ErrorCategory::kStructure,
+                "CSV input ended inside a quoted field", record_text,
+                diag::RecordRef{source, record_start_line});
+  }
   return rows;
 }
 
-std::vector<CsvRow> read_csv_file(const std::string& path) {
+std::vector<CsvRow> read_csv_file(const std::string& path, diag::ParseLog* log) {
   std::ifstream in(path);
   if (!in) throw IoError("cannot open CSV file: " + path);
-  return read_csv(in);
+  return read_csv(in, log, path);
 }
 
 std::string escape_csv_field(const std::string& field) {

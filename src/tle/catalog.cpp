@@ -2,19 +2,54 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
+#include "exec/parallel_for.hpp"
 #include "io/file.hpp"
 
 namespace cosmicdance::tle {
 namespace {
+
+constexpr const char* kStage = "tle";
 
 // Two records of one satellite closer than this are duplicates (~1 second).
 constexpr double kDuplicateEpochDays = 1.0 / 86400.0;
 
 bool looks_like_tle_line(const std::string& line, char number) {
   return line.size() == 69 && line[0] == number && line[1] == ' ';
+}
+
+// A paired two-line record located in its source, plus structural rejects
+// found while pairing.  Splitting is serial; parsing the paired records is
+// the parallel part.
+struct RawRecord {
+  std::string line1;
+  std::string line2;
+  std::size_t line_number = 0;  // 1-based line number of line1
+};
+
+// Result of parsing one RawRecord: either a TLE or a categorised failure.
+struct ParsedRecord {
+  std::optional<Tle> tle;
+  ErrorCategory category = ErrorCategory::kSyntax;
+  std::string message;
+};
+
+ParsedRecord parse_record(const RawRecord& record) {
+  ParsedRecord parsed;
+  try {
+    parsed.tle = parse_tle(record.line1, record.line2);
+  } catch (const ParseError& error) {
+    parsed.category = error.category();
+    parsed.message = error.what();
+  } catch (const ValidationError& error) {
+    parsed.category = ErrorCategory::kRange;
+    parsed.message = error.what();
+  }
+  return parsed;
 }
 
 }  // namespace
@@ -39,22 +74,54 @@ bool TleCatalog::add(const Tle& tle) {
 }
 
 std::size_t TleCatalog::add_from_text(const std::string& text) {
+  return add_from_text(text, IngestOptions{});
+}
+
+std::size_t TleCatalog::add_from_text(const std::string& text,
+                                      const IngestOptions& options) {
+  const std::string source = options.source.empty() ? "<text>" : options.source;
+  // Without a caller-supplied log, a local strict one reproduces the
+  // historical throw-on-first-error behaviour (with located messages).
+  diag::ParseLog fallback;
+  diag::ParseLog& log = options.log != nullptr ? *options.log : fallback;
+
+  // A pairing failure found in pass 1.  Deferred (not reported immediately)
+  // so pass 3 can interleave it with parse failures in file order: strict
+  // mode must throw on the *first* bad record in the file, not on the first
+  // structural one.
+  struct StructuralReject {
+    std::size_t line_number = 0;
+    ErrorCategory category = ErrorCategory::kSyntax;
+    std::string message;
+    std::string snippet;
+  };
+
+  // Pass 1 (serial): pair lines into two-line records, collecting structural
+  // breaks as they are found (in ascending line order by construction).
   std::istringstream in(text);
   std::string line;
   std::string pending_line1;
-  std::size_t added = 0;
+  std::size_t pending_line_number = 0;
+  std::size_t line_number = 0;
+  std::vector<RawRecord> records;
+  std::vector<StructuralReject> structural;
   while (std::getline(in, line)) {
+    ++line_number;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     if (looks_like_tle_line(line, '1')) {
       pending_line1 = line;
+      pending_line_number = line_number;
       continue;
     }
     if (looks_like_tle_line(line, '2')) {
       if (pending_line1.empty()) {
-        throw ParseError("TLE line 2 without preceding line 1: '" + line + "'");
+        structural.push_back({line_number, ErrorCategory::kStructure,
+                              "TLE line 2 without preceding line 1", line});
+        continue;
       }
-      if (add(parse_tle(pending_line1, line))) ++added;
+      records.push_back(
+          RawRecord{std::move(pending_line1), line, pending_line_number});
       pending_line1.clear();
       continue;
     }
@@ -63,19 +130,64 @@ std::size_t TleCatalog::add_from_text(const std::string& text) {
     // satellite name (name lines only precede line 1 in 3-line format).
     if (!pending_line1.empty() && line.size() >= 2 && line[0] == '2' &&
         line[1] == ' ') {
-      throw ParseError("malformed TLE line 2 (wrong length): '" + line + "'");
+      structural.push_back({line_number, ErrorCategory::kSyntax,
+                            "malformed TLE line 2 (wrong length)", line});
+      pending_line1.clear();
+      continue;
     }
     // Anything else is a satellite-name line (3-line format); ignore.
     pending_line1.clear();
   }
   if (!pending_line1.empty()) {
-    throw ParseError("dangling TLE line 1 at end of input");
+    structural.push_back({pending_line_number, ErrorCategory::kStructure,
+                          "dangling TLE line 1 at end of input", pending_line1});
   }
+
+  // Pass 2 (parallel): parse the paired records.  Chunk boundaries are a
+  // pure function of (count, thread count), so results are deterministic.
+  const std::vector<ParsedRecord> parsed = exec::ordered_map<ParsedRecord>(
+      records.size(), options.num_threads,
+      [&records](std::size_t i) { return parse_record(records[i]); });
+
+  // Pass 3 (serial, file order): merge-walk the parsed records and the
+  // structural rejects by line number, committing and reporting in order.
+  // This keeps catalog contents, counters and quarantine order bit-identical
+  // at any thread count, and makes strict mode throw on the first malformed
+  // record in file order.
+  std::size_t added = 0;
+  std::size_t next_structural = 0;
+  const auto report_structural_before = [&](std::size_t limit) {
+    while (next_structural < structural.size() &&
+           structural[next_structural].line_number < limit) {
+      const StructuralReject& failure = structural[next_structural++];
+      log.reject(kStage, failure.category, failure.message, failure.snippet,
+                 diag::RecordRef{source, failure.line_number});
+    }
+  };
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    report_structural_before(records[i].line_number);
+    if (parsed[i].tle.has_value()) {
+      log.accept(kStage);
+      if (add(*parsed[i].tle)) ++added;
+    } else {
+      log.reject(kStage, parsed[i].category, parsed[i].message,
+                 records[i].line1,
+                 diag::RecordRef{source, records[i].line_number});
+    }
+  }
+  report_structural_before(line_number + 1);
   return added;
 }
 
 std::size_t TleCatalog::add_from_file(const std::string& path) {
   return add_from_text(io::read_file(path));
+}
+
+std::size_t TleCatalog::add_from_file(const std::string& path,
+                                      const IngestOptions& options) {
+  IngestOptions located = options;
+  if (located.source.empty()) located.source = path;
+  return add_from_text(io::read_file(path), located);
 }
 
 std::vector<int> TleCatalog::satellites() const {

@@ -10,9 +10,23 @@
 #include <string>
 #include <vector>
 
+#include "diag/diag.hpp"
 #include "tle/tle.hpp"
 
 namespace cosmicdance::tle {
+
+/// Knobs for the text-ingestion entry points.
+struct IngestOptions {
+  /// Outcome accumulator; nullptr keeps the historical strict-throw path.
+  diag::ParseLog* log = nullptr;
+  /// Worker count for record parsing (the exec convention: 0 = all
+  /// hardware threads, 1 = serial).  Results and diagnostics are
+  /// bit-identical at any value — records are split serially, parsed in
+  /// parallel, and committed in input order.
+  int num_threads = 1;
+  /// Label for diagnostics (file path; defaults to "<text>" / the path).
+  std::string source;
+};
 
 /// A collection of TLEs keyed by NORAD catalog number.
 class TleCatalog {
@@ -29,8 +43,17 @@ class TleCatalog {
   /// ParseError on malformed lines.
   std::size_t add_from_text(const std::string& text);
 
+  /// As above with diagnostics and parallel parsing.  Under a tolerant
+  /// ParseLog malformed records are quarantined (stage "tle") and parsing
+  /// continues; under a strict (or absent) log the first malformed record
+  /// throws ParseError naming source, line and category.
+  std::size_t add_from_text(const std::string& text, const IngestOptions& options);
+
   /// Load a file via add_from_text.  Throws IoError / ParseError.
   std::size_t add_from_file(const std::string& path);
+
+  /// As above with diagnostics and parallel parsing.
+  std::size_t add_from_file(const std::string& path, const IngestOptions& options);
 
   /// Sorted catalog numbers present.
   [[nodiscard]] std::vector<int> satellites() const;

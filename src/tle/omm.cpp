@@ -27,11 +27,24 @@ std::string format_number(double value, int precision = 10) {
 double require_number(const std::map<std::string, std::string>& kv,
                       const std::string& key) {
   const auto it = kv.find(key);
-  if (it == kv.end()) throw ParseError("OMM missing mandatory key " + key);
+  if (it == kv.end()) {
+    throw ParseError("OMM missing mandatory key " + key,
+                     ErrorCategory::kStructure);
+  }
   char* end = nullptr;
   const double value = std::strtod(it->second.c_str(), &end);
-  if (end == it->second.c_str()) {
-    throw ParseError("OMM key " + key + " is not numeric: '" + it->second + "'");
+  // Accept an optional CCSDS unit suffix ("325.0254 [deg]") after the
+  // number, but nothing else: "1.5x" must not silently parse as 1.5.
+  const char* rest = end;
+  while (*rest == ' ' || *rest == '\t') ++rest;
+  if (*rest == '[') {
+    while (*rest != '\0' && *rest != ']') ++rest;
+    if (*rest == ']') ++rest;
+    while (*rest == ' ' || *rest == '\t') ++rest;
+  }
+  if (end == it->second.c_str() || *rest != '\0') {
+    throw ParseError("OMM key " + key + " is not numeric: '" + it->second + "'",
+                     ErrorCategory::kNumeric);
   }
   return value;
 }
@@ -80,7 +93,9 @@ Tle from_omm_kvn(const std::string& text) {
   Tle tle;
   tle.catalog_number = static_cast<int>(require_number(kv, "NORAD_CAT_ID"));
   const auto epoch_it = kv.find("EPOCH");
-  if (epoch_it == kv.end()) throw ParseError("OMM missing mandatory key EPOCH");
+  if (epoch_it == kv.end()) {
+    throw ParseError("OMM missing mandatory key EPOCH", ErrorCategory::kStructure);
+  }
   tle.epoch_jd = timeutil::to_julian(timeutil::parse_datetime(epoch_it->second));
   tle.mean_motion_revday = require_number(kv, "MEAN_MOTION");
   tle.eccentricity = require_number(kv, "ECCENTRICITY");
@@ -129,22 +144,44 @@ std::string catalog_to_omm_kvn(const TleCatalog& catalog) {
 }
 
 std::size_t catalog_add_from_omm_kvn(TleCatalog& catalog, const std::string& text) {
+  return catalog_add_from_omm_kvn(catalog, text, nullptr);
+}
+
+std::size_t catalog_add_from_omm_kvn(TleCatalog& catalog, const std::string& text,
+                                     diag::ParseLog* log,
+                                     const std::string& source) {
+  constexpr const char* kStage = "omm";
   std::size_t added = 0;
   std::string block;
+  std::size_t block_start_line = 0;
+  std::size_t line_number = 0;
   std::istringstream in(text);
   std::string line;
   auto flush = [&]() {
     if (block.find("NORAD_CAT_ID") != std::string::npos) {
-      if (catalog.add(from_omm_kvn(block))) ++added;
+      try {
+        if (catalog.add(from_omm_kvn(block))) ++added;
+        if (log != nullptr) log->accept(kStage);
+      } catch (const Error& error) {
+        if (log == nullptr) throw;
+        const auto* parse_error = dynamic_cast<const ParseError*>(&error);
+        const ErrorCategory category = parse_error != nullptr
+                                           ? parse_error->category()
+                                           : ErrorCategory::kRange;
+        log->reject(kStage, category, error.what(), block,
+                    diag::RecordRef{source, block_start_line});
+      }
     }
     block.clear();
   };
   while (std::getline(in, line)) {
+    ++line_number;
     if (trim(line).empty()) {
       flush();
     } else {
       // A new message header also terminates the previous block.
       if (line.rfind("CCSDS_OMM_VERS", 0) == 0) flush();
+      if (block.empty()) block_start_line = line_number;
       block += line;
       block.push_back('\n');
     }

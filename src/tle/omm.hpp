@@ -28,4 +28,12 @@ namespace cosmicdance::tle {
 [[nodiscard]] std::size_t catalog_add_from_omm_kvn(TleCatalog& catalog,
                                                    const std::string& text);
 
+/// As above with diagnostics (stage "omm"): a tolerant ParseLog quarantines
+/// malformed blocks by the line number the block starts on; a strict or
+/// absent log throws on the first malformed block.
+[[nodiscard]] std::size_t catalog_add_from_omm_kvn(TleCatalog& catalog,
+                                                   const std::string& text,
+                                                   diag::ParseLog* log,
+                                                   const std::string& source = "<text>");
+
 }  // namespace cosmicdance::tle

@@ -33,7 +33,8 @@ double parse_double_field(const std::string& line, int from, int to,
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
   if (end == text.c_str() || *end != '\0') {
-    throw ParseError(std::string("bad TLE field '") + what + "': '" + text + "'");
+    throw ParseError(std::string("bad TLE field '") + what + "': '" + text + "'",
+                     ErrorCategory::kNumeric);
   }
   return value;
 }
@@ -44,9 +45,44 @@ int parse_int_field(const std::string& line, int from, int to, const char* what)
   char* end = nullptr;
   const long value = std::strtol(text.c_str(), &end, 10);
   if (end == text.c_str() || *end != '\0') {
-    throw ParseError(std::string("bad TLE field '") + what + "': '" + text + "'");
+    throw ParseError(std::string("bad TLE field '") + what + "': '" + text + "'",
+                     ErrorCategory::kNumeric);
   }
   return static_cast<int>(value);
+}
+
+/// Parse an "assumed leading decimal point" all-digit field (the line-2
+/// eccentricity: "0123456" means 0.0123456).  Any non-digit is an error —
+/// an unchecked strtod here would silently read garbage as a truncated
+/// value or 0.0 and corrupt the eccentricity series.
+double parse_assumed_decimal_field(const std::string& line, int from, int to,
+                                   const char* what) {
+  const std::string raw = field(line, from, to);
+  const std::string text = trim(raw);
+  if (text.empty()) return 0.0;
+  // The decimal point is assumed *before the full-width field*, so padding
+  // shifts the magnitude: trimming " 006703" to "006703" would misread
+  // 0.0006703 as 0.006703.  Demand digits across the whole field.
+  if (text.size() != raw.size()) {
+    throw ParseError(std::string("bad TLE field '") + what +
+                         "' (padded assumed-decimal field): '" + raw + "'",
+                     ErrorCategory::kNumeric);
+  }
+  for (const char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      throw ParseError(std::string("bad TLE field '") + what +
+                           "' (want digits): '" + text + "'",
+                       ErrorCategory::kNumeric);
+    }
+  }
+  char* end = nullptr;
+  const std::string literal = "0." + text;
+  const double value = std::strtod(literal.c_str(), &end);
+  if (end != literal.c_str() + literal.size()) {
+    throw ParseError(std::string("bad TLE field '") + what + "': '" + text + "'",
+                     ErrorCategory::kNumeric);
+  }
+  return value;
 }
 
 /// Parse the "assumed decimal point" exponent notation, e.g. " 12345-3"
@@ -71,23 +107,34 @@ double parse_exponent_field(const std::string& line, int from, int to,
   }
   if (mantissa_digits.empty() || i >= text.size()) {
     throw ParseError(std::string("bad TLE exponent field '") + what + "': '" +
-                     raw + "'");
+                         raw + "'",
+                     ErrorCategory::kNumeric);
   }
   double exp_sign = 1.0;
   if (text[i] == '-') exp_sign = -1.0;
   else if (text[i] != '+') {
     throw ParseError(std::string("bad exponent sign in TLE field '") + what +
-                     "': '" + raw + "'");
+                         "': '" + raw + "'",
+                     ErrorCategory::kNumeric);
   }
   ++i;
   if (i >= text.size() || !std::isdigit(static_cast<unsigned char>(text[i])) ||
       i + 1 != text.size()) {
     throw ParseError(std::string("bad exponent digit in TLE field '") + what +
-                     "': '" + raw + "'");
+                         "': '" + raw + "'",
+                     ErrorCategory::kNumeric);
   }
   const int exponent = text[i] - '0';
-  const double mantissa =
-      std::strtod(("0." + mantissa_digits).c_str(), nullptr);
+  // The digits were validated above; still check that strtod consumed the
+  // whole composed literal rather than trusting it blindly.
+  char* end = nullptr;
+  const std::string mantissa_literal = "0." + mantissa_digits;
+  const double mantissa = std::strtod(mantissa_literal.c_str(), &end);
+  if (end != mantissa_literal.c_str() + mantissa_literal.size()) {
+    throw ParseError(std::string("bad TLE exponent mantissa in field '") + what +
+                         "': '" + raw + "'",
+                     ErrorCategory::kNumeric);
+  }
   return sign * mantissa * std::pow(10.0, exp_sign * exponent);
 }
 
@@ -145,18 +192,21 @@ std::string format_ndot_field(double value) {
 void check_line(const std::string& line, char expected_number) {
   if (line.size() != 69) {
     throw ParseError("TLE line must be 69 characters, got " +
-                     std::to_string(line.size()) + ": '" + line + "'");
+                         std::to_string(line.size()) + ": '" + line + "'",
+                     ErrorCategory::kSyntax);
   }
   if (line[0] != expected_number) {
     throw ParseError(std::string("TLE line must start with '") + expected_number +
-                     "': '" + line + "'");
+                         "': '" + line + "'",
+                     ErrorCategory::kSyntax);
   }
   const int expected = checksum(line.substr(0, 68));
   const char checks = line[68];
   if (!std::isdigit(static_cast<unsigned char>(checks)) ||
       checks - '0' != expected) {
     throw ParseError("TLE checksum mismatch (expected " + std::to_string(expected) +
-                     "): '" + line + "'");
+                         "): '" + line + "'",
+                     ErrorCategory::kChecksum);
   }
 }
 
@@ -208,8 +258,9 @@ Tle parse_tle(const std::string& line1, const std::string& line2) {
   const int catalog2 = parse_int_field(line2, 3, 7, "catalog number (line 2)");
   if (tle.catalog_number != catalog2) {
     throw ParseError("catalog number mismatch between TLE lines: " +
-                     std::to_string(tle.catalog_number) + " vs " +
-                     std::to_string(catalog2));
+                         std::to_string(tle.catalog_number) + " vs " +
+                         std::to_string(catalog2),
+                     ErrorCategory::kStructure);
   }
   tle.classification = line1[7];
   tle.international_designator = trim(field(line1, 10, 17));
@@ -226,10 +277,7 @@ Tle parse_tle(const std::string& line1, const std::string& line2) {
 
   tle.inclination_deg = parse_double_field(line2, 9, 16, "inclination");
   tle.raan_deg = parse_double_field(line2, 18, 25, "raan");
-  const std::string ecc_text = trim(field(line2, 27, 33));
-  tle.eccentricity = ecc_text.empty()
-                         ? 0.0
-                         : std::strtod(("0." + ecc_text).c_str(), nullptr);
+  tle.eccentricity = parse_assumed_decimal_field(line2, 27, 33, "eccentricity");
   tle.arg_perigee_deg = parse_double_field(line2, 35, 42, "argument of perigee");
   tle.mean_anomaly_deg = parse_double_field(line2, 44, 51, "mean anomaly");
   tle.mean_motion_revday = parse_double_field(line2, 53, 63, "mean motion");

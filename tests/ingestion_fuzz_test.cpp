@@ -1,0 +1,470 @@
+// Malformed-record corpus tests for the hardened ingestion layer.
+//
+// Builds valid TLE / WDC / OMM / CSV corpora, injects malformed records at
+// known positions (the "injection manifest"), and checks that:
+//   - the tolerant policy never throws, quarantines exactly the injected
+//     records (line numbers and categories match the manifest) and accepts
+//     everything else;
+//   - the strict policy throws on the first error with an actionable
+//     message (source, line, category);
+//   - parallel ingestion produces bit-identical catalogs and identical
+//     quality counters at any thread count;
+//   - a deterministic fuzz loop of random single-character corruptions
+//     never escapes the tolerant policy as an exception.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "diag/diag.hpp"
+#include "io/csv.hpp"
+#include "io/file.hpp"
+#include "spaceweather/dst_index.hpp"
+#include "spaceweather/wdc.hpp"
+#include "timeutil/datetime.hpp"
+#include "tle/catalog.hpp"
+#include "tle/omm.hpp"
+#include "tle/tle.hpp"
+
+namespace cosmicdance {
+namespace {
+
+using diag::ErrorCategory;
+using diag::ParseLog;
+using diag::ParsePolicy;
+
+// ---- corpus builders --------------------------------------------------------
+
+tle::Tle make_tle(int catalog_number, double epoch_offset_days) {
+  tle::Tle record;
+  record.catalog_number = catalog_number;
+  record.international_designator = "20001A";
+  record.epoch_jd =
+      timeutil::to_julian(timeutil::make_datetime(2022, 3, 1)) + epoch_offset_days;
+  record.bstar = 1.4e-4;
+  record.inclination_deg = 53.05;
+  record.raan_deg = 120.5;
+  record.eccentricity = 0.0002;
+  record.arg_perigee_deg = 90.0;
+  record.mean_anomaly_deg = 45.0;
+  record.mean_motion_revday = 15.05;
+  record.element_set_number = 999;
+  record.rev_number = 12345;
+  return record;
+}
+
+std::vector<std::string> valid_tle_lines(int satellites) {
+  std::vector<std::string> lines;
+  for (int i = 0; i < satellites; ++i) {
+    const tle::TleLines formatted =
+        tle::format_tle(make_tle(10001 + i, 0.5 * i));
+    lines.push_back(formatted.line1);
+    lines.push_back(formatted.line2);
+  }
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string text;
+  for (const std::string& line : lines) {
+    text += line;
+    text.push_back('\n');
+  }
+  return text;
+}
+
+/// Re-stamp a TLE line's checksum after a field edit, so the corruption is
+/// caught by the field parser rather than masked by the checksum gate.
+std::string restamp(std::string line) {
+  line[68] = static_cast<char>('0' + tle::checksum(line.substr(0, 68)));
+  return line;
+}
+
+/// A five-day Dst ramp, rendered as WDC text lines.
+std::vector<std::string> valid_wdc_lines() {
+  std::vector<double> values;
+  for (int h = 0; h < 5 * 24; ++h) values.push_back(-10.0 - 0.5 * h);
+  const spaceweather::DstIndex dst(
+      timeutil::make_datetime(2024, 5, 1), std::move(values));
+  std::vector<std::string> lines;
+  std::istringstream in(spaceweather::to_wdc(dst));
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::size_t category_count(const diag::StageCounters& counters,
+                           ErrorCategory category) {
+  return counters.quarantined[static_cast<std::size_t>(category)];
+}
+
+// ---- TLE corpus -------------------------------------------------------------
+
+struct Injection {
+  std::size_t line = 0;  // 1-based line number in the corpus
+  ErrorCategory category = ErrorCategory::kSyntax;
+};
+
+/// 8 valid records with 4 malformed ones injected; returns the corpus text
+/// and fills the manifest.
+std::string tle_corpus_with_injections(std::vector<Injection>& manifest) {
+  std::vector<std::string> lines = valid_tle_lines(8);
+
+  // Injection 1: flipped checksum digit on record 2's line 1 (line 3).
+  lines[2][68] = lines[2][68] == '0' ? '1' : '0';
+  manifest.push_back({3, ErrorCategory::kChecksum});
+
+  // Injection 2: non-digit B* mantissa on record 4's line 1 (line 7),
+  // checksum re-stamped so the field parser sees it.  Columns 54-61.
+  lines[6].replace(53, 8, " 12a45-3");
+  lines[6] = restamp(lines[6]);
+  manifest.push_back({7, ErrorCategory::kNumeric});
+
+  // Injection 3: letters in record 6's eccentricity field (line 2,
+  // columns 27-33), checksum re-stamped.  Quarantine records cite the
+  // record's line 1, which is file line 11.
+  lines[11].replace(26, 7, "00x6703");
+  lines[11] = restamp(lines[11]);
+  manifest.push_back({11, ErrorCategory::kNumeric});
+
+  // Injection 4: an orphan line 2 appended at the end (line 17).
+  lines.push_back(lines[1]);
+  manifest.push_back({17, ErrorCategory::kStructure});
+
+  std::sort(manifest.begin(), manifest.end(),
+            [](const Injection& a, const Injection& b) { return a.line < b.line; });
+  return join_lines(lines);
+}
+
+TEST(IngestionFuzzTle, TolerantQuarantinesExactlyTheInjectedRecords) {
+  std::vector<Injection> manifest;
+  const std::string text = tle_corpus_with_injections(manifest);
+
+  ParseLog log(ParsePolicy::kTolerant);
+  tle::TleCatalog catalog;
+  const std::size_t added =
+      catalog.add_from_text(text, tle::IngestOptions{&log, 1, "corpus.tle"});
+
+  // 8 records minus 3 malformed two-line records; the orphan line 2 never
+  // formed a record.
+  EXPECT_EQ(added, 5u);
+  EXPECT_EQ(log.stages().at("tle").accepted, 5u);
+  ASSERT_EQ(log.quarantined_count(), manifest.size());
+  for (std::size_t i = 0; i < manifest.size(); ++i) {
+    EXPECT_EQ(log.quarantined()[i].line, manifest[i].line) << "record " << i;
+    EXPECT_EQ(log.quarantined()[i].category, manifest[i].category)
+        << "record " << i;
+    EXPECT_EQ(log.quarantined()[i].source, "corpus.tle");
+  }
+}
+
+TEST(IngestionFuzzTle, StrictThrowsOnFirstInjectedRecordWithLocation) {
+  std::vector<Injection> manifest;
+  const std::string text = tle_corpus_with_injections(manifest);
+
+  ParseLog log(ParsePolicy::kStrict);
+  tle::TleCatalog catalog;
+  try {
+    catalog.add_from_text(text, tle::IngestOptions{&log, 1, "corpus.tle"});
+    FAIL() << "strict ingestion must throw on the corpus";
+  } catch (const ParseError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("corpus.tle:" + std::to_string(manifest.front().line)),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find(diag::to_string(manifest.front().category)),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(IngestionFuzzTle, ParallelIngestionIsBitIdenticalAndCountsMatch) {
+  std::vector<Injection> manifest;
+  std::vector<std::string> lines = valid_tle_lines(120);
+  // Sprinkle corruption through the large corpus.
+  for (std::size_t record = 5; record < 120; record += 17) {
+    std::string& line1 = lines[record * 2];
+    line1[68] = line1[68] == '0' ? '1' : '0';
+  }
+  const std::string text = join_lines(lines);
+
+  std::string serial_text;
+  diag::DataQualityReport serial_report;
+  for (const int threads : {1, 2, 4, 0}) {
+    ParseLog log(ParsePolicy::kTolerant);
+    tle::TleCatalog catalog;
+    catalog.add_from_text(text, tle::IngestOptions{&log, threads, "big.tle"});
+    const diag::DataQualityReport report = log.report();
+    if (threads == 1) {
+      serial_text = catalog.to_text();
+      serial_report = report;
+      continue;
+    }
+    EXPECT_EQ(catalog.to_text(), serial_text) << "threads=" << threads;
+    EXPECT_TRUE(report.stages.at("tle") == serial_report.stages.at("tle"))
+        << "threads=" << threads;
+    ASSERT_EQ(report.quarantined.size(), serial_report.quarantined.size());
+    for (std::size_t i = 0; i < report.quarantined.size(); ++i) {
+      EXPECT_EQ(report.quarantined[i].line, serial_report.quarantined[i].line);
+      EXPECT_EQ(report.quarantined[i].message,
+                serial_report.quarantined[i].message);
+    }
+  }
+}
+
+TEST(IngestionFuzzTle, RandomSingleCharacterCorruptionNeverEscapesTolerant) {
+  const std::vector<std::string> pristine = valid_tle_lines(6);
+  Rng rng(20240506);
+  for (int iteration = 0; iteration < 400; ++iteration) {
+    std::vector<std::string> lines = pristine;
+    // 1-3 corruptions: replace a character, truncate a line, or drop one.
+    const int corruptions = static_cast<int>(rng.uniform_int(1, 3));
+    for (int c = 0; c < corruptions; ++c) {
+      auto& line = lines[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(lines.size()) - 1))];
+      switch (rng.uniform_int(0, 2)) {
+        case 0: {
+          if (line.empty()) break;
+          const auto pos = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(line.size()) - 1));
+          line[pos] = static_cast<char>(rng.uniform_int(32, 126));
+          break;
+        }
+        case 1:
+          line = line.substr(
+              0, static_cast<std::size_t>(
+                     rng.uniform_int(0, static_cast<std::int64_t>(line.size()))));
+          break;
+        default:
+          line.clear();
+          break;
+      }
+    }
+    ParseLog log(ParsePolicy::kTolerant);
+    tle::TleCatalog catalog;
+    EXPECT_NO_THROW(catalog.add_from_text(join_lines(lines),
+                                          tle::IngestOptions{&log, 1, "fuzz"}))
+        << "iteration " << iteration;
+    // Conservation: at most one accept/quarantine event per input line.
+    const auto it = log.stages().find("tle");
+    if (it != log.stages().end()) {
+      EXPECT_LE(it->second.accepted + it->second.quarantined_total(), 12u);
+    }
+  }
+}
+
+// ---- WDC corpus -------------------------------------------------------------
+
+TEST(IngestionFuzzWdc, TolerantQuarantinesBadDaysAndInterpolatesTheHole) {
+  std::vector<std::string> lines = valid_wdc_lines();
+  ASSERT_EQ(lines.size(), 5u);
+  // Remember the clean parse for comparison.
+  const spaceweather::DstIndex clean =
+      spaceweather::from_wdc(join_lines(lines));
+  ASSERT_EQ(clean.size(), 120u);
+
+  // Injection: day 3's month becomes 13 (cols 6-7) -> range error.
+  lines[2].replace(5, 2, "13");
+  // Injection: day 5 truncated -> syntax error (trailing day so no gap).
+  lines[4] = lines[4].substr(0, 60);
+
+  ParseLog log(ParsePolicy::kTolerant);
+  const spaceweather::DstIndex parsed =
+      spaceweather::from_wdc(join_lines(lines), &log, "dst.wdc");
+
+  const auto& counters = log.stages().at("wdc");
+  EXPECT_EQ(counters.accepted, 3u);
+  EXPECT_EQ(counters.quarantined_total(), 2u);
+  EXPECT_EQ(category_count(counters, ErrorCategory::kRange), 1u);
+  EXPECT_EQ(category_count(counters, ErrorCategory::kSyntax), 1u);
+  ASSERT_EQ(log.quarantined_count(), 2u);
+  EXPECT_EQ(log.quarantined()[0].line, 3u);
+  EXPECT_EQ(log.quarantined()[1].line, 5u);
+
+  // Day 3's 24-hour hole was linearly interpolated; day 5 trimmed off the
+  // end.  The series is contiguous and matches the clean values exactly on
+  // this linear ramp.
+  EXPECT_EQ(counters.repaired, 24u);
+  ASSERT_EQ(parsed.size(), 96u);
+  EXPECT_EQ(parsed.start_hour(), clean.start_hour());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_NEAR(parsed.values()[i], clean.values()[i], 0.75) << "hour " << i;
+  }
+}
+
+TEST(IngestionFuzzWdc, StrictStillThrowsOnGapAndOnBadRecord) {
+  std::vector<std::string> lines = valid_wdc_lines();
+  lines[2].replace(5, 2, "13");
+  ParseLog log(ParsePolicy::kStrict);
+  EXPECT_THROW(
+      { auto dst = spaceweather::from_wdc(join_lines(lines), &log, "dst.wdc"); },
+      ParseError);
+
+  // A pure gap (a deleted day) is a structure error under strict.
+  std::vector<std::string> gappy = valid_wdc_lines();
+  gappy.erase(gappy.begin() + 2);
+  EXPECT_THROW({ auto dst = spaceweather::from_wdc(join_lines(gappy)); },
+               ParseError);
+}
+
+TEST(IngestionFuzzWdc, TolerantQuarantinesOutOfOrderDays) {
+  std::vector<std::string> lines = valid_wdc_lines();
+  std::swap(lines[1], lines[2]);
+  ParseLog log(ParsePolicy::kTolerant);
+  const spaceweather::DstIndex parsed =
+      spaceweather::from_wdc(join_lines(lines), &log, "dst.wdc");
+  // Day 2 arrives after day 3 and is dropped whole; its hole is repaired.
+  EXPECT_EQ(category_count(log.stages().at("wdc"), ErrorCategory::kStructure),
+            1u);
+  EXPECT_EQ(log.stages().at("wdc").repaired, 24u);
+  EXPECT_EQ(parsed.size(), 120u);
+}
+
+// ---- OMM corpus -------------------------------------------------------------
+
+TEST(IngestionFuzzOmm, TolerantQuarantinesBadBlocks) {
+  tle::TleCatalog source;
+  source.add(make_tle(31001, 0.0));
+  source.add(make_tle(31002, 0.0));
+  source.add(make_tle(31003, 0.0));
+  std::string text = tle::catalog_to_omm_kvn(source);
+  // Corrupt the middle block's MEAN_MOTION value.
+  const std::size_t pos = text.find("MEAN_MOTION =", text.find("MEAN_MOTION =") + 1);
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t eol = text.find('\n', pos);
+  text.replace(pos, eol - pos, "MEAN_MOTION = fifteen");
+
+  ParseLog log(ParsePolicy::kTolerant);
+  tle::TleCatalog parsed;
+  const std::size_t added = tle::catalog_add_from_omm_kvn(parsed, text, &log, "c.omm");
+  EXPECT_EQ(added, 2u);
+  EXPECT_EQ(log.stages().at("omm").accepted, 2u);
+  ASSERT_EQ(log.quarantined_count(), 1u);
+  EXPECT_EQ(log.quarantined()[0].category, ErrorCategory::kNumeric);
+
+  // Strict: same corpus throws.
+  ParseLog strict(ParsePolicy::kStrict);
+  tle::TleCatalog rejected;
+  EXPECT_THROW(
+      { tle::catalog_add_from_omm_kvn(rejected, text, &strict, "c.omm"); },
+      ParseError);
+}
+
+// ---- CSV corpus -------------------------------------------------------------
+
+TEST(IngestionFuzzCsv, TolerantQuarantinesMalformedRows) {
+  const std::string text =
+      "a,b,c\n"
+      "1,2,3\n"
+      "\"ab\"cd,broken\n"     // text after closing quote (line 3)
+      "4,5,6\n"
+      "x\"y,oops\n"           // quote inside bare field (line 5)
+      "7,8,9\n";
+  std::istringstream in(text);
+  ParseLog log(ParsePolicy::kTolerant);
+  const auto rows = io::read_csv(in, &log, "table.csv");
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[1], (io::CsvRow{"1", "2", "3"}));
+  const auto& counters = log.stages().at("csv");
+  EXPECT_EQ(counters.accepted, 4u);
+  EXPECT_EQ(counters.quarantined_total(), 2u);
+  ASSERT_EQ(log.quarantined_count(), 2u);
+  EXPECT_EQ(log.quarantined()[0].line, 3u);
+  EXPECT_EQ(log.quarantined()[1].line, 5u);
+}
+
+TEST(IngestionFuzzCsv, TolerantQuarantinesUnterminatedQuoteAtEof) {
+  std::istringstream in("ok,row\n\"never closed,\n");
+  ParseLog log(ParsePolicy::kTolerant);
+  const auto rows = io::read_csv(in, &log, "table.csv");
+  EXPECT_EQ(rows.size(), 1u);
+  ASSERT_EQ(log.quarantined_count(), 1u);
+  EXPECT_EQ(log.quarantined()[0].category, ErrorCategory::kStructure);
+  EXPECT_EQ(log.quarantined()[0].line, 2u);
+}
+
+// ---- whole-pipeline ingestion ----------------------------------------------
+
+class IngestionFiles : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cd_ingest_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IngestionFiles, TolerantPipelineRunCompletesAndReportsIdenticallyAcrossThreads) {
+  // Dst: 5 clean days plus one corrupted record.
+  std::vector<std::string> wdc = valid_wdc_lines();
+  wdc[1].replace(5, 2, "13");
+  io::write_file(path("dst.wdc"), join_lines(wdc));
+
+  // TLEs: 30 records, one checksum-corrupted.
+  std::vector<std::string> tles = valid_tle_lines(30);
+  tles[8][68] = tles[8][68] == '0' ? '1' : '0';
+  io::write_file(path("catalog.tle"), join_lines(tles));
+
+  diag::DataQualityReport first_report;
+  std::size_t first_tracks = 0;
+  for (const int threads : {1, 0}) {
+    core::PipelineConfig config;
+    config.num_threads = threads;
+    config.parse_policy = ParsePolicy::kTolerant;
+    const core::CosmicDance pipeline = core::CosmicDance::from_files(
+        path("dst.wdc"), path("catalog.tle"), config);
+
+    const diag::DataQualityReport& report = pipeline.quality_report();
+    EXPECT_EQ(report.total_quarantined(), 2u);
+    EXPECT_EQ(report.stages.at("wdc").repaired, 24u);
+    EXPECT_EQ(report.stages.at("tle").accepted, 29u);
+    if (threads == 1) {
+      first_report = report;
+      first_tracks = pipeline.tracks().size();
+      continue;
+    }
+    EXPECT_EQ(pipeline.tracks().size(), first_tracks);
+    EXPECT_TRUE(report.stages.at("tle") == first_report.stages.at("tle"));
+    EXPECT_TRUE(report.stages.at("wdc") == first_report.stages.at("wdc"));
+    ASSERT_EQ(report.quarantined.size(), first_report.quarantined.size());
+    for (std::size_t i = 0; i < report.quarantined.size(); ++i) {
+      EXPECT_EQ(report.quarantined[i].line, first_report.quarantined[i].line);
+      EXPECT_EQ(report.quarantined[i].source, first_report.quarantined[i].source);
+    }
+  }
+}
+
+TEST_F(IngestionFiles, StrictPipelineRunThrowsWithFileAndLine) {
+  std::vector<std::string> wdc = valid_wdc_lines();
+  io::write_file(path("dst.wdc"), join_lines(wdc));
+  std::vector<std::string> tles = valid_tle_lines(3);
+  tles[2][68] = tles[2][68] == '0' ? '1' : '0';
+  io::write_file(path("catalog.tle"), join_lines(tles));
+
+  core::PipelineConfig config;
+  config.parse_policy = ParsePolicy::kStrict;
+  try {
+    const auto pipeline = core::CosmicDance::from_files(
+        path("dst.wdc"), path("catalog.tle"), config);
+    FAIL() << "strict pipeline must throw on the corrupted catalog";
+  } catch (const ParseError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("catalog.tle:3"), std::string::npos) << what;
+    EXPECT_NE(what.find("checksum"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace cosmicdance

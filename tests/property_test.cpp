@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "orbit/elements.hpp"
@@ -315,6 +317,55 @@ TEST(UnitsPropertyTest, WrapsAreIdempotentAndInRange) {
     EXPECT_NEAR(std::remainder(two_pi - angle, units::kTwoPi), 0.0, 1e-9);
     EXPECT_NEAR(std::remainder(pi - angle, units::kTwoPi), 0.0, 1e-9);
   }
+}
+
+// ----------------------- calendar <-> Julian round trip ----------------------
+
+TEST(JulianPropertyTest, HourlyGridRoundTrips1900To2100) {
+  // Walk two centuries hour by hour (~1.76M samples) purely through the
+  // Julian representation; every sample must come back to the same calendar
+  // instant.  The grid crosses every month boundary, every year boundary and
+  // the century leap-year exceptions (1900 is not a leap year, 2000 is).
+  const double start_jd = timeutil::to_julian(timeutil::make_datetime(1900, 1, 1));
+  const double end_jd = timeutil::to_julian(timeutil::make_datetime(2100, 1, 1));
+  const long hours = std::lround((end_jd - start_jd) * 24.0);
+  ASSERT_EQ(hours, 1753176);  // 200 years incl. 49 leap days, in hours
+
+  timeutil::DateTime expected = timeutil::make_datetime(1900, 1, 1);
+  long mismatches = 0;
+  for (long h = 0; h <= hours; ++h) {
+    const double jd = start_jd + static_cast<double>(h) / 24.0;
+    const timeutil::DateTime round = timeutil::from_julian(timeutil::to_julian(expected));
+    const timeutil::DateTime from_grid = timeutil::from_julian(jd);
+    // Both the exact-value round trip and the grid arithmetic must land on
+    // the same calendar hour (seconds may carry sub-microsecond noise).
+    if (round.year != expected.year || round.month != expected.month ||
+        round.day != expected.day || round.hour != expected.hour ||
+        round.minute != expected.minute ||
+        std::fabs(round.second - expected.second) > 1e-4 ||
+        from_grid.year != expected.year || from_grid.month != expected.month ||
+        from_grid.day != expected.day || from_grid.hour != expected.hour) {
+      if (++mismatches <= 5) {
+        ADD_FAILURE() << "hour " << h << ": expected "
+                      << expected.to_string() << " got " << round.to_string()
+                      << " / " << from_grid.to_string();
+      }
+    }
+    expected = timeutil::add_hours(expected, 1.0);
+  }
+  EXPECT_EQ(mismatches, 0);
+
+  // Spot-check the leap boundaries the paper's epochs straddle.
+  for (const auto& [y, m, d] : {std::tuple{1900, 2, 28}, {1900, 3, 1},
+                                {2000, 2, 29}, {2024, 2, 29}, {2099, 12, 31}}) {
+    const timeutil::DateTime dt = timeutil::make_datetime(y, m, d, 23, 0);
+    const timeutil::DateTime back = timeutil::from_julian(timeutil::to_julian(dt));
+    EXPECT_EQ(back.year, y);
+    EXPECT_EQ(back.month, m);
+    EXPECT_EQ(back.day, d);
+    EXPECT_EQ(back.hour, 23);
+  }
+  EXPECT_THROW(timeutil::make_datetime(1900, 2, 29), ValidationError);
 }
 
 }  // namespace

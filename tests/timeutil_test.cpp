@@ -127,6 +127,19 @@ TEST(DateTimeTest, ParseRejectsGarbage) {
   EXPECT_THROW(parse_datetime("2024-05-10Z12:00:00"), ParseError);
 }
 
+TEST(DateTimeTest, ParseRejectsTrailingGarbageAfterTimeOfDay) {
+  // sscanf stops at the first unconvertible character, so these used to
+  // parse silently with the junk ignored.
+  EXPECT_THROW(parse_datetime("2024-05-10T12:00:00junk"), ParseError);
+  EXPECT_THROW(parse_datetime("2024-05-10T12:00:00.5abc"), ParseError);
+  EXPECT_THROW(parse_datetime("2024-05-10T12:00x"), ParseError);
+  EXPECT_THROW(parse_datetime("2024-05-10T12:00:"), ParseError);
+  EXPECT_THROW(parse_datetime("2024-05-10 17:05 UTC"), ParseError);
+  // The well-formed variants still parse.
+  EXPECT_EQ(parse_datetime("2024-05-10T12:00").minute, 0);
+  EXPECT_NEAR(parse_datetime("2024-05-10T12:00:00.5").second, 0.5, 1e-12);
+}
+
 TEST(DateTimeTest, ToStringIso) {
   EXPECT_EQ(make_datetime(2024, 5, 10, 17, 4, 3.5).to_string(),
             "2024-05-10T17:04:03.500");

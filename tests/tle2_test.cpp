@@ -49,6 +49,61 @@ std::string as_text(const Tle& tle) {
   return lines.line1 + "\n" + lines.line2 + "\n";
 }
 
+/// Re-stamp a line's checksum after a deliberate field mutation so the
+/// corruption reaches the field parser instead of tripping the checksum.
+std::string restamp(std::string line) {
+  line[68] = static_cast<char>('0' + checksum(line.substr(0, 68)));
+  return line;
+}
+
+// ---- field-level numeric validation ---------------------------------------
+
+TEST(TleFieldValidation, NonDigitEccentricityRejectedEvenWithValidChecksum) {
+  // Eccentricity is an assumed-decimal digit field (line 2, cols 27-33); a
+  // stray letter must be a parse error, never strtod'ing to a prefix value.
+  std::string line2 = kIssLine2;
+  line2.replace(26, 7, "00a6703");
+  line2 = restamp(line2);
+  try {
+    const Tle parsed = parse_tle(kIssLine1, line2);
+    FAIL() << "letter inside eccentricity parsed as " << parsed.eccentricity;
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.category(), ErrorCategory::kNumeric);
+  }
+}
+
+TEST(TleFieldValidation, SpacePaddedEccentricityRejected) {
+  std::string line2 = kIssLine2;
+  line2.replace(26, 7, " 006703");
+  line2 = restamp(line2);
+  EXPECT_THROW(parse_tle(kIssLine1, line2), ParseError);
+}
+
+TEST(TleFieldValidation, NonDigitBstarMantissaRejectedEvenWithValidChecksum) {
+  // B* is an exponent field (line 1, cols 54-61): " 12a45-3" must not
+  // strtod to 12e-3 with the tail ignored.
+  std::string line1 = kIssLine1;
+  line1.replace(53, 8, " 12a45-3");
+  line1 = restamp(line1);
+  try {
+    const Tle parsed = parse_tle(line1, kIssLine2);
+    FAIL() << "letter inside B* mantissa parsed as " << parsed.bstar;
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.category(), ErrorCategory::kNumeric);
+  }
+}
+
+TEST(TleFieldValidation, ChecksumErrorsCarryTheChecksumCategory) {
+  std::string line1 = kIssLine1;
+  line1[68] = line1[68] == '0' ? '1' : '0';
+  try {
+    const Tle parsed = parse_tle(line1, kIssLine2);
+    FAIL() << "corrupted checksum accepted for " << parsed.catalog_number;
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.category(), ErrorCategory::kChecksum);
+  }
+}
+
 // ---- truncated input ------------------------------------------------------
 
 TEST(TleCatalogEdge, TruncatedLine1IsNotSilentlyAccepted) {

@@ -13,6 +13,7 @@
 
 #include "common/error.hpp"
 #include "core/export.hpp"
+#include "diag/diag.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "tle/omm.hpp"
@@ -42,7 +43,12 @@ int usage() {
       "  report    --dst F --tles F [--markdown F] [--threads N]\n"
       "\n"
       "--threads N: pipeline worker count (0 = all hardware threads,\n"
-      "             1 = serial; results are identical either way)\n";
+      "             1 = serial; results are identical either way)\n"
+      "--parse-policy strict|tolerant (storms/convert/analyze/report):\n"
+      "             strict (default) aborts on the first malformed record;\n"
+      "             tolerant quarantines it, keeps going, and reports\n"
+      "--quality-report F: write the ingestion data-quality report\n"
+      "             (.json = full report, otherwise quarantine CSV)\n";
   return 2;
 }
 
@@ -52,6 +58,30 @@ std::string require(const io::ArgParser& args, const std::string& name) {
     throw ParseError("missing required option --" + name);
   }
   return *value;
+}
+
+diag::ParsePolicy parse_policy(const io::ArgParser& args) {
+  return diag::parse_policy_from_string(
+      args.option_or("parse-policy", "strict"));
+}
+
+/// Honour --quality-report and print a summary whenever ingestion had
+/// anything to say (always under the tolerant policy, so a clean run is
+/// visibly clean).
+void emit_quality_report(const io::ArgParser& args,
+                         const diag::DataQualityReport& report) {
+  if (const auto path = args.option("quality-report")) {
+    if (path->size() >= 5 && path->compare(path->size() - 5, 5, ".json") == 0) {
+      io::write_file(*path, report.to_json());
+    } else {
+      io::write_csv_file(*path, report.quarantine_rows());
+    }
+    std::cout << "wrote quality report to " << *path << "\n";
+  }
+  if (report.policy == diag::ParsePolicy::kTolerant ||
+      report.total_quarantined() > 0 || report.total_repaired() > 0) {
+    report.print(std::cout);
+  }
 }
 
 int cmd_gen_dst(const io::ArgParser& args) {
@@ -116,8 +146,10 @@ int cmd_simulate(const io::ArgParser& args) {
 }
 
 int cmd_storms(const io::ArgParser& args) {
-  args.check_known({"dst", "threshold", "csv"});
-  const auto dst = spaceweather::read_wdc_file(require(args, "dst"));
+  args.check_known({"dst", "threshold", "csv", "parse-policy", "quality-report"});
+  diag::ParseLog log(parse_policy(args));
+  const auto dst = spaceweather::read_wdc_file(require(args, "dst"), &log);
+  emit_quality_report(args, log.report());
   spaceweather::StormDetectorConfig detector_config;
   detector_config.threshold_nt = args.number_or("threshold", -50.0);
   const auto storms =
@@ -142,12 +174,16 @@ int cmd_storms(const io::ArgParser& args) {
 core::CosmicDance load_pipeline(const io::ArgParser& args) {
   core::PipelineConfig config;
   config.num_threads = static_cast<int>(args.integer_or("threads", 0));
-  return core::CosmicDance::from_files(require(args, "dst"),
-                                       require(args, "tles"), config);
+  config.parse_policy = parse_policy(args);
+  core::CosmicDance pipeline = core::CosmicDance::from_files(
+      require(args, "dst"), require(args, "tles"), config);
+  emit_quality_report(args, pipeline.quality_report());
+  return pipeline;
 }
 
 int cmd_analyze(const io::ArgParser& args) {
-  args.check_known({"dst", "tles", "out-dir", "threads"});
+  args.check_known(
+      {"dst", "tles", "out-dir", "threads", "parse-policy", "quality-report"});
   const std::string out_dir = require(args, "out-dir");
   std::filesystem::create_directories(out_dir);
   const core::CosmicDance pipeline = load_pipeline(args);
@@ -194,10 +230,13 @@ int cmd_analyze(const io::ArgParser& args) {
 }
 
 int cmd_convert(const io::ArgParser& args) {
-  args.check_known({"tles", "to-omm", "omm", "to-tles"});
+  args.check_known(
+      {"tles", "to-omm", "omm", "to-tles", "parse-policy", "quality-report"});
+  diag::ParseLog log(parse_policy(args));
   if (const auto out = args.option("to-omm")) {
     tle::TleCatalog catalog;
-    catalog.add_from_file(require(args, "tles"));
+    catalog.add_from_file(require(args, "tles"), tle::IngestOptions{&log, 0, {}});
+    emit_quality_report(args, log.report());
     io::write_file(*out, tle::catalog_to_omm_kvn(catalog));
     std::cout << "wrote " << catalog.record_count() << " OMM messages to "
               << *out << "\n";
@@ -205,7 +244,10 @@ int cmd_convert(const io::ArgParser& args) {
   }
   if (const auto out = args.option("to-tles")) {
     tle::TleCatalog catalog;
-    tle::catalog_add_from_omm_kvn(catalog, io::read_file(require(args, "omm")));
+    const std::string omm_path = require(args, "omm");
+    tle::catalog_add_from_omm_kvn(catalog, io::read_file(omm_path), &log,
+                                  omm_path);
+    emit_quality_report(args, log.report());
     io::write_file(*out, catalog.to_text());
     std::cout << "wrote " << catalog.record_count() << " TLEs to " << *out
               << "\n";
@@ -215,7 +257,8 @@ int cmd_convert(const io::ArgParser& args) {
 }
 
 int cmd_report(const io::ArgParser& args) {
-  args.check_known({"dst", "tles", "markdown", "threads"});
+  args.check_known(
+      {"dst", "tles", "markdown", "threads", "parse-policy", "quality-report"});
   const core::CosmicDance pipeline = load_pipeline(args);
   if (const auto out = args.option("markdown")) {
     core::write_markdown_report(pipeline, *out);

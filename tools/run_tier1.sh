@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: build + full ctest twice —
+# Tier-1 CI gate: build + full ctest three times —
 #   1. plain RelWithDebInfo over the whole suite,
 #   2. ThreadSanitizer (COSMICDANCE_SANITIZE=thread) over the parallel exec
 #      suite, which must be race-free for the deterministic-ordering
-#      contract to mean anything.
+#      contract to mean anything,
+#   3. ASan+UBSan (COSMICDANCE_SANITIZE=address) over the ingestion suites,
+#      driving the malformed-record corpus through both parse policies so
+#      buffer overreads in the fixed-column parsers surface here.
 #
 # Usage: tools/run_tier1.sh [jobs]
 set -euo pipefail
@@ -22,5 +25,15 @@ cmake --build build-tsan -j "$JOBS" --target parallel_differential_test
 # TSan halts with a non-zero exit on any race; no suppressions are used.
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
       -R 'ParallelDifferential|ParallelForStress|ThreadPoolTest'
+
+echo "== pass 3: ASan+UBSan build + malformed-record ingestion suite =="
+cmake -B build-asan -S . -DCOSMICDANCE_SANITIZE=address
+cmake --build build-asan -j "$JOBS" \
+      --target ingestion_fuzz_test diag_test io_test tle_test tle2_test \
+               timeutil_test spaceweather_test
+# The fuzz suite feeds truncated / corrupted fixed-column records through
+# every ingestion path; ASan+UBSan turns any column overread into a failure.
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+      -R 'IngestionFuzz|Diag|ParseLog|DataQualityReport|Csv|Tle|DateTime|Wdc'
 
 echo "== tier-1 gate: OK =="

@@ -9,10 +9,13 @@
 
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <string>
 
 #include "core/pipeline.hpp"
 #include "io/args.hpp"
+#include "io/file.hpp"
+#include "obs/obs.hpp"
 #include "simulation/scenario.hpp"
 #include "spaceweather/generator.hpp"
 
@@ -59,6 +62,31 @@ inline void expect(const std::string& what, const std::string& paper,
 
 inline void note(const std::string& text) {
   std::printf("  %s\n", text.c_str());
+}
+
+/// Machine-readable bench telemetry record, shared by the micro benches:
+///   {"bench": ..., "threads": N, "dataset": ...,
+///    "throughput": {"name": rate, ...}, "metrics": <MetricsReport JSON>}
+/// `bench` / `dataset` / throughput keys are caller-controlled literals and
+/// must not need JSON escaping.
+inline void write_bench_record(const std::string& path, const std::string& bench,
+                               int threads, const std::string& dataset,
+                               const std::map<std::string, double>& throughput,
+                               const obs::Metrics& metrics) {
+  std::string json = "{\n  \"bench\": \"" + bench + "\",\n  \"threads\": " +
+                     std::to_string(threads) + ",\n  \"dataset\": \"" + dataset +
+                     "\",\n  \"throughput\": {";
+  bool first = true;
+  char buffer[64];
+  for (const auto& [name, value] : throughput) {
+    if (!first) json += ", ";
+    first = false;
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    json += "\"" + name + "\": " + buffer;
+  }
+  json += "},\n  \"metrics\": " + metrics.snapshot().to_json() + "\n}\n";
+  io::write_file(path, json);
+  std::printf("wrote bench record to %s\n", path.c_str());
 }
 
 }  // namespace cosmicdance::bench

@@ -8,18 +8,25 @@
 // every thread count (tests/parallel_differential_test.cpp asserts this
 // bit-for-bit); a checksum is printed so a drift would be visible here too.
 //
-//   ./micro_parallel [--satellites N] [--repeats R]
+// After the table, one instrumented pass at --threads 0 collects cd_obs
+// telemetry (phase wall times, work counters) and writes it with the
+// per-thread-count timings as a machine-readable bench record.
+//
+//   ./micro_parallel [--satellites N] [--repeats R] [--bench-out F]
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <thread>
 #include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "core/pipeline.hpp"
 #include "io/args.hpp"
 #include "io/table.hpp"
+#include "obs/obs.hpp"
 #include "spaceweather/generator.hpp"
 #include "timeutil/hour_axis.hpp"
 
@@ -68,9 +75,11 @@ tle::TleCatalog synthetic_catalog(const spaceweather::DstIndex& dst,
 /// work cannot be optimised away and output drift across thread counts
 /// would show.
 double run_pipeline(const spaceweather::DstIndex& dst,
-                    const tle::TleCatalog& catalog, int num_threads) {
+                    const tle::TleCatalog& catalog, int num_threads,
+                    obs::Metrics* metrics = nullptr) {
   core::PipelineConfig config;
   config.num_threads = num_threads;
+  config.metrics = metrics;
   const core::CosmicDance pipeline(dst, catalog, config);
   const double p95 = pipeline.dst_threshold_at_percentile(95.0);
   const auto samples = pipeline.altitude_changes_for_storms(p95);
@@ -108,6 +117,7 @@ int main(int argc, char** argv) {
   run_pipeline(dst, catalog, 0);  // warm-up (page cache, shared pool spawn)
 
   io::TablePrinter table({"threads", "best_ms", "speedup", "checksum"});
+  std::map<std::string, double> throughput;
   double serial_ms = 0.0;
   for (const int threads : {1, 2, 4, 8}) {
     double best_ms = 1e300;
@@ -121,6 +131,8 @@ int main(int argc, char** argv) {
           std::chrono::duration<double, std::milli>(t1 - t0).count());
     }
     if (threads == 1) serial_ms = best_ms;
+    throughput["best_ms_t" + std::to_string(threads)] = best_ms;
+    throughput["speedup_t" + std::to_string(threads)] = serial_ms / best_ms;
     table.add_row({std::to_string(threads), io::TablePrinter::num(best_ms, 1),
                    io::TablePrinter::num(serial_ms / best_ms, 2) + "x",
                    io::TablePrinter::num(checksum, 3)});
@@ -133,5 +145,15 @@ int main(int argc, char** argv) {
   } else {
     std::printf("target: >= 2x end-to-end speedup at 8 threads\n");
   }
+
+  // Instrumented telemetry pass (all hardware threads): phase wall times
+  // and work counters for the same end-to-end run, exported with the
+  // per-thread-count timings above.
+  obs::Metrics metrics;
+  run_pipeline(dst, catalog, 0, &metrics);
+  bench::write_bench_record(
+      args.option_or("bench-out", "BENCH_parallel.json"), "micro_parallel", 0,
+      "synthetic_catalog(satellites=" + std::to_string(satellites) + ")",
+      throughput, metrics);
   return 0;
 }

@@ -5,31 +5,43 @@
 #include <set>
 
 #include "exec/parallel_for.hpp"
+#include "obs/obs.hpp"
 #include "stats/descriptive.hpp"
 #include "timeutil/hour_axis.hpp"
 
 namespace cosmicdance::core {
 
 std::vector<double> all_altitudes(std::span<const SatelliteTrack> tracks,
-                                  int num_threads) {
+                                  int num_threads, obs::Metrics* metrics) {
+  const obs::ScopedPhase phase(metrics, "analysis.all_altitudes");
   auto per_track = exec::ordered_map<std::vector<double>>(
-      tracks.size(), num_threads, [&](std::size_t t) {
+      tracks.size(), num_threads,
+      [&](std::size_t t) {
         std::vector<double> altitudes;
         altitudes.reserve(tracks[t].size());
         for (const TrajectorySample& sample : tracks[t].samples()) {
           altitudes.push_back(sample.altitude_km);
         }
         return altitudes;
-      });
-  return exec::ordered_concat(std::move(per_track));
+      },
+      metrics);
+  auto altitudes = exec::ordered_concat(std::move(per_track));
+  if (metrics != nullptr) {
+    metrics->counter("analysis.altitude_samples").add(altitudes.size());
+  }
+  return altitudes;
 }
 
 std::vector<SuperstormPanelRow> superstorm_panel(
     std::span<const SatelliteTrack> tracks, const spaceweather::DstIndex& dst,
-    double start_jd, double end_jd, int num_threads) {
+    double start_jd, double end_jd, int num_threads, obs::Metrics* metrics) {
+  const obs::ScopedPhase phase(metrics, "analysis.superstorm_panel");
   const double first_day = std::floor(start_jd - 0.5) + 0.5;
   std::size_t day_count = 0;
   for (double day = first_day; day < end_jd; day += 1.0) ++day_count;
+  if (metrics != nullptr) {
+    metrics->counter("analysis.panel_days").add(day_count);
+  }
   return exec::ordered_map<SuperstormPanelRow>(day_count, num_threads, [&](
                                                    std::size_t d) {
     const double day = first_day + static_cast<double>(d);
@@ -65,7 +77,7 @@ std::vector<SuperstormPanelRow> superstorm_panel(
       row.bstar_p95 = stats::percentile(bstars, 95.0);
     }
     return row;
-  });
+  }, metrics);
 }
 
 std::vector<TrackTimeline> track_timelines(std::span<const SatelliteTrack> tracks,

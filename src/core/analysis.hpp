@@ -9,13 +9,19 @@
 #include "spaceweather/dst_index.hpp"
 #include "stats/ecdf.hpp"
 
+namespace cosmicdance::obs {
+class Metrics;
+}  // namespace cosmicdance::obs
+
 namespace cosmicdance::core {
 
 /// Fig 10: altitude samples of every TLE in a track set (raw tracks give
 /// panel (a); cleaned tracks give panel (b)).  Output order is track-major
 /// regardless of num_threads (0 = all hardware threads, 1 = serial).
+/// `metrics` (optional) records analysis.altitude_samples and phase timing.
 [[nodiscard]] std::vector<double> all_altitudes(std::span<const SatelliteTrack> tracks,
-                                                int num_threads = 1);
+                                                int num_threads = 1,
+                                                obs::Metrics* metrics = nullptr);
 
 /// Fig 7: one row per UT day across an analysis window.
 struct SuperstormPanelRow {
@@ -33,7 +39,8 @@ struct SuperstormPanelRow {
 /// computed one day per worker and returned in day order.
 [[nodiscard]] std::vector<SuperstormPanelRow> superstorm_panel(
     std::span<const SatelliteTrack> tracks, const spaceweather::DstIndex& dst,
-    double start_jd, double end_jd, int num_threads = 1);
+    double start_jd, double end_jd, int num_threads = 1,
+    obs::Metrics* metrics = nullptr);
 
 /// Fig 3: the merged per-satellite time series (Dst is plotted separately).
 struct TrackTimeline {

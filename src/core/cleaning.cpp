@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "exec/parallel_for.hpp"
+#include "obs/obs.hpp"
 #include "stats/descriptive.hpp"
 
 namespace cosmicdance::core {
@@ -61,18 +62,36 @@ bool is_pre_decayed(const SatelliteTrack& track, double event_jd,
 
 std::vector<SatelliteTrack> clean_tracks(std::vector<SatelliteTrack> tracks,
                                          const CleaningConfig& config,
-                                         int num_threads) {
-  exec::parallel_for(tracks.size(), num_threads,
-                     [&](std::size_t begin, std::size_t end) {
-                       for (std::size_t i = begin; i < end; ++i) {
-                         remove_outliers(tracks[i], config);
-                         remove_orbit_raising(tracks[i], config);
-                       }
-                     });
+                                         int num_threads, obs::Metrics* metrics) {
+  const obs::ScopedPhase phase(metrics, "clean.tracks");
+  // Relaxed atomic adds commute, so the totals are bit-identical at every
+  // thread count even though workers interleave (DESIGN.md §11).
+  obs::Counter* outliers =
+      obs::counter_or_null(metrics, "clean.outlier_samples_removed");
+  obs::Counter* raising =
+      obs::counter_or_null(metrics, "clean.raising_samples_removed");
+  exec::parallel_for(
+      tracks.size(), num_threads,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          obs::bump(outliers, remove_outliers(tracks[i], config));
+          obs::bump(raising, remove_orbit_raising(tracks[i], config));
+        }
+      },
+      metrics);
   std::vector<SatelliteTrack> cleaned;
   cleaned.reserve(tracks.size());
+  std::uint64_t dropped = 0;
   for (SatelliteTrack& track : tracks) {
-    if (!track.empty()) cleaned.push_back(std::move(track));
+    if (!track.empty()) {
+      cleaned.push_back(std::move(track));
+    } else {
+      ++dropped;
+    }
+  }
+  if (metrics != nullptr) {
+    metrics->counter("clean.tracks_kept").add(cleaned.size());
+    metrics->counter("clean.tracks_dropped").add(dropped);
   }
   return cleaned;
 }

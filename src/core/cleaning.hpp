@@ -5,6 +5,10 @@
 
 #include "core/track.hpp"
 
+namespace cosmicdance::obs {
+class Metrics;
+}  // namespace cosmicdance::obs
+
 namespace cosmicdance::core {
 
 struct CleaningConfig {
@@ -49,9 +53,10 @@ std::size_t remove_orbit_raising(SatelliteTrack& track,
 /// Apply outlier + orbit-raising cleaning to every track, dropping tracks
 /// left empty.  Tracks are cleaned independently (one worker per track when
 /// num_threads != 1) and the survivors keep their input order, so the
-/// result is identical for every thread count.
+/// result is identical for every thread count.  `metrics` (optional)
+/// records clean.* counters (samples removed, tracks kept/dropped).
 [[nodiscard]] std::vector<SatelliteTrack> clean_tracks(
     std::vector<SatelliteTrack> tracks, const CleaningConfig& config = {},
-    int num_threads = 1);
+    int num_threads = 1, obs::Metrics* metrics = nullptr);
 
 }  // namespace cosmicdance::core

@@ -9,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "exec/parallel_for.hpp"
+#include "obs/obs.hpp"
 #include "stats/descriptive.hpp"
 #include "timeutil/hour_axis.hpp"
 
@@ -16,6 +17,24 @@ namespace cosmicdance::core {
 namespace {
 
 constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// Hoisted per-scan counter handles (one registry lookup per scan, one
+/// relaxed atomic add per cell when enabled, nothing when disabled).
+struct CellCounters {
+  obs::Counter* evaluated = nullptr;
+  obs::Counter* skipped_predecayed = nullptr;
+  obs::Counter* skipped_no_pre = nullptr;
+  obs::Counter* skipped_empty_window = nullptr;
+
+  explicit CellCounters(obs::Metrics* metrics)
+      : evaluated(obs::counter_or_null(metrics, "correlator.cells")),
+        skipped_predecayed(
+            obs::counter_or_null(metrics, "correlator.cells_skipped_predecayed")),
+        skipped_no_pre(
+            obs::counter_or_null(metrics, "correlator.cells_skipped_no_pre")),
+        skipped_empty_window(obs::counter_or_null(
+            metrics, "correlator.cells_skipped_empty_window")) {}
+};
 
 }  // namespace
 
@@ -29,6 +48,7 @@ PostEventEnvelope EventCorrelator::post_event_envelope(
     std::span<const SatelliteTrack> tracks, double event_jd, int days,
     EnvelopeSelection selection) const {
   if (days <= 0) throw ValidationError("envelope window must be positive");
+  const obs::ScopedPhase phase(config_.metrics, "correlator.envelope");
   PostEventEnvelope envelope;
   envelope.event_jd = event_jd;
   envelope.days = days;
@@ -38,19 +58,36 @@ PostEventEnvelope EventCorrelator::post_event_envelope(
   // loop exactly.  Median caches are warmed first because is_pre_decayed
   // and the humped rule both read them.
   warm_median_caches(tracks, config_.num_threads);
+  const CellCounters cells(config_.metrics);
   struct TrackProfile {
     bool selected = false;
     int catalog_number = 0;
     std::vector<double> profile;
   };
   auto profiles = exec::ordered_map<TrackProfile>(
-      tracks.size(), config_.num_threads, [&](std::size_t t) {
+      tracks.size(), config_.num_threads,
+      [&](std::size_t t) {
         TrackProfile result;
         const SatelliteTrack& track = tracks[t];
-        if (is_pre_decayed(track, event_jd, config_.cleaning)) return result;
+        obs::bump(cells.evaluated);
+        if (is_pre_decayed(track, event_jd, config_.cleaning)) {
+          obs::bump(cells.skipped_predecayed);
+          return result;
+        }
         const TrajectorySample* pre = track.at_or_before(event_jd);
+        // is_pre_decayed currently rejects tracks with no pre-event sample,
+        // but that is its policy, not this scan's invariant: guard locally
+        // so a cleaning-config change can never turn this into a null
+        // dereference.
+        if (pre == nullptr) {
+          obs::bump(cells.skipped_no_pre);
+          return result;
+        }
         const auto window = track.between(event_jd, event_jd + days);
-        if (window.empty()) return result;
+        if (window.empty()) {
+          obs::bump(cells.skipped_empty_window);
+          return result;
+        }
 
         // Per-day |altitude - pre| profile.
         std::vector<double> profile(static_cast<std::size_t>(days), kNan);
@@ -95,9 +132,13 @@ PostEventEnvelope EventCorrelator::post_event_envelope(
         result.catalog_number = track.catalog_number();
         result.profile = std::move(profile);
         return result;
-      });
+      },
+      config_.metrics);
+  obs::Counter* selected =
+      obs::counter_or_null(config_.metrics, "correlator.envelope_selected");
   for (TrackProfile& result : profiles) {
     if (!result.selected) continue;
+    obs::bump(selected);
     envelope.satellites.push_back(result.catalog_number);
     envelope.per_satellite.push_back(std::move(result.profile));
   }
@@ -118,7 +159,8 @@ PostEventEnvelope EventCorrelator::post_event_envelope(
           envelope.median_km[d] = stats::median(day_values);
           envelope.p95_km[d] = stats::percentile(day_values, 95.0);
         }
-      });
+      },
+      config_.metrics);
   return envelope;
 }
 
@@ -126,7 +168,9 @@ std::vector<double> EventCorrelator::altitude_change_samples(
     std::span<const SatelliteTrack> tracks,
     std::span<const double> event_jds) const {
   if (tracks.empty() || event_jds.empty()) return {};
+  const obs::ScopedPhase phase(config_.metrics, "correlator.altitude_scan");
   warm_median_caches(tracks, config_.num_threads);
+  const CellCounters counters(config_.metrics);
   // Flatten the event-major serial loop into (event, track) cells: each
   // cell computes independently and the filtered concatenation below keeps
   // the serial push_back order.
@@ -135,20 +179,37 @@ std::vector<double> EventCorrelator::altitude_change_samples(
       [&](std::size_t i) -> std::optional<double> {
         const double event_jd = event_jds[i / tracks.size()];
         const SatelliteTrack& track = tracks[i % tracks.size()];
-        if (is_pre_decayed(track, event_jd, config_.cleaning)) return std::nullopt;
+        obs::bump(counters.evaluated);
+        if (is_pre_decayed(track, event_jd, config_.cleaning)) {
+          obs::bump(counters.skipped_predecayed);
+          return std::nullopt;
+        }
         const TrajectorySample* pre = track.at_or_before(event_jd);
+        // Guard even though is_pre_decayed rejects sample-free prefixes
+        // today; see post_event_envelope.
+        if (pre == nullptr) {
+          obs::bump(counters.skipped_no_pre);
+          return std::nullopt;
+        }
         const auto window = track.between(event_jd, event_jd + config_.window_days);
-        if (window.empty()) return std::nullopt;
+        if (window.empty()) {
+          obs::bump(counters.skipped_empty_window);
+          return std::nullopt;
+        }
         double max_deviation = 0.0;
         for (const TrajectorySample& sample : window) {
           max_deviation = std::max(
               max_deviation, std::fabs(sample.altitude_km - pre->altitude_km));
         }
         return max_deviation;
-      });
+      },
+      config_.metrics);
   std::vector<double> samples;
   for (const auto& cell : cells) {
     if (cell.has_value()) samples.push_back(*cell);
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("correlator.samples").add(samples.size());
   }
   return samples;
 }
@@ -157,27 +218,46 @@ std::vector<double> EventCorrelator::drag_change_samples(
     std::span<const SatelliteTrack> tracks,
     std::span<const double> event_jds) const {
   if (tracks.empty() || event_jds.empty()) return {};
+  const obs::ScopedPhase phase(config_.metrics, "correlator.drag_scan");
   warm_median_caches(tracks, config_.num_threads);
+  const CellCounters counters(config_.metrics);
   auto cells = exec::ordered_map<std::optional<double>>(
       event_jds.size() * tracks.size(), config_.num_threads,
       [&](std::size_t i) -> std::optional<double> {
         const double event_jd = event_jds[i / tracks.size()];
         const SatelliteTrack& track = tracks[i % tracks.size()];
-        if (is_pre_decayed(track, event_jd, config_.cleaning)) return std::nullopt;
+        obs::bump(counters.evaluated);
+        if (is_pre_decayed(track, event_jd, config_.cleaning)) {
+          obs::bump(counters.skipped_predecayed);
+          return std::nullopt;
+        }
         const TrajectorySample* pre = track.at_or_before(event_jd);
+        // Guard even though is_pre_decayed rejects sample-free prefixes
+        // today; see post_event_envelope.
+        if (pre == nullptr) {
+          obs::bump(counters.skipped_no_pre);
+          return std::nullopt;
+        }
         if (pre->bstar <= 0.0) return std::nullopt;
         const auto window = track.between(event_jd, event_jd + config_.window_days);
-        if (window.empty()) return std::nullopt;
+        if (window.empty()) {
+          obs::bump(counters.skipped_empty_window);
+          return std::nullopt;
+        }
         double max_bstar = 0.0;
         for (const TrajectorySample& sample : window) {
           max_bstar = std::max(max_bstar, sample.bstar);
         }
         if (max_bstar <= 0.0) return std::nullopt;
         return max_bstar / pre->bstar;
-      });
+      },
+      config_.metrics);
   std::vector<double> samples;
   for (const auto& cell : cells) {
     if (cell.has_value()) samples.push_back(*cell);
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("correlator.samples").add(samples.size());
   }
   return samples;
 }

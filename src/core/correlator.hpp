@@ -14,6 +14,10 @@
 #include "spaceweather/dst_index.hpp"
 #include "spaceweather/storms.hpp"
 
+namespace cosmicdance::obs {
+class Metrics;
+}  // namespace cosmicdance::obs
+
 namespace cosmicdance::core {
 
 struct CorrelatorConfig {
@@ -29,6 +33,10 @@ struct CorrelatorConfig {
   /// threads, 1 = serial).  Results are identical for every value — see the
   /// exec::parallel_for ordering contract.
   int num_threads = 1;
+  /// Observability registry for the scans (cells evaluated/skipped, phase
+  /// wall times); nullptr disables collection.  Mirrors
+  /// PipelineConfig::metrics — the pipeline copies its handle here.
+  obs::Metrics* metrics = nullptr;
 };
 
 /// Per-day post-event altitude-deviation envelope (Fig 4).

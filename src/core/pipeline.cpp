@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include "obs/obs.hpp"
 #include "spaceweather/wdc.hpp"
 
 namespace cosmicdance::core {
@@ -7,13 +8,28 @@ namespace cosmicdance::core {
 CosmicDance::CosmicDance(spaceweather::DstIndex dst, tle::TleCatalog catalog,
                          PipelineConfig config)
     : config_(config), dst_(std::move(dst)), catalog_(std::move(catalog)) {
-  // The pipeline-wide knob governs the correlator's scans too.
+  // The pipeline-wide knobs govern the correlator's scans too.
   config_.correlator.num_threads = config_.num_threads;
-  tracks_ = clean_tracks(tracks_from_catalog(catalog_, config_.num_threads),
-                         config_.correlator.cleaning, config_.num_threads);
-  // Warm the median caches while each track is still touched by exactly one
-  // worker; the correlator can then read them concurrently.
-  warm_median_caches(tracks_, config_.num_threads);
+  config_.correlator.metrics = config_.metrics;
+  std::vector<SatelliteTrack> built;
+  {
+    const obs::ScopedPhase phase(config_.metrics, "pipeline.build_tracks");
+    built = tracks_from_catalog(catalog_, config_.num_threads, config_.metrics);
+  }
+  tracks_ = clean_tracks(std::move(built), config_.correlator.cleaning,
+                         config_.num_threads, config_.metrics);
+  {
+    // Warm the median caches while each track is still touched by exactly
+    // one worker; the correlator can then read them concurrently.
+    const obs::ScopedPhase phase(config_.metrics, "pipeline.warm_median_caches");
+    warm_median_caches(tracks_, config_.num_threads);
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->set_gauge("pipeline.num_threads_requested",
+                               static_cast<double>(config_.num_threads));
+    config_.metrics->set_gauge("pipeline.tracks_cleaned",
+                               static_cast<double>(tracks_.size()));
+  }
   correlator_ = std::make_unique<EventCorrelator>(&dst_, config_.correlator);
 }
 
@@ -41,17 +57,27 @@ CosmicDance CosmicDance::from_files(const std::string& wdc_dst_path,
                                     const std::string& tle_path,
                                     PipelineConfig config) {
   diag::ParseLog log(config.parse_policy);
-  spaceweather::DstIndex dst = spaceweather::read_wdc_file(wdc_dst_path, &log);
+  spaceweather::DstIndex dst;
+  {
+    const obs::ScopedPhase phase(config.metrics, "ingest.dst");
+    dst = spaceweather::read_wdc_file(wdc_dst_path, &log);
+    if (config.metrics != nullptr) {
+      config.metrics->counter("ingest.dst_hours").add(dst.size());
+    }
+  }
   tle::TleCatalog catalog;
-  catalog.add_from_file(tle_path,
-                        tle::IngestOptions{&log, config.num_threads, {}});
+  {
+    const obs::ScopedPhase phase(config.metrics, "ingest.tle");
+    catalog.add_from_file(
+        tle_path, tle::IngestOptions{&log, config.num_threads, {}, config.metrics});
+  }
   CosmicDance pipeline(std::move(dst), std::move(catalog), config);
   pipeline.quality_report_ = log.report();
   return pipeline;
 }
 
 std::vector<SatelliteTrack> CosmicDance::raw_tracks() const {
-  return tracks_from_catalog(catalog_, config_.num_threads);
+  return tracks_from_catalog(catalog_, config_.num_threads, config_.metrics);
 }
 
 std::vector<spaceweather::StormEvent> CosmicDance::storms() const {

@@ -15,6 +15,10 @@
 #include "spaceweather/storms.hpp"
 #include "tle/catalog.hpp"
 
+namespace cosmicdance::obs {
+class Metrics;
+}  // namespace cosmicdance::obs
+
 namespace cosmicdance::core {
 
 struct PipelineConfig {
@@ -30,6 +34,14 @@ struct PipelineConfig {
   /// malformed record (historical behaviour); tolerant quarantines it,
   /// keeps going, and reports through quality_report().
   diag::ParsePolicy parse_policy = diag::ParsePolicy::kStrict;
+  /// Optional observability registry (non-owning; must outlive the
+  /// pipeline).  nullptr — the default — disables all collection: every
+  /// instrumented site reduces to one pointer test.  When set, phase wall
+  /// times, work counters and gauges accumulate into the registry; work
+  /// counters are bit-identical at every num_threads value, while
+  /// scheduling counters and timings are explicitly outside that contract
+  /// (DESIGN.md §11).
+  obs::Metrics* metrics = nullptr;
 };
 
 class CosmicDance {

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "exec/parallel_for.hpp"
+#include "obs/obs.hpp"
 #include "stats/descriptive.hpp"
 
 namespace cosmicdance::core {
@@ -101,12 +102,22 @@ void SatelliteTrack::set_samples(std::vector<TrajectorySample> samples) {
 }
 
 std::vector<SatelliteTrack> tracks_from_catalog(const tle::TleCatalog& catalog,
-                                                int num_threads) {
+                                                int num_threads,
+                                                obs::Metrics* metrics) {
   const std::vector<int> ids = catalog.satellites();
-  return exec::ordered_map<SatelliteTrack>(
-      ids.size(), num_threads, [&](std::size_t i) {
+  auto tracks = exec::ordered_map<SatelliteTrack>(
+      ids.size(), num_threads,
+      [&](std::size_t i) {
         return SatelliteTrack::from_tles(ids[i], catalog.history(ids[i]));
-      });
+      },
+      metrics);
+  if (metrics != nullptr) {
+    std::uint64_t samples = 0;
+    for (const SatelliteTrack& track : tracks) samples += track.size();
+    metrics->counter("track.built").add(tracks.size());
+    metrics->counter("track.samples").add(samples);
+  }
+  return tracks;
 }
 
 void warm_median_caches(std::span<const SatelliteTrack> tracks, int num_threads) {

@@ -11,6 +11,10 @@
 #include "stats/rolling.hpp"
 #include "tle/catalog.hpp"
 
+namespace cosmicdance::obs {
+class Metrics;
+}  // namespace cosmicdance::obs
+
 namespace cosmicdance::core {
 
 /// One TLE reduced to the quantities the analyses consume.
@@ -76,8 +80,10 @@ class SatelliteTrack {
 /// Build one track per satellite from a catalog, in catalog-number order.
 /// num_threads: 0 = all hardware threads, 1 = serial, n = n workers; the
 /// output is identical for every value (exec::parallel_for contract).
+/// `metrics` (optional) records track.built / track.samples counters.
 [[nodiscard]] std::vector<SatelliteTrack> tracks_from_catalog(
-    const tle::TleCatalog& catalog, int num_threads = 1);
+    const tle::TleCatalog& catalog, int num_threads = 1,
+    obs::Metrics* metrics = nullptr);
 
 /// Populate every non-empty track's median-altitude cache, one track per
 /// worker.  Call before sharing a track set across threads: afterwards the

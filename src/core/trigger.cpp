@@ -27,13 +27,17 @@ std::optional<TriggerEvent> StormTrigger::feed(timeutil::HourIndex hour,
 
   if (!active_) {
     if (dst_nt <= config_.onset_nt) {
+      // The deepest Dst of the debounce window is the onset's peak: the
+      // firing hour is often shallower than the hours that qualified it.
+      pending_peak_ =
+          qualifying_hours_ == 0 ? dst_nt : std::min(pending_peak_, dst_nt);
       ++qualifying_hours_;
       if (qualifying_hours_ >= config_.min_active_hours) {
         active_ = true;
         qualifying_hours_ = 0;
         quiet_hours_ = 0;
-        peak_ = dst_nt;
-        return TriggerEvent{TriggerEvent::Kind::kOnset, hour, dst_nt, dst_nt};
+        peak_ = pending_peak_;
+        return TriggerEvent{TriggerEvent::Kind::kOnset, hour, dst_nt, peak_};
       }
     } else {
       qualifying_hours_ = 0;

@@ -21,7 +21,9 @@ struct TriggerEvent {
   Kind kind = Kind::kOnset;
   timeutil::HourIndex hour = 0;  ///< hour of the transition
   double dst_nt = 0.0;           ///< Dst at that hour
-  /// For releases: the most negative Dst seen while active.
+  /// Onsets: the deepest Dst across the debounce window that fired the
+  /// trigger (not necessarily the firing hour's value).  Releases: the most
+  /// negative Dst seen over the whole active interval.
   double peak_dst_nt = 0.0;
 };
 
@@ -65,6 +67,8 @@ class StormTrigger {
   int qualifying_hours_ = 0;
   int quiet_hours_ = 0;
   double peak_ = 0.0;
+  /// Running minimum over the current onset-debounce streak.
+  double pending_peak_ = 0.0;
 };
 
 }  // namespace cosmicdance::core

@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "exec/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace cosmicdance::exec {
 namespace {
@@ -56,11 +57,16 @@ struct Section {
 }  // namespace
 
 void parallel_for(std::size_t count, int num_threads,
-                  const std::function<void(std::size_t, std::size_t)>& chunk) {
+                  const std::function<void(std::size_t, std::size_t)>& chunk,
+                  obs::Metrics* metrics) {
   if (count == 0) return;
   const std::size_t threads =
       num_threads == 1 ? 1 : resolve_thread_count(num_threads);
   if (threads <= 1 || count == 1) {
+    if (metrics != nullptr) {
+      metrics->sched_counter("exec.sections").add();
+      metrics->sched_counter("exec.chunks").add();
+    }
     chunk(0, count);
     return;
   }
@@ -71,6 +77,10 @@ void parallel_for(std::size_t count, int num_threads,
   const std::size_t target_chunks = std::min(count, threads * kChunksPerThread);
   section->chunk_size = (count + target_chunks - 1) / target_chunks;
   section->num_chunks = (count + section->chunk_size - 1) / section->chunk_size;
+  if (metrics != nullptr) {
+    metrics->sched_counter("exec.sections").add();
+    metrics->sched_counter("exec.chunks").add(section->num_chunks);
+  }
 
   // The calling thread is one worker; the rest come from the shared pool.
   // The caller always participates, so a saturated pool degrades to

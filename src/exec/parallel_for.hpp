@@ -18,23 +18,35 @@
 #include <functional>
 #include <vector>
 
+namespace cosmicdance::obs {
+class Metrics;
+}  // namespace cosmicdance::obs
+
 namespace cosmicdance::exec {
 
 /// Run `chunk(begin, end)` over disjoint sub-ranges covering [0, count).
 /// Chunks are executed by at most `num_threads` workers (caller included)
 /// pulled from ThreadPool::shared().  Rethrows the first body exception
-/// after all chunks finish.
+/// after all chunks finish.  A non-null `metrics` records the section and
+/// its chunk count as scheduling counters ("exec.sections", "exec.chunks");
+/// those legitimately vary with num_threads and sit outside the counter
+/// determinism contract (DESIGN.md §11).
 void parallel_for(std::size_t count, int num_threads,
-                  const std::function<void(std::size_t begin, std::size_t end)>& chunk);
+                  const std::function<void(std::size_t begin, std::size_t end)>& chunk,
+                  obs::Metrics* metrics = nullptr);
 
 /// Ordered map: out[i] = fn(i), computed in parallel, returned in index
 /// order.  The deterministic workhorse for the per-satellite hot loops.
 template <typename Result, typename Fn>
-std::vector<Result> ordered_map(std::size_t count, int num_threads, Fn&& fn) {
+std::vector<Result> ordered_map(std::size_t count, int num_threads, Fn&& fn,
+                                obs::Metrics* metrics = nullptr) {
   std::vector<Result> out(count);
-  parallel_for(count, num_threads, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
-  });
+  parallel_for(
+      count, num_threads,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+      },
+      metrics);
   return out;
 }
 

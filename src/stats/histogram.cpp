@@ -5,13 +5,21 @@
 #include "common/error.hpp"
 
 namespace cosmicdance::stats {
+namespace {
 
-Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
-      counts_(bins, 0) {
+// Validation must precede the member initializers: width_ divides by `bins`
+// and counts_ allocates `bins` slots, so a throw from the constructor body
+// would come after a division by zero or an absurd allocation.
+double validated_width(double lo, double hi, std::size_t bins) {
   if (!(lo < hi)) throw ValidationError("histogram requires lo < hi");
   if (bins == 0) throw ValidationError("histogram requires at least one bin");
+  return (hi - lo) / static_cast<double>(bins);
 }
+
+}  // namespace
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_(validated_width(lo, hi, bins)), counts_(bins, 0) {}
 
 void Histogram::add(double x) noexcept {
   ++total_;

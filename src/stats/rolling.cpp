@@ -72,9 +72,23 @@ std::vector<double> rolling_median(std::span<const TimedValue> series,
   if (half_width < 0.0) throw ValidationError("rolling_median half_width < 0");
   std::vector<double> out;
   out.reserve(series.size());
+  std::vector<double> values;
   for (const TimedValue& tv : series) {
-    out.push_back(window_median(series, tv.time - half_width,
-                                tv.time + half_width + 1e-12));
+    // The centered window is inclusive on both ends: [t - hw, t + hw].
+    // An explicit upper_bound keeps the right endpoint in the window at any
+    // time magnitude — a "+ epsilon" widening is absorbed at Julian-date
+    // scale (~2.46e6, ulp ≈ 4.6e-10) and silently drops the endpoint.
+    const double t_lo = tv.time - half_width;
+    const double t_hi = tv.time + half_width;
+    const auto begin = std::lower_bound(
+        series.begin(), series.end(), t_lo,
+        [](const TimedValue& sample, double t) { return sample.time < t; });
+    const auto end = std::upper_bound(
+        begin, series.end(), t_hi,
+        [](double t, const TimedValue& sample) { return t < sample.time; });
+    values.clear();
+    for (auto it = begin; it != end; ++it) values.push_back(it->value);
+    out.push_back(median(values));  // never empty: tv itself is in-window
   }
   return out;
 }

@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "exec/parallel_for.hpp"
 #include "io/file.hpp"
+#include "obs/obs.hpp"
 
 namespace cosmicdance::tle {
 namespace {
@@ -79,6 +80,7 @@ std::size_t TleCatalog::add_from_text(const std::string& text) {
 
 std::size_t TleCatalog::add_from_text(const std::string& text,
                                       const IngestOptions& options) {
+  const obs::ScopedPhase obs_phase(options.metrics, "tle.add_from_text");
   const std::string source = options.source.empty() ? "<text>" : options.source;
   // Without a caller-supplied log, a local strict one reproduces the
   // historical throw-on-first-error behaviour (with located messages).
@@ -143,11 +145,17 @@ std::size_t TleCatalog::add_from_text(const std::string& text,
                           "dangling TLE line 1 at end of input", pending_line1});
   }
 
+  if (options.metrics != nullptr) {
+    options.metrics->counter("tle.records_paired").add(records.size());
+    options.metrics->counter("tle.structural_rejects").add(structural.size());
+  }
+
   // Pass 2 (parallel): parse the paired records.  Chunk boundaries are a
   // pure function of (count, thread count), so results are deterministic.
   const std::vector<ParsedRecord> parsed = exec::ordered_map<ParsedRecord>(
       records.size(), options.num_threads,
-      [&records](std::size_t i) { return parse_record(records[i]); });
+      [&records](std::size_t i) { return parse_record(records[i]); },
+      options.metrics);
 
   // Pass 3 (serial, file order): merge-walk the parsed records and the
   // structural rejects by line number, committing and reporting in order.
@@ -155,6 +163,8 @@ std::size_t TleCatalog::add_from_text(const std::string& text,
   // at any thread count, and makes strict mode throw on the first malformed
   // record in file order.
   std::size_t added = 0;
+  std::size_t parsed_ok = 0;
+  std::size_t parse_rejects = 0;
   std::size_t next_structural = 0;
   const auto report_structural_before = [&](std::size_t limit) {
     while (next_structural < structural.size() &&
@@ -168,14 +178,24 @@ std::size_t TleCatalog::add_from_text(const std::string& text,
     report_structural_before(records[i].line_number);
     if (parsed[i].tle.has_value()) {
       log.accept(kStage);
+      ++parsed_ok;
       if (add(*parsed[i].tle)) ++added;
     } else {
+      ++parse_rejects;
       log.reject(kStage, parsed[i].category, parsed[i].message,
                  records[i].line1,
                  diag::RecordRef{source, records[i].line_number});
     }
   }
   report_structural_before(line_number + 1);
+  if (options.metrics != nullptr) {
+    // Accumulated into locals above so the serial commit loop pays no
+    // atomic traffic; one add per counter here.
+    options.metrics->counter("tle.records_parsed").add(parsed_ok);
+    options.metrics->counter("tle.records_added").add(added);
+    options.metrics->counter("tle.duplicates_dropped").add(parsed_ok - added);
+    options.metrics->counter("tle.parse_rejects").add(parse_rejects);
+  }
   return added;
 }
 

@@ -13,6 +13,10 @@
 #include "diag/diag.hpp"
 #include "tle/tle.hpp"
 
+namespace cosmicdance::obs {
+class Metrics;
+}  // namespace cosmicdance::obs
+
 namespace cosmicdance::tle {
 
 /// Knobs for the text-ingestion entry points.
@@ -26,6 +30,9 @@ struct IngestOptions {
   int num_threads = 1;
   /// Label for diagnostics (file path; defaults to "<text>" / the path).
   std::string source;
+  /// Optional observability registry (tle.* counters, ingest phase wall
+  /// time); nullptr disables collection.
+  obs::Metrics* metrics = nullptr;
 };
 
 /// A collection of TLEs keyed by NORAD catalog number.

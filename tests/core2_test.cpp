@@ -62,6 +62,25 @@ TEST(Correlator2Test, EventBeyondTrackEndSkipped) {
   EXPECT_TRUE(correlator.altitude_change_samples(tracks, events).empty());
 }
 
+TEST(Correlator2Test, TrackStartingInsidePostEventWindowSkippedSafely) {
+  // A track whose *first* sample lies inside the post-event window has no
+  // pre-event sample: at_or_before(event_jd) returns nullptr.  All three
+  // scans must skip such a track explicitly — historically only
+  // is_pre_decayed's own nullptr test (a policy choice, not a scan
+  // invariant) stood between this shape and a null dereference.
+  const spaceweather::DstIndex dst = quiet_series(120);
+  const EventCorrelator correlator(&dst);
+  std::vector<SatelliteTrack> tracks;
+  tracks.push_back(flat_track(1, 550.0, 5.0, 60.0));  // starts at kJd0+5
+  const std::vector<double> events{kJd0};
+  EXPECT_TRUE(correlator.altitude_change_samples(tracks, events).empty());
+  EXPECT_TRUE(correlator.drag_change_samples(tracks, events).empty());
+  const auto envelope = correlator.post_event_envelope(
+      tracks, kJd0, 30, EnvelopeSelection::kAll);
+  EXPECT_TRUE(envelope.satellites.empty());
+  EXPECT_TRUE(envelope.per_satellite.empty());
+}
+
 TEST(Correlator2Test, SparseSamplingForwardFills) {
   const spaceweather::DstIndex dst = quiet_series(120);
   const EventCorrelator correlator(&dst);

@@ -60,6 +60,30 @@ TEST(TriggerTest, DebouncesOnset) {
   EXPECT_TRUE(trigger.feed(h0 + 5, -55.0).has_value());
 }
 
+TEST(TriggerTest, OnsetPeakTracksDeepestDebounceHour) {
+  // Regression: the onset event once reported the *firing* hour's Dst as
+  // peak_dst_nt, losing deeper excursions earlier in the debounce window —
+  // exactly the common storm shape where the main-phase minimum precedes
+  // the hour that completes the debounce count.
+  core::StormTriggerConfig config;
+  config.min_active_hours = 3;
+  core::StormTrigger trigger(config);
+  EXPECT_FALSE(trigger.feed(0, -90.0).has_value());
+  EXPECT_FALSE(trigger.feed(1, -120.0).has_value());  // deepest hour
+  const auto onset = trigger.feed(2, -70.0);          // firing hour, shallower
+  ASSERT_TRUE(onset.has_value());
+  EXPECT_EQ(onset->kind, core::TriggerEvent::Kind::kOnset);
+  EXPECT_DOUBLE_EQ(onset->dst_nt, -70.0);
+  EXPECT_DOUBLE_EQ(onset->peak_dst_nt, -120.0);
+  EXPECT_DOUBLE_EQ(trigger.peak_dst_nt(), -120.0);
+  // The release's whole-interval peak carries the debounce minimum too.
+  EXPECT_FALSE(trigger.feed(3, -20.0).has_value());
+  const auto release = trigger.feed(4, -10.0);
+  ASSERT_TRUE(release.has_value());
+  EXPECT_EQ(release->kind, core::TriggerEvent::Kind::kRelease);
+  EXPECT_DOUBLE_EQ(release->peak_dst_nt, -120.0);
+}
+
 TEST(TriggerTest, TracksPeakWhileActive) {
   core::StormTrigger trigger;
   trigger.feed(0, -60.0);

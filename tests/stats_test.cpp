@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/error.hpp"
@@ -194,6 +195,17 @@ TEST(HistogramTest, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), ValidationError);
 }
 
+TEST(HistogramTest, ValidatesBeforeComputingWidthOrAllocating) {
+  // Validation must run in the member-initializer list, before the width
+  // division and the counts allocation.  An inverted range combined with an
+  // absurd bin count would otherwise attempt a SIZE_MAX-slot allocation
+  // before the constructor body could reject it.
+  EXPECT_THROW(Histogram(1.0, 0.0, std::numeric_limits<std::size_t>::max()),
+               ValidationError);
+  // bins == 0 with a valid range must throw before dividing by zero.
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), ValidationError);
+}
+
 TEST(RollingTest, WindowMedianRespectsBounds) {
   const std::vector<TimedValue> series{
       {0.0, 1.0}, {1.0, 2.0}, {2.0, 30.0}, {3.0, 4.0}, {4.0, 5.0}};
@@ -227,6 +239,34 @@ TEST(RollingTest, RollingMedianSmoothsSpike) {
   ASSERT_EQ(smooth.size(), series.size());
   EXPECT_DOUBLE_EQ(smooth[10], 1.0);  // spike suppressed by the window
   EXPECT_THROW(rolling_median(series, -1.0), ValidationError);
+}
+
+TEST(RollingTest, RollingMedianInclusiveBoundHoldsAtJulianDateMagnitude) {
+  // Regression: the inclusive right endpoint was once implemented as
+  // `time < t_hi + 1e-12`.  At Julian-date magnitudes (~2.46e6, where one
+  // ulp is ~4.6e-10) the epsilon is absorbed and the comparison silently
+  // turns exclusive, so windows at TLE-epoch timestamps dropped their
+  // boundary sample.  The window must be shift-invariant instead.
+  const double jd = 2460000.5;  // 2023-02-25, a realistic TLE epoch
+  const std::vector<double> values{10.0, 20.0, 30.0};
+  std::vector<TimedValue> at_origin;
+  std::vector<TimedValue> at_jd;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    at_origin.push_back({static_cast<double>(i), values[i]});
+    at_jd.push_back({jd + static_cast<double>(i), values[i]});
+  }
+  // half_width 1.0: each window spans [t-1, t+1] inclusive, so the
+  // boundary neighbours are in: {10,20} -> 15, {10,20,30} -> 20,
+  // {20,30} -> 25.
+  const std::vector<double> expected{15.0, 20.0, 25.0};
+  const std::vector<double> origin_medians = rolling_median(at_origin, 1.0);
+  const std::vector<double> jd_medians = rolling_median(at_jd, 1.0);
+  ASSERT_EQ(origin_medians.size(), expected.size());
+  ASSERT_EQ(jd_medians.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(origin_medians[i], expected[i]) << "origin index " << i;
+    EXPECT_DOUBLE_EQ(jd_medians[i], expected[i]) << "jd index " << i;
+  }
 }
 
 TEST(RngTest, DeterministicForSeed) {

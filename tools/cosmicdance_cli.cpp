@@ -20,6 +20,7 @@
 #include "io/args.hpp"
 #include "io/file.hpp"
 #include "io/table.hpp"
+#include "obs/obs.hpp"
 #include "simulation/scenario.hpp"
 #include "spaceweather/generator.hpp"
 #include "spaceweather/wdc.hpp"
@@ -48,7 +49,12 @@ int usage() {
       "             strict (default) aborts on the first malformed record;\n"
       "             tolerant quarantines it, keeps going, and reports\n"
       "--quality-report F: write the ingestion data-quality report\n"
-      "             (.json = full report, otherwise quarantine CSV)\n";
+      "             (.json = full report, otherwise quarantine CSV)\n"
+      "--metrics F (analyze/report): write run metrics — phase wall times,\n"
+      "             work counters, gauges (.csv = flat rows, else JSON);\n"
+      "             work counters are bit-identical at every --threads value\n"
+      "--trace F (analyze/report): write a Chrome trace_event JSON timeline\n"
+      "             (open in about:tracing or ui.perfetto.dev)\n";
   return 2;
 }
 
@@ -171,10 +177,36 @@ int cmd_storms(const io::ArgParser& args) {
   return 0;
 }
 
-core::CosmicDance load_pipeline(const io::ArgParser& args) {
+/// True when the command line asks for any observability output; the
+/// registry is only wired into the pipeline when something will read it.
+bool wants_observability(const io::ArgParser& args) {
+  return args.option("metrics").has_value() || args.option("trace").has_value();
+}
+
+/// Honour --metrics (.csv = flat rows, otherwise JSON) and --trace
+/// (Chrome trace_event JSON).
+void emit_observability(const io::ArgParser& args, const obs::Metrics& metrics) {
+  if (const auto path = args.option("metrics")) {
+    const obs::MetricsReport report = metrics.snapshot();
+    if (path->size() >= 4 && path->compare(path->size() - 4, 4, ".csv") == 0) {
+      io::write_csv_file(*path, report.metric_rows());
+    } else {
+      io::write_file(*path, report.to_json());
+    }
+    std::cout << "wrote metrics to " << *path << "\n";
+  }
+  if (const auto path = args.option("trace")) {
+    io::write_file(*path, metrics.trace_json());
+    std::cout << "wrote trace to " << *path << "\n";
+  }
+}
+
+core::CosmicDance load_pipeline(const io::ArgParser& args,
+                                obs::Metrics* metrics = nullptr) {
   core::PipelineConfig config;
   config.num_threads = static_cast<int>(args.integer_or("threads", 0));
   config.parse_policy = parse_policy(args);
+  config.metrics = metrics;
   core::CosmicDance pipeline = core::CosmicDance::from_files(
       require(args, "dst"), require(args, "tles"), config);
   emit_quality_report(args, pipeline.quality_report());
@@ -182,11 +214,13 @@ core::CosmicDance load_pipeline(const io::ArgParser& args) {
 }
 
 int cmd_analyze(const io::ArgParser& args) {
-  args.check_known(
-      {"dst", "tles", "out-dir", "threads", "parse-policy", "quality-report"});
+  args.check_known({"dst", "tles", "out-dir", "threads", "parse-policy",
+                    "quality-report", "metrics", "trace"});
   const std::string out_dir = require(args, "out-dir");
   std::filesystem::create_directories(out_dir);
-  const core::CosmicDance pipeline = load_pipeline(args);
+  obs::Metrics observability;
+  obs::Metrics* metrics = wants_observability(args) ? &observability : nullptr;
+  const core::CosmicDance pipeline = load_pipeline(args, metrics);
   auto path = [&](const char* name) { return out_dir + "/" + name; };
 
   // Fig 1: intensity CDF.
@@ -218,14 +252,15 @@ int cmd_analyze(const io::ArgParser& args) {
   }
   // Fig 10 raw/cleaned altitude CDFs.
   const int threads = pipeline.config().num_threads;
-  const auto raw = core::all_altitudes(pipeline.raw_tracks(), threads);
-  const auto cleaned = core::all_altitudes(pipeline.tracks(), threads);
+  const auto raw = core::all_altitudes(pipeline.raw_tracks(), threads, metrics);
+  const auto cleaned = core::all_altitudes(pipeline.tracks(), threads, metrics);
   io::write_csv_file(path("fig10a_raw_altitude_cdf.csv"),
                      core::ecdf_csv(stats::Ecdf(raw), "altitude_km"));
   io::write_csv_file(path("fig10b_clean_altitude_cdf.csv"),
                      core::ecdf_csv(stats::Ecdf(cleaned), "altitude_km"));
 
   std::cout << "analysis CSVs written to " << out_dir << "\n";
+  if (metrics != nullptr) emit_observability(args, *metrics);
   return 0;
 }
 
@@ -257,12 +292,15 @@ int cmd_convert(const io::ArgParser& args) {
 }
 
 int cmd_report(const io::ArgParser& args) {
-  args.check_known(
-      {"dst", "tles", "markdown", "threads", "parse-policy", "quality-report"});
-  const core::CosmicDance pipeline = load_pipeline(args);
+  args.check_known({"dst", "tles", "markdown", "threads", "parse-policy",
+                    "quality-report", "metrics", "trace"});
+  obs::Metrics observability;
+  obs::Metrics* metrics = wants_observability(args) ? &observability : nullptr;
+  const core::CosmicDance pipeline = load_pipeline(args, metrics);
   if (const auto out = args.option("markdown")) {
     core::write_markdown_report(pipeline, *out);
     std::cout << "wrote markdown report to " << *out << "\n";
+    if (metrics != nullptr) emit_observability(args, *metrics);
     return 0;
   }
 
@@ -293,6 +331,7 @@ int cmd_report(const io::ArgParser& args) {
   } else {
     std::cout << "  no storm-epoch samples in this dataset\n";
   }
+  if (metrics != nullptr) emit_observability(args, *metrics);
   return 0;
 }
 

@@ -7,6 +7,10 @@
 #   3. ASan+UBSan (COSMICDANCE_SANITIZE=address) over the ingestion suites,
 #      driving the malformed-record corpus through both parse policies so
 #      buffer overreads in the fixed-column parsers surface here.
+#   4. observability smoke: the CLI with --metrics/--trace on the bundled
+#      dataset (work counters must be bit-identical at --threads 1 vs 8,
+#      per DESIGN.md §11) plus the micro_pipeline telemetry pass, leaving
+#      build/BENCH_pipeline.json behind as a CI artifact.
 #
 # Usage: tools/run_tier1.sh [jobs]
 set -euo pipefail
@@ -35,5 +39,49 @@ cmake --build build-asan -j "$JOBS" \
 # every ingestion path; ASan+UBSan turns any column overread into a failure.
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
       -R 'IngestionFuzz|Diag|ParseLog|DataQualityReport|Csv|Tle|DateTime|Wdc'
+
+echo "== pass 4: observability smoke (CLI metrics/trace + bench telemetry) =="
+CLI=build/tools/cosmicdance
+SMOKE=build/obs-smoke
+rm -rf "$SMOKE"
+mkdir -p "$SMOKE"
+# data/sample ships only the Dst series; generate the matching catalog.
+"$CLI" simulate --dst data/sample/dst.wdc --scenario paper \
+       --per-batch 1 --cadence 120 --out "$SMOKE/catalog.tle"
+"$CLI" analyze --dst data/sample/dst.wdc --tles "$SMOKE/catalog.tle" \
+       --out-dir "$SMOKE/out1" --threads 1 \
+       --metrics "$SMOKE/metrics_t1.json" --trace "$SMOKE/trace_t1.json"
+"$CLI" analyze --dst data/sample/dst.wdc --tles "$SMOKE/catalog.tle" \
+       --out-dir "$SMOKE/out8" --threads 8 \
+       --metrics "$SMOKE/metrics_t8.json"
+# Bench telemetry artifact (benchmark suite itself skipped via the
+# nothing-matches filter; the instrumented pass still runs).
+build/bench/micro_pipeline --benchmark_filter='^$' \
+       --bench-out build/BENCH_pipeline.json --threads 0
+python3 - "$SMOKE" <<'EOF'
+import json, sys
+smoke = sys.argv[1]
+m1 = json.load(open(f"{smoke}/metrics_t1.json"))
+m8 = json.load(open(f"{smoke}/metrics_t8.json"))
+for report in (m1, m8):
+    for key in ("counters", "scheduling", "gauges", "phases"):
+        assert key in report, f"metrics JSON missing {key!r}"
+assert m1["counters"], "no work counters recorded"
+assert m1["counters"] == m8["counters"], (
+    "work counters differ between --threads 1 and 8: "
+    f"{m1['counters']} vs {m8['counters']}")
+trace = json.load(open(f"{smoke}/trace_t1.json"))
+assert trace["traceEvents"], "empty trace"
+assert any(e.get("ph") == "X" for e in trace["traceEvents"]), \
+    "trace has no complete events"
+bench = json.load(open("build/BENCH_pipeline.json"))
+for key in ("bench", "threads", "dataset", "throughput", "metrics"):
+    assert key in bench, f"bench record missing {key!r}"
+assert bench["metrics"]["phases"], "bench record has no phase timings"
+print(f"observability smoke OK: {len(m1['counters'])} work counters "
+      f"bit-identical across thread counts, "
+      f"{len(trace['traceEvents'])} trace events, "
+      f"bench throughput keys: {sorted(bench['throughput'])}")
+EOF
 
 echo "== tier-1 gate: OK =="

@@ -45,7 +45,11 @@ int main() {
   std::vector<std::string> header{"date"};
   std::size_t longest = 0;
   for (const int id : shown) {
-    header.push_back("#" + std::to_string(id));
+    // Sequential append: GCC 12's -Wrestrict misfires on "#" + to_string
+    // when inlined under -O2 (PR 105651).
+    std::string label = "#";
+    label += std::to_string(id);
+    header.push_back(std::move(label));
     longest = std::max(longest, run.truth.at(id).size());
   }
   io::TablePrinter table(std::move(header));

@@ -176,10 +176,14 @@ std::string DataQualityReport::to_json() const {
            std::to_string(counters.accepted) +
            ", \"repaired\": " + std::to_string(counters.repaired) +
            ", \"quarantined\": {";
+    // Sequential appends: GCC 12's -Wrestrict misfires on the equivalent
+    // "lit" + std::string(...) + ... chain here (PR 105651) under -O2.
     for (std::size_t i = 0; i < kErrorCategoryCount; ++i) {
       if (i > 0) out += ", ";
-      out += "\"" + std::string(kCategoryNames[i]) +
-             "\": " + std::to_string(counters.quarantined[i]);
+      out += '"';
+      out += kCategoryNames[i];
+      out += "\": ";
+      out += std::to_string(counters.quarantined[i]);
     }
     out += "}}";
   }

@@ -97,7 +97,11 @@ std::vector<CsvRow> read_csv(std::istream& in, diag::ParseLog* log,
   std::string record_text;            // raw text of the in-flight record
   while (std::getline(in, line)) {
     ++line_number;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // CRLF normalization: a trailing \r belongs to the record separator --
+    // unless the line ends inside a quoted field, where it is content and
+    // is restored below (a quoted "a\r\nb" must round-trip intact).
+    const bool had_cr = !line.empty() && line.back() == '\r';
+    if (had_cr) line.pop_back();
     if (!state.in_quotes && line.empty()) continue;
     if (record_text.empty()) record_start_line = line_number;
     record_text += line;
@@ -108,6 +112,9 @@ std::vector<CsvRow> read_csv(std::istream& in, diag::ParseLog* log,
         record_text.clear();
         if (log != nullptr) log->accept(kStage);
       } else {
+        // parse_into just appended the embedded '\n'; reinsert the \r that
+        // CRLF stripping took from inside the quoted field.
+        if (had_cr) state.field.insert(state.field.size() - 1, 1, '\r');
         record_text.push_back('\n');
       }
     } catch (const ParseError& error) {
@@ -119,12 +126,14 @@ std::vector<CsvRow> read_csv(std::istream& in, diag::ParseLog* log,
     }
   }
   if (state.in_quotes) {
-    if (log == nullptr) {
-      throw ParseError("CSV input ended inside a quoted field");
-    }
-    log->reject(kStage, ErrorCategory::kStructure,
-                "CSV input ended inside a quoted field", record_text,
-                diag::RecordRef{source, record_start_line});
+    // Routed like any other malformed record: without a caller log, a local
+    // strict ParseLog reproduces the historical throw-on-first-error
+    // behaviour (with a located message).
+    diag::ParseLog fallback;
+    diag::ParseLog& diagnostics = log != nullptr ? *log : fallback;
+    diagnostics.reject(kStage, ErrorCategory::kStructure,
+                       "CSV input ended inside a quoted field", record_text,
+                       diag::RecordRef{source, record_start_line});
   }
   return rows;
 }
@@ -136,7 +145,10 @@ std::vector<CsvRow> read_csv_file(const std::string& path, diag::ParseLog* log) 
 }
 
 std::string escape_csv_field(const std::string& field) {
-  const bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  // '\r' must force quoting too: written bare, a trailing CR would be
+  // absorbed by read_csv's CRLF normalisation and the field would come back
+  // truncated.
+  const bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
   if (!needs_quotes) return field;
   std::string out = "\"";
   for (const char c : field) {

@@ -34,7 +34,8 @@ using CsvRow = std::vector<std::string>;
 [[nodiscard]] std::vector<CsvRow> read_csv_file(const std::string& path,
                                                 diag::ParseLog* log = nullptr);
 
-/// Escape a field per RFC 4180 (quote when it contains , " or newline).
+/// Escape a field per RFC 4180 (quote when it contains , " CR or newline;
+/// an unquoted trailing CR would be eaten as CRLF normalization on read).
 [[nodiscard]] std::string escape_csv_field(const std::string& field);
 
 /// Serialise one record (no trailing newline).

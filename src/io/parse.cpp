@@ -1,0 +1,34 @@
+#include "io/parse.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace cosmicdance::io {
+
+std::optional<double> parse_double(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE) return std::nullopt;
+  return value;
+}
+
+std::optional<long> parse_long(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) return std::nullopt;
+  return value;
+}
+
+std::optional<long> parse_leading_long(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || errno == ERANGE) return std::nullopt;
+  return value;
+}
+
+}  // namespace cosmicdance::io

@@ -1,0 +1,33 @@
+// Checked numeric parsing helpers.
+//
+// These are the project's only sanctioned wrappers around the C/C++ raw
+// conversion functions (strtod/strtol and friends).  Everywhere else the
+// raw calls are banned by `cdlint` rule R3 (raw-parse): an unchecked
+// strtod silently reads garbage as a truncated value, which is exactly the
+// class of bug the PR-2 data-quality work eliminated from the ingestion
+// paths.  Callers outside `src/io/` and `src/tle/` parse numbers through
+// this header and get "checked or nothing" semantics for free.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace cosmicdance::io {
+
+/// Parse `text` as a double.  The entire string must be consumed (leading
+/// whitespace permitted, as in strtod); empty input, trailing garbage or
+/// out-of-range values yield nullopt.
+[[nodiscard]] std::optional<double> parse_double(const std::string& text);
+
+/// Parse `text` as a base-10 long.  The entire string must be consumed
+/// (leading whitespace permitted); empty input, trailing garbage or
+/// out-of-range values yield nullopt.
+[[nodiscard]] std::optional<long> parse_long(const std::string& text);
+
+/// Parse a leading base-10 long and ignore whatever follows it — the
+/// fixed-width-cell convention used by archive formats like WDC, where a
+/// numeric cell may be padded.  Yields nullopt when no digits are consumed
+/// or the value is out of range.
+[[nodiscard]] std::optional<long> parse_leading_long(const std::string& text);
+
+}  // namespace cosmicdance::io

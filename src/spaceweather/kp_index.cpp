@@ -78,7 +78,11 @@ std::string g_label(int g_level) {
   if (g_level < 0 || g_level > 5) {
     throw ValidationError("G level outside 0..5: " + std::to_string(g_level));
   }
-  return "G" + std::to_string(g_level);
+  // Sequential append: GCC 12's -Wrestrict misfires on "G" + to_string
+  // when inlined under -O2 (PR 105651).
+  std::string label = "G";
+  label += std::to_string(g_level);
+  return label;
 }
 
 }  // namespace cosmicdance::spaceweather

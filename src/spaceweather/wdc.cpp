@@ -3,12 +3,12 @@
 #include <array>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <sstream>
 #include <vector>
 
 #include "common/error.hpp"
 #include "io/file.hpp"
+#include "io/parse.hpp"
 
 namespace cosmicdance::spaceweather {
 namespace {
@@ -51,13 +51,14 @@ std::string format_day(const DayRecord& day) {
 }
 
 int parse_int(const std::string& text, const char* what) {
-  char* end = nullptr;
-  const long v = std::strtol(text.c_str(), &end, 10);
-  if (end == text.c_str()) {
+  // Fixed-width archive cells are space-padded, so only the leading number
+  // matters; io::parse_leading_long rejects cells with no digits at all.
+  const std::optional<long> v = io::parse_leading_long(text);
+  if (!v.has_value()) {
     throw ParseError(std::string("bad WDC numeric field '") + what + "': '" +
                      text + "'");
   }
-  return static_cast<int>(v);
+  return static_cast<int>(*v);
 }
 
 }  // namespace

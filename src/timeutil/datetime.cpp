@@ -1,9 +1,10 @@
 #include "timeutil/datetime.hpp"
 
 #include <array>
+#include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 
 #include "common/error.hpp"
 
@@ -145,42 +146,115 @@ DateTime from_julian(double jd) {
   return dt;
 }
 
+namespace {
+
+/// Strict cursor scanner for the fixed datetime grammar.  Hand-rolled so
+/// the parse stays inside the project's checked-parse discipline (sscanf
+/// is off-limits outside src/io/); sign and whitespace tolerance matches
+/// the %d/%lf behaviour it replaced, so out-of-range fields like a month
+/// of -5 still reach validate() and surface as ValidationError, not as a
+/// syntax error.
+struct FieldScanner {
+  const char* p;
+
+  void skip_spaces() {
+    while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  }
+
+  bool read_sign() {  // returns true when the field is negated
+    const bool negative = *p == '-';
+    if (*p == '+' || *p == '-') ++p;
+    return negative;
+  }
+
+  bool read_int(int& out) {
+    skip_spaces();
+    const bool negative = read_sign();
+    if (*p < '0' || *p > '9') return false;
+    long value = 0;
+    while (*p >= '0' && *p <= '9') {
+      value = value * 10 + (*p - '0');
+      if (value > 1000000000L) return false;
+      ++p;
+    }
+    out = static_cast<int>(negative ? -value : value);
+    return true;
+  }
+
+  /// digits[.digits] with either part optional (".5", "30.", "30.25").
+  /// The value is numerator / 10^k in a single division, which rounds
+  /// identically to a correctly-rounded decimal conversion of the same
+  /// text, so round-trips through format_datetime stay bit-exact.
+  bool read_seconds(double& out) {
+    skip_spaces();
+    const bool negative = read_sign();
+    std::uint64_t numerator = 0;
+    std::uint64_t denominator = 1;
+    int digits = 0;
+    bool any = false;
+    while (*p >= '0' && *p <= '9') {
+      if (++digits > 15) return false;
+      numerator = numerator * 10 + static_cast<std::uint64_t>(*p - '0');
+      any = true;
+      ++p;
+    }
+    if (*p == '.') {
+      ++p;
+      while (*p >= '0' && *p <= '9') {
+        if (++digits > 15) return false;
+        numerator = numerator * 10 + static_cast<std::uint64_t>(*p - '0');
+        denominator *= 10;
+        any = true;
+        ++p;
+      }
+    }
+    if (!any) return false;
+    out = static_cast<double>(numerator) / static_cast<double>(denominator);
+    if (negative) out = -out;
+    return true;
+  }
+
+  bool consume(char c) {
+    if (*p != c) return false;
+    ++p;
+    return true;
+  }
+};
+
+}  // namespace
+
 DateTime parse_datetime(const std::string& text) {
   DateTime dt;
-  double second = 0.0;
-  int consumed = 0;
-  const int date_fields =
-      std::sscanf(text.c_str(), "%d-%d-%d%n", &dt.year, &dt.month, &dt.day, &consumed);
-  if (date_fields != 3) {
+  FieldScanner scan{text.c_str()};
+  if (!scan.read_int(dt.year) || !scan.consume('-') ||
+      !scan.read_int(dt.month) || !scan.consume('-') ||
+      !scan.read_int(dt.day)) {
     throw ParseError("bad datetime: '" + text + "'");
   }
-  const char* rest = text.c_str() + consumed;
-  if (*rest == 'T' || *rest == ' ') {
-    ++rest;
+  if (*scan.p == 'T' || *scan.p == ' ') {
+    ++scan.p;
     int hour = 0;
     int minute = 0;
-    // %n verifies the whole suffix was consumed: "12:00:00junk" must not
-    // parse as 12:00:00.  With no seconds field ("12:00") the first scan
-    // stops at two fields and leaves time_consumed unset, so re-scan.
-    int time_consumed = -1;
-    const int time_fields =
-        std::sscanf(rest, "%d:%d:%lf%n", &hour, &minute, &second, &time_consumed);
-    if (time_fields >= 3) {
-      if (time_consumed < 0 || rest[time_consumed] != '\0') {
+    if (!scan.read_int(hour) || !scan.consume(':') || !scan.read_int(minute)) {
+      throw ParseError("bad time-of-day in datetime: '" + text + "'");
+    }
+    if (scan.consume(':')) {
+      double second = 0.0;
+      if (!scan.read_seconds(second)) {
+        throw ParseError("bad time-of-day in datetime: '" + text + "'");
+      }
+      if (*scan.p != '\0') {
         throw ParseError("trailing characters in datetime: '" + text + "'");
       }
       dt.second = second;
+    } else if (*scan.p != '\0') {
+      throw ParseError("bad time-of-day in datetime: '" + text + "'");
     } else {
-      time_consumed = -1;
-      if (std::sscanf(rest, "%d:%d%n", &hour, &minute, &time_consumed) < 2 ||
-          time_consumed < 0 || rest[time_consumed] != '\0') {
-        throw ParseError("bad time-of-day in datetime: '" + text + "'");
-      }
       dt.second = 0.0;
     }
     dt.hour = hour;
     dt.minute = minute;
-  } else if (*rest != '\0') {
+  } else if (*scan.p != '\0') {
     throw ParseError("trailing characters in datetime: '" + text + "'");
   }
   dt.validate();

@@ -171,7 +171,9 @@ std::string format_exponent_field(double value) {
     throw ValidationError("value out of TLE exponent-field range: " +
                           std::to_string(value));
   }
-  char buffer[32];
+  // 48 covers the worst case the compiler assumes for %05ld + %1d (it
+  // cannot see that mantissa/exponent are range-checked above).
+  char buffer[48];
   std::snprintf(buffer, sizeof(buffer), "%c%05ld%c%1d", sign, mantissa,
                 exponent < 0 ? '-' : '+', std::abs(exponent));
   return buffer;

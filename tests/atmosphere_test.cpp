@@ -110,9 +110,9 @@ TEST(StormDensityModelTest, OutsideSeriesIsQuiet) {
 
 TEST(DragTest, BallisticCoefficient) {
   EXPECT_NEAR(ballistic_coefficient(2.2, 20.0, 260.0), 0.1692, 1e-4);
-  EXPECT_THROW(ballistic_coefficient(2.2, 20.0, 0.0), ValidationError);
-  EXPECT_THROW(ballistic_coefficient(2.2, -1.0, 260.0), ValidationError);
-  EXPECT_THROW(ballistic_coefficient(0.0, 20.0, 260.0), ValidationError);
+  EXPECT_THROW(static_cast<void>(ballistic_coefficient(2.2, 20.0, 0.0)), ValidationError);
+  EXPECT_THROW(static_cast<void>(ballistic_coefficient(2.2, -1.0, 260.0)), ValidationError);
+  EXPECT_THROW(static_cast<void>(ballistic_coefficient(0.0, 20.0, 260.0)), ValidationError);
 }
 
 TEST(DragTest, AccelerationQuadraticInSpeed) {

@@ -1,0 +1,153 @@
+// Regression tests for tools/cdlint: the corpus must keep producing the
+// golden findings (every rule stays live) and the real tree must stay clean
+// against the committed -- empty -- baseline.
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "support/minijson.hpp"
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Runs a shell command, capturing stdout; stderr (the summary line) is
+/// dropped so assertions see only the findings stream.
+RunResult run_command(const std::string& command) {
+  RunResult result;
+  FILE* pipe = popen((command + " 2>/dev/null").c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string quoted(const std::string& path) { return "'" + path + "'"; }
+
+const std::string kBinary = CDLINT_BINARY;
+const std::string kRepoRoot = CDLINT_REPO_ROOT;
+const std::string kCorpusRoot = kRepoRoot + "/tools/cdlint/testdata/tree";
+const std::string kGoldenPath = kRepoRoot + "/tools/cdlint/testdata/golden.txt";
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+TEST(CdlintTest, CorpusMatchesGoldenFindings) {
+  const RunResult result =
+      run_command(quoted(kBinary) + " --root " + quoted(kCorpusRoot));
+  EXPECT_EQ(result.exit_code, 1) << "seeded corpus must produce findings";
+  const std::string golden = read_file(kGoldenPath);
+  ASSERT_FALSE(golden.empty()) << "missing golden file: " << kGoldenPath;
+  EXPECT_EQ(result.output, golden);
+}
+
+TEST(CdlintTest, CorpusJsonIsValidAndCoversEveryRule) {
+  const RunResult result = run_command(quoted(kBinary) + " --root " +
+                                       quoted(kCorpusRoot) + " --json");
+  EXPECT_EQ(result.exit_code, 1);
+  const auto doc = minijson::parse(result.output);
+  ASSERT_TRUE(doc.has_value()) << "cdlint --json emitted invalid JSON:\n"
+                               << result.output;
+  ASSERT_EQ(doc->kind, minijson::Value::Kind::kObject);
+
+  const minijson::Value* findings = doc->find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_EQ(findings->kind, minijson::Value::Kind::kArray);
+
+  // The JSON view must agree with the golden text view line for line.
+  const std::size_t golden_lines = count_lines(read_file(kGoldenPath));
+  EXPECT_EQ(findings->items.size(), golden_lines);
+  const minijson::Value* count = doc->find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->text, std::to_string(golden_lines));
+  const minijson::Value* baselined = doc->find("baselined");
+  ASSERT_NE(baselined, nullptr);
+  EXPECT_EQ(baselined->text, "0");
+
+  // Every rule -- including the allow-reason meta rule -- must stay live in
+  // the corpus, or a silently dead rule could rot unnoticed.
+  std::set<std::string> rules_seen;
+  for (const minijson::Value& finding : findings->items) {
+    ASSERT_EQ(finding.kind, minijson::Value::Kind::kObject);
+    const minijson::Value* file = finding.find("file");
+    const minijson::Value* line = finding.find("line");
+    const minijson::Value* rule = finding.find("rule");
+    const minijson::Value* message = finding.find("message");
+    ASSERT_NE(file, nullptr);
+    ASSERT_NE(line, nullptr);
+    ASSERT_NE(rule, nullptr);
+    ASSERT_NE(message, nullptr);
+    EXPECT_EQ(line->kind, minijson::Value::Kind::kNumber);
+    EXPECT_FALSE(message->text.empty());
+    rules_seen.insert(rule->text);
+  }
+  const std::set<std::string> expected{
+      "nondeterminism", "unordered-iter",  "raw-parse",     "naked-throw",
+      "counter-in-loop", "stdout-in-lib",  "include-first", "allow-reason"};
+  EXPECT_EQ(rules_seen, expected);
+}
+
+TEST(CdlintTest, RealTreeIsCleanAgainstCommittedBaseline) {
+  const RunResult result = run_command(
+      quoted(kBinary) + " --root " + quoted(kRepoRoot) + " --baseline " +
+      quoted(kRepoRoot + "/tools/cdlint/baseline.txt"));
+  EXPECT_EQ(result.exit_code, 0) << "non-baselined findings in the tree:\n"
+                                 << result.output;
+  EXPECT_TRUE(result.output.empty()) << result.output;
+}
+
+TEST(CdlintTest, BaselineEntryConsumesExactlyOneFinding) {
+  // unordered_out.cpp line 12 carries TWO identical findings (.begin() and
+  // .end()).  One baseline entry must consume exactly one of them: entries
+  // are a multiset, not a pattern.
+  const std::string baseline_path =
+      ::testing::TempDir() + "cdlint_consume_baseline.txt";
+  {
+    std::ofstream out(baseline_path, std::ios::trunc);
+    out << "# one entry, two identical findings on the line\n"
+        << "unordered-iter|src/core/unordered_out.cpp|"
+        << "for (auto it = seen.begin(); it != seen.end(); ++it) {\n";
+  }
+  const RunResult result =
+      run_command(quoted(kBinary) + " --root " + quoted(kCorpusRoot) +
+                  " --baseline " + quoted(baseline_path));
+  EXPECT_EQ(result.exit_code, 1);
+  const std::size_t golden_lines = count_lines(read_file(kGoldenPath));
+  EXPECT_EQ(count_lines(result.output), golden_lines - 1);
+  EXPECT_NE(result.output.find("unordered_out.cpp:12"), std::string::npos)
+      << "the second identical finding must survive one baseline entry";
+  std::remove(baseline_path.c_str());
+}
+
+TEST(CdlintTest, UnknownOptionIsAUsageError) {
+  const RunResult result = run_command(quoted(kBinary) + " --no-such-flag");
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+}  // namespace

@@ -95,7 +95,7 @@ TEST(TrackTest, MedianAltitude) {
   const SatelliteTrack track = flat_track(1, 547.5, 20.0);
   EXPECT_NEAR(track.median_altitude_km(), 547.5, 1e-9);
   const SatelliteTrack empty(2, {});
-  EXPECT_THROW(empty.median_altitude_km(), ValidationError);
+  EXPECT_THROW(static_cast<void>(empty.median_altitude_km()), ValidationError);
 }
 
 TEST(TrackTest, SeriesViews) {

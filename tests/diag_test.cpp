@@ -23,9 +23,9 @@ TEST(DiagPolicy, RoundTripsNames) {
 }
 
 TEST(DiagPolicy, RejectsUnknownNames) {
-  EXPECT_THROW(parse_policy_from_string(""), ParseError);
-  EXPECT_THROW(parse_policy_from_string("lenient"), ParseError);
-  EXPECT_THROW(parse_policy_from_string("STRICT"), ParseError);
+  EXPECT_THROW(static_cast<void>(parse_policy_from_string("")), ParseError);
+  EXPECT_THROW(static_cast<void>(parse_policy_from_string("lenient")), ParseError);
+  EXPECT_THROW(static_cast<void>(parse_policy_from_string("STRICT")), ParseError);
 }
 
 TEST(DiagCategory, EveryCategoryHasAUniqueName) {

@@ -87,7 +87,7 @@ TEST(GroundTrackTest, Validation) {
                ValidationError);
   EXPECT_THROW(sgp4::ground_track(propagator, propagator.epoch_jd(), 10.0, 0.0),
                ValidationError);
-  EXPECT_THROW(sgp4::fraction_above_latitude({}, 10.0), ValidationError);
+  EXPECT_THROW(static_cast<void>(sgp4::fraction_above_latitude({}, 10.0)), ValidationError);
 }
 
 // -------------------------------- Kp bridge ---------------------------------
@@ -106,7 +106,7 @@ TEST(KpTest, ApTableAnchors) {
   EXPECT_DOUBLE_EQ(ap_from_kp(4.0), 27.0);
   EXPECT_DOUBLE_EQ(ap_from_kp(5.0), 48.0);
   EXPECT_DOUBLE_EQ(ap_from_kp(9.0), 400.0);
-  EXPECT_THROW(ap_from_kp(10.0), ValidationError);
+  EXPECT_THROW(static_cast<void>(ap_from_kp(10.0)), ValidationError);
 }
 
 TEST(KpTest, KpApRoundTrip) {
@@ -116,7 +116,7 @@ TEST(KpTest, KpApRoundTrip) {
     const double kp = step / 3.0;
     EXPECT_NEAR(kp_from_ap(ap_from_kp(kp)), kp, 1e-9) << step;
   }
-  EXPECT_THROW(kp_from_ap(-1.0), ValidationError);
+  EXPECT_THROW(static_cast<void>(kp_from_ap(-1.0)), ValidationError);
 }
 
 TEST(KpTest, DstMappingMonotone) {
@@ -191,9 +191,9 @@ TEST(BootstrapTest, CoversTrueMedianUsually) {
 TEST(BootstrapTest, Validation) {
   const std::vector<double> empty;
   const std::vector<double> one{1.0};
-  EXPECT_THROW(stats::bootstrap_median(empty), ValidationError);
-  EXPECT_THROW(stats::bootstrap_percentile(one, 50.0, 1.5), ValidationError);
-  EXPECT_THROW(stats::bootstrap_percentile(one, 50.0, 0.95, 5), ValidationError);
+  EXPECT_THROW(static_cast<void>(stats::bootstrap_median(empty)), ValidationError);
+  EXPECT_THROW(static_cast<void>(stats::bootstrap_percentile(one, 50.0, 1.5)), ValidationError);
+  EXPECT_THROW(static_cast<void>(stats::bootstrap_percentile(one, 50.0, 0.95, 5)), ValidationError);
 }
 
 // ----------------------- station-keeping delta-v ----------------------------
@@ -232,12 +232,12 @@ TEST(BudgetTest, StormWeekCostsMore) {
 
 TEST(BudgetTest, Validation) {
   const double jd = timeutil::to_julian(make_datetime(2023, 1, 1));
-  EXPECT_THROW(atmosphere::stationkeeping_delta_v_ms(550.0, 0.0, jd, 1.0),
+  EXPECT_THROW(static_cast<void>(atmosphere::stationkeeping_delta_v_ms(550.0, 0.0, jd, 1.0)),
                ValidationError);
-  EXPECT_THROW(atmosphere::stationkeeping_delta_v_ms(550.0, 0.004, jd, -1.0),
+  EXPECT_THROW(static_cast<void>(atmosphere::stationkeeping_delta_v_ms(550.0, 0.004, jd, -1.0)),
                ValidationError);
-  EXPECT_THROW(
-      atmosphere::stationkeeping_delta_v_ms(550.0, 0.004, jd, 1.0, nullptr, 0.0),
+  EXPECT_THROW(static_cast<void>(
+      atmosphere::stationkeeping_delta_v_ms(550.0, 0.004, jd, 1.0, nullptr, 0.0)),
       ValidationError);
 }
 

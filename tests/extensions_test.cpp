@@ -117,7 +117,9 @@ TEST(TriggerTest, ReplayPairsOnsetsAndReleases) {
     const auto expected = (i % 2 == 0) ? core::TriggerEvent::Kind::kOnset
                                        : core::TriggerEvent::Kind::kRelease;
     EXPECT_EQ(events[i].kind, expected) << i;
-    if (i > 0) EXPECT_GT(events[i].hour, events[i - 1].hour);
+    if (i > 0) {
+      EXPECT_GT(events[i].hour, events[i - 1].hour);
+    }
   }
   // Every release carries a peak at or below the onset threshold.
   for (const auto& event : events) {
@@ -219,7 +221,7 @@ TEST(ShellTest, NearestShell) {
   EXPECT_DOUBLE_EQ(core::nearest_shell_km(551.0, config), 550.0);
   EXPECT_DOUBLE_EQ(core::nearest_shell_km(500.0, config), 540.0);
   EXPECT_DOUBLE_EQ(core::nearest_shell_km(566.0, config), 570.0);
-  EXPECT_THROW(core::nearest_shell_km(550.0, core::ShellConfig{{}, 2.5}),
+  EXPECT_THROW(static_cast<void>(core::nearest_shell_km(550.0, core::ShellConfig{{}, 2.5})),
                ValidationError);
 }
 
@@ -297,7 +299,7 @@ TEST(LifetimeTest, CapAndEdgeCases) {
   config.max_days = 10.0;
   EXPECT_DOUBLE_EQ(atmosphere::decay_lifetime_days(900.0, 1e-4, config), 10.0);
   EXPECT_DOUBLE_EQ(atmosphere::decay_lifetime_days(100.0, 0.01), 0.0);
-  EXPECT_THROW(atmosphere::decay_lifetime_days(550.0, 0.0), ValidationError);
+  EXPECT_THROW(static_cast<void>(atmosphere::decay_lifetime_days(550.0, 0.0)), ValidationError);
 }
 
 TEST(LifetimeTest, StormsShortenLifetime) {

@@ -13,6 +13,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "core/export.hpp"
 #include "core/pipeline.hpp"
 #include "io/csv.hpp"
+#include "io/parse.hpp"
 #include "simulation/scenario.hpp"
 #include "spaceweather/generator.hpp"
 #include "stats/ecdf.hpp"
@@ -63,20 +65,16 @@ bool regen_requested() {
     for (std::size_t c = 0; c < expected[r].size(); ++c) {
       const std::string& a = actual[r][c];
       const std::string& e = expected[r][c];
-      char* a_end = nullptr;
-      char* e_end = nullptr;
-      const double av = std::strtod(a.c_str(), &a_end);
-      const double ev = std::strtod(e.c_str(), &e_end);
-      const bool a_numeric = !a.empty() && a_end == a.c_str() + a.size();
-      const bool e_numeric = !e.empty() && e_end == e.c_str() + e.size();
-      if (a_numeric && e_numeric) {
+      const std::optional<double> av = io::parse_double(a);
+      const std::optional<double> ev = io::parse_double(e);
+      if (av.has_value() && ev.has_value()) {
         const double tolerance =
-            std::max(kAbsEpsilon, kRelEpsilon * std::fabs(ev));
-        if (std::fabs(av - ev) > tolerance) {
+            std::max(kAbsEpsilon, kRelEpsilon * std::fabs(*ev));
+        if (std::fabs(*av - *ev) > tolerance) {
           return ::testing::AssertionFailure()
                  << path << " row " << r << " col " << c << ": " << a
                  << " vs golden " << e << " (|diff| "
-                 << std::fabs(av - ev) << " > " << tolerance << ")";
+                 << std::fabs(*av - *ev) << " > " << tolerance << ")";
         }
       } else if (a != e) {
         return ::testing::AssertionFailure()

@@ -355,7 +355,10 @@ TEST(IngestionFuzzOmm, TolerantQuarantinesBadBlocks) {
   ParseLog strict(ParsePolicy::kStrict);
   tle::TleCatalog rejected;
   EXPECT_THROW(
-      { tle::catalog_add_from_omm_kvn(rejected, text, &strict, "c.omm"); },
+      {
+        static_cast<void>(
+            tle::catalog_add_from_omm_kvn(rejected, text, &strict, "c.omm"));
+      },
       ParseError);
 }
 

@@ -6,15 +6,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/pipeline.hpp"
 #include "exec/parallel_for.hpp"
+#include "io/csv.hpp"
 #include "obs/obs.hpp"
 #include "simulation/scenario.hpp"
 #include "spaceweather/generator.hpp"
+#include "support/minijson.hpp"
 
 namespace cosmicdance::obs {
 namespace {
@@ -175,6 +178,82 @@ TEST(ObsDeterminismTest, PipelineWorkCountersBitIdenticalAcrossThreadCounts) {
     EXPECT_GT(report.scheduling.at("exec.sections"), 0u);
     EXPECT_GT(report.scheduling.at("exec.chunks"), 0u);
   }
+}
+
+// --- exporter escaping: hostile metric names must survive every format ------
+
+TEST(ObsExporterEscapingTest, ToJsonSurvivesHostileNames) {
+  const std::string quote_name = "he said \"hi\"";
+  const std::string slash_name = "back\\slash\\";
+  const std::string ctrl_name = "ctrl\x01\x02 bell\x07";
+  const std::string multiline_name = "line\nbreak\rreturn\ttab";
+
+  Metrics metrics;
+  metrics.counter(quote_name).add(1);
+  metrics.counter(slash_name).add(2);
+  metrics.set_gauge(ctrl_name, 4.5);
+  const auto begin = std::chrono::steady_clock::now();
+  metrics.record_phase(multiline_name, begin,
+                       begin + std::chrono::milliseconds(1));
+
+  const std::string json = metrics.snapshot().to_json();
+  const auto doc = minijson::parse(json);
+  ASSERT_TRUE(doc.has_value()) << "to_json emitted invalid JSON:\n" << json;
+
+  const minijson::Value* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_NE(counters->find(quote_name), nullptr) << "quote name lost";
+  EXPECT_NE(counters->find(slash_name), nullptr) << "backslash name lost";
+  const minijson::Value* gauges = doc->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_NE(gauges->find(ctrl_name), nullptr) << "control-char name lost";
+  const minijson::Value* phases = doc->find("phases");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_NE(phases->find(multiline_name), nullptr) << "newline name lost";
+}
+
+TEST(ObsExporterEscapingTest, TraceJsonSurvivesHostileSpanNames) {
+  const std::string hostile = "span \"x\"\\\n\x1f end";
+  Metrics metrics;
+  const auto begin = std::chrono::steady_clock::now();
+  metrics.record_phase(hostile, begin, begin + std::chrono::milliseconds(2));
+
+  const std::string trace = metrics.trace_json();
+  const auto doc = minijson::parse(trace);
+  ASSERT_TRUE(doc.has_value()) << "trace_json emitted invalid JSON:\n"
+                               << trace;
+  const minijson::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, minijson::Value::Kind::kArray);
+  bool found = false;
+  for (const minijson::Value& event : events->items) {
+    const minijson::Value* name = event.find("name");
+    if (name != nullptr && name->text == hostile) found = true;
+  }
+  EXPECT_TRUE(found) << "hostile span name did not round-trip";
+}
+
+TEST(ObsExporterEscapingTest, MetricRowsCsvRoundTripSurvivesHostileNames) {
+  MetricsReport report;
+  report.counters["with,comma"] = 1;
+  report.counters["with \"quote\""] = 2;
+  report.counters["with\nnewline"] = 3;
+  // The CR cases are the regression: an unquoted trailing \r is eaten by
+  // CRLF normalization on read, and a quoted "\r\n" used to lose its \r.
+  report.counters["with\rreturn"] = 4;
+  report.counters["trailing return\r"] = 5;
+  report.counters["crlf\r\ninside"] = 6;
+  report.gauges["plain"] = 7.0;
+
+  const std::vector<io::CsvRow> rows = report.metric_rows();
+  std::string text;
+  for (const io::CsvRow& row : rows) {
+    text += io::format_csv_row(row) + "\n";
+  }
+  std::istringstream in(text);
+  const std::vector<io::CsvRow> parsed = io::read_csv(in);
+  ASSERT_EQ(parsed.size(), rows.size());
+  EXPECT_EQ(parsed, rows);
 }
 
 }  // namespace

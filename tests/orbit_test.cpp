@@ -55,10 +55,10 @@ TEST(ElementsTest, CircularSpeedLeo) {
 }
 
 TEST(ElementsTest, Validation) {
-  EXPECT_THROW(mean_motion_revday_from_sma(0.0), ValidationError);
-  EXPECT_THROW(sma_from_mean_motion_revday(-1.0), ValidationError);
-  EXPECT_THROW(period_minutes(0.0), ValidationError);
-  EXPECT_THROW(circular_speed_kms(-5.0), ValidationError);
+  EXPECT_THROW(static_cast<void>(mean_motion_revday_from_sma(0.0)), ValidationError);
+  EXPECT_THROW(static_cast<void>(sma_from_mean_motion_revday(-1.0)), ValidationError);
+  EXPECT_THROW(static_cast<void>(period_minutes(0.0)), ValidationError);
+  EXPECT_THROW(static_cast<void>(circular_speed_kms(-5.0)), ValidationError);
 
   KeplerianElements coe;
   coe.eccentricity = 1.0;
@@ -112,9 +112,9 @@ TEST(KeplerTest, AnomalyConversionsRoundTrip) {
 }
 
 TEST(KeplerTest, RejectsHyperbolic) {
-  EXPECT_THROW(solve_kepler(1.0, 1.0), ValidationError);
-  EXPECT_THROW(solve_kepler(1.0, -0.1), ValidationError);
-  EXPECT_THROW(true_from_eccentric(1.0, 1.5), ValidationError);
+  EXPECT_THROW(static_cast<void>(solve_kepler(1.0, 1.0)), ValidationError);
+  EXPECT_THROW(static_cast<void>(solve_kepler(1.0, -0.1)), ValidationError);
+  EXPECT_THROW(static_cast<void>(true_from_eccentric(1.0, 1.5)), ValidationError);
 }
 
 TEST(StateTest, VectorAlgebra) {
@@ -188,10 +188,10 @@ TEST(StateTest, RejectsDegenerateStates) {
   StateVector sv;
   sv.position_km = {0.1, 0.0, 0.0};
   sv.velocity_kms = {0.0, 7.5, 0.0};
-  EXPECT_THROW(elements_from_state(sv), PropagationError);
+  EXPECT_THROW(static_cast<void>(elements_from_state(sv)), PropagationError);
   sv.position_km = {7000.0, 0.0, 0.0};
   sv.velocity_kms = {0.0, 20.0, 0.0};  // hyperbolic
-  EXPECT_THROW(elements_from_state(sv), PropagationError);
+  EXPECT_THROW(static_cast<void>(elements_from_state(sv)), PropagationError);
 }
 
 TEST(FramesTest, TemeEcefRoundTrip) {

@@ -152,7 +152,7 @@ TEST(Sgp4PropagateTest, StatusDecayed) {
 TEST(Sgp4PropagateTest, ThrowingVariantCarriesStatusText) {
   tle::Tle t = starlink_like(16.2, 53.0, 0.4, 1e-4);
   const Sgp4Propagator prop(t);
-  EXPECT_THROW(prop.propagate_minutes(365.0 * 1440.0), PropagationError);
+  EXPECT_THROW(static_cast<void>(prop.propagate_minutes(365.0 * 1440.0)), PropagationError);
 }
 
 TEST(Sgp4StatusTest, Strings) {

@@ -27,7 +27,7 @@ TEST(DstIndexTest, BasicAccessors) {
   EXPECT_FALSE(dst.covers(start + 3));
   EXPECT_FALSE(dst.covers(start - 1));
   EXPECT_DOUBLE_EQ(dst.at(start + 1), -20.0);
-  EXPECT_THROW(dst.at(start + 3), ValidationError);
+  EXPECT_THROW(static_cast<void>(dst.at(start + 3)), ValidationError);
   EXPECT_DOUBLE_EQ(dst.minimum(), -30.0);
 }
 
@@ -80,7 +80,7 @@ TEST(GScaleTest, NamesAndThresholds) {
   EXPECT_EQ(to_string(StormCategory::kExtreme), "extreme");
   EXPECT_DOUBLE_EQ(threshold(StormCategory::kMinor), -50.0);
   EXPECT_DOUBLE_EQ(threshold(StormCategory::kSevere), -200.0);
-  EXPECT_THROW(threshold(StormCategory::kQuiet), ValidationError);
+  EXPECT_THROW(static_cast<void>(threshold(StormCategory::kQuiet)), ValidationError);
 }
 
 DstIndex series_with(std::vector<double> values) {

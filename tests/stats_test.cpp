@@ -36,9 +36,9 @@ TEST(PercentileTest, SingleElement) {
 TEST(PercentileTest, Errors) {
   const std::vector<double> empty;
   const std::vector<double> v{1.0};
-  EXPECT_THROW(percentile(empty, 50.0), ValidationError);
-  EXPECT_THROW(percentile(v, -1.0), ValidationError);
-  EXPECT_THROW(percentile(v, 100.5), ValidationError);
+  EXPECT_THROW(static_cast<void>(percentile(empty, 50.0)), ValidationError);
+  EXPECT_THROW(static_cast<void>(percentile(v, -1.0)), ValidationError);
+  EXPECT_THROW(static_cast<void>(percentile(v, 100.5)), ValidationError);
 }
 
 TEST(PercentileTest, BatchMatchesSingle) {
@@ -85,11 +85,11 @@ TEST(DescriptiveTest, SingleElementVarianceIsZero) {
 
 TEST(DescriptiveTest, EmptyThrows) {
   const std::vector<double> empty;
-  EXPECT_THROW(mean(empty), ValidationError);
-  EXPECT_THROW(variance(empty), ValidationError);
-  EXPECT_THROW(min(empty), ValidationError);
-  EXPECT_THROW(max(empty), ValidationError);
-  EXPECT_THROW(summarize(empty), ValidationError);
+  EXPECT_THROW(static_cast<void>(mean(empty)), ValidationError);
+  EXPECT_THROW(static_cast<void>(variance(empty)), ValidationError);
+  EXPECT_THROW(static_cast<void>(min(empty)), ValidationError);
+  EXPECT_THROW(static_cast<void>(max(empty)), ValidationError);
+  EXPECT_THROW(static_cast<void>(summarize(empty)), ValidationError);
 }
 
 TEST(DescriptiveTest, SummaryConsistent) {
@@ -141,8 +141,8 @@ TEST(EcdfTest, Errors) {
   EXPECT_THROW(Ecdf{empty}, ValidationError);
   const std::vector<double> v{1.0};
   const Ecdf ecdf(v);
-  EXPECT_THROW(ecdf.quantile(-0.1), ValidationError);
-  EXPECT_THROW(ecdf.quantile(1.1), ValidationError);
+  EXPECT_THROW(static_cast<void>(ecdf.quantile(-0.1)), ValidationError);
+  EXPECT_THROW(static_cast<void>(ecdf.quantile(1.1)), ValidationError);
 }
 
 TEST(EcdfTest, PointsThinnedAndTerminated) {
@@ -186,7 +186,7 @@ TEST(HistogramTest, BinGeometry) {
   EXPECT_DOUBLE_EQ(h.bin_lower(0), 10.0);
   EXPECT_DOUBLE_EQ(h.bin_upper(0), 12.0);
   EXPECT_DOUBLE_EQ(h.bin_center(2), 15.0);
-  EXPECT_THROW(h.bin_lower(5), ValidationError);
+  EXPECT_THROW(static_cast<void>(h.bin_lower(5)), ValidationError);
 }
 
 TEST(HistogramTest, RejectsBadConstruction) {
@@ -211,7 +211,7 @@ TEST(RollingTest, WindowMedianRespectsBounds) {
       {0.0, 1.0}, {1.0, 2.0}, {2.0, 30.0}, {3.0, 4.0}, {4.0, 5.0}};
   EXPECT_DOUBLE_EQ(window_median(series, 0.0, 2.0), 1.5);   // [0,2)
   EXPECT_DOUBLE_EQ(window_median(series, 2.0, 3.0), 30.0);  // just t=2
-  EXPECT_THROW(window_median(series, 10.0, 20.0), ValidationError);
+  EXPECT_THROW(static_cast<void>(window_median(series, 10.0, 20.0)), ValidationError);
 }
 
 TEST(RollingTest, WindowMeanAndCount) {

@@ -12,17 +12,17 @@ namespace cosmicdance::timeutil {
 namespace {
 
 TEST(DateTimeTest, ValidatesFields) {
-  EXPECT_NO_THROW(make_datetime(2024, 2, 29));  // leap day
-  EXPECT_THROW(make_datetime(2023, 2, 29), ValidationError);
-  EXPECT_THROW(make_datetime(2024, 13, 1), ValidationError);
-  EXPECT_THROW(make_datetime(2024, 0, 1), ValidationError);
-  EXPECT_THROW(make_datetime(2024, 1, 32), ValidationError);
-  EXPECT_THROW(make_datetime(2024, 4, 31), ValidationError);
-  EXPECT_THROW(make_datetime(2024, 1, 1, 24), ValidationError);
-  EXPECT_THROW(make_datetime(2024, 1, 1, 0, 60), ValidationError);
-  EXPECT_THROW(make_datetime(2024, 1, 1, 0, 0, 60.0), ValidationError);
-  EXPECT_THROW(make_datetime(1799, 1, 1), ValidationError);
-  EXPECT_THROW(make_datetime(2101, 1, 1), ValidationError);
+  EXPECT_NO_THROW(static_cast<void>(make_datetime(2024, 2, 29)));  // leap day
+  EXPECT_THROW(static_cast<void>(make_datetime(2023, 2, 29)), ValidationError);
+  EXPECT_THROW(static_cast<void>(make_datetime(2024, 13, 1)), ValidationError);
+  EXPECT_THROW(static_cast<void>(make_datetime(2024, 0, 1)), ValidationError);
+  EXPECT_THROW(static_cast<void>(make_datetime(2024, 1, 32)), ValidationError);
+  EXPECT_THROW(static_cast<void>(make_datetime(2024, 4, 31)), ValidationError);
+  EXPECT_THROW(static_cast<void>(make_datetime(2024, 1, 1, 24)), ValidationError);
+  EXPECT_THROW(static_cast<void>(make_datetime(2024, 1, 1, 0, 60)), ValidationError);
+  EXPECT_THROW(static_cast<void>(make_datetime(2024, 1, 1, 0, 0, 60.0)), ValidationError);
+  EXPECT_THROW(static_cast<void>(make_datetime(1799, 1, 1)), ValidationError);
+  EXPECT_THROW(static_cast<void>(make_datetime(2101, 1, 1)), ValidationError);
 }
 
 TEST(DateTimeTest, LeapYearRules) {
@@ -37,8 +37,8 @@ TEST(DateTimeTest, DaysInMonth) {
   EXPECT_EQ(days_in_month(2023, 2), 28);
   EXPECT_EQ(days_in_month(2023, 12), 31);
   EXPECT_EQ(days_in_month(2023, 4), 30);
-  EXPECT_THROW(days_in_month(2023, 0), ValidationError);
-  EXPECT_THROW(days_in_month(2023, 13), ValidationError);
+  EXPECT_THROW(static_cast<void>(days_in_month(2023, 0)), ValidationError);
+  EXPECT_THROW(static_cast<void>(days_in_month(2023, 13)), ValidationError);
 }
 
 TEST(DateTimeTest, KnownJulianDates) {
@@ -121,20 +121,20 @@ TEST(DateTimeTest, ParseDateTimeVariants) {
 }
 
 TEST(DateTimeTest, ParseRejectsGarbage) {
-  EXPECT_THROW(parse_datetime("not a date"), ParseError);
-  EXPECT_THROW(parse_datetime("2024-05"), ParseError);
-  EXPECT_THROW(parse_datetime("2024-13-10"), ValidationError);
-  EXPECT_THROW(parse_datetime("2024-05-10Z12:00:00"), ParseError);
+  EXPECT_THROW(static_cast<void>(parse_datetime("not a date")), ParseError);
+  EXPECT_THROW(static_cast<void>(parse_datetime("2024-05")), ParseError);
+  EXPECT_THROW(static_cast<void>(parse_datetime("2024-13-10")), ValidationError);
+  EXPECT_THROW(static_cast<void>(parse_datetime("2024-05-10Z12:00:00")), ParseError);
 }
 
 TEST(DateTimeTest, ParseRejectsTrailingGarbageAfterTimeOfDay) {
   // sscanf stops at the first unconvertible character, so these used to
   // parse silently with the junk ignored.
-  EXPECT_THROW(parse_datetime("2024-05-10T12:00:00junk"), ParseError);
-  EXPECT_THROW(parse_datetime("2024-05-10T12:00:00.5abc"), ParseError);
-  EXPECT_THROW(parse_datetime("2024-05-10T12:00x"), ParseError);
-  EXPECT_THROW(parse_datetime("2024-05-10T12:00:"), ParseError);
-  EXPECT_THROW(parse_datetime("2024-05-10 17:05 UTC"), ParseError);
+  EXPECT_THROW(static_cast<void>(parse_datetime("2024-05-10T12:00:00junk")), ParseError);
+  EXPECT_THROW(static_cast<void>(parse_datetime("2024-05-10T12:00:00.5abc")), ParseError);
+  EXPECT_THROW(static_cast<void>(parse_datetime("2024-05-10T12:00x")), ParseError);
+  EXPECT_THROW(static_cast<void>(parse_datetime("2024-05-10T12:00:")), ParseError);
+  EXPECT_THROW(static_cast<void>(parse_datetime("2024-05-10 17:05 UTC")), ParseError);
   // The well-formed variants still parse.
   EXPECT_EQ(parse_datetime("2024-05-10T12:00").minute, 0);
   EXPECT_NEAR(parse_datetime("2024-05-10T12:00:00.5").second, 0.5, 1e-12);
@@ -189,11 +189,11 @@ TEST(TleEpochTest, RoundTrip) {
 }
 
 TEST(TleEpochTest, RejectsBadInput) {
-  EXPECT_THROW(tle_epoch_to_julian(-1, 10.0), ValidationError);
-  EXPECT_THROW(tle_epoch_to_julian(100, 10.0), ValidationError);
-  EXPECT_THROW(tle_epoch_to_julian(23, 0.5), ValidationError);
-  EXPECT_THROW(tle_epoch_to_julian(23, 366.0), ValidationError);  // not leap
-  EXPECT_NO_THROW(tle_epoch_to_julian(24, 366.5));                // leap
+  EXPECT_THROW(static_cast<void>(tle_epoch_to_julian(-1, 10.0)), ValidationError);
+  EXPECT_THROW(static_cast<void>(tle_epoch_to_julian(100, 10.0)), ValidationError);
+  EXPECT_THROW(static_cast<void>(tle_epoch_to_julian(23, 0.5)), ValidationError);
+  EXPECT_THROW(static_cast<void>(tle_epoch_to_julian(23, 366.0)), ValidationError);  // not leap
+  EXPECT_NO_THROW(static_cast<void>(tle_epoch_to_julian(24, 366.5)));                // leap
 }
 
 TEST(HourAxisTest, EpochAnchorsAtZero) {

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "core/export.hpp"
 #include "io/args.hpp"
+#include "io/parse.hpp"
 #include "timeutil/datetime.hpp"
 
 namespace cosmicdance {
@@ -89,9 +90,10 @@ TEST(ExportTest, EcdfCsvShape) {
   // Parse-back sanity: values are numeric and monotone.
   double previous = -1e9;
   for (std::size_t i = 1; i < rows.size(); ++i) {
-    const double x = std::stod(rows[i][0]);
-    EXPECT_GE(x, previous);
-    previous = x;
+    const auto x = io::parse_double(rows[i][0]);
+    ASSERT_TRUE(x.has_value()) << "non-numeric CSV cell: " << rows[i][0];
+    EXPECT_GE(*x, previous);
+    previous = *x;
   }
 }
 

@@ -1,0 +1,246 @@
+// cdlint — the CosmicDance project-invariant static-analysis pass.
+//
+//   cdlint [--root DIR] [--baseline FILE] [--json] [dir...]
+//
+// Walks `src/`, `tools/`, `bench/` and `tests/` under --root (default: the
+// current directory), lints every .cpp/.hpp/.h against the project rules in
+// rules.hpp, and prints findings one per line:
+//
+//   src/foo/bar.cpp:42: [rule-slug] message
+//
+// With --json, findings are emitted as a JSON object instead.  A baseline
+// file (one `rule|path|normalized-line` entry per line, '#' comments) lets
+// legacy findings be grandfathered while new ones fail; the committed
+// baseline is empty and tier-1 pass 5 keeps it that way.
+//
+// Exit status: 0 no findings, 1 findings, 2 usage or I/O error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace cdlint {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Options {
+  std::string root = ".";
+  std::string baseline;
+  bool json = false;
+  std::vector<std::string> dirs;
+};
+
+bool has_lintable_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h";
+}
+
+/// Directories never scanned: self-test corpora (deliberate violations),
+/// build trees, VCS internals.
+bool skipped_directory(const fs::path& path) {
+  const std::string name = path.filename().string();
+  return name == "testdata" || name == ".git" ||
+         name.rfind("build", 0) == 0;
+}
+
+std::string normalize_whitespace(const std::string& line) {
+  std::string out;
+  bool in_space = true;  // also trims leading whitespace
+  for (const char c : line) {
+    if (c == ' ' || c == '\t') {
+      if (!in_space) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(c >> 4) & 0xF]);
+          out.push_back(kHex[c & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Baseline entries are consumable: each suppresses one matching finding.
+using Baseline = std::multiset<std::string>;
+
+Baseline load_baseline(const std::string& path) {
+  Baseline baseline;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cdlint: cannot open baseline file: " << path << "\n";
+    std::exit(2);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    baseline.insert(line.substr(first));
+  }
+  return baseline;
+}
+
+std::string baseline_key(const Finding& finding, const SourceFile& file) {
+  const std::size_t idx = finding.line - 1;
+  const std::string content =
+      idx < file.raw_lines().size() ? file.raw_lines()[idx] : std::string();
+  return finding.rule + "|" + finding.file + "|" +
+         normalize_whitespace(content);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* name) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "cdlint: " << name << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      options.root = value("--root");
+    } else if (arg == "--baseline") {
+      options.baseline = value("--baseline");
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: cdlint [--root DIR] [--baseline FILE] [--json] "
+                   "[dir...]\n";
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "cdlint: unknown option " << arg << "\n";
+      std::exit(2);
+    } else {
+      options.dirs.push_back(arg);
+    }
+  }
+  if (options.dirs.empty()) options.dirs = {"src", "tools", "bench", "tests"};
+  return options;
+}
+
+int run(const Options& options) {
+  const fs::path root(options.root);
+  if (!fs::is_directory(root)) {
+    std::cerr << "cdlint: --root is not a directory: " << options.root << "\n";
+    return 2;
+  }
+
+  // Deterministic worklist: sorted repo-relative paths.
+  std::vector<std::string> files;
+  for (const std::string& dir : options.dirs) {
+    const fs::path base = root / dir;
+    if (!fs::is_directory(base)) continue;
+    fs::recursive_directory_iterator it(base), end;
+    while (it != end) {
+      if (it->is_directory() && skipped_directory(it->path())) {
+        it.disable_recursion_pending();
+      } else if (it->is_regular_file() &&
+                 has_lintable_extension(it->path())) {
+        files.push_back(fs::relative(it->path(), root).generic_string());
+      }
+      ++it;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  Baseline baseline;
+  if (!options.baseline.empty()) baseline = load_baseline(options.baseline);
+
+  std::vector<Finding> findings;
+  std::size_t baselined = 0;
+  for (const std::string& rel : files) {
+    std::ifstream in(root / rel, std::ios::binary);
+    if (!in) {
+      std::cerr << "cdlint: cannot read " << rel << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const SourceFile source(rel, text.str());
+
+    bool sibling_header = false;
+    if (rel.size() > 4 && rel.compare(rel.size() - 4, 4, ".cpp") == 0) {
+      const fs::path header =
+          (root / rel).parent_path() /
+          ((root / rel).stem().string() + ".hpp");
+      sibling_header = fs::exists(header);
+    }
+    for (Finding& finding : run_rules(source, sibling_header)) {
+      const auto entry = baseline.find(baseline_key(finding, source));
+      if (entry != baseline.end()) {
+        baseline.erase(entry);
+        ++baselined;
+        continue;
+      }
+      findings.push_back(std::move(finding));
+    }
+  }
+  std::sort(findings.begin(), findings.end());
+
+  if (options.json) {
+    std::cout << "{\n  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      std::cout << (i == 0 ? "\n" : ",\n")
+                << "    {\"file\": \"" << json_escape(f.file)
+                << "\", \"line\": " << f.line << ", \"rule\": \""
+                << json_escape(f.rule) << "\", \"message\": \""
+                << json_escape(f.message) << "\"}";
+    }
+    std::cout << (findings.empty() ? "]" : "\n  ]") << ",\n"
+              << "  \"files_scanned\": " << files.size() << ",\n"
+              << "  \"baselined\": " << baselined << ",\n"
+              << "  \"count\": " << findings.size() << "\n}\n";
+  } else {
+    for (const Finding& f : findings) {
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+    }
+  }
+  std::cerr << "cdlint: " << files.size() << " files, " << findings.size()
+            << " finding(s)"
+            << (baselined > 0
+                    ? ", " + std::to_string(baselined) + " baselined"
+                    : std::string())
+            << "\n";
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cdlint
+
+int main(int argc, char** argv) {
+  return cdlint::run(cdlint::parse_args(argc, argv));
+}

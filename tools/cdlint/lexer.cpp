@@ -1,0 +1,290 @@
+#include "lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace cdlint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_blank(const std::string& s) {
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  });
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+SourceFile::SourceFile(std::string path, const std::string& text)
+    : path_(std::move(path)) {
+  blank_literals(text);
+  code_text_.clear();
+  line_offsets_.clear();
+  for (const std::string& line : code_) {
+    line_offsets_.push_back(code_text_.size());
+    code_text_ += line;
+    code_text_.push_back('\n');
+  }
+  tokenize();
+  // Resolve allow() targets: a directive on a code-bearing line covers that
+  // line; a directive on a comment-only line covers the next line.
+  for (AllowDirective& allow : allows_) {
+    const std::size_t idx = allow.directive_line - 1;
+    const bool standalone = idx < code_.size() && is_blank(code_[idx]);
+    allow.target_line = standalone ? allow.directive_line + 1
+                                   : allow.directive_line;
+    if (allow.has_reason) {
+      for (const std::string& rule : allow.rules) {
+        reasoned_allows_by_line_[allow.target_line].insert(rule);
+      }
+    }
+  }
+}
+
+void SourceFile::blank_literals(const std::string& text) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;      // raw-string delimiter, e.g. )foo"
+  std::string comment;        // text of the comment currently being read
+  std::size_t comment_line = 0;
+  std::string raw_line;
+  std::string code_line;
+  std::size_t line_number = 1;
+
+  auto flush_comment = [&]() {
+    if (!comment.empty()) parse_allow_comment(comment, comment_line);
+    comment.clear();
+  };
+  auto end_line = [&]() {
+    // Preprocessor directives keep their literal text (include paths live
+    // inside quotes); nothing else interesting hides in them.
+    const std::string trimmed = trim(raw_line);
+    if (!trimmed.empty() && trimmed[0] == '#') {
+      code_.push_back(raw_line);
+    } else {
+      code_.push_back(code_line);
+    }
+    raw_.push_back(raw_line);
+    raw_line.clear();
+    code_line.clear();
+    ++line_number;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) {
+        flush_comment();
+        state = State::kCode;
+      } else if (state == State::kString || state == State::kChar) {
+        state = State::kCode;  // unterminated literal: recover at newline
+      }
+      end_line();
+      continue;
+    }
+    raw_line.push_back(c);
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment_line = line_number;
+          comment.clear();
+          code_line.push_back(' ');
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          comment_line = line_number;
+          comment.clear();
+          code_line.push_back(' ');
+        } else if (c == 'R' && next == '"' &&
+                   (code_line.empty() ||
+                    !is_ident_char(code_line.back()))) {
+          // Raw string literal: R"delim( ... )delim"
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < text.size() && text[j] != '(' && text[j] != '\n') {
+            delim.push_back(text[j]);
+            ++j;
+          }
+          raw_delim = ")" + delim + "\"";
+          state = State::kRaw;
+          code_line.push_back(' ');
+        } else if (c == '"') {
+          state = State::kString;
+          code_line.push_back(' ');
+        } else if (c == '\'' &&
+                   (code_line.empty() ||
+                    (!is_ident_char(code_line.back()) &&
+                     code_line.back() != '\''))) {
+          // Avoid treating digit separators (1'000'000) as char literals.
+          const bool digit_sep =
+              !code_line.empty() &&
+              std::isdigit(static_cast<unsigned char>(code_line.back())) != 0;
+          if (digit_sep) {
+            code_line.push_back(' ');
+          } else {
+            state = State::kChar;
+            code_line.push_back(' ');
+          }
+        } else {
+          code_line.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        comment.push_back(c);
+        code_line.push_back(' ');
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          flush_comment();
+          state = State::kCode;
+          code_line.push_back(' ');
+          code_line.push_back(' ');
+          raw_line.push_back(next);
+          ++i;
+        } else {
+          comment.push_back(c);
+          code_line.push_back(' ');
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          code_line.push_back(' ');
+          code_line.push_back(' ');
+          raw_line.push_back(next);
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          code_line.push_back(' ');
+        } else {
+          code_line.push_back(' ');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          code_line.push_back(' ');
+          code_line.push_back(' ');
+          raw_line.push_back(next);
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          code_line.push_back(' ');
+        } else {
+          code_line.push_back(' ');
+        }
+        break;
+      case State::kRaw:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 1; k < raw_delim.size(); ++k) {
+            raw_line.push_back(text[i + k]);
+            code_line.push_back(' ');
+          }
+          code_line.push_back(' ');
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          code_line.push_back(' ');
+        }
+        break;
+    }
+  }
+  if (state == State::kLineComment) flush_comment();
+  if (!raw_line.empty() || raw_.empty()) end_line();
+}
+
+void SourceFile::parse_allow_comment(const std::string& comment,
+                                     std::size_t line) {
+  const std::size_t marker = comment.find("cdlint:");
+  if (marker == std::string::npos) return;
+  const std::size_t open = comment.find("allow(", marker);
+  if (open == std::string::npos) return;
+  const std::size_t close = comment.find(')', open);
+  if (close == std::string::npos) return;
+  AllowDirective allow;
+  allow.directive_line = line;
+  std::string inside = comment.substr(open + 6, close - open - 6);
+  std::size_t start = 0;
+  while (start <= inside.size()) {
+    const std::size_t comma = inside.find(',', start);
+    const std::string rule =
+        trim(comma == std::string::npos ? inside.substr(start)
+                                        : inside.substr(start, comma - start));
+    if (!rule.empty()) allow.rules.insert(rule);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  allow.has_reason = !trim(comment.substr(close + 1)).empty();
+  if (!allow.rules.empty()) allows_.push_back(allow);
+}
+
+void SourceFile::tokenize() {
+  for (std::size_t li = 0; li < code_.size(); ++li) {
+    const std::string& line = code_[li];
+    std::size_t i = 0;
+    while (i < line.size()) {
+      if (is_ident_start(line[i])) {
+        std::size_t j = i + 1;
+        while (j < line.size() && is_ident_char(line[j])) ++j;
+        tokens_.push_back(Token{line.substr(i, j - i), li + 1, i});
+        i = j;
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+bool SourceFile::allowed(std::size_t line, const std::string& rule) const {
+  const auto it = reasoned_allows_by_line_.find(line);
+  return it != reasoned_allows_by_line_.end() && it->second.count(rule) > 0;
+}
+
+std::size_t SourceFile::line_of_offset(std::size_t offset) const {
+  const auto it = std::upper_bound(line_offsets_.begin(), line_offsets_.end(),
+                                   offset);
+  return static_cast<std::size_t>(it - line_offsets_.begin());
+}
+
+char SourceFile::char_after(const Token& token) const {
+  const std::size_t start =
+      line_offsets_[token.line - 1] + token.col + token.text.size();
+  for (std::size_t i = start; i < code_text_.size(); ++i) {
+    const char c = code_text_[i];
+    if (c != ' ' && c != '\t' && c != '\n') return c;
+  }
+  return '\0';
+}
+
+char SourceFile::char_before(const Token& token) const {
+  const std::string& line = code_[token.line - 1];
+  for (std::size_t i = token.col; i > 0; --i) {
+    const char c = line[i - 1];
+    if (c != ' ' && c != '\t') return c;
+  }
+  return '\0';
+}
+
+std::string SourceFile::two_chars_before(const Token& token) const {
+  const std::string& line = code_[token.line - 1];
+  std::size_t i = token.col;
+  while (i > 0 && (line[i - 1] == ' ' || line[i - 1] == '\t')) --i;
+  if (i < 2) return {};
+  return line.substr(i - 2, 2);
+}
+
+}  // namespace cdlint

@@ -1,0 +1,94 @@
+// cdlint's source scanner: a comment/literal-aware view of a C++ file.
+//
+// cdlint deliberately has no libclang dependency — it must build and run
+// in tier-1 with nothing but the C++ toolchain.  Instead of an AST it works
+// on a "code view" of each file: the raw text with comments, string
+// literals and character literals blanked out (replaced by spaces,
+// preserving line/column positions), plus an identifier token stream over
+// that view.  That is enough to enforce the project invariants in
+// rules.hpp with zero false positives on literal or commented text.
+//
+// Comments are also where suppressions live:
+//
+//   // cdlint: allow(unordered-iter) keys are drained into a sorted set
+//
+// applies to the same line, or to the next line when the comment stands
+// alone.  The reason is mandatory; a reasonless allow() is itself a
+// finding (rule "allow-reason") and does NOT suppress anything.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cdlint {
+
+/// One suppression directive, as parsed from an allow comment.
+struct AllowDirective {
+  std::size_t directive_line = 0;  ///< line the comment appears on (1-based)
+  std::size_t target_line = 0;     ///< line the suppression applies to
+  std::set<std::string> rules;     ///< slugs inside allow(...)
+  bool has_reason = false;         ///< non-empty justification after ')'
+};
+
+/// An identifier token in the code view.
+struct Token {
+  std::string text;
+  std::size_t line = 0;  ///< 1-based
+  std::size_t col = 0;   ///< 0-based offset into the line
+};
+
+class SourceFile {
+ public:
+  /// `path` is the repo-relative path ('/'-separated) used for rule scoping
+  /// and reporting; `text` is the file contents.
+  SourceFile(std::string path, const std::string& text);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const std::vector<std::string>& raw_lines() const {
+    return raw_;
+  }
+  /// Lines with comments and string/char literal *contents* blanked.
+  /// Preprocessor lines (leading '#') are kept verbatim so include paths
+  /// stay visible.
+  [[nodiscard]] const std::vector<std::string>& code_lines() const {
+    return code_;
+  }
+  [[nodiscard]] const std::vector<Token>& tokens() const { return tokens_; }
+  [[nodiscard]] const std::vector<AllowDirective>& allows() const {
+    return allows_;
+  }
+
+  /// True when an allow(rule) WITH a reason targets `line`.
+  [[nodiscard]] bool allowed(std::size_t line, const std::string& rule) const;
+
+  /// The whole code view joined with '\n' (for multi-line pattern scans).
+  [[nodiscard]] const std::string& code_text() const { return code_text_; }
+
+  /// Map an offset into code_text() to a 1-based line number.
+  [[nodiscard]] std::size_t line_of_offset(std::size_t offset) const;
+
+  /// First non-space character after the token (skipping newlines), or '\0'.
+  [[nodiscard]] char char_after(const Token& token) const;
+  /// First non-space character before the token (same line only), or '\0'.
+  [[nodiscard]] char char_before(const Token& token) const;
+  /// The two characters ending just before the token ("->", "::", ...).
+  [[nodiscard]] std::string two_chars_before(const Token& token) const;
+
+ private:
+  void blank_literals(const std::string& text);
+  void parse_allow_comment(const std::string& comment, std::size_t line);
+  void tokenize();
+
+  std::string path_;
+  std::vector<std::string> raw_;
+  std::vector<std::string> code_;
+  std::string code_text_;
+  std::vector<std::size_t> line_offsets_;  ///< offset of each line in code_text_
+  std::vector<Token> tokens_;
+  std::vector<AllowDirective> allows_;
+  std::map<std::size_t, std::set<std::string>> reasoned_allows_by_line_;
+};
+
+}  // namespace cdlint

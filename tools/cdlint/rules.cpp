@@ -1,0 +1,555 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <tuple>
+
+namespace cdlint {
+namespace {
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+const std::set<std::string>& known_rules() {
+  static const std::set<std::string> kRules{
+      "nondeterminism", "unordered-iter",  "raw-parse",     "naked-throw",
+      "counter-in-loop", "stdout-in-lib",  "include-first", "allow-reason"};
+  return kRules;
+}
+
+/// Raw conversion calls banned outside the checked-parse helpers.
+const std::set<std::string>& raw_parse_calls() {
+  static const std::set<std::string> kCalls{
+      "strtod", "strtof", "strtold", "strtol",  "strtoul", "strtoll",
+      "strtoull", "stod", "stof",    "stold",   "stoi",    "stol",
+      "stoul",  "stoll",  "stoull",  "atof",    "atoi",    "atol",
+      "atoll",  "sscanf"};
+  return kCalls;
+}
+
+/// Wall-clock / CPU-clock calls (allowed under src/obs/ and bench/).
+const std::set<std::string>& clock_calls() {
+  static const std::set<std::string> kCalls{"time", "clock", "gmtime",
+                                            "localtime", "clock_gettime"};
+  return kCalls;
+}
+
+struct Context {
+  const SourceFile& file;
+  std::vector<Finding>& findings;
+
+  void report(std::size_t line, const std::string& rule,
+              const std::string& message) {
+    if (file.allowed(line, rule)) return;
+    findings.push_back(Finding{file.path(), line, rule, message});
+  }
+};
+
+// --- small code_text scanning helpers --------------------------------------
+
+/// Cumulative start offset of each line in code_text().
+std::vector<std::size_t> line_starts(const SourceFile& f) {
+  std::vector<std::size_t> starts;
+  starts.reserve(f.code_lines().size());
+  std::size_t off = 0;
+  for (const std::string& line : f.code_lines()) {
+    starts.push_back(off);
+    off += line.size() + 1;
+  }
+  return starts;
+}
+
+/// Find the offset of the matching closing delimiter, honouring nesting of
+/// the same pair only.  Returns npos when unbalanced.
+std::size_t match_forward(const std::string& text, std::size_t open_offset,
+                          char open, char close) {
+  std::size_t depth = 0;
+  for (std::size_t i = open_offset; i < text.size(); ++i) {
+    if (text[i] == open) ++depth;
+    else if (text[i] == close) {
+      if (--depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+std::string read_ident_at(const std::string& text, std::size_t offset) {
+  std::size_t end = offset;
+  while (end < text.size() && is_ident_char(text[end])) ++end;
+  return text.substr(offset, end - offset);
+}
+
+/// Reads the identifier that ends just before `offset` (skipping trailing
+/// whitespace backwards); empty when none.
+std::string read_ident_before(const std::string& text, std::size_t offset) {
+  std::size_t end = offset;
+  while (end > 0 && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0)
+    --end;
+  std::size_t begin = end;
+  while (begin > 0 && is_ident_char(text[begin - 1])) --begin;
+  return text.substr(begin, end - begin);
+}
+
+std::size_t skip_ws(const std::string& text, std::size_t offset) {
+  while (offset < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[offset])) != 0)
+    ++offset;
+  return offset;
+}
+
+// --- R1: nondeterminism ------------------------------------------------------
+
+void rule_nondeterminism(Context& ctx) {
+  const SourceFile& f = ctx.file;
+  const bool clock_exempt = starts_with(f.path(), "src/obs/") ||
+                            starts_with(f.path(), "bench/");
+  for (const Token& t : f.tokens()) {
+    const char after = f.char_after(t);
+    const char before = f.char_before(t);
+    const bool member_call = before == '.' || before == '>';
+    if ((t.text == "rand" || t.text == "srand") && after == '(' &&
+        !member_call) {
+      ctx.report(t.line, "nondeterminism",
+                 "call to " + t.text +
+                     "() -- banned nondeterminism source; use cosmicdance::Rng "
+                     "with an explicit seed");
+    } else if (t.text == "random_device") {
+      ctx.report(t.line, "nondeterminism",
+                 "std::random_device -- banned nondeterminism source; seed "
+                 "cosmicdance::Rng explicitly");
+    } else if (t.text == "system_clock" && !clock_exempt) {
+      ctx.report(t.line, "nondeterminism",
+                 "std::chrono::system_clock -- wall clock reads are banned "
+                 "outside src/obs/ and bench/");
+    } else if (clock_calls().count(t.text) > 0 && after == '(' &&
+               !member_call && !clock_exempt) {
+      ctx.report(t.line, "nondeterminism",
+                 "call to " + t.text +
+                     "() -- wall clock reads are banned outside src/obs/ and "
+                     "bench/");
+    }
+  }
+  // Pointer-keyed ordered containers: iteration order follows allocation
+  // addresses, which vary run to run.
+  const std::string& text = f.code_text();
+  for (const char* pattern : {"std::map<", "std::set<"}) {
+    const std::size_t pattern_len = std::string(pattern).size();
+    std::size_t at = text.find(pattern);
+    while (at != std::string::npos) {
+      std::string first_arg;
+      int depth = 0;
+      for (std::size_t i = at + pattern_len - 1; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c == '<' || c == '(') {
+          ++depth;
+          if (depth > 1) first_arg.push_back(c);
+        } else if (c == '>' || c == ')') {
+          --depth;
+          if (depth <= 0) break;
+          first_arg.push_back(c);
+        } else if (c == ',' && depth == 1) {
+          break;
+        } else if (c == ';') {
+          first_arg.clear();
+          break;
+        } else {
+          first_arg.push_back(c);
+        }
+      }
+      const std::string arg = trim(first_arg);
+      if (!arg.empty() && arg.back() == '*') {
+        ctx.report(f.line_of_offset(at), "nondeterminism",
+                   "pointer-keyed std::map/std::set -- iteration order "
+                   "depends on allocation; key by a stable id instead");
+      }
+      at = text.find(pattern, at + 1);
+    }
+  }
+}
+
+// --- R2: unordered-iter ------------------------------------------------------
+
+void rule_unordered_iter(Context& ctx) {
+  const SourceFile& f = ctx.file;
+  const std::string& text = f.code_text();
+  const std::vector<std::size_t> starts = line_starts(f);
+  auto offset_of = [&](const Token& t) { return starts[t.line - 1] + t.col; };
+
+  // Pass 1: names declared with an unordered container type.  After the
+  // closing '>' only refs/pointers and cv qualifiers may precede the
+  // declared name; anything else (';', '=', '(') means no declaration.
+  std::set<std::string> unordered_names;
+  const std::vector<Token>& tokens = f.tokens();
+  for (std::size_t ti = 0; ti < tokens.size(); ++ti) {
+    const Token& t = tokens[ti];
+    if (t.text != "unordered_map" && t.text != "unordered_set") continue;
+    if (f.char_after(t) != '<') continue;
+    const std::size_t open = text.find('<', offset_of(t));
+    if (open == std::string::npos) continue;
+    const std::size_t close = match_forward(text, open, '<', '>');
+    if (close == std::string::npos) continue;
+    std::size_t p = close + 1;
+    for (;;) {
+      p = skip_ws(text, p);
+      if (p >= text.size()) break;
+      const char c = text[p];
+      if (c == '&' || c == '*') {
+        ++p;
+        continue;
+      }
+      if (is_ident_char(c)) {
+        const std::string ident = read_ident_at(text, p);
+        if (ident == "const") {
+          p += ident.size();
+          continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(ident[0])) == 0) {
+          unordered_names.insert(ident);
+        }
+      }
+      break;
+    }
+  }
+  if (unordered_names.empty()) return;
+
+  // Pass 2a: member traversal m.begin() / m.cbegin().
+  for (std::size_t ti = 0; ti + 1 < tokens.size(); ++ti) {
+    const Token& t = tokens[ti];
+    if (unordered_names.count(t.text) == 0) continue;
+    if (f.char_after(t) != '.') continue;
+    const std::string& next = tokens[ti + 1].text;
+    if (next == "begin" || next == "cbegin" || next == "end" ||
+        next == "cend") {
+      ctx.report(t.line, "unordered-iter",
+                 "iterator traversal of unordered container '" + t.text +
+                     "' -- hash order is nondeterministic; copy into a "
+                     "sorted container first");
+    }
+  }
+
+  // Pass 2b: range-for over a declared unordered name.
+  for (const Token& t : tokens) {
+    if (t.text != "for" || f.char_after(t) != '(') continue;
+    const std::size_t open = text.find('(', offset_of(t));
+    if (open == std::string::npos) continue;
+    const std::size_t close = match_forward(text, open, '(', ')');
+    if (close == std::string::npos) continue;
+    const std::string inside = text.substr(open + 1, close - open - 1);
+    // Find a ':' that is not part of '::'.
+    std::size_t colon = std::string::npos;
+    for (std::size_t i = 0; i < inside.size(); ++i) {
+      if (inside[i] != ':') continue;
+      const bool dbl = (i + 1 < inside.size() && inside[i + 1] == ':') ||
+                       (i > 0 && inside[i - 1] == ':');
+      if (!dbl) {
+        colon = i;
+        break;
+      }
+    }
+    if (colon == std::string::npos) continue;
+    std::string range = trim(inside.substr(colon + 1));
+    while (!range.empty() && (range.front() == '*' || range.front() == '&' ||
+                              range.front() == '('))
+      range.erase(range.begin());
+    range = trim(range);
+    if (unordered_names.count(range) > 0) {
+      ctx.report(t.line, "unordered-iter",
+                 "range-for over unordered container '" + range +
+                     "' -- hash order is nondeterministic; iterate a sorted "
+                     "copy or key set instead");
+    }
+  }
+}
+
+// --- R3: raw-parse -----------------------------------------------------------
+
+void rule_raw_parse(Context& ctx) {
+  const SourceFile& f = ctx.file;
+  if (starts_with(f.path(), "src/io/") || starts_with(f.path(), "src/tle/"))
+    return;
+  for (const Token& t : f.tokens()) {
+    if (raw_parse_calls().count(t.text) == 0) continue;
+    if (f.char_after(t) != '(') continue;
+    const char before = f.char_before(t);
+    if (before == '.' || before == '>') continue;  // member of another type
+    ctx.report(t.line, "raw-parse",
+               "raw " + t.text +
+                   "() outside src/io//src/tle -- parse through the checked "
+                   "helpers in io/parse.hpp so failures are policy-routed");
+  }
+}
+
+// --- R4: naked-throw ---------------------------------------------------------
+
+void rule_naked_throw(Context& ctx) {
+  const SourceFile& f = ctx.file;
+  if (!starts_with(f.path(), "src/")) return;
+  // src/diag/ implements ParsePolicy routing itself: ParseLog::reject *is*
+  // the sanctioned throw site, so the rule is definitionally exempt there.
+  if (starts_with(f.path(), "src/diag/")) return;
+  const std::string& text = f.code_text();
+  const std::vector<std::size_t> starts = line_starts(f);
+
+  for (const Token& t : f.tokens()) {
+    if (t.text != "ParseLog") continue;
+    // A ParseLog mention that reaches '{' before ';' is a function
+    // definition with a ParseLog parameter — the policy-routed entry point.
+    std::size_t i = starts[t.line - 1] + t.col + t.text.size();
+    std::size_t body_open = std::string::npos;
+    for (; i < text.size(); ++i) {
+      if (text[i] == ';') break;
+      if (text[i] == '{') {
+        body_open = i;
+        break;
+      }
+    }
+    if (body_open == std::string::npos) continue;
+    const std::size_t body_close = match_forward(text, body_open, '{', '}');
+    if (body_close == std::string::npos) continue;
+
+    // Walk the body tracking which braces open try/catch compounds.
+    std::vector<char> stack;  // 't' try, 'c' catch, '.' plain
+    for (std::size_t j = body_open + 1; j < body_close; ++j) {
+      const char c = text[j];
+      if (c == '{') {
+        // Classify by what precedes the brace.
+        std::size_t k = j;
+        while (k > 0 &&
+               std::isspace(static_cast<unsigned char>(text[k - 1])) != 0)
+          --k;
+        char kind = '.';
+        if (k > 0 && text[k - 1] == ')') {
+          const std::size_t close_paren = k - 1;
+          std::size_t depth = 0;
+          std::size_t open_paren = std::string::npos;
+          for (std::size_t p = close_paren + 1; p-- > 0;) {
+            if (text[p] == ')') ++depth;
+            else if (text[p] == '(') {
+              if (--depth == 0) {
+                open_paren = p;
+                break;
+              }
+            }
+          }
+          if (open_paren != std::string::npos &&
+              read_ident_before(text, open_paren) == "catch") {
+            kind = 'c';
+          }
+        } else {
+          const std::string ident = read_ident_before(text, k);
+          if (ident == "try") kind = 't';
+        }
+        stack.push_back(kind);
+      } else if (c == '}') {
+        if (!stack.empty()) stack.pop_back();
+      } else if (is_ident_char(c) && (j == 0 || !is_ident_char(text[j - 1]))) {
+        const std::string ident = read_ident_at(text, j);
+        if (ident == "throw") {
+          // Thrown type: skip namespace qualifiers.
+          std::size_t k = skip_ws(text, j + 5);
+          std::string thrown = read_ident_at(text, k);
+          while (text.compare(k + thrown.size(), 2, "::") == 0) {
+            k = k + thrown.size() + 2;
+            thrown = read_ident_at(text, k);
+          }
+          const bool routed =
+              std::any_of(stack.begin(), stack.end(),
+                          [](char s) { return s == 't' || s == 'c'; });
+          if (thrown == "ParseError" && !routed) {
+            ctx.report(f.line_of_offset(j), "naked-throw",
+                       "throw ParseError in a ParseLog-routed parse function "
+                       "outside try/catch -- route the failure through "
+                       "ParseLog::reject so ParsePolicy applies");
+          }
+        }
+        j += ident.size() - 1;
+      }
+    }
+  }
+}
+
+// --- R5: counter-in-loop -----------------------------------------------------
+
+void rule_counter_in_loop(Context& ctx) {
+  const SourceFile& f = ctx.file;
+  const std::string& text = f.code_text();
+  const std::vector<std::size_t> starts = line_starts(f);
+  auto offset_of = [&](const Token& t) { return starts[t.line - 1] + t.col; };
+
+  // Collect loop body extents: braced bodies and single-statement bodies.
+  struct Extent {
+    std::size_t begin;
+    std::size_t end;
+  };
+  std::vector<Extent> loops;
+  for (const Token& t : f.tokens()) {
+    if (t.text == "for" || t.text == "while") {
+      if (f.char_after(t) != '(') continue;
+      const std::size_t open = text.find('(', offset_of(t));
+      if (open == std::string::npos) continue;
+      const std::size_t close = match_forward(text, open, '(', ')');
+      if (close == std::string::npos) continue;
+      const std::size_t next = skip_ws(text, close + 1);
+      if (next < text.size() && text[next] == '{') {
+        const std::size_t body_close = match_forward(text, next, '{', '}');
+        if (body_close != std::string::npos)
+          loops.push_back({next, body_close});
+      } else if (next < text.size() && text[next] != ';') {
+        const std::size_t semi = text.find(';', next);
+        if (semi != std::string::npos) loops.push_back({next, semi});
+      }
+    } else if (t.text == "do" && f.char_after(t) == '{') {
+      const std::size_t open = text.find('{', offset_of(t));
+      if (open == std::string::npos) continue;
+      const std::size_t body_close = match_forward(text, open, '{', '}');
+      if (body_close != std::string::npos) loops.push_back({open, body_close});
+    }
+  }
+  if (loops.empty()) return;
+
+  for (const Token& t : f.tokens()) {
+    const bool registry_lookup =
+        (t.text == "counter" || t.text == "sched_counter") &&
+        (f.char_before(t) == '.' || f.char_before(t) == '>') &&
+        f.char_after(t) == '(';
+    const bool helper_lookup =
+        t.text == "counter_or_null" && f.char_after(t) == '(';
+    if (!registry_lookup && !helper_lookup) continue;
+    const std::size_t at = offset_of(t);
+    const bool in_loop = std::any_of(
+        loops.begin(), loops.end(),
+        [at](const Extent& e) { return at > e.begin && at < e.end; });
+    if (in_loop) {
+      ctx.report(t.line, "counter-in-loop",
+                 "obs counter registry lookup inside a loop -- hoist a "
+                 "Counter* handle (obs::counter_or_null) out of the loop and "
+                 "bump() it");
+    }
+  }
+}
+
+// --- R6: stdout-in-lib -------------------------------------------------------
+
+void rule_stdout_in_lib(Context& ctx) {
+  const SourceFile& f = ctx.file;
+  if (!starts_with(f.path(), "src/")) return;
+  for (const Token& t : f.tokens()) {
+    if (t.text == "cout") {
+      ctx.report(t.line, "stdout-in-lib",
+                 "std::cout in a src/ library -- stdout belongs to the CLI, "
+                 "tools and benches; return data or take an ostream&");
+    } else if ((t.text == "printf" || t.text == "puts" ||
+                t.text == "putchar") &&
+               f.char_after(t) == '(' && f.char_before(t) != '.' &&
+               f.char_before(t) != '>') {
+      ctx.report(t.line, "stdout-in-lib",
+                 "call to " + t.text +
+                     "() in a src/ library -- stdout belongs to the CLI, "
+                     "tools and benches");
+    }
+  }
+}
+
+// --- R7: include-first -------------------------------------------------------
+
+void rule_include_first(Context& ctx, bool has_sibling_header) {
+  const SourceFile& f = ctx.file;
+  if (!ends_with(f.path(), ".cpp") || !has_sibling_header) return;
+  const std::size_t slash = f.path().rfind('/');
+  const std::string base =
+      f.path().substr(slash == std::string::npos ? 0 : slash + 1);
+  const std::string stem = base.substr(0, base.size() - 4);  // drop ".cpp"
+  const std::string header = stem + ".hpp";
+
+  const std::vector<std::string>& lines = f.code_lines();
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string line = trim(lines[li]);
+    if (line.rfind("#include", 0) != 0) continue;
+    const std::size_t q1 = line.find_first_of("\"<");
+    const std::size_t q2 =
+        q1 == std::string::npos ? std::string::npos
+                                : line.find_first_of("\">", q1 + 1);
+    const std::string included =
+        (q1 != std::string::npos && q2 != std::string::npos)
+            ? line.substr(q1 + 1, q2 - q1 - 1)
+            : std::string();
+    const bool quoted = q1 != std::string::npos && line[q1] == '"';
+    const bool own = quoted && (included == header ||
+                                ends_with(included, "/" + header));
+    if (!own) {
+      ctx.report(li + 1, "include-first",
+                 "first #include must be this file's own header \"" + header +
+                     "\" (got '" + included +
+                     "') so the header is proven self-contained");
+    }
+    return;  // only the first include matters
+  }
+  ctx.report(1, "include-first",
+             "no #include found; a .cpp with a sibling header must include \"" +
+                 header + "\" first");
+}
+
+// --- meta: allow-reason ------------------------------------------------------
+
+void rule_allow_reason(Context& ctx) {
+  for (const AllowDirective& allow : ctx.file.allows()) {
+    if (!allow.has_reason) {
+      ctx.findings.push_back(
+          Finding{ctx.file.path(), allow.directive_line, "allow-reason",
+                  "cdlint allow() directive without a justification -- state "
+                  "why the exception is safe; reasonless allows suppress "
+                  "nothing"});
+    }
+    for (const std::string& rule : allow.rules) {
+      if (known_rules().count(rule) == 0) {
+        ctx.findings.push_back(
+            Finding{ctx.file.path(), allow.directive_line, "allow-reason",
+                    "unknown rule '" + rule + "' in cdlint allow() directive"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool operator<(const Finding& a, const Finding& b) {
+  return std::tie(a.file, a.line, a.rule, a.message) <
+         std::tie(b.file, b.line, b.rule, b.message);
+}
+
+std::vector<Finding> run_rules(const SourceFile& file,
+                               bool has_sibling_header) {
+  std::vector<Finding> findings;
+  Context ctx{file, findings};
+  rule_nondeterminism(ctx);
+  rule_unordered_iter(ctx);
+  rule_raw_parse(ctx);
+  rule_naked_throw(ctx);
+  rule_counter_in_loop(ctx);
+  rule_stdout_in_lib(ctx);
+  rule_include_first(ctx, has_sibling_header);
+  rule_allow_reason(ctx);
+  std::sort(findings.begin(), findings.end());
+  return findings;
+}
+
+}  // namespace cdlint

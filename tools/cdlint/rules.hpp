@@ -1,0 +1,57 @@
+// The CosmicDance project-invariant lint rules.
+//
+// Each rule guards an invariant established by an earlier PR and otherwise
+// enforced only dynamically (differential tests, fuzzing, sanitizers):
+//
+//   nondeterminism  (R1) No wall-clock/rand/pointer-ordered containers in
+//                        measurement code: outputs must be bit-identical at
+//                        any --threads value (DESIGN.md §9).  Clock sources
+//                        are permitted under src/obs/ and bench/.
+//   unordered-iter  (R2) No range-for / .begin() traversal of
+//                        std::unordered_map/set: hash-order iteration is a
+//                        nondeterminism source.  Allow with
+//                        `// cdlint: allow(unordered-iter) <reason>`.
+//   raw-parse       (R3) No raw strtod/stoi/atof/... outside src/io/ and
+//                        src/tle/: every parse must be checked and
+//                        policy-routed (DESIGN.md §10); io/parse.hpp has
+//                        the sanctioned helpers.
+//   naked-throw     (R4) Inside a function that takes a diag::ParseLog*,
+//                        `throw ParseError(...)` must sit in a try/catch
+//                        (routed) — otherwise it bypasses ParsePolicy and
+//                        strict/tolerant behave differently by accident.
+//   counter-in-loop (R5) obs counter registry lookups (->counter(...),
+//                        counter_or_null(...)) inside a loop body: hoist
+//                        the Counter* handle out of the loop (DESIGN.md
+//                        §11) so the enabled path costs one lookup, not N.
+//   stdout-in-lib   (R6) No std::cout / printf in src/ libraries; only the
+//                        CLI, tools and benches own stdout.
+//   include-first   (R7) Every .cpp includes its own header first, so each
+//                        header is proven self-contained by compilation.
+//
+// Plus the meta rule `allow-reason`: an allow() directive without a
+// justification is a finding and suppresses nothing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace cdlint {
+
+struct Finding {
+  std::string file;   ///< repo-relative path
+  std::size_t line = 0;
+  std::string rule;   ///< slug, e.g. "nondeterminism"
+  std::string message;
+};
+
+/// Order findings for stable, diffable output.
+bool operator<(const Finding& a, const Finding& b);
+
+/// Run every rule over one scanned file.  `has_sibling_header` tells the
+/// include-first rule whether `<stem>.hpp` exists next to a .cpp.
+[[nodiscard]] std::vector<Finding> run_rules(const SourceFile& file,
+                                             bool has_sibling_header);
+
+}  // namespace cdlint

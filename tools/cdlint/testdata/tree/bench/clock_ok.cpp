@@ -1,0 +1,11 @@
+// cdlint corpus: negative control.  bench/ may read wall clocks: timing is
+// what benches are for, and their output never feeds measurements.
+#include <chrono>
+#include <ctime>
+
+double seconds_since(long then) {
+  const auto now = std::chrono::system_clock::now();
+  (void)now;
+  long stamp = time(nullptr);
+  return static_cast<double>(stamp - then);
+}

@@ -1,0 +1,23 @@
+// cdlint corpus: allow-directive behaviour.
+#include <unordered_map>
+
+int sum_reasoned() {
+  std::unordered_map<int, int> table;
+  int total = 0;
+  // cdlint: allow(unordered-iter) corpus seed: sum is order-independent
+  for (const auto& entry : table) {
+    total += entry.second;
+  }
+  return total;
+}
+
+int sum_reasonless() {
+  std::unordered_map<int, int> table;
+  int total = 0;
+  // cdlint: allow(unordered-iter)
+  for (const auto& entry : table) {
+    total += entry.second;
+  }
+  // cdlint: allow(no-such-rule) the slug above does not exist
+  return total;
+}

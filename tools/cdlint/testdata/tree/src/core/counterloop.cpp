@@ -1,0 +1,24 @@
+// cdlint corpus: seeded violations for rule `counter-in-loop` (R5).
+struct Counter {
+  void bump();
+};
+struct Registry {
+  Counter* counter(const char* name);
+};
+Counter* counter_or_null(Registry* registry, const char* name);
+
+void tally(Registry* registry) {
+  for (int i = 0; i < 8; ++i) {
+    registry->counter("ticks")->bump();
+  }
+  int remaining = 3;
+  while (remaining-- > 0) {
+    Counter* slow = counter_or_null(registry, "drains");
+    if (slow != nullptr) slow->bump();
+  }
+  // Hoisted handle: the sanctioned shape, no finding.
+  Counter* ticks = counter_or_null(registry, "ticks");
+  for (int i = 0; i < 8; ++i) {
+    if (ticks != nullptr) ticks->bump();
+  }
+}

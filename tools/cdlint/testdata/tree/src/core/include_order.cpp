@@ -1,0 +1,7 @@
+// cdlint corpus: seeded violation for rule `include-first` (R7): the own
+// header must come first, before <vector>.
+#include <vector>
+
+#include "include_order.hpp"
+
+int ordered_value() { return static_cast<int>(std::vector<int>{1}.size()); }

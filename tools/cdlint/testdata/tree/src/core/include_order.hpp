@@ -1,0 +1,4 @@
+// cdlint corpus: sibling header for the `include-first` (R7) seed.
+#pragma once
+
+int ordered_value();

@@ -1,0 +1,19 @@
+// cdlint corpus: seeded violations for rule `nondeterminism` (R1).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+
+int jitter() {
+  int x = rand();
+  std::random_device entropy;
+  x += static_cast<int>(entropy());
+  const auto now = std::chrono::system_clock::now();
+  (void)now;
+  long stamp = time(nullptr);
+  return x + static_cast<int>(stamp);
+}
+
+struct Item {};
+std::map<Item*, int> ranking;

@@ -1,0 +1,8 @@
+// cdlint corpus: seeded violations for rule `stdout-in-lib` (R6).
+#include <cstdio>
+#include <iostream>
+
+void report(int value) {
+  std::cout << "value=" << value << "\n";
+  printf("value=%d\n", value);
+}

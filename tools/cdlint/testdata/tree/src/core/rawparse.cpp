@@ -1,0 +1,9 @@
+// cdlint corpus: seeded violations for rule `raw-parse` (R3).
+#include <cstdlib>
+#include <string>
+
+double cell_value(const std::string& text) {
+  double value = std::stod(text);
+  value += atoi(text.c_str());
+  return value;
+}

@@ -1,0 +1,16 @@
+// cdlint corpus: seeded violations for rule `unordered-iter` (R2).
+#include <unordered_map>
+#include <unordered_set>
+
+int drain() {
+  std::unordered_map<int, int> histogram;
+  std::unordered_set<int> seen;
+  int total = 0;
+  for (const auto& entry : histogram) {
+    total += entry.second;
+  }
+  for (auto it = seen.begin(); it != seen.end(); ++it) {
+    total += *it;
+  }
+  return total;
+}

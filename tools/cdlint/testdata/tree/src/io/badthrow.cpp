@@ -1,0 +1,32 @@
+// cdlint corpus: seeded violation for rule `naked-throw` (R4).  src/io/ is
+// exempt from raw-parse but NOT from throw routing: a function that takes a
+// diag::ParseLog must not throw ParseError outside try/catch.
+#include <stdexcept>
+#include <string>
+
+namespace diag {
+class ParseLog;
+}
+struct ParseError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+double parse_cell(const std::string& text, diag::ParseLog* log) {
+  (void)log;
+  if (text.empty()) {
+    throw ParseError("empty cell");
+  }
+  return 0.0;
+}
+
+double parse_routed(const std::string& text, diag::ParseLog* log) {
+  (void)log;
+  try {
+    if (text.empty()) {
+      throw ParseError("empty cell");
+    }
+  } catch (const ParseError&) {
+    return -1.0;
+  }
+  return 0.0;
+}

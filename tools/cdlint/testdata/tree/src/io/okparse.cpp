@@ -1,0 +1,8 @@
+// cdlint corpus: negative control.  src/io/ is the sanctioned home of raw
+// conversions, so strtod here must produce no raw-parse finding.
+#include <cstdlib>
+
+double parse_raw(const char* text) {
+  char* end = nullptr;
+  return strtod(text, &end);
+}

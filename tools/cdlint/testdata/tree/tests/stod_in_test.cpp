@@ -1,0 +1,5 @@
+// cdlint corpus: raw-parse (R3) applies to tests/ too -- golden-file
+// comparisons must use the checked helpers so NaN/garbage cells fail loudly.
+#include <string>
+
+double expected_cell(const std::string& text) { return std::stod(text); }

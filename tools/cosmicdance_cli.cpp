@@ -280,8 +280,8 @@ int cmd_convert(const io::ArgParser& args) {
   if (const auto out = args.option("to-tles")) {
     tle::TleCatalog catalog;
     const std::string omm_path = require(args, "omm");
-    tle::catalog_add_from_omm_kvn(catalog, io::read_file(omm_path), &log,
-                                  omm_path);
+    static_cast<void>(tle::catalog_add_from_omm_kvn(
+        catalog, io::read_file(omm_path), &log, omm_path));
     emit_quality_report(args, log.report());
     io::write_file(*out, catalog.to_text());
     std::cout << "wrote " << catalog.record_count() << " TLEs to " << *out

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: build + full ctest three times —
+# Tier-1 CI gate: build + full ctest —
 #   1. plain RelWithDebInfo over the whole suite,
 #   2. ThreadSanitizer (COSMICDANCE_SANITIZE=thread) over the parallel exec
 #      suite, which must be race-free for the deterministic-ordering
@@ -11,11 +11,16 @@
 #      dataset (work counters must be bit-identical at --threads 1 vs 8,
 #      per DESIGN.md §11) plus the micro_pipeline telemetry pass, leaving
 #      build/BENCH_pipeline.json behind as a CI artifact.
+#   5. static analysis: cdlint (the project-invariant lint, DESIGN.md §12)
+#      must report zero non-baselined findings against the committed --
+#      empty -- baseline, and its seeded corpus must keep producing the
+#      golden findings so no rule can silently die.  clang-tidy and
+#      shellcheck run when installed and are skipped (not failed) when not.
 #
 # Usage: tools/run_tier1.sh [jobs]
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 JOBS="${1:-$(nproc)}"
 
 echo "== pass 1: plain build + full test suite =="
@@ -83,5 +88,19 @@ print(f"observability smoke OK: {len(m1['counters'])} work counters "
       f"{len(trace['traceEvents'])} trace events, "
       f"bench throughput keys: {sorted(bench['throughput'])}")
 EOF
+
+echo "== pass 5: static analysis (cdlint; clang-tidy/shellcheck if installed) =="
+# cdlint: the tree must be clean against the committed (empty) baseline,
+# and the self-test corpus must still produce the golden findings --
+# otherwise a lint rule has silently stopped firing.
+cmake --build build -j "$JOBS" --target cdlint cdlint_test
+build/tools/cdlint/cdlint --root . --baseline tools/cdlint/baseline.txt
+ctest --test-dir build --output-on-failure -R 'CdlintTest'
+tools/run_clang_tidy.sh build "$JOBS"
+if command -v shellcheck >/dev/null 2>&1; then
+  shellcheck tools/run_tier1.sh tools/run_clang_tidy.sh
+else
+  echo "shellcheck not installed; skipping shell lint"
+fi
 
 echo "== tier-1 gate: OK =="

@@ -1,0 +1,191 @@
+// Microbenchmarks over the ingestion fast path (DESIGN.md §13): the legacy
+// slurp-into-string parse, the zero-copy mmap parse, and the binary snapshot
+// load that skips text parsing entirely.  The three rates printed side by
+// side are the cold/warm start story in one screen.
+//
+// Supplies its own main(): after the google-benchmark suite runs, an
+// instrumented cold-then-warm pair of CosmicDance::from_files passes
+// collects cd_obs telemetry and writes a machine-readable record.  The warm
+// pass must hit the snapshot cache, so the record always carries
+// `ingest.cache_hit` == 1 — tier-1 asserts on it, and
+// tools/bench_compare.py diffs the throughput keys between runs:
+//
+//   ./micro_ingest [--benchmark_filter=RE] [--bench-out F] [--threads N]
+//
+// Default output: BENCH_ingest.json in the working directory.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "io/snapshot.hpp"
+#include "spaceweather/wdc.hpp"
+#include "tle/catalog.hpp"
+
+namespace {
+
+using namespace cosmicdance;
+
+/// The bench dataset written to disk once: the paper-window Dst series in
+/// WDC format plus a bench-scale catalog in TLE text, the same shapes the
+/// CLI ingests.  Lives under the system temp directory.
+struct BenchDataset {
+  std::string dir;
+  std::string dst_path;
+  std::string tle_path;
+  std::size_t records = 0;
+};
+
+const BenchDataset& shared_dataset() {
+  static const BenchDataset dataset = [] {
+    BenchDataset built;
+    built.dir =
+        (std::filesystem::temp_directory_path() / "cd_micro_ingest").string();
+    std::filesystem::create_directories(built.dir);
+    const spaceweather::DstIndex dst = bench::paper_dst();
+    const tle::TleCatalog catalog = bench::paper_catalog(dst, 2, 30.0);
+    built.records = catalog.record_count();
+    built.dst_path = built.dir + "/dst.wdc";
+    built.tle_path = built.dir + "/catalog.tle";
+    spaceweather::write_wdc_file(built.dst_path, dst);
+    io::write_file(built.tle_path, catalog.to_text());
+    return built;
+  }();
+  return dataset;
+}
+
+/// Content hash of the on-disk input pair, chained dst-then-tle exactly as
+/// core::CosmicDance::from_files computes it.
+std::uint64_t dataset_content_hash() {
+  const BenchDataset& data = shared_dataset();
+  const io::MappedFile dst_file(data.dst_path);
+  const io::MappedFile tle_file(data.tle_path);
+  return io::fnv1a(tle_file.view(), io::fnv1a(dst_file.view()));
+}
+
+/// A snapshot of the bench dataset, written once through the public cache
+/// path so BM_SnapshotLoad measures exactly what a warm CLI run reads.
+const std::string& shared_snapshot_path() {
+  static const std::string path = [] {
+    const BenchDataset& data = shared_dataset();
+    const std::string cache_dir = data.dir + "/bench_cache";
+    std::filesystem::remove_all(cache_dir);
+    core::PipelineConfig config;
+    config.num_threads = 1;
+    config.cache_dir = cache_dir;
+    const core::CosmicDance pipeline =
+        core::CosmicDance::from_files(data.dst_path, data.tle_path, config);
+    benchmark::DoNotOptimize(pipeline.catalog().record_count());
+    return io::snapshot_cache_path(cache_dir, data.dst_path, data.tle_path);
+  }();
+  return path;
+}
+
+/// The pre-PR shape: read the whole file into an owning std::string, then
+/// parse.  Kept as the baseline the zero-copy numbers are judged against.
+void BM_ColdParseReadFile(benchmark::State& state) {
+  const BenchDataset& data = shared_dataset();
+  for (auto _ : state) {
+    const std::string text = io::read_file(data.tle_path);
+    tle::TleCatalog catalog;
+    benchmark::DoNotOptimize(catalog.add_from_text(text));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.records));
+}
+BENCHMARK(BM_ColdParseReadFile);
+
+/// The fast path: mmap the file and parse string_view slices in place.
+void BM_ZeroCopyMmapParse(benchmark::State& state) {
+  const BenchDataset& data = shared_dataset();
+  for (auto _ : state) {
+    const io::MappedFile mapped(data.tle_path);
+    tle::TleCatalog catalog;
+    benchmark::DoNotOptimize(catalog.add_from_text(mapped.view()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.records));
+}
+BENCHMARK(BM_ZeroCopyMmapParse);
+
+/// The warm path: deserialise the binary snapshot, no text parsing at all.
+void BM_SnapshotLoad(benchmark::State& state) {
+  const BenchDataset& data = shared_dataset();
+  const std::string& path = shared_snapshot_path();
+  const std::uint64_t content_hash = dataset_content_hash();
+  for (auto _ : state) {
+    auto snapshot =
+        io::load_snapshot(path, content_hash, diag::ParsePolicy::kStrict);
+    benchmark::DoNotOptimize(snapshot);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.records));
+}
+BENCHMARK(BM_SnapshotLoad);
+
+/// The telemetry pass: a cold-then-warm pair of from_files runs against a
+/// fresh cache directory, sharing one metrics registry.  The cold run parses
+/// text and writes the snapshot (snapshot.written); the warm run must load
+/// it (ingest.cache_hit == 1 — the counter tier-1 asserts on).
+void run_telemetry_pass(const std::string& out_path, int threads) {
+  const BenchDataset& data = shared_dataset();
+  obs::Metrics metrics;
+
+  core::PipelineConfig config;
+  config.num_threads = threads;
+  config.metrics = &metrics;
+  config.cache_dir = data.dir + "/telemetry_cache";
+  std::filesystem::remove_all(config.cache_dir);
+
+  const core::CosmicDance cold =
+      core::CosmicDance::from_files(data.dst_path, data.tle_path, config);
+  const core::CosmicDance warm =
+      core::CosmicDance::from_files(data.dst_path, data.tle_path, config);
+
+  const obs::MetricsReport report = metrics.snapshot();
+  const auto phase_ms = [&](const char* name) {
+    const auto it = report.phases.find(name);
+    return it != report.phases.end() ? it->second.total_ms : 0.0;
+  };
+  const auto count = [&](const char* name) {
+    const auto it = report.counters.find(name);
+    return it != report.counters.end() ? static_cast<double>(it->second) : 0.0;
+  };
+
+  // tle.* phases/counters only accumulate on the cold (parsing) pass;
+  // snapshot.load only on the warm pass — so each rate isolates one path.
+  std::map<std::string, double> throughput;
+  const double parse_ms = phase_ms("tle.add_from_text");
+  if (parse_ms > 0.0) {
+    throughput["tle_records_per_s"] =
+        count("tle.records_parsed") / (parse_ms / 1000.0);
+  }
+  const double load_ms = phase_ms("snapshot.load");
+  if (load_ms > 0.0) {
+    throughput["snapshot_records_per_s"] =
+        static_cast<double>(warm.catalog().record_count()) / (load_ms / 1000.0);
+  }
+  throughput["catalog_records"] =
+      static_cast<double>(cold.catalog().record_count());
+
+  bench::write_bench_record(out_path, "micro_ingest", threads,
+                            "paper_catalog(per_batch=2, cadence=30)",
+                            throughput, metrics);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const io::ArgParser args(argc, argv);
+  run_telemetry_pass(args.option_or("bench-out", "BENCH_ingest.json"),
+                     static_cast<int>(args.integer_or("threads", 0)));
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "core/pipeline.hpp"
 
+#include "io/file.hpp"
+#include "io/snapshot.hpp"
 #include "obs/obs.hpp"
 #include "spaceweather/wdc.hpp"
 
@@ -56,11 +58,45 @@ CosmicDance& CosmicDance::operator=(CosmicDance&& other) noexcept {
 CosmicDance CosmicDance::from_files(const std::string& wdc_dst_path,
                                     const std::string& tle_path,
                                     PipelineConfig config) {
+  // Both inputs are mapped once up front; the zero-copy parsers scan the
+  // mappings directly and the snapshot cache hashes the same bytes, so hit
+  // and miss runs agree on what the inputs were.
+  const io::MappedFile dst_file(wdc_dst_path);
+  const io::MappedFile tle_file(tle_path);
+  if (config.metrics != nullptr) {
+    std::size_t mapped_bytes = 0;
+    if (dst_file.is_mapped()) mapped_bytes += dst_file.size();
+    if (tle_file.is_mapped()) mapped_bytes += tle_file.size();
+    if (mapped_bytes > 0) {
+      config.metrics->counter("ingest.bytes_mapped").add(mapped_bytes);
+    }
+  }
+
+  const bool use_cache = !config.cache_dir.empty();
+  std::uint64_t content_hash = 0;
+  std::string snapshot_path;
+  if (use_cache) {
+    content_hash = io::fnv1a(tle_file.view(), io::fnv1a(dst_file.view()));
+    snapshot_path =
+        io::snapshot_cache_path(config.cache_dir, wdc_dst_path, tle_path);
+    std::optional<io::SnapshotData> snapshot = io::load_snapshot(
+        snapshot_path, content_hash, config.parse_policy, config.metrics);
+    if (snapshot.has_value()) {
+      if (config.metrics != nullptr) {
+        config.metrics->counter("ingest.cache_hit").add(1);
+      }
+      CosmicDance pipeline(std::move(snapshot->dst),
+                           std::move(snapshot->catalog), config);
+      pipeline.quality_report_ = std::move(snapshot->quality);
+      return pipeline;
+    }
+  }
+
   diag::ParseLog log(config.parse_policy);
   spaceweather::DstIndex dst;
   {
     const obs::ScopedPhase phase(config.metrics, "ingest.dst");
-    dst = spaceweather::read_wdc_file(wdc_dst_path, &log);
+    dst = spaceweather::from_wdc(dst_file.view(), &log, wdc_dst_path);
     if (config.metrics != nullptr) {
       config.metrics->counter("ingest.dst_hours").add(dst.size());
     }
@@ -68,11 +104,19 @@ CosmicDance CosmicDance::from_files(const std::string& wdc_dst_path,
   tle::TleCatalog catalog;
   {
     const obs::ScopedPhase phase(config.metrics, "ingest.tle");
-    catalog.add_from_file(
-        tle_path, tle::IngestOptions{&log, config.num_threads, {}, config.metrics});
+    catalog.add_from_text(
+        tle_file.view(),
+        tle::IngestOptions{&log, config.num_threads, tle_path, config.metrics});
+  }
+  diag::DataQualityReport quality = log.report();
+  if (use_cache) {
+    // Best-effort rewrite: failure (e.g. read-only cache dir) is counted
+    // but never fatal — the parse already succeeded.
+    io::save_snapshot(snapshot_path, io::SnapshotData{dst, catalog, quality},
+                      content_hash, config.parse_policy, config.metrics);
   }
   CosmicDance pipeline(std::move(dst), std::move(catalog), config);
-  pipeline.quality_report_ = log.report();
+  pipeline.quality_report_ = std::move(quality);
   return pipeline;
 }
 

@@ -42,6 +42,13 @@ struct PipelineConfig {
   /// scheduling counters and timings are explicitly outside that contract
   /// (DESIGN.md §11).
   obs::Metrics* metrics = nullptr;
+  /// Snapshot-cache directory for from_files (DESIGN.md §13).  Empty — the
+  /// default — disables caching.  When set, a valid snapshot keyed by the
+  /// input bytes' content hash skips text parsing entirely (counter
+  /// `ingest.cache_hit`); a miss or rejected snapshot falls back to the
+  /// text path and rewrites the snapshot.  Results are bit-identical
+  /// either way.
+  std::string cache_dir;
 };
 
 class CosmicDance {

@@ -1,12 +1,15 @@
 #include "io/csv.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 
 #include "common/error.hpp"
 #include "diag/diag.hpp"
+#include "io/file.hpp"
 
 namespace cosmicdance::io {
 namespace {
@@ -33,7 +36,7 @@ struct RecordState {
 // (caller should append the next line).  Throws ParseError on RFC 4180
 // violations: a quote opening mid-field, or text after a closing quote
 // (`"ab"cd` is an error, not the field `abcd`).
-bool parse_into(const std::string& line, RecordState& state) {
+bool parse_into(std::string_view line, RecordState& state) {
   std::size_t i = 0;
   while (i < line.size()) {
     const char c = line[i];
@@ -55,10 +58,12 @@ bool parse_into(const std::string& line, RecordState& state) {
         state.field.clear();
         state.field_was_quoted = false;
       } else if (state.field_was_quoted) {
-        throw ParseError("text after closing quote in CSV field: '" + line + "'");
+        throw ParseError("text after closing quote in CSV field: '" +
+                         std::string(line) + "'");
       } else if (c == '"') {
         if (!state.field.empty()) {
-          throw ParseError("quote inside unquoted CSV field: '" + line + "'");
+          throw ParseError("quote inside unquoted CSV field: '" +
+                           std::string(line) + "'");
         }
         state.in_quotes = true;
       } else {
@@ -79,29 +84,39 @@ bool parse_into(const std::string& line, RecordState& state) {
 
 }  // namespace
 
-CsvRow parse_csv_line(const std::string& line) {
+CsvRow parse_csv_line(std::string_view line) {
   RecordState state;
   if (!parse_into(line, state)) {
-    throw ParseError("unterminated quote in CSV line: '" + line + "'");
+    throw ParseError("unterminated quote in CSV line: '" + std::string(line) +
+                     "'");
   }
   return std::move(state.row);
 }
 
-std::vector<CsvRow> read_csv(std::istream& in, diag::ParseLog* log,
+std::vector<CsvRow> read_csv(std::string_view text, diag::ParseLog* log,
                              const std::string& source) {
   std::vector<CsvRow> rows;
-  std::string line;
+  // Pre-size from the line count (one memchr scan) instead of growing
+  // through repeated reallocation; multi-line quoted records only make the
+  // estimate generous.
+  rows.reserve(
+      static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n')) + 1);
   RecordState state;
   std::size_t line_number = 0;
   std::size_t record_start_line = 0;  // first line of the in-flight record
   std::string record_text;            // raw text of the in-flight record
-  while (std::getline(in, line)) {
+  for (std::size_t pos = 0; pos < text.size();) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = eol == std::string_view::npos
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
     ++line_number;
     // CRLF normalization: a trailing \r belongs to the record separator --
     // unless the line ends inside a quoted field, where it is content and
     // is restored below (a quoted "a\r\nb" must round-trip intact).
     const bool had_cr = !line.empty() && line.back() == '\r';
-    if (had_cr) line.pop_back();
+    if (had_cr) line.remove_suffix(1);
     if (!state.in_quotes && line.empty()) continue;
     if (record_text.empty()) record_start_line = line_number;
     record_text += line;
@@ -138,10 +153,19 @@ std::vector<CsvRow> read_csv(std::istream& in, diag::ParseLog* log,
   return rows;
 }
 
+std::vector<CsvRow> read_csv(std::istream& in, diag::ParseLog* log,
+                             const std::string& source) {
+  // Streams cannot be mapped: slurp once into a pre-sized buffer (the
+  // historical per-line getline loop allocated throughout) and parse views.
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = std::move(buffer).str();
+  return read_csv(std::string_view(text), log, source);
+}
+
 std::vector<CsvRow> read_csv_file(const std::string& path, diag::ParseLog* log) {
-  std::ifstream in(path);
-  if (!in) throw IoError("cannot open CSV file: " + path);
-  return read_csv(in, log, path);
+  const MappedFile mapped(path);
+  return read_csv(mapped.view(), log, path);
 }
 
 std::string escape_csv_field(const std::string& field) {

@@ -7,6 +7,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cosmicdance::diag {
@@ -20,17 +21,24 @@ using CsvRow = std::vector<std::string>;
 /// Parse a single CSV record from `line` (no embedded newlines).
 /// Throws ParseError on unbalanced quotes, a quote opening mid-field, or
 /// text following a closing quote (RFC 4180).
-[[nodiscard]] CsvRow parse_csv_line(const std::string& line);
+[[nodiscard]] CsvRow parse_csv_line(std::string_view line);
 
-/// Read all records from a stream.  Handles quoted fields spanning lines.
+/// Read all records from in-memory text — the zero-copy core; lines are
+/// scanned as views of `text`.  Handles quoted fields spanning lines.
 /// With a ParseLog, record outcomes are counted under stage "csv" and a
 /// tolerant policy quarantines malformed records (by their first line
 /// number in `source`) instead of throwing.
+[[nodiscard]] std::vector<CsvRow> read_csv(std::string_view text,
+                                           diag::ParseLog* log = nullptr,
+                                           const std::string& source = "<text>");
+
+/// Read all records from a stream (slurped, then parsed by the view core).
 [[nodiscard]] std::vector<CsvRow> read_csv(std::istream& in,
                                            diag::ParseLog* log = nullptr,
                                            const std::string& source = "<stream>");
 
-/// Read all records from a file.  Throws IoError when unreadable.
+/// Read all records from a file (mmap-backed when available).  Throws
+/// IoError when unreadable.
 [[nodiscard]] std::vector<CsvRow> read_csv_file(const std::string& path,
                                                 diag::ParseLog* log = nullptr);
 

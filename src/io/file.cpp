@@ -1,19 +1,42 @@
 #include "io/file.hpp"
 
 #include <fstream>
-#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define COSMICDANCE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 #include "common/error.hpp"
 
 namespace cosmicdance::io {
+namespace {
 
-std::string read_file(const std::string& path) {
+/// Read a whole file into a pre-sized string (one allocation, sized from
+/// the stream length instead of growing through an ostringstream).
+std::string slurp(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open file: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  std::string content;
+  if (size > 0) {
+    content.resize(static_cast<std::size_t>(size));
+    in.read(content.data(), size);
+    content.resize(static_cast<std::size_t>(in.gcount()));
+  }
+  if (in.bad()) throw IoError("failed reading file: " + path);
+  return content;
 }
+
+}  // namespace
+
+std::string read_file(const std::string& path) { return slurp(path); }
 
 std::vector<std::string> read_lines(const std::string& path) {
   std::ifstream in(path);
@@ -32,6 +55,77 @@ void write_file(const std::string& path, const std::string& content) {
   if (!out) throw IoError("cannot open file for writing: " + path);
   out << content;
   if (!out) throw IoError("failed writing file: " + path);
+}
+
+MappedFile::MappedFile(const std::string& path, Mode mode) {
+#if COSMICDANCE_HAVE_MMAP
+  if (mode == Mode::kAuto) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) throw IoError("cannot open file: " + path);
+    struct stat st {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0 || !S_ISREG(st.st_mode)) {
+      ::close(fd);
+      // Not a regular file (pipe, device...): the read path handles it.
+      fallback_ = slurp(path);
+      view_ = fallback_;
+      return;
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      view_ = std::string_view{};
+      return;
+    }
+    void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (base != MAP_FAILED) {
+      map_ = base;
+      map_size_ = size;
+      view_ = std::string_view(static_cast<const char*>(base), size);
+      return;
+    }
+    // mmap refused (e.g. special filesystem): fall through to the read path.
+  }
+#else
+  static_cast<void>(mode);
+#endif
+  fallback_ = slurp(path);
+  view_ = fallback_;
+}
+
+MappedFile::~MappedFile() { release(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      map_size_(std::exchange(other.map_size_, 0)),
+      fallback_(std::move(other.fallback_)) {
+  view_ = map_ != nullptr
+              ? std::string_view(static_cast<const char*>(map_), map_size_)
+              : std::string_view(fallback_);
+  other.view_ = {};
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    release();
+    map_ = std::exchange(other.map_, nullptr);
+    map_size_ = std::exchange(other.map_size_, 0);
+    fallback_ = std::move(other.fallback_);
+    view_ = map_ != nullptr
+                ? std::string_view(static_cast<const char*>(map_), map_size_)
+                : std::string_view(fallback_);
+    other.view_ = {};
+  }
+  return *this;
+}
+
+void MappedFile::release() noexcept {
+#if COSMICDANCE_HAVE_MMAP
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+#endif
+  map_ = nullptr;
+  map_size_ = 0;
+  view_ = {};
 }
 
 }  // namespace cosmicdance::io

@@ -2,32 +2,70 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 namespace cosmicdance::io {
+namespace {
 
-std::optional<double> parse_double(const std::string& text) {
+// The C conversion functions need NUL-terminated input.  Views short enough
+// for a stack buffer (every fixed-width archive field is) are copied there;
+// longer ones take one heap copy.  `Terminated` keeps the strtod/strtol
+// semantics byte-for-byte identical to the historical std::string path,
+// including embedded NULs terminating the scan early (which the full-
+// consumption check then rejects).
+class Terminated {
+ public:
+  explicit Terminated(std::string_view text) {
+    if (text.size() < sizeof(buffer_)) {
+      std::memcpy(buffer_, text.data(), text.size());
+      buffer_[text.size()] = '\0';
+      begin_ = buffer_;
+    } else {
+      heap_.assign(text);
+      begin_ = heap_.c_str();
+    }
+  }
+  [[nodiscard]] const char* c_str() const noexcept { return begin_; }
+
+ private:
+  char buffer_[128];
+  std::string heap_;
+  const char* begin_ = nullptr;
+};
+
+}  // namespace
+
+std::optional<double> parse_double(std::string_view text) {
   if (text.empty()) return std::nullopt;
+  const Terminated terminated(text);
   errno = 0;
   char* end = nullptr;
-  const double value = std::strtod(text.c_str(), &end);
-  if (end != text.c_str() + text.size() || errno == ERANGE) return std::nullopt;
+  const double value = std::strtod(terminated.c_str(), &end);
+  if (end != terminated.c_str() + text.size() || errno == ERANGE) {
+    return std::nullopt;
+  }
   return value;
 }
 
-std::optional<long> parse_long(const std::string& text) {
+std::optional<long> parse_long(std::string_view text) {
   if (text.empty()) return std::nullopt;
+  const Terminated terminated(text);
   errno = 0;
   char* end = nullptr;
-  const long value = std::strtol(text.c_str(), &end, 10);
-  if (end != text.c_str() + text.size() || errno == ERANGE) return std::nullopt;
+  const long value = std::strtol(terminated.c_str(), &end, 10);
+  if (end != terminated.c_str() + text.size() || errno == ERANGE) {
+    return std::nullopt;
+  }
   return value;
 }
 
-std::optional<long> parse_leading_long(const std::string& text) {
+std::optional<long> parse_leading_long(std::string_view text) {
+  const Terminated terminated(text);
   errno = 0;
   char* end = nullptr;
-  const long value = std::strtol(text.c_str(), &end, 10);
-  if (end == text.c_str() || errno == ERANGE) return std::nullopt;
+  const long value = std::strtol(terminated.c_str(), &end, 10);
+  if (end == terminated.c_str() || errno == ERANGE) return std::nullopt;
   return value;
 }
 

@@ -7,27 +7,32 @@
 // class of bug the PR-2 data-quality work eliminated from the ingestion
 // paths.  Callers outside `src/io/` and `src/tle/` parse numbers through
 // this header and get "checked or nothing" semantics for free.
+//
+// All helpers take std::string_view so the zero-copy ingestion path can
+// hand them slices of a MappedFile without materialising per-field
+// strings; std::string arguments convert implicitly.
 #pragma once
 
 #include <optional>
-#include <string>
+#include <string_view>
 
 namespace cosmicdance::io {
 
 /// Parse `text` as a double.  The entire string must be consumed (leading
 /// whitespace permitted, as in strtod); empty input, trailing garbage or
-/// out-of-range values yield nullopt.
-[[nodiscard]] std::optional<double> parse_double(const std::string& text);
+/// out-of-range values yield nullopt.  Allocation-free for fields up to a
+/// TLE line's width.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text);
 
 /// Parse `text` as a base-10 long.  The entire string must be consumed
 /// (leading whitespace permitted); empty input, trailing garbage or
 /// out-of-range values yield nullopt.
-[[nodiscard]] std::optional<long> parse_long(const std::string& text);
+[[nodiscard]] std::optional<long> parse_long(std::string_view text);
 
 /// Parse a leading base-10 long and ignore whatever follows it — the
 /// fixed-width-cell convention used by archive formats like WDC, where a
 /// numeric cell may be padded.  Yields nullopt when no digits are consumed
 /// or the value is out of range.
-[[nodiscard]] std::optional<long> parse_leading_long(const std::string& text);
+[[nodiscard]] std::optional<long> parse_leading_long(std::string_view text);
 
 }  // namespace cosmicdance::io

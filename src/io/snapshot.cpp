@@ -1,0 +1,413 @@
+#include "io/snapshot.hpp"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "io/file.hpp"
+#include "obs/obs.hpp"
+#include "tle/tle.hpp"
+
+namespace cosmicdance::io {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'D', 'S', 'N', 'A', 'P', 'v', '1'};
+constexpr std::size_t kHeaderSize = 40;
+
+// ---- little-endian writer ---------------------------------------------------
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(std::string& out, std::string_view v) {
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  out.append(v);
+}
+
+// ---- bounds-checked little-endian reader ------------------------------------
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == bytes_.size(); }
+
+  std::uint8_t u8() {
+    return static_cast<std::uint8_t>(static_cast<unsigned char>(view(1)[0]));
+  }
+
+  std::uint32_t u32() {
+    const std::string_view b = view(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(
+               b[static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const std::string_view b = view(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+               b[static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str() {
+    const std::uint32_t length = u32();
+    const std::string_view raw = view(length);
+    return std::string(raw);
+  }
+
+  std::string_view view(std::size_t length) {
+    if (length > bytes_.size() - pos_) {
+      throw ParseError("snapshot payload truncated");
+    }
+    const std::string_view out = bytes_.substr(pos_, length);
+    pos_ += length;
+    return out;
+  }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+// ---- payload encoding -------------------------------------------------------
+
+std::uint8_t policy_byte(diag::ParsePolicy policy) {
+  return policy == diag::ParsePolicy::kTolerant ? 1 : 0;
+}
+
+void encode_dst(std::string& out, const spaceweather::DstIndex& dst) {
+  put_i64(out, dst.start_hour());
+  put_u64(out, dst.size());
+  for (const double v : dst.values()) put_f64(out, v);
+}
+
+spaceweather::DstIndex decode_dst(Cursor& in) {
+  const std::int64_t start = in.i64();
+  const std::uint64_t count = in.u64();
+  if (count == 0) return {};
+  std::vector<double> values;
+  values.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) values.push_back(in.f64());
+  return spaceweather::DstIndex(start, std::move(values));
+}
+
+void encode_tle(std::string& out, const tle::Tle& t) {
+  put_i32(out, t.catalog_number);
+  put_u8(out, static_cast<std::uint8_t>(t.classification));
+  put_string(out, t.international_designator);
+  put_f64(out, t.epoch_jd);
+  put_f64(out, t.mean_motion_dot);
+  put_f64(out, t.mean_motion_ddot);
+  put_f64(out, t.bstar);
+  put_i32(out, t.ephemeris_type);
+  put_i32(out, t.element_set_number);
+  put_f64(out, t.inclination_deg);
+  put_f64(out, t.raan_deg);
+  put_f64(out, t.eccentricity);
+  put_f64(out, t.arg_perigee_deg);
+  put_f64(out, t.mean_anomaly_deg);
+  put_f64(out, t.mean_motion_revday);
+  put_i32(out, t.rev_number);
+}
+
+tle::Tle decode_tle(Cursor& in) {
+  tle::Tle t;
+  t.catalog_number = in.i32();
+  t.classification = static_cast<char>(in.u8());
+  t.international_designator = in.str();
+  t.epoch_jd = in.f64();
+  t.mean_motion_dot = in.f64();
+  t.mean_motion_ddot = in.f64();
+  t.bstar = in.f64();
+  t.ephemeris_type = in.i32();
+  t.element_set_number = in.i32();
+  t.inclination_deg = in.f64();
+  t.raan_deg = in.f64();
+  t.eccentricity = in.f64();
+  t.arg_perigee_deg = in.f64();
+  t.mean_anomaly_deg = in.f64();
+  t.mean_motion_revday = in.f64();
+  t.rev_number = in.i32();
+  return t;
+}
+
+void encode_catalog(std::string& out, const tle::TleCatalog& catalog) {
+  put_u64(out, catalog.record_count());
+  for (const int id : catalog.satellites()) {
+    for (const tle::Tle& t : catalog.history(id)) encode_tle(out, t);
+  }
+}
+
+tle::TleCatalog decode_catalog(Cursor& in) {
+  const std::uint64_t count = in.u64();
+  tle::TleCatalog catalog;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    // add() re-validates each record and, because records were serialised in
+    // history order, appends at the end of its satellite's history — the
+    // rebuilt catalog is structurally identical to the one serialised.
+    if (!catalog.add(decode_tle(in))) {
+      throw ParseError("snapshot catalog record collided on reload");
+    }
+  }
+  return catalog;
+}
+
+void encode_quality(std::string& out, const diag::DataQualityReport& report) {
+  put_u8(out, policy_byte(report.policy));
+  put_u64(out, report.stages.size());
+  for (const auto& [stage, counters] : report.stages) {
+    put_string(out, stage);
+    put_u64(out, counters.accepted);
+    put_u64(out, counters.repaired);
+    put_u32(out, static_cast<std::uint32_t>(counters.quarantined.size()));
+    for (const std::size_t q : counters.quarantined) put_u64(out, q);
+  }
+  put_u64(out, report.quarantined.size());
+  for (const diag::QuarantinedRecord& record : report.quarantined) {
+    put_string(out, record.stage);
+    put_string(out, record.source);
+    put_u64(out, record.line);
+    put_u8(out, static_cast<std::uint8_t>(record.category));
+    put_string(out, record.message);
+    put_string(out, record.snippet);
+  }
+}
+
+diag::ErrorCategory decode_category(Cursor& in) {
+  const std::uint8_t raw = in.u8();
+  if (raw >= static_cast<std::uint8_t>(kErrorCategoryCount)) {
+    throw ParseError("snapshot carries unknown error category");
+  }
+  return static_cast<diag::ErrorCategory>(raw);
+}
+
+diag::DataQualityReport decode_quality(Cursor& in) {
+  diag::DataQualityReport report;
+  const std::uint8_t policy = in.u8();
+  if (policy > 1) throw ParseError("snapshot carries unknown parse policy");
+  report.policy = policy == 1 ? diag::ParsePolicy::kTolerant
+                              : diag::ParsePolicy::kStrict;
+  const std::uint64_t stage_count = in.u64();
+  for (std::uint64_t i = 0; i < stage_count; ++i) {
+    std::string stage = in.str();
+    diag::StageCounters counters;
+    counters.accepted = in.u64();
+    counters.repaired = in.u64();
+    const std::uint32_t categories = in.u32();
+    if (categories != counters.quarantined.size()) {
+      throw ParseError("snapshot category-count mismatch");
+    }
+    for (std::size_t c = 0; c < counters.quarantined.size(); ++c) {
+      counters.quarantined[c] = in.u64();
+    }
+    report.stages.emplace(std::move(stage), counters);
+  }
+  const std::uint64_t quarantined_count = in.u64();
+  for (std::uint64_t i = 0; i < quarantined_count; ++i) {
+    diag::QuarantinedRecord record;
+    record.stage = in.str();
+    record.source = in.str();
+    record.line = in.u64();
+    record.category = decode_category(in);
+    record.message = in.str();
+    record.snippet = in.str();
+    report.quarantined.push_back(std::move(record));
+  }
+  return report;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint32_t crc32(std::string_view bytes) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char byte : bytes) {
+    crc = table[(crc ^ static_cast<unsigned char>(byte)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string snapshot_cache_path(const std::string& cache_dir,
+                                const std::string& dst_path,
+                                const std::string& tle_path) {
+  std::uint64_t hash = fnv1a(dst_path);
+  hash = fnv1a("|", hash);
+  hash = fnv1a(tle_path, hash);
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.cdsnap",
+                static_cast<unsigned long long>(hash));
+  return (std::filesystem::path(cache_dir) / name).string();
+}
+
+std::string encode_snapshot(const SnapshotData& data,
+                            std::uint64_t content_hash,
+                            diag::ParsePolicy policy) {
+  std::string payload;
+  // Rough pre-size: a TLE record serialises to ~130 bytes, a Dst hour to 8.
+  payload.reserve(64 + data.dst.size() * 8 + data.catalog.record_count() * 130);
+  encode_dst(payload, data.dst);
+  encode_catalog(payload, data.catalog);
+  encode_quality(payload, data.quality);
+
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, kSnapshotFormatVersion);
+  put_u8(out, policy_byte(policy));
+  out.append(3, '\0');
+  put_u64(out, content_hash);
+  put_u64(out, payload.size());
+  put_u32(out, crc32(payload));
+  out.append(4, '\0');
+  out.append(payload);
+  return out;
+}
+
+std::optional<SnapshotData> decode_snapshot(std::string_view bytes,
+                                            std::uint64_t expected_content_hash,
+                                            diag::ParsePolicy policy) {
+  if (bytes.size() < kHeaderSize) return std::nullopt;
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) return std::nullopt;
+  try {
+    Cursor header(bytes.substr(sizeof(kMagic), kHeaderSize - sizeof(kMagic)));
+    if (header.u32() != kSnapshotFormatVersion) return std::nullopt;
+    const std::uint8_t policy_raw = header.u8();
+    header.view(3);  // padding
+    if (policy_raw != policy_byte(policy)) return std::nullopt;
+    if (header.u64() != expected_content_hash) return std::nullopt;
+    const std::uint64_t payload_size = header.u64();
+    const std::uint32_t payload_crc = header.u32();
+    if (bytes.size() - kHeaderSize != payload_size) return std::nullopt;
+    const std::string_view payload = bytes.substr(kHeaderSize);
+    // Decode only after the CRC passes: the payload readers bound-check but
+    // do not otherwise defend against bit rot.
+    if (crc32(payload) != payload_crc) return std::nullopt;
+
+    Cursor in(payload);
+    SnapshotData data;
+    data.dst = decode_dst(in);
+    data.catalog = decode_catalog(in);
+    data.quality = decode_quality(in);
+    if (!in.exhausted()) return std::nullopt;
+    return data;
+  } catch (const std::exception&) {
+    // Truncated fields, invalid enum values, or datasets that fail their
+    // own validation on rebuild: all reject-and-reparse, never fatal.
+    return std::nullopt;
+  }
+}
+
+std::optional<SnapshotData> load_snapshot(const std::string& path,
+                                          std::uint64_t content_hash,
+                                          diag::ParsePolicy policy,
+                                          obs::Metrics* metrics) {
+  const obs::ScopedPhase phase(metrics, "snapshot.load");
+  try {
+    const MappedFile mapped(path);
+    std::optional<SnapshotData> data =
+        decode_snapshot(mapped.view(), content_hash, policy);
+    if (metrics != nullptr) {
+      metrics->counter(data.has_value() ? "snapshot.loaded"
+                                        : "snapshot.rejected")
+          .add(1);
+    }
+    return data;
+  } catch (const std::exception&) {
+    // Unreadable file (most commonly: not written yet) is a plain miss.
+    return std::nullopt;
+  }
+}
+
+bool save_snapshot(const std::string& path, const SnapshotData& data,
+                   std::uint64_t content_hash, diag::ParsePolicy policy,
+                   obs::Metrics* metrics) {
+  const obs::ScopedPhase phase(metrics, "snapshot.save");
+  try {
+    const std::filesystem::path target(path);
+    if (target.has_parent_path()) {
+      std::filesystem::create_directories(target.parent_path());
+    }
+    const std::string bytes = encode_snapshot(data, content_hash, policy);
+    // Temp-then-rename keeps concurrent readers off half-written files.
+    const std::filesystem::path temp(path + ".tmp");
+    {
+      std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+      if (!out) throw IoError("cannot open snapshot temp file");
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      if (!out) throw IoError("failed writing snapshot temp file");
+    }
+    std::filesystem::rename(temp, target);
+    if (metrics != nullptr) metrics->counter("snapshot.written").add(1);
+    return true;
+  } catch (const std::exception&) {
+    if (metrics != nullptr) metrics->counter("snapshot.write_failed").add(1);
+    std::error_code ignored;
+    std::filesystem::remove(std::filesystem::path(path + ".tmp"), ignored);
+    return false;
+  }
+}
+
+}  // namespace cosmicdance::io

@@ -1,0 +1,101 @@
+// Binary catalog snapshot cache (the warm-start half of the zero-copy
+// ingestion work).
+//
+// Parsing the text archives dominates pipeline start-up, yet between runs
+// the inputs rarely change.  A snapshot serialises the *parsed* artefacts —
+// the Dst series, the TLE catalog and the ingestion DataQualityReport — to
+// a versioned little-endian binary file keyed by a content hash of the raw
+// input bytes.  A warm run whose inputs hash to the same value loads the
+// snapshot and skips text parsing entirely; any mismatch (content hash,
+// format version, parse policy, truncation, CRC) makes the loader return
+// nullopt so the caller silently falls back to the text path and rewrites
+// the snapshot.  See DESIGN.md §13 for the format and the reasoning.
+//
+// Layout: a fixed 40-byte header
+//   bytes  0-7   magic "CDSNAPv1"
+//   bytes  8-11  format version (u32)
+//   byte   12    parse policy (0 strict, 1 tolerant)
+//   bytes 13-15  zero padding
+//   bytes 16-23  FNV-1a content hash of the raw inputs (u64)
+//   bytes 24-31  payload size in bytes (u64)
+//   bytes 32-35  CRC32 of the payload (u32)
+//   bytes 36-39  zero padding
+// followed by the payload.  All integers little-endian; doubles are stored
+// as their IEEE-754 bit patterns so reload is bit-exact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "diag/diag.hpp"
+#include "spaceweather/dst_index.hpp"
+#include "tle/catalog.hpp"
+
+namespace cosmicdance::obs {
+class Metrics;
+}  // namespace cosmicdance::obs
+
+namespace cosmicdance::io {
+
+/// Everything a warm start needs: the two parsed datasets plus the quality
+/// report the text parse would have produced (so cache-hit runs report the
+/// same ingestion outcome as cache-miss runs).
+struct SnapshotData {
+  spaceweather::DstIndex dst;
+  tle::TleCatalog catalog;
+  diag::DataQualityReport quality;
+};
+
+/// Bumped on any change to the payload encoding; a version mismatch is a
+/// silent reject-and-reparse, never a migration.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// 64-bit FNV-1a over `bytes`, chainable through `seed` to hash several
+/// buffers as one stream.
+inline constexpr std::uint64_t kFnv1aOffset = 14695981039346656037ULL;
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes,
+                                  std::uint64_t seed = kFnv1aOffset);
+
+/// CRC32 (IEEE 802.3 polynomial) of `bytes` — the payload integrity check.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes);
+
+/// Snapshot file path for an input pair.  The name hashes the *paths* (not
+/// the contents), so the same inputs map to a stable file whose stored
+/// content hash then decides hit vs reject — editing an input is detected
+/// as a stale snapshot at load time, not silently shadowed by a new file.
+[[nodiscard]] std::string snapshot_cache_path(const std::string& cache_dir,
+                                              const std::string& dst_path,
+                                              const std::string& tle_path);
+
+/// Serialise to the on-disk byte layout described above.
+[[nodiscard]] std::string encode_snapshot(const SnapshotData& data,
+                                          std::uint64_t content_hash,
+                                          diag::ParsePolicy policy);
+
+/// Parse snapshot bytes.  Returns nullopt — never throws — when anything
+/// disagrees: magic, version, policy, content hash, payload size, CRC, or a
+/// payload that decodes inconsistently.
+[[nodiscard]] std::optional<SnapshotData> decode_snapshot(
+    std::string_view bytes, std::uint64_t expected_content_hash,
+    diag::ParsePolicy policy);
+
+/// Load a snapshot file.  A missing/unreadable file is a cache miss
+/// (nullopt, no counter); a present-but-invalid file bumps
+/// `snapshot.rejected` and also returns nullopt.  A valid load bumps
+/// `snapshot.loaded`.  Wall time lands in phase "snapshot.load".
+[[nodiscard]] std::optional<SnapshotData> load_snapshot(
+    const std::string& path, std::uint64_t content_hash,
+    diag::ParsePolicy policy, obs::Metrics* metrics = nullptr);
+
+/// Write a snapshot file (atomically: temp file + rename, creating the
+/// cache directory if needed).  Best-effort: returns false and bumps
+/// `snapshot.write_failed` on any filesystem error instead of throwing —
+/// a read-only cache dir must not break the pipeline.  Success bumps
+/// `snapshot.written`; wall time lands in phase "snapshot.save".
+bool save_snapshot(const std::string& path, const SnapshotData& data,
+                   std::uint64_t content_hash, diag::ParsePolicy policy,
+                   obs::Metrics* metrics = nullptr);
+
+}  // namespace cosmicdance::io

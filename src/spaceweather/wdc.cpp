@@ -3,7 +3,7 @@
 #include <array>
 #include <cmath>
 #include <cstdio>
-#include <sstream>
+#include <string_view>
 #include <vector>
 
 #include "common/error.hpp"
@@ -50,13 +50,14 @@ std::string format_day(const DayRecord& day) {
   return line;
 }
 
-int parse_int(const std::string& text, const char* what) {
+int parse_int(std::string_view text, const char* what) {
   // Fixed-width archive cells are space-padded, so only the leading number
   // matters; io::parse_leading_long rejects cells with no digits at all.
+  // Taking a view keeps the per-cell slice allocation-free.
   const std::optional<long> v = io::parse_leading_long(text);
   if (!v.has_value()) {
     throw ParseError(std::string("bad WDC numeric field '") + what + "': '" +
-                     text + "'");
+                     std::string(text) + "'");
   }
   return static_cast<int>(*v);
 }
@@ -87,7 +88,7 @@ std::string to_wdc(const DstIndex& dst) {
   return out;
 }
 
-DstIndex from_wdc(const std::string& text, diag::ParseLog* log,
+DstIndex from_wdc(std::string_view text, diag::ParseLog* log,
                   const std::string& source) {
   constexpr const char* kStage = "wdc";
   // Without a caller-supplied log, a local strict one reproduces the
@@ -101,20 +102,29 @@ DstIndex from_wdc(const std::string& text, diag::ParseLog* log,
     std::vector<std::pair<timeutil::HourIndex, int>> hours;  // hour -> nT
   };
 
-  std::istringstream in(text);
-  std::string line;
+  // View-based line scan: each record is sliced in place (a WDC day line is
+  // at least 121 bytes with its newline, which pre-sizes the day vector);
+  // per-cell substr slices stay views all the way into parse_int.
   std::size_t line_number = 0;
   std::vector<DaySamples> days;
-  while (std::getline(in, line)) {
+  days.reserve(text.size() / 121 + 1);
+  for (std::size_t pos = 0; pos < text.size();) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = eol == std::string_view::npos
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
     ++line_number;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     if (line.empty()) continue;
     try {
       if (line.size() < 120) {
-        throw ParseError("WDC record shorter than 120 characters: '" + line + "'");
+        throw ParseError("WDC record shorter than 120 characters: '" +
+                         std::string(line) + "'");
       }
       if (line.substr(0, 3) != "DST") {
-        throw ParseError("WDC record does not start with DST: '" + line + "'");
+        throw ParseError("WDC record does not start with DST: '" +
+                         std::string(line) + "'");
       }
       const int yy = parse_int(line.substr(3, 2), "year");
       const int month = parse_int(line.substr(5, 2), "month");
@@ -134,11 +144,11 @@ DstIndex from_wdc(const std::string& text, diag::ParseLog* log,
       }
       days.push_back(std::move(parsed));
     } catch (const ParseError& error) {
-      diagnostics.reject(kStage, error.category(), error.what(), line,
-                         diag::RecordRef{source, line_number});
+      diagnostics.reject(kStage, error.category(), error.what(),
+                         std::string(line), diag::RecordRef{source, line_number});
     } catch (const ValidationError& error) {
-      diagnostics.reject(kStage, ErrorCategory::kRange, error.what(), line,
-                         diag::RecordRef{source, line_number});
+      diagnostics.reject(kStage, ErrorCategory::kRange, error.what(),
+                         std::string(line), diag::RecordRef{source, line_number});
     }
   }
 
@@ -148,6 +158,7 @@ DstIndex from_wdc(const std::string& text, diag::ParseLog* log,
   // interpolated (each filled hour counted as repaired), and out-of-order
   // or duplicate days are quarantined whole.
   std::vector<double> values;
+  values.reserve(days.size() * 24);
   timeutil::HourIndex first = 0;
   timeutil::HourIndex expected = 0;
   bool started = false;
@@ -197,7 +208,8 @@ void write_wdc_file(const std::string& path, const DstIndex& dst) {
 }
 
 DstIndex read_wdc_file(const std::string& path, diag::ParseLog* log) {
-  return from_wdc(io::read_file(path), log, path);
+  const io::MappedFile mapped(path);
+  return from_wdc(mapped.view(), log, path);
 }
 
 }  // namespace cosmicdance::spaceweather

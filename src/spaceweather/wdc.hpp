@@ -19,6 +19,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "diag/diag.hpp"
 #include "spaceweather/dst_index.hpp"
@@ -39,11 +40,13 @@ namespace cosmicdance::spaceweather {
 /// quarantined day) are linearly interpolated between their neighbours,
 /// with each filled hour counted as repaired.  Out-of-order or duplicate
 /// day records are quarantined as structure errors.
-[[nodiscard]] DstIndex from_wdc(const std::string& text,
+/// Takes a view so the zero-copy path can pass a MappedFile's contents.
+[[nodiscard]] DstIndex from_wdc(std::string_view text,
                                 diag::ParseLog* log = nullptr,
                                 const std::string& source = "<text>");
 
-/// File variants.  Throw IoError on filesystem problems.
+/// File variants.  Throw IoError on filesystem problems.  Reading is
+/// mmap-backed when available.
 void write_wdc_file(const std::string& path, const DstIndex& dst);
 [[nodiscard]] DstIndex read_wdc_file(const std::string& path,
                                      diag::ParseLog* log = nullptr);

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
-#include <sstream>
+#include <string_view>
 #include <utility>
 
 #include "common/error.hpp"
@@ -19,16 +19,18 @@ constexpr const char* kStage = "tle";
 // Two records of one satellite closer than this are duplicates (~1 second).
 constexpr double kDuplicateEpochDays = 1.0 / 86400.0;
 
-bool looks_like_tle_line(const std::string& line, char number) {
+bool looks_like_tle_line(std::string_view line, char number) {
   return line.size() == 69 && line[0] == number && line[1] == ' ';
 }
 
 // A paired two-line record located in its source, plus structural rejects
 // found while pairing.  Splitting is serial; parsing the paired records is
-// the parallel part.
+// the parallel part.  The lines are views into the caller's text (a file
+// mapping on the fast path) — nothing is copied until a record is rejected
+// and its snippet materialised.
 struct RawRecord {
-  std::string line1;
-  std::string line2;
+  std::string_view line1;
+  std::string_view line2;
   std::size_t line_number = 0;  // 1-based line number of line1
 };
 
@@ -74,11 +76,11 @@ bool TleCatalog::add(const Tle& tle) {
   return true;
 }
 
-std::size_t TleCatalog::add_from_text(const std::string& text) {
+std::size_t TleCatalog::add_from_text(std::string_view text) {
   return add_from_text(text, IngestOptions{});
 }
 
-std::size_t TleCatalog::add_from_text(const std::string& text,
+std::size_t TleCatalog::add_from_text(std::string_view text,
                                       const IngestOptions& options) {
   const obs::ScopedPhase obs_phase(options.metrics, "tle.add_from_text");
   const std::string source = options.source.empty() ? "<text>" : options.source;
@@ -99,17 +101,23 @@ std::size_t TleCatalog::add_from_text(const std::string& text,
   };
 
   // Pass 1 (serial): pair lines into two-line records, collecting structural
-  // breaks as they are found (in ascending line order by construction).
-  std::istringstream in(text);
-  std::string line;
-  std::string pending_line1;
+  // breaks as they are found (in ascending line order by construction).  The
+  // scan walks the text in place — each line is a view, and a two-line
+  // record is at least 140 bytes, which pre-sizes the record vector.
+  std::string_view pending_line1;
   std::size_t pending_line_number = 0;
   std::size_t line_number = 0;
   std::vector<RawRecord> records;
+  records.reserve(text.size() / 140 + 1);
   std::vector<StructuralReject> structural;
-  while (std::getline(in, line)) {
+  for (std::size_t pos = 0; pos < text.size();) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = eol == std::string_view::npos
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
     ++line_number;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     if (line.empty()) continue;
     if (looks_like_tle_line(line, '1')) {
       pending_line1 = line;
@@ -119,12 +127,12 @@ std::size_t TleCatalog::add_from_text(const std::string& text,
     if (looks_like_tle_line(line, '2')) {
       if (pending_line1.empty()) {
         structural.push_back({line_number, ErrorCategory::kStructure,
-                              "TLE line 2 without preceding line 1", line});
+                              "TLE line 2 without preceding line 1",
+                              std::string(line)});
         continue;
       }
-      records.push_back(
-          RawRecord{std::move(pending_line1), line, pending_line_number});
-      pending_line1.clear();
+      records.push_back(RawRecord{pending_line1, line, pending_line_number});
+      pending_line1 = {};
       continue;
     }
     // With a line 1 pending, the next line must be its line 2: a "2 "-lead
@@ -133,16 +141,18 @@ std::size_t TleCatalog::add_from_text(const std::string& text,
     if (!pending_line1.empty() && line.size() >= 2 && line[0] == '2' &&
         line[1] == ' ') {
       structural.push_back({line_number, ErrorCategory::kSyntax,
-                            "malformed TLE line 2 (wrong length)", line});
-      pending_line1.clear();
+                            "malformed TLE line 2 (wrong length)",
+                            std::string(line)});
+      pending_line1 = {};
       continue;
     }
     // Anything else is a satellite-name line (3-line format); ignore.
-    pending_line1.clear();
+    pending_line1 = {};
   }
   if (!pending_line1.empty()) {
     structural.push_back({pending_line_number, ErrorCategory::kStructure,
-                          "dangling TLE line 1 at end of input", pending_line1});
+                          "dangling TLE line 1 at end of input",
+                          std::string(pending_line1)});
   }
 
   if (options.metrics != nullptr) {
@@ -166,10 +176,23 @@ std::size_t TleCatalog::add_from_text(const std::string& text,
   std::size_t parsed_ok = 0;
   std::size_t parse_rejects = 0;
   std::size_t next_structural = 0;
+  // Accepts are batched: the per-record map lookup inside ParseLog::accept
+  // is measurable on the hot path, so a run of accepted records becomes one
+  // accept(stage, n) call.  The batch is flushed before every reject so the
+  // log's observable state (including at a strict-mode throw) is identical
+  // to the historical one-call-per-record sequence.
+  std::size_t pending_accepts = 0;
+  const auto flush_accepts = [&] {
+    if (pending_accepts > 0) {
+      log.accept(kStage, pending_accepts);
+      pending_accepts = 0;
+    }
+  };
   const auto report_structural_before = [&](std::size_t limit) {
     while (next_structural < structural.size() &&
            structural[next_structural].line_number < limit) {
       const StructuralReject& failure = structural[next_structural++];
+      flush_accepts();
       log.reject(kStage, failure.category, failure.message, failure.snippet,
                  diag::RecordRef{source, failure.line_number});
     }
@@ -177,17 +200,19 @@ std::size_t TleCatalog::add_from_text(const std::string& text,
   for (std::size_t i = 0; i < parsed.size(); ++i) {
     report_structural_before(records[i].line_number);
     if (parsed[i].tle.has_value()) {
-      log.accept(kStage);
+      ++pending_accepts;
       ++parsed_ok;
       if (add(*parsed[i].tle)) ++added;
     } else {
       ++parse_rejects;
+      flush_accepts();
       log.reject(kStage, parsed[i].category, parsed[i].message,
-                 records[i].line1,
+                 std::string(records[i].line1),
                  diag::RecordRef{source, records[i].line_number});
     }
   }
   report_structural_before(line_number + 1);
+  flush_accepts();
   if (options.metrics != nullptr) {
     // Accumulated into locals above so the serial commit loop pays no
     // atomic traffic; one add per counter here.
@@ -200,14 +225,19 @@ std::size_t TleCatalog::add_from_text(const std::string& text,
 }
 
 std::size_t TleCatalog::add_from_file(const std::string& path) {
-  return add_from_text(io::read_file(path));
+  const io::MappedFile mapped(path);
+  return add_from_text(mapped.view());
 }
 
 std::size_t TleCatalog::add_from_file(const std::string& path,
                                       const IngestOptions& options) {
   IngestOptions located = options;
   if (located.source.empty()) located.source = path;
-  return add_from_text(io::read_file(path), located);
+  const io::MappedFile mapped(path);
+  if (located.metrics != nullptr && mapped.is_mapped()) {
+    located.metrics->counter("ingest.bytes_mapped").add(mapped.size());
+  }
+  return add_from_text(mapped.view(), located);
 }
 
 std::vector<int> TleCatalog::satellites() const {

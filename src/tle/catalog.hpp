@@ -8,6 +8,7 @@
 #include <map>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "diag/diag.hpp"
@@ -47,16 +48,19 @@ class TleCatalog {
 
   /// Parse and add records from raw text in 2-line or 3-line (name line,
   /// optionally "0 "-prefixed) format.  Returns the number added; throws
-  /// ParseError on malformed lines.
-  std::size_t add_from_text(const std::string& text);
+  /// ParseError on malformed lines.  Takes a view so the zero-copy path can
+  /// pass a MappedFile's contents; the text only needs to stay alive for
+  /// the duration of the call.
+  std::size_t add_from_text(std::string_view text);
 
   /// As above with diagnostics and parallel parsing.  Under a tolerant
   /// ParseLog malformed records are quarantined (stage "tle") and parsing
   /// continues; under a strict (or absent) log the first malformed record
   /// throws ParseError naming source, line and category.
-  std::size_t add_from_text(const std::string& text, const IngestOptions& options);
+  std::size_t add_from_text(std::string_view text, const IngestOptions& options);
 
-  /// Load a file via add_from_text.  Throws IoError / ParseError.
+  /// Load a file via add_from_text (mmap-backed when available).  Throws
+  /// IoError / ParseError.
   std::size_t add_from_file(const std::string& path);
 
   /// As above with diagnostics and parallel parsing.

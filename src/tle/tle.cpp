@@ -1,10 +1,15 @@
 #include "tle/tle.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <string_view>
+#include <system_error>
 
 #include "common/error.hpp"
 #include "orbit/elements.hpp"
@@ -12,7 +17,7 @@
 namespace cosmicdance::tle {
 namespace {
 
-std::string trim(const std::string& s) {
+std::string_view trim(std::string_view s) {
   std::size_t begin = 0;
   std::size_t end = s.size();
   while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
@@ -21,31 +26,87 @@ std::string trim(const std::string& s) {
 }
 
 /// Extract columns [from, to] (1-indexed, inclusive) of a line.
-std::string field(const std::string& line, int from, int to) {
+std::string_view field(std::string_view line, int from, int to) {
   return line.substr(static_cast<std::size_t>(from - 1),
                      static_cast<std::size_t>(to - from + 1));
 }
 
-double parse_double_field(const std::string& line, int from, int to,
+/// NUL-terminated stack copy of a field view (optionally with a literal
+/// prefix) for strtod/strtol, which need terminated input.  check_line has
+/// already bounded every field to a 69-character line, so nothing here can
+/// approach the buffer size; the allocation-free copy is what keeps the
+/// zero-copy parse path free of per-field strings.
+class FieldBuffer {
+ public:
+  explicit FieldBuffer(std::string_view text) { append(text); }
+  FieldBuffer(std::string_view prefix, std::string_view text) {
+    append(prefix);
+    append(text);
+  }
+  [[nodiscard]] const char* c_str() const noexcept { return buffer_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  void append(std::string_view text) {
+    const std::size_t take = std::min(text.size(), sizeof(buffer_) - 1 - size_);
+    if (take > 0) std::memcpy(buffer_ + size_, text.data(), take);
+    size_ += take;
+    buffer_[size_] = '\0';
+  }
+  char buffer_[80];
+  std::size_t size_ = 0;
+};
+
+double parse_double_field(std::string_view line, int from, int to,
                           const char* what) {
-  const std::string text = trim(field(line, from, to));
+  const std::string_view text = trim(field(line, from, to));
   if (text.empty()) return 0.0;
+  // Fast path: std::from_chars is correctly rounded, so every value it
+  // produces is bit-identical to strtod's.  It differs from strtod only in
+  // what it *accepts* (no leading '+', no hex floats, stricter range
+  // handling), so anything it does not fully consume falls through to the
+  // historical strtod path below, keeping accept/reject semantics exact.
+  std::string_view body = text;
+  if (body.front() == '+' && body.size() > 1 &&
+      (std::isdigit(static_cast<unsigned char>(body[1])) || body[1] == '.')) {
+    body.remove_prefix(1);
+  }
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(body.data(), body.data() + body.size(), value);
+  if (ec == std::errc{} && ptr == body.data() + body.size()) return value;
+  const FieldBuffer terminated(text);
   char* end = nullptr;
-  const double value = std::strtod(text.c_str(), &end);
-  if (end == text.c_str() || *end != '\0') {
-    throw ParseError(std::string("bad TLE field '") + what + "': '" + text + "'",
+  value = std::strtod(terminated.c_str(), &end);
+  if (end == terminated.c_str() || *end != '\0') {
+    throw ParseError(std::string("bad TLE field '") + what + "': '" +
+                         std::string(text) + "'",
                      ErrorCategory::kNumeric);
   }
   return value;
 }
 
-int parse_int_field(const std::string& line, int from, int to, const char* what) {
-  const std::string text = trim(field(line, from, to));
+int parse_int_field(std::string_view line, int from, int to, const char* what) {
+  const std::string_view text = trim(field(line, from, to));
   if (text.empty()) return 0;
+  // Same fast-path/fallback split as parse_double_field.
+  std::string_view body = text;
+  if (body.front() == '+' && body.size() > 1 &&
+      std::isdigit(static_cast<unsigned char>(body[1]))) {
+    body.remove_prefix(1);
+  }
+  long value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(body.data(), body.data() + body.size(), value);
+  if (ec == std::errc{} && ptr == body.data() + body.size()) {
+    return static_cast<int>(value);
+  }
+  const FieldBuffer terminated(text);
   char* end = nullptr;
-  const long value = std::strtol(text.c_str(), &end, 10);
-  if (end == text.c_str() || *end != '\0') {
-    throw ParseError(std::string("bad TLE field '") + what + "': '" + text + "'",
+  value = std::strtol(terminated.c_str(), &end, 10);
+  if (end == terminated.c_str() || *end != '\0') {
+    throw ParseError(std::string("bad TLE field '") + what + "': '" +
+                         std::string(text) + "'",
                      ErrorCategory::kNumeric);
   }
   return static_cast<int>(value);
@@ -55,31 +116,36 @@ int parse_int_field(const std::string& line, int from, int to, const char* what)
 /// eccentricity: "0123456" means 0.0123456).  Any non-digit is an error —
 /// an unchecked strtod here would silently read garbage as a truncated
 /// value or 0.0 and corrupt the eccentricity series.
-double parse_assumed_decimal_field(const std::string& line, int from, int to,
+double parse_assumed_decimal_field(std::string_view line, int from, int to,
                                    const char* what) {
-  const std::string raw = field(line, from, to);
-  const std::string text = trim(raw);
+  const std::string_view raw = field(line, from, to);
+  const std::string_view text = trim(raw);
   if (text.empty()) return 0.0;
   // The decimal point is assumed *before the full-width field*, so padding
   // shifts the magnitude: trimming " 006703" to "006703" would misread
   // 0.0006703 as 0.006703.  Demand digits across the whole field.
   if (text.size() != raw.size()) {
     throw ParseError(std::string("bad TLE field '") + what +
-                         "' (padded assumed-decimal field): '" + raw + "'",
+                         "' (padded assumed-decimal field): '" + std::string(raw) +
+                         "'",
                      ErrorCategory::kNumeric);
   }
   for (const char c : text) {
     if (!std::isdigit(static_cast<unsigned char>(c))) {
       throw ParseError(std::string("bad TLE field '") + what +
-                           "' (want digits): '" + text + "'",
+                           "' (want digits): '" + std::string(text) + "'",
                        ErrorCategory::kNumeric);
     }
   }
-  char* end = nullptr;
-  const std::string literal = "0." + text;
-  const double value = std::strtod(literal.c_str(), &end);
-  if (end != literal.c_str() + literal.size()) {
-    throw ParseError(std::string("bad TLE field '") + what + "': '" + text + "'",
+  // All-digits was just validated, so from_chars consumes the composed
+  // literal fully; it is correctly rounded, hence bit-identical to strtod.
+  const FieldBuffer literal("0.", text);
+  double value = 0.0;
+  const auto [end, ec] =
+      std::from_chars(literal.c_str(), literal.c_str() + literal.size(), value);
+  if (ec != std::errc{} || end != literal.c_str() + literal.size()) {
+    throw ParseError(std::string("bad TLE field '") + what + "': '" +
+                         std::string(text) + "'",
                      ErrorCategory::kNumeric);
   }
   return value;
@@ -87,10 +153,10 @@ double parse_assumed_decimal_field(const std::string& line, int from, int to,
 
 /// Parse the "assumed decimal point" exponent notation, e.g. " 12345-3"
 /// meaning +0.12345e-3.  An all-spaces or zero field yields 0.
-double parse_exponent_field(const std::string& line, int from, int to,
+double parse_exponent_field(std::string_view line, int from, int to,
                             const char* what) {
-  const std::string raw = field(line, from, to);
-  const std::string text = trim(raw);
+  const std::string_view raw = field(line, from, to);
+  const std::string_view text = trim(raw);
   if (text.empty() || text == "00000-0" || text == "00000+0") return 0.0;
   double sign = 1.0;
   std::size_t i = 0;
@@ -100,39 +166,42 @@ double parse_exponent_field(const std::string& line, int from, int to,
   } else if (text[i] == '+') {
     ++i;
   }
-  std::string mantissa_digits;
+  const std::size_t mantissa_begin = i;
   while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
-    mantissa_digits.push_back(text[i]);
     ++i;
   }
+  const std::string_view mantissa_digits =
+      text.substr(mantissa_begin, i - mantissa_begin);
   if (mantissa_digits.empty() || i >= text.size()) {
     throw ParseError(std::string("bad TLE exponent field '") + what + "': '" +
-                         raw + "'",
+                         std::string(raw) + "'",
                      ErrorCategory::kNumeric);
   }
   double exp_sign = 1.0;
   if (text[i] == '-') exp_sign = -1.0;
   else if (text[i] != '+') {
     throw ParseError(std::string("bad exponent sign in TLE field '") + what +
-                         "': '" + raw + "'",
+                         "': '" + std::string(raw) + "'",
                      ErrorCategory::kNumeric);
   }
   ++i;
   if (i >= text.size() || !std::isdigit(static_cast<unsigned char>(text[i])) ||
       i + 1 != text.size()) {
     throw ParseError(std::string("bad exponent digit in TLE field '") + what +
-                         "': '" + raw + "'",
+                         "': '" + std::string(raw) + "'",
                      ErrorCategory::kNumeric);
   }
   const int exponent = text[i] - '0';
-  // The digits were validated above; still check that strtod consumed the
-  // whole composed literal rather than trusting it blindly.
-  char* end = nullptr;
-  const std::string mantissa_literal = "0." + mantissa_digits;
-  const double mantissa = std::strtod(mantissa_literal.c_str(), &end);
-  if (end != mantissa_literal.c_str() + mantissa_literal.size()) {
+  // The digits were validated above; still check that the conversion
+  // consumed the whole composed literal rather than trusting it blindly.
+  const FieldBuffer mantissa_literal("0.", mantissa_digits);
+  double mantissa = 0.0;
+  const auto [end, ec] = std::from_chars(
+      mantissa_literal.c_str(),
+      mantissa_literal.c_str() + mantissa_literal.size(), mantissa);
+  if (ec != std::errc{} || end != mantissa_literal.c_str() + mantissa_literal.size()) {
     throw ParseError(std::string("bad TLE exponent mantissa in field '") + what +
-                         "': '" + raw + "'",
+                         "': '" + std::string(raw) + "'",
                      ErrorCategory::kNumeric);
   }
   return sign * mantissa * std::pow(10.0, exp_sign * exponent);
@@ -191,15 +260,16 @@ std::string format_ndot_field(double value) {
   return buffer;
 }
 
-void check_line(const std::string& line, char expected_number) {
+void check_line(std::string_view line, char expected_number) {
   if (line.size() != 69) {
     throw ParseError("TLE line must be 69 characters, got " +
-                         std::to_string(line.size()) + ": '" + line + "'",
+                         std::to_string(line.size()) + ": '" + std::string(line) +
+                         "'",
                      ErrorCategory::kSyntax);
   }
   if (line[0] != expected_number) {
     throw ParseError(std::string("TLE line must start with '") + expected_number +
-                         "': '" + line + "'",
+                         "': '" + std::string(line) + "'",
                      ErrorCategory::kSyntax);
   }
   const int expected = checksum(line.substr(0, 68));
@@ -207,14 +277,14 @@ void check_line(const std::string& line, char expected_number) {
   if (!std::isdigit(static_cast<unsigned char>(checks)) ||
       checks - '0' != expected) {
     throw ParseError("TLE checksum mismatch (expected " + std::to_string(expected) +
-                         "): '" + line + "'",
+                         "): '" + std::string(line) + "'",
                      ErrorCategory::kChecksum);
   }
 }
 
 }  // namespace
 
-int checksum(const std::string& line) {
+int checksum(std::string_view line) {
   int sum = 0;
   for (const char c : line) {
     if (std::isdigit(static_cast<unsigned char>(c))) sum += c - '0';
@@ -251,7 +321,7 @@ void Tle::validate() const {
   if (epoch_jd <= 0.0) throw ValidationError("TLE epoch not set");
 }
 
-Tle parse_tle(const std::string& line1, const std::string& line2) {
+Tle parse_tle(std::string_view line1, std::string_view line2) {
   check_line(line1, '1');
   check_line(line2, '2');
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "timeutil/datetime.hpp"
 
@@ -48,11 +49,13 @@ struct Tle {
 };
 
 /// TLE line checksum: sum of digits plus one per '-', modulo 10.
-[[nodiscard]] int checksum(const std::string& line);
+[[nodiscard]] int checksum(std::string_view line);
 
 /// Parse a TLE from its two lines.  Verifies line numbers, column layout,
 /// matching catalog numbers and checksums.  Throws ParseError on failure.
-[[nodiscard]] Tle parse_tle(const std::string& line1, const std::string& line2);
+/// Takes views so the zero-copy ingestion path can pass slices of a file
+/// mapping; no per-field strings are allocated on the success path.
+[[nodiscard]] Tle parse_tle(std::string_view line1, std::string_view line2);
 
 /// Format a TLE as its two 69-character lines (with valid checksums).
 struct TleLines {

@@ -109,7 +109,8 @@ TEST(CdlintTest, CorpusJsonIsValidAndCoversEveryRule) {
   }
   const std::set<std::string> expected{
       "nondeterminism", "unordered-iter",  "raw-parse",     "naked-throw",
-      "counter-in-loop", "stdout-in-lib",  "include-first", "allow-reason"};
+      "counter-in-loop", "stdout-in-lib",  "include-first", "no-endl",
+      "allow-reason"};
   EXPECT_EQ(rules_seen, expected);
 }
 

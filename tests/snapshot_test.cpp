@@ -1,0 +1,425 @@
+// Differential and failure-matrix tests for the binary snapshot cache
+// (DESIGN.md §13).
+//
+// The cache's contract is "bit-identical or rebuilt": a warm run must
+// reproduce the cold run's catalog, Dst series and quality report exactly,
+// and *any* disagreement — truncation, a flipped CRC byte, a stale content
+// hash after an input edit, a format-version bump, a parse-policy mismatch
+// — must silently fall back to the text path (counter `snapshot.rejected`),
+// produce the same outputs as a cache-less run, and rewrite the snapshot.
+// A deterministic corruption loop additionally proves the decoder never
+// escapes as an exception.  The MappedFile auto/fallback readers are
+// checked byte-identical here too, since the hash and the parsers both
+// consume their views.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "diag/diag.hpp"
+#include "io/file.hpp"
+#include "io/snapshot.hpp"
+#include "obs/obs.hpp"
+#include "spaceweather/dst_index.hpp"
+#include "spaceweather/wdc.hpp"
+#include "timeutil/datetime.hpp"
+#include "tle/catalog.hpp"
+#include "tle/tle.hpp"
+
+namespace cosmicdance {
+namespace {
+
+using diag::ParsePolicy;
+
+// ---- corpus builders --------------------------------------------------------
+
+tle::Tle make_tle(int catalog_number, double epoch_offset_days) {
+  tle::Tle record;
+  record.catalog_number = catalog_number;
+  record.international_designator = "20001A";
+  record.epoch_jd =
+      timeutil::to_julian(timeutil::make_datetime(2024, 5, 1)) + epoch_offset_days;
+  record.bstar = 1.4e-4;
+  record.inclination_deg = 53.05;
+  record.raan_deg = 120.5;
+  record.eccentricity = 0.0002;
+  record.arg_perigee_deg = 90.0;
+  record.mean_anomaly_deg = 45.0;
+  record.mean_motion_revday = 15.05;
+  record.element_set_number = 999;
+  record.rev_number = 12345;
+  return record;
+}
+
+/// `satellites` objects, two element sets each, as TLE text.
+std::string tle_corpus(int satellites) {
+  std::string text;
+  for (int i = 0; i < satellites; ++i) {
+    for (int elset = 0; elset < 2; ++elset) {
+      const tle::TleLines formatted =
+          tle::format_tle(make_tle(10001 + i, 0.5 * i + 2.0 * elset));
+      text += formatted.line1;
+      text.push_back('\n');
+      text += formatted.line2;
+      text.push_back('\n');
+    }
+  }
+  return text;
+}
+
+/// A five-day Dst ramp over the same window, as WDC text.
+std::string wdc_corpus() {
+  std::vector<double> values;
+  for (int h = 0; h < 5 * 24; ++h) values.push_back(-10.0 - 0.5 * h);
+  return spaceweather::to_wdc(spaceweather::DstIndex(
+      timeutil::make_datetime(2024, 5, 1), std::move(values)));
+}
+
+// ---- harness ----------------------------------------------------------------
+
+struct TestInputs {
+  std::string dir;
+  std::string dst_path;
+  std::string tle_path;
+  std::string cache_dir;
+
+  [[nodiscard]] std::string snapshot_path() const {
+    return io::snapshot_cache_path(cache_dir, dst_path, tle_path);
+  }
+};
+
+TestInputs write_inputs(const std::string& tag, const std::string& tle_text) {
+  TestInputs inputs;
+  inputs.dir = ::testing::TempDir() + "cdsnap_" + tag;
+  std::filesystem::remove_all(inputs.dir);
+  std::filesystem::create_directories(inputs.dir);
+  inputs.dst_path = inputs.dir + "/dst.wdc";
+  inputs.tle_path = inputs.dir + "/catalog.tle";
+  inputs.cache_dir = inputs.dir + "/cache";
+  io::write_file(inputs.dst_path, wdc_corpus());
+  io::write_file(inputs.tle_path, tle_text);
+  return inputs;
+}
+
+/// Everything the ingestion layer feeds downstream, in comparable form.
+/// Equality here is bit-exactness: the double vectors compare with ==, and
+/// the quality JSON embeds quarantine counters, line numbers, snippets and
+/// their order.
+struct RunOutput {
+  std::string catalog_text;
+  timeutil::HourIndex dst_start = 0;
+  std::vector<double> dst_values;
+  std::string quality_json;
+};
+
+void expect_identical(const RunOutput& a, const RunOutput& b) {
+  EXPECT_EQ(a.catalog_text, b.catalog_text);
+  EXPECT_EQ(a.dst_start, b.dst_start);
+  EXPECT_EQ(a.dst_values, b.dst_values);
+  EXPECT_EQ(a.quality_json, b.quality_json);
+}
+
+RunOutput run_pipeline(const TestInputs& inputs, ParsePolicy policy,
+                       int threads, bool use_cache,
+                       obs::Metrics* metrics = nullptr) {
+  core::PipelineConfig config;
+  config.parse_policy = policy;
+  config.num_threads = threads;
+  config.metrics = metrics;
+  if (use_cache) config.cache_dir = inputs.cache_dir;
+  const core::CosmicDance pipeline =
+      core::CosmicDance::from_files(inputs.dst_path, inputs.tle_path, config);
+  RunOutput out;
+  out.catalog_text = pipeline.catalog().to_text();
+  out.dst_start = pipeline.dst().start_hour();
+  out.dst_values.assign(pipeline.dst().values().begin(),
+                        pipeline.dst().values().end());
+  out.quality_json = pipeline.quality_report().to_json();
+  return out;
+}
+
+std::uint64_t counter(const obs::Metrics& metrics, const std::string& name) {
+  const obs::MetricsReport report = metrics.snapshot();
+  const auto it = report.counters.find(name);
+  return it != report.counters.end() ? it->second : 0;
+}
+
+/// Content hash of the on-disk pair, chained dst-then-tle exactly as
+/// from_files computes it.
+std::uint64_t content_hash_of(const TestInputs& inputs) {
+  const io::MappedFile dst_file(inputs.dst_path);
+  const io::MappedFile tle_file(inputs.tle_path);
+  return io::fnv1a(tle_file.view(), io::fnv1a(dst_file.view()));
+}
+
+/// The failure-matrix driver: seed the cache with a cold run, corrupt the
+/// snapshot via `mutate`, then prove the next run rejects it, matches a
+/// cache-less parse bit for bit, rewrites the snapshot, and that the run
+/// after *that* hits the rewritten one.
+template <typename Mutator>
+void expect_reject_and_fallback(const TestInputs& inputs, ParsePolicy policy,
+                                const Mutator& mutate) {
+  run_pipeline(inputs, policy, 1, /*use_cache=*/true);
+  ASSERT_TRUE(std::filesystem::exists(inputs.snapshot_path()));
+  mutate(inputs);
+
+  obs::Metrics rejected_run;
+  const RunOutput fallback =
+      run_pipeline(inputs, policy, 1, /*use_cache=*/true, &rejected_run);
+  EXPECT_EQ(counter(rejected_run, "snapshot.rejected"), 1u);
+  EXPECT_EQ(counter(rejected_run, "ingest.cache_hit"), 0u);
+  EXPECT_EQ(counter(rejected_run, "snapshot.loaded"), 0u);
+  EXPECT_EQ(counter(rejected_run, "snapshot.written"), 1u)
+      << "a rejected snapshot must be rewritten from the fresh parse";
+
+  const RunOutput uncached =
+      run_pipeline(inputs, policy, 1, /*use_cache=*/false);
+  expect_identical(fallback, uncached);
+
+  obs::Metrics warm_run;
+  const RunOutput warm =
+      run_pipeline(inputs, policy, 1, /*use_cache=*/true, &warm_run);
+  EXPECT_EQ(counter(warm_run, "ingest.cache_hit"), 1u);
+  EXPECT_EQ(counter(warm_run, "snapshot.rejected"), 0u);
+  expect_identical(warm, uncached);
+}
+
+// ---- round trip -------------------------------------------------------------
+
+TEST(SnapshotTest, EncodeDecodeRoundTripIsBitExact) {
+  const std::string tle_text = tle_corpus(4);
+  const std::string wdc_text = wdc_corpus();
+
+  diag::ParseLog log(ParsePolicy::kTolerant);
+  spaceweather::DstIndex dst = spaceweather::from_wdc(wdc_text, &log, "dst.wdc");
+  tle::TleCatalog catalog;
+  catalog.add_from_text(tle_text, tle::IngestOptions{&log, 1, "catalog.tle"});
+  const io::SnapshotData data{dst, catalog, log.report()};
+
+  const std::uint64_t hash = io::fnv1a(tle_text, io::fnv1a(wdc_text));
+  const std::string bytes =
+      io::encode_snapshot(data, hash, ParsePolicy::kTolerant);
+
+  const std::optional<io::SnapshotData> decoded =
+      io::decode_snapshot(bytes, hash, ParsePolicy::kTolerant);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->catalog.to_text(), catalog.to_text());
+  EXPECT_EQ(decoded->dst.start_hour(), dst.start_hour());
+  EXPECT_EQ(std::vector<double>(decoded->dst.values().begin(),
+                                decoded->dst.values().end()),
+            std::vector<double>(dst.values().begin(), dst.values().end()));
+  EXPECT_EQ(decoded->quality.to_json(), log.report().to_json());
+
+  // The two key mismatches reject before any payload decoding happens.
+  EXPECT_FALSE(io::decode_snapshot(bytes, hash + 1, ParsePolicy::kTolerant));
+  EXPECT_FALSE(io::decode_snapshot(bytes, hash, ParsePolicy::kStrict));
+}
+
+// ---- hit vs miss ------------------------------------------------------------
+
+TEST(SnapshotTest, ColdMissParsesAndWritesWarmHitLoads) {
+  const TestInputs inputs = write_inputs("hit_vs_miss", tle_corpus(4));
+
+  obs::Metrics cold;
+  const RunOutput first =
+      run_pipeline(inputs, ParsePolicy::kStrict, 1, /*use_cache=*/true, &cold);
+  EXPECT_EQ(counter(cold, "snapshot.written"), 1u);
+  EXPECT_EQ(counter(cold, "ingest.cache_hit"), 0u);
+  EXPECT_EQ(counter(cold, "snapshot.rejected"), 0u);
+  EXPECT_GT(counter(cold, "tle.records_parsed"), 0u);
+  EXPECT_TRUE(std::filesystem::exists(inputs.snapshot_path()));
+
+  obs::Metrics warm;
+  const RunOutput second =
+      run_pipeline(inputs, ParsePolicy::kStrict, 1, /*use_cache=*/true, &warm);
+  EXPECT_EQ(counter(warm, "ingest.cache_hit"), 1u);
+  EXPECT_EQ(counter(warm, "snapshot.loaded"), 1u);
+  EXPECT_EQ(counter(warm, "snapshot.written"), 0u);
+  EXPECT_EQ(counter(warm, "tle.records_parsed"), 0u)
+      << "a cache hit must not parse any TLE text";
+  expect_identical(first, second);
+
+  const RunOutput uncached =
+      run_pipeline(inputs, ParsePolicy::kStrict, 1, /*use_cache=*/false);
+  expect_identical(second, uncached);
+}
+
+TEST(SnapshotTest, ThreadCountsShareTheCacheBitIdentically) {
+  const TestInputs inputs = write_inputs("threads", tle_corpus(6));
+
+  const RunOutput serial_cold =
+      run_pipeline(inputs, ParsePolicy::kStrict, 1, /*use_cache=*/true);
+  obs::Metrics warm;
+  const RunOutput parallel_warm =
+      run_pipeline(inputs, ParsePolicy::kStrict, 0, /*use_cache=*/true, &warm);
+  EXPECT_EQ(counter(warm, "ingest.cache_hit"), 1u);
+  expect_identical(serial_cold, parallel_warm);
+
+  const RunOutput parallel_uncached =
+      run_pipeline(inputs, ParsePolicy::kStrict, 0, /*use_cache=*/false);
+  expect_identical(parallel_warm, parallel_uncached);
+}
+
+// ---- the readers behind the hash and the parsers ---------------------------
+
+TEST(SnapshotTest, MappedAndFallbackReadersAreByteIdentical) {
+  const TestInputs inputs = write_inputs("readers", tle_corpus(4));
+
+  const io::MappedFile mapped(inputs.tle_path, io::MappedFile::Mode::kAuto);
+  const io::MappedFile fallback(inputs.tle_path,
+                                io::MappedFile::Mode::kFallbackRead);
+  EXPECT_FALSE(fallback.is_mapped());
+  ASSERT_EQ(mapped.view(), fallback.view());
+
+  tle::TleCatalog from_mapped;
+  tle::TleCatalog from_fallback;
+  from_mapped.add_from_text(mapped.view());
+  from_fallback.add_from_text(fallback.view());
+  EXPECT_EQ(from_mapped.to_text(), from_fallback.to_text());
+
+  // The content hash — the cache key — must agree across readers too.
+  EXPECT_EQ(io::fnv1a(mapped.view()), io::fnv1a(fallback.view()));
+}
+
+// ---- failure matrix ---------------------------------------------------------
+
+TEST(SnapshotTest, TruncatedSnapshotFallsBack) {
+  const TestInputs inputs = write_inputs("truncated", tle_corpus(4));
+  expect_reject_and_fallback(inputs, ParsePolicy::kStrict,
+                             [](const TestInputs& t) {
+                               std::string bytes = io::read_file(t.snapshot_path());
+                               bytes.resize(bytes.size() / 2);
+                               io::write_file(t.snapshot_path(), bytes);
+                             });
+}
+
+TEST(SnapshotTest, FlippedCrcHeaderByteFallsBack) {
+  const TestInputs inputs = write_inputs("crc_header", tle_corpus(4));
+  expect_reject_and_fallback(inputs, ParsePolicy::kStrict,
+                             [](const TestInputs& t) {
+                               std::string bytes = io::read_file(t.snapshot_path());
+                               ASSERT_GT(bytes.size(), 35u);
+                               bytes[32] ^= 0x01;  // CRC32 field, bytes 32-35
+                               io::write_file(t.snapshot_path(), bytes);
+                             });
+}
+
+TEST(SnapshotTest, FlippedPayloadByteFailsTheCrcAndFallsBack) {
+  const TestInputs inputs = write_inputs("crc_payload", tle_corpus(4));
+  expect_reject_and_fallback(inputs, ParsePolicy::kStrict,
+                             [](const TestInputs& t) {
+                               std::string bytes = io::read_file(t.snapshot_path());
+                               ASSERT_GT(bytes.size(), 40u);
+                               bytes[40 + (bytes.size() - 40) / 2] ^= 0x10;
+                               io::write_file(t.snapshot_path(), bytes);
+                             });
+}
+
+TEST(SnapshotTest, FormatVersionBumpFallsBack) {
+  const TestInputs inputs = write_inputs("version", tle_corpus(4));
+  expect_reject_and_fallback(
+      inputs, ParsePolicy::kStrict, [](const TestInputs& t) {
+        std::string bytes = io::read_file(t.snapshot_path());
+        ASSERT_GT(bytes.size(), 11u);
+        bytes[8] = static_cast<char>(bytes[8] + 1);  // version u32 LE, low byte
+        io::write_file(t.snapshot_path(), bytes);
+      });
+}
+
+TEST(SnapshotTest, EditedInputMakesTheSnapshotStale) {
+  const TestInputs inputs = write_inputs("stale", tle_corpus(4));
+  // The snapshot file name hashes only the *paths*, so editing the TLE file
+  // in place leaves the old snapshot exactly where the next run looks — the
+  // stored content hash is the only thing that can catch it.
+  expect_reject_and_fallback(
+      inputs, ParsePolicy::kStrict, [](const TestInputs& t) {
+        std::string text = io::read_file(t.tle_path);
+        const tle::TleLines extra = tle::format_tle(make_tle(20001, 0.25));
+        text += extra.line1 + "\n" + extra.line2 + "\n";
+        io::write_file(t.tle_path, text);
+      });
+}
+
+TEST(SnapshotTest, ParsePolicyMismatchFallsBack) {
+  const TestInputs inputs = write_inputs("policy", tle_corpus(4));
+  // Cold strict run seeds the cache; a tolerant run must not trust a
+  // strict-built snapshot (its quality report encodes the other policy) —
+  // it rejects, reparses tolerantly and rewrites.  The driver's final warm
+  // run then proves the rewritten snapshot serves tolerant hits.
+  expect_reject_and_fallback(
+      inputs, ParsePolicy::kTolerant, [](const TestInputs& t) {
+        std::filesystem::remove(t.snapshot_path());
+        run_pipeline(t, ParsePolicy::kStrict, 1, /*use_cache=*/true);
+      });
+}
+
+// ---- diagnostics round trip -------------------------------------------------
+
+TEST(SnapshotTest, QuarantineDiagnosticsSurviveTheCache) {
+  // Corrupt one record's checksum so the tolerant parse quarantines it; the
+  // warm run must report the identical quarantine — same counters, same
+  // line numbers, same snippet order — without ever seeing the text.
+  std::string text = tle_corpus(4);
+  const std::size_t second_line1 = text.find("\n1 ", text.find("\n2 ")) + 1;
+  ASSERT_NE(second_line1, std::string::npos + 1);
+  text[second_line1 + 68] =
+      text[second_line1 + 68] == '0' ? '1' : '0';  // break the checksum
+  const TestInputs inputs = write_inputs("quarantine", text);
+
+  obs::Metrics cold;
+  const RunOutput first = run_pipeline(inputs, ParsePolicy::kTolerant, 1,
+                                       /*use_cache=*/true, &cold);
+  EXPECT_NE(first.quality_json.find("quarantined"), std::string::npos);
+
+  obs::Metrics warm;
+  const RunOutput second = run_pipeline(inputs, ParsePolicy::kTolerant, 1,
+                                        /*use_cache=*/true, &warm);
+  EXPECT_EQ(counter(warm, "ingest.cache_hit"), 1u);
+  expect_identical(first, second);
+
+  const RunOutput uncached =
+      run_pipeline(inputs, ParsePolicy::kTolerant, 1, /*use_cache=*/false);
+  expect_identical(second, uncached);
+}
+
+// ---- corruption fuzz --------------------------------------------------------
+
+TEST(SnapshotTest, RandomSingleBitCorruptionNeverThrows) {
+  const TestInputs inputs = write_inputs("fuzz", tle_corpus(3));
+  run_pipeline(inputs, ParsePolicy::kStrict, 1, /*use_cache=*/true);
+  const std::string valid = io::read_file(inputs.snapshot_path());
+  const std::uint64_t hash = content_hash_of(inputs);
+
+  const std::optional<io::SnapshotData> baseline =
+      io::decode_snapshot(valid, hash, ParsePolicy::kStrict);
+  ASSERT_TRUE(baseline.has_value());
+  const std::string baseline_text = baseline->catalog.to_text();
+
+  Rng rng(20260807);
+  for (int i = 0; i < 200; ++i) {
+    std::string bytes = valid;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    bytes[pos] = static_cast<char>(
+        bytes[pos] ^ static_cast<char>(1 << rng.uniform_int(0, 7)));
+    std::optional<io::SnapshotData> decoded;
+    // Never an exception: any disagreement must surface as nullopt.
+    EXPECT_NO_THROW(decoded =
+                        io::decode_snapshot(bytes, hash, ParsePolicy::kStrict))
+        << "decode threw on a bit flip at byte " << pos;
+    if (decoded.has_value()) {
+      // Flips the checks cannot see (header padding) must be harmless.
+      EXPECT_EQ(decoded->catalog.to_text(), baseline_text)
+          << "accepted a corrupted snapshot, flip at byte " << pos;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cosmicdance

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Warn-only throughput diff between two bench telemetry records.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--tolerance FRAC]
+
+Both inputs are records written by bench::write_bench_record (see
+bench/bench_common.hpp): {"bench": ..., "throughput": {name: rate}, ...}.
+Every throughput key present in both files is compared; a relative drop
+larger than --tolerance (default 0.30 — CI machines are noisy, and a
+warn that cries wolf gets ignored) prints a WARN line.  Keys that appear
+in only one file are reported as informational NOTE lines.
+
+Exit status: 0 always for a completed comparison, including one with
+regressions — this is a trend surface, not a gate; tier-1 stays green on
+a slow machine, while the WARN lines land in the log for a human.
+Usage or parse errors exit 2 so a broken wiring never masquerades as a
+silent pass.
+"""
+
+import json
+import sys
+
+
+def fail_usage(message):
+    print("bench_compare: " + message, file=sys.stderr)
+    sys.exit(2)
+
+
+def load_record(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, ValueError) as error:
+        fail_usage("cannot read %s: %s" % (path, error))
+    if not isinstance(record, dict) or not isinstance(
+            record.get("throughput"), dict):
+        fail_usage("%s is not a bench record (missing throughput object)" %
+                   path)
+    return record
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    tolerance = 0.30
+    for option in (a for a in argv[1:] if a.startswith("--")):
+        name, _, value = option.partition("=")
+        if name != "--tolerance":
+            fail_usage("unknown option " + name)
+        try:
+            tolerance = float(value)
+        except ValueError:
+            fail_usage("--tolerance needs a number, got %r" % value)
+    if len(args) != 2:
+        fail_usage("expected BASELINE.json CURRENT.json")
+
+    baseline = load_record(args[0])
+    current = load_record(args[1])
+    base_rates = baseline["throughput"]
+    cur_rates = current["throughput"]
+
+    bench = current.get("bench", "?")
+    warned = 0
+    for name in sorted(set(base_rates) | set(cur_rates)):
+        if name not in base_rates:
+            print("NOTE  %s/%s: new key (%.6g), no baseline" %
+                  (bench, name, cur_rates[name]))
+            continue
+        if name not in cur_rates:
+            print("NOTE  %s/%s: key vanished (baseline %.6g)" %
+                  (bench, name, base_rates[name]))
+            continue
+        base, cur = float(base_rates[name]), float(cur_rates[name])
+        if base <= 0.0:
+            continue
+        change = (cur - base) / base
+        if change < -tolerance:
+            warned += 1
+            print("WARN  %s/%s: %.6g -> %.6g (%+.1f%%, tolerance %.0f%%)" %
+                  (bench, name, base, cur, 100.0 * change, 100.0 * tolerance))
+        else:
+            print("ok    %s/%s: %.6g -> %.6g (%+.1f%%)" %
+                  (bench, name, base, cur, 100.0 * change))
+    if warned:
+        print("bench_compare: %d throughput key(s) regressed beyond "
+              "tolerance (warn-only, not failing the build)" % warned)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -32,7 +32,8 @@ std::string trim(const std::string& s) {
 const std::set<std::string>& known_rules() {
   static const std::set<std::string> kRules{
       "nondeterminism", "unordered-iter",  "raw-parse",     "naked-throw",
-      "counter-in-loop", "stdout-in-lib",  "include-first", "allow-reason"};
+      "counter-in-loop", "stdout-in-lib",  "include-first", "no-endl",
+      "allow-reason"};
   return kRules;
 }
 
@@ -469,6 +470,21 @@ void rule_stdout_in_lib(Context& ctx) {
   }
 }
 
+// --- R8: no-endl -------------------------------------------------------------
+
+void rule_no_endl(Context& ctx) {
+  const SourceFile& f = ctx.file;
+  if (!starts_with(f.path(), "src/")) return;
+  for (const Token& t : f.tokens()) {
+    if (t.text == "endl") {
+      ctx.report(t.line, "no-endl",
+                 "std::endl in a src/ library -- it forces a flush per line, "
+                 "which dominated report/export hot loops before the "
+                 "zero-copy work; write '\\n' and let the stream flush");
+    }
+  }
+}
+
 // --- R7: include-first -------------------------------------------------------
 
 void rule_include_first(Context& ctx, bool has_sibling_header) {
@@ -547,6 +563,7 @@ std::vector<Finding> run_rules(const SourceFile& file,
   rule_counter_in_loop(ctx);
   rule_stdout_in_lib(ctx);
   rule_include_first(ctx, has_sibling_header);
+  rule_no_endl(ctx);
   rule_allow_reason(ctx);
   std::sort(findings.begin(), findings.end());
   return findings;

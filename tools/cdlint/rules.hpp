@@ -27,6 +27,10 @@
 //                        CLI, tools and benches own stdout.
 //   include-first   (R7) Every .cpp includes its own header first, so each
 //                        header is proven self-contained by compilation.
+//   no-endl         (R8) No std::endl in src/ libraries: it flushes the
+//                        stream on every line, which turns buffered report
+//                        and export writes into per-line syscalls; write
+//                        '\n' instead.
 //
 // Plus the meta rule `allow-reason`: an allow() directive without a
 // justification is a finding and suppresses nothing.

@@ -1,0 +1,6 @@
+// cdlint corpus: seeded violation for rule `no-endl` (R8).
+#include <ostream>
+
+void flush_heavy(std::ostream& out, int value) {
+  out << "value=" << value << std::endl;
+}

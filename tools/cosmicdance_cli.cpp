@@ -40,8 +40,8 @@ int usage() {
       "            [--per-batch N] [--cadence DAYS] [--fleet N] [--seed N]\n"
       "  storms    --dst F [--threshold NT] [--csv F]\n"
       "  convert   --tles F --to-omm F | --omm F --to-tles F\n"
-      "  analyze   --dst F --tles F --out-dir DIR [--threads N]\n"
-      "  report    --dst F --tles F [--markdown F] [--threads N]\n"
+      "  analyze   --dst F --tles F --out-dir DIR [--threads N] [--cache-dir DIR]\n"
+      "  report    --dst F --tles F [--markdown F] [--threads N] [--cache-dir DIR]\n"
       "\n"
       "--threads N: pipeline worker count (0 = all hardware threads,\n"
       "             1 = serial; results are identical either way)\n"
@@ -54,7 +54,10 @@ int usage() {
       "             work counters, gauges (.csv = flat rows, else JSON);\n"
       "             work counters are bit-identical at every --threads value\n"
       "--trace F (analyze/report): write a Chrome trace_event JSON timeline\n"
-      "             (open in about:tracing or ui.perfetto.dev)\n";
+      "             (open in about:tracing or ui.perfetto.dev)\n"
+      "--cache-dir DIR (analyze/report): binary snapshot cache of parsed\n"
+      "             inputs; a warm run with unchanged inputs skips text\n"
+      "             parsing (results are bit-identical either way)\n";
   return 2;
 }
 
@@ -207,6 +210,7 @@ core::CosmicDance load_pipeline(const io::ArgParser& args,
   config.num_threads = static_cast<int>(args.integer_or("threads", 0));
   config.parse_policy = parse_policy(args);
   config.metrics = metrics;
+  config.cache_dir = args.option_or("cache-dir", "");
   core::CosmicDance pipeline = core::CosmicDance::from_files(
       require(args, "dst"), require(args, "tles"), config);
   emit_quality_report(args, pipeline.quality_report());
@@ -215,7 +219,7 @@ core::CosmicDance load_pipeline(const io::ArgParser& args,
 
 int cmd_analyze(const io::ArgParser& args) {
   args.check_known({"dst", "tles", "out-dir", "threads", "parse-policy",
-                    "quality-report", "metrics", "trace"});
+                    "quality-report", "metrics", "trace", "cache-dir"});
   const std::string out_dir = require(args, "out-dir");
   std::filesystem::create_directories(out_dir);
   obs::Metrics observability;
@@ -292,7 +296,7 @@ int cmd_convert(const io::ArgParser& args) {
 }
 
 int cmd_report(const io::ArgParser& args) {
-  args.check_known({"dst", "tles", "markdown", "threads", "parse-policy",
+  args.check_known({"dst", "tles", "markdown", "threads", "parse-policy", "cache-dir",
                     "quality-report", "metrics", "trace"});
   obs::Metrics observability;
   obs::Metrics* metrics = wants_observability(args) ? &observability : nullptr;

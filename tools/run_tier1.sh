@@ -9,8 +9,12 @@
 #      buffer overreads in the fixed-column parsers surface here.
 #   4. observability smoke: the CLI with --metrics/--trace on the bundled
 #      dataset (work counters must be bit-identical at --threads 1 vs 8,
-#      per DESIGN.md §11) plus the micro_pipeline telemetry pass, leaving
-#      build/BENCH_pipeline.json behind as a CI artifact.
+#      per DESIGN.md §11) plus the micro_pipeline and micro_ingest
+#      telemetry passes, leaving build/BENCH_pipeline.json and
+#      build/BENCH_ingest.json behind as CI artifacts.  The ingest record
+#      must show a warm-cache hit (ingest.cache_hit == 1), and
+#      tools/bench_compare.py prints a warn-only throughput diff against
+#      the previous run's record when one exists.
 #   5. static analysis: cdlint (the project-invariant lint, DESIGN.md §12)
 #      must report zero non-baselined findings against the committed --
 #      empty -- baseline, and its seeded corpus must keep producing the
@@ -39,11 +43,13 @@ echo "== pass 3: ASan+UBSan build + malformed-record ingestion suite =="
 cmake -B build-asan -S . -DCOSMICDANCE_SANITIZE=address
 cmake --build build-asan -j "$JOBS" \
       --target ingestion_fuzz_test diag_test io_test tle_test tle2_test \
-               timeutil_test spaceweather_test
+               timeutil_test spaceweather_test snapshot_test
 # The fuzz suite feeds truncated / corrupted fixed-column records through
 # every ingestion path; ASan+UBSan turns any column overread into a failure.
+# snapshot_test drives the corrupted-snapshot failure matrix (truncation,
+# bit flips, stale hashes) through the binary decoder under the same lens.
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-      -R 'IngestionFuzz|Diag|ParseLog|DataQualityReport|Csv|Tle|DateTime|Wdc'
+      -R 'IngestionFuzz|Diag|ParseLog|DataQualityReport|Csv|Tle|DateTime|Wdc|Snapshot'
 
 echo "== pass 4: observability smoke (CLI metrics/trace + bench telemetry) =="
 CLI=build/tools/cosmicdance
@@ -59,10 +65,22 @@ mkdir -p "$SMOKE"
 "$CLI" analyze --dst data/sample/dst.wdc --tles "$SMOKE/catalog.tle" \
        --out-dir "$SMOKE/out8" --threads 8 \
        --metrics "$SMOKE/metrics_t8.json"
-# Bench telemetry artifact (benchmark suite itself skipped via the
-# nothing-matches filter; the instrumented pass still runs).
+# Bench telemetry artifacts (benchmark suites themselves skipped via the
+# nothing-matches filter; the instrumented passes still run).  The ingest
+# record from the previous tier-1 run is kept as the comparison baseline.
 build/bench/micro_pipeline --benchmark_filter='^$' \
        --bench-out build/BENCH_pipeline.json --threads 0
+if [ -f build/BENCH_ingest.json ]; then
+  cp build/BENCH_ingest.json build/BENCH_ingest.prev.json
+fi
+build/bench/micro_ingest --benchmark_filter='^$' \
+       --bench-out build/BENCH_ingest.json --threads 0
+# Warn-only trend diff against the previous run's record (first run on a
+# fresh build dir has no baseline, so there is nothing to compare).
+if [ -f build/BENCH_ingest.prev.json ]; then
+  python3 tools/bench_compare.py build/BENCH_ingest.prev.json \
+          build/BENCH_ingest.json
+fi
 python3 - "$SMOKE" <<'EOF'
 import json, sys
 smoke = sys.argv[1]
@@ -83,10 +101,22 @@ bench = json.load(open("build/BENCH_pipeline.json"))
 for key in ("bench", "threads", "dataset", "throughput", "metrics"):
     assert key in bench, f"bench record missing {key!r}"
 assert bench["metrics"]["phases"], "bench record has no phase timings"
+ingest = json.load(open("build/BENCH_ingest.json"))
+for key in ("bench", "threads", "dataset", "throughput", "metrics"):
+    assert key in ingest, f"ingest bench record missing {key!r}"
+# The telemetry pass runs cold-then-warm against a fresh cache dir; the
+# warm run must actually hit the snapshot (DESIGN.md §13) or the cache is
+# silently dead.
+counters = ingest["metrics"]["counters"]
+assert counters.get("ingest.cache_hit") == 1, (
+    "warm ingest pass did not hit the snapshot cache: "
+    f"{ {k: v for k, v in counters.items() if k.startswith(('ingest.', 'snapshot.'))} }")
+assert counters.get("snapshot.written") == 1, "cold pass wrote no snapshot"
 print(f"observability smoke OK: {len(m1['counters'])} work counters "
       f"bit-identical across thread counts, "
       f"{len(trace['traceEvents'])} trace events, "
-      f"bench throughput keys: {sorted(bench['throughput'])}")
+      f"bench throughput keys: {sorted(bench['throughput'])}, "
+      f"ingest cache_hit={counters['ingest.cache_hit']}")
 EOF
 
 echo "== pass 5: static analysis (cdlint; clang-tidy/shellcheck if installed) =="

@@ -1,5 +1,9 @@
 #include "core/pipeline.hpp"
 
+#include <cstddef>
+#include <span>
+#include <string_view>
+
 #include "io/file.hpp"
 #include "io/snapshot.hpp"
 #include "obs/obs.hpp"
@@ -73,22 +77,100 @@ CosmicDance CosmicDance::from_files(const std::string& wdc_dst_path,
   }
 
   const bool use_cache = !config.cache_dir.empty();
-  std::uint64_t content_hash = 0;
   std::string snapshot_path;
   if (use_cache) {
-    content_hash = io::fnv1a(tle_file.view(), io::fnv1a(dst_file.view()));
     snapshot_path =
         io::snapshot_cache_path(config.cache_dir, wdc_dst_path, tle_path);
-    std::optional<io::SnapshotData> snapshot = io::load_snapshot(
-        snapshot_path, content_hash, config.parse_policy, config.metrics);
+    std::optional<io::SnapshotData> snapshot =
+        io::load_snapshot(snapshot_path, config.parse_policy, config.metrics);
     if (snapshot.has_value()) {
-      if (config.metrics != nullptr) {
-        config.metrics->counter("ingest.cache_hit").add(1);
+      const io::InputClassification cls = io::classify_inputs(
+          snapshot->state, dst_file.view(), tle_file.view());
+      if (cls.match == io::InputMatch::kExact) {
+        // Byte-identical inputs: skip text parsing entirely.
+        if (config.metrics != nullptr) {
+          config.metrics->counter("ingest.cache_hit").add(1);
+          config.metrics->counter("snapshot.loaded").add(1);
+        }
+        CosmicDance pipeline(std::move(snapshot->dst),
+                             std::move(snapshot->catalog), config);
+        pipeline.quality_report_ = std::move(snapshot->quality);
+        return pipeline;
       }
-      CosmicDance pipeline(std::move(snapshot->dst),
-                           std::move(snapshot->catalog), config);
-      pipeline.quality_report_ = std::move(snapshot->quality);
-      return pipeline;
+      if (cls.match == io::InputMatch::kAppend) {
+        // Unchanged prefix plus appended bytes: parse only the tails,
+        // extending the snapshot's datasets in place.  The readers resume
+        // with absolute line numbers, so values, counters, quarantine
+        // order — and the first strict-mode throw — are bit-identical to
+        // a full reparse of the grown files (DESIGN.md §14).
+        const std::string_view dst_tail =
+            dst_file.view().substr(snapshot->state.dst_len);
+        const std::string_view tle_tail =
+            tle_file.view().substr(snapshot->state.tle_len);
+        if (config.metrics != nullptr) {
+          config.metrics->counter("ingest.delta_hit").add(1);
+          config.metrics->counter("ingest.tail_bytes")
+              .add(dst_tail.size() + tle_tail.size());
+          config.metrics->counter("snapshot.loaded").add(1);
+        }
+        diag::ParseLog tail_log(config.parse_policy);
+        io::SnapshotDelta delta;
+        delta.dst_prior_size = snapshot->dst.size();
+        {
+          const obs::ScopedPhase phase(config.metrics, "ingest.dst");
+          spaceweather::from_wdc_append(
+              snapshot->dst, dst_tail, &tail_log, wdc_dst_path,
+              static_cast<std::size_t>(snapshot->state.dst_lines) + 1);
+          if (config.metrics != nullptr) {
+            config.metrics->counter("ingest.dst_hours")
+                .add(snapshot->dst.size() -
+                     static_cast<std::size_t>(delta.dst_prior_size));
+          }
+        }
+        {
+          const obs::ScopedPhase phase(config.metrics, "ingest.tle");
+          snapshot->catalog.add_from_text(
+              tle_tail,
+              tle::IngestOptions{
+                  &tail_log, config.num_threads, tle_path, config.metrics,
+                  static_cast<std::size_t>(snapshot->state.tle_lines) + 1,
+                  &delta.tle_committed});
+        }
+        delta.state = cls.current;
+        delta.dst_start_hour = snapshot->dst.start_hour();
+        const std::span<const double> dst_values = snapshot->dst.values();
+        delta.dst_appended.assign(
+            dst_values.begin() +
+                static_cast<std::ptrdiff_t>(delta.dst_prior_size),
+            dst_values.end());
+        delta.quality_delta = tail_log.report();
+        snapshot->quality.merge(delta.quality_delta);
+        snapshot->state = cls.current;
+        // Persist best-effort: append one more layer, or — once the chain
+        // is long enough that load-time walks outweigh one base rewrite —
+        // compact everything back into a single fresh base.
+        if (snapshot->delta_layers >= io::kMaxSnapshotDeltaLayers) {
+          if (io::save_snapshot(snapshot_path, *snapshot, config.parse_policy,
+                                config.metrics) &&
+              config.metrics != nullptr) {
+            config.metrics->counter("snapshot.compacted").add(1);
+          }
+        } else {
+          io::append_snapshot_delta(snapshot_path, delta,
+                                    snapshot->delta_layers + 1,
+                                    snapshot->chain_hash, config.parse_policy,
+                                    config.metrics);
+        }
+        CosmicDance pipeline(std::move(snapshot->dst),
+                             std::move(snapshot->catalog), config);
+        pipeline.quality_report_ = std::move(snapshot->quality);
+        return pipeline;
+      }
+      // Structurally valid snapshot of some *other* inputs (shrunk or
+      // edited in place): stale.  Count the rejection and reparse.
+      if (config.metrics != nullptr) {
+        config.metrics->counter("snapshot.rejected").add(1);
+      }
     }
   }
 
@@ -112,8 +194,11 @@ CosmicDance CosmicDance::from_files(const std::string& wdc_dst_path,
   if (use_cache) {
     // Best-effort rewrite: failure (e.g. read-only cache dir) is counted
     // but never fatal — the parse already succeeded.
-    io::save_snapshot(snapshot_path, io::SnapshotData{dst, catalog, quality},
-                      content_hash, config.parse_policy, config.metrics);
+    io::SnapshotData data{dst, catalog, quality,
+                          io::ingest_state_of(dst_file.view(), tle_file.view()),
+                          0, 0};
+    io::save_snapshot(snapshot_path, data, config.parse_policy,
+                      config.metrics);
   }
   CosmicDance pipeline(std::move(dst), std::move(catalog), config);
   pipeline.quality_report_ = std::move(quality);

@@ -42,12 +42,16 @@ struct PipelineConfig {
   /// scheduling counters and timings are explicitly outside that contract
   /// (DESIGN.md §11).
   obs::Metrics* metrics = nullptr;
-  /// Snapshot-cache directory for from_files (DESIGN.md §13).  Empty — the
-  /// default — disables caching.  When set, a valid snapshot keyed by the
-  /// input bytes' content hash skips text parsing entirely (counter
-  /// `ingest.cache_hit`); a miss or rejected snapshot falls back to the
-  /// text path and rewrites the snapshot.  Results are bit-identical
-  /// either way.
+  /// Snapshot-cache directory for from_files (DESIGN.md §13–14).  Empty —
+  /// the default — disables caching.  When set, a valid snapshot keyed by
+  /// the input bytes' content hash skips text parsing entirely (counter
+  /// `ingest.cache_hit`); inputs that grew by appended bytes over an
+  /// unchanged prefix parse only the tail (counters `ingest.delta_hit`,
+  /// `ingest.tail_bytes`) and persist the new records as a delta layer,
+  /// compacting back to a single base when the chain grows long; any other
+  /// change (or corrupt snapshot) falls back to the text path and rewrites
+  /// a fresh base (`snapshot.rejected`).  Results are bit-identical on
+  /// every path.
   std::string cache_dir;
 };
 

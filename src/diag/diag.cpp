@@ -115,6 +115,14 @@ DataQualityReport ParseLog::report() const {
   return DataQualityReport{policy_, stages_, quarantined_};
 }
 
+void DataQualityReport::merge(const DataQualityReport& other) {
+  for (const auto& [stage, counters] : other.stages) {
+    stages[stage].merge(counters);
+  }
+  quarantined.insert(quarantined.end(), other.quarantined.begin(),
+                     other.quarantined.end());
+}
+
 std::size_t DataQualityReport::total_accepted() const noexcept {
   std::size_t total = 0;
   for (const auto& [stage, counters] : stages) total += counters.accepted;

@@ -88,6 +88,13 @@ struct DataQualityReport {
   [[nodiscard]] std::size_t total_repaired() const noexcept;
   [[nodiscard]] std::size_t total_quarantined() const noexcept;
 
+  /// Fold another report in: per-stage counters add, quarantined records
+  /// append in argument order.  The incremental ingestion path merges the
+  /// tail parse's report onto the snapshot's cumulative one, which equals
+  /// the full-reparse report exactly because both halves were produced in
+  /// file order.  `other.policy` is expected to match and is ignored.
+  void merge(const DataQualityReport& other);
+
   /// Quarantine detail as CSV-ready rows: a header row followed by one row
   /// per record (stage, source, line, category, message, snippet).
   [[nodiscard]] std::vector<std::vector<std::string>> quarantine_rows() const;

@@ -57,6 +57,13 @@ void write_file(const std::string& path, const std::string& content) {
   if (!out) throw IoError("failed writing file: " + path);
 }
 
+void append_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) throw IoError("cannot open file for appending: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) throw IoError("failed appending to file: " + path);
+}
+
 MappedFile::MappedFile(const std::string& path, Mode mode) {
 #if COSMICDANCE_HAVE_MMAP
   if (mode == Mode::kAuto) {

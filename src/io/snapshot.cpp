@@ -1,5 +1,6 @@
 #include "io/snapshot.hpp"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstdio>
@@ -18,7 +19,15 @@ namespace cosmicdance::io {
 namespace {
 
 constexpr char kMagic[8] = {'C', 'D', 'S', 'N', 'A', 'P', 'v', '1'};
+constexpr char kDeltaMagic[8] = {'C', 'D', 'D', 'E', 'L', 'T', 'A', '1'};
 constexpr std::size_t kHeaderSize = 40;
+
+constexpr std::uint8_t kFlagDstLineTerminated = 1u << 0;
+constexpr std::uint8_t kFlagTleLineTerminated = 1u << 1;
+constexpr std::uint8_t kFlagTleBoundaryClean = 1u << 2;
+constexpr std::uint8_t kFlagMask = kFlagDstLineTerminated |
+                                   kFlagTleLineTerminated |
+                                   kFlagTleBoundaryClean;
 
 // ---- little-endian writer ---------------------------------------------------
 
@@ -117,6 +126,38 @@ class Cursor {
 
 std::uint8_t policy_byte(diag::ParsePolicy policy) {
   return policy == diag::ParsePolicy::kTolerant ? 1 : 0;
+}
+
+void encode_state(std::string& out, const IngestState& state) {
+  put_u64(out, state.dst_len);
+  put_u64(out, state.dst_hash);
+  put_u64(out, state.dst_lines);
+  put_u64(out, state.tle_len);
+  put_u64(out, state.tle_lines);
+  put_u64(out, state.combined_hash);
+  std::uint8_t flags = 0;
+  if (state.dst_line_terminated) flags |= kFlagDstLineTerminated;
+  if (state.tle_line_terminated) flags |= kFlagTleLineTerminated;
+  if (state.tle_boundary_clean) flags |= kFlagTleBoundaryClean;
+  put_u8(out, flags);
+}
+
+IngestState decode_state(Cursor& in) {
+  IngestState state;
+  state.dst_len = in.u64();
+  state.dst_hash = in.u64();
+  state.dst_lines = in.u64();
+  state.tle_len = in.u64();
+  state.tle_lines = in.u64();
+  state.combined_hash = in.u64();
+  const std::uint8_t flags = in.u8();
+  if ((flags & ~kFlagMask) != 0) {
+    throw ParseError("snapshot carries unknown ingest-state flags");
+  }
+  state.dst_line_terminated = (flags & kFlagDstLineTerminated) != 0;
+  state.tle_line_terminated = (flags & kFlagTleLineTerminated) != 0;
+  state.tle_boundary_clean = (flags & kFlagTleBoundaryClean) != 0;
+  return state;
 }
 
 void encode_dst(std::string& out, const spaceweather::DstIndex& dst) {
@@ -260,6 +301,64 @@ diag::DataQualityReport decode_quality(Cursor& in) {
   return report;
 }
 
+std::string encode_delta_payload(const SnapshotDelta& delta) {
+  std::string payload;
+  payload.reserve(96 + delta.dst_appended.size() * 8 +
+                  delta.tle_committed.size() * 130);
+  encode_state(payload, delta.state);
+  put_u64(payload, delta.dst_prior_size);
+  put_i64(payload, delta.dst_start_hour);
+  put_u64(payload, delta.dst_appended.size());
+  for (const double v : delta.dst_appended) put_f64(payload, v);
+  put_u64(payload, delta.tle_committed.size());
+  for (const tle::Tle& t : delta.tle_committed) encode_tle(payload, t);
+  encode_quality(payload, delta.quality_delta);
+  return payload;
+}
+
+// Apply one decoded layer payload onto the cumulative snapshot.  Throws
+// ParseError on any inconsistency between what the layer claims about the
+// state it extends and what the snapshot actually holds.
+void apply_delta_payload(Cursor& in, SnapshotData& data,
+                         diag::ParsePolicy policy) {
+  const IngestState next = decode_state(in);
+  if (next.dst_len < data.state.dst_len || next.tle_len < data.state.tle_len) {
+    throw ParseError("snapshot delta layer shrinks its inputs");
+  }
+  const std::uint64_t dst_prior = in.u64();
+  const std::int64_t dst_start = in.i64();
+  if (dst_prior != data.dst.size()) {
+    throw ParseError("snapshot delta layer extends the wrong Dst series");
+  }
+  const std::uint64_t dst_count = in.u64();
+  if (data.dst.empty() && dst_count > 0) {
+    std::vector<double> values;
+    values.reserve(dst_count);
+    for (std::uint64_t i = 0; i < dst_count; ++i) values.push_back(in.f64());
+    data.dst = spaceweather::DstIndex(dst_start, std::move(values));
+  } else {
+    if (dst_count > 0 && dst_start != data.dst.start_hour()) {
+      throw ParseError("snapshot delta layer moves the Dst anchor");
+    }
+    for (std::uint64_t i = 0; i < dst_count; ++i) data.dst.push_back(in.f64());
+  }
+  const std::uint64_t tle_count = in.u64();
+  for (std::uint64_t i = 0; i < tle_count; ++i) {
+    // Layers record only records the tail parse actually committed, so a
+    // replayed add() must succeed; a collision means the layer does not
+    // belong to this base.
+    if (!data.catalog.add(decode_tle(in))) {
+      throw ParseError("snapshot delta record collided on replay");
+    }
+  }
+  const diag::DataQualityReport quality_delta = decode_quality(in);
+  if (quality_delta.policy != policy) {
+    throw ParseError("snapshot delta layer parsed under a different policy");
+  }
+  data.quality.merge(quality_delta);
+  data.state = next;
+}
+
 }  // namespace
 
 std::uint64_t fnv1a(std::string_view bytes, std::uint64_t seed) {
@@ -290,6 +389,60 @@ std::uint32_t crc32(std::string_view bytes) {
   return crc ^ 0xFFFFFFFFu;
 }
 
+IngestState ingest_state_of(std::string_view dst_bytes,
+                            std::string_view tle_bytes) {
+  IngestState state;
+  state.dst_len = dst_bytes.size();
+  state.dst_hash = fnv1a(dst_bytes);
+  state.dst_lines = static_cast<std::uint64_t>(
+      std::count(dst_bytes.begin(), dst_bytes.end(), '\n'));
+  state.tle_len = tle_bytes.size();
+  state.tle_lines = static_cast<std::uint64_t>(
+      std::count(tle_bytes.begin(), tle_bytes.end(), '\n'));
+  state.combined_hash = fnv1a(tle_bytes, state.dst_hash);
+  state.dst_line_terminated = dst_bytes.empty() || dst_bytes.back() == '\n';
+  state.tle_line_terminated = tle_bytes.empty() || tle_bytes.back() == '\n';
+  state.tle_boundary_clean = tle::append_boundary_clean(tle_bytes);
+  return state;
+}
+
+InputClassification classify_inputs(const IngestState& base,
+                                    std::string_view dst_bytes,
+                                    std::string_view tle_bytes) {
+  InputClassification out;
+  out.current = ingest_state_of(dst_bytes, tle_bytes);
+  const IngestState& cur = out.current;
+
+  if (cur.dst_len == base.dst_len && cur.tle_len == base.tle_len &&
+      cur.dst_hash == base.dst_hash &&
+      cur.combined_hash == base.combined_hash) {
+    out.match = InputMatch::kExact;
+    return out;
+  }
+  // Append: nothing shrank, something grew, the recorded prefixes hash
+  // identically, and every grown file's recorded boundary was safe to
+  // extend (line-terminated; for TLE also pairing-clean, so an appended
+  // line 2 cannot retroactively pair with a prefix line 1).
+  if (cur.dst_len < base.dst_len || cur.tle_len < base.tle_len) return out;
+  const bool dst_grew = cur.dst_len > base.dst_len;
+  const bool tle_grew = cur.tle_len > base.tle_len;
+  if (!dst_grew && !tle_grew) return out;  // equal lengths, hashes differ
+  if (dst_grew && !base.dst_line_terminated) return out;
+  if (tle_grew && !(base.tle_line_terminated && base.tle_boundary_clean)) {
+    return out;
+  }
+  const std::uint64_t dst_prefix_hash =
+      dst_grew ? fnv1a(dst_bytes.substr(0, base.dst_len)) : cur.dst_hash;
+  if (dst_prefix_hash != base.dst_hash) return out;
+  // The recorded combined hash chains the TLE prefix onto the *recorded*
+  // Dst hash, so the prefix check reuses that seed even when Dst grew.
+  const std::uint64_t tle_prefix_hash =
+      fnv1a(tle_bytes.substr(0, base.tle_len), base.dst_hash);
+  if (tle_prefix_hash != base.combined_hash) return out;
+  out.match = InputMatch::kAppend;
+  return out;
+}
+
 std::string snapshot_cache_path(const std::string& cache_dir,
                                 const std::string& dst_path,
                                 const std::string& tle_path) {
@@ -303,11 +456,12 @@ std::string snapshot_cache_path(const std::string& cache_dir,
 }
 
 std::string encode_snapshot(const SnapshotData& data,
-                            std::uint64_t content_hash,
                             diag::ParsePolicy policy) {
   std::string payload;
   // Rough pre-size: a TLE record serialises to ~130 bytes, a Dst hour to 8.
-  payload.reserve(64 + data.dst.size() * 8 + data.catalog.record_count() * 130);
+  payload.reserve(128 + data.dst.size() * 8 +
+                  data.catalog.record_count() * 130);
+  encode_state(payload, data.state);
   encode_dst(payload, data.dst);
   encode_catalog(payload, data.catalog);
   encode_quality(payload, data.quality);
@@ -318,7 +472,26 @@ std::string encode_snapshot(const SnapshotData& data,
   put_u32(out, kSnapshotFormatVersion);
   put_u8(out, policy_byte(policy));
   out.append(3, '\0');
-  put_u64(out, content_hash);
+  put_u64(out, data.state.combined_hash);
+  put_u64(out, payload.size());
+  put_u32(out, crc32(payload));
+  out.append(4, '\0');
+  out.append(payload);
+  return out;
+}
+
+std::string encode_snapshot_delta(const SnapshotDelta& delta,
+                                  std::uint32_t layer_index,
+                                  std::uint64_t prev_chain_hash,
+                                  diag::ParsePolicy policy) {
+  const std::string payload = encode_delta_payload(delta);
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  out.append(kDeltaMagic, sizeof(kDeltaMagic));
+  put_u32(out, layer_index);
+  put_u8(out, policy_byte(policy));
+  out.append(3, '\0');
+  put_u64(out, prev_chain_hash);
   put_u64(out, payload.size());
   put_u32(out, crc32(payload));
   out.append(4, '\0');
@@ -327,7 +500,6 @@ std::string encode_snapshot(const SnapshotData& data,
 }
 
 std::optional<SnapshotData> decode_snapshot(std::string_view bytes,
-                                            std::uint64_t expected_content_hash,
                                             diag::ParsePolicy policy) {
   if (bytes.size() < kHeaderSize) return std::nullopt;
   if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) return std::nullopt;
@@ -337,21 +509,62 @@ std::optional<SnapshotData> decode_snapshot(std::string_view bytes,
     const std::uint8_t policy_raw = header.u8();
     header.view(3);  // padding
     if (policy_raw != policy_byte(policy)) return std::nullopt;
-    if (header.u64() != expected_content_hash) return std::nullopt;
+    const std::uint64_t header_content_hash = header.u64();
     const std::uint64_t payload_size = header.u64();
     const std::uint32_t payload_crc = header.u32();
-    if (bytes.size() - kHeaderSize != payload_size) return std::nullopt;
-    const std::string_view payload = bytes.substr(kHeaderSize);
+    if (bytes.size() - kHeaderSize < payload_size) return std::nullopt;
+    const std::string_view payload = bytes.substr(kHeaderSize, payload_size);
     // Decode only after the CRC passes: the payload readers bound-check but
     // do not otherwise defend against bit rot.
     if (crc32(payload) != payload_crc) return std::nullopt;
 
     Cursor in(payload);
     SnapshotData data;
+    data.state = decode_state(in);
+    if (data.state.combined_hash != header_content_hash) return std::nullopt;
     data.dst = decode_dst(in);
     data.catalog = decode_catalog(in);
     data.quality = decode_quality(in);
+    if (data.quality.policy != policy) return std::nullopt;
     if (!in.exhausted()) return std::nullopt;
+
+    // Walk the delta chain.  Each layer's header must hash-link to the
+    // header before it and carry the next 1-based index, so a missing,
+    // reordered or foreign layer breaks the walk and rejects the whole
+    // snapshot — the text inputs are the source of truth on any doubt.
+    std::uint64_t chain = fnv1a(bytes.substr(0, kHeaderSize));
+    std::size_t pos = kHeaderSize + payload_size;
+    std::uint32_t applied = 0;
+    while (pos < bytes.size()) {
+      if (bytes.size() - pos < kHeaderSize) return std::nullopt;
+      const std::string_view layer_header = bytes.substr(pos, kHeaderSize);
+      if (std::memcmp(layer_header.data(), kDeltaMagic, sizeof(kDeltaMagic)) !=
+          0) {
+        return std::nullopt;
+      }
+      Cursor lh(layer_header.substr(sizeof(kDeltaMagic)));
+      const std::uint32_t layer_index = lh.u32();
+      const std::uint8_t layer_policy = lh.u8();
+      lh.view(3);  // padding
+      const std::uint64_t prev_chain = lh.u64();
+      const std::uint64_t layer_size = lh.u64();
+      const std::uint32_t layer_crc = lh.u32();
+      if (layer_index != applied + 1) return std::nullopt;
+      if (layer_policy != policy_byte(policy)) return std::nullopt;
+      if (prev_chain != chain) return std::nullopt;
+      if (bytes.size() - pos - kHeaderSize < layer_size) return std::nullopt;
+      const std::string_view layer_payload =
+          bytes.substr(pos + kHeaderSize, layer_size);
+      if (crc32(layer_payload) != layer_crc) return std::nullopt;
+      Cursor lp(layer_payload);
+      apply_delta_payload(lp, data, policy);
+      if (!lp.exhausted()) return std::nullopt;
+      chain = fnv1a(layer_header);
+      pos += kHeaderSize + layer_size;
+      ++applied;
+    }
+    data.delta_layers = applied;
+    data.chain_hash = chain;
     return data;
   } catch (const std::exception&) {
     // Truncated fields, invalid enum values, or datasets that fail their
@@ -361,18 +574,14 @@ std::optional<SnapshotData> decode_snapshot(std::string_view bytes,
 }
 
 std::optional<SnapshotData> load_snapshot(const std::string& path,
-                                          std::uint64_t content_hash,
                                           diag::ParsePolicy policy,
                                           obs::Metrics* metrics) {
   const obs::ScopedPhase phase(metrics, "snapshot.load");
   try {
     const MappedFile mapped(path);
-    std::optional<SnapshotData> data =
-        decode_snapshot(mapped.view(), content_hash, policy);
-    if (metrics != nullptr) {
-      metrics->counter(data.has_value() ? "snapshot.loaded"
-                                        : "snapshot.rejected")
-          .add(1);
+    std::optional<SnapshotData> data = decode_snapshot(mapped.view(), policy);
+    if (!data.has_value() && metrics != nullptr) {
+      metrics->counter("snapshot.rejected").add(1);
     }
     return data;
   } catch (const std::exception&) {
@@ -382,15 +591,14 @@ std::optional<SnapshotData> load_snapshot(const std::string& path,
 }
 
 bool save_snapshot(const std::string& path, const SnapshotData& data,
-                   std::uint64_t content_hash, diag::ParsePolicy policy,
-                   obs::Metrics* metrics) {
+                   diag::ParsePolicy policy, obs::Metrics* metrics) {
   const obs::ScopedPhase phase(metrics, "snapshot.save");
   try {
     const std::filesystem::path target(path);
     if (target.has_parent_path()) {
       std::filesystem::create_directories(target.parent_path());
     }
-    const std::string bytes = encode_snapshot(data, content_hash, policy);
+    const std::string bytes = encode_snapshot(data, policy);
     // Temp-then-rename keeps concurrent readers off half-written files.
     const std::filesystem::path temp(path + ".tmp");
     {
@@ -406,6 +614,26 @@ bool save_snapshot(const std::string& path, const SnapshotData& data,
     if (metrics != nullptr) metrics->counter("snapshot.write_failed").add(1);
     std::error_code ignored;
     std::filesystem::remove(std::filesystem::path(path + ".tmp"), ignored);
+    return false;
+  }
+}
+
+bool append_snapshot_delta(const std::string& path, const SnapshotDelta& delta,
+                           std::uint32_t layer_index,
+                           std::uint64_t prev_chain_hash,
+                           diag::ParsePolicy policy, obs::Metrics* metrics) {
+  const obs::ScopedPhase phase(metrics, "snapshot.save");
+  try {
+    const std::string bytes =
+        encode_snapshot_delta(delta, layer_index, prev_chain_hash, policy);
+    // A torn append leaves a layer whose size/CRC checks fail on the next
+    // load, which falls back to a full reparse and a fresh base — no
+    // temp-and-rename dance needed for crash safety here.
+    append_file(path, bytes);
+    if (metrics != nullptr) metrics->counter("snapshot.delta_written").add(1);
+    return true;
+  } catch (const std::exception&) {
+    if (metrics != nullptr) metrics->counter("snapshot.write_failed").add(1);
     return false;
   }
 }

@@ -1,33 +1,56 @@
-// Binary catalog snapshot cache (the warm-start half of the zero-copy
-// ingestion work).
+// Binary catalog snapshot cache with append-aware delta layers (the warm-
+// start half of the zero-copy ingestion work).
 //
 // Parsing the text archives dominates pipeline start-up, yet between runs
-// the inputs rarely change.  A snapshot serialises the *parsed* artefacts —
-// the Dst series, the TLE catalog and the ingestion DataQualityReport — to
-// a versioned little-endian binary file keyed by a content hash of the raw
-// input bytes.  A warm run whose inputs hash to the same value loads the
-// snapshot and skips text parsing entirely; any mismatch (content hash,
-// format version, parse policy, truncation, CRC) makes the loader return
-// nullopt so the caller silently falls back to the text path and rewrites
-// the snapshot.  See DESIGN.md §13 for the format and the reasoning.
+// the inputs rarely change — and when they do change, real TLE/Dst feeds
+// are append-heavy: the same prefix plus N new bytes at the end.  A
+// snapshot serialises the *parsed* artefacts — the Dst series, the TLE
+// catalog and the ingestion DataQualityReport — keyed by the inputs' byte
+// lengths and FNV-1a content hashes:
 //
-// Layout: a fixed 40-byte header
+//   * A warm run whose inputs match exactly loads the snapshot and skips
+//     text parsing entirely (the PR 5 fast path).
+//   * A warm run whose inputs are an unchanged prefix plus appended bytes
+//     parses only the tail and persists the newly parsed artefacts as a
+//     *delta layer* appended to the snapshot file, chain-hashed to the
+//     layer before it.  Once the chain reaches kMaxSnapshotDeltaLayers the
+//     next append compacts everything back into a single base.
+//   * Any other disagreement (shrunk or edited inputs, format version,
+//     parse policy, truncation, CRC, a broken layer chain) makes the
+//     loader/caller silently fall back to the text path and rewrite a
+//     fresh base.  See DESIGN.md §14 for the format and the reasoning.
+//
+// Layout: a fixed 40-byte base header
 //   bytes  0-7   magic "CDSNAPv1"
 //   bytes  8-11  format version (u32)
 //   byte   12    parse policy (0 strict, 1 tolerant)
 //   bytes 13-15  zero padding
-//   bytes 16-23  FNV-1a content hash of the raw inputs (u64)
-//   bytes 24-31  payload size in bytes (u64)
-//   bytes 32-35  CRC32 of the payload (u32)
+//   bytes 16-23  FNV-1a content hash of the raw inputs (u64, dst chained
+//                into tle — the same combined hash IngestState carries)
+//   bytes 24-31  base payload size in bytes (u64)
+//   bytes 32-35  CRC32 of the base payload (u32)
 //   bytes 36-39  zero padding
-// followed by the payload.  All integers little-endian; doubles are stored
-// as their IEEE-754 bit patterns so reload is bit-exact.
+// followed by the base payload, followed by zero or more delta layers,
+// each a 40-byte layer header
+//   bytes  0-7   magic "CDDELTA1"
+//   bytes  8-11  1-based layer index (u32)
+//   byte   12    parse policy
+//   bytes 13-15  zero padding
+//   bytes 16-23  chain hash: FNV-1a of the previous layer's header bytes
+//                (the base header for layer 1) — out-of-order, missing or
+//                spliced layers break the chain and reject the snapshot
+//   bytes 24-31  layer payload size in bytes (u64)
+//   bytes 32-35  CRC32 of the layer payload (u32)
+//   bytes 36-39  zero padding
+// followed by that layer's payload.  All integers little-endian; doubles
+// are stored as their IEEE-754 bit patterns so reload is bit-exact.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "diag/diag.hpp"
 #include "spaceweather/dst_index.hpp"
@@ -39,18 +62,16 @@ class Metrics;
 
 namespace cosmicdance::io {
 
-/// Everything a warm start needs: the two parsed datasets plus the quality
-/// report the text parse would have produced (so cache-hit runs report the
-/// same ingestion outcome as cache-miss runs).
-struct SnapshotData {
-  spaceweather::DstIndex dst;
-  tle::TleCatalog catalog;
-  diag::DataQualityReport quality;
-};
-
 /// Bumped on any change to the payload encoding; a version mismatch is a
-/// silent reject-and-reparse, never a migration.
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+/// silent reject-and-reparse, never a migration.  v2 added the ingest
+/// state record and delta layers (DESIGN.md §14).
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
+
+/// Delta layers allowed on a base before the next append compacts the
+/// whole chain back into a single base.  Small on purpose: every layer is
+/// one more header walk + CRC on load, and compaction writes are already
+/// amortised against a full text parse.
+inline constexpr std::uint32_t kMaxSnapshotDeltaLayers = 4;
 
 /// 64-bit FNV-1a over `bytes`, chainable through `seed` to hash several
 /// buffers as one stream.
@@ -61,41 +82,142 @@ inline constexpr std::uint64_t kFnv1aOffset = 14695981039346656037ULL;
 /// CRC32 (IEEE 802.3 polynomial) of `bytes` — the payload integrity check.
 [[nodiscard]] std::uint32_t crc32(std::string_view bytes);
 
+/// What a snapshot knows about the raw input pair it was built from —
+/// enough to recognise the exact same bytes (lengths + hashes), to
+/// recognise an append (prefix hashes + the boundary flags below), and to
+/// resume parsing at the right place (line counts offset tail
+/// diagnostics so they cite absolute line numbers).
+struct IngestState {
+  std::uint64_t dst_len = 0;    ///< Dst input size in bytes
+  std::uint64_t dst_hash = kFnv1aOffset;  ///< FNV-1a of the Dst bytes
+  std::uint64_t dst_lines = 0;  ///< newline count in the Dst input
+  std::uint64_t tle_len = 0;    ///< TLE input size in bytes
+  std::uint64_t tle_lines = 0;  ///< newline count in the TLE input
+  /// FNV-1a of the TLE bytes chained onto dst_hash — the combined content
+  /// hash of the pair (and the value in the base header).
+  std::uint64_t combined_hash = kFnv1aOffset;
+  /// True when the input is empty or ends in '\n'.  A file that ends
+  /// mid-line can have that line's meaning rewritten by an append, so
+  /// growth past an unterminated prefix must reparse from scratch.
+  bool dst_line_terminated = true;
+  bool tle_line_terminated = true;
+  /// True when the TLE pairing scanner ends with no line 1 pending (see
+  /// tle::append_boundary_clean): a dangling line 1 was already reported
+  /// against the prefix, and an append could pair it retroactively, so
+  /// growth past an unclean boundary must reparse from scratch.
+  bool tle_boundary_clean = true;
+};
+
+/// Compute the full IngestState of an input pair.
+[[nodiscard]] IngestState ingest_state_of(std::string_view dst_bytes,
+                                          std::string_view tle_bytes);
+
+/// How the current inputs relate to the pair a snapshot was built from.
+enum class InputMatch {
+  kExact,     ///< byte-identical pair: plain cache hit
+  kAppend,    ///< unchanged prefix plus appended bytes: delta-parse the tail
+  kMismatch,  ///< anything else: reject and reparse from scratch
+};
+
+struct InputClassification {
+  InputMatch match = InputMatch::kMismatch;
+  /// State of the *current* inputs (what the next base/delta records).
+  IngestState current;
+};
+
+/// Classify the current inputs against a snapshot's recorded state.
+/// kAppend requires every grown input to have a line-terminated (and, for
+/// TLE, pairing-clean) recorded prefix whose bytes hash identically.
+[[nodiscard]] InputClassification classify_inputs(const IngestState& base,
+                                                  std::string_view dst_bytes,
+                                                  std::string_view tle_bytes);
+
+/// Everything a warm start needs: the two parsed datasets plus the quality
+/// report the text parse would have produced (so cache-hit runs report the
+/// same ingestion outcome as cache-miss runs), the recorded input state,
+/// and where the delta chain currently ends.
+struct SnapshotData {
+  spaceweather::DstIndex dst;
+  tle::TleCatalog catalog;
+  diag::DataQualityReport quality;
+  IngestState state;
+  /// Delta layers applied on top of the base (0 for a fresh base).
+  std::uint32_t delta_layers = 0;
+  /// FNV-1a of the last layer's (or base's) header bytes — what the next
+  /// appended layer must carry as its chain hash.
+  std::uint64_t chain_hash = 0;
+};
+
+/// The parsed artefacts of one tail parse, exactly what replaying the
+/// append needs: the Dst values pushed (including any interpolated
+/// repairs), every catalog record committed in file order, and the tail's
+/// own quality report to merge into the cumulative one.
+struct SnapshotDelta {
+  IngestState state;  ///< cumulative input state *after* this layer
+  std::uint64_t dst_prior_size = 0;  ///< Dst sample count before the append
+  std::int64_t dst_start_hour = 0;   ///< series start hour after the append
+  std::vector<double> dst_appended;
+  std::vector<tle::Tle> tle_committed;
+  diag::DataQualityReport quality_delta;
+};
+
 /// Snapshot file path for an input pair.  The name hashes the *paths* (not
 /// the contents), so the same inputs map to a stable file whose stored
-/// content hash then decides hit vs reject — editing an input is detected
-/// as a stale snapshot at load time, not silently shadowed by a new file.
+/// ingest state then decides hit/append/reject — editing an input is
+/// detected as a stale snapshot at load time, not silently shadowed by a
+/// new file.
 [[nodiscard]] std::string snapshot_cache_path(const std::string& cache_dir,
                                               const std::string& dst_path,
                                               const std::string& tle_path);
 
-/// Serialise to the on-disk byte layout described above.
+/// Serialise a base snapshot (header + base payload, no delta layers).
 [[nodiscard]] std::string encode_snapshot(const SnapshotData& data,
-                                          std::uint64_t content_hash,
                                           diag::ParsePolicy policy);
 
-/// Parse snapshot bytes.  Returns nullopt — never throws — when anything
-/// disagrees: magic, version, policy, content hash, payload size, CRC, or a
-/// payload that decodes inconsistently.
+/// Serialise one delta layer (header + payload) for appending to a file
+/// whose last layer hashed to `prev_chain_hash`.
+[[nodiscard]] std::string encode_snapshot_delta(const SnapshotDelta& delta,
+                                                std::uint32_t layer_index,
+                                                std::uint64_t prev_chain_hash,
+                                                diag::ParsePolicy policy);
+
+/// Parse snapshot bytes: the base plus every delta layer, applied in
+/// order.  Returns nullopt — never throws — when anything disagrees:
+/// magic, version, policy, payload sizes, CRCs, the layer chain, or a
+/// payload that decodes inconsistently.  The whole file is one unit: a
+/// single bad layer rejects everything (the text source of truth is
+/// always available, so partial recovery is not worth the asymmetry).
 [[nodiscard]] std::optional<SnapshotData> decode_snapshot(
-    std::string_view bytes, std::uint64_t expected_content_hash,
-    diag::ParsePolicy policy);
+    std::string_view bytes, diag::ParsePolicy policy);
 
 /// Load a snapshot file.  A missing/unreadable file is a cache miss
 /// (nullopt, no counter); a present-but-invalid file bumps
-/// `snapshot.rejected` and also returns nullopt.  A valid load bumps
-/// `snapshot.loaded`.  Wall time lands in phase "snapshot.load".
+/// `snapshot.rejected` and also returns nullopt.  Whether a structurally
+/// valid snapshot matches the current inputs is the caller's decision
+/// (classify_inputs) — the caller bumps `snapshot.loaded` only when it
+/// actually uses the data.  Wall time lands in phase "snapshot.load".
 [[nodiscard]] std::optional<SnapshotData> load_snapshot(
-    const std::string& path, std::uint64_t content_hash,
-    diag::ParsePolicy policy, obs::Metrics* metrics = nullptr);
+    const std::string& path, diag::ParsePolicy policy,
+    obs::Metrics* metrics = nullptr);
 
-/// Write a snapshot file (atomically: temp file + rename, creating the
-/// cache directory if needed).  Best-effort: returns false and bumps
-/// `snapshot.write_failed` on any filesystem error instead of throwing —
-/// a read-only cache dir must not break the pipeline.  Success bumps
-/// `snapshot.written`; wall time lands in phase "snapshot.save".
+/// Write a base snapshot file, discarding any existing delta chain
+/// (atomically: temp file + rename, creating the cache directory if
+/// needed).  Best-effort: returns false and bumps `snapshot.write_failed`
+/// on any filesystem error instead of throwing — a read-only cache dir
+/// must not break the pipeline.  Success bumps `snapshot.written`; wall
+/// time lands in phase "snapshot.save".
 bool save_snapshot(const std::string& path, const SnapshotData& data,
-                   std::uint64_t content_hash, diag::ParsePolicy policy,
-                   obs::Metrics* metrics = nullptr);
+                   diag::ParsePolicy policy, obs::Metrics* metrics = nullptr);
+
+/// Append one delta layer to an existing snapshot file.  Best-effort like
+/// save_snapshot (failure bumps `snapshot.write_failed`); success bumps
+/// `snapshot.delta_written`.  A torn append is caught by the next load's
+/// size/CRC checks and falls back to a full reparse.  Wall time lands in
+/// phase "snapshot.save".
+bool append_snapshot_delta(const std::string& path, const SnapshotDelta& delta,
+                           std::uint32_t layer_index,
+                           std::uint64_t prev_chain_hash,
+                           diag::ParsePolicy policy,
+                           obs::Metrics* metrics = nullptr);
 
 }  // namespace cosmicdance::io

@@ -90,6 +90,14 @@ std::string to_wdc(const DstIndex& dst) {
 
 DstIndex from_wdc(std::string_view text, diag::ParseLog* log,
                   const std::string& source) {
+  DstIndex dst;
+  from_wdc_append(dst, text, log, source, 1);
+  return dst;
+}
+
+void from_wdc_append(DstIndex& dst, std::string_view tail,
+                     diag::ParseLog* log, const std::string& source,
+                     std::size_t first_line) {
   constexpr const char* kStage = "wdc";
   // Without a caller-supplied log, a local strict one reproduces the
   // historical throw-on-first-error behaviour (with located messages).
@@ -102,21 +110,29 @@ DstIndex from_wdc(std::string_view text, diag::ParseLog* log,
     std::vector<std::pair<timeutil::HourIndex, int>> hours;  // hour -> nT
   };
 
-  // View-based line scan: each record is sliced in place (a WDC day line is
-  // at least 121 bytes with its newline, which pre-sizes the day vector);
-  // per-cell substr slices stay views all the way into parse_int.
-  std::size_t line_number = 0;
-  std::vector<DaySamples> days;
-  days.reserve(text.size() / 121 + 1);
-  for (std::size_t pos = 0; pos < text.size();) {
-    const std::size_t eol = text.find('\n', pos);
+  // Assembly state, resumed from the series being extended: the append
+  // entry point continues exactly where parsing the prefix left off, so a
+  // prefix-then-tail parse is indistinguishable from one whole-text pass.
+  bool started = !dst.empty();
+  timeutil::HourIndex expected = dst.end_hour();
+
+  // Single pass: each line is sliced in place (views all the way into
+  // parse_int), parsed, and — if it survives — immediately committed to
+  // the series.  Parse and structure failures therefore quarantine in
+  // strict file order, and under a strict policy the first malformed
+  // record of any kind throws, wherever it sits in the file.
+  std::size_t line_number = first_line - 1;
+  for (std::size_t pos = 0; pos < tail.size();) {
+    const std::size_t eol = tail.find('\n', pos);
     std::string_view line = eol == std::string_view::npos
-                                ? text.substr(pos)
-                                : text.substr(pos, eol - pos);
-    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+                                ? tail.substr(pos)
+                                : tail.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? tail.size() : eol + 1;
     ++line_number;
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     if (line.empty()) continue;
+    DaySamples day;
+    day.line_number = line_number;
     try {
       if (line.size() < 120) {
         throw ParseError("WDC record shorter than 120 characters: '" +
@@ -128,41 +144,33 @@ DstIndex from_wdc(std::string_view text, diag::ParseLog* log,
       }
       const int yy = parse_int(line.substr(3, 2), "year");
       const int month = parse_int(line.substr(5, 2), "month");
-      const int day = parse_int(line.substr(8, 2), "day");
+      const int date = parse_int(line.substr(8, 2), "day");
       const int century = parse_int(line.substr(14, 2), "century");
       const int base = parse_int(line.substr(16, 4), "base");
       const int year = century * 100 + yy;
       const timeutil::HourIndex day_start = timeutil::hour_index_from_datetime(
-          timeutil::make_datetime(year, month, day));
-      DaySamples parsed;
-      parsed.line_number = line_number;
+          timeutil::make_datetime(year, month, date));
       for (int h = 0; h < 24; ++h) {
         const int value = parse_int(
             line.substr(20 + static_cast<std::size_t>(h) * 4, 4), "hour value");
         if (value == kMissing) continue;
-        parsed.hours.emplace_back(day_start + h, value + base * 100);
+        day.hours.emplace_back(day_start + h, value + base * 100);
       }
-      days.push_back(std::move(parsed));
     } catch (const ParseError& error) {
       diagnostics.reject(kStage, error.category(), error.what(),
                          std::string(line), diag::RecordRef{source, line_number});
+      continue;  // tolerant: quarantine the record and move on
     } catch (const ValidationError& error) {
       diagnostics.reject(kStage, ErrorCategory::kRange, error.what(),
                          std::string(line), diag::RecordRef{source, line_number});
+      continue;
     }
-  }
 
-  // Assemble the dense hourly series.  Records must be contiguous once
-  // missing edges are trimmed; under a tolerant policy interior gaps —
-  // missing-value runs or holes left by quarantined days — are linearly
-  // interpolated (each filled hour counted as repaired), and out-of-order
-  // or duplicate days are quarantined whole.
-  std::vector<double> values;
-  values.reserve(days.size() * 24);
-  timeutil::HourIndex first = 0;
-  timeutil::HourIndex expected = 0;
-  bool started = false;
-  for (const DaySamples& day : days) {
+    // Commit the day.  Records must be contiguous once missing edges are
+    // trimmed; under a tolerant policy interior gaps — missing-value runs
+    // or holes left by quarantined days — are linearly interpolated (each
+    // filled hour counted as repaired), and out-of-order or duplicate days
+    // are quarantined whole.
     if (started && !day.hours.empty() && day.hours.front().first < expected) {
       diagnostics.reject(kStage, ErrorCategory::kStructure,
                          "out-of-order or duplicate WDC day record at hour index " +
@@ -172,7 +180,7 @@ DstIndex from_wdc(std::string_view text, diag::ParseLog* log,
     }
     for (const auto& [hour, value] : day.hours) {
       if (!started) {
-        first = hour;
+        dst = DstIndex(hour, std::vector<double>{});
         expected = hour;
         started = true;
       }
@@ -184,23 +192,21 @@ DstIndex from_wdc(std::string_view text, diag::ParseLog* log,
                              "", diag::RecordRef{source, day.line_number});
         }
         const auto gap = static_cast<std::size_t>(hour - expected);
-        const double previous = values.back();
+        const double previous = dst.values().back();
         const double step =
             (static_cast<double>(value) - previous) / static_cast<double>(gap + 1);
         for (std::size_t k = 1; k <= gap; ++k) {
-          values.push_back(previous + step * static_cast<double>(k));
+          dst.push_back(previous + step * static_cast<double>(k));
         }
         diagnostics.repair(kStage, gap);
         expected = hour;
       }
-      values.push_back(static_cast<double>(value));
+      dst.push_back(static_cast<double>(value));
       ++expected;
     }
     // A day only counts as accepted once it is committed to the series.
     diagnostics.accept(kStage);
   }
-  if (values.empty()) return {};
-  return DstIndex(first, std::move(values));
 }
 
 void write_wdc_file(const std::string& path, const DstIndex& dst) {

@@ -57,6 +57,26 @@ ParsedRecord parse_record(const RawRecord& record) {
 
 }  // namespace
 
+bool append_boundary_clean(std::string_view text) {
+  // The pairing scan's pending-line-1 state at end of input depends only
+  // on the last non-empty line: every non-empty line either sets it (a
+  // line 1) or clears it (a line 2, a malformed "2 "-lead line, or a name
+  // line), and blank lines leave it untouched.  Walk backwards to that
+  // line instead of replaying the whole scan.
+  std::size_t end = text.size();
+  while (end > 0) {
+    const std::size_t newline = text.rfind('\n', end - 1);
+    const std::size_t line_start =
+        newline == std::string_view::npos ? 0 : newline + 1;
+    std::string_view line = text.substr(line_start, end - line_start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) return !looks_like_tle_line(line, '1');
+    if (line_start == 0) break;
+    end = line_start - 1;
+  }
+  return true;  // empty (or all-blank) text has nothing pending
+}
+
 bool TleCatalog::add(const Tle& tle) {
   tle.validate();
   auto& history = tles_[tle.catalog_number];
@@ -106,7 +126,7 @@ std::size_t TleCatalog::add_from_text(std::string_view text,
   // record is at least 140 bytes, which pre-sizes the record vector.
   std::string_view pending_line1;
   std::size_t pending_line_number = 0;
-  std::size_t line_number = 0;
+  std::size_t line_number = options.first_line - 1;
   std::vector<RawRecord> records;
   records.reserve(text.size() / 140 + 1);
   std::vector<StructuralReject> structural;
@@ -202,7 +222,12 @@ std::size_t TleCatalog::add_from_text(std::string_view text,
     if (parsed[i].tle.has_value()) {
       ++pending_accepts;
       ++parsed_ok;
-      if (add(*parsed[i].tle)) ++added;
+      if (add(*parsed[i].tle)) {
+        ++added;
+        if (options.committed != nullptr) {
+          options.committed->push_back(*parsed[i].tle);
+        }
+      }
     } else {
       ++parse_rejects;
       flush_accepts();

@@ -34,7 +34,25 @@ struct IngestOptions {
   /// Optional observability registry (tle.* counters, ingest phase wall
   /// time); nullptr disables collection.
   obs::Metrics* metrics = nullptr;
+  /// 1-based file line number of the first line of the text.  The append
+  /// fast path parses only a tail slice of a grown file and needs its
+  /// diagnostics to cite absolute line numbers.
+  std::size_t first_line = 1;
+  /// When set, every record actually committed by add() is also appended
+  /// here, in file/commit order — a snapshot delta layer replays exactly
+  /// this sequence to rebuild the catalog without reparsing text.
+  std::vector<Tle>* committed = nullptr;
 };
+
+/// True when `text` ends at a clean pairing boundary for append-style
+/// growth: its last non-empty line is not a TLE line 1 still awaiting its
+/// line 2.  (Blank lines do not clear the pairing scanner's pending
+/// state, so only the last non-empty line matters.)  When false, a
+/// dangling line 1 was quarantined as structural when the text was parsed
+/// alone, but appended bytes could retroactively pair with it — so an
+/// incremental parse of just the appended tail would diverge from a full
+/// reparse, and callers must fall back to reparsing from scratch.
+[[nodiscard]] bool append_boundary_clean(std::string_view text);
 
 /// A collection of TLEs keyed by NORAD catalog number.
 class TleCatalog {

@@ -16,10 +16,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/error.hpp"
@@ -28,6 +30,7 @@
 #include "diag/diag.hpp"
 #include "io/csv.hpp"
 #include "io/file.hpp"
+#include "obs/obs.hpp"
 #include "spaceweather/dst_index.hpp"
 #include "spaceweather/wdc.hpp"
 #include "timeutil/datetime.hpp"
@@ -446,6 +449,112 @@ TEST_F(IngestionFiles, TolerantPipelineRunCompletesAndReportsIdenticallyAcrossTh
       EXPECT_EQ(report.quarantined[i].line, first_report.quarantined[i].line);
       EXPECT_EQ(report.quarantined[i].source, first_report.quarantined[i].source);
     }
+  }
+}
+
+TEST_F(IngestionFiles, AppendCorpusLoopNeverSilentlyDiverges) {
+  // The incremental-ingestion escape hatch under fuzz (DESIGN.md §14): a
+  // corpus that grows by whole records, tears its trailing record (with and
+  // without the final newline), and occasionally truncates mid-record.
+  // Every round, the cached run must either take a fast path (exact or
+  // delta hit) or reject the snapshot outright — and in all cases produce
+  // the same catalog, Dst series and quality report as an uncached parse
+  // of the same bytes.  Silent divergence is the one forbidden outcome.
+  io::write_file(path("dst.wdc"), join_lines(valid_wdc_lines()));
+  io::write_file(path("catalog.tle"), join_lines(valid_tle_lines(20)));
+
+  const auto run = [&](bool use_cache, obs::Metrics* metrics) {
+    core::PipelineConfig config;
+    config.parse_policy = ParsePolicy::kTolerant;
+    config.num_threads = 1;
+    config.metrics = metrics;
+    if (use_cache) config.cache_dir = path("cache");
+    const core::CosmicDance pipeline = core::CosmicDance::from_files(
+        path("dst.wdc"), path("catalog.tle"), config);
+    std::vector<double> dst(pipeline.dst().values().begin(),
+                            pipeline.dst().values().end());
+    return std::tuple(pipeline.catalog().to_text(), std::move(dst),
+                      pipeline.quality_report().to_json());
+  };
+  const auto counter = [](const obs::Metrics& metrics, const char* name) {
+    const obs::MetricsReport report = metrics.snapshot();
+    const auto it = report.counters.find(name);
+    return it != report.counters.end() ? it->second : std::uint64_t{0};
+  };
+  run(/*use_cache=*/true, nullptr);  // seed the snapshot
+
+  Rng rng(20260806);
+  double epoch_offset = 200.0;  // past the seed corpus's epochs
+  timeutil::HourIndex next_day =
+      timeutil::hour_index_from_datetime(timeutil::make_datetime(2024, 5, 6));
+  bool torn_open = false;  // last append left an unterminated line
+  for (int round = 0; round < 25; ++round) {
+    std::string tail = torn_open ? "\n" : "";
+    torn_open = false;
+    switch (rng.uniform_int(0, 6)) {
+      case 0:
+      case 1: {  // grow by 1-2 whole records
+        const int count = static_cast<int>(rng.uniform_int(1, 2));
+        for (int i = 0; i < count; ++i) {
+          const tle::TleLines lines =
+              tle::format_tle(make_tle(10001, epoch_offset));
+          epoch_offset += 0.25;
+          tail += lines.line1 + "\n" + lines.line2 + "\n";
+        }
+        break;
+      }
+      case 2: {  // grow the Dst series by one day
+        std::vector<double> values;
+        for (int h = 0; h < 24; ++h) {
+          values.push_back(-12.0 - static_cast<double>((next_day + h) % 200));
+        }
+        tail.clear();  // dst file never tears in this loop
+        io::append_file(path("dst.wdc"),
+                        spaceweather::to_wdc(spaceweather::DstIndex(
+                            next_day, std::move(values))));
+        next_day += 24;
+        break;
+      }
+      case 3: {  // torn trailing record: line 1 lands, line 2 never does
+        const tle::TleLines lines =
+            tle::format_tle(make_tle(10001, epoch_offset));
+        epoch_offset += 0.25;
+        tail += lines.line1 + "\n";
+        break;
+      }
+      case 4: {  // torn harder: the trailing newline is missing too
+        const tle::TleLines lines =
+            tle::format_tle(make_tle(10001, epoch_offset));
+        epoch_offset += 0.25;
+        tail += lines.line1;
+        torn_open = true;
+        break;
+      }
+      default: {  // mid-record truncation: the file shrinks
+        std::string text = io::read_file(path("catalog.tle"));
+        const auto cut = static_cast<std::size_t>(rng.uniform_int(
+            1, std::min<std::int64_t>(
+                   100, static_cast<std::int64_t>(text.size()) - 1)));
+        text.resize(text.size() - cut);
+        io::write_file(path("catalog.tle"), text);
+        tail.clear();
+        torn_open = true;  // the cut can land mid-line
+        break;
+      }
+    }
+    if (!tail.empty()) io::append_file(path("catalog.tle"), tail);
+
+    obs::Metrics metrics;
+    const auto cached = run(/*use_cache=*/true, &metrics);
+    const auto uncached = run(/*use_cache=*/false, nullptr);
+    EXPECT_EQ(std::get<0>(cached), std::get<0>(uncached)) << "round " << round;
+    EXPECT_EQ(std::get<1>(cached), std::get<1>(uncached)) << "round " << round;
+    EXPECT_EQ(std::get<2>(cached), std::get<2>(uncached)) << "round " << round;
+    const std::uint64_t fast = counter(metrics, "ingest.delta_hit") +
+                               counter(metrics, "ingest.cache_hit");
+    EXPECT_TRUE(fast == 1 || counter(metrics, "snapshot.rejected") >= 1)
+        << "round " << round
+        << ": the cache must hit, extend, or explicitly reject";
   }
 }
 

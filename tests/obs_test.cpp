@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -14,10 +15,14 @@
 #include "core/pipeline.hpp"
 #include "exec/parallel_for.hpp"
 #include "io/csv.hpp"
+#include "io/file.hpp"
 #include "obs/obs.hpp"
 #include "simulation/scenario.hpp"
 #include "spaceweather/generator.hpp"
+#include "spaceweather/wdc.hpp"
 #include "support/minijson.hpp"
+#include "timeutil/datetime.hpp"
+#include "tle/tle.hpp"
 
 namespace cosmicdance::obs {
 namespace {
@@ -178,6 +183,74 @@ TEST(ObsDeterminismTest, PipelineWorkCountersBitIdenticalAcrossThreadCounts) {
     EXPECT_GT(report.scheduling.at("exec.sections"), 0u);
     EXPECT_GT(report.scheduling.at("exec.chunks"), 0u);
   }
+}
+
+TEST(ObsDeterminismTest, DeltaPathCountersArePinnedAndBitIdenticalAcrossThreadCounts) {
+  // The incremental-ingestion counters (DESIGN.md §14) are part of the
+  // public telemetry surface: tier-1's bench gate and downstream dashboards
+  // key on the literal names `ingest.delta_hit` and `ingest.tail_bytes`,
+  // and the determinism contract (§11) extends to the delta path — the
+  // whole work-counter map from a tail parse must be bit-identical at every
+  // thread count.
+  const auto record_text = [](int catalog_number, double epoch_offset_days) {
+    tle::Tle record;
+    record.catalog_number = catalog_number;
+    record.international_designator = "20001A";
+    record.epoch_jd = timeutil::to_julian(timeutil::make_datetime(2024, 5, 1)) +
+                      epoch_offset_days;
+    record.bstar = 1.4e-4;
+    record.inclination_deg = 53.05;
+    record.raan_deg = 120.5;
+    record.eccentricity = 0.0002;
+    record.arg_perigee_deg = 90.0;
+    record.mean_anomaly_deg = 45.0;
+    record.mean_motion_revday = 15.05;
+    record.element_set_number = 1;
+    record.rev_number = 1;
+    const tle::TleLines lines = tle::format_tle(record);
+    return lines.line1 + "\n" + lines.line2 + "\n";
+  };
+  std::vector<double> hours;
+  for (int h = 0; h < 3 * 24; ++h) hours.push_back(-10.0 - h % 40);
+  const std::string wdc_text = spaceweather::to_wdc(
+      spaceweather::DstIndex(timeutil::make_datetime(2024, 5, 1), hours));
+  std::string seed_tle;
+  for (int i = 0; i < 12; ++i) seed_tle += record_text(40001 + i, 0.25 * i);
+  std::string tail_tle;
+  for (int i = 0; i < 40; ++i) tail_tle += record_text(40001 + i % 12, 30.0 + 0.25 * i);
+
+  std::vector<MetricsReport> reports;
+  for (const int threads : {1, 2, 8}) {
+    const std::string dir =
+        ::testing::TempDir() + "cd_obs_delta_" + std::to_string(threads);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string dst_path = dir + "/dst.wdc";
+    const std::string tle_path = dir + "/catalog.tle";
+    io::write_file(dst_path, wdc_text);
+    io::write_file(tle_path, seed_tle);
+
+    core::PipelineConfig config;
+    config.num_threads = threads;
+    config.cache_dir = dir + "/cache";
+    static_cast<void>(core::CosmicDance::from_files(dst_path, tle_path, config));
+
+    io::append_file(tle_path, tail_tle);
+    Metrics metrics;
+    config.metrics = &metrics;
+    static_cast<void>(core::CosmicDance::from_files(dst_path, tle_path, config));
+    reports.push_back(metrics.snapshot());
+  }
+
+  // Name pinning: these exact strings are load-bearing.
+  EXPECT_EQ(reports[0].counters.at("ingest.delta_hit"), 1u);
+  EXPECT_EQ(reports[0].counters.at("ingest.tail_bytes"), tail_tle.size());
+  EXPECT_EQ(reports[0].counters.at("snapshot.delta_written"), 1u);
+  EXPECT_EQ(reports[0].counters.at("tle.records_parsed"), 40u);
+  EXPECT_EQ(reports[0].counters.count("ingest.cache_hit"), 0u);
+  // Bit-identity of the whole work-counter map across thread counts.
+  EXPECT_EQ(reports[0].counters, reports[1].counters) << "threads 1 vs 2";
+  EXPECT_EQ(reports[0].counters, reports[2].counters) << "threads 1 vs 8";
 }
 
 // --- exporter escaping: hostile metric names must survive every format ------

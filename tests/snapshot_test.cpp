@@ -150,14 +150,6 @@ std::uint64_t counter(const obs::Metrics& metrics, const std::string& name) {
   return it != report.counters.end() ? it->second : 0;
 }
 
-/// Content hash of the on-disk pair, chained dst-then-tle exactly as
-/// from_files computes it.
-std::uint64_t content_hash_of(const TestInputs& inputs) {
-  const io::MappedFile dst_file(inputs.dst_path);
-  const io::MappedFile tle_file(inputs.tle_path);
-  return io::fnv1a(tle_file.view(), io::fnv1a(dst_file.view()));
-}
-
 /// The failure-matrix driver: seed the cache with a cold run, corrupt the
 /// snapshot via `mutate`, then prove the next run rejects it, matches a
 /// cache-less parse bit for bit, rewrites the snapshot, and that the run
@@ -200,14 +192,13 @@ TEST(SnapshotTest, EncodeDecodeRoundTripIsBitExact) {
   spaceweather::DstIndex dst = spaceweather::from_wdc(wdc_text, &log, "dst.wdc");
   tle::TleCatalog catalog;
   catalog.add_from_text(tle_text, tle::IngestOptions{&log, 1, "catalog.tle"});
-  const io::SnapshotData data{dst, catalog, log.report()};
+  const io::SnapshotData data{dst, catalog, log.report(),
+                              io::ingest_state_of(wdc_text, tle_text), 0, 0};
 
-  const std::uint64_t hash = io::fnv1a(tle_text, io::fnv1a(wdc_text));
-  const std::string bytes =
-      io::encode_snapshot(data, hash, ParsePolicy::kTolerant);
+  const std::string bytes = io::encode_snapshot(data, ParsePolicy::kTolerant);
 
   const std::optional<io::SnapshotData> decoded =
-      io::decode_snapshot(bytes, hash, ParsePolicy::kTolerant);
+      io::decode_snapshot(bytes, ParsePolicy::kTolerant);
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->catalog.to_text(), catalog.to_text());
   EXPECT_EQ(decoded->dst.start_hour(), dst.start_hour());
@@ -215,10 +206,18 @@ TEST(SnapshotTest, EncodeDecodeRoundTripIsBitExact) {
                                 decoded->dst.values().end()),
             std::vector<double>(dst.values().begin(), dst.values().end()));
   EXPECT_EQ(decoded->quality.to_json(), log.report().to_json());
+  EXPECT_EQ(decoded->state.combined_hash, data.state.combined_hash);
+  EXPECT_EQ(decoded->state.dst_len, wdc_text.size());
+  EXPECT_EQ(decoded->state.tle_len, tle_text.size());
+  EXPECT_EQ(decoded->delta_layers, 0u);
 
-  // The two key mismatches reject before any payload decoding happens.
-  EXPECT_FALSE(io::decode_snapshot(bytes, hash + 1, ParsePolicy::kTolerant));
-  EXPECT_FALSE(io::decode_snapshot(bytes, hash, ParsePolicy::kStrict));
+  // A policy mismatch rejects before any payload decoding happens, and a
+  // header content hash that disagrees with the encoded ingest state is a
+  // structural inconsistency, not a usable snapshot.
+  EXPECT_FALSE(io::decode_snapshot(bytes, ParsePolicy::kStrict));
+  std::string tampered = bytes;
+  tampered[16] = static_cast<char>(tampered[16] + 1);  // content hash LE byte
+  EXPECT_FALSE(io::decode_snapshot(tampered, ParsePolicy::kTolerant));
 }
 
 // ---- hit vs miss ------------------------------------------------------------
@@ -336,12 +335,27 @@ TEST(SnapshotTest, EditedInputMakesTheSnapshotStale) {
   const TestInputs inputs = write_inputs("stale", tle_corpus(4));
   // The snapshot file name hashes only the *paths*, so editing the TLE file
   // in place leaves the old snapshot exactly where the next run looks — the
-  // stored content hash is the only thing that can catch it.
+  // stored content hash is the only thing that can catch it.  The edit is
+  // in place (same length, different bytes): growth by appended records is
+  // no longer stale, it is the delta fast path (delta_snapshot_test.cpp).
   expect_reject_and_fallback(
       inputs, ParsePolicy::kStrict, [](const TestInputs& t) {
         std::string text = io::read_file(t.tle_path);
-        const tle::TleLines extra = tle::format_tle(make_tle(20001, 0.25));
-        text += extra.line1 + "\n" + extra.line2 + "\n";
+        const std::size_t designator = text.find("20001A");
+        ASSERT_NE(designator, std::string::npos);
+        text[designator + 5] = 'B';  // restamp a designator mid-prefix
+        io::write_file(t.tle_path, text);
+      });
+}
+
+TEST(SnapshotTest, ShrunkInputMakesTheSnapshotStale) {
+  const TestInputs inputs = write_inputs("shrunk", tle_corpus(4));
+  // Truncation can never be served incrementally — the snapshot has
+  // already committed records past the new end of file.
+  expect_reject_and_fallback(
+      inputs, ParsePolicy::kStrict, [](const TestInputs& t) {
+        std::string text = io::read_file(t.tle_path);
+        text.resize(text.size() - 140);  // drop the last two-line record
         io::write_file(t.tle_path, text);
       });
 }
@@ -394,10 +408,9 @@ TEST(SnapshotTest, RandomSingleBitCorruptionNeverThrows) {
   const TestInputs inputs = write_inputs("fuzz", tle_corpus(3));
   run_pipeline(inputs, ParsePolicy::kStrict, 1, /*use_cache=*/true);
   const std::string valid = io::read_file(inputs.snapshot_path());
-  const std::uint64_t hash = content_hash_of(inputs);
 
   const std::optional<io::SnapshotData> baseline =
-      io::decode_snapshot(valid, hash, ParsePolicy::kStrict);
+      io::decode_snapshot(valid, ParsePolicy::kStrict);
   ASSERT_TRUE(baseline.has_value());
   const std::string baseline_text = baseline->catalog.to_text();
 
@@ -410,8 +423,7 @@ TEST(SnapshotTest, RandomSingleBitCorruptionNeverThrows) {
         bytes[pos] ^ static_cast<char>(1 << rng.uniform_int(0, 7)));
     std::optional<io::SnapshotData> decoded;
     // Never an exception: any disagreement must surface as nullopt.
-    EXPECT_NO_THROW(decoded =
-                        io::decode_snapshot(bytes, hash, ParsePolicy::kStrict))
+    EXPECT_NO_THROW(decoded = io::decode_snapshot(bytes, ParsePolicy::kStrict))
         << "decode threw on a bit flip at byte " << pos;
     if (decoded.has_value()) {
       // Flips the checks cannot see (header padding) must be harmless.

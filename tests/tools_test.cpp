@@ -1,11 +1,18 @@
-// Tests for the CLI-supporting components: argument parsing and CSV export.
+// Tests for the CLI-supporting components: argument parsing, CSV export,
+// and the tools/bench_compare.py telemetry differ (run as a subprocess).
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
 
 #include "common/error.hpp"
 #include "core/export.hpp"
 #include "io/args.hpp"
+#include "io/file.hpp"
 #include "io/parse.hpp"
 #include "timeutil/datetime.hpp"
 
@@ -150,6 +157,140 @@ TEST(ExportTest, TimelineCsv) {
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_NE(rows[1][0].find("2024-03-03"), std::string::npos);
   EXPECT_EQ(rows[1][1], "549.5");
+}
+
+// ---- tools/bench_compare.py -------------------------------------------------
+//
+// The differ is tier-1 plumbing (tools/run_tier1.sh pass 4 feeds it
+// BENCH_*.json records), so its contract is pinned here: completed
+// comparisons — including regressions, which are warn-only — exit 0, while
+// malformed input of any kind exits 2 with an actionable message instead
+// of a traceback.
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;  // stdout and stderr, interleaved
+};
+
+CommandResult run_command(const std::string& command) {
+  CommandResult result;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+class BenchCompareTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (run_command("python3 -c 'pass'").exit_code != 0) {
+      GTEST_SKIP() << "python3 not available";
+    }
+    dir_ = ::testing::TempDir() + "cd_bench_compare";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+
+  std::string write_record(const std::string& name, const std::string& json) {
+    const std::string path = dir_ + "/" + name;
+    io::write_file(path, json);
+    return path;
+  }
+
+  CommandResult compare(const std::string& baseline, const std::string& current,
+                        const std::string& extra = "") {
+    const std::string script =
+        std::string(COSMICDANCE_REPO_ROOT) + "/tools/bench_compare.py";
+    return run_command("python3 '" + script + "' '" + baseline + "' '" +
+                       current + "' " + extra);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(BenchCompareTest, CompletedComparisonExitsZero) {
+  const std::string baseline = write_record(
+      "base.json", R"({"bench": "b", "throughput": {"a": 100, "b": 50}})");
+  const std::string current = write_record(
+      "cur.json", R"({"bench": "b", "throughput": {"a": 110, "b": 49}})");
+  const CommandResult result = compare(baseline, current);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("ok    b/a"), std::string::npos) << result.output;
+}
+
+TEST_F(BenchCompareTest, RegressionsWarnButStillExitZero) {
+  const std::string baseline =
+      write_record("base.json", R"({"bench": "b", "throughput": {"a": 100}})");
+  const std::string current =
+      write_record("cur.json", R"({"bench": "b", "throughput": {"a": 10}})");
+  const CommandResult result = compare(baseline, current);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("WARN"), std::string::npos) << result.output;
+}
+
+TEST_F(BenchCompareTest, AsymmetricKeysAreNotesNotErrors) {
+  const std::string baseline =
+      write_record("base.json", R"({"bench": "b", "throughput": {"old": 5}})");
+  const std::string current =
+      write_record("cur.json", R"({"bench": "b", "throughput": {"new": 7}})");
+  const CommandResult result = compare(baseline, current);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("NOTE"), std::string::npos) << result.output;
+}
+
+TEST_F(BenchCompareTest, EmptyFileExitsTwoWithClearMessage) {
+  const std::string baseline = write_record("base.json", "");
+  const std::string current =
+      write_record("cur.json", R"({"bench": "b", "throughput": {"a": 1}})");
+  const CommandResult result = compare(baseline, current);
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("bench_compare: cannot read"), std::string::npos)
+      << result.output;
+  EXPECT_EQ(result.output.find("Traceback"), std::string::npos) << result.output;
+}
+
+TEST_F(BenchCompareTest, MissingThroughputObjectExitsTwo) {
+  const std::string baseline = write_record("base.json", R"({"bench": "b"})");
+  const std::string current =
+      write_record("cur.json", R"({"bench": "b", "throughput": {"a": 1}})");
+  const CommandResult result = compare(baseline, current);
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("not a bench record"), std::string::npos)
+      << result.output;
+}
+
+TEST_F(BenchCompareTest, NonNumericThroughputExitsTwoInsteadOfTraceback) {
+  // Regression: a string (or nested object) rate used to raise inside the
+  // float() conversion and escape as a traceback with a misleading exit 1.
+  const std::string baseline = write_record(
+      "base.json", R"({"bench": "b", "throughput": {"a": "fast"}})");
+  const std::string current = write_record(
+      "cur.json", R"({"bench": "b", "throughput": {"a": {"rate": 1}}})");
+  for (const auto& [first, second] :
+       {std::pair(baseline, current), std::pair(current, baseline)}) {
+    const CommandResult result = compare(first, second);
+    EXPECT_EQ(result.exit_code, 2) << result.output;
+    EXPECT_NE(result.output.find("is not a number"), std::string::npos)
+        << result.output;
+    EXPECT_EQ(result.output.find("Traceback"), std::string::npos)
+        << result.output;
+  }
+}
+
+TEST_F(BenchCompareTest, BadUsageExitsTwo) {
+  const std::string record =
+      write_record("base.json", R"({"bench": "b", "throughput": {"a": 1}})");
+  EXPECT_EQ(compare(record, record, "--tolerance=abc").exit_code, 2);
+  EXPECT_EQ(compare(record, record, "--bogus=1").exit_code, 2);
+  const std::string script =
+      std::string(COSMICDANCE_REPO_ROOT) + "/tools/bench_compare.py";
+  EXPECT_EQ(run_command("python3 '" + script + "'").exit_code, 2);
 }
 
 }  // namespace

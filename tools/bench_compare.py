@@ -37,6 +37,10 @@ def load_record(path):
             record.get("throughput"), dict):
         fail_usage("%s is not a bench record (missing throughput object)" %
                    path)
+    for name, value in record["throughput"].items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            fail_usage("%s: throughput key %r is not a number (got %r)" %
+                       (path, name, value))
     return record
 
 

@@ -57,7 +57,9 @@ int usage() {
       "             (open in about:tracing or ui.perfetto.dev)\n"
       "--cache-dir DIR (analyze/report): binary snapshot cache of parsed\n"
       "             inputs; a warm run with unchanged inputs skips text\n"
-      "             parsing (results are bit-identical either way)\n";
+      "             parsing, and inputs that only grew by appended records\n"
+      "             reparse just the tail (stored as delta layers, compacted\n"
+      "             automatically); results are bit-identical either way\n";
   return 2;
 }
 

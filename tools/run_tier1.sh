@@ -6,13 +6,17 @@
 #      contract to mean anything,
 #   3. ASan+UBSan (COSMICDANCE_SANITIZE=address) over the ingestion suites,
 #      driving the malformed-record corpus through both parse policies so
-#      buffer overreads in the fixed-column parsers surface here.
+#      buffer overreads in the fixed-column parsers surface here, and the
+#      delta-snapshot differential suite so the incremental path's chain
+#      walking and replay run under the same lens.
 #   4. observability smoke: the CLI with --metrics/--trace on the bundled
 #      dataset (work counters must be bit-identical at --threads 1 vs 8,
 #      per DESIGN.md §11) plus the micro_pipeline and micro_ingest
 #      telemetry passes, leaving build/BENCH_pipeline.json and
 #      build/BENCH_ingest.json behind as CI artifacts.  The ingest record
-#      must show a warm-cache hit (ingest.cache_hit == 1), and
+#      must show a warm-cache hit (ingest.cache_hit == 1) and an
+#      append-aware delta hit that parsed only a small tail
+#      (ingest.delta_hit == 1, delta_tail_fraction < 5%), and
 #      tools/bench_compare.py prints a warn-only throughput diff against
 #      the previous run's record when one exists.
 #   5. static analysis: cdlint (the project-invariant lint, DESIGN.md §12)
@@ -43,13 +47,16 @@ echo "== pass 3: ASan+UBSan build + malformed-record ingestion suite =="
 cmake -B build-asan -S . -DCOSMICDANCE_SANITIZE=address
 cmake --build build-asan -j "$JOBS" \
       --target ingestion_fuzz_test diag_test io_test tle_test tle2_test \
-               timeutil_test spaceweather_test snapshot_test
+               timeutil_test spaceweather_test snapshot_test \
+               delta_snapshot_test
 # The fuzz suite feeds truncated / corrupted fixed-column records through
 # every ingestion path; ASan+UBSan turns any column overread into a failure.
 # snapshot_test drives the corrupted-snapshot failure matrix (truncation,
-# bit flips, stale hashes) through the binary decoder under the same lens.
+# bit flips, stale hashes) through the binary decoder under the same lens;
+# delta_snapshot_test does the same for the append-aware incremental path
+# (broken layer chains, forged appends, the append/compact fuzz loop).
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-      -R 'IngestionFuzz|Diag|ParseLog|DataQualityReport|Csv|Tle|DateTime|Wdc|Snapshot'
+      -R 'IngestionFuzz|Diag|ParseLog|DataQualityReport|Csv|Tle|DateTime|Wdc|Snapshot|DeltaSnapshot'
 
 echo "== pass 4: observability smoke (CLI metrics/trace + bench telemetry) =="
 CLI=build/tools/cosmicdance
@@ -104,19 +111,31 @@ assert bench["metrics"]["phases"], "bench record has no phase timings"
 ingest = json.load(open("build/BENCH_ingest.json"))
 for key in ("bench", "threads", "dataset", "throughput", "metrics"):
     assert key in ingest, f"ingest bench record missing {key!r}"
-# The telemetry pass runs cold-then-warm against a fresh cache dir; the
-# warm run must actually hit the snapshot (DESIGN.md §13) or the cache is
-# silently dead.
+# The telemetry pass runs cold -> warm -> append -> delta-warm against a
+# fresh cache dir; the warm run must actually hit the snapshot (DESIGN.md
+# §13) and the delta-warm run must extend it by parsing only the appended
+# tail (DESIGN.md §14) or the incremental path is silently dead.
 counters = ingest["metrics"]["counters"]
 assert counters.get("ingest.cache_hit") == 1, (
     "warm ingest pass did not hit the snapshot cache: "
     f"{ {k: v for k, v in counters.items() if k.startswith(('ingest.', 'snapshot.'))} }")
 assert counters.get("snapshot.written") == 1, "cold pass wrote no snapshot"
+assert counters.get("ingest.delta_hit") == 1, (
+    "delta-warm ingest pass did not take the append fast path: "
+    f"{ {k: v for k, v in counters.items() if k.startswith(('ingest.', 'snapshot.'))} }")
+assert counters.get("snapshot.delta_written") == 1, (
+    "delta-warm pass persisted no delta layer")
+tail_fraction = ingest["throughput"]["delta_tail_fraction"]
+assert 0.0 < tail_fraction < 0.05, (
+    f"delta-warm pass reparsed {tail_fraction:.1%} of the inputs; "
+    "the incremental path must touch well under 5%")
 print(f"observability smoke OK: {len(m1['counters'])} work counters "
       f"bit-identical across thread counts, "
       f"{len(trace['traceEvents'])} trace events, "
       f"bench throughput keys: {sorted(bench['throughput'])}, "
-      f"ingest cache_hit={counters['ingest.cache_hit']}")
+      f"ingest cache_hit={counters['ingest.cache_hit']}, "
+      f"delta_hit={counters['ingest.delta_hit']} "
+      f"(tail fraction {tail_fraction:.2%})")
 EOF
 
 echo "== pass 5: static analysis (cdlint; clang-tidy/shellcheck if installed) =="

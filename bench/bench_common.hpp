@@ -49,7 +49,7 @@ inline tle::TleCatalog paper_catalog(const spaceweather::DstIndex& dst,
 inline core::PipelineConfig config_from_args(int argc, const char* const* argv) {
   const io::ArgParser args(argc, argv);
   core::PipelineConfig config;
-  config.num_threads = static_cast<int>(args.integer_or("threads", 0));
+  config.num_threads = static_cast<int>(args.nonnegative_integer_or("threads", 0));
   return config;
 }
 

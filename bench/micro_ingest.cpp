@@ -230,6 +230,6 @@ int main(int argc, char** argv) {
 
   const io::ArgParser args(argc, argv);
   run_telemetry_pass(args.option_or("bench-out", "BENCH_ingest.json"),
-                     static_cast<int>(args.integer_or("threads", 0)));
+                     static_cast<int>(args.nonnegative_integer_or("threads", 0)));
   return 0;
 }

@@ -92,6 +92,13 @@ CosmicDance CosmicDance::from_files(const std::string& wdc_dst_path,
           config.metrics->counter("ingest.cache_hit").add(1);
           config.metrics->counter("snapshot.loaded").add(1);
         }
+        if (snapshot->tail_truncated) {
+          // The file still ends in torn bytes a future load would have to
+          // re-truncate; rewrite a clean base now (best-effort).
+          snapshot->tail_truncated = false;
+          io::save_snapshot(snapshot_path, *snapshot, config.parse_policy,
+                            config.metrics);
+        }
         CosmicDance pipeline(std::move(snapshot->dst),
                              std::move(snapshot->catalog), config);
         pipeline.quality_report_ = std::move(snapshot->quality);
@@ -148,8 +155,15 @@ CosmicDance CosmicDance::from_files(const std::string& wdc_dst_path,
         snapshot->state = cls.current;
         // Persist best-effort: append one more layer, or — once the chain
         // is long enough that load-time walks outweigh one base rewrite —
-        // compact everything back into a single fresh base.
-        if (snapshot->delta_layers >= io::kMaxSnapshotDeltaLayers) {
+        // compact everything back into a single fresh base.  A truncated
+        // load also forces a base rewrite: the file still ends in torn
+        // bytes, and a layer appended after them would be unreachable on
+        // the next load (the chain walk stops at the tear).
+        if (snapshot->tail_truncated) {
+          snapshot->tail_truncated = false;
+          io::save_snapshot(snapshot_path, *snapshot, config.parse_policy,
+                            config.metrics);
+        } else if (snapshot->delta_layers >= io::kMaxSnapshotDeltaLayers) {
           if (io::save_snapshot(snapshot_path, *snapshot, config.parse_policy,
                                 config.metrics) &&
               config.metrics != nullptr) {

@@ -75,6 +75,16 @@ long ArgParser::integer_or(const std::string& name, long fallback) const {
   return parsed;
 }
 
+long ArgParser::nonnegative_integer_or(const std::string& name,
+                                       long fallback) const {
+  const long parsed = integer_or(name, fallback);
+  if (parsed < 0) {
+    throw ParseError("option --" + name + " expects a non-negative integer, " +
+                     "got '" + std::to_string(parsed) + "'");
+  }
+  return parsed;
+}
+
 bool ArgParser::flag(const std::string& name) const {
   return present_.count(name) > 0;
 }

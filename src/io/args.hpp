@@ -35,6 +35,12 @@ class ArgParser {
   /// value is present but not numeric.
   [[nodiscard]] double number_or(const std::string& name, double fallback) const;
   [[nodiscard]] long integer_or(const std::string& name, long fallback) const;
+  /// integer_or that additionally rejects negative values with a usage
+  /// error naming the option — for counts (thread counts, sizes) where a
+  /// negative would otherwise flow into internal arithmetic as a huge
+  /// unsigned or an undefined worker count.
+  [[nodiscard]] long nonnegative_integer_or(const std::string& name,
+                                            long fallback) const;
   /// True when --name appeared (with or without a value).
   [[nodiscard]] bool flag(const std::string& name) const;
 

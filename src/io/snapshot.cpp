@@ -1,7 +1,10 @@
 #include "io/snapshot.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstdio>
 #include <cstring>
@@ -532,11 +535,22 @@ std::optional<SnapshotData> decode_snapshot(std::string_view bytes,
     // header before it and carry the next 1-based index, so a missing,
     // reordered or foreign layer breaks the walk and rejects the whole
     // snapshot — the text inputs are the source of truth on any doubt.
+    //
+    // The one recoverable shape is a torn *tail*: a crashed append leaves
+    // a pure prefix of valid layer bytes, so "file ends mid-header",
+    // "file ends mid-payload" and "final layer fails its CRC" all mean
+    // the bytes before the tear are exactly the pre-append snapshot.
+    // Those truncate (tail_truncated) instead of rejecting.  The same
+    // check failing anywhere *before* the final layer cannot come from a
+    // torn append and still rejects the whole file.
     std::uint64_t chain = fnv1a(bytes.substr(0, kHeaderSize));
     std::size_t pos = kHeaderSize + payload_size;
     std::uint32_t applied = 0;
     while (pos < bytes.size()) {
-      if (bytes.size() - pos < kHeaderSize) return std::nullopt;
+      if (bytes.size() - pos < kHeaderSize) {
+        data.tail_truncated = true;  // torn mid-header
+        break;
+      }
       const std::string_view layer_header = bytes.substr(pos, kHeaderSize);
       if (std::memcmp(layer_header.data(), kDeltaMagic, sizeof(kDeltaMagic)) !=
           0) {
@@ -552,10 +566,18 @@ std::optional<SnapshotData> decode_snapshot(std::string_view bytes,
       if (layer_index != applied + 1) return std::nullopt;
       if (layer_policy != policy_byte(policy)) return std::nullopt;
       if (prev_chain != chain) return std::nullopt;
-      if (bytes.size() - pos - kHeaderSize < layer_size) return std::nullopt;
+      if (bytes.size() - pos - kHeaderSize < layer_size) {
+        data.tail_truncated = true;  // torn mid-payload
+        break;
+      }
       const std::string_view layer_payload =
           bytes.substr(pos + kHeaderSize, layer_size);
-      if (crc32(layer_payload) != layer_crc) return std::nullopt;
+      if (crc32(layer_payload) != layer_crc) {
+        const bool final_layer = pos + kHeaderSize + layer_size == bytes.size();
+        if (!final_layer) return std::nullopt;  // mid-chain bit rot
+        data.tail_truncated = true;  // torn inside the final payload
+        break;
+      }
       Cursor lp(layer_payload);
       apply_delta_payload(lp, data, policy);
       if (!lp.exhausted()) return std::nullopt;
@@ -580,8 +602,12 @@ std::optional<SnapshotData> load_snapshot(const std::string& path,
   try {
     const MappedFile mapped(path);
     std::optional<SnapshotData> data = decode_snapshot(mapped.view(), policy);
-    if (!data.has_value() && metrics != nullptr) {
-      metrics->counter("snapshot.rejected").add(1);
+    if (metrics != nullptr) {
+      if (!data.has_value()) {
+        metrics->counter("snapshot.rejected").add(1);
+      } else if (data->tail_truncated) {
+        metrics->counter("snapshot.delta_truncated").add(1);
+      }
     }
     return data;
   } catch (const std::exception&) {
@@ -590,17 +616,35 @@ std::optional<SnapshotData> load_snapshot(const std::string& path,
   }
 }
 
+namespace {
+
+/// Per-writer temp name for save_snapshot.  A fixed ".tmp" suffix would be
+/// shared by every concurrent saver — two processes (or threads) racing to
+/// the same cache entry would interleave writes into one temp file and
+/// rename a torn hybrid into place.  Embedding the pid separates
+/// processes; the process-wide serial separates threads within one.
+std::filesystem::path unique_temp_path(const std::string& path) {
+  static std::atomic<std::uint64_t> serial{0};
+  return std::filesystem::path(
+      path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(serial.fetch_add(1, std::memory_order_relaxed)));
+}
+
+}  // namespace
+
 bool save_snapshot(const std::string& path, const SnapshotData& data,
                    diag::ParsePolicy policy, obs::Metrics* metrics) {
   const obs::ScopedPhase phase(metrics, "snapshot.save");
+  // Temp-then-rename keeps readers off half-written files; the unique temp
+  // name keeps concurrent writers off *each other's* — the rename itself is
+  // atomic, so the last complete file wins.
+  const std::filesystem::path temp = unique_temp_path(path);
   try {
     const std::filesystem::path target(path);
     if (target.has_parent_path()) {
       std::filesystem::create_directories(target.parent_path());
     }
     const std::string bytes = encode_snapshot(data, policy);
-    // Temp-then-rename keeps concurrent readers off half-written files.
-    const std::filesystem::path temp(path + ".tmp");
     {
       std::ofstream out(temp, std::ios::binary | std::ios::trunc);
       if (!out) throw IoError("cannot open snapshot temp file");
@@ -613,7 +657,7 @@ bool save_snapshot(const std::string& path, const SnapshotData& data,
   } catch (const std::exception&) {
     if (metrics != nullptr) metrics->counter("snapshot.write_failed").add(1);
     std::error_code ignored;
-    std::filesystem::remove(std::filesystem::path(path + ".tmp"), ignored);
+    std::filesystem::remove(temp, ignored);
     return false;
   }
 }

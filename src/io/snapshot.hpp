@@ -146,6 +146,13 @@ struct SnapshotData {
   /// FNV-1a of the last layer's (or base's) header bytes — what the next
   /// appended layer must carry as its chain hash.
   std::uint64_t chain_hash = 0;
+  /// True when the file ended mid-layer (a torn append: partial trailing
+  /// header, short payload, or a CRC-failing *final* layer) and the torn
+  /// tail was dropped.  `state` then describes only the recovered prefix —
+  /// the caller must treat the snapshot as behind the text inputs and must
+  /// not append further layers to the file (they would sit after torn
+  /// bytes the next load cannot walk past).
+  bool tail_truncated = false;
 };
 
 /// The parsed artefacts of one tail parse, exactly what replaying the
@@ -184,28 +191,43 @@ struct SnapshotDelta {
 /// Parse snapshot bytes: the base plus every delta layer, applied in
 /// order.  Returns nullopt — never throws — when anything disagrees:
 /// magic, version, policy, payload sizes, CRCs, the layer chain, or a
-/// payload that decodes inconsistently.  The whole file is one unit: a
-/// single bad layer rejects everything (the text source of truth is
-/// always available, so partial recovery is not worth the asymmetry).
+/// payload that decodes inconsistently.
+///
+/// One deliberate exception to all-or-nothing: a torn *trailing* layer —
+/// the signature a crashed append leaves behind (file ends mid-header,
+/// mid-payload, or with a CRC-failing final layer) — truncates to the
+/// valid base + layer prefix and sets `tail_truncated` instead of
+/// rejecting.  Everything a torn append can produce is a pure prefix of
+/// valid bytes, so the recovered prefix is exactly the pre-append
+/// snapshot.  Corruption *inside* the prefix (bad mid-chain CRC, wrong
+/// index/policy/chain hash with a complete header) still rejects the
+/// whole file: that is bit rot or tampering, not a crash signature, and
+/// the text source of truth is always available.
 [[nodiscard]] std::optional<SnapshotData> decode_snapshot(
     std::string_view bytes, diag::ParsePolicy policy);
 
 /// Load a snapshot file.  A missing/unreadable file is a cache miss
 /// (nullopt, no counter); a present-but-invalid file bumps
-/// `snapshot.rejected` and also returns nullopt.  Whether a structurally
-/// valid snapshot matches the current inputs is the caller's decision
-/// (classify_inputs) — the caller bumps `snapshot.loaded` only when it
-/// actually uses the data.  Wall time lands in phase "snapshot.load".
+/// `snapshot.rejected` and also returns nullopt.  A torn trailing layer
+/// (see decode_snapshot) loads the valid prefix and bumps
+/// `snapshot.delta_truncated`.  Whether a structurally valid snapshot
+/// matches the current inputs is the caller's decision (classify_inputs)
+/// — the caller bumps `snapshot.loaded` only when it actually uses the
+/// data.  Wall time lands in phase "snapshot.load".
 [[nodiscard]] std::optional<SnapshotData> load_snapshot(
     const std::string& path, diag::ParsePolicy policy,
     obs::Metrics* metrics = nullptr);
 
 /// Write a base snapshot file, discarding any existing delta chain
-/// (atomically: temp file + rename, creating the cache directory if
-/// needed).  Best-effort: returns false and bumps `snapshot.write_failed`
-/// on any filesystem error instead of throwing — a read-only cache dir
-/// must not break the pipeline.  Success bumps `snapshot.written`; wall
-/// time lands in phase "snapshot.save".
+/// (atomically: per-writer temp file + rename, creating the cache
+/// directory if needed).  The temp name embeds the pid and a process-wide
+/// serial, so concurrent writers — several processes or threads sharing a
+/// cache dir — never interleave writes into one temp file; the final
+/// rename is atomic, so the last writer wins with a complete file.
+/// Best-effort: returns false and bumps `snapshot.write_failed` on any
+/// filesystem error instead of throwing — a read-only cache dir must not
+/// break the pipeline.  Success bumps `snapshot.written`; wall time lands
+/// in phase "snapshot.save".
 bool save_snapshot(const std::string& path, const SnapshotData& data,
                    diag::ParsePolicy policy, obs::Metrics* metrics = nullptr);
 

@@ -1,0 +1,52 @@
+#include "serve/wire.hpp"
+
+#include "common/error.hpp"
+
+namespace cosmicdance::serve {
+namespace {
+
+std::uint32_t read_prefix(const std::string& buffer) {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < kFramePrefixBytes; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(buffer[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw ValidationError("frame payload exceeds kMaxFrameBytes");
+  }
+  std::string out;
+  out.reserve(kFramePrefixBytes + payload.size());
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  for (std::size_t i = 0; i < kFramePrefixBytes; ++i) {
+    out.push_back(static_cast<char>((length >> (8 * i)) & 0xFFu));
+  }
+  out.append(payload);
+  return out;
+}
+
+void FrameReader::feed(std::string_view bytes) {
+  if (error_) return;
+  buffer_.append(bytes);
+}
+
+std::optional<std::string> FrameReader::next() {
+  if (error_ || buffer_.size() < kFramePrefixBytes) return std::nullopt;
+  const std::uint32_t length = read_prefix(buffer_);
+  if (length > kMaxFrameBytes) {
+    error_ = true;
+    buffer_.clear();
+    return std::nullopt;
+  }
+  if (buffer_.size() - kFramePrefixBytes < length) return std::nullopt;
+  std::string payload = buffer_.substr(kFramePrefixBytes, length);
+  buffer_.erase(0, kFramePrefixBytes + length);
+  return payload;
+}
+
+}  // namespace cosmicdance::serve

@@ -1,0 +1,63 @@
+// Length-prefixed framing for the cosmicdanced wire protocol.
+//
+// One frame = a 4-byte little-endian u32 payload length followed by that
+// many payload bytes (JSON text in both directions).  The prefix makes
+// message boundaries explicit over a TCP stream: the reader never guesses
+// where a JSON document ends, and a client that writes a frame in arbitrary
+// chunks (slow network, deliberate byte-at-a-time tests) is reassembled
+// exactly.
+//
+// Defence: a length prefix above kMaxFrameBytes — whether from a hostile
+// client or from pointing a non-protocol peer at the socket — poisons the
+// reader permanently (error(), no recovery) so the connection can be closed
+// after one clean error response instead of waiting for gigabytes that will
+// never arrive.  Garbage *payloads* are not the framer's problem: they frame
+// fine and fail JSON parsing one layer up.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cosmicdance::serve {
+
+/// Ceiling on one frame's payload.  Far above any legitimate response
+/// (metrics dumps are tens of KB) while keeping a garbage prefix from
+/// looking like a pending multi-gigabyte message.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u * 1024u * 1024u;
+
+/// Bytes of the length prefix.
+inline constexpr std::size_t kFramePrefixBytes = 4;
+
+/// Wrap a payload in a frame (prefix + bytes).  Throws ValidationError when
+/// the payload exceeds kMaxFrameBytes — responses are builder-controlled, so
+/// an oversized one is a programming error, not a peer problem.
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Incremental frame reassembler: feed() bytes as they arrive off the
+/// socket, next() yields complete payloads in order.  Once a prefix exceeds
+/// kMaxFrameBytes the reader enters a terminal error state: next() returns
+/// nullopt and error() stays set (framing is byte-exact, so there is no
+/// safe way to resynchronise mid-stream).
+class FrameReader {
+ public:
+  /// Append raw bytes from the stream.  No-op in the error state.
+  void feed(std::string_view bytes);
+
+  /// Pop the next complete payload, or nullopt when none is buffered (or
+  /// the reader is poisoned).
+  [[nodiscard]] std::optional<std::string> next();
+
+  /// Terminal framing failure (oversized length prefix).
+  [[nodiscard]] bool error() const noexcept { return error_; }
+
+  /// Bytes buffered but not yet consumed (diagnostics/tests).
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  bool error_ = false;
+};
+
+}  // namespace cosmicdance::serve

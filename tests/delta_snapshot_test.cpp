@@ -10,9 +10,13 @@
 // same Dst values, catalog text, quarantine counters and first-error order
 // — at any thread count under either parse policy.  Every way the fast
 // path could be fooled is driven here: stale bases, shrunk inputs, prefix
-// edits masquerading as appends, out-of-order / missing / torn / spliced /
+// edits masquerading as appends, out-of-order / missing / spliced /
 // cross-policy delta layers, unterminated prefixes, dangling pairing
 // state at the boundary, and a randomized append/edit/compact fuzz loop.
+// Torn *trailing* layers are the one recoverable shape (a crashed append
+// leaves a pure prefix of valid bytes): they truncate to the valid prefix
+// (`snapshot.delta_truncated`) instead of rejecting, and the next run
+// rewrites a clean base — byte-surgery coverage below.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -514,17 +518,146 @@ TEST(DeltaSnapshotTest, BrokenDeltaChainsRejectTheWholeSnapshot) {
                                base + layer1 + layer1);
   }
   {
-    SCOPED_TRACE("torn trailing layer");
-    expect_reject_and_fallback(
-        f, ParsePolicy::kTolerant,
-        (base + layer1 + layer2).substr(0, base.size() + layer1.size() + 25));
-  }
-  {
     SCOPED_TRACE("flipped byte inside a layer payload");
     std::string corrupted = base + layer1 + layer2;
     corrupted[base.size() + 40 + layer1.size() / 3] ^= 0x20;
     expect_reject_and_fallback(f, ParsePolicy::kTolerant, corrupted);
   }
+}
+
+// ---- torn trailing layers: truncate, never reject ---------------------------
+
+TEST(DeltaSnapshotTest, TornTrailingLayerTruncatesToTheValidPrefix) {
+  // Decode-level contract: every way a crashed append can tear the *final*
+  // layer — mid-header, mid-payload, or a CRC-failing complete payload —
+  // recovers base + layer 1 with tail_truncated set, while the same
+  // corruption anywhere earlier in the chain still rejects the whole file.
+  Fixture f = make_fixture("torn_decode", 6, 4);
+  run_pipeline(f, ParsePolicy::kTolerant, 1, /*use_cache=*/true);
+  f.append_tle_records(1);
+  run_pipeline(f, ParsePolicy::kTolerant, 1, /*use_cache=*/true);
+  f.append_tle_records(1);
+  run_pipeline(f, ParsePolicy::kTolerant, 1, /*use_cache=*/true);
+
+  const std::string bytes = io::read_file(f.snapshot_path());
+  const std::vector<std::string> segments = split_segments(bytes);
+  ASSERT_EQ(segments.size(), 3u);
+  const std::string full = segments[0] + segments[1] + segments[2];
+  const std::size_t prefix = segments[0].size() + segments[1].size();
+
+  const auto expect_truncated = [&](const std::string& torn) {
+    const std::optional<io::SnapshotData> decoded =
+        io::decode_snapshot(torn, ParsePolicy::kTolerant);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(decoded->tail_truncated);
+    EXPECT_EQ(decoded->delta_layers, 1u);
+    // The recovered prefix must equal the pre-append snapshot exactly.
+    const std::optional<io::SnapshotData> clean =
+        io::decode_snapshot(full.substr(0, prefix), ParsePolicy::kTolerant);
+    ASSERT_TRUE(clean.has_value());
+    EXPECT_FALSE(clean->tail_truncated);
+    EXPECT_EQ(decoded->chain_hash, clean->chain_hash);
+    EXPECT_EQ(decoded->state.tle_len, clean->state.tle_len);
+    EXPECT_EQ(decoded->catalog.to_text(), clean->catalog.to_text());
+  };
+
+  {
+    SCOPED_TRACE("torn mid-header");
+    expect_truncated(full.substr(0, prefix + 25));
+  }
+  {
+    SCOPED_TRACE("torn mid-payload");
+    expect_truncated(full.substr(0, full.size() - 5));
+  }
+  {
+    SCOPED_TRACE("final layer fails its CRC");
+    std::string torn = full;
+    torn[full.size() - 3] ^= 0x20;
+    expect_truncated(torn);
+  }
+  {
+    SCOPED_TRACE("the same CRC failure mid-chain still rejects");
+    std::string corrupted = full;
+    corrupted[segments[0].size() + 40 + 3] ^= 0x20;
+    EXPECT_FALSE(
+        io::decode_snapshot(corrupted, ParsePolicy::kTolerant).has_value());
+  }
+  {
+    SCOPED_TRACE("a torn base still rejects");
+    EXPECT_FALSE(io::decode_snapshot(full.substr(0, segments[0].size() - 5),
+                                     ParsePolicy::kTolerant)
+                     .has_value());
+  }
+}
+
+TEST(DeltaSnapshotTest, TornTrailingLayerRecoversOnTheDeltaPath) {
+  // End to end: the inputs hold two appends but the snapshot's second
+  // layer is torn.  The warm run must load the truncated prefix
+  // (`snapshot.delta_truncated`, no rejection), tail-parse the records the
+  // torn layer covered, match a from-scratch rebuild bit for bit, and
+  // rewrite a clean *base* — appending another layer after torn bytes
+  // would strand it beyond the tear for every future load.
+  Fixture f = make_fixture("torn_e2e", 6, 4);
+  run_pipeline(f, ParsePolicy::kTolerant, 1, /*use_cache=*/true);
+  f.append_tle_records(1);
+  run_pipeline(f, ParsePolicy::kTolerant, 1, /*use_cache=*/true);
+  f.append_tle_records(1);
+  run_pipeline(f, ParsePolicy::kTolerant, 1, /*use_cache=*/true);
+
+  const std::string bytes = io::read_file(f.snapshot_path());
+  const std::vector<std::string> segments = split_segments(bytes);
+  ASSERT_EQ(segments.size(), 3u);
+  io::write_file(f.snapshot_path(),
+                 bytes.substr(0, bytes.size() - segments[2].size() + 25));
+
+  obs::Metrics warm;
+  const RunOutput recovered =
+      run_pipeline(f, ParsePolicy::kTolerant, 1, /*use_cache=*/true, &warm);
+  EXPECT_EQ(counter(warm, "snapshot.delta_truncated"), 1u);
+  EXPECT_EQ(counter(warm, "snapshot.rejected"), 0u);
+  EXPECT_EQ(counter(warm, "ingest.delta_hit"), 1u);
+  EXPECT_EQ(counter(warm, "snapshot.written"), 1u)
+      << "recovery must rewrite a clean base";
+  EXPECT_EQ(counter(warm, "snapshot.delta_written"), 0u)
+      << "never append a layer after torn bytes";
+  EXPECT_EQ(counter(warm, "snapshot.compacted"), 0u);
+  expect_identical(recovered,
+                   run_pipeline(f, ParsePolicy::kTolerant, 1, false));
+
+  // The rewritten base is whole again: the next run is an exact hit with
+  // no truncation, and it decodes with a clean tail.
+  obs::Metrics exact;
+  run_pipeline(f, ParsePolicy::kTolerant, 1, /*use_cache=*/true, &exact);
+  EXPECT_EQ(counter(exact, "ingest.cache_hit"), 1u);
+  EXPECT_EQ(counter(exact, "snapshot.delta_truncated"), 0u);
+}
+
+TEST(DeltaSnapshotTest, TornTailWithUnchangedInputsRewritesOnTheExactPath) {
+  // A crashed append can also die before the inputs' own growth is visible
+  // to the next run (the snapshot file carries torn bytes but the inputs
+  // match the recovered prefix exactly).  The exact hit must still serve
+  // from the prefix and rewrite a clean base so the tear does not linger.
+  Fixture f = make_fixture("torn_exact", 6, 4);
+  run_pipeline(f, ParsePolicy::kTolerant, 1, /*use_cache=*/true);
+  f.append_tle_records(1);
+  run_pipeline(f, ParsePolicy::kTolerant, 1, /*use_cache=*/true);
+
+  const std::string bytes = io::read_file(f.snapshot_path());
+  io::append_file(f.snapshot_path(), bytes.substr(0, 25));  // torn junk tail
+
+  obs::Metrics warm;
+  const RunOutput recovered =
+      run_pipeline(f, ParsePolicy::kTolerant, 1, /*use_cache=*/true, &warm);
+  EXPECT_EQ(counter(warm, "ingest.cache_hit"), 1u);
+  EXPECT_EQ(counter(warm, "snapshot.delta_truncated"), 1u);
+  EXPECT_EQ(counter(warm, "snapshot.written"), 1u);
+  expect_identical(recovered,
+                   run_pipeline(f, ParsePolicy::kTolerant, 1, false));
+
+  obs::Metrics exact;
+  run_pipeline(f, ParsePolicy::kTolerant, 1, /*use_cache=*/true, &exact);
+  EXPECT_EQ(counter(exact, "ingest.cache_hit"), 1u);
+  EXPECT_EQ(counter(exact, "snapshot.delta_truncated"), 0u);
 }
 
 TEST(DeltaSnapshotTest, CrossPolicyDeltasAreRejected) {

@@ -13,10 +13,12 @@
 // consume their views.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -430,6 +432,92 @@ TEST(SnapshotTest, RandomSingleBitCorruptionNeverThrows) {
       EXPECT_EQ(decoded->catalog.to_text(), baseline_text)
           << "accepted a corrupted snapshot, flip at byte " << pos;
     }
+  }
+}
+
+// ---- concurrent writers -----------------------------------------------------
+
+TEST(SnapshotTest, ConcurrentSaversNeverTearTheSnapshot) {
+  // Several writers hammer one snapshot path with *different* valid
+  // snapshots (two daemons sharing a cache dir, or reload racing a warm
+  // start).  Because each save writes its own pid+serial temp file and the
+  // final rename is atomic, every observable state of the file must be one
+  // complete variant — a reader must never decode a torn hybrid.  Before
+  // the per-writer temp names, all savers shared one ".tmp" file and
+  // interleaved writes could rename a spliced file into place.
+  constexpr int kWriters = 4;
+  constexpr int kIterations = 25;
+
+  const std::string dir = ::testing::TempDir() + "cdsnap_racers";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/cache/snapshot.cdsnap";
+
+  // One distinct, decently sized snapshot per writer, plus its exact
+  // encoded bytes for the end-state check.
+  std::vector<io::SnapshotData> variants;
+  std::vector<std::string> encoded;
+  for (int w = 0; w < kWriters; ++w) {
+    const std::string tle_text = tle_corpus(40 + 10 * w);
+    const std::string wdc_text = wdc_corpus();
+    diag::ParseLog log(ParsePolicy::kTolerant);
+    spaceweather::DstIndex dst =
+        spaceweather::from_wdc(wdc_text, &log, "dst.wdc");
+    tle::TleCatalog catalog;
+    catalog.add_from_text(tle_text,
+                          tle::IngestOptions{&log, 1, "catalog.tle"});
+    variants.push_back(io::SnapshotData{
+        std::move(dst), std::move(catalog), log.report(),
+        io::ingest_state_of(wdc_text, tle_text), 0, 0});
+    encoded.push_back(
+        io::encode_snapshot(variants.back(), ParsePolicy::kTolerant));
+  }
+
+  ASSERT_TRUE(
+      io::save_snapshot(path, variants[0], ParsePolicy::kTolerant));
+
+  std::atomic<bool> start{false};
+  std::atomic<int> torn_reads{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      while (!start.load()) {
+      }
+      for (int i = 0; i < kIterations; ++i) {
+        EXPECT_TRUE(io::save_snapshot(path,
+                                      variants[static_cast<std::size_t>(w)],
+                                      ParsePolicy::kTolerant));
+      }
+    });
+  }
+  // A concurrent reader: every observed file state must decode.
+  threads.emplace_back([&] {
+    while (!start.load()) {
+    }
+    for (int i = 0; i < kWriters * kIterations; ++i) {
+      const std::optional<io::SnapshotData> decoded = io::load_snapshot(
+          path, ParsePolicy::kTolerant);
+      if (!decoded.has_value()) torn_reads.fetch_add(1);
+    }
+  });
+  start.store(true);
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(torn_reads.load(), 0) << "a reader saw a torn snapshot file";
+
+  // The survivor is one complete variant, byte for byte.
+  const std::string final_bytes = io::read_file(path);
+  bool matches_one = false;
+  for (const std::string& bytes : encoded) {
+    if (final_bytes == bytes) matches_one = true;
+  }
+  EXPECT_TRUE(matches_one) << "final snapshot is not any writer's output";
+
+  // And nobody leaked a temp file.
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir + "/cache")) {
+    EXPECT_EQ(entry.path().string().find(".tmp"), std::string::npos)
+        << "stray temp file: " << entry.path();
   }
 }
 

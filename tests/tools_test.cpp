@@ -63,6 +63,30 @@ TEST(ArgsTest, NumberErrors) {
   EXPECT_THROW((void)args.integer_or("threshold", 0), ParseError);
 }
 
+TEST(ArgsTest, NonnegativeIntegerAcceptsZeroAndPositive) {
+  const ArgParser args({"cmd", "--threads", "4"});
+  EXPECT_EQ(args.nonnegative_integer_or("threads", 0), 4);
+  EXPECT_EQ(args.nonnegative_integer_or("absent", 8), 8);
+  const ArgParser zero({"cmd", "--threads", "0"});
+  EXPECT_EQ(zero.nonnegative_integer_or("threads", 2), 0);
+}
+
+TEST(ArgsTest, NonnegativeIntegerRejectsNegativesWithAClearMessage) {
+  // "-3" parses fine as an integer (NegativeNumbersAreValuesNotOptions
+  // below), so thread counts need the sign check on top — a negative
+  // count would otherwise be cast straight into the exec pool size.
+  const ArgParser args({"cmd", "--threads", "-3"});
+  try {
+    (void)args.nonnegative_integer_or("threads", 0);
+    FAIL() << "negative --threads accepted";
+  } catch (const ParseError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("--threads"), std::string::npos) << message;
+    EXPECT_NE(message.find("non-negative"), std::string::npos) << message;
+    EXPECT_NE(message.find("-3"), std::string::npos) << message;
+  }
+}
+
 TEST(ArgsTest, NegativeNumbersAreValuesNotOptions) {
   // "-63" does not start with "--", so it is consumed as a value.
   const ArgParser args({"cmd", "--threshold", "-63"});
@@ -291,6 +315,37 @@ TEST_F(BenchCompareTest, BadUsageExitsTwo) {
   const std::string script =
       std::string(COSMICDANCE_REPO_ROOT) + "/tools/bench_compare.py";
   EXPECT_EQ(run_command("python3 '" + script + "'").exit_code, 2);
+}
+
+// ---- negative --threads at the process boundary -----------------------------
+//
+// Both front-ends funnel --threads through nonnegative_integer_or, and the
+// check fires before any input file is opened — the missing .wdc/.tle paths
+// below prove the ordering: a file error would be a different message.
+
+TEST(CliThreadsTest, CliRejectsNegativeThreadsWithAUsageError) {
+  const std::string out_dir = ::testing::TempDir() + "cd_cli_threads";
+  const CommandResult result = run_command(
+      std::string("'") + COSMICDANCE_CLI_BINARY +
+      "' analyze --dst missing.wdc --tles missing.tle --out-dir '" + out_dir +
+      "' --threads -3");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("--threads"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("non-negative"), std::string::npos)
+      << result.output;
+}
+
+TEST(CliThreadsTest, DaemonRejectsNegativeThreadsBeforeListening) {
+  const CommandResult result = run_command(
+      std::string("'") + COSMICDANCED_BINARY +
+      "' --listen 127.0.0.1:0 --dst missing.wdc --tles missing.tle"
+      " --threads -3");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("--threads"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("non-negative"), std::string::npos)
+      << result.output;
 }
 
 }  // namespace

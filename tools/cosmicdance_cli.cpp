@@ -209,7 +209,8 @@ void emit_observability(const io::ArgParser& args, const obs::Metrics& metrics) 
 core::CosmicDance load_pipeline(const io::ArgParser& args,
                                 obs::Metrics* metrics = nullptr) {
   core::PipelineConfig config;
-  config.num_threads = static_cast<int>(args.integer_or("threads", 0));
+  config.num_threads =
+      static_cast<int>(args.nonnegative_integer_or("threads", 0));
   config.parse_policy = parse_policy(args);
   config.metrics = metrics;
   config.cache_dir = args.option_or("cache-dir", "");

@@ -18,7 +18,14 @@
 #      append-aware delta hit that parsed only a small tail
 #      (ingest.delta_hit == 1, delta_tail_fraction < 5%), and
 #      tools/bench_compare.py prints a warn-only throughput diff against
-#      the previous run's record when one exists.
+#      the previous run's record when one exists.  The pass then boots
+#      cosmicdanced against the same dataset (DESIGN.md §15), sends one of
+#      every query op plus a snapshot-swap reload, shuts it down cleanly,
+#      and asserts the serve.requests / serve.errors / serve.reloads
+#      counters in the daemon's --metrics-out dump; micro_serve hammers a
+#      loopback daemon with concurrent clients across a mid-load reload
+#      and must leave build/BENCH_serve.json behind showing >= 1000 q/s
+#      with zero serve errors.
 #   5. static analysis: cdlint (the project-invariant lint, DESIGN.md §12)
 #      must report zero non-baselined findings against the committed --
 #      empty -- baseline, and its seeded corpus must keep producing the
@@ -38,10 +45,13 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo "== pass 2: ThreadSanitizer build + parallel suite =="
 cmake -B build-tsan -S . -DCOSMICDANCE_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target parallel_differential_test
+cmake --build build-tsan -j "$JOBS" \
+      --target parallel_differential_test serve_test
 # TSan halts with a non-zero exit on any race; no suppressions are used.
+# The serve suites put the daemon's atomic snapshot swap (DESIGN.md §15)
+# under the same lens: concurrent readers + reloads must be race-free.
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R 'ParallelDifferential|ParallelForStress|ThreadPoolTest'
+      -R 'ParallelDifferential|ParallelForStress|ThreadPoolTest|Serve'
 
 echo "== pass 3: ASan+UBSan build + malformed-record ingestion suite =="
 cmake -B build-asan -S . -DCOSMICDANCE_SANITIZE=address
@@ -88,6 +98,39 @@ if [ -f build/BENCH_ingest.prev.json ]; then
   python3 tools/bench_compare.py build/BENCH_ingest.prev.json \
           build/BENCH_ingest.json
 fi
+# Serving daemon smoke (DESIGN.md §15): boot on an ephemeral port against
+# the smoke dataset, send one of every query op plus a reload (which swaps
+# the snapshot while the daemon serves), then a clean shutdown.  The
+# daemon's exit status and its --metrics-out counter dump are both gated.
+DAEMON=build/tools/cosmicdanced
+rm -f "$SMOKE/port.txt"
+"$DAEMON" --listen 127.0.0.1:0 --dst data/sample/dst.wdc \
+          --tles "$SMOKE/catalog.tle" --cache-dir "$SMOKE/serve-cache" \
+          --port-file "$SMOKE/port.txt" \
+          --metrics-out "$SMOKE/daemon_metrics.json" &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$SMOKE/port.txt" ] && break
+  sleep 0.1
+done
+if [ ! -s "$SMOKE/port.txt" ]; then
+  echo "cosmicdanced never wrote its port file" >&2
+  kill "$DAEMON_PID" 2>/dev/null || true
+  exit 1
+fi
+for op in ping stats sat_series storm_summary envelope_cdf quality_report \
+          reload metrics; do
+  "$DAEMON" query --port-file "$SMOKE/port.txt" \
+            --json "{\"op\":\"$op\"}" > "$SMOKE/serve_$op.json"
+done
+"$DAEMON" query --port-file "$SMOKE/port.txt" \
+          --json '{"op":"shutdown"}' > /dev/null
+wait "$DAEMON_PID"
+# Serving load generator: concurrent clients with the real query mix and a
+# snapshot swap mid-load; exits non-zero on any error or torn epoch and
+# leaves build/BENCH_serve.json behind as the CI artifact.
+build/bench/micro_serve --clients 8 --requests 500 --threads 0 \
+       --bench-out build/BENCH_serve.json
 python3 - "$SMOKE" <<'EOF'
 import json, sys
 smoke = sys.argv[1]
@@ -129,13 +172,49 @@ tail_fraction = ingest["throughput"]["delta_tail_fraction"]
 assert 0.0 < tail_fraction < 0.05, (
     f"delta-warm pass reparsed {tail_fraction:.1%} of the inputs; "
     "the incremental path must touch well under 5%")
+# Daemon smoke: every query answered from a whole epoch, and the counter
+# dump written at shutdown matches what was sent (8 query ops + shutdown,
+# zero errors, exactly one snapshot swap).
+ops = ("ping", "stats", "sat_series", "storm_summary", "envelope_cdf",
+       "quality_report", "reload", "metrics")
+for op in ops:
+    response = json.load(open(f"{smoke}/serve_{op}.json"))
+    assert response.get("ok") is True, f"{op} failed: {response}"
+    if "epoch" in response:
+        assert response["epoch"] == response["epoch_end"], (
+            f"{op} response tore across epochs: {response['epoch']} vs "
+            f"{response['epoch_end']}")
+reload_epoch = json.load(open(f"{smoke}/serve_reload.json"))["epoch"]
+assert reload_epoch == 2, f"reload did not swap the epoch: {reload_epoch}"
+serve = json.load(open(f"{smoke}/daemon_metrics.json"))["counters"]
+assert serve.get("serve.requests") == len(ops) + 1, (
+    f"daemon counted {serve.get('serve.requests')} requests, "
+    f"expected {len(ops) + 1}")
+assert serve.get("serve.errors", 0) == 0, (
+    f"daemon recorded serve errors: {serve}")
+assert serve.get("serve.reloads") == 1, (
+    f"daemon recorded {serve.get('serve.reloads')} reloads, expected 1")
+# Serving bench record: the swap-under-load gate (micro_serve already
+# failed hard on errors / torn epochs) plus the throughput floor.
+record = json.load(open("build/BENCH_serve.json"))
+for key in ("bench", "threads", "dataset", "throughput", "metrics"):
+    assert key in record, f"serve bench record missing {key!r}"
+qps = record["throughput"]["queries_per_s"]
+assert qps >= 1000, f"serving throughput {qps:.0f} q/s is below 1000 q/s"
+serve_bench = record["metrics"]["counters"]
+assert serve_bench.get("serve.errors", 0) == 0, (
+    f"micro_serve recorded serve errors: {serve_bench}")
+assert serve_bench.get("serve.reloads") == 1, (
+    "micro_serve did not swap the snapshot mid-load")
 print(f"observability smoke OK: {len(m1['counters'])} work counters "
       f"bit-identical across thread counts, "
       f"{len(trace['traceEvents'])} trace events, "
       f"bench throughput keys: {sorted(bench['throughput'])}, "
       f"ingest cache_hit={counters['ingest.cache_hit']}, "
       f"delta_hit={counters['ingest.delta_hit']} "
-      f"(tail fraction {tail_fraction:.2%})")
+      f"(tail fraction {tail_fraction:.2%}); "
+      f"daemon smoke OK: {serve['serve.requests']} requests, "
+      f"0 errors, 1 reload; micro_serve {qps:.0f} q/s")
 EOF
 
 echo "== pass 5: static analysis (cdlint; clang-tidy/shellcheck if installed) =="

@@ -1,8 +1,27 @@
 // Microbenchmarks: SGP4 initialisation/propagation and TLE parse/format —
 // the per-record costs that dominate ingesting a multi-million-record
-// archive.
+// archive — plus the fleet-scale batch engine (DESIGN.md §16).
+//
+// Supplies its own main(): after the google-benchmark suite runs, an
+// instrumented telemetry pass sweeps a synthetic mixed fleet (LEO +
+// synchronous + Molniya rows, so both resonance branches are exercised)
+// across a 60-day epoch grid with sgp4::BatchPropagator and writes a
+// machine-readable record.  tier-1 pass 4 gates on it: a positions/s
+// floor, zero non-kOk statuses, and a bit-identical threads=1 vs
+// threads=N grid (the determinism contract, enforced end to end):
+//
+//   ./micro_sgp4 [--benchmark_filter=RE] [--bench-out F] [--threads N]
+//
+// Default output: BENCH_sgp4.json in the working directory.
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sgp4/batch.hpp"
 #include "sgp4/sgp4.hpp"
 #include "timeutil/datetime.hpp"
 #include "tle/tle.hpp"
@@ -33,6 +52,52 @@ tle::Tle geo_tle() {
   t.eccentricity = 3.0e-4;
   t.bstar = 0.0;
   return t;
+}
+
+tle::Tle molniya_tle() {
+  tle::Tle t = starlink_tle();
+  t.mean_motion_revday = 2.00570000;
+  t.inclination_deg = 63.4;
+  t.eccentricity = 0.72;
+  t.arg_perigee_deg = 270.0;
+  t.bstar = 0.0;
+  return t;
+}
+
+/// A synthetic mixed fleet: mostly LEO shells with a deep-space tail
+/// covering both resonance branches.  Deterministic (index-derived
+/// elements, no RNG) so every run and both thread counts see one dataset.
+std::vector<tle::Tle> bench_fleet(std::size_t rows) {
+  std::vector<tle::Tle> fleet;
+  fleet.reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    tle::Tle t;
+    const int kind = static_cast<int>(i % 10);
+    if (kind == 8) {
+      t = geo_tle();
+    } else if (kind == 9) {
+      t = molniya_tle();
+    } else {
+      t = starlink_tle();
+      t.inclination_deg = 43.0 + 7.0 * static_cast<double>(i % 8);
+      t.mean_motion_revday = 14.4 + 0.02 * static_cast<double>(i % 64);
+      t.eccentricity = 1.0e-4 + 2.0e-4 * static_cast<double>(i % 5);
+      t.bstar = 1.0e-5 + 1.0e-5 * static_cast<double>(i % 9);
+    }
+    t.catalog_number = static_cast<int>(50000 + i);
+    t.raan_deg = 0.36 * static_cast<double>(i % 1000);
+    t.mean_anomaly_deg = 0.72 * static_cast<double>(i % 500);
+    fleet.push_back(t);
+  }
+  return fleet;
+}
+
+/// The telemetry grid: 60 days at 6-hour cadence, in minutes since epoch.
+std::vector<double> bench_grid() {
+  std::vector<double> tsince;
+  tsince.reserve(241);
+  for (int i = 0; i <= 240; ++i) tsince.push_back(360.0 * i);
+  return tsince;
 }
 
 void BM_Sgp4Init(benchmark::State& state) {
@@ -68,6 +133,21 @@ void BM_Sgp4PropagateDeepSpace(benchmark::State& state) {
 }
 BENCHMARK(BM_Sgp4PropagateDeepSpace);
 
+/// The batch engine over a small fleet × grid — items processed counts
+/// positions, so the report's items/s is directly positions/s.
+void BM_BatchPropagate(benchmark::State& state) {
+  const sgp4::BatchPropagator batch =
+      sgp4::BatchPropagator::from_tles(bench_fleet(64));
+  const std::vector<double> grid = bench_grid();
+  for (auto _ : state) {
+    const sgp4::BatchResult result = batch.propagate_minutes(grid, 1);
+    benchmark::DoNotOptimize(result.states.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(64 * grid.size()));
+}
+BENCHMARK(BM_BatchPropagate);
+
 void BM_TleFormat(benchmark::State& state) {
   const tle::Tle t = starlink_tle();
   for (auto _ : state) {
@@ -84,4 +164,58 @@ void BM_TleParse(benchmark::State& state) {
 }
 BENCHMARK(BM_TleParse);
 
+/// The telemetry pass tier-1 gates on: propagate the full synthetic fleet
+/// across the grid at the requested thread count, then once more serially,
+/// and record positions/s plus the two correctness keys (status_errors
+/// must be 0, threads_identical must be 1).
+void run_telemetry_pass(const std::string& out_path, int threads) {
+  obs::Metrics metrics;
+  const std::vector<tle::Tle> fleet = bench_fleet(600);
+  const sgp4::BatchPropagator batch = sgp4::BatchPropagator::from_tles(fleet);
+  const std::vector<double> grid = bench_grid();
+
+  const sgp4::BatchResult parallel =
+      batch.propagate_minutes(grid, threads, &metrics);
+  const sgp4::BatchResult serial = batch.propagate_minutes(grid, 1);
+
+  bool identical = parallel.statuses == serial.statuses &&
+                   parallel.states.size() == serial.states.size();
+  for (std::size_t i = 0; identical && i < parallel.states.size(); ++i) {
+    identical = parallel.states[i].position_km == serial.states[i].position_km &&
+                parallel.states[i].velocity_kms == serial.states[i].velocity_kms;
+  }
+
+  const obs::MetricsReport report = metrics.snapshot();
+  const auto it = report.phases.find("sgp4.batch_propagate");
+  const double batch_ms = it != report.phases.end() ? it->second.total_ms : 0.0;
+
+  std::map<std::string, double> throughput;
+  throughput["rows"] = static_cast<double>(batch.rows());
+  throughput["deep_space_rows"] = static_cast<double>(batch.deep_space_rows());
+  throughput["epochs"] = static_cast<double>(grid.size());
+  throughput["positions"] = static_cast<double>(parallel.states.size());
+  if (batch_ms > 0.0) {
+    throughput["positions_per_s"] =
+        static_cast<double>(parallel.states.size()) / (batch_ms / 1000.0);
+  }
+  throughput["status_errors"] =
+      static_cast<double>(parallel.error_count() + batch.init_failures().size());
+  throughput["threads_identical"] = identical ? 1.0 : 0.0;
+
+  bench::write_bench_record(out_path, "micro_sgp4", threads,
+                            "bench_fleet(rows=600) x 60d/6h grid", throughput,
+                            metrics);
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const io::ArgParser args(argc, argv);
+  run_telemetry_pass(args.option_or("bench-out", "BENCH_sgp4.json"),
+                     static_cast<int>(args.nonnegative_integer_or("threads", 0)));
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <exception>
 #include <stdexcept>
@@ -248,6 +250,163 @@ std::string handle_envelope_cdf(const ServeSnapshot& snap,
   return out;
 }
 
+/// As append_number_array, but NaN slots (failed propagations) become null.
+void append_nullable_number_array(std::string& out, std::string_view key,
+                                  const std::vector<double>& values) {
+  out += ",\"";
+  out += key;
+  out += "\":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::isnan(values[i]) ? "null" : json_number(values[i]);
+  }
+  out += "]";
+}
+
+/// Shared window parsing + work bound for the propagate op family.  The
+/// grids are computed per request, so the cell budget caps the work one
+/// query can pin a connection thread on.
+core::PropagationOptions propagation_window(const JsonValue& request,
+                                            double start_jd,
+                                            std::size_t row_count,
+                                            std::size_t max_cells) {
+  core::PropagationOptions options;
+  options.start_jd = start_jd;
+  options.end_jd = start_jd + number_param_or(request, "days", 30.0);
+  options.step_hours = number_param_or(request, "step_hours", 24.0);
+  if (options.end_jd <= options.start_jd) {
+    throw RequestError("days must be positive");
+  }
+  if (!(options.step_hours > 0.0)) {
+    throw RequestError("step_hours must be positive");
+  }
+  const double epochs =
+      (options.end_jd - options.start_jd) * 24.0 / options.step_hours + 1.0;
+  if (epochs * static_cast<double>(row_count) >
+      static_cast<double>(max_cells)) {
+    throw RequestError("requested grid exceeds " + std::to_string(max_cells) +
+                       " propagation cells; reduce days or raise step_hours");
+  }
+  return options;
+}
+
+void append_propagation_counts(std::string& out,
+                               const core::PropagationReport& report) {
+  out += ",\"cells_ok\":";
+  out += std::to_string(report.ok_cells);
+  out += ",\"cells_decayed\":";
+  out += std::to_string(report.decayed_cells);
+  out += ",\"cells_error\":";
+  out += std::to_string(report.error_cells);
+}
+
+std::string handle_propagate(const ServeSnapshot& snap,
+                             const JsonValue& request) {
+  const auto& catalog = snap.pipeline.catalog();
+  if (catalog.empty()) throw RequestError("catalog is empty");
+
+  long sat = integer_param_or(request, "sat", 0);
+  if (sat == 0) sat = catalog.satellites().front();
+  const auto history = catalog.history(static_cast<int>(sat));
+  if (history.empty()) {
+    throw RequestError("unknown satellite " + std::to_string(sat));
+  }
+  const tle::Tle latest = history.back();
+
+  const core::PropagationOptions window =
+      propagation_window(request, latest.epoch_jd, 1, 4096);
+  const sgp4::BatchPropagator batch =
+      sgp4::BatchPropagator::from_tles({&latest, 1});
+  if (batch.empty()) {
+    throw RequestError("satellite " + std::to_string(sat) +
+                       " failed element recovery: " +
+                       batch.init_failures().front().message);
+  }
+  const core::PropagationReport report = core::reduce_batch(
+      batch, core::make_grid(window.start_jd, window.end_jd, window.step_hours),
+      snap.pipeline.config().num_threads, nullptr);
+  const core::PropagationSeries& series = report.series.front();
+
+  std::string out = open_ok(snap.epoch, "propagate");
+  out += ",\"sat\":";
+  out += std::to_string(series.catalog_number);
+  out += ",\"tle_epoch_jd\":";
+  out += json_number(series.tle_epoch_jd);
+  out += ",\"deep_space\":";
+  out += series.deep_space ? "true" : "false";
+  out += ",\"samples\":";
+  out += std::to_string(report.epochs_jd.size());
+  out += ",\"valid_samples\":";
+  out += std::to_string(series.valid_samples);
+  out += ",\"decay_rate_km_per_day\":";
+  out += json_number(series.decay_rate_km_per_day);
+  out += ",\"decayed\":";
+  out += series.decayed ? "true" : "false";
+  append_propagation_counts(out, report);
+  append_number_array(out, "epoch_jd", report.epochs_jd);
+  append_nullable_number_array(out, "altitude_km", series.altitude_km);
+  close_ok(out, snap.epoch);
+  return out;
+}
+
+std::string handle_decay_summary(const ServeSnapshot& snap,
+                                 const JsonValue& request) {
+  const auto& catalog = snap.pipeline.catalog();
+  if (catalog.empty()) throw RequestError("catalog is empty");
+  const long top = integer_param_or(request, "top", 10);
+  if (top < 1 || top > 100) throw RequestError("top must be in [1, 100]");
+
+  core::PropagationOptions options = propagation_window(
+      request, catalog.last_epoch_jd(), catalog.satellite_count(), 262144);
+  options.num_threads = snap.pipeline.config().num_threads;
+  const core::PropagationReport report =
+      core::propagate_catalog(catalog, options);
+
+  // Rank by decay rate, most negative (fastest-falling) first.
+  std::vector<const core::PropagationSeries*> ranked;
+  ranked.reserve(report.series.size());
+  for (const auto& series : report.series) {
+    if (series.valid_samples >= 2) ranked.push_back(&series);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto* a, const auto* b) {
+    if (a->decay_rate_km_per_day != b->decay_rate_km_per_day) {
+      return a->decay_rate_km_per_day < b->decay_rate_km_per_day;
+    }
+    return a->catalog_number < b->catalog_number;
+  });
+  if (ranked.size() > static_cast<std::size_t>(top)) {
+    ranked.resize(static_cast<std::size_t>(top));
+  }
+
+  std::string out = open_ok(snap.epoch, "decay_summary");
+  out += ",\"satellites\":";
+  out += std::to_string(report.series.size());
+  out += ",\"samples\":";
+  out += std::to_string(report.epochs_jd.size());
+  out += ",\"init_failures\":";
+  out += std::to_string(report.init_failures.size());
+  append_propagation_counts(out, report);
+  out += ",\"fastest_decaying\":[";
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const auto& series = *ranked[i];
+    if (i != 0) out += ",";
+    out += "{\"sat\":";
+    out += std::to_string(series.catalog_number);
+    out += ",\"decay_rate_km_per_day\":";
+    out += json_number(series.decay_rate_km_per_day);
+    out += ",\"first_altitude_km\":";
+    out += json_number(series.first_altitude_km);
+    out += ",\"last_altitude_km\":";
+    out += json_number(series.last_altitude_km);
+    out += ",\"decayed\":";
+    out += series.decayed ? "true" : "false";
+    out += "}";
+  }
+  out += "]";
+  close_ok(out, snap.epoch);
+  return out;
+}
+
 std::string handle_quality_report(const ServeSnapshot& snap) {
   std::string out = open_ok(snap.epoch, "quality_report");
   out += ",\"report\":";
@@ -329,6 +488,10 @@ HandleResult Service::handle(std::string_view request) {
     }
     if (op == "envelope_cdf") {
       return {handle_envelope_cdf(*snap, *parsed), false};
+    }
+    if (op == "propagate") return {handle_propagate(*snap, *parsed), false};
+    if (op == "decay_summary") {
+      return {handle_decay_summary(*snap, *parsed), false};
     }
     if (op == "quality_report") return {handle_quality_report(*snap), false};
     throw RequestError("unknown op \"" + op + "\"");

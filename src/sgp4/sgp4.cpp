@@ -2,6 +2,13 @@
 // "Revisiting Spacetrack Report #3" (AIAA 2006-6753) and the companion
 // reference code.  Variable names intentionally mirror the reference so the
 // math can be checked against the report term by term.
+//
+// Structure: init_constants() is the reference's sgp4init (plus dscom /
+// dsinit for deep-space sets), run exactly once per TLE; propagate() is the
+// reference's sgp4(), a pure function of the recovered constants.  The only
+// cross-call state in the reference — the deep-space resonance integrator's
+// atime/xli/xni memo — is hoisted into the caller-owned ResonanceState so
+// the kernel itself has no mutable storage.
 #include "sgp4/sgp4.hpp"
 
 #include <cmath>
@@ -20,236 +27,25 @@ constexpr double kX2o3 = 2.0 / 3.0;
 // Julian date of the 1950 reference epoch used by the deep-space theory.
 constexpr double kJd1950 = 2433281.5;
 
-}  // namespace
-
-std::string to_string(Sgp4Status status) {
-  switch (status) {
-    case Sgp4Status::kOk:
-      return "ok";
-    case Sgp4Status::kEccentricityOutOfRange:
-      return "mean eccentricity out of range";
-    case Sgp4Status::kMeanMotionNonPositive:
-      return "mean motion non-positive";
-    case Sgp4Status::kPerturbedEccentricityOutOfRange:
-      return "perturbed eccentricity out of range";
-    case Sgp4Status::kSemiLatusRectumNegative:
-      return "semi-latus rectum negative";
-    case Sgp4Status::kDecayed:
-      return "satellite decayed (radius below Earth surface)";
-  }
-  return "unknown status";
-}
-
-Sgp4Propagator::Sgp4Propagator(const tle::Tle& tle, const orbit::GravityModel& gravity)
-    : gravity_(gravity) {
-  tle.validate();
-  init(tle);
-}
-
-double Sgp4Propagator::recovered_semi_major_axis_km() const noexcept {
-  return recovered_a_earth_radii_ * gravity_.radius_earth_km;
-}
-
-double Sgp4Propagator::recovered_altitude_km() const noexcept {
-  return recovered_semi_major_axis_km() - gravity_.radius_earth_km;
-}
-
-orbit::StateVector Sgp4Propagator::propagate_minutes(double tsince_minutes) const {
-  orbit::StateVector out;
-  const Sgp4Status status = try_propagate_minutes(tsince_minutes, out);
-  if (status != Sgp4Status::kOk) {
-    throw PropagationError("sgp4 failed for catalog " +
-                           std::to_string(catalog_number_) + " at tsince " +
-                           std::to_string(tsince_minutes) + " min: " +
-                           to_string(status));
-  }
-  return out;
-}
-
-orbit::StateVector Sgp4Propagator::propagate_jd(double jd) const {
-  return propagate_minutes((jd - epoch_jd_) * units::kMinutesPerDay);
-}
-
-Sgp4Status Sgp4Propagator::try_propagate_minutes(double tsince_minutes,
-                                                 orbit::StateVector& out) const noexcept {
-  return run_sgp4(tsince_minutes, out);
-}
-
-void Sgp4Propagator::init(const tle::Tle& tle) {
-  catalog_number_ = tle.catalog_number;
-  epoch_jd_ = tle.epoch_jd;
-  epoch1950_ = epoch_jd_ - kJd1950;
-
-  bstar_ = tle.bstar;
-  ecco_ = tle.eccentricity;
-  inclo_ = units::deg2rad(tle.inclination_deg);
-  nodeo_ = units::deg2rad(tle.raan_deg);
-  argpo_ = units::deg2rad(tle.arg_perigee_deg);
-  mo_ = units::deg2rad(tle.mean_anomaly_deg);
-  no_ = tle.mean_motion_revday * kTwoPi / units::kMinutesPerDay;  // rad/min
-
-  const double j2 = gravity_.j2;
-  const double j4 = gravity_.j4;
-  const double j3oj2 = gravity_.j3oj2;
-  const double xke = gravity_.xke;
-  const double radiusearthkm = gravity_.radius_earth_km;
-  const double temp4 = 1.5e-12;
-
-  const double ss = 78.0 / radiusearthkm + 1.0;
-  const double qzms2t = std::pow((120.0 - 78.0) / radiusearthkm, 4.0);
-
-  // ---------------------- initl: recover original mean motion -------------
-  const double eccsq = ecco_ * ecco_;
-  const double omeosq = 1.0 - eccsq;
-  const double rteosq = std::sqrt(omeosq);
-  const double cosio = std::cos(inclo_);
-  const double cosio2 = cosio * cosio;
-
-  const double ak = std::pow(xke / no_, kX2o3);
-  const double d1 = 0.75 * j2 * (3.0 * cosio2 - 1.0) / (rteosq * omeosq);
-  double del = d1 / (ak * ak);
-  const double adel =
-      ak * (1.0 - del * del - del * (1.0 / 3.0 + 134.0 * del * del / 81.0));
-  del = d1 / (adel * adel);
-  no_ = no_ / (1.0 + del);  // un-Kozai the mean motion
-
-  const double ao = std::pow(xke / no_, kX2o3);
-  const double sinio = std::sin(inclo_);
-  const double po = ao * omeosq;
-  const double con42 = 1.0 - 5.0 * cosio2;
-  con41_ = -con42 - cosio2 - cosio2;
-  const double posq = po * po;
-  const double rp = ao * (1.0 - ecco_);
-  method_ = 'n';
-  gsto_ = timeutil::gmst_radians(epoch_jd_);
-  recovered_a_earth_radii_ = ao;
-
-  if (rp < 1.0) {
-    throw PropagationError("element set has epoch perigee below Earth surface"
-                           " (catalog " + std::to_string(catalog_number_) + ")");
-  }
-
-  // ------------------------- near-earth constants -------------------------
-  isimp_ = 0;
-  if (rp < 220.0 / radiusearthkm + 1.0) isimp_ = 1;
-  double sfour = ss;
-  double qzms24 = qzms2t;
-  const double perige = (rp - 1.0) * radiusearthkm;
-  if (perige < 156.0) {
-    sfour = perige - 78.0;
-    if (perige < 98.0) sfour = 20.0;
-    qzms24 = std::pow((120.0 - sfour) / radiusearthkm, 4.0);
-    sfour = sfour / radiusearthkm + 1.0;
-  }
-  const double pinvsq = 1.0 / posq;
-
-  const double tsi = 1.0 / (ao - sfour);
-  eta_ = ao * ecco_ * tsi;
-  const double etasq = eta_ * eta_;
-  const double eeta = ecco_ * eta_;
-  const double psisq = std::fabs(1.0 - etasq);
-  const double coef = qzms24 * std::pow(tsi, 4.0);
-  const double coef1 = coef / std::pow(psisq, 3.5);
-  const double cc2 =
-      coef1 * no_ *
-      (ao * (1.0 + 1.5 * etasq + eeta * (4.0 + etasq)) +
-       0.375 * j2 * tsi / psisq * con41_ *
-           (8.0 + 3.0 * etasq * (8.0 + etasq)));
-  cc1_ = bstar_ * cc2;
-  double cc3 = 0.0;
-  if (ecco_ > 1.0e-4) cc3 = -2.0 * coef * tsi * j3oj2 * no_ * sinio / ecco_;
-  x1mth2_ = 1.0 - cosio2;
-  cc4_ = 2.0 * no_ * coef1 * ao * omeosq *
-         (eta_ * (2.0 + 0.5 * etasq) + ecco_ * (0.5 + 2.0 * etasq) -
-          j2 * tsi / (ao * psisq) *
-              (-3.0 * con41_ * (1.0 - 2.0 * eeta + etasq * (1.5 - 0.5 * eeta)) +
-               0.75 * x1mth2_ * (2.0 * etasq - eeta * (1.0 + etasq)) *
-                   std::cos(2.0 * argpo_)));
-  cc5_ = 2.0 * coef1 * ao * omeosq *
-         (1.0 + 2.75 * (etasq + eeta) + eeta * etasq);
-
-  const double cosio4 = cosio2 * cosio2;
-  const double temp1 = 1.5 * j2 * pinvsq * no_;
-  const double temp2 = 0.5 * temp1 * j2 * pinvsq;
-  const double temp3 = -0.46875 * j4 * pinvsq * pinvsq * no_;
-  mdot_ = no_ + 0.5 * temp1 * rteosq * con41_ +
-          0.0625 * temp2 * rteosq * (13.0 - 78.0 * cosio2 + 137.0 * cosio4);
-  argpdot_ = -0.5 * temp1 * con42 +
-             0.0625 * temp2 * (7.0 - 114.0 * cosio2 + 395.0 * cosio4) +
-             temp3 * (3.0 - 36.0 * cosio2 + 49.0 * cosio4);
-  const double xhdot1 = -temp1 * cosio;
-  nodedot_ = xhdot1 + (0.5 * temp2 * (4.0 - 19.0 * cosio2) +
-                       2.0 * temp3 * (3.0 - 7.0 * cosio2)) *
-                          cosio;
-  const double xpidot = argpdot_ + nodedot_;
-  omgcof_ = bstar_ * cc3 * std::cos(argpo_);
-  xmcof_ = 0.0;
-  if (ecco_ > 1.0e-4) xmcof_ = -kX2o3 * coef * bstar_ / eeta;
-  nodecf_ = 3.5 * omeosq * xhdot1 * cc1_;
-  t2cof_ = 1.5 * cc1_;
-  if (std::fabs(cosio + 1.0) > 1.5e-12) {
-    xlcof_ = -0.25 * j3oj2 * sinio * (3.0 + 5.0 * cosio) / (1.0 + cosio);
-  } else {
-    xlcof_ = -0.25 * j3oj2 * sinio * (3.0 + 5.0 * cosio) / temp4;
-  }
-  aycof_ = -0.5 * j3oj2 * sinio;
-  delmo_ = std::pow(1.0 + eta_ * std::cos(mo_), 3.0);
-  sinmao_ = std::sin(mo_);
-  x7thm1_ = 7.0 * cosio2 - 1.0;
-
-  // --------------------- deep space initialization ------------------------
-  if (kTwoPi / no_ >= 225.0) {
-    method_ = 'd';
-    isimp_ = 1;
-    const double tc = 0.0;
-    double inclm = inclo_;
-
-    dscom(epoch1950_, ecco_, argpo_, tc, inclo_, nodeo_, no_);
-    // The init-phase dpper call applies nothing (reference behaviour); the
-    // stored long-period offsets peo..pho stay zero.
-    double ep = ecco_;
-    double inclp = inclo_;
-    double nodep = nodeo_;
-    double argpp = argpo_;
-    double mp = mo_;
-    dpper(0.0, /*init_phase=*/true, ep, inclp, nodep, argpp, mp);
-
-    double argpm = 0.0;
-    double nodem = 0.0;
-    double mm = 0.0;
-    double em = ecco_;
-    double nm = no_;
-    dsinit(tc, xpidot, eccsq, em, argpm, inclm, mm, nm, nodem);
-  }
-
-  // ------------------------ higher-order drag terms -----------------------
-  if (isimp_ != 1) {
-    const double cc1sq = cc1_ * cc1_;
-    d2_ = 4.0 * ao * tsi * cc1sq;
-    const double temp = d2_ * tsi * cc1_ / 3.0;
-    d3_ = (17.0 * ao + sfour) * temp;
-    d4_ = 0.5 * temp * ao * tsi * (221.0 * ao + 31.0 * sfour) * cc1_;
-    t3cof_ = d2_ + 2.0 * cc1sq;
-    t4cof_ = 0.25 * (3.0 * d3_ + cc1_ * (12.0 * d2_ + 10.0 * cc1sq));
-    t5cof_ = 0.2 * (3.0 * d4_ + 12.0 * cc1_ * d3_ + 6.0 * d2_ * d2_ +
-                    15.0 * cc1sq * (2.0 * d2_ + cc1sq));
-  }
-
-  // Exercise the model once at epoch so bad element sets fail fast.
-  orbit::StateVector probe;
-  const Sgp4Status status = run_sgp4(0.0, probe);
-  if (status != Sgp4Status::kOk) {
-    throw PropagationError("sgp4 init failed for catalog " +
-                           std::to_string(catalog_number_) + ": " +
-                           to_string(status));
-  }
-}
+/// Epoch lunar/solar geometry shared between dscom and dsinit during init;
+/// never needed after init_constants returns.
+struct DscomScratch {
+  double snodm = 0.0, cnodm = 0.0, sinim = 0.0, cosim = 0.0, sinomm = 0.0,
+         cosomm = 0.0, day = 0.0, emsq = 0.0, gam = 0.0, rtemsq = 0.0,
+         s1 = 0.0, s2 = 0.0, s3 = 0.0, s4 = 0.0, s5 = 0.0, s6 = 0.0,
+         s7 = 0.0, ss1 = 0.0, ss2 = 0.0, ss3 = 0.0, ss4 = 0.0, ss5 = 0.0,
+         ss6 = 0.0, ss7 = 0.0, sz1 = 0.0, sz2 = 0.0, sz3 = 0.0,
+         sz11 = 0.0, sz12 = 0.0, sz13 = 0.0, sz21 = 0.0, sz22 = 0.0,
+         sz23 = 0.0, sz31 = 0.0, sz32 = 0.0, sz33 = 0.0, z1 = 0.0,
+         z2 = 0.0, z3 = 0.0, z11 = 0.0, z12 = 0.0, z13 = 0.0, z21 = 0.0,
+         z22 = 0.0, z23 = 0.0, z31 = 0.0, z32 = 0.0, z33 = 0.0;
+};
 
 // ---------------------------------------------------------------------------
 // dscom: deep-space common terms (lunar & solar geometry at epoch).
 // ---------------------------------------------------------------------------
-void Sgp4Propagator::dscom(double epoch1950, double ep, double argpp, double tc,
-                           double inclp, double nodep, double np) {
+void dscom(double epoch1950, double ep, double argpp, double tc, double inclp,
+           double nodep, double np, DscomScratch& s, DeepSpaceConstants& deep) {
   constexpr double zes = 0.01675;
   constexpr double zel = 0.05490;
   constexpr double c1ss = 2.9864797e-6;
@@ -261,34 +57,34 @@ void Sgp4Propagator::dscom(double epoch1950, double ep, double argpp, double tc,
 
   const double nm = np;
   const double em = ep;
-  snodm_ = std::sin(nodep);
-  cnodm_ = std::cos(nodep);
-  sinomm_ = std::sin(argpp);
-  cosomm_ = std::cos(argpp);
-  sinim_ = std::sin(inclp);
-  cosim_ = std::cos(inclp);
-  emsq_ = em * em;
-  const double betasq = 1.0 - emsq_;
-  rtemsq_ = std::sqrt(betasq);
+  s.snodm = std::sin(nodep);
+  s.cnodm = std::cos(nodep);
+  s.sinomm = std::sin(argpp);
+  s.cosomm = std::cos(argpp);
+  s.sinim = std::sin(inclp);
+  s.cosim = std::cos(inclp);
+  s.emsq = em * em;
+  const double betasq = 1.0 - s.emsq;
+  s.rtemsq = std::sqrt(betasq);
 
-  peo_ = 0.0;
-  pinco_ = 0.0;
-  plo_ = 0.0;
-  pgho_ = 0.0;
-  pho_ = 0.0;
-  day_ = epoch1950 + 18261.5 + tc / 1440.0;
-  const double xnodce = std::fmod(4.5236020 - 9.2422029e-4 * day_, kTwoPi);
+  deep.peo = 0.0;
+  deep.pinco = 0.0;
+  deep.plo = 0.0;
+  deep.pgho = 0.0;
+  deep.pho = 0.0;
+  s.day = epoch1950 + 18261.5 + tc / 1440.0;
+  const double xnodce = std::fmod(4.5236020 - 9.2422029e-4 * s.day, kTwoPi);
   const double stem = std::sin(xnodce);
   const double ctem = std::cos(xnodce);
   const double zcosil = 0.91375164 - 0.03568096 * ctem;
   const double zsinil = std::sqrt(1.0 - zcosil * zcosil);
   const double zsinhl = 0.089683511 * stem / zsinil;
   const double zcoshl = std::sqrt(1.0 - zsinhl * zsinhl);
-  gam_ = 5.8351514 + 0.0019443680 * day_;
+  s.gam = 5.8351514 + 0.0019443680 * s.day;
   double zx = 0.39785416 * stem / zsinil;
   const double zy = zcoshl * ctem + 0.91744867 * zsinhl * stem;
   zx = std::atan2(zx, zy);
-  zx = gam_ + zx - xnodce;
+  zx = s.gam + zx - xnodce;
   const double zcosgl = std::cos(zx);
   const double zsingl = std::sin(zx);
 
@@ -297,8 +93,8 @@ void Sgp4Propagator::dscom(double epoch1950, double ep, double argpp, double tc,
   double zsing = zsings;
   double zcosi = zcosis;
   double zsini = zsinis;
-  double zcosh = cnodm_;
-  double zsinh = snodm_;
+  double zcosh = s.cnodm;
+  double zsinh = s.snodm;
   double cc = c1ss;
   const double xnoi = 1.0 / nm;
 
@@ -309,141 +105,142 @@ void Sgp4Propagator::dscom(double epoch1950, double ep, double argpp, double tc,
     const double a8 = zsing * zsini;
     const double a9 = zsing * zsinh + zcosg * zcosi * zcosh;
     const double a10 = zcosg * zsini;
-    const double a2 = cosim_ * a7 + sinim_ * a8;
-    const double a4 = cosim_ * a9 + sinim_ * a10;
-    const double a5 = -sinim_ * a7 + cosim_ * a8;
-    const double a6 = -sinim_ * a9 + cosim_ * a10;
+    const double a2 = s.cosim * a7 + s.sinim * a8;
+    const double a4 = s.cosim * a9 + s.sinim * a10;
+    const double a5 = -s.sinim * a7 + s.cosim * a8;
+    const double a6 = -s.sinim * a9 + s.cosim * a10;
 
-    const double x1 = a1 * cosomm_ + a2 * sinomm_;
-    const double x2 = a3 * cosomm_ + a4 * sinomm_;
-    const double x3 = -a1 * sinomm_ + a2 * cosomm_;
-    const double x4 = -a3 * sinomm_ + a4 * cosomm_;
-    const double x5 = a5 * sinomm_;
-    const double x6 = a6 * sinomm_;
-    const double x7 = a5 * cosomm_;
-    const double x8 = a6 * cosomm_;
+    const double x1 = a1 * s.cosomm + a2 * s.sinomm;
+    const double x2 = a3 * s.cosomm + a4 * s.sinomm;
+    const double x3 = -a1 * s.sinomm + a2 * s.cosomm;
+    const double x4 = -a3 * s.sinomm + a4 * s.cosomm;
+    const double x5 = a5 * s.sinomm;
+    const double x6 = a6 * s.sinomm;
+    const double x7 = a5 * s.cosomm;
+    const double x8 = a6 * s.cosomm;
 
-    z31_ = 12.0 * x1 * x1 - 3.0 * x3 * x3;
-    z32_ = 24.0 * x1 * x2 - 6.0 * x3 * x4;
-    z33_ = 12.0 * x2 * x2 - 3.0 * x4 * x4;
-    z1_ = 3.0 * (a1 * a1 + a2 * a2) + z31_ * emsq_;
-    z2_ = 6.0 * (a1 * a3 + a2 * a4) + z32_ * emsq_;
-    z3_ = 3.0 * (a3 * a3 + a4 * a4) + z33_ * emsq_;
-    z11_ = -6.0 * a1 * a5 + emsq_ * (-24.0 * x1 * x7 - 6.0 * x3 * x5);
-    z12_ = -6.0 * (a1 * a6 + a3 * a5) +
-           emsq_ * (-24.0 * (x2 * x7 + x1 * x8) - 6.0 * (x3 * x6 + x4 * x5));
-    z13_ = -6.0 * a3 * a6 + emsq_ * (-24.0 * x2 * x8 - 6.0 * x4 * x6);
-    z21_ = 6.0 * a2 * a5 + emsq_ * (24.0 * x1 * x5 - 6.0 * x3 * x7);
-    z22_ = 6.0 * (a4 * a5 + a2 * a6) +
-           emsq_ * (24.0 * (x2 * x5 + x1 * x6) - 6.0 * (x4 * x7 + x3 * x8));
-    z23_ = 6.0 * a4 * a6 + emsq_ * (24.0 * x2 * x6 - 6.0 * x4 * x8);
-    z1_ = z1_ + z1_ + betasq * z31_;
-    z2_ = z2_ + z2_ + betasq * z32_;
-    z3_ = z3_ + z3_ + betasq * z33_;
-    s3_ = cc * xnoi;
-    s2_ = -0.5 * s3_ / rtemsq_;
-    s4_ = s3_ * rtemsq_;
-    s1_ = -15.0 * em * s4_;
-    s5_ = x1 * x3 + x2 * x4;
-    s6_ = x2 * x3 + x1 * x4;
-    s7_ = x2 * x4 - x1 * x3;
+    s.z31 = 12.0 * x1 * x1 - 3.0 * x3 * x3;
+    s.z32 = 24.0 * x1 * x2 - 6.0 * x3 * x4;
+    s.z33 = 12.0 * x2 * x2 - 3.0 * x4 * x4;
+    s.z1 = 3.0 * (a1 * a1 + a2 * a2) + s.z31 * s.emsq;
+    s.z2 = 6.0 * (a1 * a3 + a2 * a4) + s.z32 * s.emsq;
+    s.z3 = 3.0 * (a3 * a3 + a4 * a4) + s.z33 * s.emsq;
+    s.z11 = -6.0 * a1 * a5 + s.emsq * (-24.0 * x1 * x7 - 6.0 * x3 * x5);
+    s.z12 = -6.0 * (a1 * a6 + a3 * a5) +
+            s.emsq * (-24.0 * (x2 * x7 + x1 * x8) - 6.0 * (x3 * x6 + x4 * x5));
+    s.z13 = -6.0 * a3 * a6 + s.emsq * (-24.0 * x2 * x8 - 6.0 * x4 * x6);
+    s.z21 = 6.0 * a2 * a5 + s.emsq * (24.0 * x1 * x5 - 6.0 * x3 * x7);
+    s.z22 = 6.0 * (a4 * a5 + a2 * a6) +
+            s.emsq * (24.0 * (x2 * x5 + x1 * x6) - 6.0 * (x4 * x7 + x3 * x8));
+    s.z23 = 6.0 * a4 * a6 + s.emsq * (24.0 * x2 * x6 - 6.0 * x4 * x8);
+    s.z1 = s.z1 + s.z1 + betasq * s.z31;
+    s.z2 = s.z2 + s.z2 + betasq * s.z32;
+    s.z3 = s.z3 + s.z3 + betasq * s.z33;
+    s.s3 = cc * xnoi;
+    s.s2 = -0.5 * s.s3 / s.rtemsq;
+    s.s4 = s.s3 * s.rtemsq;
+    s.s1 = -15.0 * em * s.s4;
+    s.s5 = x1 * x3 + x2 * x4;
+    s.s6 = x2 * x3 + x1 * x4;
+    s.s7 = x2 * x4 - x1 * x3;
 
     if (lsflg == 1) {
-      ss1_ = s1_;
-      ss2_ = s2_;
-      ss3_ = s3_;
-      ss4_ = s4_;
-      ss5_ = s5_;
-      ss6_ = s6_;
-      ss7_ = s7_;
-      sz1_ = z1_;
-      sz2_ = z2_;
-      sz3_ = z3_;
-      sz11_ = z11_;
-      sz12_ = z12_;
-      sz13_ = z13_;
-      sz21_ = z21_;
-      sz22_ = z22_;
-      sz23_ = z23_;
-      sz31_ = z31_;
-      sz32_ = z32_;
-      sz33_ = z33_;
+      s.ss1 = s.s1;
+      s.ss2 = s.s2;
+      s.ss3 = s.s3;
+      s.ss4 = s.s4;
+      s.ss5 = s.s5;
+      s.ss6 = s.s6;
+      s.ss7 = s.s7;
+      s.sz1 = s.z1;
+      s.sz2 = s.z2;
+      s.sz3 = s.z3;
+      s.sz11 = s.z11;
+      s.sz12 = s.z12;
+      s.sz13 = s.z13;
+      s.sz21 = s.z21;
+      s.sz22 = s.z22;
+      s.sz23 = s.z23;
+      s.sz31 = s.z31;
+      s.sz32 = s.z32;
+      s.sz33 = s.z33;
       zcosg = zcosgl;
       zsing = zsingl;
       zcosi = zcosil;
       zsini = zsinil;
-      zcosh = zcoshl * cnodm_ + zsinhl * snodm_;
-      zsinh = snodm_ * zcoshl - cnodm_ * zsinhl;
+      zcosh = zcoshl * s.cnodm + zsinhl * s.snodm;
+      zsinh = s.snodm * zcoshl - s.cnodm * zsinhl;
       cc = c1l;
     }
   }
 
-  zmol_ = std::fmod(4.7199672 + 0.22997150 * day_ - gam_, kTwoPi);
-  zmos_ = std::fmod(6.2565837 + 0.017201977 * day_, kTwoPi);
+  deep.zmol = std::fmod(4.7199672 + 0.22997150 * s.day - s.gam, kTwoPi);
+  deep.zmos = std::fmod(6.2565837 + 0.017201977 * s.day, kTwoPi);
 
   // ------------------------ do solar terms --------------------------------
-  se2_ = 2.0 * ss1_ * ss6_;
-  se3_ = 2.0 * ss1_ * ss7_;
-  si2_ = 2.0 * ss2_ * sz12_;
-  si3_ = 2.0 * ss2_ * (sz13_ - sz11_);
-  sl2_ = -2.0 * ss3_ * sz2_;
-  sl3_ = -2.0 * ss3_ * (sz3_ - sz1_);
-  sl4_ = -2.0 * ss3_ * (-21.0 - 9.0 * emsq_) * zes;
-  sgh2_ = 2.0 * ss4_ * sz32_;
-  sgh3_ = 2.0 * ss4_ * (sz33_ - sz31_);
-  sgh4_ = -18.0 * ss4_ * zes;
-  sh2_ = -2.0 * ss2_ * sz22_;
-  sh3_ = -2.0 * ss2_ * (sz23_ - sz21_);
+  deep.se2 = 2.0 * s.ss1 * s.ss6;
+  deep.se3 = 2.0 * s.ss1 * s.ss7;
+  deep.si2 = 2.0 * s.ss2 * s.sz12;
+  deep.si3 = 2.0 * s.ss2 * (s.sz13 - s.sz11);
+  deep.sl2 = -2.0 * s.ss3 * s.sz2;
+  deep.sl3 = -2.0 * s.ss3 * (s.sz3 - s.sz1);
+  deep.sl4 = -2.0 * s.ss3 * (-21.0 - 9.0 * s.emsq) * zes;
+  deep.sgh2 = 2.0 * s.ss4 * s.sz32;
+  deep.sgh3 = 2.0 * s.ss4 * (s.sz33 - s.sz31);
+  deep.sgh4 = -18.0 * s.ss4 * zes;
+  deep.sh2 = -2.0 * s.ss2 * s.sz22;
+  deep.sh3 = -2.0 * s.ss2 * (s.sz23 - s.sz21);
 
   // ------------------------ do lunar terms --------------------------------
-  ee2_ = 2.0 * s1_ * s6_;
-  e3_ = 2.0 * s1_ * s7_;
-  xi2_ = 2.0 * s2_ * z12_;
-  xi3_ = 2.0 * s2_ * (z13_ - z11_);
-  xl2_ = -2.0 * s3_ * z2_;
-  xl3_ = -2.0 * s3_ * (z3_ - z1_);
-  xl4_ = -2.0 * s3_ * (-21.0 - 9.0 * emsq_) * zel;
-  xgh2_ = 2.0 * s4_ * z32_;
-  xgh3_ = 2.0 * s4_ * (z33_ - z31_);
-  xgh4_ = -18.0 * s4_ * zel;
-  xh2_ = -2.0 * s2_ * z22_;
-  xh3_ = -2.0 * s2_ * (z23_ - z21_);
+  deep.ee2 = 2.0 * s.s1 * s.s6;
+  deep.e3 = 2.0 * s.s1 * s.s7;
+  deep.xi2 = 2.0 * s.s2 * s.z12;
+  deep.xi3 = 2.0 * s.s2 * (s.z13 - s.z11);
+  deep.xl2 = -2.0 * s.s3 * s.z2;
+  deep.xl3 = -2.0 * s.s3 * (s.z3 - s.z1);
+  deep.xl4 = -2.0 * s.s3 * (-21.0 - 9.0 * s.emsq) * zel;
+  deep.xgh2 = 2.0 * s.s4 * s.z32;
+  deep.xgh3 = 2.0 * s.s4 * (s.z33 - s.z31);
+  deep.xgh4 = -18.0 * s.s4 * zel;
+  deep.xh2 = -2.0 * s.s2 * s.z22;
+  deep.xh3 = -2.0 * s.s2 * (s.z23 - s.z21);
 }
 
 // ---------------------------------------------------------------------------
 // dpper: lunar-solar long-period periodic contributions.
 // ---------------------------------------------------------------------------
-void Sgp4Propagator::dpper(double t, bool init_phase, double& ep, double& inclp,
-                           double& nodep, double& argpp, double& mp) const noexcept {
+void dpper(const DeepSpaceConstants& deep, double t, bool init_phase,
+           double& ep, double& inclp, double& nodep, double& argpp,
+           double& mp) noexcept {
   constexpr double zns = 1.19459e-5;
   constexpr double zes = 0.01675;
   constexpr double znl = 1.5835218e-4;
   constexpr double zel = 0.05490;
 
   // --------------- calculate time varying periodics ----------------------
-  double zm = zmos_ + zns * t;
-  if (init_phase) zm = zmos_;
+  double zm = deep.zmos + zns * t;
+  if (init_phase) zm = deep.zmos;
   double zf = zm + 2.0 * zes * std::sin(zm);
   double sinzf = std::sin(zf);
   double f2 = 0.5 * sinzf * sinzf - 0.25;
   double f3 = -0.5 * sinzf * std::cos(zf);
-  const double ses = se2_ * f2 + se3_ * f3;
-  const double sis = si2_ * f2 + si3_ * f3;
-  const double sls = sl2_ * f2 + sl3_ * f3 + sl4_ * sinzf;
-  const double sghs = sgh2_ * f2 + sgh3_ * f3 + sgh4_ * sinzf;
-  const double shs = sh2_ * f2 + sh3_ * f3;
+  const double ses = deep.se2 * f2 + deep.se3 * f3;
+  const double sis = deep.si2 * f2 + deep.si3 * f3;
+  const double sls = deep.sl2 * f2 + deep.sl3 * f3 + deep.sl4 * sinzf;
+  const double sghs = deep.sgh2 * f2 + deep.sgh3 * f3 + deep.sgh4 * sinzf;
+  const double shs = deep.sh2 * f2 + deep.sh3 * f3;
 
-  zm = zmol_ + znl * t;
-  if (init_phase) zm = zmol_;
+  zm = deep.zmol + znl * t;
+  if (init_phase) zm = deep.zmol;
   zf = zm + 2.0 * zel * std::sin(zm);
   sinzf = std::sin(zf);
   f2 = 0.5 * sinzf * sinzf - 0.25;
   f3 = -0.5 * sinzf * std::cos(zf);
-  const double sel = ee2_ * f2 + e3_ * f3;
-  const double sil = xi2_ * f2 + xi3_ * f3;
-  const double sll = xl2_ * f2 + xl3_ * f3 + xl4_ * sinzf;
-  const double sghl = xgh2_ * f2 + xgh3_ * f3 + xgh4_ * sinzf;
-  const double shll = xh2_ * f2 + xh3_ * f3;
+  const double sel = deep.ee2 * f2 + deep.e3 * f3;
+  const double sil = deep.xi2 * f2 + deep.xi3 * f3;
+  const double sll = deep.xl2 * f2 + deep.xl3 * f3 + deep.xl4 * sinzf;
+  const double sghl = deep.xgh2 * f2 + deep.xgh3 * f3 + deep.xgh4 * sinzf;
+  const double shll = deep.xh2 * f2 + deep.xh3 * f3;
 
   double pe = ses + sel;
   double pinc = sis + sil;
@@ -452,11 +249,11 @@ void Sgp4Propagator::dpper(double t, bool init_phase, double& ep, double& inclp,
   double ph = shs + shll;
 
   if (!init_phase) {
-    pe -= peo_;
-    pinc -= pinco_;
-    pl -= plo_;
-    pgh -= pgho_;
-    ph -= pho_;
+    pe -= deep.peo;
+    pinc -= deep.pinco;
+    pl -= deep.plo;
+    pgh -= deep.pgho;
+    ph -= deep.pho;
     inclp += pinc;
     ep += pe;
     const double sinip = std::sin(inclp);
@@ -499,9 +296,8 @@ void Sgp4Propagator::dpper(double t, bool init_phase, double& ep, double& inclp,
 // ---------------------------------------------------------------------------
 // dsinit: deep-space secular rates and resonance initialisation.
 // ---------------------------------------------------------------------------
-void Sgp4Propagator::dsinit(double tc, double xpidot, double eccsq, double& em,
-                            double& argpm, double& inclm, double& mm, double& nm,
-                            double& nodem) {
+void dsinit(const DscomScratch& s, double tc, double xpidot, double eccsq,
+            double inclm, CommonConstants& common, DeepSpaceConstants& deep) {
   constexpr double q22 = 1.7891679e-6;
   constexpr double q31 = 2.1460748e-6;
   constexpr double q33 = 2.2123015e-7;
@@ -515,169 +311,167 @@ void Sgp4Propagator::dsinit(double tc, double xpidot, double eccsq, double& em,
   constexpr double zns = 1.19459e-5;
 
   // -------------------- deep space resonance flags ------------------------
-  irez_ = 0;
-  if (nm < 0.0052359877 && nm > 0.0034906585) irez_ = 1;
-  if (nm >= 8.26e-3 && nm <= 9.24e-3 && em >= 0.5) irez_ = 2;
+  const double nm_epoch = common.no;
+  deep.irez = 0;
+  if (nm_epoch < 0.0052359877 && nm_epoch > 0.0034906585) deep.irez = 1;
+  if (nm_epoch >= 8.26e-3 && nm_epoch <= 9.24e-3 && common.ecco >= 0.5) {
+    deep.irez = 2;
+  }
 
   // ------------------------ do solar terms --------------------------------
-  const double ses = ss1_ * zns * ss5_;
-  const double sis = ss2_ * zns * (sz11_ + sz13_);
-  const double sls = -zns * ss3_ * (sz1_ + sz3_ - 14.0 - 6.0 * emsq_);
-  const double sghs = ss4_ * zns * (sz31_ + sz33_ - 6.0);
-  double shs = -zns * ss2_ * (sz21_ + sz23_);
+  const double ses = s.ss1 * zns * s.ss5;
+  const double sis = s.ss2 * zns * (s.sz11 + s.sz13);
+  const double sls = -zns * s.ss3 * (s.sz1 + s.sz3 - 14.0 - 6.0 * s.emsq);
+  const double sghs = s.ss4 * zns * (s.sz31 + s.sz33 - 6.0);
+  double shs = -zns * s.ss2 * (s.sz21 + s.sz23);
   if (inclm < 5.2359877e-2 || inclm > kPi - 5.2359877e-2) shs = 0.0;
-  if (sinim_ != 0.0) shs /= sinim_;
-  const double sgs = sghs - cosim_ * shs;
+  if (s.sinim != 0.0) shs /= s.sinim;
+  const double sgs = sghs - s.cosim * shs;
 
   // ------------------------- do lunar terms -------------------------------
-  dedt_ = ses + s1_ * znl * s5_;
-  didt_ = sis + s2_ * znl * (z11_ + z13_);
-  dmdt_ = sls - znl * s3_ * (z1_ + z3_ - 14.0 - 6.0 * emsq_);
-  const double sghl = s4_ * znl * (z31_ + z33_ - 6.0);
-  double shll = -znl * s2_ * (z21_ + z23_);
+  deep.dedt = ses + s.s1 * znl * s.s5;
+  deep.didt = sis + s.s2 * znl * (s.z11 + s.z13);
+  deep.dmdt = sls - znl * s.s3 * (s.z1 + s.z3 - 14.0 - 6.0 * s.emsq);
+  const double sghl = s.s4 * znl * (s.z31 + s.z33 - 6.0);
+  double shll = -znl * s.s2 * (s.z21 + s.z23);
   if (inclm < 5.2359877e-2 || inclm > kPi - 5.2359877e-2) shll = 0.0;
-  domdt_ = sgs + sghl;
-  dnodt_ = shs;
-  if (sinim_ != 0.0) {
-    domdt_ -= cosim_ / sinim_ * shll;
-    dnodt_ += shll / sinim_;
+  deep.domdt = sgs + sghl;
+  deep.dnodt = shs;
+  if (s.sinim != 0.0) {
+    deep.domdt -= s.cosim / s.sinim * shll;
+    deep.dnodt += shll / s.sinim;
   }
 
   // At initialisation t = 0, so the secular updates (dedt*t etc.) vanish;
   // only theta is needed for the resonance phase angles below.
-  const double theta = std::fmod(gsto_ + tc * rptim, kTwoPi);
-  (void)em;
-  (void)argpm;
-  (void)nodem;
-  (void)mm;
-  (void)inclm;
+  const double theta = std::fmod(common.gsto + tc * rptim, kTwoPi);
 
   // -------------------- initialize the resonance terms --------------------
-  if (irez_ != 0) {
-    const double aonv = std::pow(nm / gravity_.xke, kX2o3);
+  if (deep.irez != 0) {
+    const double aonv = std::pow(nm_epoch / common.gravity.xke, kX2o3);
 
     // ------------- geopotential resonance for 12-hour orbits --------------
-    if (irez_ == 2) {
-      const double cosisq = cosim_ * cosim_;
-      const double emo = em;
-      em = ecco_;
-      const double emsqo = emsq_;
-      emsq_ = eccsq;
-      const double eoc = em * emsq_;
+    if (deep.irez == 2) {
+      const double cosisq = s.cosim * s.cosim;
+      // The reference swaps in the *epoch* eccentricity for the g-table
+      // evaluation; with tc = 0 the "current" values are already the epoch
+      // ones, so use them directly instead of the save/restore dance.
+      const double em = common.ecco;
+      const double emsq = eccsq;
+      const double eoc = em * emsq;
       const double g201 = -0.306 - (em - 0.64) * 0.440;
 
       double g211, g310, g322, g410, g422, g520, g521, g532, g533;
       if (em <= 0.65) {
-        g211 = 3.616 - 13.2470 * em + 16.2900 * emsq_;
-        g310 = -19.302 + 117.3900 * em - 228.4190 * emsq_ + 156.5910 * eoc;
-        g322 = -18.9068 + 109.7927 * em - 214.6334 * emsq_ + 146.5816 * eoc;
-        g410 = -41.122 + 242.6940 * em - 471.0940 * emsq_ + 313.9530 * eoc;
-        g422 = -146.407 + 841.8800 * em - 1629.014 * emsq_ + 1083.4350 * eoc;
-        g520 = -532.114 + 3017.977 * em - 5740.032 * emsq_ + 3708.2760 * eoc;
+        g211 = 3.616 - 13.2470 * em + 16.2900 * emsq;
+        g310 = -19.302 + 117.3900 * em - 228.4190 * emsq + 156.5910 * eoc;
+        g322 = -18.9068 + 109.7927 * em - 214.6334 * emsq + 146.5816 * eoc;
+        g410 = -41.122 + 242.6940 * em - 471.0940 * emsq + 313.9530 * eoc;
+        g422 = -146.407 + 841.8800 * em - 1629.014 * emsq + 1083.4350 * eoc;
+        g520 = -532.114 + 3017.977 * em - 5740.032 * emsq + 3708.2760 * eoc;
       } else {
-        g211 = -72.099 + 331.819 * em - 508.738 * emsq_ + 266.724 * eoc;
-        g310 = -346.844 + 1582.851 * em - 2415.925 * emsq_ + 1246.113 * eoc;
-        g322 = -342.585 + 1554.908 * em - 2366.899 * emsq_ + 1215.972 * eoc;
-        g410 = -1052.797 + 4758.686 * em - 7193.992 * emsq_ + 3651.957 * eoc;
-        g422 = -3581.690 + 16178.110 * em - 24462.770 * emsq_ + 12422.520 * eoc;
+        g211 = -72.099 + 331.819 * em - 508.738 * emsq + 266.724 * eoc;
+        g310 = -346.844 + 1582.851 * em - 2415.925 * emsq + 1246.113 * eoc;
+        g322 = -342.585 + 1554.908 * em - 2366.899 * emsq + 1215.972 * eoc;
+        g410 = -1052.797 + 4758.686 * em - 7193.992 * emsq + 3651.957 * eoc;
+        g422 = -3581.690 + 16178.110 * em - 24462.770 * emsq + 12422.520 * eoc;
         if (em > 0.715) {
-          g520 = -5149.66 + 29936.92 * em - 54087.36 * emsq_ + 31324.56 * eoc;
+          g520 = -5149.66 + 29936.92 * em - 54087.36 * emsq + 31324.56 * eoc;
         } else {
-          g520 = 1464.74 - 4664.75 * em + 3763.64 * emsq_;
+          g520 = 1464.74 - 4664.75 * em + 3763.64 * emsq;
         }
       }
       if (em < 0.7) {
-        g533 = -919.22770 + 4988.6100 * em - 9064.7700 * emsq_ + 5542.21 * eoc;
-        g521 = -822.71072 + 4568.6173 * em - 8491.4146 * emsq_ + 4649.04 * eoc;
-        g532 = -853.66600 + 4690.2500 * em - 8624.7700 * emsq_ + 5341.4 * eoc;
+        g533 = -919.22770 + 4988.6100 * em - 9064.7700 * emsq + 5542.21 * eoc;
+        g521 = -822.71072 + 4568.6173 * em - 8491.4146 * emsq + 4649.04 * eoc;
+        g532 = -853.66600 + 4690.2500 * em - 8624.7700 * emsq + 5341.4 * eoc;
       } else {
-        g533 = -37995.780 + 161616.52 * em - 229838.20 * emsq_ + 109377.94 * eoc;
-        g521 = -51752.104 + 218913.95 * em - 309468.16 * emsq_ + 146349.42 * eoc;
-        g532 = -40023.880 + 170470.89 * em - 242699.48 * emsq_ + 115605.82 * eoc;
+        g533 = -37995.780 + 161616.52 * em - 229838.20 * emsq + 109377.94 * eoc;
+        g521 = -51752.104 + 218913.95 * em - 309468.16 * emsq + 146349.42 * eoc;
+        g532 = -40023.880 + 170470.89 * em - 242699.48 * emsq + 115605.82 * eoc;
       }
 
-      const double sini2 = sinim_ * sinim_;
-      const double f220 = 0.75 * (1.0 + 2.0 * cosim_ + cosisq);
+      const double sini2 = s.sinim * s.sinim;
+      const double f220 = 0.75 * (1.0 + 2.0 * s.cosim + cosisq);
       const double f221 = 1.5 * sini2;
       const double f321 =
-          1.875 * sinim_ * (1.0 - 2.0 * cosim_ - 3.0 * cosisq);
+          1.875 * s.sinim * (1.0 - 2.0 * s.cosim - 3.0 * cosisq);
       const double f322 =
-          -1.875 * sinim_ * (1.0 + 2.0 * cosim_ - 3.0 * cosisq);
+          -1.875 * s.sinim * (1.0 + 2.0 * s.cosim - 3.0 * cosisq);
       const double f441 = 35.0 * sini2 * f220;
       const double f442 = 39.3750 * sini2 * sini2;
       const double f522 =
-          9.84375 * sinim_ *
-          (sini2 * (1.0 - 2.0 * cosim_ - 5.0 * cosisq) +
-           0.33333333 * (-2.0 + 4.0 * cosim_ + 6.0 * cosisq));
+          9.84375 * s.sinim *
+          (sini2 * (1.0 - 2.0 * s.cosim - 5.0 * cosisq) +
+           0.33333333 * (-2.0 + 4.0 * s.cosim + 6.0 * cosisq));
       const double f523 =
-          sinim_ * (4.92187512 * sini2 * (-2.0 - 4.0 * cosim_ + 10.0 * cosisq) +
-                    6.56250012 * (1.0 + 2.0 * cosim_ - 3.0 * cosisq));
+          s.sinim *
+          (4.92187512 * sini2 * (-2.0 - 4.0 * s.cosim + 10.0 * cosisq) +
+           6.56250012 * (1.0 + 2.0 * s.cosim - 3.0 * cosisq));
       const double f542 =
-          29.53125 * sinim_ *
-          (2.0 - 8.0 * cosim_ + cosisq * (-12.0 + 8.0 * cosim_ + 10.0 * cosisq));
+          29.53125 * s.sinim *
+          (2.0 - 8.0 * s.cosim +
+           cosisq * (-12.0 + 8.0 * s.cosim + 10.0 * cosisq));
       const double f543 =
-          29.53125 * sinim_ *
-          (-2.0 - 8.0 * cosim_ + cosisq * (12.0 + 8.0 * cosim_ - 10.0 * cosisq));
+          29.53125 * s.sinim *
+          (-2.0 - 8.0 * s.cosim +
+           cosisq * (12.0 + 8.0 * s.cosim - 10.0 * cosisq));
 
-      const double xno2 = nm * nm;
+      const double xno2 = nm_epoch * nm_epoch;
       const double ainv2 = aonv * aonv;
       double temp1 = 3.0 * xno2 * ainv2;
       double temp = temp1 * root22;
-      d2201_ = temp * f220 * g201;
-      d2211_ = temp * f221 * g211;
+      deep.d2201 = temp * f220 * g201;
+      deep.d2211 = temp * f221 * g211;
       temp1 *= aonv;
       temp = temp1 * root32;
-      d3210_ = temp * f321 * g310;
-      d3222_ = temp * f322 * g322;
+      deep.d3210 = temp * f321 * g310;
+      deep.d3222 = temp * f322 * g322;
       temp1 *= aonv;
       temp = 2.0 * temp1 * root44;
-      d4410_ = temp * f441 * g410;
-      d4422_ = temp * f442 * g422;
+      deep.d4410 = temp * f441 * g410;
+      deep.d4422 = temp * f442 * g422;
       temp1 *= aonv;
       temp = temp1 * root52;
-      d5220_ = temp * f522 * g520;
-      d5232_ = temp * f523 * g532;
+      deep.d5220 = temp * f522 * g520;
+      deep.d5232 = temp * f523 * g532;
       temp = 2.0 * temp1 * root54;
-      d5421_ = temp * f542 * g521;
-      d5433_ = temp * f543 * g533;
-      xlamo_ = std::fmod(mo_ + nodeo_ + nodeo_ - theta - theta, kTwoPi);
-      xfact_ = mdot_ + dmdt_ + 2.0 * (nodedot_ + dnodt_ - rptim) - no_;
-      em = emo;
-      emsq_ = emsqo;
+      deep.d5421 = temp * f542 * g521;
+      deep.d5433 = temp * f543 * g533;
+      deep.xlamo = std::fmod(
+          common.mo + common.nodeo + common.nodeo - theta - theta, kTwoPi);
+      deep.xfact = common.mdot + deep.dmdt +
+                   2.0 * (common.nodedot + deep.dnodt - rptim) - common.no;
     }
 
     // -------------------- synchronous resonance terms ---------------------
-    if (irez_ == 1) {
-      const double g200 = 1.0 + emsq_ * (-2.5 + 0.8125 * emsq_);
-      const double g310 = 1.0 + 2.0 * emsq_;
-      const double g300 = 1.0 + emsq_ * (-6.0 + 6.60937 * emsq_);
-      const double f220 = 0.75 * (1.0 + cosim_) * (1.0 + cosim_);
-      const double f311 =
-          0.9375 * sinim_ * sinim_ * (1.0 + 3.0 * cosim_) - 0.75 * (1.0 + cosim_);
-      double f330 = 1.0 + cosim_;
+    if (deep.irez == 1) {
+      const double g200 = 1.0 + s.emsq * (-2.5 + 0.8125 * s.emsq);
+      const double g310 = 1.0 + 2.0 * s.emsq;
+      const double g300 = 1.0 + s.emsq * (-6.0 + 6.60937 * s.emsq);
+      const double f220 = 0.75 * (1.0 + s.cosim) * (1.0 + s.cosim);
+      const double f311 = 0.9375 * s.sinim * s.sinim * (1.0 + 3.0 * s.cosim) -
+                          0.75 * (1.0 + s.cosim);
+      double f330 = 1.0 + s.cosim;
       f330 = 1.875 * f330 * f330 * f330;
-      del1_ = 3.0 * nm * nm * aonv * aonv;
-      del2_ = 2.0 * del1_ * f220 * g200 * q22;
-      del3_ = 3.0 * del1_ * f330 * g300 * q33 * aonv;
-      del1_ = del1_ * f311 * g310 * q31 * aonv;
-      xlamo_ = std::fmod(mo_ + nodeo_ + argpo_ - theta, kTwoPi);
-      xfact_ = mdot_ + xpidot - rptim + dmdt_ + domdt_ + dnodt_ - no_;
+      deep.del1 = 3.0 * nm_epoch * nm_epoch * aonv * aonv;
+      deep.del2 = 2.0 * deep.del1 * f220 * g200 * q22;
+      deep.del3 = 3.0 * deep.del1 * f330 * g300 * q33 * aonv;
+      deep.del1 = deep.del1 * f311 * g310 * q31 * aonv;
+      deep.xlamo =
+          std::fmod(common.mo + common.nodeo + common.argpo - theta, kTwoPi);
+      deep.xfact = common.mdot + xpidot - rptim + deep.dmdt + deep.domdt +
+                   deep.dnodt - common.no;
     }
-
-    // ------------ for sgp4, initialize the integrator -------------------
-    xli_ = xlamo_;
-    xni_ = no_;
-    atime_ = 0.0;
-    nm = no_;
   }
 }
 
 // ---------------------------------------------------------------------------
 // dspace: deep-space secular effects and resonance integration at time t.
 // ---------------------------------------------------------------------------
-void Sgp4Propagator::dspace(double t, double tc, double& em, double& argpm,
-                            double& inclm, double& mm, double& nodem,
-                            double& nm) const noexcept {
+void dspace(const CommonConstants& common, const DeepSpaceConstants& deep,
+            double t, double tc, ResonanceState& rs, double& em, double& argpm,
+            double& inclm, double& mm, double& nodem, double& nm) noexcept {
   constexpr double fasx2 = 0.13130908;
   constexpr double fasx4 = 2.8843198;
   constexpr double fasx6 = 0.37448087;
@@ -692,21 +486,28 @@ void Sgp4Propagator::dspace(double t, double tc, double& em, double& argpm,
   constexpr double step2 = 259200.0;
 
   // ----------- calculate deep space resonance effects -----------
-  const double theta = std::fmod(gsto_ + tc * rptim, kTwoPi);
-  em += dedt_ * t;
-  inclm += didt_ * t;
-  argpm += domdt_ * t;
-  nodem += dnodt_ * t;
-  mm += dmdt_ * t;
+  const double theta = std::fmod(common.gsto + tc * rptim, kTwoPi);
+  em += deep.dedt * t;
+  inclm += deep.didt * t;
+  argpm += deep.domdt * t;
+  nodem += deep.dnodt * t;
+  mm += deep.dmdt * t;
 
   // - update resonances: numerical (euler-maclaurin) integration -
   double ft = 0.0;
-  if (irez_ != 0) {
-    // Restart the integrator when t moved backwards past the cached state.
-    if (atime_ == 0.0 || t * atime_ <= 0.0 || std::fabs(t) < std::fabs(atime_)) {
-      atime_ = 0.0;
-      xni_ = no_;
-      xli_ = xlamo_;
+  if (deep.irez != 0) {
+    // The memo is valid only when it holds a prefix of this integration:
+    // same sign and |atime| <= |t|.  Anything else — a cold state, a sign
+    // crossing, or a cached time past the target — restarts from t = 0.
+    // Because the recurrence below is a pure function of (atime, xli, xni)
+    // and the init-once constants, resuming from a valid prefix reproduces
+    // the restart-from-scratch values bit for bit; epoch visit order can
+    // never leak into the output (DESIGN.md §16).
+    if (rs.atime == 0.0 || t * rs.atime <= 0.0 ||
+        std::fabs(t) < std::fabs(rs.atime)) {
+      rs.atime = 0.0;
+      rs.xni = common.no;
+      rs.xli = deep.xlamo;
     }
     const double delt = (t > 0.0) ? stepp : stepn;
 
@@ -716,118 +517,178 @@ void Sgp4Propagator::dspace(double t, double tc, double& em, double& argpm,
     bool integrating = true;
     while (integrating) {
       // ------------------- dot terms calculated -------------
-      if (irez_ != 2) {
+      if (deep.irez != 2) {
         // near-synchronous resonance terms
-        xndt = del1_ * std::sin(xli_ - fasx2) +
-               del2_ * std::sin(2.0 * (xli_ - fasx4)) +
-               del3_ * std::sin(3.0 * (xli_ - fasx6));
-        xldot = xni_ + xfact_;
-        xnddt = del1_ * std::cos(xli_ - fasx2) +
-                2.0 * del2_ * std::cos(2.0 * (xli_ - fasx4)) +
-                3.0 * del3_ * std::cos(3.0 * (xli_ - fasx6));
+        xndt = deep.del1 * std::sin(rs.xli - fasx2) +
+               deep.del2 * std::sin(2.0 * (rs.xli - fasx4)) +
+               deep.del3 * std::sin(3.0 * (rs.xli - fasx6));
+        xldot = rs.xni + deep.xfact;
+        xnddt = deep.del1 * std::cos(rs.xli - fasx2) +
+                2.0 * deep.del2 * std::cos(2.0 * (rs.xli - fasx4)) +
+                3.0 * deep.del3 * std::cos(3.0 * (rs.xli - fasx6));
         xnddt *= xldot;
       } else {
         // near half-day resonance terms
-        const double xomi = argpo_ + argpdot_ * atime_;
+        const double xomi = common.argpo + common.argpdot * rs.atime;
         const double x2omi = xomi + xomi;
-        const double x2li = xli_ + xli_;
-        xndt = d2201_ * std::sin(x2omi + xli_ - g22) +
-               d2211_ * std::sin(xli_ - g22) +
-               d3210_ * std::sin(xomi + xli_ - g32) +
-               d3222_ * std::sin(-xomi + xli_ - g32) +
-               d4410_ * std::sin(x2omi + x2li - g44) +
-               d4422_ * std::sin(x2li - g44) +
-               d5220_ * std::sin(xomi + xli_ - g52) +
-               d5232_ * std::sin(-xomi + xli_ - g52) +
-               d5421_ * std::sin(xomi + x2li - g54) +
-               d5433_ * std::sin(-xomi + x2li - g54);
-        xldot = xni_ + xfact_;
-        xnddt = d2201_ * std::cos(x2omi + xli_ - g22) +
-                d2211_ * std::cos(xli_ - g22) +
-                d3210_ * std::cos(xomi + xli_ - g32) +
-                d3222_ * std::cos(-xomi + xli_ - g32) +
-                d5220_ * std::cos(xomi + xli_ - g52) +
-                d5232_ * std::cos(-xomi + xli_ - g52) +
-                2.0 * (d4410_ * std::cos(x2omi + x2li - g44) +
-                       d4422_ * std::cos(x2li - g44) +
-                       d5421_ * std::cos(xomi + x2li - g54) +
-                       d5433_ * std::cos(-xomi + x2li - g54));
+        const double x2li = rs.xli + rs.xli;
+        xndt = deep.d2201 * std::sin(x2omi + rs.xli - g22) +
+               deep.d2211 * std::sin(rs.xli - g22) +
+               deep.d3210 * std::sin(xomi + rs.xli - g32) +
+               deep.d3222 * std::sin(-xomi + rs.xli - g32) +
+               deep.d4410 * std::sin(x2omi + x2li - g44) +
+               deep.d4422 * std::sin(x2li - g44) +
+               deep.d5220 * std::sin(xomi + rs.xli - g52) +
+               deep.d5232 * std::sin(-xomi + rs.xli - g52) +
+               deep.d5421 * std::sin(xomi + x2li - g54) +
+               deep.d5433 * std::sin(-xomi + x2li - g54);
+        xldot = rs.xni + deep.xfact;
+        xnddt = deep.d2201 * std::cos(x2omi + rs.xli - g22) +
+                deep.d2211 * std::cos(rs.xli - g22) +
+                deep.d3210 * std::cos(xomi + rs.xli - g32) +
+                deep.d3222 * std::cos(-xomi + rs.xli - g32) +
+                deep.d5220 * std::cos(xomi + rs.xli - g52) +
+                deep.d5232 * std::cos(-xomi + rs.xli - g52) +
+                2.0 * (deep.d4410 * std::cos(x2omi + x2li - g44) +
+                       deep.d4422 * std::cos(x2li - g44) +
+                       deep.d5421 * std::cos(xomi + x2li - g54) +
+                       deep.d5433 * std::cos(-xomi + x2li - g54));
         xnddt *= xldot;
       }
 
       // ----------------------- integrator -------------------
-      if (std::fabs(t - atime_) >= stepp) {
+      if (std::fabs(t - rs.atime) >= stepp) {
         integrating = true;
       } else {
-        ft = t - atime_;
+        ft = t - rs.atime;
         integrating = false;
       }
       if (integrating) {
-        xli_ += xldot * delt + xndt * step2;
-        xni_ += xndt * delt + xnddt * step2;
-        atime_ += delt;
+        rs.xli += xldot * delt + xndt * step2;
+        rs.xni += xndt * delt + xnddt * step2;
+        rs.atime += delt;
       }
     }
 
-    nm = xni_ + xndt * ft + xnddt * ft * ft * 0.5;
-    const double xl = xli_ + xldot * ft + xndt * ft * ft * 0.5;
+    nm = rs.xni + xndt * ft + xnddt * ft * ft * 0.5;
+    const double xl = rs.xli + xldot * ft + xndt * ft * ft * 0.5;
     double dndt = 0.0;
-    if (irez_ != 1) {
+    if (deep.irez != 1) {
       mm = xl - 2.0 * nodem + 2.0 * theta;
-      dndt = nm - no_;
+      dndt = nm - common.no;
     } else {
       mm = xl - nodem - argpm + theta;
-      dndt = nm - no_;
+      dndt = nm - common.no;
     }
-    nm = no_ + dndt;
+    nm = common.no + dndt;
   }
 }
 
+}  // namespace
+
+std::string to_string(Sgp4Status status) {
+  switch (status) {
+    case Sgp4Status::kOk:
+      return "ok";
+    case Sgp4Status::kEccentricityOutOfRange:
+      return "mean eccentricity out of range";
+    case Sgp4Status::kMeanMotionNonPositive:
+      return "mean motion non-positive";
+    case Sgp4Status::kPerturbedEccentricityOutOfRange:
+      return "perturbed eccentricity out of range";
+    case Sgp4Status::kSemiLatusRectumNegative:
+      return "semi-latus rectum negative";
+    case Sgp4Status::kDecayed:
+      return "satellite decayed (radius below Earth surface)";
+    case Sgp4Status::kKeplerNotConverged:
+      return "Kepler's equation did not converge (near-parabolic elements)";
+  }
+  return "unknown status";
+}
+
+namespace detail {
+
+Sgp4Status solve_kepler(double u, double axnl, double aynl, double& eo1,
+                        double& sineo1, double& coseo1) noexcept {
+  eo1 = u;
+  double tem5 = 9999.9;
+  sineo1 = 0.0;
+  coseo1 = 0.0;
+  // Newton iteration with the reference's 0.95-rad step clamp and 10-step
+  // bound.  For every orbit the theory is valid for, it converges in a
+  // handful of steps; near-parabolic elements (|(axnl,aynl)| -> 1) can
+  // cycle on the clamp forever, so the bound plus the residual check below
+  // turn "loop luck" into a defined status.
+  int ktr = 1;
+  while (std::fabs(tem5) >= 1.0e-12 && ktr <= 10) {
+    sineo1 = std::sin(eo1);
+    coseo1 = std::cos(eo1);
+    tem5 = 1.0 - coseo1 * axnl - sineo1 * aynl;
+    tem5 = (u - aynl * coseo1 + axnl * sineo1 - eo1) / tem5;
+    if (std::fabs(tem5) >= 0.95) tem5 = tem5 > 0.0 ? 0.95 : -0.95;
+    eo1 += tem5;
+    ++ktr;
+  }
+  // Anything still correcting by >= 1e-8 rad after the bound is diverging,
+  // not refining: report it instead of emitting a garbage state.
+  if (std::fabs(tem5) >= 1.0e-8) return Sgp4Status::kKeplerNotConverged;
+  return Sgp4Status::kOk;
+}
+
+}  // namespace detail
+
 // ---------------------------------------------------------------------------
-// run_sgp4: the propagation kernel (Vallado's sgp4()).
+// propagate: the propagation kernel (Vallado's sgp4()).
 // ---------------------------------------------------------------------------
-Sgp4Status Sgp4Propagator::run_sgp4(double tsince, orbit::StateVector& out) const noexcept {
+Sgp4Status propagate(const CommonConstants& common,
+                     const NearSpaceConstants& near_space,
+                     const DeepSpaceConstants& deep, double tsince_minutes,
+                     orbit::StateVector& out, ResonanceState* resume) noexcept {
   const double temp4 = 1.5e-12;
-  const double xke = gravity_.xke;
-  const double j2 = gravity_.j2;
-  const double j3oj2 = gravity_.j3oj2;
-  const double radiusearthkm = gravity_.radius_earth_km;
+  const double xke = common.gravity.xke;
+  const double j2 = common.gravity.j2;
+  const double j3oj2 = common.gravity.j3oj2;
+  const double radiusearthkm = common.gravity.radius_earth_km;
   const double vkmpersec = radiusearthkm * xke / 60.0;
 
-  const double t = tsince;
+  const double t = tsince_minutes;
 
   // ------- update for secular gravity and atmospheric drag -----
-  const double xmdf = mo_ + mdot_ * t;
-  const double argpdf = argpo_ + argpdot_ * t;
-  const double nodedf = nodeo_ + nodedot_ * t;
+  const double xmdf = common.mo + common.mdot * t;
+  const double argpdf = common.argpo + common.argpdot * t;
+  const double nodedf = common.nodeo + common.nodedot * t;
   double argpm = argpdf;
   double mm = xmdf;
   const double t2 = t * t;
-  double nodem = nodedf + nodecf_ * t2;
-  double tempa = 1.0 - cc1_ * t;
-  double tempe = bstar_ * cc4_ * t;
-  double templ = t2cof_ * t2;
+  double nodem = nodedf + common.nodecf * t2;
+  double tempa = 1.0 - common.cc1 * t;
+  double tempe = common.bstar * common.cc4 * t;
+  double templ = common.t2cof * t2;
 
-  if (isimp_ != 1) {
-    const double delomg = omgcof_ * t;
-    const double delmtemp = 1.0 + eta_ * std::cos(xmdf);
-    const double delm = xmcof_ * (delmtemp * delmtemp * delmtemp - delmo_);
+  if (!common.simple_drag) {
+    const double delomg = common.omgcof * t;
+    const double delmtemp = 1.0 + common.eta * std::cos(xmdf);
+    const double delm =
+        common.xmcof * (delmtemp * delmtemp * delmtemp - common.delmo);
     const double temp = delomg + delm;
     mm = xmdf + temp;
     argpm = argpdf - temp;
     const double t3 = t2 * t;
     const double t4 = t3 * t;
-    tempa = tempa - d2_ * t2 - d3_ * t3 - d4_ * t4;
-    tempe = tempe + bstar_ * cc5_ * (std::sin(mm) - sinmao_);
-    templ = templ + t3cof_ * t3 + t4 * (t4cof_ + t * t5cof_);
+    tempa = tempa - near_space.d2 * t2 - near_space.d3 * t3 - near_space.d4 * t4;
+    tempe = tempe + common.bstar * common.cc5 * (std::sin(mm) - common.sinmao);
+    templ = templ + near_space.t3cof * t3 +
+            t4 * (near_space.t4cof + t * near_space.t5cof);
   }
 
-  double nm = no_;
-  double em = ecco_;
-  double inclm = inclo_;
-  if (method_ == 'd') {
+  double nm = common.no;
+  double em = common.ecco;
+  double inclm = common.inclo;
+  if (common.deep_space) {
+    ResonanceState local;  // cold start when the caller keeps no memo
+    ResonanceState& rs = resume != nullptr ? *resume : local;
     const double tc = t;
-    dspace(t, tc, em, argpm, inclm, mm, nodem, nm);
+    dspace(common, deep, t, tc, rs, em, argpm, inclm, mm, nodem, nm);
   }
 
   if (nm <= 0.0) return Sgp4Status::kMeanMotionNonPositive;
@@ -839,7 +700,7 @@ Sgp4Status Sgp4Propagator::run_sgp4(double tsince, orbit::StateVector& out) cons
   if (em >= 1.0 || em < -0.001) return Sgp4Status::kEccentricityOutOfRange;
   if (em < 1.0e-6) em = 1.0e-6;
 
-  mm += no_ * templ;
+  mm += common.no * templ;
   double xlm = mm + argpm + nodem;
 
   nodem = std::fmod(nodem, kTwoPi);
@@ -860,14 +721,14 @@ Sgp4Status Sgp4Propagator::run_sgp4(double tsince, orbit::StateVector& out) cons
   double mp = mm;
   double sinip = sinim;
   double cosip = cosim;
-  double aycof = aycof_;
-  double xlcof = xlcof_;
-  double con41 = con41_;
-  double x1mth2 = x1mth2_;
-  double x7thm1 = x7thm1_;
+  double aycof = common.aycof;
+  double xlcof = common.xlcof;
+  double con41 = common.con41;
+  double x1mth2 = common.x1mth2;
+  double x7thm1 = common.x7thm1;
 
-  if (method_ == 'd') {
-    dpper(t, /*init_phase=*/false, ep, xincp, nodep, argpp, mp);
+  if (common.deep_space) {
+    dpper(deep, t, /*init_phase=*/false, ep, xincp, nodep, argpp, mp);
     if (xincp < 0.0) {
       xincp = -xincp;
       nodep += kPi;
@@ -895,20 +756,12 @@ Sgp4Status Sgp4Propagator::run_sgp4(double tsince, orbit::StateVector& out) cons
 
   // ------------------------ solve kepler's equation ------------
   const double u = std::fmod(xl - nodep, kTwoPi);
-  double eo1 = u;
-  double tem5 = 9999.9;
+  double eo1 = 0.0;
   double sineo1 = 0.0;
   double coseo1 = 0.0;
-  int ktr = 1;
-  while (std::fabs(tem5) >= 1.0e-12 && ktr <= 10) {
-    sineo1 = std::sin(eo1);
-    coseo1 = std::cos(eo1);
-    tem5 = 1.0 - coseo1 * axnl - sineo1 * aynl;
-    tem5 = (u - aynl * coseo1 + axnl * sineo1 - eo1) / tem5;
-    if (std::fabs(tem5) >= 0.95) tem5 = tem5 > 0.0 ? 0.95 : -0.95;
-    eo1 += tem5;
-    ++ktr;
-  }
+  const Sgp4Status kepler = detail::solve_kepler(u, axnl, aynl, eo1, sineo1,
+                                                 coseo1);
+  if (kepler != Sgp4Status::kOk) return kepler;
 
   // ------------- short period preliminary quantities -----------
   const double ecose = axnl * coseo1 + aynl * sineo1;
@@ -932,7 +785,7 @@ Sgp4Status Sgp4Propagator::run_sgp4(double tsince, orbit::StateVector& out) cons
   const double temp2 = temp1 * temp;
 
   // -------------- update for short period periodics ------------
-  if (method_ == 'd') {
+  if (common.deep_space) {
     const double cosisq = cosip * cosip;
     con41 = 3.0 * cosisq - 1.0;
     x1mth2 = 1.0 - cosisq;
@@ -944,7 +797,8 @@ Sgp4Status Sgp4Propagator::run_sgp4(double tsince, orbit::StateVector& out) cons
   const double xnode = nodep + 1.5 * temp2 * cosip * sin2u;
   const double xinc = xincp + 1.5 * temp2 * cosip * sinip * cos2u;
   const double mvt = rdotl - nm * temp1 * x1mth2 * sin2u / xke;
-  const double rvdot = rvdotl + nm * temp1 * (x1mth2 * cos2u + 1.5 * con41) / xke;
+  const double rvdot =
+      rvdotl + nm * temp1 * (x1mth2 * cos2u + 1.5 * con41) / xke;
 
   // --------------------- orientation vectors -------------------
   const double sinsu = std::sin(su);
@@ -971,6 +825,226 @@ Sgp4Status Sgp4Propagator::run_sgp4(double tsince, orbit::StateVector& out) cons
 
   if (mrt < 1.0) return Sgp4Status::kDecayed;
   return Sgp4Status::kOk;
+}
+
+Sgp4Status propagate(const Sgp4Constants& constants, double tsince_minutes,
+                     orbit::StateVector& out, ResonanceState* resume) noexcept {
+  return propagate(constants.common, constants.near_space, constants.deep,
+                   tsince_minutes, out, resume);
+}
+
+// ---------------------------------------------------------------------------
+// init_constants: the element recovery (Vallado's sgp4init).
+// ---------------------------------------------------------------------------
+Sgp4Constants init_constants(const tle::Tle& tle,
+                             const orbit::GravityModel& gravity) {
+  tle.validate();
+
+  Sgp4Constants k;
+  CommonConstants& c = k.common;
+  c.gravity = gravity;
+  c.catalog_number = tle.catalog_number;
+  c.epoch_jd = tle.epoch_jd;
+  c.epoch1950 = c.epoch_jd - kJd1950;
+
+  c.bstar = tle.bstar;
+  c.ecco = tle.eccentricity;
+  c.inclo = units::deg2rad(tle.inclination_deg);
+  c.nodeo = units::deg2rad(tle.raan_deg);
+  c.argpo = units::deg2rad(tle.arg_perigee_deg);
+  c.mo = units::deg2rad(tle.mean_anomaly_deg);
+  c.no = tle.mean_motion_revday * kTwoPi / units::kMinutesPerDay;  // rad/min
+
+  const double j2 = gravity.j2;
+  const double j4 = gravity.j4;
+  const double j3oj2 = gravity.j3oj2;
+  const double xke = gravity.xke;
+  const double radiusearthkm = gravity.radius_earth_km;
+  const double temp4 = 1.5e-12;
+
+  const double ss = 78.0 / radiusearthkm + 1.0;
+  const double qzms2t = std::pow((120.0 - 78.0) / radiusearthkm, 4.0);
+
+  // ---------------------- initl: recover original mean motion -------------
+  const double eccsq = c.ecco * c.ecco;
+  const double omeosq = 1.0 - eccsq;
+  const double rteosq = std::sqrt(omeosq);
+  const double cosio = std::cos(c.inclo);
+  const double cosio2 = cosio * cosio;
+
+  const double ak = std::pow(xke / c.no, kX2o3);
+  const double d1 = 0.75 * j2 * (3.0 * cosio2 - 1.0) / (rteosq * omeosq);
+  double del = d1 / (ak * ak);
+  const double adel =
+      ak * (1.0 - del * del - del * (1.0 / 3.0 + 134.0 * del * del / 81.0));
+  del = d1 / (adel * adel);
+  c.no = c.no / (1.0 + del);  // un-Kozai the mean motion
+
+  const double ao = std::pow(xke / c.no, kX2o3);
+  const double sinio = std::sin(c.inclo);
+  const double po = ao * omeosq;
+  const double con42 = 1.0 - 5.0 * cosio2;
+  c.con41 = -con42 - cosio2 - cosio2;
+  const double posq = po * po;
+  const double rp = ao * (1.0 - c.ecco);
+  c.gsto = timeutil::gmst_radians(c.epoch_jd);
+  c.recovered_a_earth_radii = ao;
+
+  if (rp < 1.0) {
+    throw PropagationError("element set has epoch perigee below Earth surface"
+                           " (catalog " + std::to_string(c.catalog_number) +
+                           ")");
+  }
+
+  // ------------------------- near-earth constants -------------------------
+  c.simple_drag = rp < 220.0 / radiusearthkm + 1.0;
+  double sfour = ss;
+  double qzms24 = qzms2t;
+  const double perige = (rp - 1.0) * radiusearthkm;
+  if (perige < 156.0) {
+    sfour = perige - 78.0;
+    if (perige < 98.0) sfour = 20.0;
+    qzms24 = std::pow((120.0 - sfour) / radiusearthkm, 4.0);
+    sfour = sfour / radiusearthkm + 1.0;
+  }
+  const double pinvsq = 1.0 / posq;
+
+  const double tsi = 1.0 / (ao - sfour);
+  c.eta = ao * c.ecco * tsi;
+  const double etasq = c.eta * c.eta;
+  const double eeta = c.ecco * c.eta;
+  const double psisq = std::fabs(1.0 - etasq);
+  const double coef = qzms24 * std::pow(tsi, 4.0);
+  const double coef1 = coef / std::pow(psisq, 3.5);
+  const double cc2 =
+      coef1 * c.no *
+      (ao * (1.0 + 1.5 * etasq + eeta * (4.0 + etasq)) +
+       0.375 * j2 * tsi / psisq * c.con41 *
+           (8.0 + 3.0 * etasq * (8.0 + etasq)));
+  c.cc1 = c.bstar * cc2;
+  double cc3 = 0.0;
+  if (c.ecco > 1.0e-4) cc3 = -2.0 * coef * tsi * j3oj2 * c.no * sinio / c.ecco;
+  c.x1mth2 = 1.0 - cosio2;
+  c.cc4 = 2.0 * c.no * coef1 * ao * omeosq *
+          (c.eta * (2.0 + 0.5 * etasq) + c.ecco * (0.5 + 2.0 * etasq) -
+           j2 * tsi / (ao * psisq) *
+               (-3.0 * c.con41 * (1.0 - 2.0 * eeta + etasq * (1.5 - 0.5 * eeta)) +
+                0.75 * c.x1mth2 * (2.0 * etasq - eeta * (1.0 + etasq)) *
+                    std::cos(2.0 * c.argpo)));
+  c.cc5 = 2.0 * coef1 * ao * omeosq *
+          (1.0 + 2.75 * (etasq + eeta) + eeta * etasq);
+
+  const double cosio4 = cosio2 * cosio2;
+  const double temp1 = 1.5 * j2 * pinvsq * c.no;
+  const double temp2 = 0.5 * temp1 * j2 * pinvsq;
+  const double temp3 = -0.46875 * j4 * pinvsq * pinvsq * c.no;
+  c.mdot = c.no + 0.5 * temp1 * rteosq * c.con41 +
+           0.0625 * temp2 * rteosq * (13.0 - 78.0 * cosio2 + 137.0 * cosio4);
+  c.argpdot = -0.5 * temp1 * con42 +
+              0.0625 * temp2 * (7.0 - 114.0 * cosio2 + 395.0 * cosio4) +
+              temp3 * (3.0 - 36.0 * cosio2 + 49.0 * cosio4);
+  const double xhdot1 = -temp1 * cosio;
+  c.nodedot = xhdot1 + (0.5 * temp2 * (4.0 - 19.0 * cosio2) +
+                        2.0 * temp3 * (3.0 - 7.0 * cosio2)) *
+                           cosio;
+  const double xpidot = c.argpdot + c.nodedot;
+  c.omgcof = c.bstar * cc3 * std::cos(c.argpo);
+  c.xmcof = 0.0;
+  if (c.ecco > 1.0e-4) c.xmcof = -kX2o3 * coef * c.bstar / eeta;
+  c.nodecf = 3.5 * omeosq * xhdot1 * c.cc1;
+  c.t2cof = 1.5 * c.cc1;
+  if (std::fabs(cosio + 1.0) > 1.5e-12) {
+    c.xlcof = -0.25 * j3oj2 * sinio * (3.0 + 5.0 * cosio) / (1.0 + cosio);
+  } else {
+    c.xlcof = -0.25 * j3oj2 * sinio * (3.0 + 5.0 * cosio) / temp4;
+  }
+  c.aycof = -0.5 * j3oj2 * sinio;
+  c.delmo = std::pow(1.0 + c.eta * std::cos(c.mo), 3.0);
+  c.sinmao = std::sin(c.mo);
+  c.x7thm1 = 7.0 * cosio2 - 1.0;
+
+  // --------------------- deep space initialization ------------------------
+  if (kTwoPi / c.no >= 225.0) {
+    c.deep_space = true;
+    c.simple_drag = true;
+    const double tc = 0.0;
+    const double inclm = c.inclo;
+
+    DscomScratch scratch;
+    dscom(c.epoch1950, c.ecco, c.argpo, tc, c.inclo, c.nodeo, c.no, scratch,
+          k.deep);
+    // The init-phase dpper call applies nothing (reference behaviour); the
+    // stored long-period offsets peo..pho stay zero.
+    double ep = c.ecco;
+    double inclp = c.inclo;
+    double nodep = c.nodeo;
+    double argpp = c.argpo;
+    double mp = c.mo;
+    dpper(k.deep, 0.0, /*init_phase=*/true, ep, inclp, nodep, argpp, mp);
+
+    dsinit(scratch, tc, xpidot, eccsq, inclm, c, k.deep);
+  }
+
+  // ------------------------ higher-order drag terms -----------------------
+  if (!c.simple_drag) {
+    NearSpaceConstants& n = k.near_space;
+    const double cc1sq = c.cc1 * c.cc1;
+    n.d2 = 4.0 * ao * tsi * cc1sq;
+    const double temp = n.d2 * tsi * c.cc1 / 3.0;
+    n.d3 = (17.0 * ao + sfour) * temp;
+    n.d4 = 0.5 * temp * ao * tsi * (221.0 * ao + 31.0 * sfour) * c.cc1;
+    n.t3cof = n.d2 + 2.0 * cc1sq;
+    n.t4cof = 0.25 * (3.0 * n.d3 + c.cc1 * (12.0 * n.d2 + 10.0 * cc1sq));
+    n.t5cof = 0.2 * (3.0 * n.d4 + 12.0 * c.cc1 * n.d3 + 6.0 * n.d2 * n.d2 +
+                     15.0 * cc1sq * (2.0 * n.d2 + cc1sq));
+  }
+
+  // Exercise the model once at epoch so bad element sets fail fast.
+  orbit::StateVector probe;
+  const Sgp4Status status = propagate(k, 0.0, probe);
+  if (status != Sgp4Status::kOk) {
+    throw PropagationError("sgp4 init failed for catalog " +
+                           std::to_string(c.catalog_number) + ": " +
+                           to_string(status));
+  }
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// Sgp4Propagator: thin owner of one init-once constant set.
+// ---------------------------------------------------------------------------
+Sgp4Propagator::Sgp4Propagator(const tle::Tle& tle,
+                               const orbit::GravityModel& gravity)
+    : k_(init_constants(tle, gravity)) {}
+
+double Sgp4Propagator::recovered_semi_major_axis_km() const noexcept {
+  return k_.common.recovered_a_earth_radii * k_.common.gravity.radius_earth_km;
+}
+
+double Sgp4Propagator::recovered_altitude_km() const noexcept {
+  return recovered_semi_major_axis_km() - k_.common.gravity.radius_earth_km;
+}
+
+orbit::StateVector Sgp4Propagator::propagate_minutes(double tsince_minutes) const {
+  orbit::StateVector out;
+  const Sgp4Status status = try_propagate_minutes(tsince_minutes, out);
+  if (status != Sgp4Status::kOk) {
+    throw PropagationError("sgp4 failed for catalog " +
+                           std::to_string(k_.common.catalog_number) +
+                           " at tsince " + std::to_string(tsince_minutes) +
+                           " min: " + to_string(status));
+  }
+  return out;
+}
+
+orbit::StateVector Sgp4Propagator::propagate_jd(double jd) const {
+  return propagate_minutes((jd - k_.common.epoch_jd) * units::kMinutesPerDay);
+}
+
+Sgp4Status Sgp4Propagator::try_propagate_minutes(
+    double tsince_minutes, orbit::StateVector& out,
+    ResonanceState* resume) const noexcept {
+  return propagate(k_, tsince_minutes, out, resume);
 }
 
 }  // namespace cosmicdance::sgp4

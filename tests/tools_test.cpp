@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <cmath>
 #include <cstdio>
@@ -216,7 +217,12 @@ class BenchCompareTest : public ::testing::Test {
     if (run_command("python3 -c 'pass'").exit_code != 0) {
       GTEST_SKIP() << "python3 not available";
     }
-    dir_ = ::testing::TempDir() + "cd_bench_compare";
+    // Per-process directory: ctest runs each TEST_F as its own process in
+    // parallel, so a shared fixture dir would let one test's remove_all
+    // delete another's files mid-run.  (The pid, not the test name: error
+    // messages echo the path, and assertions below inspect the output.)
+    dir_ = ::testing::TempDir() + "cd_bench_compare_" +
+           std::to_string(static_cast<long>(getpid()));
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
   }

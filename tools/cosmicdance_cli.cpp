@@ -7,7 +7,9 @@
 //                         --out catalog.tle [--per-batch N --cadence D --fleet N --seed N]
 //   cosmicdance storms    --dst dst.wdc [--threshold NT] [--csv storms.csv]
 //   cosmicdance analyze   --dst dst.wdc --tles catalog.tle --out-dir DIR
+//   cosmicdance propagate --tles catalog.tle [--days N --step-hours H --top N]
 //   cosmicdance report    --dst dst.wdc --tles catalog.tle
+#include <algorithm>
 #include <filesystem>
 #include <iostream>
 
@@ -41,6 +43,9 @@ int usage() {
       "  storms    --dst F [--threshold NT] [--csv F]\n"
       "  convert   --tles F --to-omm F | --omm F --to-tles F\n"
       "  analyze   --dst F --tles F --out-dir DIR [--threads N] [--cache-dir DIR]\n"
+      "  propagate --tles F [--days N] [--step-hours H] [--top N] [--csv F]\n"
+      "            [--threads N]  (batch SGP4: full-state altitude series and\n"
+      "            decay-rate estimates for every satellite's latest TLE)\n"
       "  report    --dst F --tles F [--markdown F] [--threads N] [--cache-dir DIR]\n"
       "\n"
       "--threads N: pipeline worker count (0 = all hardware threads,\n"
@@ -298,6 +303,89 @@ int cmd_convert(const io::ArgParser& args) {
   throw ParseError("convert needs --to-omm or --to-tles");
 }
 
+int cmd_propagate(const io::ArgParser& args) {
+  args.check_known({"tles", "days", "step-hours", "top", "csv", "threads",
+                    "parse-policy", "quality-report", "metrics", "trace"});
+  obs::Metrics observability;
+  obs::Metrics* metrics = wants_observability(args) ? &observability : nullptr;
+
+  diag::ParseLog log(parse_policy(args));
+  tle::TleCatalog catalog;
+  const int threads =
+      static_cast<int>(args.nonnegative_integer_or("threads", 0));
+  catalog.add_from_file(require(args, "tles"),
+                        tle::IngestOptions{&log, threads, {}, metrics});
+  emit_quality_report(args, log.report());
+
+  core::PropagationOptions options;
+  options.default_span_days = args.number_or("days", 30.0);
+  options.step_hours = args.number_or("step-hours", 24.0);
+  options.num_threads = threads;
+  options.metrics = metrics;
+  const core::PropagationReport report =
+      core::propagate_catalog(catalog, options);
+
+  if (const auto csv_path = args.option("csv")) {
+    std::vector<io::CsvRow> rows;
+    rows.push_back({"catalog_number", "tle_epoch_jd", "deep_space",
+                    "valid_samples", "decay_rate_km_per_day",
+                    "first_altitude_km", "last_altitude_km", "decayed"});
+    for (const auto& series : report.series) {
+      rows.push_back({std::to_string(series.catalog_number),
+                      io::TablePrinter::num(series.tle_epoch_jd, 6),
+                      series.deep_space ? "1" : "0",
+                      std::to_string(series.valid_samples),
+                      io::TablePrinter::num(series.decay_rate_km_per_day, 6),
+                      io::TablePrinter::num(series.first_altitude_km, 3),
+                      io::TablePrinter::num(series.last_altitude_km, 3),
+                      series.decayed ? "1" : "0"});
+    }
+    io::write_csv_file(*csv_path, rows);
+    std::cout << "wrote " << report.series.size()
+              << " propagated satellites to " << *csv_path << "\n";
+  }
+
+  io::print_heading(std::cout, "Fleet propagation");
+  std::cout << "  satellites: " << report.series.size() << "   grid epochs: "
+            << report.epochs_jd.size() << "   span: "
+            << io::TablePrinter::num(report.epochs_jd.empty()
+                                         ? 0.0
+                                         : report.epochs_jd.back() -
+                                               report.epochs_jd.front(),
+                                     1)
+            << " days\n"
+            << "  cells ok: " << report.ok_cells << "   decayed: "
+            << report.decayed_cells << "   errors: " << report.error_cells
+            << "   init failures: " << report.init_failures.size() << "\n";
+
+  // Fastest-decaying satellites — the reentry-risk shortlist.
+  std::vector<const core::PropagationSeries*> ranked;
+  ranked.reserve(report.series.size());
+  for (const auto& series : report.series) {
+    if (series.valid_samples >= 2) ranked.push_back(&series);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto* a, const auto* b) {
+    if (a->decay_rate_km_per_day != b->decay_rate_km_per_day) {
+      return a->decay_rate_km_per_day < b->decay_rate_km_per_day;
+    }
+    return a->catalog_number < b->catalog_number;
+  });
+  const auto top = static_cast<std::size_t>(
+      args.nonnegative_integer_or("top", 10));
+  io::TablePrinter table({"catalog", "km/day", "first km", "last km", "reentry"});
+  for (std::size_t i = 0; i < ranked.size() && i < top; ++i) {
+    const auto& series = *ranked[i];
+    table.add_row({std::to_string(series.catalog_number),
+                   io::TablePrinter::num(series.decay_rate_km_per_day, 3),
+                   io::TablePrinter::num(series.first_altitude_km, 1),
+                   io::TablePrinter::num(series.last_altitude_km, 1),
+                   series.decayed ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  if (metrics != nullptr) emit_observability(args, *metrics);
+  return 0;
+}
+
 int cmd_report(const io::ArgParser& args) {
   args.check_known({"dst", "tles", "markdown", "threads", "parse-policy", "cache-dir",
                     "quality-report", "metrics", "trace"});
@@ -353,6 +441,7 @@ int main(int argc, char** argv) {
     if (command == "storms") return cmd_storms(args);
     if (command == "analyze") return cmd_analyze(args);
     if (command == "convert") return cmd_convert(args);
+    if (command == "propagate") return cmd_propagate(args);
     if (command == "report") return cmd_report(args);
     return usage();
   } catch (const Error& error) {

@@ -10,8 +10,12 @@
 //   cosmicdanced query --host 127.0.0.1 (--port N | --port-file F)
 //                --json '{"op":"storm_summary"}'
 //
-// Ops: ping, stats, sat_series, storm_summary, envelope_cdf,
-// quality_report, metrics, reload, shutdown.  A "reload" re-ingests the
+// Ops: ping, stats, sat_series, storm_summary, envelope_cdf, propagate,
+// decay_summary, quality_report, metrics, reload, shutdown.  The propagate
+// family runs the batch SGP4 engine against the serving snapshot's catalog:
+// "propagate" returns one satellite's altitude-from-state series over a
+// request-scoped epoch grid, "decay_summary" ranks the fleet's fastest
+// decayers by fitted decay rate.  A "reload" re-ingests the
 // inputs off to the side (appended records ride the delta fast path when a
 // cache dir is set) and atomically swaps the serving snapshot; in-flight
 // queries finish against the epoch they started on.
@@ -48,8 +52,8 @@ int usage() {
       "  cosmicdanced query [--host H] (--port N | --port-file F) --json J\n"
       "    sends one request payload and prints the response JSON.\n"
       "\n"
-      "ops: ping stats sat_series storm_summary envelope_cdf\n"
-      "     quality_report metrics reload shutdown\n";
+      "ops: ping stats sat_series storm_summary envelope_cdf propagate\n"
+      "     decay_summary quality_report metrics reload shutdown\n";
   return 2;
 }
 

@@ -3,7 +3,9 @@
 #   1. plain RelWithDebInfo over the whole suite,
 #   2. ThreadSanitizer (COSMICDANCE_SANITIZE=thread) over the parallel exec
 #      suite, which must be race-free for the deterministic-ordering
-#      contract to mean anything,
+#      contract to mean anything; the batch SGP4 suite rides along so a
+#      shared propagator driven from many threads (the pure-kernel contract,
+#      DESIGN.md §16) is under the same lens,
 #   3. ASan+UBSan (COSMICDANCE_SANITIZE=address) over the ingestion suites,
 #      driving the malformed-record corpus through both parse policies so
 #      buffer overreads in the fixed-column parsers surface here, and the
@@ -11,9 +13,12 @@
 #      walking and replay run under the same lens.
 #   4. observability smoke: the CLI with --metrics/--trace on the bundled
 #      dataset (work counters must be bit-identical at --threads 1 vs 8,
-#      per DESIGN.md §11) plus the micro_pipeline and micro_ingest
-#      telemetry passes, leaving build/BENCH_pipeline.json and
-#      build/BENCH_ingest.json behind as CI artifacts.  The ingest record
+#      per DESIGN.md §11) plus the micro_pipeline, micro_ingest and
+#      micro_sgp4 telemetry passes, leaving build/BENCH_pipeline.json,
+#      build/BENCH_ingest.json and build/BENCH_sgp4.json behind as CI
+#      artifacts.  The sgp4 record must clear a positions/s floor with zero
+#      non-kOk statuses and a bit-identical threads=1 vs threads=N grid
+#      (the batch determinism contract, DESIGN.md §16).  The ingest record
 #      must show a warm-cache hit (ingest.cache_hit == 1) and an
 #      append-aware delta hit that parsed only a small tail
 #      (ingest.delta_hit == 1, delta_tail_fraction < 5%), and
@@ -46,12 +51,14 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 echo "== pass 2: ThreadSanitizer build + parallel suite =="
 cmake -B build-tsan -S . -DCOSMICDANCE_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" \
-      --target parallel_differential_test serve_test
+      --target parallel_differential_test serve_test sgp4_batch_test
 # TSan halts with a non-zero exit on any race; no suppressions are used.
 # The serve suites put the daemon's atomic snapshot swap (DESIGN.md §15)
 # under the same lens: concurrent readers + reloads must be race-free.
+# Sgp4ThreadSafety drives one shared deep-space propagator from many
+# threads — the regression gate for the old mutable resonance-memo race.
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R 'ParallelDifferential|ParallelForStress|ThreadPoolTest|Serve'
+      -R 'ParallelDifferential|ParallelForStress|ThreadPoolTest|Serve|Sgp4ThreadSafety|BatchPropagator'
 
 echo "== pass 3: ASan+UBSan build + malformed-record ingestion suite =="
 cmake -B build-asan -S . -DCOSMICDANCE_SANITIZE=address
@@ -98,6 +105,18 @@ if [ -f build/BENCH_ingest.prev.json ]; then
   python3 tools/bench_compare.py build/BENCH_ingest.prev.json \
           build/BENCH_ingest.json
 fi
+# Batch SGP4 telemetry: the synthetic mixed fleet across the 60-day grid,
+# once at full parallelism and once serially, with the grids compared
+# bit-for-bit inside the bench (throughput.threads_identical).
+if [ -f build/BENCH_sgp4.json ]; then
+  cp build/BENCH_sgp4.json build/BENCH_sgp4.prev.json
+fi
+build/bench/micro_sgp4 --benchmark_filter='^$' \
+       --bench-out build/BENCH_sgp4.json --threads 0
+if [ -f build/BENCH_sgp4.prev.json ]; then
+  python3 tools/bench_compare.py build/BENCH_sgp4.prev.json \
+          build/BENCH_sgp4.json
+fi
 # Serving daemon smoke (DESIGN.md §15): boot on an ephemeral port against
 # the smoke dataset, send one of every query op plus a reload (which swaps
 # the snapshot while the daemon serves), then a clean shutdown.  The
@@ -118,8 +137,8 @@ if [ ! -s "$SMOKE/port.txt" ]; then
   kill "$DAEMON_PID" 2>/dev/null || true
   exit 1
 fi
-for op in ping stats sat_series storm_summary envelope_cdf quality_report \
-          reload metrics; do
+for op in ping stats sat_series storm_summary envelope_cdf propagate \
+          decay_summary quality_report reload metrics; do
   "$DAEMON" query --port-file "$SMOKE/port.txt" \
             --json "{\"op\":\"$op\"}" > "$SMOKE/serve_$op.json"
 done
@@ -172,11 +191,28 @@ tail_fraction = ingest["throughput"]["delta_tail_fraction"]
 assert 0.0 < tail_fraction < 0.05, (
     f"delta-warm pass reparsed {tail_fraction:.1%} of the inputs; "
     "the incremental path must touch well under 5%")
+# Batch SGP4 record (DESIGN.md §16): every fleet x grid cell must have
+# propagated cleanly, the parallel and serial grids must be bit-identical,
+# and the engine must clear the positions/s floor (set ~20x below the
+# measured rate so only a real regression trips it).
+sgp4 = json.load(open("build/BENCH_sgp4.json"))
+for key in ("bench", "threads", "dataset", "throughput", "metrics"):
+    assert key in sgp4, f"sgp4 bench record missing {key!r}"
+sgp4_tp = sgp4["throughput"]
+assert sgp4_tp.get("status_errors") == 0, (
+    f"batch propagation hit non-kOk statuses: {sgp4_tp}")
+assert sgp4_tp.get("threads_identical") == 1, (
+    "parallel and serial batch grids differ; the determinism contract "
+    f"is broken: {sgp4_tp}")
+positions_per_s = sgp4_tp.get("positions_per_s", 0)
+assert positions_per_s >= 100000, (
+    f"batch SGP4 throughput {positions_per_s:.0f} positions/s is below "
+    "the 100k floor")
 # Daemon smoke: every query answered from a whole epoch, and the counter
 # dump written at shutdown matches what was sent (8 query ops + shutdown,
 # zero errors, exactly one snapshot swap).
 ops = ("ping", "stats", "sat_series", "storm_summary", "envelope_cdf",
-       "quality_report", "reload", "metrics")
+       "propagate", "decay_summary", "quality_report", "reload", "metrics")
 for op in ops:
     response = json.load(open(f"{smoke}/serve_{op}.json"))
     assert response.get("ok") is True, f"{op} failed: {response}"
@@ -186,6 +222,13 @@ for op in ops:
             f"{response['epoch_end']}")
 reload_epoch = json.load(open(f"{smoke}/serve_reload.json"))["epoch"]
 assert reload_epoch == 2, f"reload did not swap the epoch: {reload_epoch}"
+propagate = json.load(open(f"{smoke}/serve_propagate.json"))
+assert propagate["samples"] == len(propagate["altitude_km"]), propagate
+assert propagate["valid_samples"] >= 1, (
+    f"propagate returned no valid altitude samples: {propagate}")
+decay = json.load(open(f"{smoke}/serve_decay_summary.json"))
+assert decay["satellites"] >= 1 and decay["fastest_decaying"], (
+    f"decay_summary ranked no satellites: {decay}")
 serve = json.load(open(f"{smoke}/daemon_metrics.json"))["counters"]
 assert serve.get("serve.requests") == len(ops) + 1, (
     f"daemon counted {serve.get('serve.requests')} requests, "
@@ -213,6 +256,8 @@ print(f"observability smoke OK: {len(m1['counters'])} work counters "
       f"ingest cache_hit={counters['ingest.cache_hit']}, "
       f"delta_hit={counters['ingest.delta_hit']} "
       f"(tail fraction {tail_fraction:.2%}); "
+      f"sgp4 batch {positions_per_s:.0f} positions/s, 0 status errors, "
+      f"threads identical; "
       f"daemon smoke OK: {serve['serve.requests']} requests, "
       f"0 errors, 1 reload; micro_serve {qps:.0f} q/s")
 EOF

@@ -1,0 +1,101 @@
+// Cost tracker for the cdlint gate (DESIGN.md §17): drives the two-phase
+// analyzer in-process over the real tree — lex + per-file rules + project
+// index merge + cross-file rules R9-R14 — and reports files/s and rule
+// evaluations/s so `tools/bench_compare.py` catches lint-gate regressions
+// the same way it does for sgp4 or serve throughput.
+//
+// The bench doubles as a gate: a non-empty scan error or any finding on
+// the tree is fatal (exit 1), because a bench that times a broken scan is
+// measuring the wrong thing.
+//
+//   ./micro_cdlint [--root DIR] [--threads N] [--repeat N] [--bench-out F]
+//
+// Default output: BENCH_cdlint.json in the working directory, carrying
+// files_per_s / rules_per_s in "throughput" and the scan shape
+// (cdlint.files, cdlint.records, cdlint.findings) in "metrics".
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_common.hpp"
+#include "rules.hpp"
+#include "scan.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cosmicdance;
+  const io::ArgParser args(argc, argv);
+  const std::string bench_out = args.option_or("bench-out", "BENCH_cdlint.json");
+
+  cdlint::ScanOptions options;
+  options.root = args.option_or("root", ".");
+  options.threads =
+      static_cast<unsigned>(args.nonnegative_integer_or("threads", 0));
+  const auto repeat =
+      static_cast<std::size_t>(args.nonnegative_integer_or("repeat", 3));
+
+  // Warm-up pass outside the timed window: faults the tree into the page
+  // cache and validates the scan before we start measuring it.
+  const cdlint::ScanResult probe = cdlint::scan_tree(options);
+  if (!probe.error.empty()) {
+    std::printf("FAIL: scan error: %s\n", probe.error.c_str());
+    return 1;
+  }
+  if (!probe.findings.empty()) {
+    std::printf("FAIL: tree is not clean (%zu findings); fix or baseline "
+                "before benchmarking the gate\n",
+                probe.findings.size());
+    for (const cdlint::Finding& finding : probe.findings) {
+      std::printf("  %s:%zu: [%s] %s\n", finding.file.c_str(), finding.line,
+                  finding.rule.c_str(), finding.message.c_str());
+    }
+    return 1;
+  }
+  if (probe.files_scanned == 0) {
+    std::printf("FAIL: scanned zero files under --root %s\n",
+                options.root.c_str());
+    return 1;
+  }
+
+  double elapsed_s = 0.0;
+  for (std::size_t run = 0; run < repeat; ++run) {
+    const auto begin = std::chrono::steady_clock::now();
+    const cdlint::ScanResult result = cdlint::scan_tree(options);
+    const auto end = std::chrono::steady_clock::now();
+    if (!result.error.empty() || result.files_scanned != probe.files_scanned) {
+      std::printf("FAIL: timed pass diverged from warm-up pass\n");
+      return 1;
+    }
+    elapsed_s += std::chrono::duration<double>(end - begin).count();
+  }
+  if (elapsed_s <= 0.0) elapsed_s = 1e-9;
+
+  const double passes = static_cast<double>(repeat);
+  const double files = static_cast<double>(probe.files_scanned);
+  const double rules = static_cast<double>(cdlint::rule_count());
+  std::size_t records = 0;
+  for (const cdlint::FileIndex& file : probe.index.files) {
+    records += file.mutexes.size() + file.atomics.size() + file.spawns.size() +
+               file.joins.size() + file.lock_edges.size() +
+               file.blocking_calls.size() + file.parallel_sites.size() +
+               file.relaxed_sites.size() + file.fp_hazards.size();
+  }
+
+  obs::Metrics metrics;
+  metrics.counter("cdlint.files").add(probe.files_scanned);
+  metrics.counter("cdlint.records").add(records);
+  metrics.counter("cdlint.findings").add(probe.findings.size());
+
+  std::map<std::string, double> throughput;
+  throughput["files_per_s"] = files * passes / elapsed_s;
+  throughput["rules_per_s"] = files * rules * passes / elapsed_s;
+
+  std::printf("cdlint scan: %zu files x %zu passes in %.3f s "
+              "(%.0f files/s, %.0f rule evals/s)\n",
+              probe.files_scanned, repeat, elapsed_s,
+              throughput["files_per_s"], throughput["rules_per_s"]);
+  bench::write_bench_record(bench_out, "cdlint",
+                            static_cast<int>(options.threads), "repo-tree",
+                            throughput, metrics);
+  return 0;
+}

@@ -37,6 +37,7 @@ struct Section {
 
   void run_chunks() {
     for (;;) {
+      // cdlint: allow(relaxed-order) ticket only claims an index; body writes are published by the section join
       const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) return;
       const std::size_t begin = c * chunk_size;

@@ -627,6 +627,7 @@ std::filesystem::path unique_temp_path(const std::string& path) {
   static std::atomic<std::uint64_t> serial{0};
   return std::filesystem::path(
       path + ".tmp." + std::to_string(::getpid()) + "." +
+      // cdlint: allow(relaxed-order) the serial only needs uniqueness; no data is published through it
       std::to_string(serial.fetch_add(1, std::memory_order_relaxed)));
 }
 

@@ -3,11 +3,15 @@
 // against the committed -- empty -- baseline.
 #include <sys/wait.h>
 
+#include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <tuple>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -108,8 +112,10 @@ TEST(CdlintTest, CorpusJsonIsValidAndCoversEveryRule) {
     rules_seen.insert(rule->text);
   }
   const std::set<std::string> expected{
-      "nondeterminism", "unordered-iter",  "raw-parse",     "naked-throw",
-      "counter-in-loop", "stdout-in-lib",  "include-first", "no-endl",
+      "nondeterminism", "unordered-iter", "raw-parse", "naked-throw",
+      "counter-in-loop", "stdout-in-lib", "include-first", "no-endl",
+      "shared-mutable-capture", "lock-order-cycle", "blocking-under-lock",
+      "thread-no-join", "fp-accumulation-order", "relaxed-order",
       "allow-reason"};
   EXPECT_EQ(rules_seen, expected);
 }
@@ -149,6 +155,117 @@ TEST(CdlintTest, BaselineEntryConsumesExactlyOneFinding) {
 TEST(CdlintTest, UnknownOptionIsAUsageError) {
   const RunResult result = run_command(quoted(kBinary) + " --no-such-flag");
   EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(CdlintTest, NegativeThreadsIsAUsageError) {
+  const RunResult result = run_command(quoted(kBinary) + " --root " +
+                                       quoted(kCorpusRoot) + " --threads -3");
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(CdlintTest, FindingsAreByteIdenticalAcrossThreadCounts) {
+  // The dogfooding contract: the parallel scan must produce exactly the
+  // serial scan's bytes -- same findings, same order -- in both the text
+  // and the JSON view.
+  const RunResult serial = run_command(
+      quoted(kBinary) + " --root " + quoted(kCorpusRoot) + " --threads 1");
+  EXPECT_EQ(serial.exit_code, 1);
+  ASSERT_FALSE(serial.output.empty());
+  const RunResult serial_json =
+      run_command(quoted(kBinary) + " --root " + quoted(kCorpusRoot) +
+                  " --threads 1 --json");
+  for (const int threads : {4, 8}) {
+    const std::string flag = " --threads " + std::to_string(threads);
+    const RunResult parallel = run_command(
+        quoted(kBinary) + " --root " + quoted(kCorpusRoot) + flag);
+    EXPECT_EQ(parallel.output, serial.output) << "threads=" << threads;
+    const RunResult parallel_json = run_command(
+        quoted(kBinary) + " --root " + quoted(kCorpusRoot) + flag + " --json");
+    EXPECT_EQ(parallel_json.output, serial_json.output)
+        << "threads=" << threads;
+  }
+}
+
+TEST(CdlintTest, JsonFindingsAreSortedRegardlessOfDirOrder) {
+  // Scan dirs given in reverse order on the command line: findings must
+  // still come out sorted by (file, line, rule), not in scan order.
+  const RunResult result = run_command(quoted(kBinary) + " --root " +
+                                       quoted(kCorpusRoot) +
+                                       " --json tests src");
+  EXPECT_EQ(result.exit_code, 1);
+  const auto doc = minijson::parse(result.output);
+  ASSERT_TRUE(doc.has_value());
+  const minijson::Value* findings = doc->find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_GT(findings->items.size(), 1u);
+  std::vector<std::tuple<std::string, long, std::string>> keys;
+  for (const minijson::Value& finding : findings->items) {
+    const std::string& line_text = finding.find("line")->text;
+    long line_number = 0;
+    std::from_chars(line_text.data(), line_text.data() + line_text.size(),
+                    line_number);
+    keys.emplace_back(finding.find("file")->text, line_number,
+                      finding.find("rule")->text);
+  }
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()))
+      << "findings not sorted by (file, line, rule)";
+  // Both dirs must actually be present: sorted output, full coverage.
+  EXPECT_EQ(std::get<0>(keys.front()).rfind("src/", 0), 0u);
+  EXPECT_EQ(std::get<0>(keys.back()).rfind("tests/", 0), 0u);
+}
+
+TEST(CdlintTest, AllowDirectiveInterplayWithCrossFileRules) {
+  const RunResult result =
+      run_command(quoted(kBinary) + " --root " + quoted(kCorpusRoot));
+  // A reasoned allow on the write line and one on the capture line both
+  // suppress the phase-2 shared-mutable-capture finding...
+  EXPECT_EQ(result.output.find("parallel_capture.cpp:43"), std::string::npos)
+      << "allow on the write line must suppress the R9 finding";
+  EXPECT_EQ(result.output.find("parallel_capture.cpp:52"), std::string::npos)
+      << "allow on the capture line must suppress the R9 finding";
+  // ...while a reasonless allow suppresses nothing: the R9 finding fires
+  // AND the meta rule reports the empty justification.
+  EXPECT_NE(
+      result.output.find(
+          "parallel_capture.cpp:59: [allow-reason]"),
+      std::string::npos);
+  EXPECT_NE(
+      result.output.find(
+          "parallel_capture.cpp:61: [shared-mutable-capture]"),
+      std::string::npos);
+  // Cross-file allows hold for the other phase-2 rules too: the reversed
+  // allowed_e_/allowed_f_ nesting and the deferred-join spawn are silent.
+  EXPECT_EQ(result.output.find("allowed_e_"), std::string::npos);
+  EXPECT_EQ(result.output.find("background"), std::string::npos);
+}
+
+TEST(CdlintTest, DumpIndexExposesCrossFileRecords) {
+  const RunResult result = run_command(
+      quoted(kBinary) + " --root " + quoted(kCorpusRoot) + " --dump-index");
+  EXPECT_EQ(result.exit_code, 0) << "--dump-index reports no findings";
+  // Spot-check one record of each cross-file species the phase-2 rules
+  // consume, exactly as serialized between scan workers and the merge.
+  EXPECT_NE(result.output.find("file\tsrc/serve/worker_spawn.cpp"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("spawn\torphan\t"), std::string::npos);
+  EXPECT_NE(result.output.find("spawn\t<temporary>\t"), std::string::npos);
+  EXPECT_NE(result.output.find("join\tworker\t"), std::string::npos);
+  EXPECT_NE(result.output.find("movealias\tkeepers_\tdrained"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("rangealias\tworker\tdrained"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("edge\torder_a_\torder_b_\t"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("block\tread\tstate_mutex_\t"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("mutex\tstate_mutex_\t"), std::string::npos);
+  EXPECT_NE(result.output.find("threadvec\tkeepers_\t"), std::string::npos);
+  EXPECT_NE(result.output.find("par\tparallel_for\t"), std::string::npos);
+  EXPECT_NE(result.output.find("parcap\tref\tresults"), std::string::npos);
+  EXPECT_NE(result.output.find("parwrite\ttotal\t"), std::string::npos);
+  EXPECT_NE(result.output.find("fp\treduce\t"), std::string::npos);
+  EXPECT_NE(result.output.find("relaxed\t"), std::string::npos);
+  EXPECT_NE(result.output.find("allow\t"), std::string::npos);
 }
 
 }  // namespace

@@ -263,7 +263,7 @@ TEST(ParallelForStress, EveryIndexVisitedExactlyOnce) {
     exec::parallel_for(kCount, threads,
                        [&](std::size_t begin, std::size_t end) {
                          for (std::size_t i = begin; i < end; ++i) {
-                           visits[i].fetch_add(1, std::memory_order_relaxed);
+                           visits[i].fetch_add(1);
                          }
                        });
     for (std::size_t i = 0; i < kCount; ++i) {
@@ -323,6 +323,7 @@ TEST(ParallelForStress, SerialKnobNeverTouchesThePool) {
   // contiguous chunk.
   std::vector<std::pair<std::size_t, std::size_t>> chunks;
   exec::parallel_for(1000, 1, [&](std::size_t begin, std::size_t end) {
+    // cdlint: allow(shared-mutable-capture) num_threads==1 is the exact serial path: one worker by contract
     chunks.emplace_back(begin, end);  // unsynchronised on purpose
   });
   ASSERT_EQ(chunks.size(), 1u);
@@ -345,7 +346,7 @@ TEST(ThreadPoolTest, DrainsAllSubmittedTasks) {
   std::condition_variable cv;
   for (int i = 0; i < kTasks; ++i) {
     pool.submit([&] {
-      done.fetch_add(1, std::memory_order_relaxed);
+      done.fetch_add(1);
       if (remaining.fetch_sub(1) == 1) {
         const std::lock_guard<std::mutex> lock(m);
         cv.notify_one();

@@ -1,72 +1,44 @@
 // cdlint — the CosmicDance project-invariant static-analysis pass.
 //
-//   cdlint [--root DIR] [--baseline FILE] [--json] [dir...]
+//   cdlint [--root DIR] [--baseline FILE] [--threads N] [--json]
+//          [--dump-index] [dir...]
 //
 // Walks `src/`, `tools/`, `bench/` and `tests/` under --root (default: the
-// current directory), lints every .cpp/.hpp/.h against the project rules in
-// rules.hpp, and prints findings one per line:
+// current directory) and runs the two-phase analysis in scan.hpp: per-file
+// rules R1-R8 while each file is lexed into a project-index record, then
+// the cross-file concurrency/determinism rules R9-R14 over the merged
+// index.  Findings print one per line, sorted by (file, line, rule):
 //
 //   src/foo/bar.cpp:42: [rule-slug] message
 //
-// With --json, findings are emitted as a JSON object instead.  A baseline
-// file (one `rule|path|normalized-line` entry per line, '#' comments) lets
-// legacy findings be grandfathered while new ones fail; the committed
-// baseline is empty and tier-1 pass 5 keeps it that way.
+// With --json, findings are emitted as a JSON object instead; --dump-index
+// prints the serialized project index (for debugging and the scan tests)
+// and reports no findings.  --threads N fans the file scan over the exec
+// pool (0 = all hardware, 1 = serial); output is byte-identical at any
+// value.  A baseline file (one `rule|path|normalized-line` entry per line,
+// '#' comments) lets legacy findings be grandfathered while new ones fail;
+// the committed baseline is empty and tier-1 pass 5 keeps it that way.
 //
 // Exit status: 0 no findings, 1 findings, 2 usage or I/O error.
-#include <algorithm>
-#include <filesystem>
+#include <charconv>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "lexer.hpp"
 #include "rules.hpp"
+#include "scan.hpp"
 
 namespace cdlint {
 namespace {
 
-namespace fs = std::filesystem;
-
 struct Options {
-  std::string root = ".";
+  ScanOptions scan;
   std::string baseline;
   bool json = false;
-  std::vector<std::string> dirs;
+  bool dump_index = false;
 };
-
-bool has_lintable_extension(const fs::path& path) {
-  const std::string ext = path.extension().string();
-  return ext == ".cpp" || ext == ".hpp" || ext == ".h";
-}
-
-/// Directories never scanned: self-test corpora (deliberate violations),
-/// build trees, VCS internals.
-bool skipped_directory(const fs::path& path) {
-  const std::string name = path.filename().string();
-  return name == "testdata" || name == ".git" ||
-         name.rfind("build", 0) == 0;
-}
-
-std::string normalize_whitespace(const std::string& line) {
-  std::string out;
-  bool in_space = true;  // also trims leading whitespace
-  for (const char c : line) {
-    if (c == ' ' || c == '\t') {
-      if (!in_space) out.push_back(' ');
-      in_space = true;
-    } else {
-      out.push_back(c);
-      in_space = false;
-    }
-  }
-  while (!out.empty() && out.back() == ' ') out.pop_back();
-  return out;
-}
 
 std::string json_escape(const std::string& text) {
   std::string out;
@@ -110,16 +82,13 @@ Baseline load_baseline(const std::string& path) {
   return baseline;
 }
 
-std::string baseline_key(const Finding& finding, const SourceFile& file) {
-  const std::size_t idx = finding.line - 1;
-  const std::string content =
-      idx < file.raw_lines().size() ? file.raw_lines()[idx] : std::string();
-  return finding.rule + "|" + finding.file + "|" +
-         normalize_whitespace(content);
+std::string baseline_key(const Finding& finding) {
+  return finding.rule + "|" + finding.file + "|" + finding.raw;
 }
 
 Options parse_args(int argc, char** argv) {
   Options options;
+  options.scan.dirs.clear();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* name) -> std::string {
@@ -130,84 +99,69 @@ Options parse_args(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--root") {
-      options.root = value("--root");
+      options.scan.root = value("--root");
     } else if (arg == "--baseline") {
       options.baseline = value("--baseline");
+    } else if (arg == "--threads") {
+      const std::string text = value("--threads");
+      int threads = -1;
+      const auto [ptr, ec] = std::from_chars(
+          text.data(), text.data() + text.size(), threads);
+      if (ec != std::errc() || ptr != text.data() + text.size() ||
+          threads < 0) {
+        std::cerr << "cdlint: --threads requires a non-negative integer, got '"
+                  << text << "'\n";
+        std::exit(2);
+      }
+      options.scan.threads = threads;
     } else if (arg == "--json") {
       options.json = true;
+    } else if (arg == "--dump-index") {
+      options.dump_index = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: cdlint [--root DIR] [--baseline FILE] [--json] "
-                   "[dir...]\n";
+      std::cout << "usage: cdlint [--root DIR] [--baseline FILE] "
+                   "[--threads N] [--json] [--dump-index] [dir...]\n";
       std::exit(0);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "cdlint: unknown option " << arg << "\n";
       std::exit(2);
     } else {
-      options.dirs.push_back(arg);
+      options.scan.dirs.push_back(arg);
     }
   }
-  if (options.dirs.empty()) options.dirs = {"src", "tools", "bench", "tests"};
+  if (options.scan.dirs.empty()) {
+    options.scan.dirs = {"src", "tools", "bench", "tests"};
+  }
   return options;
 }
 
 int run(const Options& options) {
-  const fs::path root(options.root);
-  if (!fs::is_directory(root)) {
-    std::cerr << "cdlint: --root is not a directory: " << options.root << "\n";
+  ScanResult result = scan_tree(options.scan);
+  if (!result.error.empty()) {
+    std::cerr << "cdlint: " << result.error << "\n";
     return 2;
   }
 
-  // Deterministic worklist: sorted repo-relative paths.
-  std::vector<std::string> files;
-  for (const std::string& dir : options.dirs) {
-    const fs::path base = root / dir;
-    if (!fs::is_directory(base)) continue;
-    fs::recursive_directory_iterator it(base), end;
-    while (it != end) {
-      if (it->is_directory() && skipped_directory(it->path())) {
-        it.disable_recursion_pending();
-      } else if (it->is_regular_file() &&
-                 has_lintable_extension(it->path())) {
-        files.push_back(fs::relative(it->path(), root).generic_string());
-      }
-      ++it;
-    }
+  if (options.dump_index) {
+    std::cout << result.index.serialize();
+    std::cerr << "cdlint: " << result.files_scanned
+              << " files indexed\n";
+    return 0;
   }
-  std::sort(files.begin(), files.end());
 
   Baseline baseline;
   if (!options.baseline.empty()) baseline = load_baseline(options.baseline);
-
   std::vector<Finding> findings;
   std::size_t baselined = 0;
-  for (const std::string& rel : files) {
-    std::ifstream in(root / rel, std::ios::binary);
-    if (!in) {
-      std::cerr << "cdlint: cannot read " << rel << "\n";
-      return 2;
+  for (Finding& finding : result.findings) {
+    const auto entry = baseline.find(baseline_key(finding));
+    if (entry != baseline.end()) {
+      baseline.erase(entry);
+      ++baselined;
+      continue;
     }
-    std::ostringstream text;
-    text << in.rdbuf();
-    const SourceFile source(rel, text.str());
-
-    bool sibling_header = false;
-    if (rel.size() > 4 && rel.compare(rel.size() - 4, 4, ".cpp") == 0) {
-      const fs::path header =
-          (root / rel).parent_path() /
-          ((root / rel).stem().string() + ".hpp");
-      sibling_header = fs::exists(header);
-    }
-    for (Finding& finding : run_rules(source, sibling_header)) {
-      const auto entry = baseline.find(baseline_key(finding, source));
-      if (entry != baseline.end()) {
-        baseline.erase(entry);
-        ++baselined;
-        continue;
-      }
-      findings.push_back(std::move(finding));
-    }
+    findings.push_back(std::move(finding));
   }
-  std::sort(findings.begin(), findings.end());
 
   if (options.json) {
     std::cout << "{\n  \"findings\": [";
@@ -220,7 +174,7 @@ int run(const Options& options) {
                 << json_escape(f.message) << "\"}";
     }
     std::cout << (findings.empty() ? "]" : "\n  ]") << ",\n"
-              << "  \"files_scanned\": " << files.size() << ",\n"
+              << "  \"files_scanned\": " << result.files_scanned << ",\n"
               << "  \"baselined\": " << baselined << ",\n"
               << "  \"count\": " << findings.size() << "\n}\n";
   } else {
@@ -229,8 +183,8 @@ int run(const Options& options) {
                 << f.message << "\n";
     }
   }
-  std::cerr << "cdlint: " << files.size() << " files, " << findings.size()
-            << " finding(s)"
+  std::cerr << "cdlint: " << result.files_scanned << " files, "
+            << findings.size() << " finding(s)"
             << (baselined > 0
                     ? ", " + std::to_string(baselined) + " baselined"
                     : std::string())

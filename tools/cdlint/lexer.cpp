@@ -254,6 +254,24 @@ bool SourceFile::allowed(std::size_t line, const std::string& rule) const {
   return it != reasoned_allows_by_line_.end() && it->second.count(rule) > 0;
 }
 
+std::string SourceFile::normalized_raw(std::size_t line) const {
+  if (line == 0 || line > raw_.size()) return {};
+  const std::string& source = raw_[line - 1];
+  std::string out;
+  bool in_space = true;  // also trims leading whitespace
+  for (const char c : source) {
+    if (c == ' ' || c == '\t') {
+      if (!in_space) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
 std::size_t SourceFile::line_of_offset(std::size_t offset) const {
   const auto it = std::upper_bound(line_offsets_.begin(), line_offsets_.end(),
                                    offset);

@@ -69,6 +69,16 @@ class SourceFile {
   /// Map an offset into code_text() to a 1-based line number.
   [[nodiscard]] std::size_t line_of_offset(std::size_t offset) const;
 
+  /// Offset of a token's first character into code_text().
+  [[nodiscard]] std::size_t offset_of(const Token& token) const {
+    return line_offsets_[token.line - 1] + token.col;
+  }
+
+  /// The raw source line (1-based) with runs of whitespace collapsed to one
+  /// space and ends trimmed — the canonical form used for baseline keys and
+  /// for index records that outlive the SourceFile.
+  [[nodiscard]] std::string normalized_raw(std::size_t line) const;
+
   /// First non-space character after the token (skipping newlines), or '\0'.
   [[nodiscard]] char char_after(const Token& token) const;
   /// First non-space character before the token (same line only), or '\0'.

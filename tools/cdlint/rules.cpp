@@ -31,8 +31,10 @@ std::string trim(const std::string& s) {
 
 const std::set<std::string>& known_rules() {
   static const std::set<std::string> kRules{
-      "nondeterminism", "unordered-iter",  "raw-parse",     "naked-throw",
-      "counter-in-loop", "stdout-in-lib",  "include-first", "no-endl",
+      "nondeterminism", "unordered-iter", "raw-parse", "naked-throw",
+      "counter-in-loop", "stdout-in-lib", "include-first", "no-endl",
+      "shared-mutable-capture", "lock-order-cycle", "blocking-under-lock",
+      "thread-no-join", "fp-accumulation-order", "relaxed-order",
       "allow-reason"};
   return kRules;
 }
@@ -61,7 +63,8 @@ struct Context {
   void report(std::size_t line, const std::string& rule,
               const std::string& message) {
     if (file.allowed(line, rule)) return;
-    findings.push_back(Finding{file.path(), line, rule, message});
+    findings.push_back(
+        Finding{file.path(), line, rule, message, file.normalized_raw(line)});
   }
 };
 
@@ -529,19 +532,268 @@ void rule_include_first(Context& ctx, bool has_sibling_header) {
 void rule_allow_reason(Context& ctx) {
   for (const AllowDirective& allow : ctx.file.allows()) {
     if (!allow.has_reason) {
-      ctx.findings.push_back(
-          Finding{ctx.file.path(), allow.directive_line, "allow-reason",
-                  "cdlint allow() directive without a justification -- state "
-                  "why the exception is safe; reasonless allows suppress "
-                  "nothing"});
+      ctx.findings.push_back(Finding{
+          ctx.file.path(), allow.directive_line, "allow-reason",
+          "cdlint allow() directive without a justification -- state "
+          "why the exception is safe; reasonless allows suppress "
+          "nothing",
+          ctx.file.normalized_raw(allow.directive_line)});
     }
     for (const std::string& rule : allow.rules) {
       if (known_rules().count(rule) == 0) {
-        ctx.findings.push_back(
-            Finding{ctx.file.path(), allow.directive_line, "allow-reason",
-                    "unknown rule '" + rule + "' in cdlint allow() directive"});
+        ctx.findings.push_back(Finding{
+            ctx.file.path(), allow.directive_line, "allow-reason",
+            "unknown rule '" + rule + "' in cdlint allow() directive",
+            ctx.file.normalized_raw(allow.directive_line)});
       }
     }
+  }
+}
+
+// === phase 2: cross-file rules over the merged project index ================
+
+/// Finding emitter that honours the allow() records carried in a FileIndex
+/// (the SourceFile is gone by the time phase 2 runs).
+struct ProjectContext {
+  const FileIndex& file;
+  std::vector<Finding>& findings;
+
+  void report(std::size_t line, const std::string& rule,
+              const std::string& message, const std::string& raw,
+              std::size_t alternate_allow_line = 0) {
+    if (file.allowed(line, rule)) return;
+    if (alternate_allow_line != 0 &&
+        file.allowed(alternate_allow_line, rule)) {
+      return;
+    }
+    findings.push_back(Finding{file.file, line, rule, message, raw});
+  }
+};
+
+// --- R9: shared-mutable-capture ---------------------------------------------
+
+void rule_shared_mutable_capture(const FileIndex& fi,
+                                 std::vector<Finding>& findings) {
+  // Same-file atomics commute and mutexes serialize themselves; writes to
+  // them inside a parallel body are not shared-mutable-state races.
+  std::set<std::string> exempt;
+  for (const AtomicDecl& d : fi.atomics) exempt.insert(d.name);
+  for (const MutexDecl& d : fi.mutexes) exempt.insert(d.name);
+  ProjectContext ctx{fi, findings};
+  for (const ParallelSite& site : fi.parallel_sites) {
+    std::set<std::string> flagged;  // one finding per name per site
+    for (const ParallelWrite& w : site.writes) {
+      if (w.subscripted) continue;
+      if (site.locals.count(w.name) > 0) continue;
+      if (exempt.count(w.name) > 0) continue;
+      if (flagged.count(w.name) > 0) continue;
+      const bool by_ref =
+          site.ref_captures.count(w.name) > 0 ||
+          (site.capture_default_ref && site.value_captures.count(w.name) == 0);
+      if (!by_ref) continue;
+      flagged.insert(w.name);
+      // The allow may sit on the write line or on the capture (call) line.
+      ctx.report(w.line, "shared-mutable-capture",
+                 "'" + w.name +
+                     "' is captured by reference and written inside an exec::" +
+                     site.callee +
+                     " body without per-index addressing -- every worker "
+                     "mutates one shared object; write into an index-addressed "
+                     "slot or make it a per-worker local",
+                 w.raw, site.line);
+    }
+  }
+}
+
+// --- R10: lock-order-cycle ---------------------------------------------------
+
+void rule_lock_order_cycle(const ProjectIndex& index,
+                           std::vector<Finding>& findings) {
+  // Lock graph over subsystem-qualified mutex names: `mutex_` in src/exec
+  // must never alias `mutex_` in src/serve.
+  struct Site {
+    const FileIndex* file;
+    const LockEdge* edge;
+  };
+  std::map<std::string, std::map<std::string, std::vector<Site>>> graph;
+  for (const FileIndex& fi : index.files) {
+    const std::string subsystem = subsystem_of(fi.file);
+    for (const LockEdge& e : fi.lock_edges) {
+      if (e.held == e.acquired) continue;  // recursive re-entry, not an order
+      graph[subsystem + ":" + e.held][subsystem + ":" + e.acquired].push_back(
+          Site{&fi, &e});
+    }
+  }
+  auto reaches = [&graph](const std::string& from, const std::string& to) {
+    std::set<std::string> seen{from};
+    std::vector<std::string> queue{from};
+    while (!queue.empty()) {
+      const std::string node = queue.back();
+      queue.pop_back();
+      if (node == to) return true;
+      const auto it = graph.find(node);
+      if (it == graph.end()) continue;
+      for (const auto& [next, sites] : it->second) {
+        if (seen.insert(next).second) queue.push_back(next);
+      }
+    }
+    return false;
+  };
+  for (const auto& [held, acquisitions] : graph) {
+    for (const auto& [acquired, sites] : acquisitions) {
+      if (!reaches(acquired, held)) continue;  // edge is not on a cycle
+      for (const Site& site : sites) {
+        if (site.file->allowed(site.edge->line, "lock-order-cycle")) continue;
+        findings.push_back(Finding{
+            site.file->file, site.edge->line, "lock-order-cycle",
+            "'" + site.edge->acquired + "' is acquired while '" +
+                site.edge->held + "' is held, and the reverse nesting exists "
+                "elsewhere in " + subsystem_of(site.file->file) +
+                " -- two threads interleaving these orders deadlock; pick one "
+                "global acquisition order",
+            site.edge->raw});
+      }
+    }
+  }
+}
+
+// --- R11: blocking-under-lock ------------------------------------------------
+
+void rule_blocking_under_lock(const FileIndex& fi,
+                              std::vector<Finding>& findings) {
+  if (!starts_with(fi.file, "src/serve/")) return;
+  ProjectContext ctx{fi, findings};
+  for (const BlockingCall& b : fi.blocking_calls) {
+    ctx.report(b.line, "blocking-under-lock",
+               "blocking " + b.callee + "() while mutex '" + b.held +
+                   "' is held -- serve-path readers must never sleep behind a "
+                   "lock; finish the syscall outside the critical section",
+               b.raw);
+  }
+}
+
+// --- R12: thread-no-join -----------------------------------------------------
+
+void rule_thread_no_join(const ProjectIndex& index,
+                         std::vector<Finding>& findings) {
+  struct Subsystem {
+    std::set<std::string> thread_vectors;
+    std::set<std::string> joined;
+    std::vector<std::pair<const FileIndex*, const ThreadSpawn*>> spawns;
+    std::vector<std::pair<const FileIndex*, const PendingSpawn*>> pending;
+    std::vector<const MoveAlias*> moves;
+    std::vector<const RangeAlias*> ranges;
+  };
+  std::map<std::string, Subsystem> subsystems;
+  for (const FileIndex& fi : index.files) {
+    Subsystem& sub = subsystems[subsystem_of(fi.file)];
+    for (const ThreadVectorDecl& d : fi.thread_vectors) {
+      sub.thread_vectors.insert(d.name);
+    }
+    for (const ThreadSpawn& s : fi.spawns) sub.spawns.push_back({&fi, &s});
+    for (const PendingSpawn& p : fi.pending_spawns) {
+      sub.pending.push_back({&fi, &p});
+    }
+    for (const JoinSite& j : fi.joins) sub.joined.insert(j.target);
+    for (const MoveAlias& a : fi.move_aliases) sub.moves.push_back(&a);
+    for (const RangeAlias& a : fi.range_aliases) sub.ranges.push_back(&a);
+  }
+  for (auto& [name, sub] : subsystems) {
+    // Alias closure: joining `for (auto& w : workers)`'s `w` joins
+    // `workers`, and joining the destination of `x = std::move(y)` joins
+    // `y` (the server shutdown drain pattern).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const RangeAlias* a : sub.ranges) {
+        if (sub.joined.count(a->var) > 0 &&
+            sub.joined.insert(a->range).second) {
+          changed = true;
+        }
+      }
+      for (const MoveAlias* a : sub.moves) {
+        if (sub.joined.count(a->to) > 0 && sub.joined.insert(a->from).second) {
+          changed = true;
+        }
+      }
+    }
+    const std::string& subsystem = name;
+    auto flag = [&findings, &subsystem](const FileIndex* fi, std::size_t line,
+                                        const std::string& target,
+                                        const std::string& raw) {
+      if (fi->allowed(line, "thread-no-join")) return;
+      const std::string what =
+          target == "<temporary>"
+              ? std::string(
+                    "std::thread constructed and dropped without a "
+                    "join()/detach() decision")
+              : "std::thread spawned into '" + target +
+                    "' has no reachable join()/detach() in subsystem '" +
+                    subsystem + "'";
+      findings.push_back(Finding{
+          fi->file, line, "thread-no-join",
+          what + " -- destroying a joinable thread calls std::terminate; "
+                 "join on every path or detach deliberately",
+          raw});
+    };
+    for (const auto& [fi, spawn] : sub.spawns) {
+      if (spawn->target == "<temporary>" ||
+          sub.joined.count(spawn->target) == 0) {
+        flag(fi, spawn->line, spawn->target, spawn->raw);
+      }
+    }
+    for (const auto& [fi, pending] : sub.pending) {
+      if (sub.thread_vectors.count(pending->container) > 0 &&
+          sub.joined.count(pending->container) == 0) {
+        flag(fi, pending->line, pending->container, pending->raw);
+      }
+    }
+  }
+}
+
+// --- R13: fp-accumulation-order ----------------------------------------------
+
+void rule_fp_accumulation_order(const FileIndex& fi,
+                                std::vector<Finding>& findings) {
+  if (!starts_with(fi.file, "src/core/") &&
+      !starts_with(fi.file, "src/stats/") &&
+      !starts_with(fi.file, "src/sgp4/")) {
+    return;
+  }
+  ProjectContext ctx{fi, findings};
+  for (const FpHazard& h : fi.fp_hazards) {
+    std::string message;
+    if (h.kind == "reduce") {
+      message =
+          "std::reduce/transform_reduce accumulates in unspecified order -- "
+          "grids here must be bit-identical at any --threads value; use "
+          "std::accumulate or a fixed-order loop";
+    } else if (h.kind == "fast-math") {
+      message =
+          "fast-math/fp-contract pragma re-associates floating-point "
+          "accumulation -- bit-identical measurement grids forbid it here";
+    } else {
+      message =
+          "float accumulator in bit-identical measurement code -- single "
+          "precision amplifies accumulation-order error; this tree "
+          "standardizes on double";
+    }
+    ctx.report(h.line, "fp-accumulation-order", message, h.raw);
+  }
+}
+
+// --- R14: relaxed-order ------------------------------------------------------
+
+void rule_relaxed_order(const FileIndex& fi, std::vector<Finding>& findings) {
+  if (starts_with(fi.file, "src/obs/")) return;
+  ProjectContext ctx{fi, findings};
+  for (const RelaxedSite& r : fi.relaxed_sites) {
+    ctx.report(r.line, "relaxed-order",
+               "std::memory_order_relaxed outside the obs counter idiom -- "
+               "relaxed is reserved for commuting counter bumps; anything "
+               "that publishes state needs acquire/release (or say why a "
+               "ticket is enough in an allow reason)",
+               r.raw);
   }
 }
 
@@ -568,5 +820,21 @@ std::vector<Finding> run_rules(const SourceFile& file,
   std::sort(findings.begin(), findings.end());
   return findings;
 }
+
+std::vector<Finding> run_project_rules(const ProjectIndex& index) {
+  std::vector<Finding> findings;
+  for (const FileIndex& fi : index.files) {
+    rule_shared_mutable_capture(fi, findings);
+    rule_blocking_under_lock(fi, findings);
+    rule_fp_accumulation_order(fi, findings);
+    rule_relaxed_order(fi, findings);
+  }
+  rule_lock_order_cycle(index, findings);
+  rule_thread_no_join(index, findings);
+  std::sort(findings.begin(), findings.end());
+  return findings;
+}
+
+std::size_t rule_count() { return known_rules().size(); }
 
 }  // namespace cdlint

@@ -32,6 +32,32 @@
 //                        and export writes into per-line syscalls; write
 //                        '\n' instead.
 //
+// Cross-file rules (phase 2, judged over the merged project index — see
+// index.hpp for why each bug class is invisible to a per-file rule):
+//
+//   shared-mutable-capture (R9)  A name captured by reference into an
+//                        exec::parallel_for / ordered_map body and mutated
+//                        without per-index addressing: every worker shares
+//                        one object (the PR 8 resonance-memo race).
+//                        Subscripted writes (out[i] = ...) and same-file
+//                        std::atomic/mutex members are exempt.
+//   lock-order-cycle     (R10) Two mutexes of one subsystem acquired in
+//                        both nesting orders somewhere in the project —
+//                        two threads interleaving those nestings deadlock.
+//   blocking-under-lock  (R11) A blocking syscall/sleep issued while a
+//                        mutex is held, in src/serve/ where reader latency
+//                        is the product (the PR 7 listener-fd bug class).
+//   thread-no-join       (R12) A spawned std::thread with no reachable
+//                        join()/detach decision in its subsystem — its
+//                        destructor std::terminate()s the process.
+//   fp-accumulation-order (R13) std::reduce/transform_reduce, float
+//                        accumulators, or fast-math pragmas in src/core/,
+//                        src/stats/, src/sgp4/ where grids must be
+//                        bit-identical at any --threads value.
+//   relaxed-order        (R14) std::memory_order_relaxed outside src/obs/:
+//                        relaxed is reserved for the commuting counter
+//                        idiom; state publication needs acq/rel.
+//
 // Plus the meta rule `allow-reason`: an allow() directive without a
 // justification is a finding and suppresses nothing.
 #pragma once
@@ -39,6 +65,7 @@
 #include <string>
 #include <vector>
 
+#include "index.hpp"
 #include "lexer.hpp"
 
 namespace cdlint {
@@ -48,14 +75,22 @@ struct Finding {
   std::size_t line = 0;
   std::string rule;   ///< slug, e.g. "nondeterminism"
   std::string message;
+  std::string raw;    ///< whitespace-normalized source line (baseline key)
 };
 
 /// Order findings for stable, diffable output.
 bool operator<(const Finding& a, const Finding& b);
 
-/// Run every rule over one scanned file.  `has_sibling_header` tells the
-/// include-first rule whether `<stem>.hpp` exists next to a .cpp.
+/// Run every per-file rule over one scanned file.  `has_sibling_header`
+/// tells the include-first rule whether `<stem>.hpp` exists next to a .cpp.
 [[nodiscard]] std::vector<Finding> run_rules(const SourceFile& file,
                                              bool has_sibling_header);
+
+/// Run the cross-file rules R9-R14 over the merged project index (phase 2).
+/// Honours the reasoned allow() directives recorded in each FileIndex.
+[[nodiscard]] std::vector<Finding> run_project_rules(const ProjectIndex& index);
+
+/// Number of enforced rules, per-file + cross-file + meta (for bench rates).
+[[nodiscard]] std::size_t rule_count();
 
 }  // namespace cdlint

@@ -1,0 +1,14 @@
+// cdlint corpus: negative scope case for rule `blocking-under-lock` (R11) —
+// a blocking call under a lock outside src/serve/ is not judged; only the
+// serving daemon's reader path has the latency contract.
+#include <mutex>
+
+std::mutex core_mutex_;
+
+long read(int fd, char* buffer, unsigned long size);
+
+long warm_cache(int fd) {
+  char buffer[32];
+  std::lock_guard<std::mutex> lock(core_mutex_);
+  return read(fd, buffer, sizeof(buffer));
+}

@@ -1,0 +1,29 @@
+// cdlint corpus: seeded violations for rule `fp-accumulation-order` (R13).
+#include <numeric>
+#include <vector>
+
+#pragma GCC optimize("fast-math")  // positive: re-associates accumulation
+
+double mean(const std::vector<double>& values) {
+  return std::reduce(values.begin(), values.end()) /  // positive: unordered
+         static_cast<double>(values.size());
+}
+
+double sum_fixed(const std::vector<double>& values) {
+  double total = 0.0;  // negative: double accumulator, fixed-order loop
+  for (const double v : values) total += v;
+  return total;
+}
+
+double lossy_sum(const std::vector<double>& values) {
+  float total = 0.0f;  // positive: float accumulator
+  for (const double v : values) total += static_cast<float>(v);
+  return total;
+}
+
+double allowed_sum(const std::vector<double>& values) {
+  // cdlint: allow(fp-accumulation-order) corpus seed: display-only rounding, not a measurement path
+  float approx = 0.0f;
+  for (const double v : values) approx += static_cast<float>(v);
+  return approx;
+}

@@ -1,0 +1,64 @@
+// cdlint corpus: seeded violations for rule `shared-mutable-capture` (R9).
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace exec {
+void parallel_for(std::size_t count, int threads, void* body);
+}
+
+std::atomic<long> hits{0};
+
+long accumulate_races(const std::vector<long>& values) {
+  long total = 0;
+  std::vector<long> results;
+  std::vector<long> out(values.size());
+  exec::parallel_for(values.size(), 4, [&](std::size_t i) {
+    total += values[i];      // positive: shared accumulator, no indexing
+    out[i] = values[i] * 2;  // negative: per-index slot
+    hits += 1;               // negative: atomic writes commute
+    long local = values[i];  // negative: body-local
+    local += 1;
+    (void)local;
+  });
+  exec::parallel_for(values.size(), 4, [&results, &total](std::size_t i) {
+    results.push_back(i);  // positive: explicit by-ref capture mutated
+    (void)total;
+  });
+  return total;
+}
+
+long value_capture_ok(const std::vector<long>& values) {
+  long copy = 0;
+  exec::parallel_for(values.size(), 1, [copy](std::size_t i) mutable {
+    copy += static_cast<long>(i);  // negative: by-value capture
+  });
+  return copy;
+}
+
+long allowed_on_write(const std::vector<long>& values) {
+  long total = 0;
+  exec::parallel_for(values.size(), 4, [&](std::size_t i) {
+    // cdlint: allow(shared-mutable-capture) corpus seed: reduction validated by the differential test
+    total += static_cast<long>(i);
+  });
+  return total;
+}
+
+long allowed_on_capture(const std::vector<long>& values) {
+  long total = 0;
+  // cdlint: allow(shared-mutable-capture) corpus seed: suppression on the capture line
+  exec::parallel_for(values.size(), 4, [&](std::size_t i) {
+    total += static_cast<long>(i);
+  });
+  return total;
+}
+
+long reasonless_allow(const std::vector<long>& values) {
+  long total = 0;
+  // cdlint: allow(shared-mutable-capture)
+  exec::parallel_for(values.size(), 4, [&](std::size_t i) {
+    total += static_cast<long>(i);
+  });
+  return total;
+}

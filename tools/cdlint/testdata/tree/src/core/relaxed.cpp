@@ -1,0 +1,13 @@
+// cdlint corpus: seeded violations for rule `relaxed-order` (R14).
+#include <atomic>
+
+std::atomic<unsigned long> published_{0};
+
+void publish(unsigned long value) {
+  published_.store(value, std::memory_order_relaxed);  // positive
+}
+
+unsigned long read_allowed() {
+  // cdlint: allow(relaxed-order) corpus seed: monotonic watermark, readers tolerate staleness
+  return published_.load(std::memory_order_relaxed);
+}

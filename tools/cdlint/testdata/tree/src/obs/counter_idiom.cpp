@@ -1,0 +1,8 @@
+// cdlint corpus: negative scope case for rule `relaxed-order` (R14) — the
+// obs counter idiom owns relaxed bumps: commuting increments publish no
+// state, so src/obs/ is exempt.
+#include <atomic>
+
+std::atomic<unsigned long> bumps_{0};
+
+void bump() { bumps_.fetch_add(1, std::memory_order_relaxed); }

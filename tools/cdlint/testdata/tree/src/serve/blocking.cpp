@@ -1,0 +1,26 @@
+// cdlint corpus: seeded violations for rule `blocking-under-lock` (R11).
+#include <mutex>
+
+std::mutex state_mutex_;
+
+long read(int fd, char* buffer, unsigned long size);
+int poll(void* fds, unsigned long count, int timeout_ms);
+
+long refresh(int fd) {
+  char buffer[64];
+  long total = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    total += read(fd, buffer, sizeof(buffer));  // positive: blocking read under lock
+    poll(nullptr, 0, 10);                       // positive: poll under lock
+  }
+  total += read(fd, buffer, sizeof(buffer));  // negative: lock already released
+  return total;
+}
+
+long refresh_allowed(int fd) {
+  char buffer[8];
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  // cdlint: allow(blocking-under-lock) corpus seed: startup-only path, no reader can be waiting yet
+  return read(fd, buffer, sizeof(buffer));
+}

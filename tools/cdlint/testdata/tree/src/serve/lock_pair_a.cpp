@@ -1,0 +1,29 @@
+// cdlint corpus: seeded violations for rule `lock-order-cycle` (R10).
+// This file nests order_a_ -> order_b_; lock_pair_b.cpp nests the reverse,
+// so the cycle only exists across the two files.
+#include <mutex>
+
+std::mutex order_a_;
+std::mutex order_b_;
+std::mutex consistent_c_;
+std::mutex consistent_d_;
+std::mutex allowed_e_;
+std::mutex allowed_f_;
+
+void nest_ab() {
+  std::lock_guard<std::mutex> outer(order_a_);
+  {
+    std::lock_guard<std::mutex> inner(order_b_);  // positive: reversed in lock_pair_b.cpp
+  }
+}
+
+void nest_cd() {
+  std::lock_guard<std::mutex> outer(consistent_c_);
+  std::lock_guard<std::mutex> inner(consistent_d_);  // negative: same order everywhere
+}
+
+void nest_ef() {
+  std::lock_guard<std::mutex> outer(allowed_e_);
+  // cdlint: allow(lock-order-cycle) corpus seed: reversed pair runs in startup only, single-threaded
+  std::lock_guard<std::mutex> inner(allowed_f_);
+}

@@ -1,0 +1,26 @@
+// cdlint corpus: the reverse nesting half of the lock-order cycle (R10)
+// seeded in lock_pair_a.cpp.
+#include <mutex>
+
+extern std::mutex order_a_;
+extern std::mutex order_b_;
+extern std::mutex consistent_c_;
+extern std::mutex consistent_d_;
+extern std::mutex allowed_e_;
+extern std::mutex allowed_f_;
+
+void nest_ba() {
+  std::lock_guard<std::mutex> outer(order_b_);
+  std::lock_guard<std::mutex> inner(order_a_);  // positive: reversed in lock_pair_a.cpp
+}
+
+void nest_cd_again() {
+  std::lock_guard<std::mutex> outer(consistent_c_);
+  std::lock_guard<std::mutex> inner(consistent_d_);  // negative: same order everywhere
+}
+
+void nest_fe() {
+  std::lock_guard<std::mutex> outer(allowed_f_);
+  // cdlint: allow(lock-order-cycle) corpus seed: reversed pair runs in startup only, single-threaded
+  std::lock_guard<std::mutex> inner(allowed_e_);
+}

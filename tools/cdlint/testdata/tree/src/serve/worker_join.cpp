@@ -1,0 +1,17 @@
+// cdlint corpus: the join half of the thread-no-join (R12) seeds in
+// worker_spawn.cpp — keepers_ drains through the move + range-for alias
+// chain, stable joins directly.
+#include <thread>
+#include <utility>
+#include <vector>
+
+extern std::vector<std::thread> keepers_;
+extern std::thread stable;
+
+void drain() {
+  std::vector<std::thread> drained = std::move(keepers_);
+  for (std::thread& worker : drained) {
+    worker.join();
+  }
+  stable.join();
+}

@@ -1,0 +1,26 @@
+// cdlint corpus: seeded violations for rule `thread-no-join` (R12).  The
+// joins for keepers_ and stable live in worker_join.cpp: the rule resolves
+// them cross-file through the subsystem join set and the move/range-for
+// alias closure.
+#include <thread>
+#include <vector>
+
+void run();
+
+std::vector<std::thread> keepers_;
+std::thread stable(run);  // negative: joined in worker_join.cpp
+
+void start() {
+  std::thread orphan(run);     // positive: never joined in src/serve
+  std::thread(run);            // positive: temporary, no join/detach decision
+  std::thread decided(run);
+  decided.detach();            // negative: an explicit detach decision
+  keepers_.emplace_back(run);  // negative: drained in worker_join.cpp
+  (void)orphan;
+}
+
+void start_allowed() {
+  // cdlint: allow(thread-no-join) corpus seed: harness teardown joins this outside the subsystem
+  std::thread background(run);
+  (void)background;
+}

@@ -1,0 +1,97 @@
+// Small lexical helpers shared by the per-file rules (rules.cpp) and the
+// project-index extractor (index.cpp).  All operate on the blanked code
+// view (lexer.hpp), so literal and comment text can never match.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cdlint::textscan {
+
+inline bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+inline bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+inline bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+inline std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+/// Find the offset of the matching closing delimiter, honouring nesting of
+/// the same pair only.  Returns npos when unbalanced.
+inline std::size_t match_forward(const std::string& text,
+                                 std::size_t open_offset, char open,
+                                 char close) {
+  std::size_t depth = 0;
+  for (std::size_t i = open_offset; i < text.size(); ++i) {
+    if (text[i] == open) {
+      ++depth;
+    } else if (text[i] == close) {
+      if (--depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+inline std::string read_ident_at(const std::string& text, std::size_t offset) {
+  std::size_t end = offset;
+  while (end < text.size() && is_ident_char(text[end])) ++end;
+  return text.substr(offset, end - offset);
+}
+
+/// Reads the identifier that ends just before `offset` (skipping trailing
+/// whitespace backwards); empty when none.
+inline std::string read_ident_before(const std::string& text,
+                                     std::size_t offset) {
+  std::size_t end = offset;
+  while (end > 0 &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  std::size_t begin = end;
+  while (begin > 0 && is_ident_char(text[begin - 1])) --begin;
+  return text.substr(begin, end - begin);
+}
+
+inline std::size_t skip_ws(const std::string& text, std::size_t offset) {
+  while (offset < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[offset])) != 0) {
+    ++offset;
+  }
+  return offset;
+}
+
+/// Split on commas at bracket depth zero ((), [], <>, {} all nest).
+inline std::vector<std::string> split_top_level(const std::string& text) {
+  std::vector<std::string> parts;
+  std::string current;
+  int depth = 0;
+  for (const char c : text) {
+    if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+    else if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+    if (c == ',' && depth == 0) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+}  // namespace cdlint::textscan

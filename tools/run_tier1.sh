@@ -31,11 +31,16 @@
 #      loopback daemon with concurrent clients across a mid-load reload
 #      and must leave build/BENCH_serve.json behind showing >= 1000 q/s
 #      with zero serve errors.
-#   5. static analysis: cdlint (the project-invariant lint, DESIGN.md §12)
-#      must report zero non-baselined findings against the committed --
-#      empty -- baseline, and its seeded corpus must keep producing the
-#      golden findings so no rule can silently die.  clang-tidy and
-#      shellcheck run when installed and are skipped (not failed) when not.
+#   5. static analysis: cdlint v2 (the project-invariant lint, DESIGN.md
+#      §12/§17) runs its parallel two-phase scan (--threads 4) and must
+#      report zero non-baselined findings against the committed baseline,
+#      which itself must stay empty of entries; the seeded corpus must keep
+#      producing the golden findings so no rule -- per-file or cross-file
+#      (R9-R14) -- can silently die, and micro_cdlint leaves
+#      build/BENCH_cdlint.json behind tracking the gate's own files/s and
+#      rule-evaluations/s with a warn-only trend diff against the previous
+#      run.  clang-tidy and shellcheck run when installed and are skipped
+#      (not failed) when not.
 #
 # Usage: tools/run_tier1.sh [jobs]
 set -euo pipefail
@@ -263,12 +268,49 @@ print(f"observability smoke OK: {len(m1['counters'])} work counters "
 EOF
 
 echo "== pass 5: static analysis (cdlint; clang-tidy/shellcheck if installed) =="
-# cdlint: the tree must be clean against the committed (empty) baseline,
+# cdlint v2: the parallel two-phase scan (lex -> project index -> per-file
+# + cross-file rules R9-R14) must be clean against the committed baseline,
 # and the self-test corpus must still produce the golden findings --
 # otherwise a lint rule has silently stopped firing.
-cmake --build build -j "$JOBS" --target cdlint cdlint_test
-build/tools/cdlint/cdlint --root . --baseline tools/cdlint/baseline.txt
+cmake --build build -j "$JOBS" --target cdlint cdlint_test micro_cdlint
+build/tools/cdlint/cdlint --root . --baseline tools/cdlint/baseline.txt \
+      --threads 4
+# The baseline must stay EMPTY: grandfathering is for bootstrap only, new
+# findings get fixed or carry an inline `// cdlint: allow(<rule>) <reason>`.
+if grep -Ev '^[[:space:]]*(#|$)' tools/cdlint/baseline.txt; then
+  echo "cdlint baseline has grown entries; fix or allow() the findings" >&2
+  exit 1
+fi
 ctest --test-dir build --output-on-failure -R 'CdlintTest'
+# Lint-gate cost telemetry: in-process scan_tree() over the real tree; any
+# finding fails the bench, and the record's throughput keys feed the same
+# warn-only trend diff as the other micro benches.
+if [ -f build/BENCH_cdlint.json ]; then
+  cp build/BENCH_cdlint.json build/BENCH_cdlint.prev.json
+fi
+build/bench/micro_cdlint --root . --threads 4 \
+      --bench-out build/BENCH_cdlint.json
+if [ -f build/BENCH_cdlint.prev.json ]; then
+  python3 tools/bench_compare.py build/BENCH_cdlint.prev.json \
+          build/BENCH_cdlint.json
+fi
+python3 - <<'EOF'
+import json
+record = json.load(open("build/BENCH_cdlint.json"))
+for key in ("bench", "threads", "dataset", "throughput", "metrics"):
+    assert key in record, f"cdlint bench record missing {key!r}"
+throughput = record["throughput"]
+for key in ("files_per_s", "rules_per_s"):
+    assert throughput.get(key, 0) > 0, (
+        f"cdlint bench record has no {key}: {throughput}")
+counters = record["metrics"]["counters"]
+assert counters.get("cdlint.files", 0) > 0, "cdlint bench scanned no files"
+assert counters.get("cdlint.findings", 0) == 0, (
+    f"cdlint bench saw findings on the tree: {counters}")
+print(f"cdlint gate OK: {counters['cdlint.files']} files at "
+      f"{throughput['files_per_s']:.0f} files/s "
+      f"({throughput['rules_per_s']:.0f} rule evals/s)")
+EOF
 tools/run_clang_tidy.sh build "$JOBS"
 if command -v shellcheck >/dev/null 2>&1; then
   shellcheck tools/run_tier1.sh tools/run_clang_tidy.sh

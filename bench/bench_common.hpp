@@ -11,8 +11,10 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "core/pipeline.hpp"
+#include "exec/thread_pool.hpp"
 #include "io/args.hpp"
 #include "io/file.hpp"
 #include "obs/obs.hpp"
@@ -65,17 +67,27 @@ inline void note(const std::string& text) {
 }
 
 /// Machine-readable bench telemetry record, shared by the micro benches:
-///   {"bench": ..., "threads": N, "dataset": ...,
+///   {"bench": ..., "threads": N, "threads_resolved": W,
+///    "hardware_concurrency": H, "dataset": ...,
 ///    "throughput": {"name": rate, ...}, "metrics": <MetricsReport JSON>}
+/// `threads` is the requested knob (0 = auto); `threads_resolved` is the
+/// worker count the exec subsystem actually ran, and
+/// `hardware_concurrency` the machine it ran on — without both, a
+/// throughput regression on an 8-core box and a healthy run on a 1-core
+/// box are indistinguishable in the archived records.
 /// `bench` / `dataset` / throughput keys are caller-controlled literals and
 /// must not need JSON escaping.
 inline void write_bench_record(const std::string& path, const std::string& bench,
                                int threads, const std::string& dataset,
                                const std::map<std::string, double>& throughput,
                                const obs::Metrics& metrics) {
-  std::string json = "{\n  \"bench\": \"" + bench + "\",\n  \"threads\": " +
-                     std::to_string(threads) + ",\n  \"dataset\": \"" + dataset +
-                     "\",\n  \"throughput\": {";
+  std::string json =
+      "{\n  \"bench\": \"" + bench + "\",\n  \"threads\": " +
+      std::to_string(threads) + ",\n  \"threads_resolved\": " +
+      std::to_string(exec::resolve_thread_count(threads)) +
+      ",\n  \"hardware_concurrency\": " +
+      std::to_string(std::thread::hardware_concurrency()) +
+      ",\n  \"dataset\": \"" + dataset + "\",\n  \"throughput\": {";
   bool first = true;
   char buffer[64];
   for (const auto& [name, value] : throughput) {

@@ -45,18 +45,27 @@ CosmicDance::CosmicDance(CosmicDance&& other) noexcept
       catalog_(std::move(other.catalog_)),
       tracks_(std::move(other.tracks_)),
       correlator_(std::make_unique<EventCorrelator>(&dst_, config_.correlator)),
-      quality_report_(std::move(other.quality_report_)) {}
+      quality_report_(std::move(other.quality_report_)),
+      snapshot_save_(std::move(other.snapshot_save_)) {}
 
 CosmicDance& CosmicDance::operator=(CosmicDance&& other) noexcept {
   if (this != &other) {
+    wait_for_snapshot_save();
     config_ = std::move(other.config_);
     dst_ = std::move(other.dst_);
     catalog_ = std::move(other.catalog_);
     tracks_ = std::move(other.tracks_);
     correlator_ = std::make_unique<EventCorrelator>(&dst_, config_.correlator);
     quality_report_ = std::move(other.quality_report_);
+    snapshot_save_ = std::move(other.snapshot_save_);
   }
   return *this;
+}
+
+CosmicDance::~CosmicDance() { wait_for_snapshot_save(); }
+
+void CosmicDance::wait_for_snapshot_save() {
+  if (snapshot_save_.valid()) snapshot_save_.get();
 }
 
 CosmicDance CosmicDance::from_files(const std::string& wdc_dst_path,
@@ -81,8 +90,8 @@ CosmicDance CosmicDance::from_files(const std::string& wdc_dst_path,
   if (use_cache) {
     snapshot_path =
         io::snapshot_cache_path(config.cache_dir, wdc_dst_path, tle_path);
-    std::optional<io::SnapshotData> snapshot =
-        io::load_snapshot(snapshot_path, config.parse_policy, config.metrics);
+    std::optional<io::SnapshotData> snapshot = io::load_snapshot(
+        snapshot_path, config.parse_policy, config.metrics, config.num_threads);
     if (snapshot.has_value()) {
       const io::InputClassification cls = io::classify_inputs(
           snapshot->state, dst_file.view(), tle_file.view());
@@ -97,7 +106,7 @@ CosmicDance CosmicDance::from_files(const std::string& wdc_dst_path,
           // re-truncate; rewrite a clean base now (best-effort).
           snapshot->tail_truncated = false;
           io::save_snapshot(snapshot_path, *snapshot, config.parse_policy,
-                            config.metrics);
+                            config.metrics, config.num_threads);
         }
         CosmicDance pipeline(std::move(snapshot->dst),
                              std::move(snapshot->catalog), config);
@@ -162,10 +171,10 @@ CosmicDance CosmicDance::from_files(const std::string& wdc_dst_path,
         if (snapshot->tail_truncated) {
           snapshot->tail_truncated = false;
           io::save_snapshot(snapshot_path, *snapshot, config.parse_policy,
-                            config.metrics);
+                            config.metrics, config.num_threads);
         } else if (snapshot->delta_layers >= io::kMaxSnapshotDeltaLayers) {
           if (io::save_snapshot(snapshot_path, *snapshot, config.parse_policy,
-                                config.metrics) &&
+                                config.metrics, config.num_threads) &&
               config.metrics != nullptr) {
             config.metrics->counter("snapshot.compacted").add(1);
           }
@@ -205,17 +214,31 @@ CosmicDance CosmicDance::from_files(const std::string& wdc_dst_path,
         tle::IngestOptions{&log, config.num_threads, tle_path, config.metrics});
   }
   diag::DataQualityReport quality = log.report();
+  std::future<void> save_future;
   if (use_cache) {
     // Best-effort rewrite: failure (e.g. read-only cache dir) is counted
-    // but never fatal — the parse already succeeded.
+    // but never fatal — the parse already succeeded.  The datasets are
+    // copied into the task and encode + write run on a background thread,
+    // overlapping the track build below; the pipeline joins the write in
+    // wait_for_snapshot_save() / its destructor (complete-before-exit).
     io::SnapshotData data{dst, catalog, quality,
                           io::ingest_state_of(dst_file.view(), tle_file.view()),
                           0, 0};
-    io::save_snapshot(snapshot_path, data, config.parse_policy,
-                      config.metrics);
+    save_future = std::async(
+        std::launch::async,
+        [path = snapshot_path, data = std::move(data),
+         policy = config.parse_policy, metrics = config.metrics,
+         threads = config.num_threads]() noexcept {
+          try {
+            io::save_snapshot(path, data, policy, metrics, threads);
+          } catch (...) {
+            // Best-effort, same as the historical synchronous write.
+          }
+        });
   }
   CosmicDance pipeline(std::move(dst), std::move(catalog), config);
   pipeline.quality_report_ = std::move(quality);
+  pipeline.snapshot_save_ = std::move(save_future);
   return pipeline;
 }
 

@@ -5,6 +5,7 @@
 // for storm events, cleaned tracks and happens-closely-after analyses.
 #pragma once
 
+#include <future>
 #include <memory>
 #include <string>
 #include <vector>
@@ -73,7 +74,17 @@ class CosmicDance {
   CosmicDance& operator=(CosmicDance&& other) noexcept;
   CosmicDance(const CosmicDance&) = delete;
   CosmicDance& operator=(const CosmicDance&) = delete;
-  ~CosmicDance() = default;
+  /// Joins any in-flight background snapshot save (complete-before-exit).
+  ~CosmicDance();
+
+  /// Blocks until the background snapshot save spawned by from_files (cold
+  /// text parse with a cache_dir) has finished.  from_files encodes and
+  /// writes the fresh base off the critical path: the pipeline is usable —
+  /// and returns results — while the cache write is still in flight, but
+  /// the write always completes before the pipeline is destroyed.  Call
+  /// this to force the handoff earlier, e.g. before a second pipeline is
+  /// pointed at the same cache directory.  No-op when no save is pending.
+  void wait_for_snapshot_save();
 
   // ---- data access --------------------------------------------------------
   [[nodiscard]] const spaceweather::DstIndex& dst() const noexcept { return dst_; }
@@ -124,6 +135,10 @@ class CosmicDance {
   std::vector<SatelliteTrack> tracks_;
   std::unique_ptr<EventCorrelator> correlator_;
   diag::DataQualityReport quality_report_;
+  /// Pending cold-path cache write (valid only between from_files spawning
+  /// it and the first wait); std::async semantics make even the default
+  /// future destructor block, so the write can never outlive the pipeline.
+  std::future<void> snapshot_save_;
 };
 
 }  // namespace cosmicdance::core

@@ -2,6 +2,10 @@
 
 #include <unistd.h>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <nmmintrin.h>  // SSE4.2 CRC32; used only behind a runtime cpu check
+#endif
+
 #include <algorithm>
 #include <array>
 #include <atomic>
@@ -14,6 +18,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "exec/parallel_for.hpp"
 #include "io/file.hpp"
 #include "obs/obs.hpp"
 #include "tle/tle.hpp"
@@ -25,6 +30,27 @@ constexpr char kMagic[8] = {'C', 'D', 'S', 'N', 'A', 'P', 'v', '1'};
 constexpr char kDeltaMagic[8] = {'C', 'D', 'D', 'E', 'L', 'T', 'A', '1'};
 constexpr std::size_t kHeaderSize = 40;
 
+// ---- v3 section layout (see snapshot.hpp for the format doc) ----------------
+
+constexpr std::uint32_t kSectionState = 1;
+constexpr std::uint32_t kSectionDst = 2;
+constexpr std::uint32_t kSectionCatalogStripe = 3;
+constexpr std::uint32_t kSectionQuality = 4;
+constexpr std::size_t kSectionEntrySize = 24;
+
+/// Records per catalog stripe (whole satellites each).  Only the catalog's
+/// contents pick the boundaries, so encode output is thread-count-
+/// invariant; the value balances per-section CRC/decode parallelism
+/// against table overhead.
+constexpr std::size_t kStripeTargetRecords = 16384;
+
+struct SectionEntry {
+  std::uint32_t kind = 0;
+  std::uint32_t crc = 0;
+  std::uint64_t offset = 0;  // relative to the end of the section table
+  std::uint64_t length = 0;
+};
+
 constexpr std::uint8_t kFlagDstLineTerminated = 1u << 0;
 constexpr std::uint8_t kFlagTleLineTerminated = 1u << 1;
 constexpr std::uint8_t kFlagTleBoundaryClean = 1u << 2;
@@ -34,19 +60,29 @@ constexpr std::uint8_t kFlagMask = kFlagDstLineTerminated |
 
 // ---- little-endian writer ---------------------------------------------------
 
+constexpr bool kLittleEndianHost = std::endian::native == std::endian::little;
+
 void put_u8(std::string& out, std::uint8_t v) {
   out.push_back(static_cast<char>(v));
 }
 
 void put_u32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  if constexpr (kLittleEndianHost) {
+    out.append(reinterpret_cast<const char*>(&v), 4);
+  } else {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
   }
 }
 
 void put_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  if constexpr (kLittleEndianHost) {
+    out.append(reinterpret_cast<const char*>(&v), 8);
+  } else {
+    for (int i = 0; i < 8; ++i) {
+      out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
   }
 }
 
@@ -81,6 +117,11 @@ class Cursor {
 
   std::uint32_t u32() {
     const std::string_view b = view(4);
+    if constexpr (kLittleEndianHost) {
+      std::uint32_t v;
+      std::memcpy(&v, b.data(), 4);
+      return v;
+    }
     std::uint32_t v = 0;
     for (int i = 0; i < 4; ++i) {
       v |= static_cast<std::uint32_t>(static_cast<unsigned char>(
@@ -92,6 +133,11 @@ class Cursor {
 
   std::uint64_t u64() {
     const std::string_view b = view(8);
+    if constexpr (kLittleEndianHost) {
+      std::uint64_t v;
+      std::memcpy(&v, b.data(), 8);
+      return v;
+    }
     std::uint64_t v = 0;
     for (int i = 0; i < 8; ++i) {
       v |= static_cast<std::uint64_t>(static_cast<unsigned char>(
@@ -166,7 +212,14 @@ IngestState decode_state(Cursor& in) {
 void encode_dst(std::string& out, const spaceweather::DstIndex& dst) {
   put_i64(out, dst.start_hour());
   put_u64(out, dst.size());
-  for (const double v : dst.values()) put_f64(out, v);
+  // Doubles are stored as their IEEE bit patterns little-endian, which on
+  // a little-endian host is exactly the in-memory layout — one append.
+  if constexpr (kLittleEndianHost) {
+    out.append(reinterpret_cast<const char*>(dst.values().data()),
+               dst.size() * 8);
+  } else {
+    for (const double v : dst.values()) put_f64(out, v);
+  }
 }
 
 spaceweather::DstIndex decode_dst(Cursor& in) {
@@ -174,8 +227,14 @@ spaceweather::DstIndex decode_dst(Cursor& in) {
   const std::uint64_t count = in.u64();
   if (count == 0) return {};
   std::vector<double> values;
-  values.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) values.push_back(in.f64());
+  if constexpr (kLittleEndianHost) {
+    const std::string_view raw = in.view(count * 8);
+    values.resize(count);
+    std::memcpy(values.data(), raw.data(), raw.size());
+  } else {
+    values.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) values.push_back(in.f64());
+  }
   return spaceweather::DstIndex(start, std::move(values));
 }
 
@@ -373,23 +432,107 @@ std::uint64_t fnv1a(std::string_view bytes, std::uint64_t seed) {
   return hash;
 }
 
-std::uint32_t crc32(std::string_view bytes) {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
+namespace {
+
+using CrcTables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+/// Slice-by-8 tables for a reflected CRC-32 polynomial.  table[0] is the
+/// classic byte-at-a-time table; tables 1..7 fold bytes further along, so
+/// the main loop can consume 8 input bytes per iteration with identical
+/// values to the one-byte walk, just ~6x faster.
+CrcTables make_crc_tables(std::uint32_t polynomial) {
+  CrcTables t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? polynomial ^ (c >> 1) : c >> 1;
     }
-    return t;
-  }();
+    t[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = t[0][i];
+    for (std::size_t slice = 1; slice < 8; ++slice) {
+      c = t[0][c & 0xFFu] ^ (c >> 8);
+      t[slice][i] = c;
+    }
+  }
+  return t;
+}
+
+std::uint32_t crc_sliced(const CrcTables& tables, std::string_view bytes) {
   std::uint32_t crc = 0xFFFFFFFFu;
-  for (const char byte : bytes) {
-    crc = table[(crc ^ static_cast<unsigned char>(byte)) & 0xFFu] ^ (crc >> 8);
+  const char* p = bytes.data();
+  std::size_t n = bytes.size();
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    if constexpr (kLittleEndianHost) {
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+    } else {
+      lo = hi = 0;
+      for (int i = 0; i < 4; ++i) {
+        lo |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+              << (8 * i);
+        hi |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[4 + i]))
+              << (8 * i);
+      }
+    }
+    lo ^= crc;
+    crc = tables[7][lo & 0xFFu] ^ tables[6][(lo >> 8) & 0xFFu] ^
+          tables[5][(lo >> 16) & 0xFFu] ^ tables[4][lo >> 24] ^
+          tables[3][hi & 0xFFu] ^ tables[2][(hi >> 8) & 0xFFu] ^
+          tables[1][(hi >> 16) & 0xFFu] ^ tables[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = tables[0][(crc ^ static_cast<unsigned char>(p[i])) & 0xFFu] ^
+          (crc >> 8);
   }
   return crc ^ 0xFFFFFFFFu;
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+/// The SSE4.2 CRC32 instruction implements exactly the reflected
+/// Castagnoli polynomial, 8 bytes per ~1-cycle op — an order of magnitude
+/// past the table walk.  Compiled for sse4.2 via the function attribute
+/// (the translation unit keeps the portable baseline flags) and only
+/// reached behind the runtime cpu check in crc32c below.
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(
+    std::string_view bytes) {
+  const char* p = bytes.data();
+  std::size_t n = bytes.size();
+  std::uint64_t crc = 0xFFFFFFFFu;
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);  // x86 is little-endian; bytes map directly
+    crc = _mm_crc32_u64(crc, word);
+    p += 8;
+    n -= 8;
+  }
+  std::uint32_t crc32 = static_cast<std::uint32_t>(crc);
+  for (std::size_t i = 0; i < n; ++i) {
+    crc32 = _mm_crc32_u8(crc32, static_cast<unsigned char>(p[i]));
+  }
+  return crc32 ^ 0xFFFFFFFFu;
+}
+#endif
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) {
+  static const CrcTables tables = make_crc_tables(0xEDB88320u);
+  return crc_sliced(tables, bytes);
+}
+
+std::uint32_t crc32c(std::string_view bytes) {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool hardware = __builtin_cpu_supports("sse4.2");
+  if (hardware) return crc32c_hw(bytes);
+#endif
+  static const CrcTables tables = make_crc_tables(0x82F63B78u);
+  return crc_sliced(tables, bytes);
 }
 
 IngestState ingest_state_of(std::string_view dst_bytes,
@@ -458,8 +601,8 @@ std::string snapshot_cache_path(const std::string& cache_dir,
   return (std::filesystem::path(cache_dir) / name).string();
 }
 
-std::string encode_snapshot(const SnapshotData& data,
-                            diag::ParsePolicy policy) {
+std::string encode_snapshot_v2(const SnapshotData& data,
+                               diag::ParsePolicy policy) {
   std::string payload;
   // Rough pre-size: a TLE record serialises to ~130 bytes, a Dst hour to 8.
   payload.reserve(128 + data.dst.size() * 8 +
@@ -472,7 +615,7 @@ std::string encode_snapshot(const SnapshotData& data,
   std::string out;
   out.reserve(kHeaderSize + payload.size());
   out.append(kMagic, sizeof(kMagic));
-  put_u32(out, kSnapshotFormatVersion);
+  put_u32(out, kSnapshotFormatVersionV2);
   put_u8(out, policy_byte(policy));
   out.append(3, '\0');
   put_u64(out, data.state.combined_hash);
@@ -480,6 +623,106 @@ std::string encode_snapshot(const SnapshotData& data,
   put_u32(out, crc32(payload));
   out.append(4, '\0');
   out.append(payload);
+  return out;
+}
+
+std::string encode_snapshot(const SnapshotData& data, diag::ParsePolicy policy,
+                            int num_threads) {
+  // Stripe plan: whole satellites, cut when the running record count
+  // reaches the target.  A pure function of the catalog — never of thread
+  // count — so the encoded bytes are identical at any worker count.
+  const std::vector<int> sats = data.catalog.satellites();
+  std::vector<std::pair<std::size_t, std::size_t>> stripes;  // [begin,end) in sats
+  {
+    std::size_t begin = 0;
+    std::size_t records = 0;
+    for (std::size_t i = 0; i < sats.size(); ++i) {
+      records += data.catalog.history(sats[i]).size();
+      if (records >= kStripeTargetRecords) {
+        stripes.emplace_back(begin, i + 1);
+        begin = i + 1;
+        records = 0;
+      }
+    }
+    if (begin < sats.size()) stripes.emplace_back(begin, sats.size());
+  }
+  const std::size_t section_count = 3 + stripes.size();
+  const auto kind_of = [&](std::size_t i) -> std::uint32_t {
+    if (i == 0) return kSectionState;
+    if (i == 1) return kSectionDst;
+    if (i + 1 < section_count) return kSectionCatalogStripe;
+    return kSectionQuality;
+  };
+
+  // Each section serialises (and CRCs) into its own buffer, independently.
+  struct EncodedSection {
+    std::string bytes;
+    std::uint32_t crc = 0;
+  };
+  const std::vector<EncodedSection> sections =
+      exec::ordered_map<EncodedSection>(
+          section_count, num_threads,
+          [&](std::size_t i) {
+            EncodedSection section;
+            std::string& payload = section.bytes;
+            switch (kind_of(i)) {
+              case kSectionState:
+                encode_state(payload, data.state);
+                break;
+              case kSectionDst:
+                payload.reserve(24 + data.dst.size() * 8);
+                encode_dst(payload, data.dst);
+                break;
+              case kSectionCatalogStripe: {
+                const auto [begin, end] = stripes[i - 2];
+                std::size_t records = 0;
+                for (std::size_t s = begin; s < end; ++s) {
+                  records += data.catalog.history(sats[s]).size();
+                }
+                payload.reserve(8 + (end - begin) * 12 + records * 130);
+                put_u64(payload, end - begin);
+                for (std::size_t s = begin; s < end; ++s) {
+                  const std::span<const tle::Tle> history =
+                      data.catalog.history(sats[s]);
+                  put_i32(payload, sats[s]);
+                  put_u64(payload, history.size());
+                  for (const tle::Tle& t : history) encode_tle(payload, t);
+                }
+                break;
+              }
+              default:
+                encode_quality(payload, data.quality);
+                break;
+            }
+            section.crc = crc32c(payload);
+            return section;
+          },
+          nullptr);
+
+  std::string table;
+  table.reserve(section_count * kSectionEntrySize);
+  std::uint64_t offset = 0;
+  for (std::size_t i = 0; i < section_count; ++i) {
+    put_u32(table, kind_of(i));
+    put_u32(table, sections[i].crc);
+    put_u64(table, offset);
+    put_u64(table, sections[i].bytes.size());
+    offset += sections[i].bytes.size();
+  }
+  const std::uint64_t payload_size = table.size() + offset;
+
+  std::string out;
+  out.reserve(kHeaderSize + payload_size);
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, kSnapshotFormatVersion);
+  put_u8(out, policy_byte(policy));
+  out.append(3, '\0');
+  put_u64(out, data.state.combined_hash);
+  put_u64(out, payload_size);
+  put_u32(out, crc32c(table));
+  put_u32(out, static_cast<std::uint32_t>(section_count));
+  out.append(table);
+  for (const EncodedSection& section : sections) out.append(section.bytes);
   return out;
 }
 
@@ -502,34 +745,179 @@ std::string encode_snapshot_delta(const SnapshotDelta& delta,
   return out;
 }
 
+namespace {
+
+/// Decode a v2 (monolithic) base payload into `data`.  Returns false on
+/// any disagreement; throws (caught by the caller) on truncated fields.
+bool decode_base_v2(std::string_view payload, std::uint64_t header_content_hash,
+                    std::uint32_t payload_crc, diag::ParsePolicy policy,
+                    SnapshotData& data) {
+  // Decode only after the CRC passes: the payload readers bound-check but
+  // do not otherwise defend against bit rot.
+  if (crc32(payload) != payload_crc) return false;
+  Cursor in(payload);
+  data.state = decode_state(in);
+  if (data.state.combined_hash != header_content_hash) return false;
+  data.dst = decode_dst(in);
+  data.catalog = decode_catalog(in);
+  data.quality = decode_quality(in);
+  if (data.quality.policy != policy) return false;
+  return in.exhausted();
+}
+
+/// Decode a v3 (section-table) base payload into `data`, validating and
+/// deserialising sections over `num_threads` workers.  Returns false on
+/// any disagreement; throws (caught by the caller) on truncated fields or
+/// histories adopt_history refuses.
+bool decode_base_v3(std::string_view payload,
+                    std::uint64_t header_content_hash, std::uint32_t table_crc,
+                    std::uint32_t section_count, diag::ParsePolicy policy,
+                    int num_threads, SnapshotData& data) {
+  // The table must fit the payload (a short file is a truncated section
+  // table) and carry the exact sections the format demands: state, Dst,
+  // zero or more catalog stripes, quality.
+  if (section_count < 3) return false;
+  const std::uint64_t table_size =
+      static_cast<std::uint64_t>(section_count) * kSectionEntrySize;
+  if (table_size > payload.size()) return false;
+  const std::string_view table = payload.substr(0, table_size);
+  if (crc32c(table) != table_crc) return false;
+
+  const std::string_view body = payload.substr(table_size);
+  std::vector<SectionEntry> entries(section_count);
+  {
+    Cursor tc(table);
+    std::uint64_t running = 0;
+    for (std::uint32_t i = 0; i < section_count; ++i) {
+      SectionEntry& entry = entries[i];
+      entry.kind = tc.u32();
+      entry.crc = tc.u32();
+      entry.offset = tc.u64();
+      entry.length = tc.u64();
+      // Sections must tile the body contiguously in table order; any
+      // overlap, gap or out-of-bounds length rejects the snapshot.
+      if (entry.offset != running) return false;
+      if (entry.length > body.size() - running) return false;
+      running += entry.length;
+      const std::uint32_t expected =
+          i == 0 ? kSectionState
+          : i == 1 ? kSectionDst
+          : i + 1 < section_count ? kSectionCatalogStripe
+                                  : kSectionQuality;
+      if (entry.kind != expected) return false;
+    }
+    if (running != body.size()) return false;
+  }
+
+  // Validate and deserialise the sections in parallel.  Workers only read
+  // the mapped bytes and build private results; failures are carried out
+  // as flags (never thrown across the pool) and any one rejects the file.
+  struct SectionResult {
+    bool ok = true;
+    IngestState state;
+    std::optional<spaceweather::DstIndex> dst;
+    std::vector<std::pair<int, std::vector<tle::Tle>>> satellites;
+    std::optional<diag::DataQualityReport> quality;
+  };
+  std::vector<SectionResult> results = exec::ordered_map<SectionResult>(
+      section_count, num_threads,
+      [&](std::size_t i) {
+        SectionResult result;
+        try {
+          const SectionEntry& entry = entries[i];
+          const std::string_view blob = body.substr(entry.offset, entry.length);
+          if (crc32c(blob) != entry.crc) throw ParseError("section CRC");
+          Cursor in(blob);
+          switch (entry.kind) {
+            case kSectionState:
+              result.state = decode_state(in);
+              break;
+            case kSectionDst:
+              result.dst = decode_dst(in);
+              break;
+            case kSectionCatalogStripe: {
+              const std::uint64_t sat_count = in.u64();
+              result.satellites.reserve(sat_count);
+              for (std::uint64_t s = 0; s < sat_count; ++s) {
+                const std::int32_t id = in.i32();
+                const std::uint64_t records = in.u64();
+                std::vector<tle::Tle> history;
+                // The byte-count bound keeps a corrupt (but CRC-valid)
+                // count from reserving unbounded memory: each record is
+                // at least ~125 bytes of section payload.
+                if (records > entry.length / 64) {
+                  throw ParseError("stripe record count exceeds section");
+                }
+                history.reserve(records);
+                for (std::uint64_t r = 0; r < records; ++r) {
+                  history.push_back(decode_tle(in));
+                }
+                result.satellites.emplace_back(id, std::move(history));
+              }
+              break;
+            }
+            default:
+              result.quality = decode_quality(in);
+              break;
+          }
+          if (!in.exhausted()) throw ParseError("section trailing bytes");
+        } catch (const std::exception&) {
+          result.ok = false;
+        }
+        return result;
+      },
+      nullptr);
+  for (const SectionResult& result : results) {
+    if (!result.ok) return false;
+  }
+
+  data.state = results.front().state;
+  if (data.state.combined_hash != header_content_hash) return false;
+  data.dst = std::move(*results[1].dst);
+  for (std::size_t i = 2; i + 1 < results.size(); ++i) {
+    for (auto& [id, history] : results[i].satellites) {
+      // adopt_history re-validates each record and the epoch ordering, and
+      // throws on a satellite already adopted — the same defences the v2
+      // per-record add() replay gave us, amortised per history.
+      data.catalog.adopt_history(id, std::move(history));
+    }
+  }
+  data.quality = std::move(*results.back().quality);
+  return data.quality.policy == policy;
+}
+
+}  // namespace
+
 std::optional<SnapshotData> decode_snapshot(std::string_view bytes,
-                                            diag::ParsePolicy policy) {
+                                            diag::ParsePolicy policy,
+                                            int num_threads) {
   if (bytes.size() < kHeaderSize) return std::nullopt;
   if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) return std::nullopt;
   try {
     Cursor header(bytes.substr(sizeof(kMagic), kHeaderSize - sizeof(kMagic)));
-    if (header.u32() != kSnapshotFormatVersion) return std::nullopt;
+    const std::uint32_t version = header.u32();
+    if (version != kSnapshotFormatVersion &&
+        version != kSnapshotFormatVersionV2) {
+      return std::nullopt;
+    }
     const std::uint8_t policy_raw = header.u8();
     header.view(3);  // padding
     if (policy_raw != policy_byte(policy)) return std::nullopt;
     const std::uint64_t header_content_hash = header.u64();
     const std::uint64_t payload_size = header.u64();
-    const std::uint32_t payload_crc = header.u32();
+    const std::uint32_t crc_field = header.u32();
+    const std::uint32_t tail_field = header.u32();  // v3: section count
     if (bytes.size() - kHeaderSize < payload_size) return std::nullopt;
     const std::string_view payload = bytes.substr(kHeaderSize, payload_size);
-    // Decode only after the CRC passes: the payload readers bound-check but
-    // do not otherwise defend against bit rot.
-    if (crc32(payload) != payload_crc) return std::nullopt;
 
-    Cursor in(payload);
     SnapshotData data;
-    data.state = decode_state(in);
-    if (data.state.combined_hash != header_content_hash) return std::nullopt;
-    data.dst = decode_dst(in);
-    data.catalog = decode_catalog(in);
-    data.quality = decode_quality(in);
-    if (data.quality.policy != policy) return std::nullopt;
-    if (!in.exhausted()) return std::nullopt;
+    const bool base_ok =
+        version == kSnapshotFormatVersionV2
+            ? decode_base_v2(payload, header_content_hash, crc_field, policy,
+                             data)
+            : decode_base_v3(payload, header_content_hash, crc_field,
+                             tail_field, policy, num_threads, data);
+    if (!base_ok) return std::nullopt;
 
     // Walk the delta chain.  Each layer's header must hash-link to the
     // header before it and carry the next 1-based index, so a missing,
@@ -597,16 +985,37 @@ std::optional<SnapshotData> decode_snapshot(std::string_view bytes,
 
 std::optional<SnapshotData> load_snapshot(const std::string& path,
                                           diag::ParsePolicy policy,
-                                          obs::Metrics* metrics) {
+                                          obs::Metrics* metrics,
+                                          int num_threads) {
   const obs::ScopedPhase phase(metrics, "snapshot.load");
   try {
     const MappedFile mapped(path);
-    std::optional<SnapshotData> data = decode_snapshot(mapped.view(), policy);
+    std::optional<SnapshotData> data =
+        decode_snapshot(mapped.view(), policy, num_threads);
     if (metrics != nullptr) {
       if (!data.has_value()) {
         metrics->counter("snapshot.rejected").add(1);
-      } else if (data->tail_truncated) {
-        metrics->counter("snapshot.delta_truncated").add(1);
+      } else {
+        if (data->tail_truncated) {
+          metrics->counter("snapshot.delta_truncated").add(1);
+        }
+        // The warm-throughput numerator: records materialised from
+        // snapshot bytes, counted whether or not the caller ends up using
+        // them.  Identical for a v2 and v3 encoding of the same data.
+        metrics->counter("snapshot.load_records")
+            .add(data->catalog.record_count());
+        // How the base was laid out on disk (v2 has no section table) —
+        // stripe sizing, not results, so a scheduling counter.
+        const std::string_view raw = mapped.view();
+        if (raw.size() >= kHeaderSize) {
+          Cursor header(
+              raw.substr(sizeof(kMagic), kHeaderSize - sizeof(kMagic)));
+          if (header.u32() == kSnapshotFormatVersion) {
+            header.view(20);  // policy + pad, content hash, payload size
+            header.u32();     // section-table CRC
+            metrics->sched_counter("snapshot.load_sections").add(header.u32());
+          }
+        }
       }
     }
     return data;
@@ -634,7 +1043,8 @@ std::filesystem::path unique_temp_path(const std::string& path) {
 }  // namespace
 
 bool save_snapshot(const std::string& path, const SnapshotData& data,
-                   diag::ParsePolicy policy, obs::Metrics* metrics) {
+                   diag::ParsePolicy policy, obs::Metrics* metrics,
+                   int num_threads) {
   const obs::ScopedPhase phase(metrics, "snapshot.save");
   // Temp-then-rename keeps readers off half-written files; the unique temp
   // name keeps concurrent writers off *each other's* — the rename itself is
@@ -645,15 +1055,20 @@ bool save_snapshot(const std::string& path, const SnapshotData& data,
     if (target.has_parent_path()) {
       std::filesystem::create_directories(target.parent_path());
     }
-    const std::string bytes = encode_snapshot(data, policy);
+    const std::string bytes = encode_snapshot(data, policy, num_threads);
     {
+      // The whole file is in memory already, so commit it with a single
+      // buffered write — one syscall-sized transfer, never per-field I/O.
       std::ofstream out(temp, std::ios::binary | std::ios::trunc);
       if (!out) throw IoError("cannot open snapshot temp file");
       out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
       if (!out) throw IoError("failed writing snapshot temp file");
     }
     std::filesystem::rename(temp, target);
-    if (metrics != nullptr) metrics->counter("snapshot.written").add(1);
+    if (metrics != nullptr) {
+      metrics->counter("snapshot.written").add(1);
+      metrics->counter("snapshot.save_bytes").add(bytes.size());
+    }
     return true;
   } catch (const std::exception&) {
     if (metrics != nullptr) metrics->counter("snapshot.write_failed").add(1);
@@ -675,7 +1090,10 @@ bool append_snapshot_delta(const std::string& path, const SnapshotDelta& delta,
     // load, which falls back to a full reparse and a fresh base — no
     // temp-and-rename dance needed for crash safety here.
     append_file(path, bytes);
-    if (metrics != nullptr) metrics->counter("snapshot.delta_written").add(1);
+    if (metrics != nullptr) {
+      metrics->counter("snapshot.delta_written").add(1);
+      metrics->counter("snapshot.save_bytes").add(bytes.size());
+    }
     return true;
   } catch (const std::exception&) {
     if (metrics != nullptr) metrics->counter("snapshot.write_failed").add(1);

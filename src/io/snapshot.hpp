@@ -28,9 +28,28 @@
 //   bytes 16-23  FNV-1a content hash of the raw inputs (u64, dst chained
 //                into tle — the same combined hash IngestState carries)
 //   bytes 24-31  base payload size in bytes (u64)
-//   bytes 32-35  CRC32 of the base payload (u32)
-//   bytes 36-39  zero padding
-// followed by the base payload, followed by zero or more delta layers,
+//   bytes 32-35  v2: CRC32 of the base payload; v3: CRC32C of the section
+//                table (u32)
+//   bytes 36-39  v2: zero padding; v3: section count (u32)
+// followed by the base payload.  In v2 the payload is one monolithic
+// encoding of state + Dst + catalog + quality, integrity-checked by the
+// single header CRC.  In v3 the payload is a *section table* followed by
+// the section bytes, so a loader can validate and deserialise sections
+// independently (in parallel) and size its containers up front:
+//   table:   section count × 24-byte entries
+//              u32 kind (1 state, 2 Dst, 3 catalog stripe, 4 quality)
+//              u32 CRC32C of the section's bytes
+//              u64 offset (relative to the end of the table)
+//              u64 length in bytes
+//            Entries must tile the post-table payload contiguously in
+//            order (offset == sum of prior lengths) — anything else
+//            (overlap, gap, out-of-bounds) rejects the snapshot.
+//   kinds:   exactly one state section first, one Dst section second, any
+//            number of catalog stripes (whole satellites each, stripe
+//            boundaries fixed at encode time so the bytes are independent
+//            of writer thread count), and one quality section last.
+// Delta layers are identical in v2 and v3 files: zero or more follow the
+// base payload,
 // each a 40-byte layer header
 //   bytes  0-7   magic "CDDELTA1"
 //   bytes  8-11  1-based layer index (u32)
@@ -63,9 +82,15 @@ class Metrics;
 namespace cosmicdance::io {
 
 /// Bumped on any change to the payload encoding; a version mismatch is a
-/// silent reject-and-reparse, never a migration.  v2 added the ingest
-/// state record and delta layers (DESIGN.md §14).
-inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
+/// silent reject-and-reparse, never a migration — except v2, which this
+/// build still *reads* (never writes) so existing caches survive the v3
+/// rollout.  v2 added the ingest state record and delta layers; v3 added
+/// the section-table payload (DESIGN.md §14, §18).
+inline constexpr std::uint32_t kSnapshotFormatVersion = 3;
+
+/// The previous monolithic-payload format, still accepted by
+/// decode_snapshot (including its delta chains).
+inline constexpr std::uint32_t kSnapshotFormatVersionV2 = 2;
 
 /// Delta layers allowed on a base before the next append compacts the
 /// whole chain back into a single base.  Small on purpose: every layer is
@@ -79,8 +104,15 @@ inline constexpr std::uint64_t kFnv1aOffset = 14695981039346656037ULL;
 [[nodiscard]] std::uint64_t fnv1a(std::string_view bytes,
                                   std::uint64_t seed = kFnv1aOffset);
 
-/// CRC32 (IEEE 802.3 polynomial) of `bytes` — the payload integrity check.
+/// CRC32 (IEEE 802.3 polynomial) of `bytes` — the v2 payload and delta-
+/// layer integrity check.
 [[nodiscard]] std::uint32_t crc32(std::string_view bytes);
+
+/// CRC32C (Castagnoli polynomial) of `bytes` — the v3 section and
+/// section-table integrity check.  Uses the SSE4.2 CRC32 instruction when
+/// the cpu has it; the portable table fallback produces identical values,
+/// so files are byte-compatible across machines either way.
+[[nodiscard]] std::uint32_t crc32c(std::string_view bytes);
 
 /// What a snapshot knows about the raw input pair it was built from —
 /// enough to recognise the exact same bytes (lengths + hashes), to
@@ -177,9 +209,20 @@ struct SnapshotDelta {
                                               const std::string& dst_path,
                                               const std::string& tle_path);
 
-/// Serialise a base snapshot (header + base payload, no delta layers).
+/// Serialise a base snapshot (header + section table + sections, no delta
+/// layers) in the current (v3) format.  Sections are encoded into
+/// independent buffers over `num_threads` workers (the exec convention:
+/// 0 = all hardware threads, 1 = serial); stripe boundaries are a pure
+/// function of the catalog, so the bytes are identical at any value.
 [[nodiscard]] std::string encode_snapshot(const SnapshotData& data,
-                                          diag::ParsePolicy policy);
+                                          diag::ParsePolicy policy,
+                                          int num_threads = 1);
+
+/// Serialise a base snapshot in the legacy v2 monolithic-payload format.
+/// Production code never writes v2 — this exists so compatibility tests
+/// can fabricate the files a pre-v3 build would have left behind.
+[[nodiscard]] std::string encode_snapshot_v2(const SnapshotData& data,
+                                             diag::ParsePolicy policy);
 
 /// Serialise one delta layer (header + payload) for appending to a file
 /// whose last layer hashed to `prev_chain_hash`.
@@ -204,7 +247,7 @@ struct SnapshotDelta {
 /// whole file: that is bit rot or tampering, not a crash signature, and
 /// the text source of truth is always available.
 [[nodiscard]] std::optional<SnapshotData> decode_snapshot(
-    std::string_view bytes, diag::ParsePolicy policy);
+    std::string_view bytes, diag::ParsePolicy policy, int num_threads = 1);
 
 /// Load a snapshot file.  A missing/unreadable file is a cache miss
 /// (nullopt, no counter); a present-but-invalid file bumps
@@ -213,10 +256,15 @@ struct SnapshotDelta {
 /// `snapshot.delta_truncated`.  Whether a structurally valid snapshot
 /// matches the current inputs is the caller's decision (classify_inputs)
 /// — the caller bumps `snapshot.loaded` only when it actually uses the
-/// data.  Wall time lands in phase "snapshot.load".
+/// data.  A successful load adds the materialised record count to
+/// `snapshot.load_records` (the warm-throughput numerator) and the v3
+/// section count to the scheduling counter `snapshot.load_sections`.
+/// Sections are validated and deserialised over `num_threads` workers;
+/// results are bit-identical at any value.  Wall time lands in phase
+/// "snapshot.load".
 [[nodiscard]] std::optional<SnapshotData> load_snapshot(
     const std::string& path, diag::ParsePolicy policy,
-    obs::Metrics* metrics = nullptr);
+    obs::Metrics* metrics = nullptr, int num_threads = 1);
 
 /// Write a base snapshot file, discarding any existing delta chain
 /// (atomically: per-writer temp file + rename, creating the cache
@@ -226,10 +274,14 @@ struct SnapshotDelta {
 /// rename is atomic, so the last writer wins with a complete file.
 /// Best-effort: returns false and bumps `snapshot.write_failed` on any
 /// filesystem error instead of throwing — a read-only cache dir must not
-/// break the pipeline.  Success bumps `snapshot.written`; wall time lands
-/// in phase "snapshot.save".
+/// break the pipeline.  Success bumps `snapshot.written` and adds the
+/// file size to `snapshot.save_bytes`; the encoded bytes are committed
+/// with one buffered write.  Sections are serialised over `num_threads`
+/// workers (bytes identical at any value).  Wall time lands in phase
+/// "snapshot.save".
 bool save_snapshot(const std::string& path, const SnapshotData& data,
-                   diag::ParsePolicy policy, obs::Metrics* metrics = nullptr);
+                   diag::ParsePolicy policy, obs::Metrics* metrics = nullptr,
+                   int num_threads = 1);
 
 /// Append one delta layer to an existing snapshot file.  Best-effort like
 /// save_snapshot (failure bumps `snapshot.write_failed`); success bumps

@@ -6,8 +6,13 @@
 #include <string_view>
 #include <utility>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "common/error.hpp"
 #include "exec/parallel_for.hpp"
+#include "exec/thread_pool.hpp"
 #include "io/file.hpp"
 #include "obs/obs.hpp"
 
@@ -23,15 +28,44 @@ bool looks_like_tle_line(std::string_view line, char number) {
   return line.size() == 69 && line[0] == number && line[1] == ' ';
 }
 
+#if defined(__SSE2__)
+/// True when any of the 69 bytes at `p` is a newline.  Five overlapping
+/// 16-byte compares (offsets 0/16/32/48/53) cover the range exactly; the
+/// scan's fast path uses this to take a standard-width TLE line without a
+/// memchr call per line.
+inline bool has_newline_69(const char* p) {
+  const __m128i nl = _mm_set1_epi8('\n');
+  const auto load = [](const char* q) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(q));
+  };
+  __m128i hit = _mm_cmpeq_epi8(load(p), nl);
+  hit = _mm_or_si128(hit, _mm_cmpeq_epi8(load(p + 16), nl));
+  hit = _mm_or_si128(hit, _mm_cmpeq_epi8(load(p + 32), nl));
+  hit = _mm_or_si128(hit, _mm_cmpeq_epi8(load(p + 48), nl));
+  hit = _mm_or_si128(hit, _mm_cmpeq_epi8(load(p + 53), nl));
+  return _mm_movemask_epi8(hit) != 0;
+}
+#endif
+
 // A paired two-line record located in its source, plus structural rejects
-// found while pairing.  Splitting is serial; parsing the paired records is
-// the parallel part.  The lines are views into the caller's text (a file
+// found while pairing.  The lines are views into the caller's text (a file
 // mapping on the fast path) — nothing is copied until a record is rejected
 // and its snippet materialised.
 struct RawRecord {
   std::string_view line1;
   std::string_view line2;
   std::size_t line_number = 0;  // 1-based line number of line1
+};
+
+// A pairing failure found in pass 1.  Deferred (not reported immediately)
+// so pass 3 can interleave it with parse failures in file order: strict
+// mode must throw on the *first* bad record in the file, not on the first
+// structural one.
+struct StructuralReject {
+  std::size_t line_number = 0;
+  ErrorCategory category = ErrorCategory::kSyntax;
+  std::string message;
+  std::string snippet;
 };
 
 // Result of parsing one RawRecord: either a TLE or a categorised failure.
@@ -53,6 +87,145 @@ ParsedRecord parse_record(const RawRecord& record) {
     parsed.message = error.what();
   }
   return parsed;
+}
+
+// ---- sharded pass-1 scan ----------------------------------------------------
+//
+// The pairing scan is almost embarrassingly parallel: every line either
+// starts a record (a line 1), completes one (a line 2), or clears the
+// pairing state (anything else).  The only cross-shard coupling is the
+// pending line 1 a shard may carry into its successor — and that state can
+// influence the handling of exactly one line, the successor's *first*
+// non-empty one.  Each shard is therefore scanned independently assuming no
+// carried state, remembering how its first non-empty line was classified;
+// a serial stitch afterwards replays the carried state across the shard
+// edges and patches that one line's outcome.
+
+// How a shard's first non-empty line would be handled by the serial scan —
+// the only decision that depends on the pairing state carried in.
+enum class FirstLine : std::uint8_t {
+  kNone,        // shard has no non-empty lines: carried state passes through
+  kLine1,       // a well-formed line 1: overwrites any carried pending
+  kLine2,       // a well-formed line 2: pairs with a carried pending line 1
+  kMalformed2,  // "2 "-lead line of the wrong length: rejects a carried pending
+  kOther,       // a name line: silently clears any carried pending
+};
+
+struct ShardScan {
+  std::vector<RawRecord> records;            // line numbers local to the shard
+  std::vector<StructuralReject> structural;  // ditto, ascending
+  std::size_t lines = 0;              // count of lines starting in this shard
+  std::string_view pending_line1;     // unpaired line 1 left at shard end
+  std::size_t pending_line = 0;       // its local 1-based line number
+  std::string_view first_view;        // the first non-empty line
+  std::size_t first_line = 0;         // its local 1-based line number
+  FirstLine first = FirstLine::kNone;
+};
+
+// Scan one shard exactly like the serial pass-1 loop, with local line
+// numbers and no pairing state carried in.  When the first non-empty line
+// is a lone line 2 it is quarantined here (structural.front()) just as a
+// from-zero scan would; the stitch converts that reject into a paired
+// record when the previous shard carries a pending line 1 across the edge.
+ShardScan scan_shard(std::string_view text) {
+  ShardScan scan;
+  scan.records.reserve(text.size() / 140 + 1);
+  for (std::size_t pos = 0; pos < text.size();) {
+    std::size_t eol;
+#if defined(__SSE2__)
+    // Standard-width fast path: a 69-char line ends exactly at pos+69, and
+    // the vector check proves no earlier newline, so the general search is
+    // skipped for the overwhelmingly common case.
+    if (pos + 69 < text.size() && text[pos + 69] == '\n' &&
+        !has_newline_69(text.data() + pos)) {
+      eol = pos + 69;
+    } else
+#endif
+    {
+      eol = text.find('\n', pos);
+    }
+    std::string_view line = eol == std::string_view::npos
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    ++scan.lines;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    const bool is_first = scan.first == FirstLine::kNone;
+    if (is_first) {
+      scan.first_view = line;
+      scan.first_line = scan.lines;
+      scan.first = FirstLine::kOther;
+    }
+    if (looks_like_tle_line(line, '1')) {
+      if (is_first) scan.first = FirstLine::kLine1;
+      scan.pending_line1 = line;
+      scan.pending_line = scan.lines;
+      continue;
+    }
+    if (looks_like_tle_line(line, '2')) {
+      if (is_first) scan.first = FirstLine::kLine2;
+      if (scan.pending_line1.empty()) {
+        scan.structural.push_back({scan.lines, ErrorCategory::kStructure,
+                                   "TLE line 2 without preceding line 1",
+                                   std::string(line)});
+        continue;
+      }
+      scan.records.push_back(
+          RawRecord{scan.pending_line1, line, scan.pending_line});
+      scan.pending_line1 = {};
+      continue;
+    }
+    // With a line 1 pending, the next line must be its line 2: a "2 "-lead
+    // line of the wrong length is a truncated/corrupted record, not a
+    // satellite name (name lines only precede line 1 in 3-line format).
+    if (line.size() >= 2 && line[0] == '2' && line[1] == ' ') {
+      if (is_first) scan.first = FirstLine::kMalformed2;
+      if (!scan.pending_line1.empty()) {
+        scan.structural.push_back({scan.lines, ErrorCategory::kSyntax,
+                                   "malformed TLE line 2 (wrong length)",
+                                   std::string(line)});
+        scan.pending_line1 = {};
+        continue;
+      }
+    }
+    // Anything else is a satellite-name line (3-line format); ignore.
+    scan.pending_line1 = {};
+  }
+  return scan;
+}
+
+// Shard byte boundaries: even splits advanced to the next line start, so
+// every line lives wholly inside one shard.  Boundaries are a pure function
+// of (text size, shard count), never of thread count or scheduling.
+std::vector<std::size_t> shard_starts(std::string_view text,
+                                      std::size_t shard_count) {
+  std::vector<std::size_t> starts;
+  starts.reserve(shard_count);
+  starts.push_back(0);
+  for (std::size_t i = 1; i < shard_count; ++i) {
+    const std::size_t raw = text.size() * i / shard_count;
+    const std::size_t newline = text.find('\n', raw);
+    std::size_t start =
+        newline == std::string_view::npos ? text.size() : newline + 1;
+    if (start < starts.back()) start = starts.back();
+    starts.push_back(start);
+  }
+  return starts;
+}
+
+std::size_t resolve_shard_count(std::string_view text,
+                                const IngestOptions& options) {
+  if (options.num_shards > 0) {
+    return static_cast<std::size_t>(options.num_shards);
+  }
+  const std::size_t workers = exec::resolve_thread_count(options.num_threads);
+  if (workers <= 1) return 1;
+  // A few shards per worker evens out skew from uneven reject density; the
+  // floor keeps tiny inputs from paying stitch overhead per few lines.
+  constexpr std::size_t kMinShardBytes = 64 * 1024;
+  const std::size_t by_size = text.size() / kMinShardBytes + 1;
+  return std::min(workers * 4, by_size);
 }
 
 }  // namespace
@@ -77,9 +250,19 @@ bool append_boundary_clean(std::string_view text) {
   return true;  // empty (or all-blank) text has nothing pending
 }
 
-bool TleCatalog::add(const Tle& tle) {
-  tle.validate();
-  auto& history = tles_[tle.catalog_number];
+bool TleCatalog::insert_record(std::vector<Tle>& history, const Tle& tle) {
+  // Append fast path: real feeds arrive in epoch order per satellite, so
+  // almost every record lands past the end of its (sorted) history.  The
+  // conditions are exactly the general path's for an end insertion — newer
+  // than everything present and outside the back record's duplicate window.
+  if (history.empty() ||
+      (tle.epoch_jd > history.back().epoch_jd &&
+       !(std::fabs(history.back().epoch_jd - tle.epoch_jd) <
+         kDuplicateEpochDays))) {
+    history.push_back(tle);
+    ++record_count_;
+    return true;
+  }
   const auto insert_at = std::lower_bound(
       history.begin(), history.end(), tle.epoch_jd,
       [](const Tle& existing, double epoch) { return existing.epoch_jd < epoch; });
@@ -96,6 +279,42 @@ bool TleCatalog::add(const Tle& tle) {
   return true;
 }
 
+bool TleCatalog::add(const Tle& tle) {
+  tle.validate();
+  return insert_record(tles_[tle.catalog_number], tle);
+}
+
+void TleCatalog::adopt_history(int catalog_number, std::vector<Tle> history) {
+  if (history.empty()) {
+    throw ValidationError("adopt_history: empty history");
+  }
+  double prev_epoch = -1e18;
+  for (const Tle& tle : history) {
+    tle.validate();
+    if (tle.catalog_number != catalog_number) {
+      throw ValidationError("adopt_history: record for satellite " +
+                            std::to_string(tle.catalog_number) +
+                            " in history of " + std::to_string(catalog_number));
+    }
+    if (!(tle.epoch_jd - prev_epoch >= kDuplicateEpochDays)) {
+      throw ValidationError(
+          "adopt_history: history not epoch-sorted with duplicates dropped "
+          "for satellite " +
+          std::to_string(catalog_number));
+    }
+    prev_epoch = tle.epoch_jd;
+  }
+  const std::size_t count = history.size();
+  const auto [it, inserted] =
+      tles_.emplace(catalog_number, std::move(history));
+  if (!inserted) {
+    throw ValidationError("adopt_history: satellite " +
+                          std::to_string(catalog_number) + " already present");
+  }
+  (void)it;
+  record_count_ += count;
+}
+
 std::size_t TleCatalog::add_from_text(std::string_view text) {
   return add_from_text(text, IngestOptions{});
 }
@@ -109,65 +328,103 @@ std::size_t TleCatalog::add_from_text(std::string_view text,
   diag::ParseLog fallback;
   diag::ParseLog& log = options.log != nullptr ? *options.log : fallback;
 
-  // A pairing failure found in pass 1.  Deferred (not reported immediately)
-  // so pass 3 can interleave it with parse failures in file order: strict
-  // mode must throw on the *first* bad record in the file, not on the first
-  // structural one.
-  struct StructuralReject {
-    std::size_t line_number = 0;
-    ErrorCategory category = ErrorCategory::kSyntax;
-    std::string message;
-    std::string snippet;
-  };
+  // Pass 1 (parallel): split the text into shards at line starts, scan each
+  // independently, then stitch the shard edges serially.  Shard boundaries
+  // are a pure function of (text size, shard count), each shard's scan sees
+  // a fixed byte range, and the stitch is serial in shard order — so the
+  // paired records and structural rejects are bit-identical to one serial
+  // scan at any shard or thread count (tests/ingestion_fuzz_test.cpp drives
+  // the differential across both axes).
+  const std::size_t shard_count = resolve_shard_count(text, options);
+  const std::vector<std::size_t> starts = shard_starts(text, shard_count);
+  std::vector<ShardScan> scans(shard_count);
+  exec::parallel_for(
+      shard_count, options.num_threads,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::size_t stop =
+              i + 1 < shard_count ? starts[i + 1] : text.size();
+          scans[i] = scan_shard(text.substr(starts[i], stop - starts[i]));
+        }
+      },
+      options.metrics);
+  if (options.metrics != nullptr) {
+    // Shard count tracks the worker count, so it is a scheduling counter —
+    // outside the work-counter determinism contract (DESIGN.md §11).
+    options.metrics->sched_counter("tle.scan_shards").add(shard_count);
+  }
 
-  // Pass 1 (serial): pair lines into two-line records, collecting structural
-  // breaks as they are found (in ascending line order by construction).  The
-  // scan walks the text in place — each line is a view, and a two-line
-  // record is at least 140 bytes, which pre-sizes the record vector.
-  std::string_view pending_line1;
-  std::size_t pending_line_number = 0;
-  std::size_t line_number = options.first_line - 1;
-  std::vector<RawRecord> records;
-  records.reserve(text.size() / 140 + 1);
-  std::vector<StructuralReject> structural;
-  for (std::size_t pos = 0; pos < text.size();) {
-    const std::size_t eol = text.find('\n', pos);
-    std::string_view line = eol == std::string_view::npos
-                                ? text.substr(pos)
-                                : text.substr(pos, eol - pos);
-    pos = eol == std::string_view::npos ? text.size() : eol + 1;
-    ++line_number;
-    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    if (line.empty()) continue;
-    if (looks_like_tle_line(line, '1')) {
-      pending_line1 = line;
-      pending_line_number = line_number;
-      continue;
+  // Stitch (serial, shard order): renumber each shard's lines into global
+  // coordinates and replay the carried pairing state across shard edges.
+  // Only a shard's first non-empty line can be affected by carried state:
+  // a carried line 1 pairs with a leading line 2 (replacing the shard's
+  // local "line 2 without preceding line 1" quarantine, which is
+  // structural.front() by construction), is rejected by a leading
+  // malformed "2 "-lead line, or is silently dropped — exactly the serial
+  // scan's behaviour at that line.
+  std::vector<RawRecord> records = std::move(scans.front().records);
+  std::vector<StructuralReject> structural = std::move(scans.front().structural);
+  {
+    std::size_t total_records = records.size();
+    std::size_t total_structural = structural.size();
+    for (std::size_t i = 1; i < shard_count; ++i) {
+      total_records += scans[i].records.size() + 1;
+      total_structural += scans[i].structural.size() + 1;
     }
-    if (looks_like_tle_line(line, '2')) {
-      if (pending_line1.empty()) {
-        structural.push_back({line_number, ErrorCategory::kStructure,
-                              "TLE line 2 without preceding line 1",
-                              std::string(line)});
-        continue;
+    records.reserve(total_records);
+    structural.reserve(total_structural);
+  }
+  const std::size_t base_line = options.first_line - 1;
+  if (base_line != 0) {
+    for (RawRecord& record : records) record.line_number += base_line;
+    for (StructuralReject& reject : structural) reject.line_number += base_line;
+  }
+  std::string_view pending_line1 = scans.front().pending_line1;
+  std::size_t pending_line_number = base_line + scans.front().pending_line;
+  std::size_t line_number = base_line + scans.front().lines;
+  for (std::size_t i = 1; i < shard_count; ++i) {
+    ShardScan& shard = scans[i];
+    std::size_t skip_structural = 0;
+    if (!pending_line1.empty()) {
+      switch (shard.first) {
+        case FirstLine::kLine2:
+          // The carried line 1 pairs with the shard's leading line 2; drop
+          // the quarantine the stateless shard scan recorded for it.
+          records.push_back(RawRecord{pending_line1, shard.first_view,
+                                      pending_line_number});
+          skip_structural = 1;
+          pending_line1 = {};
+          break;
+        case FirstLine::kMalformed2:
+          structural.push_back({line_number + shard.first_line,
+                                ErrorCategory::kSyntax,
+                                "malformed TLE line 2 (wrong length)",
+                                std::string(shard.first_view)});
+          pending_line1 = {};
+          break;
+        case FirstLine::kLine1:
+        case FirstLine::kOther:
+          // Overwritten (by the shard's own scan state below) or cleared.
+          pending_line1 = {};
+          break;
+        case FirstLine::kNone:
+          break;  // transparent shard: the carried state passes through
       }
-      records.push_back(RawRecord{pending_line1, line, pending_line_number});
-      pending_line1 = {};
-      continue;
     }
-    // With a line 1 pending, the next line must be its line 2: a "2 "-lead
-    // line of the wrong length is a truncated/corrupted record, not a
-    // satellite name (name lines only precede line 1 in 3-line format).
-    if (!pending_line1.empty() && line.size() >= 2 && line[0] == '2' &&
-        line[1] == ' ') {
-      structural.push_back({line_number, ErrorCategory::kSyntax,
-                            "malformed TLE line 2 (wrong length)",
-                            std::string(line)});
-      pending_line1 = {};
-      continue;
+    for (const RawRecord& record : shard.records) {
+      records.push_back(RawRecord{record.line1, record.line2,
+                                  line_number + record.line_number});
     }
-    // Anything else is a satellite-name line (3-line format); ignore.
-    pending_line1 = {};
+    for (std::size_t s = skip_structural; s < shard.structural.size(); ++s) {
+      StructuralReject reject = std::move(shard.structural[s]);
+      reject.line_number += line_number;
+      structural.push_back(std::move(reject));
+    }
+    if (shard.first != FirstLine::kNone) {
+      pending_line1 = shard.pending_line1;
+      pending_line_number = line_number + shard.pending_line;
+    }
+    line_number += shard.lines;
   }
   if (!pending_line1.empty()) {
     structural.push_back({pending_line_number, ErrorCategory::kStructure,
@@ -217,15 +474,42 @@ std::size_t TleCatalog::add_from_text(std::string_view text,
                  diag::RecordRef{source, failure.line_number});
     }
   };
+  // Catalog feeds group records by satellite, so consecutive commits almost
+  // always land in the same history; one cached bucket pointer saves the
+  // per-record map lookup (map nodes are stable, so the pointer survives
+  // later insertions).
+  int cached_id = 0;
+  std::vector<Tle>* cached_history = nullptr;
   for (std::size_t i = 0; i < parsed.size(); ++i) {
     report_structural_before(records[i].line_number);
     if (parsed[i].tle.has_value()) {
+      const Tle& tle = *parsed[i].tle;
       ++pending_accepts;
       ++parsed_ok;
-      if (add(*parsed[i].tle)) {
+      if (cached_history == nullptr || tle.catalog_number != cached_id) {
+        cached_history = &tles_[tle.catalog_number];
+        cached_id = tle.catalog_number;
+        // Catalog feeds are satellite-major, so the upcoming run of records
+        // with this catalog number lower-bounds the history's final size;
+        // one reserve replaces the doubling reallocations (tens of MB of
+        // Tle copies over a full-catalog parse).  Short runs are left to
+        // normal growth so interleaved feeds never reserve per record.
+        std::size_t run = 1;
+        for (std::size_t j = i + 1;
+             j < parsed.size() && parsed[j].tle.has_value() &&
+             parsed[j].tle->catalog_number == cached_id;
+             ++j) {
+          ++run;
+        }
+        if (run >= 16 &&
+            cached_history->size() + run > cached_history->capacity()) {
+          cached_history->reserve(cached_history->size() + run);
+        }
+      }
+      if (insert_record(*cached_history, tle)) {
         ++added;
         if (options.committed != nullptr) {
-          options.committed->push_back(*parsed[i].tle);
+          options.committed->push_back(tle);
         }
       }
     } else {

@@ -42,6 +42,13 @@ struct IngestOptions {
   /// here, in file/commit order — a snapshot delta layer replays exactly
   /// this sequence to rebuild the catalog without reparsing text.
   std::vector<Tle>* committed = nullptr;
+  /// Shard count for the pass-1 pairing scan: 0 = auto (derived from the
+  /// resolved worker count and the text size), 1 = one serial scan, n = n
+  /// shards.  Outputs are bit-identical at every value — shard boundaries
+  /// are resynchronised to line starts and the edges stitched serially
+  /// (DESIGN.md §18); the knob exists so differential tests can pin shard
+  /// geometry independently of the thread count.
+  int num_shards = 0;
 };
 
 /// True when `text` ends at a clean pairing boundary for append-style
@@ -63,6 +70,16 @@ class TleCatalog {
   /// Records with an epoch within ~1 second of an existing record for the
   /// same satellite are treated as duplicates and dropped (returns false).
   bool add(const Tle& tle);
+
+  /// Install a satellite's complete epoch-sorted history in one move — the
+  /// bulk-rebuild path snapshot deserialisation uses instead of replaying
+  /// add() per record.  The history must be non-empty, belong entirely to
+  /// `catalog_number`, be strictly epoch-sorted with no two records inside
+  /// the duplicate window, and the satellite must not already be present;
+  /// any violation throws ValidationError (callers treat that as snapshot
+  /// corruption and reparse).  The rebuilt catalog is structurally
+  /// identical to one built by add() calls in history order.
+  void adopt_history(int catalog_number, std::vector<Tle> history);
 
   /// Parse and add records from raw text in 2-line or 3-line (name line,
   /// optionally "0 "-prefixed) format.  Returns the number added; throws
@@ -108,6 +125,10 @@ class TleCatalog {
   [[nodiscard]] std::vector<double> refresh_intervals_hours() const;
 
  private:
+  /// Sorted-insert into one history with duplicate-window dropping (the
+  /// shared core of add() and the ingest commit loop; bumps record_count_).
+  bool insert_record(std::vector<Tle>& history, const Tle& tle);
+
   std::map<int, std::vector<Tle>> tles_;
   std::size_t record_count_ = 0;
 };

@@ -1,9 +1,11 @@
 #include "tle/tle.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -11,17 +13,31 @@
 #include <string_view>
 #include <system_error>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "common/error.hpp"
 #include "orbit/elements.hpp"
 
 namespace cosmicdance::tle {
 namespace {
 
+// <cctype> classification resolves through a per-call locale table lookup,
+// which the field parsers pay hundreds of times per record.  TLE lines are
+// ASCII by definition, so classify bytes directly; both helpers agree with
+// the "C"-locale std::isspace/std::isdigit on every char value.
+constexpr bool ascii_space(char c) noexcept {
+  return c == ' ' || (c >= '\t' && c <= '\r');
+}
+
+constexpr bool ascii_digit(char c) noexcept { return c >= '0' && c <= '9'; }
+
 std::string_view trim(std::string_view s) {
   std::size_t begin = 0;
   std::size_t end = s.size();
-  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
-  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  while (begin < end && ascii_space(s[begin])) ++begin;
+  while (end > begin && ascii_space(s[end - 1])) --end;
   return s.substr(begin, end - begin);
 }
 
@@ -57,10 +73,59 @@ class FieldBuffer {
   std::size_t size_ = 0;
 };
 
+// Exact powers of ten: 10^k is an exact double for k <= 22, far past the
+// widest TLE field.  Indexed as kPow10[k].
+constexpr double kPow10[19] = {1e0,  1e1,  1e2,  1e3,  1e4,  1e5,  1e6,
+                               1e7,  1e8,  1e9,  1e10, 1e11, 1e12, 1e13,
+                               1e14, 1e15, 1e16, 1e17, 1e18};
+
+/// Exact fast path for the plain fixed-width decimals TLE uses: optional
+/// sign, digits with at most one '.', no exponent, <= 15 significant
+/// digits.  The digits fit a 64-bit integer exactly and 10^frac is an
+/// exact double, so mantissa/10^frac is a single correctly-rounded IEEE
+/// divide — bit-identical to what strtod/from_chars produce for the same
+/// literal.  Anything fancier (exponents, hex, overlong, malformed)
+/// returns false and takes the general path, keeping accept/reject
+/// semantics exact.
+bool parse_simple_decimal(std::string_view text, double& out) {
+  std::size_t i = 0;
+  bool negative = false;
+  if (text[0] == '-') {
+    negative = true;
+    i = 1;
+  } else if (text[0] == '+') {
+    i = 1;
+  }
+  std::uint64_t mantissa = 0;
+  int digits = 0;
+  int frac_digits = -1;  // -1 until a '.' is seen
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (ascii_digit(c)) {
+      if (++digits > 15) return false;
+      mantissa = mantissa * 10 + static_cast<std::uint64_t>(c - '0');
+      if (frac_digits >= 0) ++frac_digits;
+      continue;
+    }
+    if (c == '.' && frac_digits < 0) {
+      frac_digits = 0;
+      continue;
+    }
+    return false;
+  }
+  if (digits == 0) return false;
+  const double magnitude =
+      static_cast<double>(mantissa) / kPow10[frac_digits > 0 ? frac_digits : 0];
+  out = negative ? -magnitude : magnitude;
+  return true;
+}
+
 double parse_double_field(std::string_view line, int from, int to,
                           const char* what) {
   const std::string_view text = trim(field(line, from, to));
   if (text.empty()) return 0.0;
+  double value = 0.0;
+  if (parse_simple_decimal(text, value)) return value;
   // Fast path: std::from_chars is correctly rounded, so every value it
   // produces is bit-identical to strtod's.  It differs from strtod only in
   // what it *accepts* (no leading '+', no hex floats, stricter range
@@ -68,10 +133,9 @@ double parse_double_field(std::string_view line, int from, int to,
   // historical strtod path below, keeping accept/reject semantics exact.
   std::string_view body = text;
   if (body.front() == '+' && body.size() > 1 &&
-      (std::isdigit(static_cast<unsigned char>(body[1])) || body[1] == '.')) {
+      (ascii_digit(body[1]) || body[1] == '.')) {
     body.remove_prefix(1);
   }
-  double value = 0.0;
   const auto [ptr, ec] =
       std::from_chars(body.data(), body.data() + body.size(), value);
   if (ec == std::errc{} && ptr == body.data() + body.size()) return value;
@@ -89,10 +153,25 @@ double parse_double_field(std::string_view line, int from, int to,
 int parse_int_field(std::string_view line, int from, int to, const char* what) {
   const std::string_view text = trim(field(line, from, to));
   if (text.empty()) return 0;
+  // All-digit fast loop first (every well-formed TLE integer field lands
+  // here); anything else falls through to the historical conversion chain.
+  if (text.size() <= 9) {
+    long fast = 0;
+    std::size_t i = text[0] == '-' || text[0] == '+' ? 1 : 0;
+    if (i < text.size()) {
+      std::size_t j = i;
+      for (; j < text.size() && ascii_digit(text[j]); ++j) {
+        fast = fast * 10 + (text[j] - '0');
+      }
+      if (j == text.size()) {
+        return static_cast<int>(text[0] == '-' ? -fast : fast);
+      }
+    }
+  }
   // Same fast-path/fallback split as parse_double_field.
   std::string_view body = text;
   if (body.front() == '+' && body.size() > 1 &&
-      std::isdigit(static_cast<unsigned char>(body[1]))) {
+      ascii_digit(body[1])) {
     body.remove_prefix(1);
   }
   long value = 0;
@@ -131,14 +210,22 @@ double parse_assumed_decimal_field(std::string_view line, int from, int to,
                      ErrorCategory::kNumeric);
   }
   for (const char c : text) {
-    if (!std::isdigit(static_cast<unsigned char>(c))) {
+    if (!ascii_digit(c)) {
       throw ParseError(std::string("bad TLE field '") + what +
                            "' (want digits): '" + std::string(text) + "'",
                        ErrorCategory::kNumeric);
     }
   }
-  // All-digits was just validated, so from_chars consumes the composed
-  // literal fully; it is correctly rounded, hence bit-identical to strtod.
+  // All-digits was just validated.  For fields this narrow the value is
+  // mantissa/10^width, a single correctly-rounded divide of two exact
+  // doubles — bit-identical to converting the composed "0.NNNNNNN" literal.
+  if (text.size() <= 15) {
+    std::uint64_t mantissa = 0;
+    for (const char c : text) {
+      mantissa = mantissa * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return static_cast<double>(mantissa) / kPow10[text.size()];
+  }
   const FieldBuffer literal("0.", text);
   double value = 0.0;
   const auto [end, ec] =
@@ -167,7 +254,7 @@ double parse_exponent_field(std::string_view line, int from, int to,
     ++i;
   }
   const std::size_t mantissa_begin = i;
-  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+  while (i < text.size() && ascii_digit(text[i])) {
     ++i;
   }
   const std::string_view mantissa_digits =
@@ -185,26 +272,43 @@ double parse_exponent_field(std::string_view line, int from, int to,
                      ErrorCategory::kNumeric);
   }
   ++i;
-  if (i >= text.size() || !std::isdigit(static_cast<unsigned char>(text[i])) ||
+  if (i >= text.size() || !ascii_digit(text[i]) ||
       i + 1 != text.size()) {
     throw ParseError(std::string("bad exponent digit in TLE field '") + what +
                          "': '" + std::string(raw) + "'",
                      ErrorCategory::kNumeric);
   }
   const int exponent = text[i] - '0';
-  // The digits were validated above; still check that the conversion
-  // consumed the whole composed literal rather than trusting it blindly.
-  const FieldBuffer mantissa_literal("0.", mantissa_digits);
   double mantissa = 0.0;
-  const auto [end, ec] = std::from_chars(
-      mantissa_literal.c_str(),
-      mantissa_literal.c_str() + mantissa_literal.size(), mantissa);
-  if (ec != std::errc{} || end != mantissa_literal.c_str() + mantissa_literal.size()) {
-    throw ParseError(std::string("bad TLE exponent mantissa in field '") + what +
-                         "': '" + std::string(raw) + "'",
-                     ErrorCategory::kNumeric);
+  if (mantissa_digits.size() <= 15) {
+    // The digits were validated above; mantissa/10^width is one
+    // correctly-rounded divide of exact doubles, bit-identical to
+    // converting the composed "0.NNNNN" literal (see parse_simple_decimal).
+    std::uint64_t units = 0;
+    for (const char c : mantissa_digits) {
+      units = units * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    mantissa = static_cast<double>(units) / kPow10[mantissa_digits.size()];
+  } else {
+    const FieldBuffer mantissa_literal("0.", mantissa_digits);
+    const auto [end, ec] = std::from_chars(
+        mantissa_literal.c_str(),
+        mantissa_literal.c_str() + mantissa_literal.size(), mantissa);
+    if (ec != std::errc{} ||
+        end != mantissa_literal.c_str() + mantissa_literal.size()) {
+      throw ParseError(std::string("bad TLE exponent mantissa in field '") +
+                           what + "': '" + std::string(raw) + "'",
+                       ErrorCategory::kNumeric);
+    }
   }
-  return sign * mantissa * std::pow(10.0, exp_sign * exponent);
+  // Decimal literals are correctly rounded, so these table entries are
+  // bit-identical to what std::pow(10.0, n) returns for |n| <= 9 (glibc's
+  // pow is correctly rounded); the lookup just skips the libm call.
+  static constexpr double kNegPow10[10] = {1e0,  1e-1, 1e-2, 1e-3, 1e-4,
+                                           1e-5, 1e-6, 1e-7, 1e-8, 1e-9};
+  const double scale =
+      exp_sign < 0.0 ? kNegPow10[exponent] : kPow10[exponent];
+  return sign * mantissa * scale;
 }
 
 /// Format a value in assumed-decimal-point exponent notation (8 chars).
@@ -274,7 +378,7 @@ void check_line(std::string_view line, char expected_number) {
   }
   const int expected = checksum(line.substr(0, 68));
   const char checks = line[68];
-  if (!std::isdigit(static_cast<unsigned char>(checks)) ||
+  if (!ascii_digit(checks) ||
       checks - '0' != expected) {
     throw ParseError("TLE checksum mismatch (expected " + std::to_string(expected) +
                          "): '" + std::string(line) + "'",
@@ -284,13 +388,64 @@ void check_line(std::string_view line, char expected_number) {
 
 }  // namespace
 
-int checksum(std::string_view line) {
-  int sum = 0;
-  for (const char c : line) {
-    if (std::isdigit(static_cast<unsigned char>(c))) sum += c - '0';
-    else if (c == '-') sum += 1;
+namespace {
+
+/// Per-character checksum contribution ('0'-'9' count their value, '-'
+/// counts 1, everything else 0), precomputed so the hot loop is a
+/// branch-free table walk.
+constexpr std::array<unsigned char, 256> make_checksum_table() {
+  std::array<unsigned char, 256> table{};
+  for (int c = '0'; c <= '9'; ++c) {
+    table[static_cast<std::size_t>(c)] = static_cast<unsigned char>(c - '0');
   }
-  return sum % 10;
+  table[static_cast<std::size_t>('-')] = 1;
+  return table;
+}
+
+constexpr std::array<unsigned char, 256> kChecksumTable = make_checksum_table();
+
+}  // namespace
+
+int checksum(std::string_view line) {
+  unsigned sum = 0;
+  const char* data = line.data();
+  std::size_t n = line.size();
+#if defined(__SSE2__)
+  // Vectorised digit sum: classify 16 bytes at a time ('0'..'9' add their
+  // value, '-' adds 1) and horizontally accumulate with psadbw.  Exact
+  // integer arithmetic, so the result is identical to the scalar loop.
+  // Signed byte compares are safe: '0'..'9' sit below 0x80, and bytes with
+  // the high bit set read as negative and fail the lower-bound compare.
+  if (n >= 16) {
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i below_zero_char = _mm_set1_epi8('0' - 1);
+    const __m128i above_nine_char = _mm_set1_epi8('9' + 1);
+    const __m128i zero_char = _mm_set1_epi8('0');
+    const __m128i dash_char = _mm_set1_epi8('-');
+    const __m128i one = _mm_set1_epi8(1);
+    __m128i acc = zero;
+    do {
+      const __m128i c =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(data));
+      const __m128i digit = _mm_and_si128(_mm_cmpgt_epi8(c, below_zero_char),
+                                          _mm_cmpgt_epi8(above_nine_char, c));
+      const __m128i value = _mm_and_si128(_mm_sub_epi8(c, zero_char), digit);
+      const __m128i dashes =
+          _mm_and_si128(_mm_cmpeq_epi8(c, dash_char), one);
+      // value <= 9 and the dash mask is disjoint from the digit mask, so
+      // the per-byte total never overflows; psadbw against zero sums it.
+      acc = _mm_add_epi64(acc, _mm_sad_epu8(_mm_add_epi8(value, dashes), zero));
+      data += 16;
+      n -= 16;
+    } while (n >= 16);
+    acc = _mm_add_epi64(acc, _mm_srli_si128(acc, 8));
+    sum = static_cast<unsigned>(_mm_cvtsi128_si64(acc));
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += kChecksumTable[static_cast<unsigned char>(data[i])];
+  }
+  return static_cast<int>(sum % 10);
 }
 
 timeutil::DateTime Tle::epoch_datetime() const {

@@ -265,6 +265,114 @@ TEST(IngestionFuzzTle, RandomSingleCharacterCorruptionNeverEscapesTolerant) {
   }
 }
 
+// ---- shard-boundary fuzz ----------------------------------------------------
+
+/// Byte offset of shard `s`'s start under an even `shards`-way split of
+/// `size` bytes — the same arithmetic the pass-1 pairing scan uses before
+/// resynchronising each cut to a line start, so the fuzz loop below can aim
+/// corruption at the exact bytes where shards meet.
+std::size_t shard_cut(std::size_t size, int shards, int s) {
+  return size * static_cast<std::size_t>(s) / static_cast<std::size_t>(shards);
+}
+
+/// Every formatted TLE line is 69 characters plus the newline.
+constexpr std::size_t kTleLineBytes = 70;
+
+TEST(IngestionFuzzTle, ShardBoundaryCorruptionIsBitIdenticalAcrossGeometry) {
+  // Deterministic fuzz over corpora whose *quarantined* records straddle
+  // shard cut points: for several random shard geometries, find the record
+  // each interior cut lands in and corrupt it, then require the catalog
+  // text and the full quality JSON to match the serial single-shard
+  // reference byte for byte at every (threads, shards) combination — and
+  // strict mode to throw the identical first-in-file-order error.  This is
+  // the differential the tentpole's stitching pass is contracted against:
+  // a record seen by two shards must be committed (or quarantined) exactly
+  // once, with serial line numbers.
+  Rng rng(20240808);
+  for (int iteration = 0; iteration < 8; ++iteration) {
+    const int satellites = static_cast<int>(rng.uniform_int(24, 96));
+    std::vector<std::string> lines = valid_tle_lines(satellites);
+
+    // The shard geometries this corpus is ingested under (beyond the
+    // serial reference).  0 = auto, plus a small and a large pinned count.
+    const std::vector<int> shard_counts = {
+        0, 2, static_cast<int>(rng.uniform_int(3, 9)),
+        static_cast<int>(rng.uniform_int(10, 31))};
+
+    // Corrupt the record under one random interior cut of each pinned
+    // geometry.  Offsets are computed against the pristine corpus; the
+    // corruptions below keep line boundaries (and therefore the cuts'
+    // record positions) stable except for the final truncation, which only
+    // shifts bytes after the last cut handled.
+    for (const int shards : shard_counts) {
+      if (shards < 2) continue;
+      const int s = static_cast<int>(rng.uniform_int(1, shards - 1));
+      const std::size_t cut =
+          shard_cut(static_cast<std::size_t>(satellites) * 2 * kTleLineBytes,
+                    shards, s);
+      std::string& line = lines[cut / kTleLineBytes];
+      if (line.size() < kTleLineBytes - 1) continue;  // already corrupted
+      switch (rng.uniform_int(0, 2)) {
+        case 0:  // checksum flip: the whole record quarantines
+          line[68] = line[68] == '0' ? '1' : '0';
+          break;
+        case 1:  // non-numeric field, checksum re-stamped
+          line.replace(53, 4, "xy.z");
+          line = restamp(line);
+          break;
+        default:  // short line: a structure error at the shard edge
+          line.resize(static_cast<std::size_t>(rng.uniform_int(1, 40)));
+          break;
+      }
+    }
+
+    const std::string text = join_lines(lines);
+    for (const ParsePolicy policy :
+         {ParsePolicy::kTolerant, ParsePolicy::kStrict}) {
+      // Serial single-shard reference.
+      std::string ref_text;
+      std::string ref_quality;
+      std::string ref_error;
+      {
+        ParseLog log(policy);
+        tle::TleCatalog catalog;
+        tle::IngestOptions options{&log, 1, "fuzz.tle"};
+        options.num_shards = 1;
+        try {
+          catalog.add_from_text(text, options);
+          ref_text = catalog.to_text();
+          ref_quality = log.report().to_json();
+        } catch (const ParseError& error) {
+          ref_error = error.what();
+        }
+      }
+
+      for (const int threads : {1, 4, 8}) {
+        for (const int shards : shard_counts) {
+          ParseLog log(policy);
+          tle::TleCatalog catalog;
+          tle::IngestOptions options{&log, threads, "fuzz.tle"};
+          options.num_shards = shards;
+          std::string got_error;
+          try {
+            catalog.add_from_text(text, options);
+          } catch (const ParseError& error) {
+            got_error = error.what();
+          }
+          const std::string label =
+              "iteration " + std::to_string(iteration) + " policy " +
+              std::to_string(static_cast<int>(policy)) + " threads " +
+              std::to_string(threads) + " shards " + std::to_string(shards);
+          EXPECT_EQ(got_error, ref_error) << label;
+          if (!ref_error.empty()) continue;
+          EXPECT_EQ(catalog.to_text(), ref_text) << label;
+          EXPECT_EQ(log.report().to_json(), ref_quality) << label;
+        }
+      }
+    }
+  }
+}
+
 // ---- WDC corpus -------------------------------------------------------------
 
 TEST(IngestionFuzzWdc, TolerantQuarantinesBadDaysAndInterpolatesTheHole) {

@@ -521,5 +521,311 @@ TEST(SnapshotTest, ConcurrentSaversNeverTearTheSnapshot) {
   }
 }
 
+// ---- v3 section format ------------------------------------------------------
+
+/// Parsed snapshot data over `satellites` objects (two element sets each),
+/// with the matching ingest state — the input to the encoders under test.
+io::SnapshotData make_snapshot_data(int satellites, ParsePolicy policy) {
+  const std::string tle_text = tle_corpus(satellites);
+  const std::string wdc_text = wdc_corpus();
+  diag::ParseLog log(policy);
+  spaceweather::DstIndex dst = spaceweather::from_wdc(wdc_text, &log, "dst.wdc");
+  tle::TleCatalog catalog;
+  catalog.add_from_text(tle_text, tle::IngestOptions{&log, 1, "catalog.tle"});
+  return io::SnapshotData{std::move(dst), std::move(catalog), log.report(),
+                          io::ingest_state_of(wdc_text, tle_text), 0, 0};
+}
+
+void expect_same_decoded(const io::SnapshotData& a, const io::SnapshotData& b) {
+  EXPECT_EQ(a.catalog.to_text(), b.catalog.to_text());
+  EXPECT_EQ(a.dst.start_hour(), b.dst.start_hour());
+  EXPECT_EQ(std::vector<double>(a.dst.values().begin(), a.dst.values().end()),
+            std::vector<double>(b.dst.values().begin(), b.dst.values().end()));
+  EXPECT_EQ(a.quality.to_json(), b.quality.to_json());
+  EXPECT_EQ(a.state.combined_hash, b.state.combined_hash);
+}
+
+// v3 header/table offsets (the format doc in snapshot.hpp).
+constexpr std::size_t kHeaderBytes = 40;
+constexpr std::size_t kTableCrcOffset = 32;
+constexpr std::size_t kSectionCountOffset = 36;
+constexpr std::size_t kSectionEntryBytes = 24;
+
+std::uint32_t read_u32(const std::string& bytes, std::size_t offset) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) |
+        static_cast<unsigned char>(bytes[offset + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+void write_u32(std::string& bytes, std::size_t offset, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[offset + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFFu);
+  }
+}
+
+void write_u64(std::string& bytes, std::size_t offset, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes[offset + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFFu);
+  }
+}
+
+/// Re-seal a hand-edited section table so only the *tiling* checks can
+/// reject it: recompute the table CRC32C and patch the header field.
+void reseal_table(std::string& bytes) {
+  const std::uint32_t sections = read_u32(bytes, kSectionCountOffset);
+  const std::string_view table(bytes.data() + kHeaderBytes,
+                               sections * kSectionEntryBytes);
+  write_u32(bytes, kTableCrcOffset, io::crc32c(table));
+}
+
+TEST(SnapshotV3Test, EncodeAndDecodeAreThreadCountInvariant) {
+  // 9000 satellites x 2 element sets crosses the stripe target, so the
+  // file carries multiple catalog stripes and the parallel encode/decode
+  // paths genuinely run multi-section.
+  const io::SnapshotData data = make_snapshot_data(9000, ParsePolicy::kStrict);
+  const std::string serial = io::encode_snapshot(data, ParsePolicy::kStrict, 1);
+  ASSERT_GT(read_u32(serial, kSectionCountOffset), 4u)
+      << "corpus too small to produce multiple catalog stripes";
+  for (const int threads : {4, 8}) {
+    EXPECT_EQ(io::encode_snapshot(data, ParsePolicy::kStrict, threads), serial)
+        << "encode bytes differ at " << threads << " threads";
+  }
+  const std::optional<io::SnapshotData> reference =
+      io::decode_snapshot(serial, ParsePolicy::kStrict, 1);
+  ASSERT_TRUE(reference.has_value());
+  expect_same_decoded(*reference, data);
+  for (const int threads : {4, 8}) {
+    const std::optional<io::SnapshotData> decoded =
+        io::decode_snapshot(serial, ParsePolicy::kStrict, threads);
+    ASSERT_TRUE(decoded.has_value());
+    expect_same_decoded(*decoded, *reference);
+  }
+}
+
+TEST(SnapshotV3Test, TruncatedSectionTableRejects) {
+  const io::SnapshotData data = make_snapshot_data(4, ParsePolicy::kStrict);
+  std::string bytes = io::encode_snapshot(data, ParsePolicy::kStrict);
+  // Chop the payload mid-table and restate the header's payload size so
+  // only the section-table bounds check can catch it.
+  const std::uint32_t sections = read_u32(bytes, kSectionCountOffset);
+  const std::size_t half_table =
+      (sections / 2) * kSectionEntryBytes;
+  bytes.resize(kHeaderBytes + half_table);
+  write_u64(bytes, 24, half_table);
+  EXPECT_FALSE(io::decode_snapshot(bytes, ParsePolicy::kStrict).has_value());
+}
+
+TEST(SnapshotV3Test, FlippedSectionTableByteRejects) {
+  const io::SnapshotData data = make_snapshot_data(4, ParsePolicy::kStrict);
+  std::string bytes = io::encode_snapshot(data, ParsePolicy::kStrict);
+  bytes[kHeaderBytes + 8] ^= 0x01;  // first entry's offset field
+  EXPECT_FALSE(io::decode_snapshot(bytes, ParsePolicy::kStrict).has_value());
+}
+
+TEST(SnapshotV3Test, FlippedSectionBodyByteFailsThatSectionsCrc) {
+  const io::SnapshotData data = make_snapshot_data(4, ParsePolicy::kStrict);
+  std::string bytes = io::encode_snapshot(data, ParsePolicy::kStrict);
+  // Last payload byte lives in the final (quality) section, well past the
+  // table — only the per-section CRC can notice it.
+  bytes[bytes.size() - 1] ^= 0x40;
+  EXPECT_FALSE(io::decode_snapshot(bytes, ParsePolicy::kStrict).has_value());
+}
+
+TEST(SnapshotV3Test, OverlappingOrGappedSectionsReject) {
+  const io::SnapshotData data = make_snapshot_data(4, ParsePolicy::kStrict);
+  const std::string bytes = io::encode_snapshot(data, ParsePolicy::kStrict);
+  const std::size_t entry1 = kHeaderBytes + kSectionEntryBytes;
+
+  // Slide the second section's offset back onto the first (overlap) and
+  // forward past it (gap); reseal the table CRC both times so the tiling
+  // check itself must reject.
+  std::string overlap = bytes;
+  write_u64(overlap, entry1 + 8, 0);
+  reseal_table(overlap);
+  EXPECT_FALSE(io::decode_snapshot(overlap, ParsePolicy::kStrict).has_value());
+
+  std::string gap = bytes;
+  const std::uint64_t first_length = read_u32(bytes, kHeaderBytes + 16);
+  write_u64(gap, entry1 + 8, first_length + 8);
+  reseal_table(gap);
+  EXPECT_FALSE(io::decode_snapshot(gap, ParsePolicy::kStrict).has_value());
+}
+
+TEST(SnapshotV3Test, OversizedSectionCountRejects) {
+  const io::SnapshotData data = make_snapshot_data(4, ParsePolicy::kStrict);
+  std::string bytes = io::encode_snapshot(data, ParsePolicy::kStrict);
+  // A section count whose table alone would exceed the payload must be
+  // rejected by the bounds check, not trusted as an allocation size.
+  write_u32(bytes, kSectionCountOffset, 0x00FFFFFFu);
+  EXPECT_FALSE(io::decode_snapshot(bytes, ParsePolicy::kStrict).has_value());
+}
+
+TEST(SnapshotV3Test, StaleContentHashRejects) {
+  const io::SnapshotData data = make_snapshot_data(4, ParsePolicy::kStrict);
+  std::string bytes = io::encode_snapshot(data, ParsePolicy::kStrict);
+  // Header hash and the state section's embedded copy must agree — a
+  // mismatch means the header belongs to different inputs.
+  bytes[16] ^= 0x01;
+  EXPECT_FALSE(io::decode_snapshot(bytes, ParsePolicy::kStrict).has_value());
+}
+
+// ---- v2 compatibility -------------------------------------------------------
+
+TEST(SnapshotV2Compat, V2BytesDecodeIdenticallyToV3) {
+  const io::SnapshotData data = make_snapshot_data(12, ParsePolicy::kTolerant);
+  const std::string v2 = io::encode_snapshot_v2(data, ParsePolicy::kTolerant);
+  const std::string v3 = io::encode_snapshot(data, ParsePolicy::kTolerant, 4);
+  ASSERT_NE(v2, v3);
+  const std::optional<io::SnapshotData> from_v2 =
+      io::decode_snapshot(v2, ParsePolicy::kTolerant);
+  const std::optional<io::SnapshotData> from_v3 =
+      io::decode_snapshot(v3, ParsePolicy::kTolerant, 4);
+  ASSERT_TRUE(from_v2.has_value());
+  ASSERT_TRUE(from_v3.has_value());
+  expect_same_decoded(*from_v2, *from_v3);
+  expect_same_decoded(*from_v2, data);
+}
+
+TEST(SnapshotV2Compat, PipelineServesWarmAndDeltaHitsFromAV2File) {
+  // A cache written by the previous release: fabricate the v2 file at the
+  // exact path the pipeline will probe.
+  const TestInputs inputs = write_inputs("v2_compat", tle_corpus(6));
+  const std::string tle_text = io::read_file(inputs.tle_path);
+  const std::string wdc_text = io::read_file(inputs.dst_path);
+  diag::ParseLog log(ParsePolicy::kStrict);
+  spaceweather::DstIndex dst =
+      spaceweather::from_wdc(wdc_text, &log, inputs.dst_path);
+  tle::TleCatalog catalog;
+  catalog.add_from_text(tle_text, tle::IngestOptions{&log, 1, inputs.tle_path});
+  const io::SnapshotData data{std::move(dst), std::move(catalog), log.report(),
+                              io::ingest_state_of(wdc_text, tle_text), 0, 0};
+  std::filesystem::create_directories(inputs.cache_dir);
+  io::write_file(inputs.snapshot_path(),
+                 io::encode_snapshot_v2(data, ParsePolicy::kStrict));
+
+  // Warm hit straight off the v2 base.
+  obs::Metrics warm_run;
+  const RunOutput warm =
+      run_pipeline(inputs, ParsePolicy::kStrict, 1, /*use_cache=*/true,
+                   &warm_run);
+  EXPECT_EQ(counter(warm_run, "ingest.cache_hit"), 1u);
+  EXPECT_EQ(counter(warm_run, "snapshot.rejected"), 0u);
+  expect_identical(warm,
+                   run_pipeline(inputs, ParsePolicy::kStrict, 1,
+                                /*use_cache=*/false));
+
+  // Appending records must ride the delta path on top of the v2 base, and
+  // the resulting v2+delta chain must serve the next warm hit.
+  std::string tail;
+  for (int i = 0; i < 3; ++i) {
+    const tle::TleLines lines = tle::format_tle(make_tle(30001 + i, 10.0 + i));
+    tail += lines.line1 + "\n" + lines.line2 + "\n";
+  }
+  io::append_file(inputs.tle_path, tail);
+  obs::Metrics delta_run;
+  const RunOutput delta =
+      run_pipeline(inputs, ParsePolicy::kStrict, 1, /*use_cache=*/true,
+                   &delta_run);
+  EXPECT_EQ(counter(delta_run, "ingest.delta_hit"), 1u);
+  EXPECT_EQ(counter(delta_run, "snapshot.delta_written"), 1u);
+  obs::Metrics chain_run;
+  const RunOutput chained =
+      run_pipeline(inputs, ParsePolicy::kStrict, 1, /*use_cache=*/true,
+                   &chain_run);
+  EXPECT_EQ(counter(chain_run, "ingest.cache_hit"), 1u);
+  const RunOutput reparsed =
+      run_pipeline(inputs, ParsePolicy::kStrict, 1, /*use_cache=*/false);
+  expect_identical(delta, reparsed);
+  expect_identical(chained, reparsed);
+}
+
+// ---- counters and the background save ---------------------------------------
+
+TEST(SnapshotCounters, SaveBytesAndLoadRecordsArePinned) {
+  const std::string dir = ::testing::TempDir() + "cdsnap_counters";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/snapshot.cdsnap";
+  const io::SnapshotData data = make_snapshot_data(8, ParsePolicy::kStrict);
+
+  obs::Metrics metrics;
+  ASSERT_TRUE(
+      io::save_snapshot(path, data, ParsePolicy::kStrict, &metrics, 2));
+  EXPECT_EQ(counter(metrics, "snapshot.written"), 1u);
+  EXPECT_EQ(counter(metrics, "snapshot.save_bytes"),
+            std::filesystem::file_size(path));
+
+  const std::optional<io::SnapshotData> loaded =
+      io::load_snapshot(path, ParsePolicy::kStrict, &metrics, 2);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(counter(metrics, "snapshot.load_records"),
+            data.catalog.record_count());
+  const obs::MetricsReport report = metrics.snapshot();
+  const auto sections = report.scheduling.find("snapshot.load_sections");
+  ASSERT_NE(sections, report.scheduling.end());
+  // Small corpus = one catalog stripe: state + Dst + stripe + quality.
+  EXPECT_EQ(sections->second, 4u);
+}
+
+TEST(SnapshotPipeline, BackgroundSaveCompletesOnWait) {
+  const TestInputs inputs = write_inputs("bg_save", tle_corpus(6));
+  core::PipelineConfig config;
+  config.cache_dir = inputs.cache_dir;
+  core::CosmicDance pipeline =
+      core::CosmicDance::from_files(inputs.dst_path, inputs.tle_path, config);
+  pipeline.wait_for_snapshot_save();
+  EXPECT_TRUE(std::filesystem::exists(inputs.snapshot_path()))
+      << "wait_for_snapshot_save returned before the cache was written";
+  // The pending-save future must survive a move and a second wait must be
+  // a no-op — both on the moved-to object and the moved-from shell.
+  core::CosmicDance moved = std::move(pipeline);
+  moved.wait_for_snapshot_save();
+  const std::optional<io::SnapshotData> loaded = io::load_snapshot(
+      inputs.snapshot_path(), ParsePolicy::kStrict);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->catalog.to_text(), moved.catalog().to_text());
+}
+
+// ---- checksum reference -----------------------------------------------------
+
+/// Textbook reflected bit-at-a-time CRC-32 — the definition both
+/// production implementations (slice-by-8 tables, SSE4.2 instruction)
+/// must reproduce exactly.
+std::uint32_t crc_reference(std::string_view bytes, std::uint32_t polynomial) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char byte : bytes) {
+    crc ^= static_cast<unsigned char>(byte);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? polynomial ^ (crc >> 1) : crc >> 1;
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+TEST(SnapshotCrc, Crc32AndCrc32cMatchTheBitwiseReference) {
+  // Known-answer vectors first ("123456789" is the standard check input).
+  EXPECT_EQ(io::crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(io::crc32c("123456789"), 0xE3069283u);
+
+  // Then every length 0..129 with deterministic pseudo-random content, so
+  // the 8-byte main loops and all tail paths are exercised.
+  Rng rng(20240508);
+  for (std::size_t length = 0; length <= 129; ++length) {
+    std::string bytes(length, '\0');
+    for (char& c : bytes) {
+      c = static_cast<char>(rng.uniform_int(0, 255));
+    }
+    EXPECT_EQ(io::crc32(bytes), crc_reference(bytes, 0xEDB88320u))
+        << "crc32 mismatch at length " << length;
+    EXPECT_EQ(io::crc32c(bytes), crc_reference(bytes, 0x82F63B78u))
+        << "crc32c mismatch at length " << length;
+  }
+}
+
 }  // namespace
 }  // namespace cosmicdance

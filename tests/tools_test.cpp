@@ -264,6 +264,35 @@ TEST_F(BenchCompareTest, RegressionsWarnButStillExitZero) {
   EXPECT_NE(result.output.find("WARN"), std::string::npos) << result.output;
 }
 
+TEST_F(BenchCompareTest, FailUnderGatesCollapsesWithExitOne) {
+  // -90% is past any sane gate; tier-1 wires --fail-under=40 for the
+  // ingest and sgp4 records, so the exit-1 path is load-bearing CI.
+  const std::string baseline =
+      write_record("base.json", R"({"bench": "b", "throughput": {"a": 100}})");
+  const std::string current =
+      write_record("cur.json", R"({"bench": "b", "throughput": {"a": 10}})");
+  const CommandResult result = compare(baseline, current, "--fail-under=40");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("FAIL  b/a"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("collapsed beyond the --fail-under gate"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST_F(BenchCompareTest, FailUnderStillWarnsInsideTheGateBand) {
+  // A -35% drop is beyond the 30% warn tolerance but inside the 40% gate:
+  // the run must warn, not fail — the two thresholds are independent.
+  const std::string baseline =
+      write_record("base.json", R"({"bench": "b", "throughput": {"a": 100}})");
+  const std::string current =
+      write_record("cur.json", R"({"bench": "b", "throughput": {"a": 65}})");
+  const CommandResult result = compare(baseline, current, "--fail-under=40");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("WARN"), std::string::npos) << result.output;
+  EXPECT_EQ(result.output.find("FAIL"), std::string::npos) << result.output;
+}
+
 TEST_F(BenchCompareTest, AsymmetricKeysAreNotesNotErrors) {
   const std::string baseline =
       write_record("base.json", R"({"bench": "b", "throughput": {"old": 5}})");
@@ -318,6 +347,8 @@ TEST_F(BenchCompareTest, BadUsageExitsTwo) {
       write_record("base.json", R"({"bench": "b", "throughput": {"a": 1}})");
   EXPECT_EQ(compare(record, record, "--tolerance=abc").exit_code, 2);
   EXPECT_EQ(compare(record, record, "--bogus=1").exit_code, 2);
+  EXPECT_EQ(compare(record, record, "--fail-under=abc").exit_code, 2);
+  EXPECT_EQ(compare(record, record, "--fail-under=150").exit_code, 2);
   const std::string script =
       std::string(COSMICDANCE_REPO_ROOT) + "/tools/bench_compare.py";
   EXPECT_EQ(run_command("python3 '" + script + "'").exit_code, 2);

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Warn-only throughput diff between two bench telemetry records.
+"""Throughput diff between two bench telemetry records.
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--tolerance FRAC]
+                     [--fail-under PCT]
 
 Both inputs are records written by bench::write_bench_record (see
 bench/bench_common.hpp): {"bench": ..., "throughput": {name: rate}, ...}.
@@ -11,9 +12,13 @@ larger than --tolerance (default 0.30 — CI machines are noisy, and a
 warn that cries wolf gets ignored) prints a WARN line.  Keys that appear
 in only one file are reported as informational NOTE lines.
 
-Exit status: 0 always for a completed comparison, including one with
-regressions — this is a trend surface, not a gate; tier-1 stays green on
-a slow machine, while the WARN lines land in the log for a human.
+Exit status: by default 0 for any completed comparison, including one
+with regressions — a warn-only trend surface.  With --fail-under PCT the
+comparison becomes a gate: any key that dropped more than PCT percent
+below its baseline prints a FAIL line and the script exits 1.  PCT is
+deliberately separate from (and should be far looser than) --tolerance:
+WARN catches drift a human should glance at, FAIL catches the
+can't-be-noise collapses worth breaking the build over.
 Usage or parse errors exit 2 so a broken wiring never masquerades as a
 silent pass.
 """
@@ -47,14 +52,23 @@ def load_record(path):
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     tolerance = 0.30
+    fail_under = None
     for option in (a for a in argv[1:] if a.startswith("--")):
         name, _, value = option.partition("=")
-        if name != "--tolerance":
+        if name == "--tolerance":
+            try:
+                tolerance = float(value)
+            except ValueError:
+                fail_usage("--tolerance needs a number, got %r" % value)
+        elif name == "--fail-under":
+            try:
+                fail_under = float(value) / 100.0
+            except ValueError:
+                fail_usage("--fail-under needs a percentage, got %r" % value)
+            if not 0.0 <= fail_under <= 1.0:
+                fail_usage("--fail-under must be between 0 and 100")
+        else:
             fail_usage("unknown option " + name)
-        try:
-            tolerance = float(value)
-        except ValueError:
-            fail_usage("--tolerance needs a number, got %r" % value)
     if len(args) != 2:
         fail_usage("expected BASELINE.json CURRENT.json")
 
@@ -65,6 +79,7 @@ def main(argv):
 
     bench = current.get("bench", "?")
     warned = 0
+    failed = 0
     for name in sorted(set(base_rates) | set(cur_rates)):
         if name not in base_rates:
             print("NOTE  %s/%s: new key (%.6g), no baseline" %
@@ -78,7 +93,12 @@ def main(argv):
         if base <= 0.0:
             continue
         change = (cur - base) / base
-        if change < -tolerance:
+        if fail_under is not None and change < -fail_under:
+            failed += 1
+            print("FAIL  %s/%s: %.6g -> %.6g (%+.1f%%, fail-under %.0f%%)" %
+                  (bench, name, base, cur, 100.0 * change,
+                   100.0 * fail_under))
+        elif change < -tolerance:
             warned += 1
             print("WARN  %s/%s: %.6g -> %.6g (%+.1f%%, tolerance %.0f%%)" %
                   (bench, name, base, cur, 100.0 * change, 100.0 * tolerance))
@@ -88,6 +108,10 @@ def main(argv):
     if warned:
         print("bench_compare: %d throughput key(s) regressed beyond "
               "tolerance (warn-only, not failing the build)" % warned)
+    if failed:
+        print("bench_compare: %d throughput key(s) collapsed beyond the "
+              "--fail-under gate" % failed)
+        return 1
     return 0
 
 

@@ -757,7 +757,8 @@ void rule_fp_accumulation_order(const FileIndex& fi,
                                 std::vector<Finding>& findings) {
   if (!starts_with(fi.file, "src/core/") &&
       !starts_with(fi.file, "src/stats/") &&
-      !starts_with(fi.file, "src/sgp4/")) {
+      !starts_with(fi.file, "src/sgp4/") &&
+      !starts_with(fi.file, "src/io/")) {
     return;
   }
   ProjectContext ctx{fi, findings};

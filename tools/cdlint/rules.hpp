@@ -52,8 +52,10 @@
 //                        destructor std::terminate()s the process.
 //   fp-accumulation-order (R13) std::reduce/transform_reduce, float
 //                        accumulators, or fast-math pragmas in src/core/,
-//                        src/stats/, src/sgp4/ where grids must be
-//                        bit-identical at any --threads value.
+//                        src/stats/, src/sgp4/, src/io/ where grids (and
+//                        snapshot bytes assembled by parallel section
+//                        workers) must be bit-identical at any --threads
+//                        value.
 //   relaxed-order        (R14) std::memory_order_relaxed outside src/obs/:
 //                        relaxed is reserved for the commuting counter
 //                        idiom; state publication needs acq/rel.

@@ -1,0 +1,16 @@
+// cdlint corpus: seeded violations for rule `fp-accumulation-order` (R13)
+// in src/io/ — in scope since the v3 snapshot sections are sized and
+// checksummed by parallel workers whose bytes must be bit-identical.
+#include <numeric>
+#include <vector>
+
+double payload_bytes(const std::vector<double>& section_lengths) {
+  return std::reduce(section_lengths.begin(),  // positive: unordered
+                     section_lengths.end());
+}
+
+double compression_ratio(const std::vector<double>& ratios) {
+  float total = 0.0f;  // positive: float accumulator
+  for (const double r : ratios) total += static_cast<float>(r);
+  return total;
+}

@@ -1,6 +1,11 @@
-// cdlint corpus: negative scope case for rule `fp-accumulation-order` (R13)
-// — float arithmetic outside src/core//src/stats//src/sgp4 has no
-// bit-identical grid contract and is not judged.
-float display_ratio(float num, float den) {
-  return den == 0.0f ? 0.0f : num / den;
+// cdlint corpus: negative case for rule `fp-accumulation-order` (R13) in
+// src/io/ — in scope since the v3 snapshot work, but double accumulation
+// in a fixed-order loop is exactly the sanctioned idiom, so nothing flags.
+#include <cstddef>
+#include <vector>
+
+double total_section_bytes(const std::vector<double>& lengths) {
+  double total = 0.0;  // negative: double accumulator, fixed-order loop
+  for (const double length : lengths) total += length;
+  return total;
 }

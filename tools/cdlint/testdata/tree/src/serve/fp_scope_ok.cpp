@@ -1,0 +1,6 @@
+// cdlint corpus: negative scope case for rule `fp-accumulation-order` (R13)
+// — float arithmetic outside src/core//src/stats//src/sgp4//src/io has no
+// bit-identical byte contract and is not judged.
+float display_ratio(float num, float den) {
+  return den == 0.0f ? 0.0f : num / den;
+}

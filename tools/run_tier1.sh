@@ -21,9 +21,14 @@
 #      (the batch determinism contract, DESIGN.md §16).  The ingest record
 #      must show a warm-cache hit (ingest.cache_hit == 1) and an
 #      append-aware delta hit that parsed only a small tail
-#      (ingest.delta_hit == 1, delta_tail_fraction < 5%), and
-#      tools/bench_compare.py prints a warn-only throughput diff against
-#      the previous run's record when one exists.  The pass then boots
+#      (ingest.delta_hit == 1, delta_tail_fraction < 5%), clear the
+#      absolute ingestion floors (cold parse >= 2M records/s — 2x the
+#      PR 9 baseline — and a warm snapshot load >= 3x the cold rate,
+#      both min-of-reps so one noisy sample cannot flake the gate), and
+#      tools/bench_compare.py diffs throughput against the previous
+#      run's record when one exists — warn-only inside a 40% band, a
+#      hard failure (exit 1) past it for the ingest and sgp4 records,
+#      where a collapse that deep cannot be scheduler noise.  The pass then boots
 #      cosmicdanced against the same dataset (DESIGN.md §15), sends one of
 #      every query op plus a snapshot-swap reload, shuts it down cleanly,
 #      and asserts the serve.requests / serve.errors / serve.reloads
@@ -104,11 +109,13 @@ if [ -f build/BENCH_ingest.json ]; then
 fi
 build/bench/micro_ingest --benchmark_filter='^$' \
        --bench-out build/BENCH_ingest.json --threads 0
-# Warn-only trend diff against the previous run's record (first run on a
-# fresh build dir has no baseline, so there is nothing to compare).
+# Trend diff against the previous run's record (first run on a fresh
+# build dir has no baseline, so there is nothing to compare).  Drops
+# inside the 40% band print WARN lines; anything past it is a real cliff
+# and fails the gate.
 if [ -f build/BENCH_ingest.prev.json ]; then
   python3 tools/bench_compare.py build/BENCH_ingest.prev.json \
-          build/BENCH_ingest.json
+          build/BENCH_ingest.json --fail-under=40
 fi
 # Batch SGP4 telemetry: the synthetic mixed fleet across the 60-day grid,
 # once at full parallelism and once serially, with the grids compared
@@ -120,7 +127,7 @@ build/bench/micro_sgp4 --benchmark_filter='^$' \
        --bench-out build/BENCH_sgp4.json --threads 0
 if [ -f build/BENCH_sgp4.prev.json ]; then
   python3 tools/bench_compare.py build/BENCH_sgp4.prev.json \
-          build/BENCH_sgp4.json
+          build/BENCH_sgp4.json --fail-under=40
 fi
 # Serving daemon smoke (DESIGN.md §15): boot on an ephemeral port against
 # the smoke dataset, send one of every query op plus a reload (which swaps
@@ -196,6 +203,20 @@ tail_fraction = ingest["throughput"]["delta_tail_fraction"]
 assert 0.0 < tail_fraction < 0.05, (
     f"delta-warm pass reparsed {tail_fraction:.1%} of the inputs; "
     "the incremental path must touch well under 5%")
+# Absolute ingestion throughput floors (both rates are min-of-reps inside
+# micro_ingest, so a single noisy sample cannot trip them).  The cold
+# floor is 2x the PR 9 record on this machine (~1.02M records/s); the
+# warm floor is the v3 parallel-snapshot contract: loading pre-parsed
+# sections must beat reparsing the text by at least 3x.
+cold_rate = ingest["throughput"]["tle_records_per_s"]
+warm_rate = ingest["throughput"]["snapshot_records_per_s"]
+assert cold_rate >= 2.0e6, (
+    f"cold TLE parse at {cold_rate:,.0f} records/s is below the 2M floor "
+    "(2x the PR 9 baseline)")
+assert warm_rate >= 3.0 * cold_rate, (
+    f"warm snapshot load at {warm_rate:,.0f} records/s is under 3x the "
+    f"cold parse rate ({cold_rate:,.0f}); the v3 section decode has "
+    "regressed")
 # Batch SGP4 record (DESIGN.md §16): every fleet x grid cell must have
 # propagated cleanly, the parallel and serial grids must be bit-identical,
 # and the engine must clear the positions/s floor (set ~20x below the
@@ -260,7 +281,9 @@ print(f"observability smoke OK: {len(m1['counters'])} work counters "
       f"bench throughput keys: {sorted(bench['throughput'])}, "
       f"ingest cache_hit={counters['ingest.cache_hit']}, "
       f"delta_hit={counters['ingest.delta_hit']} "
-      f"(tail fraction {tail_fraction:.2%}); "
+      f"(tail fraction {tail_fraction:.2%}), "
+      f"cold {cold_rate:,.0f} rec/s, warm {warm_rate:,.0f} rec/s "
+      f"({warm_rate / cold_rate:.1f}x); "
       f"sgp4 batch {positions_per_s:.0f} positions/s, 0 status errors, "
       f"threads identical; "
       f"daemon smoke OK: {serve['serve.requests']} requests, "
